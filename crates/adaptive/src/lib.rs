@@ -1,0 +1,22 @@
+//! Adaptive query-processing baselines from the paper's appendix.
+//!
+//! SkinnerDB is compared against prior adaptive strategies; since their
+//! original code is unavailable, the paper re-implemented them — and so do
+//! we, sharing the storage/query/post-processing substrate so comparisons
+//! isolate the *optimization* strategy (the paper does the same and
+//! additionally counts predicate evaluations, Figure 11):
+//!
+//! * [`eddies`] — reinforcement-learning Eddies (Avnur & Hellerstein;
+//!   Tzoumas et al.'s RL variant): per-tuple routing through join operators,
+//!   learning routing quality online. Crucially, Eddies **never discard
+//!   intermediate results**, the property the paper identifies as their
+//!   weakness versus regret-bounded evaluation.
+//! * [`reoptimizer`] — sampling-based re-optimization (Wu et al.): sample
+//!   predicate selectivities, plan with calibrated estimates, materialize
+//!   one join at a time, re-plan whenever observed cardinalities deviate.
+
+pub mod eddies;
+pub mod reoptimizer;
+
+pub use eddies::{run_eddy, EddyConfig, EddyOutcome};
+pub use reoptimizer::{run_reoptimizer, ReoptimizerConfig, ReoptimizerOutcome};

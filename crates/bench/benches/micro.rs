@@ -1,0 +1,166 @@
+//! Criterion micro-benchmarks of SkinnerDB's performance-critical pieces:
+//! the multi-way join inner loop, UCT selection overhead, join-order
+//! switching (backup + restore), index jumps, and the pyramid scheme.
+//!
+//! These quantify the constants the paper's design minimizes — the cost of
+//! switching join orders tens of thousands of times per second.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use skinnerdb::skinner_core::skinner_c::join::{continue_join, MultiwayCtx, OrderInfo};
+use skinnerdb::skinner_core::skinner_c::result_set::ResultSet;
+use skinnerdb::skinner_core::skinner_c::state::{JoinState, ProgressTracker};
+use skinnerdb::skinner_core::{run_skinner_c, PyramidScheme, SkinnerCConfig};
+use skinnerdb::skinner_exec::WorkBudget;
+use skinnerdb::skinner_query::{JoinGraph, TableSet};
+use skinnerdb::skinner_storage::HashIndex;
+use skinnerdb::skinner_uct::{UctConfig, UctTree};
+use skinnerdb::{DataType, Database, Value};
+
+fn bench_db(rows: i64) -> (Database, String) {
+    let mut db = Database::new();
+    db.create_table(
+        "a",
+        &[("id", DataType::Int), ("g", DataType::Int)],
+        (0..rows)
+            .map(|i| vec![Value::Int(i), Value::Int(i % 16)])
+            .collect(),
+    )
+    .unwrap();
+    db.create_table(
+        "b",
+        &[("aid", DataType::Int), ("w", DataType::Int)],
+        (0..rows * 2)
+            .map(|i| vec![Value::Int(i % rows), Value::Int(i % 64)])
+            .collect(),
+    )
+    .unwrap();
+    db.create_table(
+        "c",
+        &[("bw", DataType::Int)],
+        (0..64).map(|i| vec![Value::Int(i)]).collect(),
+    )
+    .unwrap();
+    (
+        db,
+        "SELECT a.id FROM a, b, c WHERE a.id = b.aid AND b.w = c.bw".to_string(),
+    )
+}
+
+fn multiway_join_throughput(c: &mut Criterion) {
+    let (db, sql) = bench_db(2_000);
+    let q = db.bind(&sql).unwrap();
+    let mut indexes = std::collections::HashMap::new();
+    for (t, table) in q.tables.iter().enumerate() {
+        for col in q.equi_join_columns(t) {
+            indexes.insert((t, col), HashIndex::build(table.column(col)));
+        }
+    }
+    let ctx = MultiwayCtx {
+        tables: q.tables.clone(),
+        indexes,
+        interner: q.tables[0].interner().clone(),
+    };
+    let info = OrderInfo::build(&q, &ctx, &[0, 1, 2], true);
+    c.bench_function("multiway_join_full_pass", |bench| {
+        bench.iter_batched(
+            || {
+                (
+                    JoinState::fresh(&[0, 0, 0]),
+                    ResultSet::new(),
+                    WorkBudget::unlimited(),
+                )
+            },
+            |(mut state, mut results, budget)| {
+                let offsets = [0, 0, 0];
+                continue_join(
+                    &ctx, &info, &mut state, &offsets, u64::MAX, &budget, &mut results,
+                )
+                .unwrap();
+                results.len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn uct_selection_overhead(c: &mut Criterion) {
+    let graph = JoinGraph::new(10, (0..9).map(|i| TableSet::from_iter([i, i + 1])));
+    c.bench_function("uct_choose_and_update", |bench| {
+        let mut tree = UctTree::new(graph.clone(), UctConfig::default());
+        bench.iter(|| {
+            let order = tree.choose();
+            tree.update(&order, 0.4);
+            order.len()
+        })
+    });
+}
+
+fn join_order_switch_cost(c: &mut Criterion) {
+    // Backup + restore of execution state — the operation Skinner-C performs
+    // at every slice boundary (tens of thousands of times per second).
+    let m = 10;
+    let orders: Vec<Vec<usize>> = (0..m)
+        .map(|rot| (0..m).map(|i| (i + rot) % m).collect())
+        .collect();
+    c.bench_function("progress_tracker_switch", |bench| {
+        let mut tracker = ProgressTracker::new(m, true);
+        let offsets = vec![0u32; m];
+        let mut k = 0usize;
+        bench.iter(|| {
+            let order = &orders[k % orders.len()];
+            k += 1;
+            let mut state = tracker.restore(order, &offsets);
+            state.s[order[0]] = (k as u32) % 1000;
+            state.depth = k % m;
+            tracker.backup(order, &state);
+        })
+    });
+}
+
+fn index_jump_vs_scan(c: &mut Criterion) {
+    let column =
+        skinnerdb::skinner_storage::Column::Int((0..100_000i64).map(|i| i % 1000).collect());
+    let index = HashIndex::build(&column);
+    c.bench_function("hash_index_next_match", |bench| {
+        let mut from = 0u32;
+        bench.iter(|| {
+            let r = index.next_match(500, from % 99_000);
+            from = from.wrapping_add(997);
+            r
+        })
+    });
+}
+
+fn pyramid_scheme(c: &mut Criterion) {
+    c.bench_function("pyramid_next_timeout", |bench| {
+        let mut p = PyramidScheme::new();
+        bench.iter(|| p.next_timeout())
+    });
+}
+
+fn skinner_c_end_to_end(c: &mut Criterion) {
+    let (db, sql) = bench_db(500);
+    let q = db.bind(&sql).unwrap();
+    c.bench_function("skinner_c_small_query", |bench| {
+        bench.iter(|| run_skinner_c(&q, &SkinnerCConfig::default()).result_tuples)
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets =
+        multiway_join_throughput,
+        uct_selection_overhead,
+        join_order_switch_cost,
+        index_jump_vs_scan,
+        pyramid_scheme,
+        skinner_c_end_to_end,
+}
+criterion_main!(benches);

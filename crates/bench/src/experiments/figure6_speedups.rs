@@ -1,0 +1,70 @@
+//! Figure 6: where do the speedups versus MonetDB come from?
+//!
+//! (a) The column engine spends most of its total runtime on a handful of
+//! queries with catastrophic plans; (b) SkinnerDB's per-query speedups are
+//! concentrated exactly on those most expensive queries.
+
+use crate::harness::{human, markdown_table, run_bound, Scale, System};
+
+use super::{job_limit, job_workload};
+
+pub fn run(scale: Scale) -> String {
+    let (w, db) = job_workload(scale);
+    let limit = job_limit(scale);
+
+    // Per-query work for both systems.
+    let mut per_query: Vec<(String, u64, u64)> = Vec::new();
+    for q in &w.queries {
+        let query = db.bind(&q.script).unwrap();
+        let sk = run_bound(&db, &query, System::SkinnerC, limit);
+        let mdb = run_bound(&db, &query, System::ColDB, limit);
+        per_query.push((q.name.clone(), sk.work, mdb.work));
+    }
+
+    // (a) Cumulative share of total ColDB work by its top-k queries.
+    let mut by_mdb: Vec<u64> = per_query.iter().map(|(_, _, m)| *m).collect();
+    by_mdb.sort_unstable_by(|a, b| b.cmp(a));
+    let total_mdb: u64 = by_mdb.iter().sum();
+    let mut cum = 0u64;
+    let mut cum_rows = Vec::new();
+    for (k, work) in by_mdb.iter().enumerate() {
+        cum += work;
+        if k < 5 || (k + 1) % 5 == 0 || k + 1 == by_mdb.len() {
+            cum_rows.push(vec![
+                format!("{}", k + 1),
+                format!("{:.1}%", 100.0 * cum as f64 / total_mdb.max(1) as f64),
+            ]);
+        }
+    }
+
+    // (b) Speedup vs ColDB work per query, sorted by ColDB work.
+    let mut sorted = per_query.clone();
+    sorted.sort_by(|a, b| b.2.cmp(&a.2));
+    let speedup_rows: Vec<Vec<String>> = sorted
+        .iter()
+        .take(12)
+        .map(|(name, sk, mdb)| {
+            vec![
+                name.clone(),
+                human(*mdb),
+                human(*sk),
+                format!("{:.2}x", *mdb as f64 / (*sk).max(1) as f64),
+            ]
+        })
+        .collect();
+
+    let total_sk: u64 = per_query.iter().map(|(_, s, _)| s).sum();
+    format!(
+        "## Figure 6 — sources of SkinnerDB's speedups vs the column engine\n\n\
+         ### (a) Cumulative share of ColDB's total work in its top-k queries\n\n{}\n\
+         ### (b) Speedup vs ColDB work, most expensive ColDB queries first\n\n{}\n\
+         Totals: Skinner-C {} vs ColDB {} work units.\n",
+        markdown_table(&["Top-k queries", "% of ColDB total work"], &cum_rows),
+        markdown_table(
+            &["Query", "ColDB work", "Skinner work", "Speedup"],
+            &speedup_rows
+        ),
+        human(total_sk),
+        human(total_mdb),
+    )
+}

@@ -1,0 +1,37 @@
+//! One module per paper table/figure (see DESIGN.md §4 for the index).
+
+pub mod ablation;
+pub mod figure10_correlation;
+pub mod figure11_failures;
+pub mod figure12_trivial;
+pub mod figure6_speedups;
+pub mod figure7_convergence;
+pub mod figure8_memory;
+pub mod figure9_udf_torture;
+pub mod table1_job;
+pub mod table3_replay;
+pub mod table5_random;
+pub mod table6_features;
+pub mod table7_tpch;
+
+use skinnerdb::skinner_workloads::job_like::{generate, JobConfig};
+use skinnerdb::skinner_workloads::Workload;
+use skinnerdb::Database;
+
+use crate::harness::Scale;
+
+/// The JOB-like workload at benchmark scale, plus a database over it.
+pub fn job_workload(scale: Scale) -> (Workload, Database) {
+    let cfg = JobConfig {
+        scale: scale.pick(0.12, 1.0),
+        seed: 0x10B,
+    };
+    let w = generate(&cfg);
+    let db = Database::from_parts(w.catalog.clone(), skinnerdb::skinner_query::UdfRegistry::new());
+    (w, db)
+}
+
+/// Per-query work-unit limit for JOB experiments.
+pub fn job_limit(scale: Scale) -> u64 {
+    scale.pick(30_000_000, 2_000_000_000)
+}

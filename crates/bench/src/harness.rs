@@ -1,0 +1,369 @@
+//! Shared infrastructure: the system roster, runners and report formatting.
+
+use std::time::Duration;
+
+use skinnerdb::skinner_adaptive::{run_eddy, run_reoptimizer, EddyConfig, ReoptimizerConfig};
+use skinnerdb::skinner_core::{
+    run_skinner_c, SkinnerCConfig, SkinnerG, SkinnerGConfig, SkinnerHConfig,
+};
+use skinnerdb::skinner_exec::oracle::CardOracle;
+use skinnerdb::skinner_exec::{
+    preprocess, run_traditional, ExecProfile, TraditionalConfig, WorkBudget,
+};
+use skinnerdb::skinner_query::{JoinQuery, TableSet};
+use skinnerdb::Database;
+
+/// Benchmark scale, from the `BENCH_SCALE` environment variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Minutes-level runs on scaled-down data (default).
+    Quick,
+    /// Closer to the paper's data sizes and timeouts.
+    Paper,
+}
+
+impl Scale {
+    pub fn from_env() -> Self {
+        match std::env::var("BENCH_SCALE").as_deref() {
+            Ok("paper") => Scale::Paper,
+            _ => Scale::Quick,
+        }
+    }
+
+    pub fn pick<T>(&self, quick: T, paper: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Paper => paper,
+        }
+    }
+}
+
+/// The compared systems. The paper's engine mapping (DESIGN.md §2):
+/// `RowDB` plays Postgres (row-at-a-time profile), `ColDB` plays MonetDB
+/// (vectorized column profile), `Optimizer`/`Reoptimizer`/`Eddy` are the
+/// re-implemented research baselines sharing our engine substrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum System {
+    SkinnerC,
+    /// Skinner-C with parallel pre-processing (the paper's multi-threaded
+    /// configuration — join execution itself stays single-threaded).
+    SkinnerCPar,
+    RowDB,
+    ColDB,
+    /// MonetDB-profile engine with parallel probes.
+    ColDBPar,
+    SkinnerGRow,
+    SkinnerHRow,
+    SkinnerGCol,
+    SkinnerHCol,
+    Eddy,
+    Reoptimizer,
+}
+
+impl System {
+    pub fn name(&self) -> &'static str {
+        match self {
+            System::SkinnerC => "Skinner-C",
+            System::SkinnerCPar => "Skinner-C(par)",
+            System::RowDB => "RowDB(PG)",
+            System::ColDB => "ColDB(MDB)",
+            System::ColDBPar => "ColDB(MDB,par)",
+            System::SkinnerGRow => "S-G(Row)",
+            System::SkinnerHRow => "S-H(Row)",
+            System::SkinnerGCol => "S-G(Col)",
+            System::SkinnerHCol => "S-H(Col)",
+            System::Eddy => "Eddy",
+            System::Reoptimizer => "Re-optimizer",
+        }
+    }
+}
+
+/// Normalized per-query measurement.
+#[derive(Debug, Clone)]
+pub struct SysOutcome {
+    pub wall: Duration,
+    pub work: u64,
+    /// Accumulated intermediate-result cardinality where measurable
+    /// (traditional engines count produced tuples; Skinner-C reports the
+    /// C_out of its final join order via the exact oracle).
+    pub card: Option<u64>,
+    pub rows: usize,
+    pub timed_out: bool,
+}
+
+/// Threads used for "multi-threaded" configurations.
+pub fn bench_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(4)
+}
+
+/// Run one single-statement query under `system` with a work-unit limit.
+pub fn run_single(db: &Database, sql: &str, system: System, limit: u64) -> SysOutcome {
+    let query = db.bind(sql).expect("bench query must bind");
+    run_bound(db, &query, system, limit)
+}
+
+/// Run an already bound query under `system`.
+pub fn run_bound(db: &Database, query: &JoinQuery, system: System, limit: u64) -> SysOutcome {
+    let threads = bench_threads();
+    match system {
+        System::SkinnerC | System::SkinnerCPar => {
+            let cfg = SkinnerCConfig {
+                work_limit: limit,
+                preprocess_threads: if system == System::SkinnerCPar {
+                    threads
+                } else {
+                    1
+                },
+                ..Default::default()
+            };
+            let o = run_skinner_c(query, &cfg);
+            SysOutcome {
+                wall: o.wall,
+                work: o.work_units,
+                card: None,
+                rows: o.result.num_rows(),
+                timed_out: o.timed_out,
+            }
+        }
+        System::RowDB | System::ColDB | System::ColDBPar => {
+            let profile = match system {
+                System::RowDB => ExecProfile::row_store(),
+                System::ColDB => ExecProfile::column_store(),
+                _ => ExecProfile::column_store_parallel(threads),
+            };
+            let o = run_traditional(
+                query,
+                db.stats(),
+                &TraditionalConfig {
+                    profile,
+                    forced_order: None,
+                    work_limit: limit,
+                    preprocess_threads: if system == System::ColDBPar { threads } else { 1 },
+                },
+            );
+            SysOutcome {
+                wall: o.wall,
+                work: o.work_units,
+                card: Some(o.intermediate_tuples),
+                rows: o.result.num_rows(),
+                timed_out: o.timed_out,
+            }
+        }
+        System::SkinnerGRow | System::SkinnerGCol => {
+            let cfg = SkinnerGConfig {
+                engine_profile: if system == System::SkinnerGRow {
+                    ExecProfile::row_store()
+                } else {
+                    ExecProfile::column_store()
+                },
+                work_limit: limit,
+                ..Default::default()
+            };
+            let o = SkinnerG::new(query, cfg).run_to_completion();
+            SysOutcome {
+                wall: o.wall,
+                work: o.work_units,
+                card: None,
+                rows: o.result.num_rows(),
+                timed_out: o.timed_out,
+            }
+        }
+        System::SkinnerHRow | System::SkinnerHCol => {
+            let cfg = SkinnerHConfig {
+                learner: SkinnerGConfig {
+                    engine_profile: if system == System::SkinnerHRow {
+                        ExecProfile::row_store()
+                    } else {
+                        ExecProfile::column_store()
+                    },
+                    work_limit: limit,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            let o = skinnerdb::skinner_core::run_skinner_h(query, db.stats(), &cfg);
+            SysOutcome {
+                wall: o.wall,
+                work: o.work_units,
+                card: None,
+                rows: o.result.num_rows(),
+                timed_out: o.timed_out,
+            }
+        }
+        System::Eddy => {
+            let o = run_eddy(
+                query,
+                &EddyConfig {
+                    work_limit: limit,
+                    ..Default::default()
+                },
+            );
+            SysOutcome {
+                wall: o.wall,
+                work: o.work_units,
+                card: None,
+                rows: o.result.num_rows(),
+                timed_out: o.timed_out,
+            }
+        }
+        System::Reoptimizer => {
+            let o = run_reoptimizer(
+                query,
+                db.stats(),
+                &ReoptimizerConfig {
+                    work_limit: limit,
+                    ..Default::default()
+                },
+            );
+            SysOutcome {
+                wall: o.wall,
+                work: o.work_units,
+                card: None,
+                rows: o.result.num_rows(),
+                timed_out: o.timed_out,
+            }
+        }
+    }
+}
+
+/// Exact `C_out` of one join order over the query's filtered tables (used
+/// to report "cardinality of executed plans" for Skinner-C, Tables 1–4).
+pub fn cout_of_order(query: &JoinQuery, order: &[usize], cap: u64) -> Option<u64> {
+    let budget = WorkBudget::unlimited();
+    let pre = preprocess(query, &budget, 1).ok()?;
+    let mut oracle = CardOracle::new(query, pre.tables, cap);
+    let mut set = TableSet::EMPTY;
+    let mut total = 0f64;
+    for (k, &t) in order.iter().enumerate() {
+        set.insert(t);
+        if k >= 1 {
+            let c = oracle.card(set);
+            if c >= skinnerdb::skinner_exec::oracle::SATURATED_CARD {
+                return None; // counting exceeded the cap
+            }
+            total += c;
+        }
+    }
+    Some(total as u64)
+}
+
+/// Render a markdown table.
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push('|');
+    for h in headers {
+        out.push_str(&format!(" {h} |"));
+    }
+    out.push_str("\n|");
+    for _ in headers {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        out.push('|');
+        for cell in row {
+            out.push_str(&format!(" {cell} |"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// `123456` → `"123.5k"` etc. (keeps tables readable).
+pub fn human(n: u64) -> String {
+    if n >= 1_000_000_000 {
+        format!("{:.1}G", n as f64 / 1e9)
+    } else if n >= 1_000_000 {
+        format!("{:.1}M", n as f64 / 1e6)
+    } else if n >= 1_000 {
+        format!("{:.1}k", n as f64 / 1e3)
+    } else {
+        n.to_string()
+    }
+}
+
+/// Format a duration compactly.
+pub fn fmt_dur(d: Duration) -> String {
+    if d.as_secs() >= 10 {
+        format!("{:.1}s", d.as_secs_f64())
+    } else if d.as_millis() >= 10 {
+        format!("{}ms", d.as_millis())
+    } else {
+        format!("{}µs", d.as_micros())
+    }
+}
+
+/// Format an outcome's work figure, marking timeouts.
+pub fn fmt_work(o: &SysOutcome) -> String {
+    if o.timed_out {
+        format!(">{}", human(o.work))
+    } else {
+        human(o.work)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skinnerdb::{DataType, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            "x",
+            &[("a", DataType::Int)],
+            (0..20).map(|i| vec![Value::Int(i)]).collect(),
+        )
+        .unwrap();
+        db.create_table(
+            "y",
+            &[("a", DataType::Int)],
+            (0..20).map(|i| vec![Value::Int(i % 10)]).collect(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn every_system_runs_and_agrees() {
+        let db = db();
+        let sql = "SELECT x.a FROM x, y WHERE x.a = y.a";
+        let mut row_counts = std::collections::HashSet::new();
+        for sys in [
+            System::SkinnerC,
+            System::SkinnerCPar,
+            System::RowDB,
+            System::ColDB,
+            System::ColDBPar,
+            System::SkinnerGRow,
+            System::SkinnerHRow,
+            System::SkinnerGCol,
+            System::SkinnerHCol,
+            System::Eddy,
+            System::Reoptimizer,
+        ] {
+            let o = run_single(&db, sql, sys, u64::MAX);
+            assert!(!o.timed_out, "{}", sys.name());
+            row_counts.insert(o.rows);
+        }
+        assert_eq!(row_counts.len(), 1, "row counts diverge: {row_counts:?}");
+    }
+
+    #[test]
+    fn cout_of_order_counts_prefixes() {
+        let db = db();
+        let q = db.bind("SELECT x.a FROM x, y WHERE x.a = y.a").unwrap();
+        // Join result has 20 tuples (each y row matches one x row).
+        assert_eq!(cout_of_order(&q, &[0, 1], u64::MAX), Some(20));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(human(999), "999");
+        assert_eq!(human(1_500), "1.5k");
+        assert_eq!(human(2_500_000), "2.5M");
+        assert!(markdown_table(&["a"], &[vec!["1".into()]]).contains("| 1 |"));
+    }
+}

@@ -1,0 +1,22 @@
+//! Benchmark harness reproducing **every table and figure** of the
+//! SkinnerDB paper's evaluation (Section 6 + appendix).
+//!
+//! Each experiment lives in [`experiments`] with a matching `src/bin/`
+//! wrapper; `cargo run --release -p skinner-bench --bin <name>` regenerates
+//! one table/figure, `--bin run_all` regenerates everything into
+//! `bench_reports/`.
+//!
+//! Two measurement axes are reported throughout:
+//! * **wall-clock time** — honest end-to-end timing of this implementation;
+//! * **work units** — deterministic counts of elementary operations (tuples
+//!   scanned/produced, probes, predicate evaluations), identical accounting
+//!   across engines. Work units are the hardware-independent counterpart of
+//!   the paper's measurements (its cardinality columns and "#evaluations").
+//!
+//! `BENCH_SCALE=paper` switches from the quick default to larger data and
+//! higher work limits (closer to the paper's scale; minutes → hours).
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::{Scale, SysOutcome, System};

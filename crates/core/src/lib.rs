@@ -1,0 +1,36 @@
+//! SkinnerDB's regret-bounded query evaluation strategies.
+//!
+//! The paper's primary contribution, reproduced in full:
+//!
+//! * [`skinner_c`] — **Skinner-C** (paper Section 4.5): a customized
+//!   execution engine built around a depth-first multi-way join whose entire
+//!   execution state is one vector of tuple indices. Join orders switch
+//!   thousands of times per second; progress is backed up per join order,
+//!   shared across orders with common prefixes, and never lost. A single
+//!   UCT tree learns join-order quality from per-slice progress rewards.
+//! * [`skinner_g`] — **Skinner-G** (Section 4.3): the same learning loop on
+//!   top of a *generic* engine (`skinner-exec`) driven through forced join
+//!   orders, data batches and destructive timeouts, using the *pyramid*
+//!   timeout scheme ([`pyramid`], Algorithm 1) with one UCT tree per timeout
+//!   level.
+//! * [`skinner_h`] — **Skinner-H** (Section 4.4): alternates
+//!   doubling-timeout executions of the traditional optimizer's plan with
+//!   equal time for Skinner-G learning, preserving learning state across
+//!   rounds; bounded regret against both the optimum and the traditional
+//!   plan (Theorems 5.7, 5.8).
+//!
+//! All strategies produce exactly the same results as a traditional
+//! execution (Theorems 5.1–5.3); the integration tests verify this against
+//! a naive reference executor.
+
+pub mod config;
+pub mod pyramid;
+pub mod skinner_c;
+pub mod skinner_g;
+pub mod skinner_h;
+
+pub use config::{RewardKind, SkinnerCConfig, SkinnerGConfig, SkinnerHConfig};
+pub use pyramid::PyramidScheme;
+pub use skinner_c::engine::{run_skinner_c, run_skinner_c_fixed, SkinnerCOutcome};
+pub use skinner_g::{SkinnerG, SkinnerGOutcome};
+pub use skinner_h::{run_skinner_h, SkinnerHOutcome};

@@ -1,0 +1,138 @@
+//! Progress-based reward functions (paper Section 4.5).
+
+use skinner_storage::RowId;
+
+use crate::config::RewardKind;
+
+use super::state::JoinState;
+
+/// Total enumeration progress of `state` under `order`, in `[0,1]`:
+/// `Σ_i s[j_i] / Π_{k≤i} |R_{j_k}|` — the fraction of the (virtual) full
+/// tuple-combination space already swept, position-weighted exactly as the
+/// paper's refined reward.
+pub fn fractional_progress(order: &[usize], state: &JoinState, cards: &[RowId]) -> f64 {
+    let mut scale = 1.0f64;
+    let mut total = 0.0f64;
+    for (i, &t) in order.iter().enumerate() {
+        let n = cards[t].max(1) as f64;
+        scale *= n;
+        // Positions beyond the current depth carry stale cursors; they
+        // contribute nothing yet.
+        if i <= state.depth {
+            total += state.s[t] as f64 / scale;
+        }
+    }
+    total.clamp(0.0, 1.0)
+}
+
+/// The analysis-friendly simple variant: relative position in the left-most
+/// table only (Section 5.2's assumption).
+pub fn leftmost_progress(order: &[usize], state: &JoinState, cards: &[RowId]) -> f64 {
+    let t0 = order[0];
+    let n = cards[t0].max(1) as f64;
+    (state.s[t0] as f64 / n).clamp(0.0, 1.0)
+}
+
+/// Reward for a slice: progress delta between the state before and after,
+/// clamped into `[0,1]` (the UCT formulas assume this range).
+pub fn slice_reward(
+    kind: RewardKind,
+    order: &[usize],
+    before: &JoinState,
+    after: &JoinState,
+    cards: &[RowId],
+    finished: bool,
+) -> f64 {
+    if finished {
+        return 1.0;
+    }
+    let f = match kind {
+        RewardKind::FractionalProgress => fractional_progress,
+        RewardKind::LeftmostDelta => leftmost_progress,
+    };
+    (f(order, after, cards) - f(order, before, cards)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractional_progress_weighs_positions() {
+        let cards = vec![10, 10];
+        let order = vec![0, 1];
+        let s0 = JoinState {
+            s: vec![0, 0],
+            depth: 0,
+        };
+        assert_eq!(fractional_progress(&order, &s0, &cards), 0.0);
+        let s1 = JoinState {
+            s: vec![5, 0],
+            depth: 0,
+        };
+        assert!((fractional_progress(&order, &s1, &cards) - 0.5).abs() < 1e-12);
+        let s2 = JoinState {
+            s: vec![5, 5],
+            depth: 1,
+        };
+        // 5/10 + 5/100 = 0.55.
+        assert!((fractional_progress(&order, &s2, &cards) - 0.55).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stale_positions_do_not_contribute() {
+        let cards = vec![10, 10];
+        let order = vec![0, 1];
+        let stale = JoinState {
+            s: vec![5, 9],
+            depth: 0, // position 1 is stale
+        };
+        assert!((fractional_progress(&order, &stale, &cards) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finished_slices_earn_full_reward() {
+        let cards = vec![4];
+        let order = vec![0];
+        let s = JoinState {
+            s: vec![0],
+            depth: 0,
+        };
+        let r = slice_reward(RewardKind::FractionalProgress, &order, &s, &s, &cards, true);
+        assert_eq!(r, 1.0);
+    }
+
+    #[test]
+    fn reward_is_progress_delta() {
+        let cards = vec![10, 10];
+        let order = vec![0, 1];
+        let before = JoinState {
+            s: vec![2, 0],
+            depth: 0,
+        };
+        let after = JoinState {
+            s: vec![6, 0],
+            depth: 0,
+        };
+        let r = slice_reward(
+            RewardKind::LeftmostDelta,
+            &order,
+            &before,
+            &after,
+            &cards,
+            false,
+        );
+        assert!((r - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_tables_do_not_divide_by_zero() {
+        let cards = vec![0, 0];
+        let order = vec![0, 1];
+        let s = JoinState {
+            s: vec![0, 0],
+            depth: 1,
+        };
+        assert_eq!(fractional_progress(&order, &s, &cards), 0.0);
+    }
+}

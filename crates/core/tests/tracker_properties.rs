@@ -1,0 +1,128 @@
+//! Property tests for the progress tracker's restore/backup contract —
+//! the mechanism behind Skinner-C's "no progress loss" guarantee.
+//!
+//! Invariants checked on random backup/restore interleavings:
+//! 1. *Monotonicity*: restoring an order never yields a state lexicographically
+//!    behind the best state previously backed up for that exact order.
+//! 2. *Offset dominance*: the restored cursor at the restore depth is never
+//!    below the global offset of its table.
+//! 3. *Donor validity*: every restored state's fixed prefix comes verbatim
+//!    from some backed-up state with the same prefix sequence (never invented).
+
+use proptest::prelude::*;
+
+use skinner_core::skinner_c::state::{JoinState, ProgressTracker};
+use skinner_storage::RowId;
+
+#[derive(Debug, Clone)]
+struct Op {
+    /// Which of the fixed order set to use.
+    order_idx: usize,
+    s: Vec<RowId>,
+    depth: usize,
+}
+
+const M: usize = 4;
+
+fn orders() -> Vec<Vec<usize>> {
+    vec![
+        vec![0, 1, 2, 3],
+        vec![0, 1, 3, 2],
+        vec![1, 0, 2, 3],
+        vec![3, 2, 1, 0],
+    ]
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (
+        0usize..orders().len(),
+        proptest::collection::vec(0u32..50, M..=M),
+        0usize..M,
+    )
+        .prop_map(|(order_idx, s, depth)| Op { order_idx, s, depth })
+}
+
+fn resume_vec(order: &[usize], st: &JoinState, offsets: &[RowId]) -> Vec<RowId> {
+    order
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| if i <= st.depth { st.s[t] } else { offsets[t] })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn restore_is_monotone_and_offset_dominant(
+        ops in proptest::collection::vec(op_strategy(), 1..40),
+        offsets in proptest::collection::vec(0u32..20, M..=M),
+    ) {
+        let all = orders();
+        let mut tracker = ProgressTracker::new(M, true);
+        // Best backed-up resume vector per order index.
+        let mut best: Vec<Option<Vec<RowId>>> = vec![None; all.len()];
+        for op in &ops {
+            let order = &all[op.order_idx];
+            let st = JoinState { s: op.s.clone(), depth: op.depth };
+            tracker.backup(order, &st);
+            let v = resume_vec(order, &st, &offsets);
+            let slot = &mut best[op.order_idx];
+            if slot.as_ref().is_none_or(|b| v > *b) {
+                *slot = Some(v);
+            }
+            // After every backup, every order restores to something at least
+            // as advanced as its own best backup (prefix sharing can only
+            // help), and never below the offsets at the restore depth.
+            for (oi, order) in all.iter().enumerate() {
+                let r = tracker.restore(order, &offsets);
+                let rv = resume_vec(order, &r, &offsets);
+                if let Some(b) = &best[oi] {
+                    prop_assert!(
+                        rv >= *b,
+                        "order {order:?} restored {rv:?} behind own best {b:?}"
+                    );
+                }
+                let t = order[r.depth];
+                prop_assert!(
+                    r.s[t] >= offsets[t],
+                    "candidate below offset: {:?} at depth {}",
+                    r.s,
+                    r.depth
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn restored_fixed_prefix_comes_from_a_donor(
+        ops in proptest::collection::vec(op_strategy(), 1..30),
+    ) {
+        let all = orders();
+        let offsets = vec![0u32; M];
+        let mut tracker = ProgressTracker::new(M, true);
+        let mut backed: Vec<(usize, Vec<RowId>, usize)> = Vec::new();
+        for op in &ops {
+            let order = &all[op.order_idx];
+            let st = JoinState { s: op.s.clone(), depth: op.depth };
+            tracker.backup(order, &st);
+            backed.push((op.order_idx, op.s.clone(), op.depth));
+        }
+        for order in &all {
+            let r = tracker.restore(order, &offsets);
+            if r == JoinState::fresh(&offsets) {
+                continue;
+            }
+            // The fixed rows (positions < depth) must match some backed-up
+            // state whose order shares the prefix sequence up to r.depth and
+            // whose own depth covers it.
+            let ok = backed.iter().any(|(oi, s, depth)| {
+                let donor = &all[*oi];
+                donor[..r.depth.min(donor.len())] == order[..r.depth]
+                    && *depth + 1 >= r.depth
+                    && order[..r.depth].iter().all(|&t| s[t] == r.s[t])
+            });
+            prop_assert!(ok, "restored {:?}@{} has no donor", r.s, r.depth);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Deterministic work accounting with hard budgets.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Error signalled when a budget is exhausted mid-execution. For the generic
+/// engine this is a *destructive* timeout: intermediate results are lost,
+/// as the paper assumes for black-box engines (Section 4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Timeout;
+
+impl std::fmt::Display for Timeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "work budget exhausted")
+    }
+}
+
+impl std::error::Error for Timeout {}
+
+/// A shared counter of *work units* with an optional hard limit.
+///
+/// One work unit is one elementary operation: a tuple scanned, a hash-table
+/// probe step, a predicate evaluation, or a tuple produced. All engines in
+/// the repository charge through this type with the same conventions, which
+/// makes their unit totals comparable (the simulation-time metric used by
+/// the benchmark harness alongside wall-clock time).
+#[derive(Debug, Default)]
+pub struct WorkBudget {
+    used: AtomicU64,
+    limit: u64,
+    /// Intermediate-result tuples produced (the paper's "Total Card."
+    /// optimizer-quality metric in Tables 1–2).
+    tuples: AtomicU64,
+}
+
+impl WorkBudget {
+    /// A budget allowing `limit` units.
+    pub fn with_limit(limit: u64) -> Self {
+        WorkBudget {
+            used: AtomicU64::new(0),
+            limit,
+            tuples: AtomicU64::new(0),
+        }
+    }
+
+    /// An effectively unlimited budget.
+    pub fn unlimited() -> Self {
+        Self::with_limit(u64::MAX)
+    }
+
+    /// Charge `n` units. Returns `Err(Timeout)` if the limit is exceeded
+    /// (the charge is still recorded, so `used()` reflects actual work).
+    #[inline]
+    pub fn charge(&self, n: u64) -> Result<(), Timeout> {
+        let before = self.used.fetch_add(n, Ordering::Relaxed);
+        if before.saturating_add(n) > self.limit {
+            Err(Timeout)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Record `n` intermediate tuples produced (also charges `n` units).
+    #[inline]
+    pub fn produce_tuples(&self, n: u64) -> Result<(), Timeout> {
+        self.tuples.fetch_add(n, Ordering::Relaxed);
+        self.charge(n)
+    }
+
+    /// Units consumed so far.
+    pub fn used(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// Intermediate tuples produced so far.
+    pub fn tuples_produced(&self) -> u64 {
+        self.tuples.load(Ordering::Relaxed)
+    }
+
+    /// Remaining units (0 when exhausted).
+    pub fn remaining(&self) -> u64 {
+        self.limit.saturating_sub(self.used())
+    }
+
+    /// True if the budget has been exceeded.
+    pub fn exhausted(&self) -> bool {
+        self.used() > self.limit
+    }
+
+    /// The configured limit.
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_until_limit() {
+        let b = WorkBudget::with_limit(10);
+        assert!(b.charge(6).is_ok());
+        assert!(b.charge(4).is_ok());
+        assert_eq!(b.remaining(), 0);
+        assert!(b.charge(1).is_err());
+        assert!(b.exhausted());
+        assert_eq!(b.used(), 11);
+    }
+
+    #[test]
+    fn unlimited_never_times_out() {
+        let b = WorkBudget::unlimited();
+        assert!(b.charge(u64::MAX / 2).is_ok());
+        assert!(!b.exhausted());
+    }
+
+    #[test]
+    fn tuple_production_counts_twice() {
+        let b = WorkBudget::with_limit(100);
+        b.produce_tuples(5).unwrap();
+        assert_eq!(b.tuples_produced(), 5);
+        assert_eq!(b.used(), 5);
+    }
+
+    #[test]
+    fn concurrent_charging_is_exact() {
+        let b = std::sync::Arc::new(WorkBudget::unlimited());
+        let mut handles = vec![];
+        for _ in 0..4 {
+            let b = b.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    b.charge(1).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(b.used(), 4000);
+    }
+}

@@ -1,0 +1,46 @@
+//! Generic query execution engine and shared pipeline stages.
+//!
+//! This crate provides everything the paper treats as "an existing DBMS":
+//!
+//! * [`budget`] — deterministic *work units* with hard budgets. Work units
+//!   count elementary operations (tuples scanned, hash probes, predicate
+//!   evaluations, tuples produced) identically across every engine in this
+//!   repository, so simulated "time" is comparable between SkinnerDB and the
+//!   baselines — the hardware-independent counterpart of the paper's wall
+//!   clock, mirroring its cardinality columns (Tables 1–2) and
+//!   "#evaluations" (Figure 11).
+//! * [`preprocess`] — unary filtering into materialized filtered tables
+//!   (optionally parallel), shared by all engines (paper Section 3's
+//!   pre-processor).
+//! * [`engine`] — a blocking left-deep join executor (hash joins on equality
+//!   predicates, nested loops otherwise) that materializes intermediate
+//!   results per binary join and **loses all progress on timeout** — exactly
+//!   the black-box behaviour Skinner-G must cope with (Section 4.3).
+//! * [`postprocess`] — grouping, aggregation, ordering, limit, distinct
+//!   (Section 3's post-processor).
+//! * [`traditional`] — the full traditional-DBMS query path (statistics →
+//!   DP optimizer → execution), configurable between a row-at-a-time profile
+//!   (Postgres-like) and a vectorized column profile (MonetDB-like).
+//! * [`reference`] — a naive nested-loop executor used as ground truth in
+//!   correctness tests.
+//! * [`oracle`] — exact join-cardinality counting, which defines the
+//!   *optimal* join orders replayed in the paper's Tables 3 and 4.
+
+pub mod budget;
+pub mod engine;
+pub mod oracle;
+pub mod postprocess;
+pub mod preprocess;
+pub mod reference;
+pub mod result;
+pub mod traditional;
+
+pub use budget::{Timeout, WorkBudget};
+pub use engine::{execute_join, join_step, ExecProfile, JoinOutput};
+pub use postprocess::postprocess;
+pub use preprocess::{preprocess, Preprocessed};
+pub use result::QueryResult;
+pub use traditional::{run_traditional, TraditionalConfig, TraditionalOutcome};
+
+/// A join-result tuple: one row id per query table, in table-position order.
+pub type TupleIxs = Box<[skinner_storage::RowId]>;

@@ -1,0 +1,347 @@
+//! Post-processing: projection, aggregation, grouping, ordering, limit.
+//!
+//! The paper's post-processor (Section 3) consumes join-result tuples —
+//! index vectors into the filtered base tables — and produces the final
+//! materialized result. Shared by every evaluation strategy, so result
+//! comparison across strategies exercises identical code.
+
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use skinner_query::expr::EvalCtx;
+use skinner_query::{AggFunc, JoinQuery, SelectItem};
+use skinner_storage::{DataType, Table, Value};
+
+use crate::budget::{Timeout, WorkBudget};
+use crate::result::QueryResult;
+use crate::TupleIxs;
+
+/// Materialize the final result from join tuples.
+pub fn postprocess(
+    tables: &[Arc<Table>],
+    query: &JoinQuery,
+    tuples: &[TupleIxs],
+    budget: &WorkBudget,
+) -> Result<QueryResult, Timeout> {
+    let columns: Vec<String> = query.select.iter().map(|s| s.name().to_string()).collect();
+    let interner = tables
+        .first()
+        .map(|t| t.interner().clone())
+        .unwrap_or_default();
+
+    let mut rows: Vec<Vec<Value>> = if query.has_aggregates() || !query.group_by.is_empty() {
+        aggregate(tables, query, tuples, budget, &interner)?
+    } else {
+        let mut out = Vec::with_capacity(tuples.len());
+        for t in tuples {
+            budget.charge(1)?;
+            let ctx = EvalCtx::new(tables, t, &interner);
+            let row: Vec<Value> = query
+                .select
+                .iter()
+                .map(|item| match item {
+                    SelectItem::Expr { expr, .. } => expr.eval(&ctx),
+                    SelectItem::Agg { .. } => unreachable!(),
+                })
+                .collect();
+            out.push(row);
+        }
+        out
+    };
+
+    if query.distinct {
+        let mut seen = std::collections::HashSet::new();
+        rows.retain(|r| {
+            budget.charge(1).ok();
+            seen.insert(row_key(r))
+        });
+    }
+
+    if !query.order_by.is_empty() {
+        rows.sort_by(|a, b| {
+            for k in &query.order_by {
+                let ord = a[k.output_col]
+                    .compare(&b[k.output_col])
+                    .unwrap_or(Ordering::Equal);
+                let ord = if k.asc { ord } else { ord.reverse() };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        });
+    }
+
+    if let Some(limit) = query.limit {
+        rows.truncate(limit);
+    }
+
+    Ok(QueryResult { columns, rows })
+}
+
+fn aggregate(
+    tables: &[Arc<Table>],
+    query: &JoinQuery,
+    tuples: &[TupleIxs],
+    budget: &WorkBudget,
+    interner: &Arc<skinner_storage::Interner>,
+) -> Result<Vec<Vec<Value>>, Timeout> {
+    // Group key → (representative tuple, accumulators per select item).
+    let mut groups: HashMap<Vec<u64>, (TupleIxs, Vec<AggAcc>)> = HashMap::new();
+    let scalar = query.group_by.is_empty();
+    for t in tuples {
+        budget.charge(1)?;
+        let ctx = EvalCtx::new(tables, t, interner);
+        let key: Vec<u64> = query.group_by.iter().map(|g| g.eval_key(&ctx)).collect();
+        let entry = groups
+            .entry(key)
+            .or_insert_with(|| (t.clone(), make_accs(query)));
+        for (item, acc) in query.select.iter().zip(entry.1.iter_mut()) {
+            if let SelectItem::Agg { arg, .. } = item {
+                let v = arg.as_ref().map(|a| a.eval(&ctx));
+                acc.update(v);
+            }
+        }
+    }
+    // Scalar aggregate over empty input still yields one row.
+    if scalar && groups.is_empty() {
+        let accs = make_accs(query);
+        let row = accs.into_iter().map(AggAcc::finish).collect();
+        return Ok(vec![row]);
+    }
+    let mut rows = Vec::with_capacity(groups.len());
+    for (_key, (repr, accs)) in groups {
+        budget.charge(1)?;
+        let ctx = EvalCtx::new(tables, &repr, interner);
+        let mut accs = accs.into_iter();
+        let row: Vec<Value> = query
+            .select
+            .iter()
+            .map(|item| match item {
+                SelectItem::Expr { expr, .. } => {
+                    let _ = accs.next();
+                    expr.eval(&ctx)
+                }
+                SelectItem::Agg { .. } => accs.next().unwrap().finish(),
+            })
+            .collect();
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+fn make_accs(query: &JoinQuery) -> Vec<AggAcc> {
+    query
+        .select
+        .iter()
+        .map(|item| match item {
+            SelectItem::Expr { .. } => AggAcc::Passthrough,
+            SelectItem::Agg { func, arg, .. } => {
+                let float = arg
+                    .as_ref()
+                    .map(|a| a.dtype() == DataType::Float)
+                    .unwrap_or(false);
+                match func {
+                    AggFunc::Count => AggAcc::Count(0),
+                    AggFunc::Sum => {
+                        if float {
+                            AggAcc::SumF(0.0)
+                        } else {
+                            AggAcc::SumI(0)
+                        }
+                    }
+                    AggFunc::Avg => AggAcc::Avg { sum: 0.0, n: 0 },
+                    AggFunc::Min => AggAcc::Min(None),
+                    AggFunc::Max => AggAcc::Max(None),
+                }
+            }
+        })
+        .collect()
+}
+
+/// One aggregate accumulator.
+///
+/// Divergence from SQL: there are no NULLs in this system, so empty
+/// `SUM`/`MIN`/`MAX`/`AVG` groups finish to 0 (respectively 0.0) instead of
+/// NULL. Only scalar aggregates over empty inputs can observe this.
+#[derive(Debug, Clone)]
+enum AggAcc {
+    Passthrough,
+    Count(u64),
+    SumI(i64),
+    SumF(f64),
+    Avg { sum: f64, n: u64 },
+    Min(Option<Value>),
+    Max(Option<Value>),
+}
+
+impl AggAcc {
+    fn update(&mut self, v: Option<Value>) {
+        match self {
+            AggAcc::Passthrough => {}
+            AggAcc::Count(c) => *c += 1,
+            AggAcc::SumI(s) => {
+                *s = s.wrapping_add(v.and_then(|x| x.as_i64()).unwrap_or(0));
+            }
+            AggAcc::SumF(s) => {
+                *s += v.and_then(|x| x.as_f64()).unwrap_or(0.0);
+            }
+            AggAcc::Avg { sum, n } => {
+                *sum += v.and_then(|x| x.as_f64()).unwrap_or(0.0);
+                *n += 1;
+            }
+            AggAcc::Min(m) => {
+                if let Some(v) = v {
+                    let replace = match m {
+                        None => true,
+                        Some(cur) => v.compare(cur) == Some(Ordering::Less),
+                    };
+                    if replace {
+                        *m = Some(v);
+                    }
+                }
+            }
+            AggAcc::Max(m) => {
+                if let Some(v) = v {
+                    let replace = match m {
+                        None => true,
+                        Some(cur) => v.compare(cur) == Some(Ordering::Greater),
+                    };
+                    if replace {
+                        *m = Some(v);
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            AggAcc::Passthrough => Value::Int(0),
+            AggAcc::Count(c) => Value::Int(c as i64),
+            AggAcc::SumI(s) => Value::Int(s),
+            AggAcc::SumF(s) => Value::Float(s),
+            AggAcc::Avg { sum, n } => Value::Float(if n == 0 { 0.0 } else { sum / n as f64 }),
+            AggAcc::Min(m) => m.unwrap_or(Value::Int(0)),
+            AggAcc::Max(m) => m.unwrap_or(Value::Int(0)),
+        }
+    }
+}
+
+fn row_key(row: &[Value]) -> String {
+    let mut s = String::new();
+    for v in row {
+        match v {
+            Value::Float(x) => s.push_str(&format!("{x:.9}|")),
+            other => {
+                s.push_str(&other.to_string());
+                s.push('|');
+            }
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skinner_query::{bind_select, parser::parse_statement, UdfRegistry};
+    use skinner_storage::{schema, Catalog};
+
+    fn setup() -> Catalog {
+        let cat = Catalog::new();
+        let mut a = cat.builder("a", schema![("g", Int), ("x", Int), ("f", Float)]);
+        for i in 0..10 {
+            a.push_row(&[
+                Value::Int(i % 3),
+                Value::Int(i),
+                Value::Float(i as f64 * 0.5),
+            ]);
+        }
+        cat.register(a.finish());
+        cat
+    }
+
+    fn bind(sql: &str, cat: &Catalog) -> JoinQuery {
+        let udfs = UdfRegistry::new();
+        match parse_statement(sql).unwrap() {
+            skinner_query::ast::Statement::Select(s) => bind_select(&s, cat, &udfs).unwrap(),
+            _ => unreachable!(),
+        }
+    }
+
+    fn all_tuples(n: u32) -> Vec<TupleIxs> {
+        (0..n).map(|i| vec![i].into_boxed_slice()).collect()
+    }
+
+    #[test]
+    fn plain_projection() {
+        let cat = setup();
+        let q = bind("SELECT a.x FROM a", &cat);
+        let budget = WorkBudget::unlimited();
+        let r = postprocess(&q.tables, &q, &all_tuples(10), &budget).unwrap();
+        assert_eq!(r.num_rows(), 10);
+        assert_eq!(r.columns, vec!["a.x"]);
+    }
+
+    #[test]
+    fn group_by_with_all_aggregates() {
+        let cat = setup();
+        let q = bind(
+            "SELECT a.g, COUNT(*) c, SUM(a.x) s, MIN(a.x) mn, MAX(a.x) mx, AVG(a.f) av \
+             FROM a GROUP BY a.g ORDER BY a.g",
+            &cat,
+        );
+        let budget = WorkBudget::unlimited();
+        let r = postprocess(&q.tables, &q, &all_tuples(10), &budget).unwrap();
+        assert_eq!(r.num_rows(), 3);
+        // Group 0: x ∈ {0,3,6,9} → count 4, sum 18, min 0, max 9, avg f 2.25.
+        let row0 = &r.rows[0];
+        assert_eq!(row0[0], Value::Int(0));
+        assert_eq!(row0[1], Value::Int(4));
+        assert_eq!(row0[2], Value::Int(18));
+        assert_eq!(row0[3], Value::Int(0));
+        assert_eq!(row0[4], Value::Int(9));
+        assert!((row0[5].as_f64().unwrap() - 2.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scalar_aggregate_on_empty_input() {
+        let cat = setup();
+        let q = bind("SELECT COUNT(*) c, SUM(a.x) s FROM a", &cat);
+        let budget = WorkBudget::unlimited();
+        let r = postprocess(&q.tables, &q, &[], &budget).unwrap();
+        assert_eq!(r.num_rows(), 1);
+        assert_eq!(r.rows[0][0], Value::Int(0));
+        assert_eq!(r.rows[0][1], Value::Int(0));
+    }
+
+    #[test]
+    fn order_desc_and_limit() {
+        let cat = setup();
+        let q = bind("SELECT a.x FROM a ORDER BY a.x DESC LIMIT 3", &cat);
+        let budget = WorkBudget::unlimited();
+        let r = postprocess(&q.tables, &q, &all_tuples(10), &budget).unwrap();
+        assert_eq!(r.num_rows(), 3);
+        assert_eq!(r.rows[0][0], Value::Int(9));
+        assert_eq!(r.rows[2][0], Value::Int(7));
+    }
+
+    #[test]
+    fn distinct_dedupes() {
+        let cat = setup();
+        let q = bind("SELECT DISTINCT a.g FROM a", &cat);
+        let budget = WorkBudget::unlimited();
+        let r = postprocess(&q.tables, &q, &all_tuples(10), &budget).unwrap();
+        assert_eq!(r.num_rows(), 3);
+    }
+
+    #[test]
+    fn budget_applies_to_postprocessing() {
+        let cat = setup();
+        let q = bind("SELECT a.x FROM a", &cat);
+        let budget = WorkBudget::with_limit(3);
+        assert!(postprocess(&q.tables, &q, &all_tuples(10), &budget).is_err());
+    }
+}

@@ -1,0 +1,201 @@
+//! Pre-processing: apply unary predicates, materialize filtered tables.
+//!
+//! Every evaluation strategy in the paper starts here (Section 3): unary
+//! predicates are applied once, up front, producing filtered base tables so
+//! the join phase works on dense row ids. Pre-processing is the only phase
+//! SkinnerDB parallelizes (Section 6.1); `threads > 1` splits each table
+//! scan across crossbeam scoped threads.
+
+use std::sync::Arc;
+
+use skinner_query::expr::EvalCtx;
+use skinner_query::JoinQuery;
+use skinner_storage::{RowId, Table};
+
+use crate::budget::{Timeout, WorkBudget};
+
+/// Output of pre-processing.
+#[derive(Debug, Clone)]
+pub struct Preprocessed {
+    /// Filtered tables, parallel to `query.tables`. Tables without unary
+    /// predicates are shared, not copied.
+    pub tables: Vec<Arc<Table>>,
+    /// Original (unfiltered) row counts, for reporting.
+    pub base_rows: Vec<usize>,
+}
+
+impl Preprocessed {
+    /// Cardinality of filtered table `t`.
+    pub fn cardinality(&self, t: usize) -> RowId {
+        self.tables[t].cardinality()
+    }
+}
+
+/// Apply all unary predicates of `query`. Charges one work unit per
+/// (row, predicate) evaluation plus one per surviving row.
+pub fn preprocess(
+    query: &JoinQuery,
+    budget: &WorkBudget,
+    threads: usize,
+) -> Result<Preprocessed, Timeout> {
+    let mut tables = Vec::with_capacity(query.tables.len());
+    let mut base_rows = Vec::with_capacity(query.tables.len());
+    for (t, table) in query.tables.iter().enumerate() {
+        base_rows.push(table.num_rows());
+        if query.unary[t].is_empty() {
+            tables.push(table.clone());
+            continue;
+        }
+        let rows = if threads > 1 {
+            filter_parallel(query, t, budget, threads)?
+        } else {
+            filter_serial(query, t, budget)?
+        };
+        budget.charge(rows.len() as u64)?;
+        let filtered = table.gather(&rows, format!("{}#f", table.name()));
+        tables.push(Arc::new(filtered));
+    }
+    Ok(Preprocessed { tables, base_rows })
+}
+
+fn filter_serial(query: &JoinQuery, t: usize, budget: &WorkBudget) -> Result<Vec<RowId>, Timeout> {
+    let table = &query.tables[t];
+    let interner = table.interner().clone();
+    let n = table.cardinality();
+    let preds = &query.unary[t];
+    let mut rows_vec = Vec::new();
+    let mut probe: Vec<RowId> = vec![0; query.tables.len()];
+    for row in 0..n {
+        probe[t] = row;
+        budget.charge(preds.len() as u64)?;
+        let ctx = EvalCtx::new(&query.tables, &probe, &interner);
+        if preds.iter().all(|p| p.eval_bool(&ctx)) {
+            rows_vec.push(row);
+        }
+    }
+    Ok(rows_vec)
+}
+
+fn filter_parallel(
+    query: &JoinQuery,
+    t: usize,
+    budget: &WorkBudget,
+    threads: usize,
+) -> Result<Vec<RowId>, Timeout> {
+    let table = &query.tables[t];
+    let n = table.cardinality() as usize;
+    let chunk = n.div_ceil(threads).max(1);
+    let preds = &query.unary[t];
+    let interner = table.interner().clone();
+    let results: Vec<Result<Vec<RowId>, Timeout>> = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for c in 0..threads {
+            let lo = (c * chunk).min(n) as RowId;
+            let hi = ((c + 1) * chunk).min(n) as RowId;
+            let interner = &interner;
+            handles.push(scope.spawn(move |_| {
+                let mut out = Vec::new();
+                let mut probe: Vec<RowId> = vec![0; query.tables.len()];
+                for row in lo..hi {
+                    probe[t] = row;
+                    budget.charge(preds.len() as u64)?;
+                    let ctx = EvalCtx::new(&query.tables, &probe, interner);
+                    if preds.iter().all(|p| p.eval_bool(&ctx)) {
+                        out.push(row);
+                    }
+                }
+                Ok(out)
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .expect("preprocessing thread panicked");
+    let mut rows = Vec::new();
+    for r in results {
+        rows.extend(r?);
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skinner_query::{bind_select, parser::parse_statement, UdfRegistry};
+    use skinner_storage::{schema, Catalog, Value};
+
+    fn setup() -> (Catalog, UdfRegistry) {
+        let cat = Catalog::new();
+        let mut a = cat.builder("a", schema![("x", Int), ("y", Int)]);
+        for i in 0..100 {
+            a.push_row(&[Value::Int(i), Value::Int(i % 7)]);
+        }
+        cat.register(a.finish());
+        let mut b = cat.builder("b", schema![("z", Int)]);
+        for i in 0..50 {
+            b.push_row(&[Value::Int(i)]);
+        }
+        cat.register(b.finish());
+        (cat, UdfRegistry::new())
+    }
+
+    fn bind(sql: &str, cat: &Catalog, udfs: &UdfRegistry) -> JoinQuery {
+        match parse_statement(sql).unwrap() {
+            skinner_query::ast::Statement::Select(s) => bind_select(&s, cat, udfs).unwrap(),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn filters_apply_and_unfiltered_tables_are_shared() {
+        let (cat, udfs) = setup();
+        let q = bind("SELECT a.x FROM a, b WHERE a.x < 10 AND a.y = 1", &cat, &udfs);
+        let budget = WorkBudget::unlimited();
+        let p = preprocess(&q, &budget, 1).unwrap();
+        // x < 10 and x % 7 == 1 → x ∈ {1, 8}.
+        assert_eq!(p.tables[0].num_rows(), 2);
+        assert_eq!(p.tables[0].value(0, 0), Value::Int(1));
+        assert_eq!(p.tables[0].value(1, 0), Value::Int(8));
+        // b untouched → same allocation.
+        assert!(Arc::ptr_eq(&p.tables[1], &q.tables[1]));
+        assert_eq!(p.base_rows, vec![100, 50]);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let (cat, udfs) = setup();
+        let q = bind("SELECT a.x FROM a WHERE a.y = 3", &cat, &udfs);
+        let b1 = WorkBudget::unlimited();
+        let b4 = WorkBudget::unlimited();
+        let serial = preprocess(&q, &b1, 1).unwrap();
+        let parallel = preprocess(&q, &b4, 4).unwrap();
+        assert_eq!(
+            serial.tables[0].num_rows(),
+            parallel.tables[0].num_rows()
+        );
+        for r in 0..serial.tables[0].cardinality() {
+            assert_eq!(
+                serial.tables[0].value(r, 0),
+                parallel.tables[0].value(r, 0)
+            );
+        }
+        // Same predicate-evaluation work.
+        assert_eq!(b1.used(), b4.used());
+    }
+
+    #[test]
+    fn budget_exhaustion_aborts() {
+        let (cat, udfs) = setup();
+        let q = bind("SELECT a.x FROM a WHERE a.y = 3", &cat, &udfs);
+        let budget = WorkBudget::with_limit(10);
+        assert!(matches!(preprocess(&q, &budget, 1), Err(Timeout)));
+    }
+
+    #[test]
+    fn empty_filter_result_is_fine() {
+        let (cat, udfs) = setup();
+        let q = bind("SELECT a.x FROM a WHERE a.x > 1000", &cat, &udfs);
+        let budget = WorkBudget::unlimited();
+        let p = preprocess(&q, &budget, 1).unwrap();
+        assert_eq!(p.tables[0].num_rows(), 0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Naive reference executor — ground truth for correctness tests.
+//!
+//! Enumerates the full Cartesian product of the base tables and checks every
+//! predicate on every combination. Exponential; only for test-sized data.
+//! Deliberately shares *no* join code with the real engines (it bypasses
+//! pre-processing, hash joins and the multi-way join entirely), so agreement
+//! with them is meaningful evidence of correctness.
+
+use skinner_query::expr::EvalCtx;
+use skinner_query::JoinQuery;
+use skinner_storage::RowId;
+
+use crate::budget::WorkBudget;
+use crate::postprocess::postprocess;
+use crate::result::QueryResult;
+use crate::TupleIxs;
+
+/// Execute `query` by brute force.
+pub fn run_reference(query: &JoinQuery) -> QueryResult {
+    let m = query.num_tables();
+    let interner = query.tables[0].interner().clone();
+    let mut tuples: Vec<TupleIxs> = Vec::new();
+    if !query.always_false {
+        let mut rows: Vec<RowId> = vec![0; m];
+        enumerate(query, 0, &mut rows, &interner, &mut tuples);
+    }
+    let budget = WorkBudget::unlimited();
+    postprocess(&query.tables, query, &tuples, &budget).expect("unlimited budget")
+}
+
+fn enumerate(
+    query: &JoinQuery,
+    depth: usize,
+    rows: &mut Vec<RowId>,
+    interner: &std::sync::Arc<skinner_storage::Interner>,
+    out: &mut Vec<TupleIxs>,
+) {
+    let m = query.num_tables();
+    if depth == m {
+        out.push(rows.clone().into_boxed_slice());
+        return;
+    }
+    let n = query.tables[depth].cardinality();
+    'next_row: for row in 0..n {
+        rows[depth] = row;
+        let ctx = EvalCtx::new(&query.tables, rows, interner);
+        // Unary predicates of this table.
+        for p in &query.unary[depth] {
+            if !p.eval_bool(&ctx) {
+                continue 'next_row;
+            }
+        }
+        // Join predicates fully covered by tables 0..=depth.
+        for p in &query.equi_preds {
+            let hi = p.left.table.max(p.right.table);
+            if hi == depth {
+                let lk = query.tables[p.left.table]
+                    .column(p.left.col)
+                    .key_at(rows[p.left.table]);
+                let rk = query.tables[p.right.table]
+                    .column(p.right.col)
+                    .key_at(rows[p.right.table]);
+                if lk != rk {
+                    continue 'next_row;
+                }
+            }
+        }
+        for p in &query.generic_preds {
+            let hi = p.tables.iter().max().unwrap_or(0);
+            if hi == depth && !p.expr.eval_bool(&ctx) {
+                continue 'next_row;
+            }
+        }
+        enumerate(query, depth + 1, rows, interner, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skinner_query::{bind_select, parser::parse_statement, UdfRegistry};
+    use skinner_storage::{schema, Catalog, Value};
+
+    fn setup() -> Catalog {
+        let cat = Catalog::new();
+        let mut a = cat.builder("a", schema![("id", Int)]);
+        for i in 0..5 {
+            a.push_row(&[Value::Int(i)]);
+        }
+        cat.register(a.finish());
+        let mut b = cat.builder("b", schema![("aid", Int)]);
+        for i in 0..8 {
+            b.push_row(&[Value::Int(i % 5)]);
+        }
+        cat.register(b.finish());
+        cat
+    }
+
+    fn bind(sql: &str, cat: &Catalog) -> JoinQuery {
+        let udfs = UdfRegistry::new();
+        match parse_statement(sql).unwrap() {
+            skinner_query::ast::Statement::Select(s) => bind_select(&s, cat, &udfs).unwrap(),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn joins_and_filters() {
+        let cat = setup();
+        let q = bind(
+            "SELECT a.id FROM a, b WHERE a.id = b.aid AND a.id < 3",
+            &cat,
+        );
+        let r = run_reference(&q);
+        // aid values: 0,1,2,3,4,0,1,2 → ids < 3 matched: 0(×2),1(×2),2(×2).
+        assert_eq!(r.num_rows(), 6);
+    }
+
+    #[test]
+    fn always_false_is_empty() {
+        let cat = setup();
+        let q = bind("SELECT a.id FROM a WHERE 1 = 0", &cat);
+        assert_eq!(run_reference(&q).num_rows(), 0);
+    }
+
+    #[test]
+    fn cartesian_product_when_no_predicates() {
+        let cat = setup();
+        let q = bind("SELECT a.id FROM a, b", &cat);
+        assert_eq!(run_reference(&q).num_rows(), 40);
+    }
+}

@@ -1,0 +1,139 @@
+//! Materialized query results.
+
+use skinner_storage::Value;
+
+/// A fully materialized query result: named columns, row-major values.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl QueryResult {
+    pub fn empty(columns: Vec<String>) -> Self {
+        QueryResult {
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Canonical string form of every row, sorted — used by tests to compare
+    /// results of different evaluation strategies irrespective of row order
+    /// (when the query itself has no ORDER BY).
+    pub fn canonical_rows(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.rows.iter().map(|r| row_string(r)).collect();
+        v.sort();
+        v
+    }
+
+    /// Row-order-sensitive string form (for ordered queries).
+    pub fn ordered_rows(&self) -> Vec<String> {
+        self.rows.iter().map(|r| row_string(r)).collect()
+    }
+
+    /// Pretty-print as an aligned text table (examples and harness output).
+    pub fn to_table_string(&self, max_rows: usize) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        let shown = self.rows.len().min(max_rows);
+        let cells: Vec<Vec<String>> = self.rows[..shown]
+            .iter()
+            .map(|r| r.iter().map(format_value).collect())
+            .collect();
+        for row in &cells {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        for (i, c) in self.columns.iter().enumerate() {
+            out.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+        }
+        out.push('\n');
+        for (i, _) in self.columns.iter().enumerate() {
+            out.push_str(&"-".repeat(widths[i]));
+            out.push_str("  ");
+        }
+        out.push('\n');
+        for row in &cells {
+            for (i, c) in row.iter().enumerate() {
+                out.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+            }
+            out.push('\n');
+        }
+        if self.rows.len() > shown {
+            out.push_str(&format!("… ({} more rows)\n", self.rows.len() - shown));
+        }
+        out
+    }
+}
+
+fn format_value(v: &Value) -> String {
+    match v {
+        Value::Float(x) => format!("{x:.4}"),
+        other => other.to_string(),
+    }
+}
+
+fn row_string(row: &[Value]) -> String {
+    let mut s = String::new();
+    for (i, v) in row.iter().enumerate() {
+        if i > 0 {
+            s.push('|');
+        }
+        // Round floats so strategies differing only in summation order agree.
+        match v {
+            Value::Float(x) => s.push_str(&format!("{x:.6}")),
+            other => s.push_str(&other.to_string()),
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_rows_sorted_and_order_insensitive() {
+        let a = QueryResult {
+            columns: vec!["x".into()],
+            rows: vec![vec![Value::Int(2)], vec![Value::Int(1)]],
+        };
+        let b = QueryResult {
+            columns: vec!["x".into()],
+            rows: vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+        };
+        assert_eq!(a.canonical_rows(), b.canonical_rows());
+        assert_ne!(a.ordered_rows(), b.ordered_rows());
+    }
+
+    #[test]
+    fn float_rounding_in_canonical_form() {
+        let a = QueryResult {
+            columns: vec!["x".into()],
+            rows: vec![vec![Value::Float(0.1 + 0.2)]],
+        };
+        let b = QueryResult {
+            columns: vec!["x".into()],
+            rows: vec![vec![Value::Float(0.3)]],
+        };
+        assert_eq!(a.canonical_rows(), b.canonical_rows());
+    }
+
+    #[test]
+    fn table_rendering_truncates() {
+        let r = QueryResult {
+            columns: vec!["a".into(), "b".into()],
+            rows: (0..5)
+                .map(|i| vec![Value::Int(i), Value::from("x")])
+                .collect(),
+        };
+        let s = r.to_table_string(2);
+        assert!(s.contains("3 more rows"));
+        assert!(s.starts_with("a"));
+    }
+}

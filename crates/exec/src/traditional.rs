@@ -1,0 +1,242 @@
+//! The traditional DBMS query path: statistics → DP optimizer → execution.
+//!
+//! This is the "Postgres" / "MonetDB" / "Optimizer" baseline of the paper's
+//! experiments, and the engine Skinner-G/H drive with forced join orders
+//! (via `forced_order`, our analogue of optimizer hints).
+
+use std::time::{Duration, Instant};
+
+use skinner_optimizer::best_left_deep_estimated;
+use skinner_query::JoinQuery;
+use skinner_stats::StatsCache;
+
+use crate::budget::WorkBudget;
+use crate::engine::{execute_join, ExecProfile};
+use crate::postprocess::postprocess;
+use crate::preprocess::preprocess;
+use crate::result::QueryResult;
+
+/// Configuration of a traditional run.
+#[derive(Debug, Clone)]
+pub struct TraditionalConfig {
+    pub profile: ExecProfile,
+    /// Bypass the optimizer with an externally chosen join order — the
+    /// paper's replay experiments (Tables 3/4) and Skinner-G's forced orders.
+    pub forced_order: Option<Vec<usize>>,
+    /// Hard work-unit limit; execution aborts (losing everything) beyond it.
+    pub work_limit: u64,
+    /// Threads for the pre-processing scan.
+    pub preprocess_threads: usize,
+}
+
+impl Default for TraditionalConfig {
+    fn default() -> Self {
+        TraditionalConfig {
+            profile: ExecProfile::row_store(),
+            forced_order: None,
+            work_limit: u64::MAX,
+            preprocess_threads: 1,
+        }
+    }
+}
+
+/// Outcome of a traditional run.
+#[derive(Debug)]
+pub struct TraditionalOutcome {
+    pub result: QueryResult,
+    /// The join order actually executed.
+    pub order: Vec<usize>,
+    /// Work units consumed (including pre/post-processing).
+    pub work_units: u64,
+    /// Intermediate tuples produced — the optimizer-quality metric of the
+    /// paper's Tables 1–2 ("Total Card.").
+    pub intermediate_tuples: u64,
+    pub wall: Duration,
+    pub timed_out: bool,
+}
+
+/// Run `query` the traditional way.
+pub fn run_traditional(
+    query: &JoinQuery,
+    stats: &StatsCache,
+    cfg: &TraditionalConfig,
+) -> TraditionalOutcome {
+    let start = Instant::now();
+    let budget = WorkBudget::with_limit(cfg.work_limit);
+    let columns: Vec<String> = query.select.iter().map(|s| s.name().to_string()).collect();
+    let timed_out_outcome = |order: Vec<usize>, budget: &WorkBudget, start: Instant| {
+        TraditionalOutcome {
+            result: QueryResult::empty(columns.clone()),
+            order,
+            work_units: budget.used(),
+            intermediate_tuples: budget.tuples_produced(),
+            wall: start.elapsed(),
+            timed_out: true,
+        }
+    };
+
+    // Plan first: the optimizer only looks at statistics, not data, so it is
+    // charged no work units (planning overhead is negligible at our scales).
+    let order = match &cfg.forced_order {
+        Some(o) => o.clone(),
+        None => best_left_deep_estimated(query, stats).0,
+    };
+
+    let pre = match preprocess(query, &budget, cfg.preprocess_threads) {
+        Ok(p) => p,
+        Err(_) => return timed_out_outcome(order, &budget, start),
+    };
+
+    let tuples = if query.always_false {
+        Vec::new()
+    } else {
+        let floors = vec![0; query.num_tables()];
+        let n0 = pre.tables[order[0]].cardinality();
+        match execute_join(
+            &pre.tables,
+            query,
+            &order,
+            0..n0,
+            &floors,
+            &cfg.profile,
+            &budget,
+            false,
+        ) {
+            Ok(out) => out.into_tuples(),
+            Err(_) => return timed_out_outcome(order, &budget, start),
+        }
+    };
+
+    let result = match postprocess(&pre.tables, query, &tuples, &budget) {
+        Ok(r) => r,
+        Err(_) => return timed_out_outcome(order, &budget, start),
+    };
+
+    TraditionalOutcome {
+        result,
+        order,
+        work_units: budget.used(),
+        intermediate_tuples: budget.tuples_produced(),
+        wall: start.elapsed(),
+        timed_out: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::run_reference;
+    use skinner_query::{bind_select, parser::parse_statement, UdfRegistry};
+    use skinner_storage::{schema, Catalog, Value};
+
+    fn setup() -> Catalog {
+        let cat = Catalog::new();
+        let mut a = cat.builder("a", schema![("id", Int), ("g", Int)]);
+        for i in 0..40 {
+            a.push_row(&[Value::Int(i), Value::Int(i % 5)]);
+        }
+        cat.register(a.finish());
+        let mut b = cat.builder("b", schema![("aid", Int), ("w", Int)]);
+        for i in 0..60 {
+            b.push_row(&[Value::Int(i % 40), Value::Int(i % 9)]);
+        }
+        cat.register(b.finish());
+        let mut c = cat.builder("c", schema![("bw", Int)]);
+        for i in 0..9 {
+            c.push_row(&[Value::Int(i)]);
+        }
+        cat.register(c.finish());
+        cat
+    }
+
+    fn bind(sql: &str, cat: &Catalog) -> JoinQuery {
+        let udfs = UdfRegistry::new();
+        match parse_statement(sql).unwrap() {
+            skinner_query::ast::Statement::Select(s) => bind_select(&s, cat, &udfs).unwrap(),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn matches_reference_executor() {
+        let cat = setup();
+        for sql in [
+            "SELECT a.id, b.w FROM a, b WHERE a.id = b.aid AND a.g = 2",
+            "SELECT a.g, COUNT(*) cnt FROM a, b, c \
+             WHERE a.id = b.aid AND b.w = c.bw GROUP BY a.g ORDER BY a.g",
+            "SELECT a.id FROM a WHERE a.id BETWEEN 5 AND 9",
+        ] {
+            let q = bind(sql, &cat);
+            let stats = StatsCache::new();
+            let out = run_traditional(&q, &stats, &TraditionalConfig::default());
+            assert!(!out.timed_out);
+            let expected = run_reference(&q);
+            assert_eq!(
+                out.result.canonical_rows(),
+                expected.canonical_rows(),
+                "{sql}"
+            );
+        }
+    }
+
+    #[test]
+    fn forced_order_is_respected_and_equivalent() {
+        let cat = setup();
+        let q = bind(
+            "SELECT a.id FROM a, b, c WHERE a.id = b.aid AND b.w = c.bw",
+            &cat,
+        );
+        let stats = StatsCache::new();
+        let default = run_traditional(&q, &stats, &TraditionalConfig::default());
+        let forced = run_traditional(
+            &q,
+            &stats,
+            &TraditionalConfig {
+                forced_order: Some(vec![2, 1, 0]),
+                ..Default::default()
+            },
+        );
+        assert_eq!(forced.order, vec![2, 1, 0]);
+        assert_eq!(
+            default.result.canonical_rows(),
+            forced.result.canonical_rows()
+        );
+    }
+
+    #[test]
+    fn work_limit_times_out() {
+        let cat = setup();
+        let q = bind("SELECT a.id FROM a, b WHERE a.id = b.aid", &cat);
+        let stats = StatsCache::new();
+        let out = run_traditional(
+            &q,
+            &stats,
+            &TraditionalConfig {
+                work_limit: 5,
+                ..Default::default()
+            },
+        );
+        assert!(out.timed_out);
+        assert_eq!(out.result.num_rows(), 0);
+    }
+
+    #[test]
+    fn always_false_short_circuit() {
+        let cat = setup();
+        let q = bind("SELECT a.id FROM a WHERE 1 = 2", &cat);
+        let stats = StatsCache::new();
+        let out = run_traditional(&q, &stats, &TraditionalConfig::default());
+        assert!(!out.timed_out);
+        assert_eq!(out.result.num_rows(), 0);
+    }
+
+    #[test]
+    fn single_table_query() {
+        let cat = setup();
+        let q = bind("SELECT a.id FROM a WHERE a.g = 0 ORDER BY a.id", &cat);
+        let stats = StatsCache::new();
+        let out = run_traditional(&q, &stats, &TraditionalConfig::default());
+        assert_eq!(out.result.num_rows(), 8);
+        assert_eq!(out.order, vec![0]);
+    }
+}

@@ -1,0 +1,60 @@
+//! The `C_out` cost metric.
+
+use skinner_query::TableSet;
+
+/// `C_out` of a left-deep join order: the sum of the cardinalities of every
+/// intermediate (and the final) result, i.e. `Σ_{k=2..m} |R_{j1} ⋈ … ⋈ R_{jk}|`.
+///
+/// `card` maps a table set to its (estimated or true) join cardinality.
+/// The paper's regret analysis assumes execution time behaves like `C_out`
+/// (Section 5.2), and its Tables 3/4 compute "optimal" orders under this
+/// metric.
+pub fn cout(order: &[usize], mut card: impl FnMut(TableSet) -> f64) -> f64 {
+    let mut set = TableSet::EMPTY;
+    let mut total = 0.0;
+    for (k, &t) in order.iter().enumerate() {
+        set.insert(t);
+        if k >= 1 {
+            total += card(set);
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_prefix_cardinalities() {
+        // card({0,1}) = 10, card({0,1,2}) = 4.
+        let c = cout(&[0, 1, 2], |s| match s.len() {
+            2 => 10.0,
+            3 => 4.0,
+            _ => panic!("unexpected {s:?}"),
+        });
+        assert_eq!(c, 14.0);
+    }
+
+    #[test]
+    fn single_table_costs_nothing() {
+        assert_eq!(cout(&[0], |_| panic!("no joins")), 0.0);
+    }
+
+    #[test]
+    fn order_changes_cost() {
+        // Asymmetric intermediate sizes: {0,1} huge, {1,2} tiny.
+        let card = |s: TableSet| {
+            if s.len() == 3 {
+                5.0
+            } else if s.contains(0) && s.contains(1) {
+                1000.0
+            } else {
+                2.0
+            }
+        };
+        let bad = cout(&[0, 1, 2], card);
+        let good = cout(&[1, 2, 0], card);
+        assert!(good < bad);
+    }
+}

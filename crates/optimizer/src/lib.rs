@@ -1,0 +1,21 @@
+//! Traditional cost-based join-order optimization.
+//!
+//! This crate is the *baseline* — the thing SkinnerDB does not need. It
+//! implements:
+//!
+//! * [`cost`] — the `C_out` cost metric (sum of intermediate result
+//!   cardinalities, Krishnamurthy et al.), which the paper uses both to
+//!   define "optimal join orders" in its replay experiments (Tables 3/4)
+//!   and as the cost model under which its regret analysis maps to
+//!   traditional cost,
+//! * [`dp`] — Selinger-style dynamic programming over left-deep join orders
+//!   (Cartesian products excluded per the join graph), parameterized by an
+//!   arbitrary cardinality function so the same search runs on *estimated*
+//!   cardinalities (the traditional optimizer) or on *true* cardinalities
+//!   (the "Optimal" rows of Tables 3 and 4).
+
+pub mod cost;
+pub mod dp;
+
+pub use cost::cout;
+pub use dp::{best_left_deep, best_left_deep_estimated};

@@ -1,0 +1,268 @@
+//! Abstract syntax tree produced by the parser; names are unresolved.
+
+use std::fmt;
+
+/// Top-level statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    Select(SelectStmt),
+    /// `CREATE TEMP TABLE name AS SELECT …` — used by the decomposed
+    /// (un-nested) TPC-H queries, following the paper's note that nested
+    /// queries are treated via decomposition.
+    CreateTempTable { name: String, query: SelectStmt },
+    /// `DROP TABLE name`.
+    DropTable { name: String },
+}
+
+/// A single SELECT block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    pub distinct: bool,
+    pub projections: Vec<Projection>,
+    pub from: Vec<TableRef>,
+    pub predicate: Option<AstExpr>,
+    pub group_by: Vec<AstExpr>,
+    pub order_by: Vec<(AstExpr, bool /* ascending */)>,
+    pub limit: Option<usize>,
+}
+
+/// One item of the projection list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Projection {
+    pub expr: AstExpr,
+    pub alias: Option<String>,
+}
+
+/// A table in the FROM clause: `name [AS] alias`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    pub table: String,
+    pub alias: Option<String>,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    And,
+    Or,
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+}
+
+/// Aggregate function names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstAgg {
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+}
+
+/// Unresolved expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstExpr {
+    /// `col` or `alias.col`.
+    Column {
+        qualifier: Option<String>,
+        name: String,
+    },
+    IntLit(i64),
+    FloatLit(f64),
+    StrLit(String),
+    Binary {
+        op: BinOp,
+        left: Box<AstExpr>,
+        right: Box<AstExpr>,
+    },
+    Not(Box<AstExpr>),
+    Neg(Box<AstExpr>),
+    /// `x BETWEEN lo AND hi` (inclusive).
+    Between {
+        expr: Box<AstExpr>,
+        lo: Box<AstExpr>,
+        hi: Box<AstExpr>,
+        negated: bool,
+    },
+    /// `x LIKE 'pat%'`.
+    Like {
+        expr: Box<AstExpr>,
+        pattern: String,
+        negated: bool,
+    },
+    /// `x IN (v1, v2, …)`.
+    InList {
+        expr: Box<AstExpr>,
+        list: Vec<AstExpr>,
+        negated: bool,
+    },
+    /// `x IN (SELECT col FROM table)` — the sub-select must be a bare
+    /// single-column scan; the binder materializes it into a key set.
+    InSelect {
+        expr: Box<AstExpr>,
+        table: String,
+        column: String,
+        negated: bool,
+    },
+    /// Function call: UDF or aggregate (disambiguated by the binder from
+    /// position — aggregates are only legal in projections).
+    Call { name: String, args: Vec<AstExpr> },
+    /// `COUNT(*)`.
+    CountStar,
+}
+
+impl fmt::Display for AstExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AstExpr::Column { qualifier, name } => match qualifier {
+                Some(q) => write!(f, "{q}.{name}"),
+                None => write!(f, "{name}"),
+            },
+            AstExpr::IntLit(i) => write!(f, "{i}"),
+            AstExpr::FloatLit(x) => write!(f, "{x}"),
+            AstExpr::StrLit(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            AstExpr::Binary { op, left, right } => {
+                let sym = match op {
+                    BinOp::And => "AND",
+                    BinOp::Or => "OR",
+                    BinOp::Eq => "=",
+                    BinOp::Neq => "<>",
+                    BinOp::Lt => "<",
+                    BinOp::Le => "<=",
+                    BinOp::Gt => ">",
+                    BinOp::Ge => ">=",
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::Mul => "*",
+                    BinOp::Div => "/",
+                    BinOp::Mod => "%",
+                };
+                write!(f, "({left} {sym} {right})")
+            }
+            AstExpr::Not(e) => write!(f, "(NOT {e})"),
+            AstExpr::Neg(e) => write!(f, "(-{e})"),
+            AstExpr::Between {
+                expr,
+                lo,
+                hi,
+                negated,
+            } => {
+                let not = if *negated { " NOT" } else { "" };
+                write!(f, "({expr}{not} BETWEEN {lo} AND {hi})")
+            }
+            AstExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                let not = if *negated { " NOT" } else { "" };
+                write!(f, "({expr}{not} LIKE '{pattern}')")
+            }
+            AstExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let not = if *negated { " NOT" } else { "" };
+                write!(f, "({expr}{not} IN (")?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "))")
+            }
+            AstExpr::InSelect {
+                expr,
+                table,
+                column,
+                negated,
+            } => {
+                let not = if *negated { " NOT" } else { "" };
+                write!(f, "({expr}{not} IN (SELECT {column} FROM {table}))")
+            }
+            AstExpr::Call { name, args } => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            AstExpr::CountStar => write!(f, "COUNT(*)"),
+        }
+    }
+}
+
+impl AstExpr {
+    /// Split a conjunctive predicate into its conjuncts.
+    pub fn conjuncts(self) -> Vec<AstExpr> {
+        match self {
+            AstExpr::Binary {
+                op: BinOp::And,
+                left,
+                right,
+            } => {
+                let mut v = left.conjuncts();
+                v.extend(right.conjuncts());
+                v
+            }
+            other => vec![other],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(name: &str) -> AstExpr {
+        AstExpr::Column {
+            qualifier: None,
+            name: name.into(),
+        }
+    }
+
+    #[test]
+    fn conjunct_splitting_flattens_ands() {
+        let e = AstExpr::Binary {
+            op: BinOp::And,
+            left: Box::new(AstExpr::Binary {
+                op: BinOp::And,
+                left: Box::new(col("a")),
+                right: Box::new(col("b")),
+            }),
+            right: Box::new(col("c")),
+        };
+        let cs = e.conjuncts();
+        assert_eq!(cs.len(), 3);
+    }
+
+    #[test]
+    fn ors_are_not_split() {
+        let e = AstExpr::Binary {
+            op: BinOp::Or,
+            left: Box::new(col("a")),
+            right: Box::new(col("b")),
+        };
+        assert_eq!(e.clone().conjuncts(), vec![e]);
+    }
+
+    #[test]
+    fn display_roundtrips_quotes() {
+        let e = AstExpr::StrLit("it's".into());
+        assert_eq!(e.to_string(), "'it''s'");
+    }
+}

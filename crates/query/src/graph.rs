@@ -1,0 +1,204 @@
+//! Join graphs.
+//!
+//! The UCT search space (paper Section 4.2) excludes join orders that
+//! introduce *avoidable* Cartesian products: the next table must be connected
+//! by a join predicate to an already-selected table — unless no remaining
+//! table is connected, in which case all remaining tables become eligible.
+//! [`JoinGraph::eligible_next`] implements exactly that rule.
+
+use crate::table_set::TableSet;
+
+/// Undirected connectivity between the tables of one query, derived from
+/// equality and generic join predicates.
+#[derive(Debug, Clone)]
+pub struct JoinGraph {
+    n: usize,
+    /// `adj[i]` = tables sharing a join predicate with table `i`.
+    adj: Vec<TableSet>,
+}
+
+impl JoinGraph {
+    /// Build from predicate table-sets: every pair of tables inside one
+    /// predicate's table set is connected.
+    pub fn new(num_tables: usize, predicate_sets: impl IntoIterator<Item = TableSet>) -> Self {
+        let mut adj = vec![TableSet::EMPTY; num_tables];
+        for set in predicate_sets {
+            let members: Vec<usize> = set.iter().collect();
+            for (k, &a) in members.iter().enumerate() {
+                for &b in &members[k + 1..] {
+                    adj[a].insert(b);
+                    adj[b].insert(a);
+                }
+            }
+        }
+        JoinGraph {
+            n: num_tables,
+            adj,
+        }
+    }
+
+    pub fn num_tables(&self) -> usize {
+        self.n
+    }
+
+    /// Tables adjacent to `i`.
+    pub fn neighbors(&self, i: usize) -> TableSet {
+        self.adj[i]
+    }
+
+    /// Tables eligible as the next join-order position, given the already
+    /// `selected` set. Empty `selected` means any table may start the order.
+    pub fn eligible_next(&self, selected: TableSet) -> TableSet {
+        let all = TableSet::first_n(self.n);
+        let remaining = all.difference(&selected);
+        if selected.is_empty() {
+            return remaining;
+        }
+        let mut connected = TableSet::EMPTY;
+        for t in selected.iter() {
+            connected = connected.union(&self.adj[t]);
+        }
+        let connected_remaining = connected.intersection(&remaining);
+        if connected_remaining.is_empty() {
+            // Cartesian product unavoidable: everything remaining is allowed.
+            remaining
+        } else {
+            connected_remaining
+        }
+    }
+
+    /// True if `order` is a valid complete join order under the eligibility
+    /// rule (used to validate externally supplied join-order hints).
+    pub fn validates(&self, order: &[usize]) -> bool {
+        if order.len() != self.n {
+            return false;
+        }
+        let mut selected = TableSet::EMPTY;
+        for &t in order {
+            if t >= self.n || selected.contains(t) {
+                return false;
+            }
+            if !self.eligible_next(selected).contains(t) {
+                return false;
+            }
+            selected.insert(t);
+        }
+        true
+    }
+
+    /// All valid join orders (for small queries; used by the exhaustive
+    /// optimizer and by tests).
+    pub fn all_orders(&self) -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        let mut prefix = Vec::with_capacity(self.n);
+        self.enumerate(TableSet::EMPTY, &mut prefix, &mut out);
+        out
+    }
+
+    fn enumerate(&self, selected: TableSet, prefix: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if prefix.len() == self.n {
+            out.push(prefix.clone());
+            return;
+        }
+        for t in self.eligible_next(selected).iter() {
+            prefix.push(t);
+            self.enumerate(selected.with(t), prefix, out);
+            prefix.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Chain 0–1–2.
+    fn chain3() -> JoinGraph {
+        JoinGraph::new(
+            3,
+            [TableSet::from_iter([0, 1]), TableSet::from_iter([1, 2])],
+        )
+    }
+
+    #[test]
+    fn eligibility_follows_connectivity() {
+        let g = chain3();
+        assert_eq!(
+            g.eligible_next(TableSet::EMPTY),
+            TableSet::from_iter([0, 1, 2])
+        );
+        assert_eq!(
+            g.eligible_next(TableSet::singleton(0)),
+            TableSet::singleton(1)
+        );
+        assert_eq!(
+            g.eligible_next(TableSet::singleton(1)),
+            TableSet::from_iter([0, 2])
+        );
+    }
+
+    #[test]
+    fn cartesian_fallback_when_disconnected() {
+        // Two disconnected components {0,1} and {2}.
+        let g = JoinGraph::new(3, [TableSet::from_iter([0, 1])]);
+        // After joining 0 and 1, only 2 remains — allowed despite no edge.
+        assert_eq!(
+            g.eligible_next(TableSet::from_iter([0, 1])),
+            TableSet::singleton(2)
+        );
+        // After just 0: connected remaining is {1}.
+        assert_eq!(
+            g.eligible_next(TableSet::singleton(0)),
+            TableSet::singleton(1)
+        );
+    }
+
+    #[test]
+    fn chain_orders_enumeration() {
+        let g = chain3();
+        let orders = g.all_orders();
+        // Chain of 3: 0-1-2, 1-0-2, 1-2-0, 2-1-0 are the non-Cartesian orders.
+        assert_eq!(orders.len(), 4);
+        for o in &orders {
+            assert!(g.validates(o));
+        }
+        assert!(!g.validates(&[0, 2, 1])); // Cartesian 0×2 while 1 available
+    }
+
+    #[test]
+    fn star_orders_must_start_adjacent_to_hub() {
+        // Star: hub 0 connected to 1, 2, 3.
+        let g = JoinGraph::new(
+            4,
+            [
+                TableSet::from_iter([0, 1]),
+                TableSet::from_iter([0, 2]),
+                TableSet::from_iter([0, 3]),
+            ],
+        );
+        let orders = g.all_orders();
+        // Starting from a leaf, second table must be the hub.
+        for o in &orders {
+            if o[0] != 0 {
+                assert_eq!(o[1], 0, "leaf start must join hub next: {o:?}");
+            }
+        }
+        // Hub first: 3! orders; each leaf first: 2! orders each => 6 + 3*2.
+        assert_eq!(orders.len(), 12);
+    }
+
+    #[test]
+    fn generic_predicate_connects_multiple_tables() {
+        let g = JoinGraph::new(3, [TableSet::from_iter([0, 1, 2])]);
+        assert_eq!(g.neighbors(0), TableSet::from_iter([1, 2]));
+        assert_eq!(g.all_orders().len(), 6);
+    }
+
+    #[test]
+    fn validates_rejects_duplicates_and_short_orders() {
+        let g = chain3();
+        assert!(!g.validates(&[0, 1]));
+        assert!(!g.validates(&[0, 0, 1]));
+        assert!(!g.validates(&[0, 1, 5]));
+    }
+}

@@ -1,0 +1,321 @@
+//! SQL tokenizer.
+//!
+//! Supports exactly the lexical surface the SkinnerDB workloads need:
+//! identifiers (optionally dotted), single-quoted string literals with `''`
+//! escaping, integer and decimal numbers, comparison and arithmetic
+//! operators, parentheses, commas and semicolons. Keywords are recognized
+//! case-insensitively by the parser, not the lexer.
+
+use std::fmt;
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Unquoted identifier or keyword, original case preserved.
+    Ident(String),
+    /// String literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Decimal literal.
+    Float(f64),
+    /// Operators and punctuation.
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Semicolon,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Float(x) => write!(f, "{x}"),
+            Token::Eq => write!(f, "="),
+            Token::Neq => write!(f, "<>"),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::Percent => write!(f, "%"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::Semicolon => write!(f, ";"),
+        }
+    }
+}
+
+/// Lexer error with byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize `input`; comments (`-- …\n`) and whitespace are skipped.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                let mut s = String::new();
+                let start = i;
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(LexError {
+                                offset: start,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let is_float = i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).is_some_and(u8::is_ascii_digit);
+                if is_float {
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let text = &input[start..i];
+                    let v = text.parse::<f64>().map_err(|e| LexError {
+                        offset: start,
+                        message: format!("bad float {text:?}: {e}"),
+                    })?;
+                    out.push(Token::Float(v));
+                } else {
+                    let text = &input[start..i];
+                    let v = text.parse::<i64>().map_err(|e| LexError {
+                        offset: start,
+                        message: format!("bad integer {text:?}: {e}"),
+                    })?;
+                    out.push(Token::Int(v));
+                }
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Token::Ident(input[start..i].to_string()));
+            }
+            b'=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            b'<' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    out.push(Token::Le);
+                    i += 2;
+                }
+                Some(b'>') => {
+                    out.push(Token::Neq);
+                    i += 2;
+                }
+                _ => {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            },
+            b'>' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    out.push(Token::Ge);
+                    i += 2;
+                }
+                _ => {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            },
+            b'!' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Token::Neq);
+                i += 2;
+            }
+            b'+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            b'-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            b'*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            b'/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            b'%' => {
+                out.push(Token::Percent);
+                i += 1;
+            }
+            b'(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            b')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            b',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            b'.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            b';' => {
+                out.push(Token::Semicolon);
+                i += 1;
+            }
+            other => {
+                return Err(LexError {
+                    offset: i,
+                    message: format!("unexpected character {:?}", other as char),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_select() {
+        let toks = tokenize("SELECT a.x FROM t AS a WHERE a.x >= 10").unwrap();
+        assert_eq!(toks[0], Token::Ident("SELECT".into()));
+        assert!(toks.contains(&Token::Ge));
+        assert!(toks.contains(&Token::Int(10)));
+        assert!(toks.contains(&Token::Dot));
+    }
+
+    #[test]
+    fn string_escaping() {
+        let toks = tokenize("'it''s'").unwrap();
+        assert_eq!(toks, vec![Token::Str("it's".into())]);
+    }
+
+    #[test]
+    fn numbers_int_and_float() {
+        let toks = tokenize("1 2.5 3.00").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::Int(1), Token::Float(2.5), Token::Float(3.0)]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = tokenize("SELECT -- comment\n 1").unwrap();
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1], Token::Int(1));
+    }
+
+    #[test]
+    fn operators() {
+        let toks = tokenize("<> != <= >= < > = + - * / %").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Neq,
+                Token::Neq,
+                Token::Le,
+                Token::Ge,
+                Token::Lt,
+                Token::Gt,
+                Token::Eq,
+                Token::Plus,
+                Token::Minus,
+                Token::Star,
+                Token::Slash,
+                Token::Percent,
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn unexpected_char_errors() {
+        let e = tokenize("a ? b").unwrap_err();
+        assert!(e.message.contains("unexpected"));
+    }
+
+    #[test]
+    fn minus_vs_comment() {
+        // A single minus is an operator; two minuses start a comment.
+        let toks = tokenize("1 - 2").unwrap();
+        assert_eq!(toks, vec![Token::Int(1), Token::Minus, Token::Int(2)]);
+        let toks = tokenize("1 --2").unwrap();
+        assert_eq!(toks, vec![Token::Int(1)]);
+    }
+}

@@ -1,0 +1,663 @@
+//! Recursive-descent parser for the SkinnerDB SQL subset.
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! script    := statement (';' statement)* ';'?
+//! statement := select
+//!            | CREATE [TEMP] TABLE ident AS select
+//!            | DROP TABLE ident
+//! select    := SELECT [DISTINCT] (∗ | proj (',' proj)*) FROM tableref (',' tableref)*
+//!              [WHERE expr] [GROUP BY expr (',' expr)*]
+//!              [ORDER BY expr [ASC|DESC] (',' …)*] [LIMIT int]
+//! proj      := expr [[AS] ident]
+//! tableref  := ident [[AS] ident]
+//! expr      := or-precedence expression with NOT, comparisons, BETWEEN,
+//!              [NOT] LIKE, [NOT] IN (list | SELECT col FROM table),
+//!              arithmetic, function calls, COUNT(*)
+//! ```
+//!
+//! `SELECT *` parses to an empty projection list; the binder expands it.
+
+use std::fmt;
+
+use crate::ast::{AstAgg, AstExpr, BinOp, Projection, SelectStmt, Statement, TableRef};
+use crate::lexer::{tokenize, LexError, Token};
+
+/// Parse error (includes lexer errors).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.to_string(),
+        }
+    }
+}
+
+/// Parse a single statement.
+pub fn parse_statement(sql: &str) -> Result<Statement, ParseError> {
+    let mut stmts = parse_statements(sql)?;
+    if stmts.len() != 1 {
+        return Err(ParseError {
+            message: format!("expected exactly one statement, found {}", stmts.len()),
+        });
+    }
+    Ok(stmts.pop().unwrap())
+}
+
+/// Parse a semicolon-separated script.
+pub fn parse_statements(sql: &str) -> Result<Vec<Statement>, ParseError> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut out = Vec::new();
+    loop {
+        while p.eat_token(&Token::Semicolon) {}
+        if p.at_end() {
+            break;
+        }
+        out.push(p.statement()?);
+        if !p.at_end() && !p.eat_token(&Token::Semicolon) {
+            return Err(p.err("expected ';' between statements"));
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: &str) -> ParseError {
+        let ctx = match self.peek() {
+            Some(t) => format!("{msg} (at {t:?})"),
+            None => format!("{msg} (at end of input)"),
+        };
+        ParseError { message: ctx }
+    }
+
+    fn eat_token(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_token(&mut self, t: &Token) -> Result<(), ParseError> {
+        if self.eat_token(t) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {t:?}")))
+        }
+    }
+
+    /// Consume `kw` if the next token is that keyword (case-insensitive).
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let Some(Token::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected keyword {kw}")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err("expected identifier"))
+            }
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement, ParseError> {
+        if self.peek_kw("SELECT") {
+            return Ok(Statement::Select(self.select()?));
+        }
+        if self.eat_kw("CREATE") {
+            self.eat_kw("TEMP");
+            self.expect_kw("TABLE")?;
+            let name = self.ident()?;
+            self.expect_kw("AS")?;
+            let query = self.select()?;
+            return Ok(Statement::CreateTempTable { name, query });
+        }
+        if self.eat_kw("DROP") {
+            self.expect_kw("TABLE")?;
+            let name = self.ident()?;
+            return Ok(Statement::DropTable { name });
+        }
+        Err(self.err("expected SELECT, CREATE or DROP"))
+    }
+
+    fn select(&mut self) -> Result<SelectStmt, ParseError> {
+        self.expect_kw("SELECT")?;
+        let distinct = self.eat_kw("DISTINCT");
+        let mut projections = Vec::new();
+        if self.eat_token(&Token::Star) {
+            // `SELECT *`: empty projection list, expanded by the binder.
+        } else {
+            loop {
+                let expr = self.expr()?;
+                let alias = if self.eat_kw("AS") {
+                    Some(self.ident()?)
+                } else if let Some(Token::Ident(s)) = self.peek() {
+                    // Bare alias, unless it is a clause keyword.
+                    let is_kw = ["FROM", "WHERE", "GROUP", "ORDER", "LIMIT", "AND", "OR"]
+                        .iter()
+                        .any(|k| s.eq_ignore_ascii_case(k));
+                    if is_kw {
+                        None
+                    } else {
+                        Some(self.ident()?)
+                    }
+                } else {
+                    None
+                };
+                projections.push(Projection { expr, alias });
+                if !self.eat_token(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect_kw("FROM")?;
+        let mut from = Vec::new();
+        loop {
+            let table = self.ident()?;
+            let alias = if self.eat_kw("AS") {
+                Some(self.ident()?)
+            } else if let Some(Token::Ident(s)) = self.peek() {
+                let is_kw = ["WHERE", "GROUP", "ORDER", "LIMIT"]
+                    .iter()
+                    .any(|k| s.eq_ignore_ascii_case(k));
+                if is_kw {
+                    None
+                } else {
+                    Some(self.ident()?)
+                }
+            } else {
+                None
+            };
+            from.push(TableRef { table, alias });
+            if !self.eat_token(&Token::Comma) {
+                break;
+            }
+        }
+        let predicate = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            loop {
+                group_by.push(self.expr()?);
+                if !self.eat_token(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let e = self.expr()?;
+                let asc = if self.eat_kw("DESC") {
+                    false
+                } else {
+                    self.eat_kw("ASC");
+                    true
+                };
+                order_by.push((e, asc));
+                if !self.eat_token(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("LIMIT") {
+            match self.next() {
+                Some(Token::Int(n)) if n >= 0 => Some(n as usize),
+                _ => return Err(self.err("expected non-negative integer after LIMIT")),
+            }
+        } else {
+            None
+        };
+        Ok(SelectStmt {
+            distinct,
+            projections,
+            from,
+            predicate,
+            group_by,
+            order_by,
+            limit,
+        })
+    }
+
+    fn expr(&mut self) -> Result<AstExpr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<AstExpr, ParseError> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("OR") {
+            let right = self.and_expr()?;
+            left = AstExpr::Binary {
+                op: BinOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<AstExpr, ParseError> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("AND") {
+            let right = self.not_expr()?;
+            left = AstExpr::Binary {
+                op: BinOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<AstExpr, ParseError> {
+        if self.eat_kw("NOT") {
+            let e = self.not_expr()?;
+            return Ok(AstExpr::Not(Box::new(e)));
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<AstExpr, ParseError> {
+        let left = self.additive()?;
+        // BETWEEN / LIKE / IN (optionally negated)
+        let negated = if self.peek_kw("NOT")
+            && matches!(self.peek2(), Some(Token::Ident(s))
+                if s.eq_ignore_ascii_case("BETWEEN")
+                    || s.eq_ignore_ascii_case("LIKE")
+                    || s.eq_ignore_ascii_case("IN"))
+        {
+            self.eat_kw("NOT");
+            true
+        } else {
+            false
+        };
+        if self.eat_kw("BETWEEN") {
+            let lo = self.additive()?;
+            self.expect_kw("AND")?;
+            let hi = self.additive()?;
+            return Ok(AstExpr::Between {
+                expr: Box::new(left),
+                lo: Box::new(lo),
+                hi: Box::new(hi),
+                negated,
+            });
+        }
+        if self.eat_kw("LIKE") {
+            let pattern = match self.next() {
+                Some(Token::Str(s)) => s,
+                _ => return Err(self.err("expected string literal after LIKE")),
+            };
+            return Ok(AstExpr::Like {
+                expr: Box::new(left),
+                pattern,
+                negated,
+            });
+        }
+        if self.eat_kw("IN") {
+            self.expect_token(&Token::LParen)?;
+            if self.peek_kw("SELECT") {
+                self.expect_kw("SELECT")?;
+                let column = self.ident()?;
+                self.expect_kw("FROM")?;
+                let table = self.ident()?;
+                self.expect_token(&Token::RParen)?;
+                return Ok(AstExpr::InSelect {
+                    expr: Box::new(left),
+                    table,
+                    column,
+                    negated,
+                });
+            }
+            let mut list = Vec::new();
+            loop {
+                list.push(self.expr()?);
+                if !self.eat_token(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect_token(&Token::RParen)?;
+            return Ok(AstExpr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
+        }
+        if negated {
+            return Err(self.err("expected BETWEEN, LIKE or IN after NOT"));
+        }
+        let op = match self.peek() {
+            Some(Token::Eq) => Some(BinOp::Eq),
+            Some(Token::Neq) => Some(BinOp::Neq),
+            Some(Token::Lt) => Some(BinOp::Lt),
+            Some(Token::Le) => Some(BinOp::Le),
+            Some(Token::Gt) => Some(BinOp::Gt),
+            Some(Token::Ge) => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.additive()?;
+            return Ok(AstExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            });
+        }
+        Ok(left)
+    }
+
+    fn additive(&mut self) -> Result<AstExpr, ParseError> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.multiplicative()?;
+            left = AstExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<AstExpr, ParseError> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                Some(Token::Percent) => BinOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.unary()?;
+            left = AstExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<AstExpr, ParseError> {
+        if self.eat_token(&Token::Minus) {
+            let e = self.unary()?;
+            return Ok(AstExpr::Neg(Box::new(e)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<AstExpr, ParseError> {
+        match self.next() {
+            Some(Token::Int(i)) => Ok(AstExpr::IntLit(i)),
+            Some(Token::Float(x)) => Ok(AstExpr::FloatLit(x)),
+            Some(Token::Str(s)) => Ok(AstExpr::StrLit(s)),
+            Some(Token::LParen) => {
+                let e = self.expr()?;
+                self.expect_token(&Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Ident(name)) => {
+                if self.peek() == Some(&Token::LParen) {
+                    self.pos += 1;
+                    if name.eq_ignore_ascii_case("COUNT") && self.eat_token(&Token::Star) {
+                        self.expect_token(&Token::RParen)?;
+                        return Ok(AstExpr::CountStar);
+                    }
+                    let mut args = Vec::new();
+                    if self.peek() != Some(&Token::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat_token(&Token::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect_token(&Token::RParen)?;
+                    return Ok(AstExpr::Call { name, args });
+                }
+                if self.eat_token(&Token::Dot) {
+                    let col = self.ident()?;
+                    return Ok(AstExpr::Column {
+                        qualifier: Some(name),
+                        name: col,
+                    });
+                }
+                Ok(AstExpr::Column {
+                    qualifier: None,
+                    name,
+                })
+            }
+            other => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err(&format!("unexpected token {other:?} in expression")))
+            }
+        }
+    }
+}
+
+/// Map a recognized aggregate name to its enum (used by the binder).
+pub fn agg_from_name(name: &str) -> Option<AstAgg> {
+    if name.eq_ignore_ascii_case("COUNT") {
+        Some(AstAgg::Count)
+    } else if name.eq_ignore_ascii_case("SUM") {
+        Some(AstAgg::Sum)
+    } else if name.eq_ignore_ascii_case("MIN") {
+        Some(AstAgg::Min)
+    } else if name.eq_ignore_ascii_case("MAX") {
+        Some(AstAgg::Max)
+    } else if name.eq_ignore_ascii_case("AVG") {
+        Some(AstAgg::Avg)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sel(sql: &str) -> SelectStmt {
+        match parse_statement(sql).unwrap() {
+            Statement::Select(s) => s,
+            other => panic!("expected select, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn minimal_select() {
+        let s = sel("SELECT a FROM t");
+        assert_eq!(s.projections.len(), 1);
+        assert_eq!(s.from.len(), 1);
+        assert_eq!(s.from[0].table, "t");
+        assert!(s.predicate.is_none());
+    }
+
+    #[test]
+    fn select_star() {
+        let s = sel("SELECT * FROM t");
+        assert!(s.projections.is_empty());
+    }
+
+    #[test]
+    fn qualified_columns_and_aliases() {
+        let s = sel("SELECT x.a AS alpha, y.b beta FROM t1 AS x, t2 y");
+        assert_eq!(s.projections[0].alias.as_deref(), Some("alpha"));
+        assert_eq!(s.projections[1].alias.as_deref(), Some("beta"));
+        assert_eq!(s.from[0].alias.as_deref(), Some("x"));
+        assert_eq!(s.from[1].alias.as_deref(), Some("y"));
+    }
+
+    #[test]
+    fn where_precedence_and_or() {
+        let s = sel("SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3");
+        // OR is the root; AND binds tighter.
+        match s.predicate.unwrap() {
+            AstExpr::Binary { op: BinOp::Or, .. } => {}
+            other => panic!("expected OR at root, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn between_like_in() {
+        let s = sel(
+            "SELECT a FROM t WHERE a BETWEEN 1 AND 5 AND b LIKE 'x%' AND c IN (1, 2, 3) \
+             AND d NOT IN (SELECT k FROM tmp)",
+        );
+        let cs = s.predicate.unwrap().conjuncts();
+        assert_eq!(cs.len(), 4);
+        assert!(matches!(cs[0], AstExpr::Between { .. }));
+        assert!(matches!(cs[1], AstExpr::Like { .. }));
+        assert!(matches!(cs[2], AstExpr::InList { .. }));
+        assert!(matches!(cs[3], AstExpr::InSelect { negated: true, .. }));
+    }
+
+    #[test]
+    fn group_order_limit() {
+        let s = sel(
+            "SELECT a, COUNT(*) FROM t GROUP BY a ORDER BY a DESC, COUNT(*) ASC LIMIT 10",
+        );
+        assert_eq!(s.group_by.len(), 1);
+        assert_eq!(s.order_by.len(), 2);
+        assert!(!s.order_by[0].1); // DESC
+        assert!(s.order_by[1].1); // ASC
+        assert_eq!(s.limit, Some(10));
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let s = sel("SELECT a + b * c FROM t");
+        match &s.projections[0].expr {
+            AstExpr::Binary {
+                op: BinOp::Add,
+                right,
+                ..
+            } => {
+                assert!(matches!(**right, AstExpr::Binary { op: BinOp::Mul, .. }))
+            }
+            other => panic!("bad tree {other:?}"),
+        }
+    }
+
+    #[test]
+    fn function_calls_and_count_star() {
+        let s = sel("SELECT SUM(a * 2), COUNT(*), my_udf(a, b) FROM t");
+        assert!(matches!(s.projections[0].expr, AstExpr::Call { .. }));
+        assert!(matches!(s.projections[1].expr, AstExpr::CountStar));
+        assert!(
+            matches!(&s.projections[2].expr, AstExpr::Call { name, args } if name == "my_udf" && args.len() == 2)
+        );
+    }
+
+    #[test]
+    fn create_and_drop() {
+        let stmts =
+            parse_statements("CREATE TEMP TABLE x AS SELECT a FROM t; DROP TABLE x;").unwrap();
+        assert_eq!(stmts.len(), 2);
+        assert!(matches!(stmts[0], Statement::CreateTempTable { .. }));
+        assert!(matches!(stmts[1], Statement::DropTable { .. }));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = parse_statement("SELECT * FROM t WHERE +").unwrap_err();
+        assert!(e.message.contains("unexpected"), "{e}");
+        let e = parse_statement("SELECT a").unwrap_err();
+        assert!(e.message.contains("FROM"), "{e}");
+    }
+
+    #[test]
+    fn not_between() {
+        let s = sel("SELECT a FROM t WHERE a NOT BETWEEN 1 AND 2");
+        assert!(matches!(
+            s.predicate.unwrap(),
+            AstExpr::Between { negated: true, .. }
+        ));
+    }
+
+    #[test]
+    fn unary_minus() {
+        let s = sel("SELECT -a + 3 FROM t");
+        assert!(matches!(
+            s.projections[0].expr,
+            AstExpr::Binary { op: BinOp::Add, .. }
+        ));
+    }
+
+    #[test]
+    fn agg_name_mapping() {
+        assert_eq!(agg_from_name("sum"), Some(AstAgg::Sum));
+        assert_eq!(agg_from_name("AVG"), Some(AstAgg::Avg));
+        assert_eq!(agg_from_name("nope"), None);
+    }
+}

@@ -1,0 +1,183 @@
+//! User-defined function registry.
+//!
+//! UDF predicates are first-class in the SkinnerDB evaluation: the *UDF
+//! Torture* benchmark and the TPC-H UDF variant replace ordinary predicates
+//! with opaque functions that the traditional optimizer cannot estimate
+//! (it falls back to a default selectivity), while SkinnerDB's learning
+//! strategies handle them like any other predicate.
+//!
+//! UDFs are plain Rust closures over [`Value`] arguments. The registry
+//! counts invocations, which feeds the "number of predicate evaluations"
+//! metric of the paper's Figure 11.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use skinner_storage::Value;
+
+/// Stable identifier of a registered UDF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct UdfId(pub u32);
+
+/// The function type: pure, thread-safe, `Value`s in, `Value` out.
+pub type UdfFn = Arc<dyn Fn(&[Value]) -> Value + Send + Sync>;
+
+struct UdfEntry {
+    name: String,
+    func: UdfFn,
+    ret: skinner_storage::DataType,
+    calls: Arc<AtomicU64>,
+}
+
+/// Registry of UDFs, shared by the binder and all engines.
+#[derive(Default)]
+pub struct UdfRegistry {
+    by_name: HashMap<String, UdfId>,
+    entries: Vec<UdfEntry>,
+}
+
+impl UdfRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a boolean/integer-valued `func` under `name`
+    /// (case-insensitive). Re-registering a name replaces the function but
+    /// keeps the id, so bound queries keep working.
+    pub fn register(
+        &mut self,
+        name: &str,
+        func: impl Fn(&[Value]) -> Value + Send + Sync + 'static,
+    ) -> UdfId {
+        self.register_typed(name, skinner_storage::DataType::Int, func)
+    }
+
+    /// Register a UDF with an explicit return type (binder uses it for type
+    /// checks around the call site).
+    pub fn register_typed(
+        &mut self,
+        name: &str,
+        ret: skinner_storage::DataType,
+        func: impl Fn(&[Value]) -> Value + Send + Sync + 'static,
+    ) -> UdfId {
+        let key = name.to_ascii_lowercase();
+        match self.by_name.get(&key) {
+            Some(&id) => {
+                let e = &mut self.entries[id.0 as usize];
+                e.func = Arc::new(func);
+                e.ret = ret;
+                id
+            }
+            None => {
+                let id = UdfId(self.entries.len() as u32);
+                self.entries.push(UdfEntry {
+                    name: key.clone(),
+                    func: Arc::new(func),
+                    ret,
+                    calls: Arc::new(AtomicU64::new(0)),
+                });
+                self.by_name.insert(key, id);
+                id
+            }
+        }
+    }
+
+    /// Declared return type of `id`.
+    pub fn return_type(&self, id: UdfId) -> skinner_storage::DataType {
+        self.entries[id.0 as usize].ret
+    }
+
+    /// Shared invocation counter for `id`; bound expressions hold a clone so
+    /// evaluation can count calls without a registry reference.
+    pub fn counter(&self, id: UdfId) -> Arc<AtomicU64> {
+        self.entries[id.0 as usize].calls.clone()
+    }
+
+    /// Look up a UDF by name.
+    pub fn lookup(&self, name: &str) -> Option<UdfId> {
+        self.by_name.get(&name.to_ascii_lowercase()).copied()
+    }
+
+    /// The function behind `id` (cheap Arc clone).
+    pub fn func(&self, id: UdfId) -> UdfFn {
+        self.entries[id.0 as usize].func.clone()
+    }
+
+    pub fn name(&self, id: UdfId) -> &str {
+        &self.entries[id.0 as usize].name
+    }
+
+    /// Record one invocation (called from expression evaluation).
+    pub fn record_call(&self, id: UdfId) {
+        self.entries[id.0 as usize]
+            .calls
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total invocations of `id` so far.
+    pub fn call_count(&self, id: UdfId) -> u64 {
+        self.entries[id.0 as usize].calls.load(Ordering::Relaxed)
+    }
+
+    /// Total invocations across all UDFs.
+    pub fn total_calls(&self) -> u64 {
+        self.entries
+            .iter()
+            .map(|e| e.calls.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Reset all invocation counters (between benchmark runs).
+    pub fn reset_counters(&self) {
+        for e in &self.entries {
+            e.calls.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl std::fmt::Debug for UdfRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UdfRegistry")
+            .field("udfs", &self.entries.iter().map(|e| &e.name).collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_call() {
+        let mut r = UdfRegistry::new();
+        let id = r.register("double_it", |args| {
+            Value::Int(args[0].as_i64().unwrap() * 2)
+        });
+        let f = r.func(id);
+        assert_eq!(f(&[Value::Int(21)]).as_i64(), Some(42));
+        assert_eq!(r.lookup("DOUBLE_IT"), Some(id));
+        assert_eq!(r.name(id), "double_it");
+    }
+
+    #[test]
+    fn reregistering_keeps_id() {
+        let mut r = UdfRegistry::new();
+        let id1 = r.register("f", |_| Value::Int(1));
+        let id2 = r.register("f", |_| Value::Int(2));
+        assert_eq!(id1, id2);
+        assert_eq!(r.func(id1)(&[]).as_i64(), Some(2));
+    }
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let mut r = UdfRegistry::new();
+        let id = r.register("g", |_| Value::Int(0));
+        r.record_call(id);
+        r.record_call(id);
+        assert_eq!(r.call_count(id), 2);
+        assert_eq!(r.total_calls(), 2);
+        r.reset_counters();
+        assert_eq!(r.total_calls(), 0);
+    }
+}

@@ -1,0 +1,346 @@
+//! System-R-style cardinality estimation under independence assumptions.
+//!
+//! These estimates drive the traditional-optimizer baseline and Skinner-H's
+//! optimizer half. They are *deliberately* classic: correlated predicates
+//! multiply as if independent, UDFs get a fixed default selectivity (like
+//! Postgres's 1/3 for opaque boolean functions), `LIKE` gets a magic
+//! constant. The paper's torture benchmarks exist precisely to break these
+//! assumptions.
+//!
+//! The [`Estimator`] additionally supports *calibration*: the sampling-based
+//! re-optimizer baseline (Wu et al., compared against in the appendix) feeds
+//! observed cardinalities back, overriding estimates for the sub-plans it has
+//! already measured.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use skinner_query::expr::{CmpOp, Expr};
+use skinner_query::{EquiPred, JoinQuery, TableSet};
+use skinner_storage::DataType;
+
+use crate::table_stats::{StatsCache, TableStats};
+
+/// Default selectivity for UDF predicates (opaque to the optimizer).
+/// Matches Postgres's default for boolean functions.
+pub const DEFAULT_UDF_SELECTIVITY: f64 = 1.0 / 3.0;
+
+/// Default selectivity for non-equality join predicates.
+pub const DEFAULT_GENERIC_JOIN_SELECTIVITY: f64 = 1.0 / 3.0;
+
+/// Default selectivity for `LIKE` patterns.
+pub const DEFAULT_LIKE_SELECTIVITY: f64 = 0.05;
+
+/// Default selectivity for unrecognized predicate shapes.
+pub const DEFAULT_PRED_SELECTIVITY: f64 = 1.0 / 3.0;
+
+/// Cardinality estimator for one bound query.
+pub struct Estimator<'q> {
+    query: &'q JoinQuery,
+    stats: Vec<Arc<TableStats>>,
+    /// Observed per-table filtered cardinalities (overrides estimates).
+    calibrated_filtered: HashMap<usize, f64>,
+    /// Observed cardinalities of joined table sets (overrides estimates).
+    calibrated_sets: HashMap<u64, f64>,
+}
+
+impl<'q> Estimator<'q> {
+    /// Build an estimator, computing (or fetching cached) base-table stats.
+    pub fn new(query: &'q JoinQuery, cache: &StatsCache) -> Self {
+        let stats = query.tables.iter().map(|t| cache.stats_for(t)).collect();
+        Estimator {
+            query,
+            stats,
+            calibrated_filtered: HashMap::new(),
+            calibrated_sets: HashMap::new(),
+        }
+    }
+
+    /// Record the *observed* filtered cardinality of table `t` (re-optimizer
+    /// feedback after pre-processing).
+    pub fn calibrate_filtered(&mut self, t: usize, rows: f64) {
+        self.calibrated_filtered.insert(t, rows);
+    }
+
+    /// Record the observed cardinality of a joined set (re-optimizer
+    /// feedback after materializing an intermediate result).
+    pub fn calibrate_set(&mut self, set: TableSet, rows: f64) {
+        self.calibrated_sets.insert(set.mask(), rows);
+    }
+
+    /// Unfiltered base cardinality of table `t`.
+    pub fn base_cardinality(&self, t: usize) -> f64 {
+        self.stats[t].rows as f64
+    }
+
+    /// Estimated selectivity of all unary predicates on table `t`.
+    pub fn unary_selectivity(&self, t: usize) -> f64 {
+        self.query.unary[t]
+            .iter()
+            .map(|e| self.expr_selectivity(t, e))
+            .product()
+    }
+
+    /// Estimated cardinality of table `t` after unary filtering.
+    pub fn filtered_cardinality(&self, t: usize) -> f64 {
+        if let Some(&c) = self.calibrated_filtered.get(&t) {
+            return c;
+        }
+        self.base_cardinality(t) * self.unary_selectivity(t)
+    }
+
+    /// Estimated selectivity of an equality join predicate: `1/max(d₁,d₂)`.
+    pub fn equi_selectivity(&self, p: &EquiPred) -> f64 {
+        let dl = self.stats[p.left.table].column(p.left.col).distinct as f64;
+        let dr = self.stats[p.right.table].column(p.right.col).distinct as f64;
+        1.0 / dl.max(dr).max(1.0)
+    }
+
+    /// Estimated cardinality of joining the tables in `set`, applying every
+    /// predicate fully contained in `set`. Calibrated values win.
+    pub fn join_cardinality(&self, set: TableSet) -> f64 {
+        if let Some(&c) = self.calibrated_sets.get(&set.mask()) {
+            return c;
+        }
+        let mut card: f64 = set.iter().map(|t| self.filtered_cardinality(t)).product();
+        for p in &self.query.equi_preds {
+            if p.table_set().is_subset_of(&set) {
+                card *= self.equi_selectivity(p);
+            }
+        }
+        for p in &self.query.generic_preds {
+            if p.tables.is_subset_of(&set) {
+                card *= generic_pred_selectivity(&p.expr);
+            }
+        }
+        card.max(0.0)
+    }
+
+    /// Estimated selectivity of a (unary) predicate on table `t`.
+    pub fn expr_selectivity(&self, t: usize, e: &Expr) -> f64 {
+        let stats = &self.stats[t];
+        sel(stats, e).clamp(0.0, 1.0)
+    }
+}
+
+fn sel(stats: &TableStats, e: &Expr) -> f64 {
+    match e {
+        Expr::And(es) => es.iter().map(|x| sel(stats, x)).product(),
+        Expr::Or(es) => {
+            1.0 - es.iter().map(|x| 1.0 - sel(stats, x)).product::<f64>()
+        }
+        Expr::Not(inner) => 1.0 - sel(stats, inner),
+        Expr::Cmp { op, left, right } => cmp_sel(stats, *op, left, right),
+        Expr::InSet { set, arg, negated } => {
+            let s = match arg.as_ref() {
+                Expr::Col(c, _) => {
+                    (set.len() as f64 / stats.column(c.col).distinct as f64).min(1.0)
+                }
+                _ => DEFAULT_PRED_SELECTIVITY,
+            };
+            if *negated {
+                1.0 - s
+            } else {
+                s
+            }
+        }
+        Expr::LikeSet { negated, .. } => {
+            if *negated {
+                1.0 - DEFAULT_LIKE_SELECTIVITY
+            } else {
+                DEFAULT_LIKE_SELECTIVITY
+            }
+        }
+        Expr::Udf { .. } => DEFAULT_UDF_SELECTIVITY,
+        Expr::Col(_, DataType::Int) => 0.5, // boolean column used as predicate
+        _ => DEFAULT_PRED_SELECTIVITY,
+    }
+}
+
+fn cmp_sel(stats: &TableStats, op: CmpOp, left: &Expr, right: &Expr) -> f64 {
+    // Normalize to (column ⋄ literal) when possible.
+    let (col, lit, op) = match (left, right) {
+        (Expr::Col(c, _), l) if literal_value(l).is_some() => (c, literal_value(l), op),
+        (l, Expr::Col(c, _)) if literal_value(l).is_some() => (c, literal_value(l), flip(op)),
+        (Expr::Col(a, _), Expr::Col(b, _)) => {
+            // Same-table column comparison.
+            let da = stats.column(a.col).distinct as f64;
+            let db = stats.column(b.col).distinct as f64;
+            return match op {
+                CmpOp::Eq => 1.0 / da.max(db).max(1.0),
+                CmpOp::Neq => 1.0 - 1.0 / da.max(db).max(1.0),
+                _ => DEFAULT_PRED_SELECTIVITY,
+            };
+        }
+        _ => return DEFAULT_PRED_SELECTIVITY,
+    };
+    let cs = stats.column(col.col);
+    match op {
+        CmpOp::Eq => 1.0 / cs.distinct as f64,
+        CmpOp::Neq => 1.0 - 1.0 / cs.distinct as f64,
+        CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
+            let v = match lit {
+                Some(v) => v,
+                None => return DEFAULT_PRED_SELECTIVITY,
+            };
+            if cs.dtype == DataType::Str || cs.max <= cs.min {
+                return DEFAULT_PRED_SELECTIVITY;
+            }
+            let frac = ((v - cs.min) / (cs.max - cs.min)).clamp(0.0, 1.0);
+            match op {
+                CmpOp::Lt | CmpOp::Le => frac,
+                CmpOp::Gt | CmpOp::Ge => 1.0 - frac,
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+fn literal_value(e: &Expr) -> Option<f64> {
+    match e {
+        Expr::LitInt(i) => Some(*i as f64),
+        Expr::LitFloat(x) => Some(*x),
+        Expr::LitStr { .. } => Some(0.0), // equality handled via distinct only
+        _ => None,
+    }
+}
+
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+        other => other,
+    }
+}
+
+/// Selectivity of a generic (non-equality) join predicate.
+pub fn generic_pred_selectivity(e: &Expr) -> f64 {
+    match e {
+        Expr::Udf { .. } => DEFAULT_UDF_SELECTIVITY,
+        Expr::Cmp {
+            op: CmpOp::Eq, ..
+        } => 0.01,
+        Expr::And(es) => es.iter().map(generic_pred_selectivity).product(),
+        _ => DEFAULT_GENERIC_JOIN_SELECTIVITY,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skinner_query::{bind_select, parser::parse_statement, UdfRegistry};
+    use skinner_storage::{schema, Catalog, Value};
+
+    fn setup() -> (Catalog, UdfRegistry) {
+        let cat = Catalog::new();
+        let mut a = cat.builder("a", schema![("id", Int), ("grp", Int)]);
+        for i in 0..1000 {
+            a.push_row(&[Value::Int(i), Value::Int(i % 10)]);
+        }
+        cat.register(a.finish());
+        let mut b = cat.builder("b", schema![("aid", Int), ("v", Int)]);
+        for i in 0..500 {
+            b.push_row(&[Value::Int(i % 1000), Value::Int(i % 50)]);
+        }
+        cat.register(b.finish());
+        let mut udfs = UdfRegistry::new();
+        udfs.register("opaque", |_| Value::from(true));
+        (cat, udfs)
+    }
+
+    fn bind(sql: &str, cat: &Catalog, udfs: &UdfRegistry) -> JoinQuery {
+        match parse_statement(sql).unwrap() {
+            skinner_query::ast::Statement::Select(s) => bind_select(&s, cat, udfs).unwrap(),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn equality_selectivity_uses_distinct() {
+        let (cat, udfs) = setup();
+        let q = bind("SELECT a.id FROM a WHERE a.grp = 3", &cat, &udfs);
+        let cache = StatsCache::new();
+        let est = Estimator::new(&q, &cache);
+        // grp has 10 distinct values → selectivity 0.1 → 100 rows.
+        let c = est.filtered_cardinality(0);
+        assert!((c - 100.0).abs() < 1.0, "{c}");
+    }
+
+    #[test]
+    fn range_selectivity_interpolates() {
+        let (cat, udfs) = setup();
+        let q = bind("SELECT a.id FROM a WHERE a.id < 250", &cat, &udfs);
+        let cache = StatsCache::new();
+        let est = Estimator::new(&q, &cache);
+        let c = est.filtered_cardinality(0);
+        assert!((c - 250.0).abs() < 10.0, "{c}");
+    }
+
+    #[test]
+    fn independence_multiplies() {
+        let (cat, udfs) = setup();
+        // Perfectly correlated predicates (id < 100 implies grp = id % 10 …)
+        // still multiply: 0.1 * 0.1 = 0.01 → 10 rows (truth would differ).
+        let q = bind(
+            "SELECT a.id FROM a WHERE a.id < 100 AND a.grp = 5",
+            &cat,
+            &udfs,
+        );
+        let cache = StatsCache::new();
+        let est = Estimator::new(&q, &cache);
+        let c = est.filtered_cardinality(0);
+        assert!((c - 10.0).abs() < 2.0, "{c}");
+    }
+
+    #[test]
+    fn udf_gets_default() {
+        let (cat, udfs) = setup();
+        let q = bind("SELECT a.id FROM a WHERE opaque(a.id)", &cat, &udfs);
+        let cache = StatsCache::new();
+        let est = Estimator::new(&q, &cache);
+        let s = est.unary_selectivity(0);
+        assert!((s - DEFAULT_UDF_SELECTIVITY).abs() < 1e-9);
+    }
+
+    #[test]
+    fn join_cardinality_combines() {
+        let (cat, udfs) = setup();
+        let q = bind("SELECT a.id FROM a, b WHERE a.id = b.aid", &cat, &udfs);
+        let cache = StatsCache::new();
+        let est = Estimator::new(&q, &cache);
+        let both = TableSet::from_iter([0, 1]);
+        // 1000 * 500 / max(1000, 500) = 500.
+        let c = est.join_cardinality(both);
+        assert!((c - 500.0).abs() < 5.0, "{c}");
+    }
+
+    #[test]
+    fn calibration_overrides() {
+        let (cat, udfs) = setup();
+        let q = bind("SELECT a.id FROM a, b WHERE a.id = b.aid", &cat, &udfs);
+        let cache = StatsCache::new();
+        let mut est = Estimator::new(&q, &cache);
+        est.calibrate_filtered(0, 7.0);
+        assert_eq!(est.filtered_cardinality(0), 7.0);
+        let both = TableSet::from_iter([0, 1]);
+        est.calibrate_set(both, 42.0);
+        assert_eq!(est.join_cardinality(both), 42.0);
+    }
+
+    #[test]
+    fn or_and_not_combinators() {
+        let (cat, udfs) = setup();
+        let q = bind(
+            "SELECT a.id FROM a WHERE a.grp = 1 OR a.grp = 2",
+            &cat,
+            &udfs,
+        );
+        let cache = StatsCache::new();
+        let est = Estimator::new(&q, &cache);
+        let s = est.unary_selectivity(0);
+        // 1 - 0.9^2 = 0.19.
+        assert!((s - 0.19).abs() < 0.01, "{s}");
+    }
+}

@@ -1,0 +1,22 @@
+//! Data statistics and cardinality estimation.
+//!
+//! This crate is the substrate for the *traditional optimizer* baseline that
+//! SkinnerDB is compared against. The paper's premise (Section 1) is that
+//! optimizers "predict cost based on coarse-grained data statistics and under
+//! simplifying assumptions (e.g., independent predicates)" and therefore
+//! "may pick plans whose execution cost is sub-optimal by orders of
+//! magnitude". We implement exactly those classic System-R-style estimates —
+//! per-column distinct counts and min/max, attribute-value independence,
+//! uniformity — so the baseline mis-estimates on correlated data and UDFs in
+//! the same way real systems do.
+//!
+//! SkinnerDB itself uses **none of this** (it maintains no statistics); only
+//! the baselines and Skinner-H's traditional-optimizer half do.
+
+pub mod estimator;
+pub mod sampling;
+pub mod table_stats;
+
+pub use estimator::{Estimator, DEFAULT_GENERIC_JOIN_SELECTIVITY, DEFAULT_UDF_SELECTIVITY};
+pub use sampling::sample_selectivity;
+pub use table_stats::{ColumnStats, StatsCache, TableStats};

@@ -1,0 +1,100 @@
+//! Sampling-based selectivity measurement.
+//!
+//! Used by the re-optimizer baseline (Wu et al., "Sampling-based query
+//! re-optimization", compared against in the paper's appendix): instead of
+//! trusting formula-based estimates, it evaluates predicates on a random
+//! sample of rows and extrapolates.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use skinner_query::expr::{EvalCtx, Expr};
+use skinner_storage::{RowId, Table};
+use std::sync::Arc;
+
+/// Estimate the fraction of rows of `tables[t]` satisfying all `preds` by
+/// evaluating them on `sample_size` uniformly drawn rows. Deterministic for a
+/// fixed `seed`. Returns 1.0 for empty predicate lists and an unbiased 0.0
+/// for empty tables.
+pub fn sample_selectivity(
+    tables: &[Arc<Table>],
+    t: usize,
+    preds: &[Expr],
+    sample_size: usize,
+    seed: u64,
+) -> f64 {
+    if preds.is_empty() {
+        return 1.0;
+    }
+    let n = tables[t].num_rows();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let interner = tables[t].interner().clone();
+    let mut rows: Vec<RowId> = vec![0; tables.len()];
+    let mut hits = 0usize;
+    let k = sample_size.max(1);
+    for _ in 0..k {
+        let row = rng.gen_range(0..n) as RowId;
+        rows[t] = row;
+        let ctx = EvalCtx::new(tables, &rows, &interner);
+        if preds.iter().all(|p| p.eval_bool(&ctx)) {
+            hits += 1;
+        }
+    }
+    hits as f64 / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skinner_query::expr::{CmpOp, ColRef};
+    use skinner_storage::{schema, Catalog, DataType, Value};
+
+    fn table() -> (Catalog, Arc<Table>) {
+        let cat = Catalog::new();
+        let mut b = cat.builder("t", schema![("x", Int)]);
+        for i in 0..1000 {
+            b.push_row(&[Value::Int(i)]);
+        }
+        let t = cat.register(b.finish());
+        (cat, t)
+    }
+
+    fn lt(threshold: i64) -> Expr {
+        Expr::Cmp {
+            op: CmpOp::Lt,
+            left: Box::new(Expr::Col(ColRef { table: 0, col: 0 }, DataType::Int)),
+            right: Box::new(Expr::LitInt(threshold)),
+        }
+    }
+
+    #[test]
+    fn sample_approximates_truth() {
+        let (_cat, t) = table();
+        let tables = vec![t];
+        let s = sample_selectivity(&tables, 0, &[lt(250)], 2000, 42);
+        assert!((s - 0.25).abs() < 0.05, "{s}");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let (_cat, t) = table();
+        let tables = vec![t];
+        let a = sample_selectivity(&tables, 0, &[lt(500)], 500, 7);
+        let b = sample_selectivity(&tables, 0, &[lt(500)], 500, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_preds_and_empty_table() {
+        let (_cat, t) = table();
+        let tables = vec![t];
+        assert_eq!(sample_selectivity(&tables, 0, &[], 100, 0), 1.0);
+        let cat = Catalog::new();
+        let b = cat.builder("e", schema![("x", Int)]);
+        let e = cat.register(b.finish());
+        let tables = vec![e];
+        assert_eq!(sample_selectivity(&tables, 0, &[lt(1)], 100, 0), 0.0);
+    }
+}

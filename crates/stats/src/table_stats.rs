@@ -1,0 +1,156 @@
+//! Per-table statistics: row counts, per-column distinct counts and ranges.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use skinner_storage::{Column, DataType, Table};
+
+/// Statistics of one column.
+#[derive(Debug, Clone)]
+pub struct ColumnStats {
+    pub dtype: DataType,
+    /// Number of distinct values.
+    pub distinct: usize,
+    /// Numeric minimum (strings: 0).
+    pub min: f64,
+    /// Numeric maximum (strings: 0).
+    pub max: f64,
+}
+
+/// Statistics of one table.
+#[derive(Debug, Clone)]
+pub struct TableStats {
+    pub rows: usize,
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Scan `table` and compute statistics (one pass per column).
+    pub fn compute(table: &Table) -> Self {
+        let rows = table.num_rows();
+        let columns = table
+            .columns()
+            .iter()
+            .map(compute_column)
+            .collect();
+        TableStats { rows, columns }
+    }
+
+    pub fn column(&self, i: usize) -> &ColumnStats {
+        &self.columns[i]
+    }
+}
+
+fn compute_column(c: &Column) -> ColumnStats {
+    let mut distinct: HashSet<u64> = HashSet::new();
+    let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let n = c.len() as u32;
+    for row in 0..n {
+        distinct.insert(c.key_at(row));
+        match c.dtype() {
+            DataType::Str => {}
+            _ => {
+                let v = c.float_at(row);
+                min = min.min(v);
+                max = max.max(v);
+            }
+        }
+    }
+    if !min.is_finite() {
+        min = 0.0;
+        max = 0.0;
+    }
+    ColumnStats {
+        dtype: c.dtype(),
+        distinct: distinct.len().max(1),
+        min,
+        max,
+    }
+}
+
+/// Cache of computed statistics keyed by table identity (`Arc` pointer).
+/// Computing distinct counts scans the data, so the traditional optimizer
+/// amortizes it across queries — real systems do the same via `ANALYZE`.
+#[derive(Default)]
+pub struct StatsCache {
+    map: Mutex<HashMap<usize, Arc<TableStats>>>,
+}
+
+impl StatsCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stats for `table`, computing on first access.
+    pub fn stats_for(&self, table: &Arc<Table>) -> Arc<TableStats> {
+        let key = Arc::as_ptr(table) as usize;
+        if let Some(s) = self.map.lock().get(&key) {
+            return s.clone();
+        }
+        let stats = Arc::new(TableStats::compute(table));
+        self.map.lock().insert(key, stats.clone());
+        stats
+    }
+
+    /// Drop all cached entries (tests / reloads).
+    pub fn clear(&self) {
+        self.map.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skinner_storage::{schema, Catalog, Value};
+
+    fn table() -> (Catalog, Arc<Table>) {
+        let cat = Catalog::new();
+        let mut b = cat.builder("t", schema![("k", Int), ("s", Str), ("f", Float)]);
+        for i in 0..100 {
+            b.push_row(&[
+                Value::Int(i % 10),
+                Value::from(if i % 2 == 0 { "even" } else { "odd" }),
+                Value::Float(i as f64 / 2.0),
+            ]);
+        }
+        let t = cat.register(b.finish());
+        (cat, t)
+    }
+
+    #[test]
+    fn distinct_counts_and_ranges() {
+        let (_cat, t) = table();
+        let s = TableStats::compute(&t);
+        assert_eq!(s.rows, 100);
+        assert_eq!(s.column(0).distinct, 10);
+        assert_eq!(s.column(1).distinct, 2);
+        assert_eq!(s.column(2).distinct, 100);
+        assert_eq!(s.column(0).min, 0.0);
+        assert_eq!(s.column(0).max, 9.0);
+        assert_eq!(s.column(2).max, 49.5);
+    }
+
+    #[test]
+    fn empty_table_stats() {
+        let cat = Catalog::new();
+        let b = cat.builder("e", schema![("x", Int)]);
+        let t = cat.register(b.finish());
+        let s = TableStats::compute(&t);
+        assert_eq!(s.rows, 0);
+        assert_eq!(s.column(0).distinct, 1); // clamped to avoid div-by-zero
+        assert_eq!(s.column(0).min, 0.0);
+    }
+
+    #[test]
+    fn cache_reuses_computation() {
+        let (_cat, t) = table();
+        let cache = StatsCache::new();
+        let a = cache.stats_for(&t);
+        let b = cache.stats_for(&t);
+        assert!(Arc::ptr_eq(&a, &b));
+        cache.clear();
+        let c = cache.stats_for(&t);
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+}

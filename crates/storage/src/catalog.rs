@@ -1,0 +1,116 @@
+//! Named table collections sharing one string interner.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::interner::Interner;
+use crate::schema::Schema;
+use crate::table::{Table, TableBuilder};
+
+/// A catalog of tables. All tables in a catalog share one [`Interner`], which
+/// makes string comparisons across tables code comparisons.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    interner: Arc<Interner>,
+    tables: RwLock<HashMap<String, Arc<Table>>>,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Catalog {
+            interner: Arc::new(Interner::new()),
+            tables: RwLock::new(HashMap::new()),
+        }
+    }
+
+    pub fn interner(&self) -> &Arc<Interner> {
+        &self.interner
+    }
+
+    /// Start building a table registered under `name` when finished via
+    /// [`Catalog::register`].
+    pub fn builder(&self, name: impl Into<String>, schema: Schema) -> TableBuilder {
+        TableBuilder::new(name, schema, self.interner.clone())
+    }
+
+    /// Register (or replace) a table. Names are case-insensitive.
+    pub fn register(&self, table: Table) -> Arc<Table> {
+        let arc = Arc::new(table);
+        self.tables
+            .write()
+            .insert(arc.name().to_ascii_lowercase(), arc.clone());
+        arc
+    }
+
+    /// Fetch a table by (case-insensitive) name.
+    pub fn get(&self, name: &str) -> Option<Arc<Table>> {
+        self.tables.read().get(&name.to_ascii_lowercase()).cloned()
+    }
+
+    /// Remove a table (used for temp tables of decomposed queries).
+    pub fn drop_table(&self, name: &str) -> bool {
+        self.tables
+            .write()
+            .remove(&name.to_ascii_lowercase())
+            .is_some()
+    }
+
+    /// Names of all registered tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.tables.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema;
+    use crate::value::Value;
+
+    #[test]
+    fn register_and_lookup_case_insensitive() {
+        let cat = Catalog::new();
+        let mut b = cat.builder("Users", schema![("id", Int)]);
+        b.push_row(&[Value::Int(1)]);
+        cat.register(b.finish());
+        assert!(cat.get("users").is_some());
+        assert!(cat.get("USERS").is_some());
+        assert!(cat.get("nope").is_none());
+    }
+
+    #[test]
+    fn tables_share_interner() {
+        let cat = Catalog::new();
+        let mut a = cat.builder("a", schema![("s", Str)]);
+        a.push_row(&[Value::from("shared")]);
+        let a = cat.register(a.finish());
+        let mut b = cat.builder("b", schema![("s", Str)]);
+        b.push_row(&[Value::from("shared")]);
+        let b = cat.register(b.finish());
+        assert_eq!(a.column(0).code_at(0), b.column(0).code_at(0));
+    }
+
+    #[test]
+    fn drop_table_removes() {
+        let cat = Catalog::new();
+        let b = cat.builder("tmp", schema![("id", Int)]);
+        cat.register(b.finish());
+        assert!(cat.drop_table("TMP"));
+        assert!(cat.get("tmp").is_none());
+        assert!(!cat.drop_table("tmp"));
+    }
+
+    #[test]
+    fn table_names_sorted() {
+        let cat = Catalog::new();
+        for n in ["zeta", "alpha", "mid"] {
+            let b = cat.builder(n, schema![("id", Int)]);
+            cat.register(b.finish());
+        }
+        assert_eq!(cat.table_names(), vec!["alpha", "mid", "zeta"]);
+    }
+}

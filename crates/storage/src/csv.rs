@@ -1,0 +1,290 @@
+//! Minimal CSV ingestion (dependency-free).
+//!
+//! Enough to load external data sets into a [`crate::Catalog`]: a header
+//! line, comma separation, double-quote escaping (`""` inside quoted
+//! fields), optional type inference. Not a general CSV implementation —
+//! embedded newlines inside quoted fields are supported, `\r\n` is
+//! normalized, but exotic dialects are out of scope.
+
+use std::fmt;
+use std::io::BufRead;
+use std::sync::Arc;
+
+use crate::schema::{Field, Schema};
+use crate::table::{Table, TableBuilder};
+use crate::value::{DataType, Value};
+use crate::Interner;
+
+/// CSV ingestion errors.
+#[derive(Debug)]
+pub enum CsvError {
+    Io(std::io::Error),
+    /// Row has a different arity than the header.
+    Ragged { line: usize, expected: usize, found: usize },
+    /// A cell failed to parse under the (given or inferred) column type.
+    BadCell { line: usize, column: String, value: String, expected: DataType },
+    /// Input had no header line.
+    Empty,
+    /// Unterminated quoted field.
+    UnterminatedQuote { line: usize },
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "csv io error: {e}"),
+            CsvError::Ragged { line, expected, found } => {
+                write!(f, "line {line}: expected {expected} fields, found {found}")
+            }
+            CsvError::BadCell { line, column, value, expected } => write!(
+                f,
+                "line {line}, column {column:?}: {value:?} is not a valid {expected}"
+            ),
+            CsvError::Empty => write!(f, "empty csv input (missing header)"),
+            CsvError::UnterminatedQuote { line } => {
+                write!(f, "line {line}: unterminated quoted field")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Parse one CSV record (handles quotes; `start_line` is for errors only).
+fn split_record(line: &str, start_line: usize) -> Result<Vec<String>, CsvError> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' if cur.is_empty() => in_quotes = true,
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut cur));
+            }
+            c => cur.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(CsvError::UnterminatedQuote { line: start_line });
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+/// Infer the narrowest type that parses every sample: Int ⊂ Float ⊂ Str.
+fn infer_type(samples: &[&str]) -> DataType {
+    let mut ty = DataType::Int;
+    for s in samples {
+        match ty {
+            DataType::Int => {
+                if s.parse::<i64>().is_err() {
+                    ty = if s.parse::<f64>().is_ok() {
+                        DataType::Float
+                    } else {
+                        DataType::Str
+                    };
+                }
+            }
+            DataType::Float => {
+                if s.parse::<f64>().is_err() {
+                    ty = DataType::Str;
+                }
+            }
+            DataType::Str => return DataType::Str,
+        }
+    }
+    ty
+}
+
+fn parse_cell(
+    raw: &str,
+    dt: DataType,
+    line: usize,
+    column: &str,
+) -> Result<Value, CsvError> {
+    match dt {
+        DataType::Int => raw.trim().parse::<i64>().map(Value::Int).map_err(|_| {
+            CsvError::BadCell {
+                line,
+                column: column.to_string(),
+                value: raw.to_string(),
+                expected: dt,
+            }
+        }),
+        DataType::Float => raw.trim().parse::<f64>().map(Value::Float).map_err(|_| {
+            CsvError::BadCell {
+                line,
+                column: column.to_string(),
+                value: raw.to_string(),
+                expected: dt,
+            }
+        }),
+        DataType::Str => Ok(Value::from(raw)),
+    }
+}
+
+/// Read a CSV (header required) into a [`Table`].
+///
+/// With `schema: None`, column types are inferred from the data (narrowest
+/// of Int/Float/Str that parses every cell — two passes over the input,
+/// which is therefore buffered).
+pub fn read_csv(
+    name: &str,
+    reader: impl BufRead,
+    schema: Option<Schema>,
+    interner: Arc<Interner>,
+) -> Result<Table, CsvError> {
+    let mut lines = Vec::new();
+    for l in reader.lines() {
+        lines.push(l?);
+    }
+    let mut it = lines.iter().enumerate();
+    let (_, header_line) = it.next().ok_or(CsvError::Empty)?;
+    let header = split_record(header_line, 1)?;
+    let ncols = header.len();
+
+    // Collect raw records first (needed for inference anyway).
+    let mut records: Vec<(usize, Vec<String>)> = Vec::new();
+    for (i, l) in it {
+        if l.trim().is_empty() {
+            continue;
+        }
+        let rec = split_record(l, i + 1)?;
+        if rec.len() != ncols {
+            return Err(CsvError::Ragged {
+                line: i + 1,
+                expected: ncols,
+                found: rec.len(),
+            });
+        }
+        records.push((i + 1, rec));
+    }
+
+    let schema = match schema {
+        Some(s) => {
+            assert_eq!(s.len(), ncols, "schema arity must match the header");
+            s
+        }
+        None => {
+            let fields: Vec<Field> = header
+                .iter()
+                .enumerate()
+                .map(|(c, name)| {
+                    let samples: Vec<&str> =
+                        records.iter().map(|(_, r)| r[c].as_str()).collect();
+                    Field::new(name.trim(), infer_type(&samples))
+                })
+                .collect();
+            Schema::new(fields)
+        }
+    };
+
+    let mut b = TableBuilder::new(name, schema.clone(), interner);
+    let mut row_buf = Vec::with_capacity(ncols);
+    for (line, rec) in &records {
+        row_buf.clear();
+        for (c, raw) in rec.iter().enumerate() {
+            let f = schema.field(c);
+            row_buf.push(parse_cell(raw, f.dtype, *line, &f.name)?);
+        }
+        b.push_row(&row_buf);
+    }
+    Ok(b.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(csv: &str) -> Result<Table, CsvError> {
+        read_csv(
+            "t",
+            std::io::BufReader::new(csv.as_bytes()),
+            None,
+            Arc::new(Interner::new()),
+        )
+    }
+
+    #[test]
+    fn inference_picks_narrowest_types() {
+        let t = load("id,score,name\n1,2.5,ann\n2,3,bob\n").unwrap();
+        assert_eq!(t.schema().field(0).dtype, DataType::Int);
+        assert_eq!(t.schema().field(1).dtype, DataType::Float);
+        assert_eq!(t.schema().field(2).dtype, DataType::Str);
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.value(1, 1), Value::Float(3.0));
+    }
+
+    #[test]
+    fn quotes_and_escapes() {
+        let t = load("a,b\n\"hello, world\",\"she said \"\"hi\"\"\"\n").unwrap();
+        assert_eq!(t.value(0, 0).as_str(), Some("hello, world"));
+        assert_eq!(t.value(0, 1).as_str(), Some("she said \"hi\""));
+    }
+
+    #[test]
+    fn explicit_schema_enforced() {
+        let schema = Schema::new(vec![
+            Field::new("id", DataType::Int),
+            Field::new("v", DataType::Float),
+        ]);
+        let r = read_csv(
+            "t",
+            std::io::BufReader::new("id,v\n1,notanumber\n".as_bytes()),
+            Some(schema),
+            Arc::new(Interner::new()),
+        );
+        assert!(matches!(r, Err(CsvError::BadCell { line: 2, .. })));
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let r = load("a,b\n1\n");
+        assert!(matches!(
+            r,
+            Err(CsvError::Ragged {
+                line: 2,
+                expected: 2,
+                found: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn empty_input_and_blank_lines() {
+        assert!(matches!(load(""), Err(CsvError::Empty)));
+        let t = load("a\n1\n\n2\n").unwrap();
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        assert!(matches!(
+            load("a\n\"oops\n"),
+            Err(CsvError::UnterminatedQuote { .. })
+        ));
+    }
+
+    #[test]
+    fn all_string_column_with_numeric_lookalikes() {
+        let t = load("code\n007\nabc\n").unwrap();
+        // "007" parses as Int but "abc" forces Str for the whole column.
+        assert_eq!(t.schema().field(0).dtype, DataType::Str);
+        assert_eq!(t.value(0, 0).as_str(), Some("007"));
+    }
+}

@@ -1,0 +1,90 @@
+//! Table schemas: ordered, named, typed fields.
+
+use crate::value::DataType;
+
+/// One column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    pub name: String,
+    pub dtype: DataType,
+}
+
+impl Field {
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Field {
+            name: name.into(),
+            dtype,
+        }
+    }
+}
+
+/// An ordered list of fields. Column positions are stable and are what the
+/// bound query IR refers to.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema { fields }
+    }
+
+    /// Fields in declaration order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Position of the column named `name` (case-insensitive, SQL-style).
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Field at position `i`.
+    pub fn field(&self, i: usize) -> &Field {
+        &self.fields[i]
+    }
+}
+
+/// Convenience constructor used pervasively in tests and generators:
+/// `schema![("a", Int), ("b", Str)]`.
+#[macro_export]
+macro_rules! schema {
+    ($(($name:expr, $dt:ident)),* $(,)?) => {
+        $crate::Schema::new(vec![
+            $($crate::Field::new($name, $crate::DataType::$dt)),*
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_of_is_case_insensitive() {
+        let s = schema![("Alpha", Int), ("beta", Str)];
+        assert_eq!(s.index_of("alpha"), Some(0));
+        assert_eq!(s.index_of("BETA"), Some(1));
+        assert_eq!(s.index_of("gamma"), None);
+    }
+
+    #[test]
+    fn fields_keep_order() {
+        let s = schema![("a", Int), ("b", Float), ("c", Str)];
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.field(1).name, "b");
+        assert_eq!(s.field(2).dtype, DataType::Str);
+    }
+}

@@ -1,0 +1,294 @@
+//! Immutable columnar tables and their builder.
+
+use std::sync::Arc;
+
+use crate::column::Column;
+use crate::interner::Interner;
+use crate::schema::Schema;
+use crate::value::{DataType, Value};
+use crate::RowId;
+
+/// An immutable, main-memory, columnar table.
+///
+/// Tables are shared via `Arc` between the catalog, query plans and engines;
+/// pre-processing produces new (filtered) `Table`s rather than mutating.
+#[derive(Debug)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    columns: Vec<Column>,
+    interner: Arc<Interner>,
+    nrows: usize,
+}
+
+impl Table {
+    /// Build a table directly from columns. Panics if column lengths differ
+    /// from each other or types differ from the schema (programming error).
+    pub fn from_columns(
+        name: impl Into<String>,
+        schema: Schema,
+        columns: Vec<Column>,
+        interner: Arc<Interner>,
+    ) -> Self {
+        assert_eq!(schema.len(), columns.len(), "schema/column count mismatch");
+        let nrows = columns.first().map_or(0, Column::len);
+        for (f, c) in schema.fields().iter().zip(&columns) {
+            assert_eq!(c.len(), nrows, "ragged columns in table {:?}", f.name);
+            assert_eq!(c.dtype(), f.dtype, "column {:?} type mismatch", f.name);
+        }
+        Table {
+            name: name.into(),
+            schema,
+            columns,
+            interner,
+            nrows,
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Cardinality as `u32`; row ids fit by construction.
+    pub fn cardinality(&self) -> RowId {
+        self.nrows as RowId
+    }
+
+    pub fn column(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    pub fn interner(&self) -> &Arc<Interner> {
+        &self.interner
+    }
+
+    /// Materialize one cell.
+    pub fn value(&self, row: RowId, col: usize) -> Value {
+        self.columns[col].value_at(row, &self.interner)
+    }
+
+    /// Materialize a whole row (used by the post-processor and tests).
+    pub fn row_values(&self, row: RowId) -> Vec<Value> {
+        (0..self.columns.len())
+            .map(|c| self.value(row, c))
+            .collect()
+    }
+
+    /// New table with only `rows`, in order. This is how pre-processing
+    /// applies unary predicates: engines afterwards work on dense row ids
+    /// `0..n` of the filtered table.
+    pub fn gather(&self, rows: &[RowId], name: impl Into<String>) -> Table {
+        let columns = self.columns.iter().map(|c| c.gather(rows)).collect();
+        Table {
+            name: name.into(),
+            schema: self.schema.clone(),
+            columns,
+            interner: self.interner.clone(),
+            nrows: rows.len(),
+        }
+    }
+
+    /// Approximate heap size in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.columns.iter().map(Column::byte_size).sum()
+    }
+}
+
+/// Row-at-a-time table builder with type checking and string interning.
+pub struct TableBuilder {
+    name: String,
+    schema: Schema,
+    interner: Arc<Interner>,
+    ints: Vec<Vec<i64>>,
+    floats: Vec<Vec<f64>>,
+    codes: Vec<Vec<u32>>,
+    /// For each schema position: (which typed vec family, index within it).
+    slots: Vec<(DataType, usize)>,
+    nrows: usize,
+}
+
+impl TableBuilder {
+    pub fn new(name: impl Into<String>, schema: Schema, interner: Arc<Interner>) -> Self {
+        let mut ints = vec![];
+        let mut floats = vec![];
+        let mut codes = vec![];
+        let mut slots = vec![];
+        for f in schema.fields() {
+            match f.dtype {
+                DataType::Int => {
+                    slots.push((DataType::Int, ints.len()));
+                    ints.push(vec![]);
+                }
+                DataType::Float => {
+                    slots.push((DataType::Float, floats.len()));
+                    floats.push(vec![]);
+                }
+                DataType::Str => {
+                    slots.push((DataType::Str, codes.len()));
+                    codes.push(vec![]);
+                }
+            }
+        }
+        TableBuilder {
+            name: name.into(),
+            schema,
+            interner,
+            ints,
+            floats,
+            codes,
+            slots,
+            nrows: 0,
+        }
+    }
+
+    /// Append one row. Panics on arity or type mismatch (programming error;
+    /// generators and tests construct rows structurally).
+    pub fn push_row(&mut self, row: &[Value]) {
+        assert_eq!(row.len(), self.slots.len(), "row arity mismatch");
+        for (i, v) in row.iter().enumerate() {
+            let (dt, idx) = self.slots[i];
+            match (dt, v) {
+                (DataType::Int, Value::Int(x)) => self.ints[idx].push(*x),
+                (DataType::Float, Value::Float(x)) => self.floats[idx].push(*x),
+                (DataType::Float, Value::Int(x)) => self.floats[idx].push(*x as f64),
+                (DataType::Str, Value::Str(s)) => self.codes[idx].push(self.interner.intern(s)),
+                (dt, v) => panic!(
+                    "type mismatch in column {} of {}: expected {dt}, got {v:?}",
+                    self.schema.field(i).name,
+                    self.name
+                ),
+            }
+        }
+        self.nrows += 1;
+    }
+
+    /// Fast paths for generators: append a single cell column-wise. The
+    /// caller must fill every column the same number of times before
+    /// [`TableBuilder::finish`]; `finish` asserts this.
+    pub fn push_int(&mut self, col: usize, v: i64) {
+        let (dt, idx) = self.slots[col];
+        debug_assert_eq!(dt, DataType::Int);
+        self.ints[idx].push(v);
+    }
+
+    pub fn push_float(&mut self, col: usize, v: f64) {
+        let (dt, idx) = self.slots[col];
+        debug_assert_eq!(dt, DataType::Float);
+        self.floats[idx].push(v);
+    }
+
+    pub fn push_str(&mut self, col: usize, v: &str) {
+        let (dt, idx) = self.slots[col];
+        debug_assert_eq!(dt, DataType::Str);
+        let code = self.interner.intern(v);
+        self.codes[idx].push(code);
+    }
+
+    /// Number of rows pushed via [`TableBuilder::push_row`].
+    pub fn len(&self) -> usize {
+        self.nrows
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nrows == 0
+    }
+
+    /// Finish into an immutable [`Table`].
+    pub fn finish(self) -> Table {
+        let mut columns = Vec::with_capacity(self.slots.len());
+        let TableBuilder {
+            name,
+            schema,
+            interner,
+            mut ints,
+            mut floats,
+            mut codes,
+            slots,
+            ..
+        } = self;
+        for &(dt, idx) in &slots {
+            columns.push(match dt {
+                DataType::Int => Column::Int(std::mem::take(&mut ints[idx])),
+                DataType::Float => Column::Float(std::mem::take(&mut floats[idx])),
+                DataType::Str => Column::Str(std::mem::take(&mut codes[idx])),
+            });
+        }
+        Table::from_columns(name, schema, columns, interner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema;
+
+    fn sample() -> Table {
+        let interner = Arc::new(Interner::new());
+        let mut b = TableBuilder::new(
+            "t",
+            schema![("id", Int), ("score", Float), ("tag", Str)],
+            interner,
+        );
+        b.push_row(&[Value::Int(1), Value::Float(0.5), Value::from("a")]);
+        b.push_row(&[Value::Int(2), Value::Float(1.5), Value::from("b")]);
+        b.push_row(&[Value::Int(3), Value::Float(2.5), Value::from("a")]);
+        b.finish()
+    }
+
+    #[test]
+    fn build_and_read_back() {
+        let t = sample();
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.value(0, 0), Value::Int(1));
+        assert_eq!(t.value(2, 2).as_str(), Some("a"));
+        // Shared interner: rows 0 and 2 have the same code for "a".
+        assert_eq!(t.column(2).code_at(0), t.column(2).code_at(2));
+    }
+
+    #[test]
+    fn int_widens_to_float_column() {
+        let interner = Arc::new(Interner::new());
+        let mut b = TableBuilder::new("t", schema![("x", Float)], interner);
+        b.push_row(&[Value::Int(4)]);
+        let t = b.finish();
+        assert_eq!(t.value(0, 0), Value::Float(4.0));
+    }
+
+    #[test]
+    fn gather_produces_filtered_table() {
+        let t = sample();
+        let f = t.gather(&[2, 0], "t_f");
+        assert_eq!(f.num_rows(), 2);
+        assert_eq!(f.value(0, 0), Value::Int(3));
+        assert_eq!(f.value(1, 0), Value::Int(1));
+        assert_eq!(f.name(), "t_f");
+    }
+
+    #[test]
+    fn row_values_materializes_all_columns() {
+        let t = sample();
+        let row = t.row_values(1);
+        assert_eq!(row.len(), 3);
+        assert_eq!(row[2].as_str(), Some("b"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn type_mismatch_panics() {
+        let interner = Arc::new(Interner::new());
+        let mut b = TableBuilder::new("t", schema![("x", Int)], interner);
+        b.push_row(&[Value::from("not an int")]);
+    }
+}

@@ -1,0 +1,66 @@
+//! Property tests for the hash index: `next_match` must agree with a naive
+//! linear scan for arbitrary data and probe positions, and chunked
+//! build+merge must equal a full build. The "jump" correctness of the
+//! multi-way join rests on exactly these properties.
+
+use proptest::prelude::*;
+
+use skinner_storage::{Column, HashIndex, RowId};
+
+fn naive_next_match(data: &[i64], key: i64, from: RowId) -> Option<RowId> {
+    (from as usize..data.len())
+        .find(|&i| data[i] == key)
+        .map(|i| i as RowId)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn next_match_equals_linear_scan(
+        data in proptest::collection::vec(-5i64..5, 0..200),
+        key in -6i64..6,
+        from in 0u32..220,
+    ) {
+        let col = Column::Int(data.clone());
+        let idx = HashIndex::build(&col);
+        prop_assert_eq!(
+            idx.next_match(key as u64, from),
+            naive_next_match(&data, key, from)
+        );
+    }
+
+    #[test]
+    fn chunked_build_equals_full_build(
+        data in proptest::collection::vec(-4i64..4, 1..150),
+        split in 0usize..150,
+    ) {
+        let col = Column::Int(data.clone());
+        let split = (split.min(data.len())) as RowId;
+        let mut a = HashIndex::build_range(&col, 0, split);
+        let b = HashIndex::build_range(&col, split, data.len() as RowId);
+        a.merge(b);
+        let full = HashIndex::build(&col);
+        for key in -4i64..4 {
+            prop_assert_eq!(a.lookup(key as u64), full.lookup(key as u64), "key {}", key);
+        }
+    }
+
+    #[test]
+    fn lookup_rows_are_sorted_and_complete(
+        data in proptest::collection::vec(0i64..3, 0..100),
+    ) {
+        let col = Column::Int(data.clone());
+        let idx = HashIndex::build(&col);
+        let mut covered = 0usize;
+        for key in 0i64..3 {
+            let rows = idx.lookup(key as u64);
+            prop_assert!(rows.windows(2).all(|w| w[0] < w[1]), "unsorted postings");
+            for &r in rows {
+                prop_assert_eq!(data[r as usize], key);
+            }
+            covered += rows.len();
+        }
+        prop_assert_eq!(covered, data.len(), "postings must partition the rows");
+    }
+}

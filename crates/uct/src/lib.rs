@@ -1,0 +1,21 @@
+//! The UCT algorithm over join-order search trees.
+//!
+//! Implements the variant the paper builds on (Kocsis & Szepesvári, "Bandit
+//! based Monte-Carlo planning", paper Section 4.1):
+//!
+//! * the search tree's root represents the empty join prefix; each level
+//!   picks the next table, excluding avoidable Cartesian products
+//!   (Section 4.2, via [`skinner_query::JoinGraph::eligible_next`]);
+//! * only a *partial* tree is materialized — **at most one node per round**
+//!   is added (the first node on the current path outside the materialized
+//!   tree);
+//! * per materialized node, two counters: visit count and mean reward;
+//! * child selection maximizes `r̄_c + w·√(ln v_p / v_c)`; unvisited children
+//!   are tried first, in random order; below the materialized frontier the
+//!   path continues with uniformly random eligible tables;
+//! * rewards are in `[0,1]`; `w = √2` gives the regret guarantee, but the
+//!   weight is tunable per domain (the paper uses `10⁻⁶` for Skinner-C).
+
+pub mod tree;
+
+pub use tree::{UctConfig, UctTree};

@@ -1,0 +1,445 @@
+//! Materialized partial UCT search tree over join orders.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use skinner_query::{JoinGraph, TableSet};
+
+/// UCT parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct UctConfig {
+    /// Exploration weight `w` in `r̄ + w·√(ln v_p / v_c)`. `√2` carries the
+    /// formal regret bound; SkinnerDB uses `1e-6` for its customized engine
+    /// (paper Section 6.1).
+    pub exploration_weight: f64,
+    /// RNG seed (tie-breaking, random rollouts below the frontier).
+    pub seed: u64,
+}
+
+impl Default for UctConfig {
+    fn default() -> Self {
+        UctConfig {
+            exploration_weight: std::f64::consts::SQRT_2,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Index of a node inside the tree arena.
+type NodeId = u32;
+
+#[derive(Debug)]
+struct Node {
+    visits: u64,
+    reward_sum: f64,
+    /// Join-order prefix this node represents (tables already chosen).
+    selected: TableSet,
+    /// Eligible next tables, parallel to `child_ids`.
+    child_tables: Vec<u8>,
+    /// Materialized child nodes (`u32::MAX` = not materialized).
+    child_ids: Vec<NodeId>,
+}
+
+const UNMATERIALIZED: NodeId = u32::MAX;
+
+impl Node {
+    fn new(selected: TableSet, graph: &JoinGraph) -> Self {
+        let eligible = graph.eligible_next(selected);
+        let child_tables: Vec<u8> = eligible.iter().map(|t| t as u8).collect();
+        let child_ids = vec![UNMATERIALIZED; child_tables.len()];
+        Node {
+            visits: 0,
+            reward_sum: 0.0,
+            selected,
+            child_tables,
+            child_ids,
+        }
+    }
+
+    fn mean_reward(&self) -> f64 {
+        if self.visits == 0 {
+            0.0
+        } else {
+            self.reward_sum / self.visits as f64
+        }
+    }
+}
+
+/// The UCT search tree for one query (or one timeout level of Skinner-G).
+pub struct UctTree {
+    graph: JoinGraph,
+    nodes: Vec<Node>,
+    w: f64,
+    rng: StdRng,
+}
+
+impl UctTree {
+    pub fn new(graph: JoinGraph, config: UctConfig) -> Self {
+        let root = Node::new(TableSet::EMPTY, &graph);
+        UctTree {
+            graph,
+            nodes: vec![root],
+            w: config.exploration_weight,
+            rng: StdRng::seed_from_u64(config.seed),
+        }
+    }
+
+    /// `UctChoice(T)`: select a complete join order for the next time slice,
+    /// materializing at most one new node.
+    pub fn choose(&mut self) -> Vec<usize> {
+        let m = self.graph.num_tables();
+        let mut order = Vec::with_capacity(m);
+        let mut node: NodeId = 0;
+        let mut expanded = false;
+        loop {
+            if order.len() == m {
+                return order;
+            }
+            let (table, child) = self.select_child(node);
+            order.push(table);
+            match child {
+                Some(c) => node = c,
+                None => {
+                    if !expanded {
+                        // Materialize the first off-tree node of this path.
+                        let selected = self.nodes[node as usize]
+                            .selected
+                            .with(table);
+                        let new_id = self.nodes.len() as NodeId;
+                        let new_node = Node::new(selected, &self.graph);
+                        self.nodes.push(new_node);
+                        let slot = self.nodes[node as usize]
+                            .child_tables
+                            .iter()
+                            .position(|&t| t as usize == table)
+                            .expect("selected child must be eligible");
+                        self.nodes[node as usize].child_ids[slot] = new_id;
+                        expanded = true;
+                        node = new_id;
+                    } else {
+                        // Below the frontier: random completion from the
+                        // prefix built so far.
+                        let selected = TableSet::from_iter(order.iter().copied());
+                        self.random_completion(selected, &mut order);
+                        return order;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pick a child of `node` by UCT policy. Returns the chosen table and
+    /// its materialized node id (if any).
+    fn select_child(&mut self, node: NodeId) -> (usize, Option<NodeId>) {
+        let n = &self.nodes[node as usize];
+        debug_assert!(!n.child_tables.is_empty(), "selecting from a leaf");
+        // Unvisited children first, uniformly at random.
+        let unvisited: Vec<usize> = (0..n.child_tables.len())
+            .filter(|&i| {
+                let c = n.child_ids[i];
+                c == UNMATERIALIZED || self.nodes[c as usize].visits == 0
+            })
+            .collect();
+        if !unvisited.is_empty() {
+            let pick = unvisited[self.rng.gen_range(0..unvisited.len())];
+            let table = n.child_tables[pick] as usize;
+            let child = n.child_ids[pick];
+            return (
+                table,
+                (child != UNMATERIALIZED).then_some(child),
+            );
+        }
+        // All children visited: maximize the upper confidence bound,
+        // breaking ties uniformly at random.
+        let ln_vp = (n.visits.max(1) as f64).ln();
+        let mut best_score = f64::NEG_INFINITY;
+        let mut best: Vec<usize> = Vec::new();
+        for i in 0..n.child_tables.len() {
+            let c = &self.nodes[n.child_ids[i] as usize];
+            let score = c.mean_reward() + self.w * (ln_vp / c.visits as f64).sqrt();
+            if score > best_score + 1e-12 {
+                best_score = score;
+                best.clear();
+                best.push(i);
+            } else if (score - best_score).abs() <= 1e-12 {
+                best.push(i);
+            }
+        }
+        let pick = best[self.rng.gen_range(0..best.len())];
+        let table = n.child_tables[pick] as usize;
+        (table, Some(n.child_ids[pick]))
+    }
+
+    fn random_completion(&mut self, mut selected: TableSet, order: &mut Vec<usize>) {
+        let m = self.graph.num_tables();
+        while order.len() < m {
+            let eligible: Vec<usize> = self.graph.eligible_next(selected).iter().collect();
+            let t = eligible[self.rng.gen_range(0..eligible.len())];
+            order.push(t);
+            selected.insert(t);
+        }
+    }
+
+    /// `RewardUpdate(T, j, r)`: register `reward` (clamped into `[0,1]`) for
+    /// join order `order`, updating counters along the materialized part of
+    /// the path.
+    pub fn update(&mut self, order: &[usize], reward: f64) {
+        let reward = reward.clamp(0.0, 1.0);
+        let mut node: NodeId = 0;
+        self.nodes[0].visits += 1;
+        self.nodes[0].reward_sum += reward;
+        for &t in order {
+            let n = &self.nodes[node as usize];
+            let slot = match n.child_tables.iter().position(|&x| x as usize == t) {
+                Some(s) => s,
+                None => return, // order left the materialized tree shape
+            };
+            let child = n.child_ids[slot];
+            if child == UNMATERIALIZED {
+                return;
+            }
+            node = child;
+            self.nodes[node as usize].visits += 1;
+            self.nodes[node as usize].reward_sum += reward;
+        }
+    }
+
+    /// Number of materialized nodes (Figures 7a and 8a).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total rounds played (root visits).
+    pub fn rounds(&self) -> u64 {
+        self.nodes[0].visits
+    }
+
+    /// Approximate heap footprint in bytes (Figure 8 memory accounting).
+    pub fn byte_size(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| std::mem::size_of::<Node>() + n.child_tables.len() * 5)
+            .sum()
+    }
+
+    /// The most-visited complete join order — the "final join order selected
+    /// by Skinner" used for the replay experiments (Tables 3 and 4).
+    /// Unmaterialized suffixes complete greedily by eligibility.
+    pub fn best_order(&self) -> Vec<usize> {
+        let m = self.graph.num_tables();
+        let mut order = Vec::with_capacity(m);
+        let mut selected = TableSet::EMPTY;
+        let mut node: Option<NodeId> = Some(0);
+        while order.len() < m {
+            let mut picked = None;
+            if let Some(id) = node {
+                let n = &self.nodes[id as usize];
+                let mut best_visits = 0u64;
+                for i in 0..n.child_tables.len() {
+                    let c = n.child_ids[i];
+                    if c != UNMATERIALIZED {
+                        let v = self.nodes[c as usize].visits;
+                        if v > best_visits {
+                            best_visits = v;
+                            picked = Some((n.child_tables[i] as usize, c));
+                        }
+                    }
+                }
+            }
+            match picked {
+                Some((t, c)) => {
+                    order.push(t);
+                    selected.insert(t);
+                    node = Some(c);
+                }
+                None => {
+                    // Greedy completion: first eligible table.
+                    let t = self
+                        .graph
+                        .eligible_next(selected)
+                        .iter()
+                        .next()
+                        .expect("incomplete order must have eligible tables");
+                    order.push(t);
+                    selected.insert(t);
+                    node = None;
+                }
+            }
+        }
+        order
+    }
+
+    /// Mean reward currently recorded at the root (diagnostics).
+    pub fn root_mean_reward(&self) -> f64 {
+        self.nodes[0].mean_reward()
+    }
+
+    /// The join graph this tree searches over.
+    pub fn graph(&self) -> &JoinGraph {
+        &self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize) -> JoinGraph {
+        JoinGraph::new(
+            n,
+            (0..n - 1).map(|i| TableSet::from_iter([i, i + 1])),
+        )
+    }
+
+    fn cfg(seed: u64) -> UctConfig {
+        UctConfig {
+            exploration_weight: std::f64::consts::SQRT_2,
+            seed,
+        }
+    }
+
+    #[test]
+    fn choose_returns_valid_orders() {
+        let g = chain(5);
+        let mut t = UctTree::new(g.clone(), cfg(1));
+        for _ in 0..100 {
+            let o = t.choose();
+            assert!(g.validates(&o), "invalid order {o:?}");
+            t.update(&o, 0.5);
+        }
+    }
+
+    #[test]
+    fn at_most_one_node_materialized_per_round() {
+        let g = chain(6);
+        let mut t = UctTree::new(g, cfg(2));
+        let mut prev = t.num_nodes();
+        for _ in 0..50 {
+            let o = t.choose();
+            t.update(&o, 0.1);
+            let now = t.num_nodes();
+            assert!(now <= prev + 1, "grew by {}", now - prev);
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn converges_to_rewarding_order() {
+        // Star join where starting at table 0 yields reward 1, else 0.
+        let g = JoinGraph::new(
+            4,
+            [
+                TableSet::from_iter([0, 1]),
+                TableSet::from_iter([0, 2]),
+                TableSet::from_iter([0, 3]),
+            ],
+        );
+        let mut t = UctTree::new(g, cfg(3));
+        for _ in 0..600 {
+            let o = t.choose();
+            let r = if o[0] == 0 { 1.0 } else { 0.0 };
+            t.update(&o, r);
+        }
+        assert_eq!(t.best_order()[0], 0);
+        // The winning first move dominates the visit counts.
+        let mut chosen: Vec<usize> = Vec::new();
+        for _ in 0..50 {
+            let o = t.choose();
+            t.update(&o, if o[0] == 0 { 1.0 } else { 0.0 });
+            chosen.push(o[0]);
+        }
+        let zero_fraction =
+            chosen.iter().filter(|&&x| x == 0).count() as f64 / chosen.len() as f64;
+        assert!(zero_fraction > 0.5, "exploited {zero_fraction}");
+    }
+
+    #[test]
+    fn tiny_weight_exploits_aggressively() {
+        let g = chain(3);
+        let mut t = UctTree::new(
+            g,
+            UctConfig {
+                exploration_weight: 1e-6,
+                seed: 4,
+            },
+        );
+        // Teach it that starting at table 2 is good.
+        for _ in 0..50 {
+            let o = t.choose();
+            let r = if o[0] == 2 { 1.0 } else { 0.05 };
+            t.update(&o, r);
+        }
+        let picks: Vec<usize> = (0..20)
+            .map(|_| {
+                let o = t.choose();
+                t.update(&o, if o[0] == 2 { 1.0 } else { 0.05 });
+                o[0]
+            })
+            .collect();
+        assert!(picks.iter().filter(|&&x| x == 2).count() >= 18, "{picks:?}");
+    }
+
+    #[test]
+    fn rewards_clamped() {
+        let g = chain(3);
+        let mut t = UctTree::new(g, cfg(5));
+        let o = t.choose();
+        t.update(&o, 7.0);
+        assert!(t.root_mean_reward() <= 1.0);
+        t.update(&o, -3.0);
+        assert!(t.root_mean_reward() >= 0.0);
+    }
+
+    #[test]
+    fn update_ignores_off_tree_orders() {
+        let g = chain(3);
+        let mut t = UctTree::new(g, cfg(6));
+        // An order that is not even valid silently updates only the root.
+        t.update(&[2, 0, 1], 1.0);
+        assert_eq!(t.rounds(), 1);
+    }
+
+    #[test]
+    fn best_order_is_valid() {
+        let g = chain(7);
+        let mut t = UctTree::new(g.clone(), cfg(7));
+        for _ in 0..300 {
+            let o = t.choose();
+            let r = if o[0] == 3 { 0.9 } else { 0.1 };
+            t.update(&o, r);
+        }
+        let best = t.best_order();
+        assert!(g.validates(&best), "{best:?}");
+        assert_eq!(best[0], 3);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = chain(5);
+        let run = |seed| {
+            let mut t = UctTree::new(chain(5), cfg(seed));
+            let mut orders = vec![];
+            for _ in 0..20 {
+                let o = t.choose();
+                t.update(&o, (o[0] as f64) / 5.0);
+                orders.push(o);
+            }
+            orders
+        };
+        assert_eq!(run(9), run(9));
+        let _ = g;
+    }
+
+    #[test]
+    fn node_growth_bounded_by_rounds() {
+        let g = chain(10);
+        let mut t = UctTree::new(g, cfg(10));
+        for _ in 0..200 {
+            let o = t.choose();
+            t.update(&o, 0.3);
+        }
+        // Root + at most one node per round.
+        assert!(t.num_nodes() <= 201);
+        assert!(t.byte_size() > 0);
+    }
+}

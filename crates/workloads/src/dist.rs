@@ -1,0 +1,91 @@
+//! Random-value helpers shared by the generators.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Zipf sampler over `{0, …, n-1}` with exponent `theta` (rejection-free
+/// inverse-CDF over precomputed cumulative weights). `theta = 0` is uniform;
+/// around 1 gives the heavy skew real IMDB join columns exhibit.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = *cdf.last().unwrap();
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draw one rank (0-based; rank 0 is the most frequent).
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Pseudo-text: `prefix#<id>` plus deterministic filler words — enough for
+/// `LIKE` patterns and dictionary encoding to behave realistically.
+pub fn text(prefix: &str, id: usize, words: &[&str], rng: &mut StdRng, count: usize) -> String {
+    let mut s = format!("{prefix}#{id}");
+    for _ in 0..count {
+        s.push(' ');
+        s.push_str(words[rng.gen_range(0..words.len())]);
+    }
+    s
+}
+
+/// Uniform pick from a slice.
+pub fn pick<'a, T>(rng: &mut StdRng, items: &'a [T]) -> &'a T {
+    &items[rng.gen_range(0..items.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_is_skewed() {
+        let z = Zipf::new(100, 1.2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[50] * 5, "{} vs {}", counts[0], counts[50]);
+        assert!(counts[0] > 500);
+    }
+
+    #[test]
+    fn zipf_zero_theta_is_roughly_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn text_is_deterministic_per_seed() {
+        let words = ["red", "green", "blue"];
+        let a = text("x", 7, &words, &mut StdRng::seed_from_u64(3), 4);
+        let b = text("x", 7, &words, &mut StdRng::seed_from_u64(3), 4);
+        assert_eq!(a, b);
+        assert!(a.starts_with("x#7 "));
+    }
+}

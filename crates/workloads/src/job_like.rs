@@ -1,0 +1,765 @@
+//! JOB-like workload: an IMDB-style schema with planted correlations.
+//!
+//! The Join Order Benchmark's difficulty comes from real-world correlations
+//! in the IMDB data set that break the attribute-value-independence
+//! assumption of traditional optimizers (Leis et al., "How good are query
+//! optimizers, really?"). We cannot ship IMDB, so this generator plants the
+//! same *kinds* of correlations by construction:
+//!
+//! * German production companies attach almost exclusively to movies from
+//!   1970–1989 (country ⇄ production year across `company_name` /
+//!   `movie_companies` / `title`),
+//! * genres depend on production year (documentaries early, action late),
+//! * ratings anti-correlate with year,
+//! * cast, keyword and company attachment per movie is Zipf-skewed
+//!   (blockbusters have hundreds of entries),
+//! * keywords depend on title kind.
+//!
+//! The 30 generated queries (3–12 joins, with multi-alias self-joins like
+//! JOB's) filter on exactly these correlated attribute pairs, so estimated
+//! and true intermediate cardinalities diverge by orders of magnitude —
+//! the catastrophic-plan tail of the paper's Figure 6.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use skinner_query::UdfRegistry;
+use skinner_storage::{schema, Catalog, Value};
+
+use crate::dist::Zipf;
+use crate::{BenchQuery, Workload};
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct JobConfig {
+    /// Size multiplier (1.0 → 10k titles, 60k cast entries, …).
+    pub scale: f64,
+    pub seed: u64,
+}
+
+impl Default for JobConfig {
+    fn default() -> Self {
+        JobConfig {
+            scale: 1.0,
+            seed: 0x10B,
+        }
+    }
+}
+
+const COUNTRIES: [&str; 10] = [
+    "[us]", "[gb]", "[de]", "[fr]", "[jp]", "[it]", "[es]", "[ca]", "[in]", "[se]",
+];
+const GENRES: [&str; 8] = [
+    "Drama",
+    "Comedy",
+    "Documentary",
+    "Action",
+    "Thriller",
+    "Romance",
+    "Horror",
+    "Short",
+];
+const KINDS: [&str; 5] = ["movie", "tv series", "tv movie", "video movie", "episode"];
+const ROLES: [&str; 6] = [
+    "actor",
+    "actress",
+    "producer",
+    "director",
+    "writer",
+    "composer",
+];
+const KEYWORDS_SPECIAL: [&str; 6] = [
+    "character-name-in-title",
+    "based-on-novel",
+    "sequel",
+    "superhero",
+    "love",
+    "murder",
+];
+const COMPANY_TYPES: [&str; 3] = [
+    "production companies",
+    "distributors",
+    "special effects companies",
+];
+const INFO_TYPES: [&str; 6] = [
+    "genres",
+    "rating",
+    "runtimes",
+    "languages",
+    "countries",
+    "release dates",
+];
+
+/// Generate data and the 30-query workload.
+pub fn generate(cfg: &JobConfig) -> Workload {
+    let catalog = build_catalog(cfg);
+    Workload {
+        catalog,
+        udfs: UdfRegistry::new(),
+        queries: queries(),
+    }
+}
+
+fn sizes(scale: f64) -> JobSizes {
+    let s = |base: f64, min: usize| ((base * scale) as usize).max(min);
+    JobSizes {
+        titles: s(10_000.0, 200),
+        companies: s(1_500.0, 40),
+        movie_companies: s(30_000.0, 400),
+        movie_info: s(50_000.0, 600),
+        movie_info_idx: s(15_000.0, 200),
+        names: s(20_000.0, 200),
+        cast_info: s(60_000.0, 800),
+        keywords: s(2_000.0, 50),
+        movie_keyword: s(40_000.0, 500),
+    }
+}
+
+struct JobSizes {
+    titles: usize,
+    companies: usize,
+    movie_companies: usize,
+    movie_info: usize,
+    movie_info_idx: usize,
+    names: usize,
+    cast_info: usize,
+    keywords: usize,
+    movie_keyword: usize,
+}
+
+fn build_catalog(cfg: &JobConfig) -> Arc<Catalog> {
+    let n = sizes(cfg.scale);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let cat = Catalog::new();
+
+    // Dimension tables.
+    let mut b = cat.builder("kind_type", schema![("id", Int), ("kind", Str)]);
+    for (i, k) in KINDS.iter().enumerate() {
+        b.push_row(&[Value::Int(i as i64), Value::from(*k)]);
+    }
+    cat.register(b.finish());
+    let mut b = cat.builder("company_type", schema![("id", Int), ("kind", Str)]);
+    for (i, k) in COMPANY_TYPES.iter().enumerate() {
+        b.push_row(&[Value::Int(i as i64), Value::from(*k)]);
+    }
+    cat.register(b.finish());
+    let mut b = cat.builder("info_type", schema![("id", Int), ("info", Str)]);
+    for (i, k) in INFO_TYPES.iter().enumerate() {
+        b.push_row(&[Value::Int(i as i64), Value::from(*k)]);
+    }
+    cat.register(b.finish());
+    let mut b = cat.builder("role_type", schema![("id", Int), ("role", Str)]);
+    for (i, k) in ROLES.iter().enumerate() {
+        b.push_row(&[Value::Int(i as i64), Value::from(*k)]);
+    }
+    cat.register(b.finish());
+
+    // title: production year uniform; kind correlated with year (episodes
+    // and tv series are overwhelmingly post-1990).
+    let mut years = Vec::with_capacity(n.titles);
+    let mut b = cat.builder(
+        "title",
+        schema![
+            ("id", Int),
+            ("kind_id", Int),
+            ("production_year", Int),
+            ("title", Str),
+        ],
+    );
+    for i in 0..n.titles {
+        let year = rng.gen_range(1930..2018);
+        years.push(year);
+        let kind = if year >= 1990 {
+            // 60% series/episode content in the streaming era.
+            if rng.gen_bool(0.6) {
+                *crate::dist::pick(&mut rng, &[1i64, 2, 4])
+            } else {
+                0
+            }
+        } else if rng.gen_bool(0.9) {
+            0 // almost everything old is "movie"
+        } else {
+            2
+        };
+        b.push_row(&[
+            Value::Int(i as i64),
+            Value::Int(kind),
+            Value::Int(year),
+            Value::from(format!("Title {i}").as_str()),
+        ]);
+    }
+    cat.register(b.finish());
+
+    // company_name: country Zipf-skewed (US heavy); remember per-country
+    // company lists so movie_companies can correlate with years.
+    let country_zipf = Zipf::new(COUNTRIES.len(), 1.1);
+    let mut by_country: Vec<Vec<i64>> = vec![Vec::new(); COUNTRIES.len()];
+    let mut b = cat.builder(
+        "company_name",
+        schema![("id", Int), ("name", Str), ("country_code", Str)],
+    );
+    for i in 0..n.companies {
+        let c = country_zipf.sample(&mut rng);
+        by_country[c].push(i as i64);
+        b.push_row(&[
+            Value::Int(i as i64),
+            Value::from(format!("Company {i}").as_str()),
+            Value::from(COUNTRIES[c]),
+        ]);
+    }
+    // Guarantee every country has at least one company.
+    for c in 0..COUNTRIES.len() {
+        if by_country[c].is_empty() {
+            by_country[c].push(0);
+        }
+    }
+    cat.register(b.finish());
+
+    // movie_companies: THE planted correlation — movies from 1970–1989
+    // attach to German companies 60% of the time; others almost never.
+    let movie_zipf = Zipf::new(n.titles, 0.8);
+    let de = COUNTRIES.iter().position(|&c| c == "[de]").unwrap();
+    let mut b = cat.builder(
+        "movie_companies",
+        schema![
+            ("id", Int),
+            ("movie_id", Int),
+            ("company_id", Int),
+            ("company_type_id", Int),
+        ],
+    );
+    for i in 0..n.movie_companies {
+        let movie = movie_zipf.sample(&mut rng);
+        let year = years[movie];
+        let country = if (1970..1990).contains(&year) && rng.gen_bool(0.6) {
+            de
+        } else {
+            // Redraw until non-German (keeps German rare outside the era).
+            let mut c = country_zipf.sample(&mut rng);
+            while c == de && !(1970..1990).contains(&year) && rng.gen_bool(0.95) {
+                c = country_zipf.sample(&mut rng);
+            }
+            c
+        };
+        let company = by_country[country][rng.gen_range(0..by_country[country].len())];
+        b.push_row(&[
+            Value::Int(i as i64),
+            Value::Int(movie as i64),
+            Value::Int(company),
+            Value::Int(rng.gen_range(0..COMPANY_TYPES.len() as i64)),
+        ]);
+    }
+    cat.register(b.finish());
+
+    // movie_info: genres correlated with year.
+    let mut b = cat.builder(
+        "movie_info",
+        schema![
+            ("id", Int),
+            ("movie_id", Int),
+            ("info_type_id", Int),
+            ("info", Str),
+        ],
+    );
+    let mut seen_mi = std::collections::HashSet::new();
+    let mut mi_id = 0i64;
+    for _ in 0..n.movie_info {
+        let movie = movie_zipf.sample(&mut rng);
+        let year = years[movie];
+        let itype = rng.gen_range(0..INFO_TYPES.len());
+        let info: String = match INFO_TYPES[itype] {
+            "genres" => {
+                let g = if year < 1960 {
+                    if rng.gen_bool(0.5) {
+                        "Documentary"
+                    } else {
+                        "Short"
+                    }
+                } else if year >= 1990 {
+                    if rng.gen_bool(0.5) {
+                        "Action"
+                    } else {
+                        GENRES[rng.gen_range(0..GENRES.len())]
+                    }
+                } else {
+                    GENRES[rng.gen_range(0..GENRES.len())]
+                };
+                g.to_string()
+            }
+            "runtimes" => format!("{}", rng.gen_range(5..240)),
+            "languages" => ["English", "German", "French", "Japanese"][rng.gen_range(0..4)]
+                .to_string(),
+            "countries" => COUNTRIES[country_zipf.sample(&mut rng)].to_string(),
+            _ => format!("info-{}", rng.gen_range(0..50)),
+        };
+        // IMDB's (movie, info_type, value) triples are unique; duplicates
+        // would square per-movie fanouts for hot titles.
+        if !seen_mi.insert((movie, itype, info.clone())) {
+            continue;
+        }
+        b.push_row(&[
+            Value::Int(mi_id),
+            Value::Int(movie as i64),
+            Value::Int(itype as i64),
+            Value::from(info.as_str()),
+        ]);
+        mi_id += 1;
+    }
+    cat.register(b.finish());
+
+    // movie_info_idx: ratings anti-correlated with year (classics rate high).
+    let rating_type = INFO_TYPES.iter().position(|&t| t == "rating").unwrap();
+    let mut b = cat.builder(
+        "movie_info_idx",
+        schema![
+            ("id", Int),
+            ("movie_id", Int),
+            ("info_type_id", Int),
+            ("info", Str),
+        ],
+    );
+    let mut rated = std::collections::HashSet::new();
+    let mut mii_id = 0i64;
+    for _ in 0..n.movie_info_idx {
+        let movie = movie_zipf.sample(&mut rng);
+        // One rating per movie, as in IMDB.
+        if !rated.insert(movie) {
+            continue;
+        }
+        let year = years[movie];
+        let base: f64 = if year < 1970 { 7.0 } else { 5.0 };
+        let rating = (base + rng.gen_range(-2.0..2.5)).clamp(1.0, 9.9);
+        b.push_row(&[
+            Value::Int(mii_id),
+            Value::Int(movie as i64),
+            Value::Int(rating_type as i64),
+            Value::from(format!("{rating:.1}").as_str()),
+        ]);
+        mii_id += 1;
+    }
+    cat.register(b.finish());
+
+    // name: people, gendered.
+    let mut genders = Vec::with_capacity(n.names);
+    let mut b = cat.builder(
+        "name",
+        schema![("id", Int), ("name", Str), ("gender", Str)],
+    );
+    for i in 0..n.names {
+        let g = if rng.gen_bool(0.45) { "f" } else { "m" };
+        genders.push(g);
+        b.push_row(&[
+            Value::Int(i as i64),
+            Value::from(format!("Person {i}").as_str()),
+            Value::from(g),
+        ]);
+    }
+    cat.register(b.finish());
+
+    // cast_info: Zipf-hot movies and people; role correlated with gender.
+    let person_zipf = Zipf::new(n.names, 1.0);
+    let mut b = cat.builder(
+        "cast_info",
+        schema![
+            ("id", Int),
+            ("movie_id", Int),
+            ("person_id", Int),
+            ("role_id", Int),
+        ],
+    );
+    for i in 0..n.cast_info {
+        let movie = movie_zipf.sample(&mut rng);
+        let person = person_zipf.sample(&mut rng);
+        let role = if genders[person] == "f" {
+            if rng.gen_bool(0.7) {
+                1 // actress
+            } else {
+                rng.gen_range(2..ROLES.len() as i64)
+            }
+        } else if rng.gen_bool(0.6) {
+            0 // actor
+        } else {
+            rng.gen_range(2..ROLES.len() as i64)
+        };
+        b.push_row(&[
+            Value::Int(i as i64),
+            Value::Int(movie as i64),
+            Value::Int(person as i64),
+            Value::Int(role),
+        ]);
+    }
+    cat.register(b.finish());
+
+    // keyword + movie_keyword: special keywords only on certain kinds.
+    let mut b = cat.builder("keyword", schema![("id", Int), ("keyword", Str)]);
+    for i in 0..n.keywords {
+        let kw = if i < KEYWORDS_SPECIAL.len() {
+            KEYWORDS_SPECIAL[i].to_string()
+        } else {
+            format!("keyword-{i}")
+        };
+        b.push_row(&[Value::Int(i as i64), Value::from(kw.as_str())]);
+    }
+    cat.register(b.finish());
+    let kw_zipf = Zipf::new(n.keywords, 1.0);
+    let sequel = KEYWORDS_SPECIAL.iter().position(|&k| k == "sequel").unwrap();
+    let mut b = cat.builder(
+        "movie_keyword",
+        schema![("id", Int), ("movie_id", Int), ("keyword_id", Int)],
+    );
+    let mut seen_mk = std::collections::HashSet::new();
+    let mut mk_id = 0i64;
+    for _ in 0..n.movie_keyword {
+        let movie = movie_zipf.sample(&mut rng);
+        let year = years[movie];
+        // "sequel" is a modern phenomenon in this universe.
+        let kw = if year >= 1990 && rng.gen_bool(0.15) {
+            sequel
+        } else {
+            kw_zipf.sample(&mut rng)
+        };
+        // (movie, keyword) pairs are unique in IMDB.
+        if !seen_mk.insert((movie, kw)) {
+            continue;
+        }
+        b.push_row(&[
+            Value::Int(mk_id),
+            Value::Int(movie as i64),
+            Value::Int(kw as i64),
+        ]);
+        mk_id += 1;
+    }
+    cat.register(b.finish());
+    Arc::new(cat)
+}
+
+/// The 30-query workload (names `1a` … `10c`, JOB style: template × params).
+pub fn queries() -> Vec<BenchQuery> {
+    let mut v = Vec::new();
+    let mut push = |name: &str, num_tables: usize, sql: String| {
+        v.push(BenchQuery {
+            name: name.into(),
+            script: sql,
+            num_tables,
+        })
+    };
+
+    // Template 1 (3 joins): country × year correlation.
+    for (tag, cc, y) in [("1a", "[de]", 2000), ("1b", "[de]", 1975), ("1c", "[fr]", 1990)] {
+        push(
+            tag,
+            3,
+            format!(
+                "SELECT COUNT(*) matches FROM title t, movie_companies mc, company_name cn \
+                 WHERE t.id = mc.movie_id AND cn.id = mc.company_id \
+                   AND cn.country_code = '{cc}' AND t.production_year > {y};"
+            ),
+        );
+    }
+
+    // Template 2 (4 joins): + company type.
+    for (tag, cc, y1, y2) in [
+        ("2a", "[de]", 1970, 1989),
+        ("2b", "[us]", 1950, 1959),
+        ("2c", "[jp]", 1990, 2010),
+    ] {
+        push(
+            tag,
+            4,
+            format!(
+                "SELECT MIN(t.title) first_title \
+                 FROM title t, movie_companies mc, company_name cn, company_type ct \
+                 WHERE t.id = mc.movie_id AND cn.id = mc.company_id \
+                   AND ct.id = mc.company_type_id AND ct.kind = 'production companies' \
+                   AND cn.country_code = '{cc}' \
+                   AND t.production_year BETWEEN {y1} AND {y2};"
+            ),
+        );
+    }
+
+    // Template 3 (3 joins): genre × year correlation.
+    for (tag, genre, y1, y2) in [
+        ("3a", "Documentary", 1990, 2017),
+        ("3b", "Action", 1930, 1960),
+        ("3c", "Drama", 1970, 1990),
+    ] {
+        push(
+            tag,
+            3,
+            format!(
+                "SELECT COUNT(*) matches FROM title t, movie_info mi, info_type it \
+                 WHERE t.id = mi.movie_id AND it.id = mi.info_type_id \
+                   AND it.info = 'genres' AND mi.info = '{genre}' \
+                   AND t.production_year BETWEEN {y1} AND {y2};"
+            ),
+        );
+    }
+
+    // Template 4 (4 joins): cast role × gender correlation.
+    for (tag, role, gender, y) in [
+        ("4a", "actress", "f", 1990),
+        ("4b", "actress", "m", 1990),
+        ("4c", "director", "f", 1970),
+    ] {
+        push(
+            tag,
+            4,
+            format!(
+                "SELECT COUNT(*) matches \
+                 FROM title t, cast_info ci, name n, role_type rt \
+                 WHERE t.id = ci.movie_id AND n.id = ci.person_id \
+                   AND rt.id = ci.role_id AND rt.role = '{role}' \
+                   AND n.gender = '{gender}' AND t.production_year > {y};"
+            ),
+        );
+    }
+
+    // Template 5 (3 joins): keyword × era correlation.
+    for (tag, kw, y) in [
+        ("5a", "sequel", 1990),
+        ("5b", "sequel", 1950),
+        ("5c", "based-on-novel", 1980),
+    ] {
+        push(
+            tag,
+            3,
+            format!(
+                "SELECT COUNT(*) matches FROM title t, movie_keyword mk, keyword k \
+                 WHERE t.id = mk.movie_id AND k.id = mk.keyword_id \
+                   AND k.keyword = '{kw}' AND t.production_year > {y};"
+            ),
+        );
+    }
+
+    // Template 6 (6 joins): companies + genre info.
+    for (tag, cc, genre) in [
+        ("6a", "[de]", "Action"),
+        ("6b", "[us]", "Documentary"),
+        ("6c", "[gb]", "Drama"),
+    ] {
+        push(
+            tag,
+            6,
+            format!(
+                "SELECT MIN(t.title) first_title \
+                 FROM title t, movie_companies mc, company_name cn, company_type ct, \
+                      movie_info mi, info_type it \
+                 WHERE t.id = mc.movie_id AND cn.id = mc.company_id \
+                   AND ct.id = mc.company_type_id AND t.id = mi.movie_id \
+                   AND it.id = mi.info_type_id AND it.info = 'genres' \
+                   AND mi.info = '{genre}' AND cn.country_code = '{cc}';"
+            ),
+        );
+    }
+
+    // Template 7 (5 joins, info_type self-alias): genre + rating.
+    for (tag, genre, rating) in [
+        ("7a", "Documentary", "8.0"),
+        ("7b", "Action", "8.5"),
+        ("7c", "Drama", "3.0"),
+    ] {
+        push(
+            tag,
+            5,
+            format!(
+                "SELECT COUNT(*) matches \
+                 FROM title t, movie_info mi, info_type it1, movie_info_idx mii, \
+                      info_type it2 \
+                 WHERE t.id = mi.movie_id AND it1.id = mi.info_type_id \
+                   AND t.id = mii.movie_id AND it2.id = mii.info_type_id \
+                   AND it1.info = 'genres' AND it2.info = 'rating' \
+                   AND mi.info = '{genre}' AND mii.info > '{rating}';"
+            ),
+        );
+    }
+
+    // Template 8 (8 joins): companies + keywords + genre.
+    for (tag, cc, kw, genre) in [
+        ("8a", "[de]", "sequel", "Action"),
+        ("8b", "[us]", "love", "Romance"),
+        ("8c", "[fr]", "murder", "Thriller"),
+    ] {
+        push(
+            tag,
+            8,
+            format!(
+                "SELECT MIN(t.title) first_title \
+                 FROM title t, movie_companies mc, company_name cn, company_type ct, \
+                      movie_keyword mk, keyword k, movie_info mi, info_type it \
+                 WHERE t.id = mc.movie_id AND cn.id = mc.company_id \
+                   AND ct.id = mc.company_type_id AND t.id = mk.movie_id \
+                   AND k.id = mk.keyword_id AND t.id = mi.movie_id \
+                   AND it.id = mi.info_type_id AND it.info = 'genres' \
+                   AND cn.country_code = '{cc}' AND k.keyword = '{kw}' \
+                   AND mi.info = '{genre}';"
+            ),
+        );
+    }
+
+    // Template 9 (10 joins): + cast and kind. Keyword and role filters keep
+    // the true result small while the correlated predicates still break the
+    // estimates — the JOB recipe: feasible for a good order, catastrophic
+    // for a bad one.
+    for (tag, cc, role, kw, y) in [
+        ("9a", "[us]", "actress", "sequel", 1990),
+        ("9b", "[de]", "actor", "love", 1970),
+        ("9c", "[gb]", "director", "murder", 1995),
+    ] {
+        push(
+            tag,
+            10,
+            format!(
+                "SELECT MIN(n.name) person, MIN(t.title) first_title \
+                 FROM title t, kind_type kt, movie_companies mc, company_name cn, \
+                      company_type ct, cast_info ci, name n, role_type rt, \
+                      movie_keyword mk, keyword k \
+                 WHERE t.id = mc.movie_id AND cn.id = mc.company_id \
+                   AND ct.id = mc.company_type_id AND kt.id = t.kind_id \
+                   AND t.id = ci.movie_id AND n.id = ci.person_id \
+                   AND rt.id = ci.role_id AND t.id = mk.movie_id \
+                   AND k.id = mk.keyword_id AND k.keyword = '{kw}' \
+                   AND cn.country_code = '{cc}' AND rt.role = '{role}' \
+                   AND t.production_year > {y};"
+            ),
+        );
+    }
+
+    // Template 10 (13 joins): the full star around title with two keyword
+    // constraints — every satellite is filtered, so the true result is tiny
+    // while Zipf fanouts make wrong orders explode (the JOB recipe).
+    for (tag, genre, rating, cc, kw1, kw2) in [
+        ("10a", "Action", "7.0", "[us]", "sequel", "love"),
+        ("10b", "Documentary", "6.0", "[de]", "based-on-novel", "murder"),
+        (
+            "10c",
+            "Drama",
+            "8.0",
+            "[fr]",
+            "character-name-in-title",
+            "sequel",
+        ),
+    ] {
+        push(
+            tag,
+            13,
+            format!(
+                "SELECT MIN(t.title) first_title \
+                 FROM title t, kind_type kt, movie_companies mc, company_name cn, \
+                      company_type ct, movie_info mi, info_type it1, \
+                      movie_info_idx mii, info_type it2, movie_keyword mk1, \
+                      keyword k1, movie_keyword mk2, keyword k2 \
+                 WHERE t.id = mc.movie_id AND cn.id = mc.company_id \
+                   AND ct.id = mc.company_type_id AND kt.id = t.kind_id \
+                   AND t.id = mi.movie_id AND it1.id = mi.info_type_id \
+                   AND t.id = mii.movie_id AND it2.id = mii.info_type_id \
+                   AND t.id = mk1.movie_id AND k1.id = mk1.keyword_id \
+                   AND t.id = mk2.movie_id AND k2.id = mk2.keyword_id \
+                   AND it1.info = 'genres' AND it2.info = 'rating' \
+                   AND mi.info = '{genre}' AND mii.info > '{rating}' \
+                   AND k1.keyword = '{kw1}' AND k2.keyword = '{kw2}' \
+                   AND cn.country_code = '{cc}';"
+            ),
+        );
+    }
+
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirty_queries_all_parse() {
+        let qs = queries();
+        assert_eq!(qs.len(), 30);
+        for q in &qs {
+            skinner_query::parse_statements(&q.script)
+                .unwrap_or_else(|e| panic!("{}: {e}", q.name));
+        }
+    }
+
+    #[test]
+    fn all_tables_exist() {
+        let w = generate(&JobConfig {
+            scale: 0.05,
+            seed: 3,
+        });
+        for t in [
+            "title",
+            "kind_type",
+            "company_name",
+            "company_type",
+            "movie_companies",
+            "movie_info",
+            "movie_info_idx",
+            "info_type",
+            "name",
+            "cast_info",
+            "role_type",
+            "keyword",
+            "movie_keyword",
+        ] {
+            assert!(w.catalog.get(t).is_some(), "missing {t}");
+        }
+    }
+
+    #[test]
+    fn german_companies_correlate_with_70s_80s() {
+        let w = generate(&JobConfig {
+            scale: 0.2,
+            seed: 4,
+        });
+        let title = w.catalog.get("title").unwrap();
+        let mc = w.catalog.get("movie_companies").unwrap();
+        let cn = w.catalog.get("company_name").unwrap();
+        // Count German attachments by era.
+        let de_code = w.catalog.interner().lookup("[de]").unwrap();
+        let mut in_era = 0usize;
+        let mut out_era = 0usize;
+        for row in 0..mc.cardinality() {
+            let movie = mc.value(row, 1).as_i64().unwrap() as u32;
+            let company = mc.value(row, 2).as_i64().unwrap() as u32;
+            if cn.column(2).code_at(company) == de_code {
+                let year = title.value(movie, 2).as_i64().unwrap();
+                if (1970..1990).contains(&year) {
+                    in_era += 1;
+                } else {
+                    out_era += 1;
+                }
+            }
+        }
+        assert!(
+            in_era > out_era * 2,
+            "correlation not planted: {in_era} in-era vs {out_era} out"
+        );
+    }
+
+    #[test]
+    fn zipf_skew_in_cast() {
+        let w = generate(&JobConfig {
+            scale: 0.2,
+            seed: 5,
+        });
+        let ci = w.catalog.get("cast_info").unwrap();
+        let mut counts = std::collections::HashMap::new();
+        for row in 0..ci.cardinality() {
+            let movie = ci.value(row, 1).as_i64().unwrap();
+            *counts.entry(movie).or_insert(0usize) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        let avg = ci.num_rows() / counts.len();
+        assert!(max > avg * 5, "no skew: max {max}, avg {avg}");
+    }
+
+    #[test]
+    fn join_counts_span_3_to_12() {
+        let qs = queries();
+        let min = qs.iter().map(|q| q.num_tables).min().unwrap();
+        let max = qs.iter().map(|q| q.num_tables).max().unwrap();
+        assert_eq!(min, 3);
+        assert_eq!(max, 13);
+    }
+}

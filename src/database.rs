@@ -1,0 +1,392 @@
+//! The `Database` facade: tables, UDFs, SQL scripts, strategies.
+
+use std::fmt;
+use std::sync::Arc;
+
+use skinner_query::ast::Statement;
+use skinner_query::{bind_select, parse_statements, BindError, JoinQuery, ParseError, UdfRegistry};
+use skinner_stats::StatsCache;
+use skinner_storage::{Catalog, DataType, Field, Schema, Value};
+
+use crate::strategy::{run_query, RunOutcome, Strategy};
+use crate::QueryResult;
+
+/// Top-level error type.
+#[derive(Debug)]
+pub enum DbError {
+    Parse(ParseError),
+    Bind(BindError),
+    /// A statement exceeded its work limit.
+    Timeout,
+    /// Schema/constraint violations when creating tables.
+    Schema(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Parse(e) => write!(f, "{e}"),
+            DbError::Bind(e) => write!(f, "{e}"),
+            DbError::Timeout => write!(f, "query exceeded its work limit"),
+            DbError::Schema(s) => write!(f, "schema error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<ParseError> for DbError {
+    fn from(e: ParseError) -> Self {
+        DbError::Parse(e)
+    }
+}
+
+impl From<BindError> for DbError {
+    fn from(e: BindError) -> Self {
+        DbError::Bind(e)
+    }
+}
+
+/// An embedded SkinnerDB instance: a catalog of in-memory tables, a UDF
+/// registry, cached statistics (for the *baseline* strategies only —
+/// SkinnerDB itself never reads them), and a default evaluation strategy.
+pub struct Database {
+    catalog: Arc<Catalog>,
+    udfs: UdfRegistry,
+    stats: StatsCache,
+    default_strategy: Strategy,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Database {
+    /// Empty database with the default strategy (Skinner-C).
+    pub fn new() -> Self {
+        Database {
+            catalog: Arc::new(Catalog::new()),
+            udfs: UdfRegistry::new(),
+            stats: StatsCache::new(),
+            default_strategy: Strategy::default(),
+        }
+    }
+
+    /// Wrap an existing catalog + UDFs (workload generators produce these).
+    pub fn from_parts(catalog: Arc<Catalog>, udfs: UdfRegistry) -> Self {
+        Database {
+            catalog,
+            udfs,
+            stats: StatsCache::new(),
+            default_strategy: Strategy::default(),
+        }
+    }
+
+    /// Replace the default strategy used by [`Database::query`].
+    pub fn set_default_strategy(&mut self, strategy: Strategy) {
+        self.default_strategy = strategy;
+    }
+
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    pub fn udfs(&self) -> &UdfRegistry {
+        &self.udfs
+    }
+
+    pub fn stats(&self) -> &StatsCache {
+        &self.stats
+    }
+
+    /// Create and register a table from rows.
+    pub fn create_table(
+        &mut self,
+        name: &str,
+        columns: &[(&str, DataType)],
+        rows: Vec<Vec<Value>>,
+    ) -> Result<(), DbError> {
+        let schema = Schema::new(
+            columns
+                .iter()
+                .map(|(n, dt)| Field::new(*n, *dt))
+                .collect(),
+        );
+        let mut b = self.catalog.builder(name, schema);
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != columns.len() {
+                return Err(DbError::Schema(format!(
+                    "row {i} has {} values, expected {}",
+                    row.len(),
+                    columns.len()
+                )));
+            }
+            b.push_row(row);
+        }
+        self.catalog.register(b.finish());
+        Ok(())
+    }
+
+    /// Register a UDF callable from SQL.
+    pub fn register_udf(
+        &mut self,
+        name: &str,
+        f: impl Fn(&[Value]) -> Value + Send + Sync + 'static,
+    ) {
+        self.udfs.register(name, f);
+    }
+
+    /// Load a CSV file (header required, types inferred) as table `name`.
+    pub fn load_csv(&mut self, name: &str, path: impl AsRef<std::path::Path>) -> Result<(), DbError> {
+        let file = std::fs::File::open(path)
+            .map_err(|e| DbError::Schema(format!("cannot open csv: {e}")))?;
+        let table = skinner_storage::read_csv(
+            name,
+            std::io::BufReader::new(file),
+            None,
+            self.catalog.interner().clone(),
+        )
+        .map_err(|e| DbError::Schema(e.to_string()))?;
+        self.catalog.register(table);
+        Ok(())
+    }
+
+    /// Bind a single SELECT statement (no execution).
+    pub fn bind(&self, sql: &str) -> Result<JoinQuery, DbError> {
+        let stmts = parse_statements(sql)?;
+        match stmts.as_slice() {
+            [Statement::Select(s)] => Ok(bind_select(s, &self.catalog, &self.udfs)?),
+            _ => Err(DbError::Schema(
+                "bind expects exactly one SELECT statement".into(),
+            )),
+        }
+    }
+
+    /// Run a SQL script with the default strategy and return the last
+    /// SELECT's result.
+    pub fn query(&self, sql: &str) -> Result<QueryResult, DbError> {
+        let strategy = self.default_strategy.clone();
+        Ok(self.run_script(sql, &strategy)?.result)
+    }
+
+    /// Run a SQL script with an explicit strategy, returning the normalized
+    /// outcome of the whole script (work units accumulate across
+    /// statements; the result is the last SELECT's).
+    pub fn run_script(&self, sql: &str, strategy: &Strategy) -> Result<RunOutcome, DbError> {
+        let stmts = parse_statements(sql)?;
+        if stmts.is_empty() {
+            return Err(DbError::Schema("empty script".into()));
+        }
+        let started = std::time::Instant::now();
+        let mut total_work = 0u64;
+        let mut last: Option<QueryResult> = None;
+        let mut temp_tables: Vec<String> = Vec::new();
+        for stmt in &stmts {
+            match stmt {
+                Statement::Select(s) => {
+                    let q = bind_select(s, &self.catalog, &self.udfs)?;
+                    let out = run_query(&q, strategy, &self.stats);
+                    total_work += out.work_units;
+                    if out.timed_out {
+                        self.cleanup(&temp_tables);
+                        return Ok(RunOutcome {
+                            result: out.result,
+                            work_units: total_work,
+                            wall: started.elapsed(),
+                            timed_out: true,
+                        });
+                    }
+                    last = Some(out.result);
+                }
+                Statement::CreateTempTable { name, query } => {
+                    let q = bind_select(query, &self.catalog, &self.udfs)?;
+                    let out = run_query(&q, strategy, &self.stats);
+                    total_work += out.work_units;
+                    if out.timed_out {
+                        self.cleanup(&temp_tables);
+                        return Ok(RunOutcome {
+                            result: out.result,
+                            work_units: total_work,
+                            wall: started.elapsed(),
+                            timed_out: true,
+                        });
+                    }
+                    self.materialize(name, &q, &out.result)?;
+                    temp_tables.push(name.clone());
+                }
+                Statement::DropTable { name } => {
+                    self.catalog.drop_table(name);
+                    temp_tables.retain(|t| !t.eq_ignore_ascii_case(name));
+                }
+            }
+        }
+        let result = last.ok_or_else(|| {
+            DbError::Schema("script contains no SELECT returning a result".into())
+        })?;
+        Ok(RunOutcome {
+            result,
+            work_units: total_work,
+            wall: started.elapsed(),
+            timed_out: false,
+        })
+    }
+
+    fn cleanup(&self, temp_tables: &[String]) {
+        for t in temp_tables {
+            self.catalog.drop_table(t);
+        }
+    }
+
+    /// Materialize a query result as a new table (decomposed-query support).
+    fn materialize(
+        &self,
+        name: &str,
+        query: &JoinQuery,
+        result: &QueryResult,
+    ) -> Result<(), DbError> {
+        let types = query.output_types();
+        let fields: Vec<Field> = result
+            .columns
+            .iter()
+            .zip(&types)
+            .map(|(n, dt)| {
+                // Temp-table columns must be bare identifiers.
+                let base = n.rsplit('.').next().unwrap_or(n);
+                Field::new(base, *dt)
+            })
+            .collect();
+        let mut b = self.catalog.builder(name, Schema::new(fields));
+        for row in &result.rows {
+            b.push_row(row);
+        }
+        self.catalog.register(b.finish());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            "a",
+            &[("id", DataType::Int), ("g", DataType::Int)],
+            (0..30)
+                .map(|i| vec![Value::Int(i), Value::Int(i % 3)])
+                .collect(),
+        )
+        .unwrap();
+        db.create_table(
+            "b",
+            &[("aid", DataType::Int), ("w", DataType::Float)],
+            (0..50)
+                .map(|i| vec![Value::Int(i % 30), Value::Float(i as f64)])
+                .collect(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn end_to_end_query() {
+        let db = sample_db();
+        let r = db
+            .query("SELECT a.g, COUNT(*) c FROM a, b WHERE a.id = b.aid GROUP BY a.g ORDER BY a.g")
+            .unwrap();
+        assert_eq!(r.num_rows(), 3);
+        let total: i64 = r.rows.iter().map(|row| row[1].as_i64().unwrap()).sum();
+        assert_eq!(total, 50);
+    }
+
+    #[test]
+    fn all_strategies_agree() {
+        let db = sample_db();
+        let sql = "SELECT a.id FROM a, b WHERE a.id = b.aid AND a.g = 1";
+        let reference = db.run_script(sql, &Strategy::Reference).unwrap();
+        for strategy in [
+            Strategy::default(),
+            Strategy::SkinnerG(Default::default()),
+            Strategy::SkinnerH(Default::default()),
+            Strategy::Traditional(Default::default()),
+            Strategy::Eddy(Default::default()),
+            Strategy::Reoptimizer(Default::default()),
+        ] {
+            let out = db.run_script(sql, &strategy).unwrap();
+            assert!(!out.timed_out, "{}", strategy.name());
+            assert_eq!(
+                out.result.canonical_rows(),
+                reference.result.canonical_rows(),
+                "{}",
+                strategy.name()
+            );
+        }
+    }
+
+    #[test]
+    fn temp_table_script_roundtrip() {
+        let db = sample_db();
+        let script = "CREATE TEMP TABLE sums AS \
+                      SELECT a.g grp, COUNT(*) c FROM a, b WHERE a.id = b.aid GROUP BY a.g; \
+                      SELECT s.grp, s.c FROM sums s WHERE s.c > 10 ORDER BY s.grp; \
+                      DROP TABLE sums;";
+        let r = db.query(script).unwrap();
+        assert!(r.num_rows() >= 1);
+        // Temp table dropped afterwards.
+        assert!(db.catalog().get("sums").is_none());
+    }
+
+    #[test]
+    fn udf_registration_and_use() {
+        let mut db = sample_db();
+        db.register_udf("is_even", |args| {
+            Value::from(args[0].as_i64().unwrap_or(1) % 2 == 0)
+        });
+        let r = db.query("SELECT a.id FROM a WHERE is_even(a.id)").unwrap();
+        assert_eq!(r.num_rows(), 15);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let db = sample_db();
+        assert!(matches!(db.query("SELECT FROM"), Err(DbError::Parse(_))));
+        assert!(matches!(
+            db.query("SELECT nope.x FROM a"),
+            Err(DbError::Bind(_))
+        ));
+        assert!(matches!(
+            db.query("DROP TABLE a"),
+            Err(DbError::Schema(_))
+        ));
+    }
+
+    #[test]
+    fn csv_loading_end_to_end() {
+        let dir = std::env::temp_dir().join("skinnerdb_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("people.csv");
+        std::fs::write(&path, "id,name,score\n1,ann,2.5\n2,bob,3.0\n").unwrap();
+        let mut db = Database::new();
+        db.load_csv("people", &path).unwrap();
+        let r = db
+            .query("SELECT p.name FROM people p WHERE p.score > 2.7")
+            .unwrap();
+        assert_eq!(r.num_rows(), 1);
+        assert_eq!(r.rows[0][0].as_str(), Some("bob"));
+        assert!(db.load_csv("nope", dir.join("missing.csv")).is_err());
+    }
+
+    #[test]
+    fn schema_arity_checked() {
+        let mut db = Database::new();
+        let err = db.create_table(
+            "t",
+            &[("x", DataType::Int)],
+            vec![vec![Value::Int(1), Value::Int(2)]],
+        );
+        assert!(matches!(err, Err(DbError::Schema(_))));
+    }
+}

@@ -1,0 +1,72 @@
+//! # SkinnerDB-rs
+//!
+//! A from-scratch Rust reproduction of *"SkinnerDB: Regret-Bounded Query
+//! Evaluation via Reinforcement Learning"* (Trummer et al., VLDB 2019).
+//!
+//! SkinnerDB maintains **no data statistics and no cost model**. It learns
+//! (near-)optimal join orders *during* the execution of the current query:
+//! execution is cut into thousands of tiny time slices, a UCT bandit picks
+//! the join order for each slice, per-slice progress becomes the reward, and
+//! partial results from different orders merge into one complete result —
+//! with formal bounds on the regret versus an optimal join order.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use skinnerdb::{Database, Value};
+//!
+//! let mut db = Database::new();
+//! db.create_table(
+//!     "users",
+//!     &[("id", skinnerdb::DataType::Int), ("name", skinnerdb::DataType::Str)],
+//!     vec![
+//!         vec![Value::Int(1), Value::from("ada")],
+//!         vec![Value::Int(2), Value::from("grace")],
+//!     ],
+//! )
+//! .unwrap();
+//! db.create_table(
+//!     "events",
+//!     &[("user_id", skinnerdb::DataType::Int), ("kind", skinnerdb::DataType::Str)],
+//!     vec![
+//!         vec![Value::Int(1), Value::from("login")],
+//!         vec![Value::Int(1), Value::from("click")],
+//!         vec![Value::Int(2), Value::from("login")],
+//!     ],
+//! )
+//! .unwrap();
+//! let result = db
+//!     .query("SELECT u.name, COUNT(*) c FROM users u, events e \
+//!             WHERE u.id = e.user_id GROUP BY u.name ORDER BY u.name")
+//!     .unwrap();
+//! assert_eq!(result.num_rows(), 2);
+//! ```
+//!
+//! ## Crate map
+//!
+//! * [`skinner_core`] — Skinner-C/G/H, the paper's contribution,
+//! * [`skinner_exec`] — the generic engine + shared pre/post-processing,
+//! * [`skinner_uct`] — the UCT search tree,
+//! * [`skinner_optimizer`] / [`skinner_stats`] — the traditional baseline,
+//! * [`skinner_adaptive`] — Eddies and the sampling re-optimizer,
+//! * [`skinner_workloads`] — TPC-H / JOB-like / torture generators.
+
+pub mod database;
+pub mod strategy;
+
+pub use database::{Database, DbError};
+pub use strategy::{RunOutcome, Strategy};
+
+pub use skinner_exec::QueryResult;
+pub use skinner_storage::{DataType, Value};
+
+// Re-export the component crates for advanced use (benchmarks, examples).
+pub use skinner_adaptive;
+pub use skinner_core;
+pub use skinner_exec;
+pub use skinner_optimizer;
+pub use skinner_query;
+pub use skinner_stats;
+pub use skinner_storage;
+pub use skinner_uct;
+pub use skinner_workloads;

@@ -1,0 +1,140 @@
+//! Unified evaluation-strategy dispatch.
+
+use std::time::Duration;
+
+use skinner_adaptive::{run_eddy, run_reoptimizer, EddyConfig, ReoptimizerConfig};
+use skinner_core::{run_skinner_c, run_skinner_h, SkinnerCConfig, SkinnerG, SkinnerGConfig, SkinnerHConfig};
+use skinner_exec::{run_traditional, QueryResult, TraditionalConfig};
+use skinner_query::JoinQuery;
+use skinner_stats::StatsCache;
+
+/// Which evaluation strategy executes a query.
+#[derive(Debug, Clone)]
+pub enum Strategy {
+    /// Skinner-C: the customized engine (paper Section 4.5). The default.
+    SkinnerC(SkinnerCConfig),
+    /// Skinner-G on the generic engine (Section 4.3).
+    SkinnerG(SkinnerGConfig),
+    /// Skinner-H hybrid (Section 4.4).
+    SkinnerH(SkinnerHConfig),
+    /// Traditional statistics + DP optimizer + generic engine.
+    Traditional(TraditionalConfig),
+    /// Reinforcement-learning Eddy baseline.
+    Eddy(EddyConfig),
+    /// Sampling-based re-optimizer baseline.
+    Reoptimizer(ReoptimizerConfig),
+    /// Naive nested-loop reference executor (testing only; exponential).
+    Reference,
+}
+
+impl Default for Strategy {
+    fn default() -> Self {
+        Strategy::SkinnerC(SkinnerCConfig::default())
+    }
+}
+
+impl Strategy {
+    /// Short display name (harness output).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::SkinnerC(_) => "Skinner-C",
+            Strategy::SkinnerG(_) => "Skinner-G",
+            Strategy::SkinnerH(_) => "Skinner-H",
+            Strategy::Traditional(_) => "Traditional",
+            Strategy::Eddy(_) => "Eddy",
+            Strategy::Reoptimizer(_) => "Re-optimizer",
+            Strategy::Reference => "Reference",
+        }
+    }
+}
+
+/// Normalized outcome of running one statement under any strategy.
+#[derive(Debug)]
+pub struct RunOutcome {
+    pub result: QueryResult,
+    /// Deterministic work units (comparable across strategies).
+    pub work_units: u64,
+    pub wall: Duration,
+    pub timed_out: bool,
+}
+
+/// Execute one bound query under `strategy`.
+pub fn run_query(query: &JoinQuery, strategy: &Strategy, stats: &StatsCache) -> RunOutcome {
+    match strategy {
+        Strategy::SkinnerC(cfg) => {
+            let o = run_skinner_c(query, cfg);
+            RunOutcome {
+                result: o.result,
+                work_units: o.work_units,
+                wall: o.wall,
+                timed_out: o.timed_out,
+            }
+        }
+        Strategy::SkinnerG(cfg) => {
+            let o = SkinnerG::new(query, cfg.clone()).run_to_completion();
+            RunOutcome {
+                result: o.result,
+                work_units: o.work_units,
+                wall: o.wall,
+                timed_out: o.timed_out,
+            }
+        }
+        Strategy::SkinnerH(cfg) => {
+            let o = run_skinner_h(query, stats, cfg);
+            RunOutcome {
+                result: o.result,
+                work_units: o.work_units,
+                wall: o.wall,
+                timed_out: o.timed_out,
+            }
+        }
+        Strategy::Traditional(cfg) => {
+            let o = run_traditional(query, stats, cfg);
+            RunOutcome {
+                result: o.result,
+                work_units: o.work_units,
+                wall: o.wall,
+                timed_out: o.timed_out,
+            }
+        }
+        Strategy::Eddy(cfg) => {
+            let o = run_eddy(query, cfg);
+            RunOutcome {
+                result: o.result,
+                work_units: o.work_units,
+                wall: o.wall,
+                timed_out: o.timed_out,
+            }
+        }
+        Strategy::Reoptimizer(cfg) => {
+            let o = run_reoptimizer(query, stats, cfg);
+            RunOutcome {
+                result: o.result,
+                work_units: o.work_units,
+                wall: o.wall,
+                timed_out: o.timed_out,
+            }
+        }
+        Strategy::Reference => {
+            let start = std::time::Instant::now();
+            let result = skinner_exec::reference::run_reference(query);
+            RunOutcome {
+                result,
+                work_units: 0,
+                wall: start.elapsed(),
+                timed_out: false,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Strategy::default().name(), "Skinner-C");
+        assert_eq!(Strategy::Reference.name(), "Reference");
+    }
+}

@@ -1,0 +1,209 @@
+//! Differential testing: every evaluation strategy must produce exactly the
+//! result of the naive reference executor (paper Theorems 5.1–5.3 claim
+//! correctness for all Skinner variants; we hold the baselines to the same
+//! standard).
+
+use skinnerdb::{DataType, Database, Strategy, Value};
+
+fn test_db() -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        "fact",
+        &[
+            ("id", DataType::Int),
+            ("d1", DataType::Int),
+            ("d2", DataType::Int),
+            ("v", DataType::Float),
+            ("tag", DataType::Str),
+        ],
+        (0..120)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::Int(i % 12),
+                    Value::Int(i % 7),
+                    Value::Float((i as f64) * 0.25),
+                    Value::from(if i % 3 == 0 { "alpha" } else { "beta" }),
+                ]
+            })
+            .collect(),
+    )
+    .unwrap();
+    db.create_table(
+        "dim1",
+        &[("id", DataType::Int), ("label", DataType::Str)],
+        (0..12)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::from(format!("label-{}", i % 4).as_str()),
+                ]
+            })
+            .collect(),
+    )
+    .unwrap();
+    db.create_table(
+        "dim2",
+        &[("id", DataType::Int), ("weight", DataType::Int)],
+        (0..7)
+            .map(|i| vec![Value::Int(i), Value::Int(i * 10)])
+            .collect(),
+    )
+    .unwrap();
+    db.register_udf("mod3_is", |args| {
+        Value::from(args[0].as_i64().unwrap_or(0) % 3 == args[1].as_i64().unwrap_or(-1))
+    });
+    db
+}
+
+fn all_strategies() -> Vec<Strategy> {
+    vec![
+        Strategy::SkinnerC(Default::default()),
+        Strategy::SkinnerG(Default::default()),
+        Strategy::SkinnerH(Default::default()),
+        Strategy::Traditional(Default::default()),
+        Strategy::Eddy(Default::default()),
+        Strategy::Reoptimizer(Default::default()),
+    ]
+}
+
+fn assert_all_agree(db: &Database, sql: &str) {
+    let expected = db
+        .run_script(sql, &Strategy::Reference)
+        .unwrap()
+        .result
+        .canonical_rows();
+    for strategy in all_strategies() {
+        let out = db
+            .run_script(sql, &strategy)
+            .unwrap_or_else(|e| panic!("{} failed on {sql}: {e}", strategy.name()));
+        assert!(!out.timed_out, "{} timed out on {sql}", strategy.name());
+        assert_eq!(
+            out.result.canonical_rows(),
+            expected,
+            "{} disagrees on {sql}",
+            strategy.name()
+        );
+    }
+}
+
+#[test]
+fn two_way_equi_join() {
+    let db = test_db();
+    assert_all_agree(&db, "SELECT f.id, d.label FROM fact f, dim1 d WHERE f.d1 = d.id");
+}
+
+#[test]
+fn three_way_join_with_filters() {
+    let db = test_db();
+    assert_all_agree(
+        &db,
+        "SELECT f.id FROM fact f, dim1 a, dim2 b \
+         WHERE f.d1 = a.id AND f.d2 = b.id AND a.label = 'label-1' AND b.weight > 20",
+    );
+}
+
+#[test]
+fn theta_join() {
+    let db = test_db();
+    assert_all_agree(
+        &db,
+        "SELECT f.id FROM fact f, dim2 b WHERE f.d2 = b.id AND f.id < b.weight",
+    );
+}
+
+#[test]
+fn udf_join_predicate() {
+    let db = test_db();
+    assert_all_agree(
+        &db,
+        "SELECT f.id FROM fact f, dim2 b WHERE f.d2 = b.id AND mod3_is(f.id, b.id)",
+    );
+}
+
+#[test]
+fn aggregates_and_groups() {
+    let db = test_db();
+    assert_all_agree(
+        &db,
+        "SELECT a.label, COUNT(*) c, SUM(f.v) s, MIN(f.id) mn, MAX(f.id) mx, AVG(f.v) av \
+         FROM fact f, dim1 a WHERE f.d1 = a.id GROUP BY a.label ORDER BY a.label",
+    );
+}
+
+#[test]
+fn like_and_in_and_between() {
+    let db = test_db();
+    assert_all_agree(
+        &db,
+        "SELECT f.id FROM fact f, dim1 a WHERE f.d1 = a.id \
+         AND f.tag LIKE 'al%' AND f.d2 IN (1, 3, 5) AND f.id BETWEEN 10 AND 90",
+    );
+}
+
+#[test]
+fn self_join_aliases() {
+    let db = test_db();
+    assert_all_agree(
+        &db,
+        "SELECT x.id FROM fact x, fact y \
+         WHERE x.d1 = y.d2 AND x.id < 20 AND y.id < 15",
+    );
+}
+
+#[test]
+fn cartesian_product_fallback() {
+    let db = test_db();
+    assert_all_agree(
+        &db,
+        "SELECT d.label, b.weight FROM dim1 d, dim2 b WHERE d.id < 3 AND b.id < 2",
+    );
+}
+
+#[test]
+fn empty_results_everywhere() {
+    let db = test_db();
+    assert_all_agree(
+        &db,
+        "SELECT f.id FROM fact f, dim1 a WHERE f.d1 = a.id AND f.id > 100000",
+    );
+    assert_all_agree(&db, "SELECT f.id FROM fact f WHERE 1 = 2");
+}
+
+#[test]
+fn scalar_aggregate_over_join() {
+    let db = test_db();
+    assert_all_agree(
+        &db,
+        "SELECT COUNT(*) n, SUM(b.weight) w FROM fact f, dim2 b WHERE f.d2 = b.id",
+    );
+}
+
+#[test]
+fn distinct_order_limit() {
+    let db = test_db();
+    assert_all_agree(
+        &db,
+        "SELECT DISTINCT a.label FROM fact f, dim1 a WHERE f.d1 = a.id ORDER BY a.label LIMIT 2",
+    );
+}
+
+#[test]
+fn or_predicates() {
+    let db = test_db();
+    assert_all_agree(
+        &db,
+        "SELECT f.id FROM fact f, dim1 a WHERE f.d1 = a.id \
+         AND (a.label = 'label-0' OR f.d2 = 3)",
+    );
+}
+
+#[test]
+fn four_way_join() {
+    let db = test_db();
+    assert_all_agree(
+        &db,
+        "SELECT COUNT(*) n FROM fact f, dim1 a, dim2 b, fact g \
+         WHERE f.d1 = a.id AND f.d2 = b.id AND g.d1 = a.id AND g.id < 10",
+    );
+}
