@@ -13,12 +13,15 @@
 //! routing decisions hurt (no regret bound).
 
 use std::collections::HashMap;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use skinner_exec::{postprocess, preprocess, QueryResult, Timeout, TupleIxs, WorkBudget};
+use skinner_exec::{
+    postprocess, preprocess, ExecContext, ExecMetrics, ExecOutcome, ExecutionStrategy, Timeout,
+    TupleIxs, WorkBudget,
+};
 use skinner_query::expr::EvalCtx;
 use skinner_query::{JoinQuery, TableSet};
 use skinner_storage::{HashIndex, RowId};
@@ -45,15 +48,18 @@ impl Default for EddyConfig {
     }
 }
 
-/// Final report of an eddy run.
-#[derive(Debug)]
-pub struct EddyOutcome {
-    pub result: QueryResult,
-    pub work_units: u64,
-    /// Tuple routing decisions taken.
-    pub routings: u64,
-    pub wall: Duration,
-    pub timed_out: bool,
+/// The eddy as a pluggable [`ExecutionStrategy`].
+#[derive(Debug, Clone, Default)]
+pub struct EddyStrategy(pub EddyConfig);
+
+impl ExecutionStrategy for EddyStrategy {
+    fn name(&self) -> &str {
+        "Eddy"
+    }
+
+    fn execute(&self, query: &JoinQuery, ctx: &ExecContext) -> ExecOutcome {
+        run_eddy(query, ctx, &self.0)
+    }
 }
 
 /// Running average expansion cost per (joined-set, next-table).
@@ -76,17 +82,16 @@ impl QTable {
     }
 }
 
-/// Evaluate `query` with an RL eddy.
-pub fn run_eddy(query: &JoinQuery, cfg: &EddyConfig) -> EddyOutcome {
+/// Evaluate `query` with an RL eddy. The outcome's metrics report a
+/// `routings` counter (tuple routing decisions taken).
+pub fn run_eddy(query: &JoinQuery, ctx: &ExecContext, cfg: &EddyConfig) -> ExecOutcome {
     let start = Instant::now();
-    let budget = WorkBudget::with_limit(cfg.work_limit);
+    let budget = WorkBudget::with_limit(ctx.effective_limit(cfg.work_limit));
     let columns: Vec<String> = query.select.iter().map(|s| s.name().to_string()).collect();
-    let bail = |budget: &WorkBudget, routings, start: Instant| EddyOutcome {
-        result: QueryResult::empty(columns.clone()),
-        work_units: budget.used(),
-        routings,
-        wall: start.elapsed(),
-        timed_out: true,
+    let bail = |budget: &WorkBudget, routings: u64, start: Instant| {
+        ctx.absorb_work(budget.used());
+        ExecOutcome::timeout(columns.clone(), budget.used(), start.elapsed())
+            .with_metrics(ExecMetrics::default().with_counter("routings", routings))
     };
 
     let pre = match preprocess(query, &budget, cfg.preprocess_threads) {
@@ -122,7 +127,8 @@ pub fn run_eddy(query: &JoinQuery, cfg: &EddyConfig) -> EddyOutcome {
         // Entries: (mask of joined tables, tuple rows).
         let mut stack: Vec<(TableSet, TupleIxs)> = Vec::new();
         'driver: for row in 0..pre.tables[driver].cardinality() {
-            if budget.charge(1).is_err() {
+            // Cooperative cancellation/deadline, once per driver tuple.
+            if ctx.interrupted() || budget.charge(1).is_err() {
                 timed_out = true;
                 break;
             }
@@ -137,7 +143,14 @@ pub fn run_eddy(query: &JoinQuery, cfg: &EddyConfig) -> EddyOutcome {
                 routings += 1;
                 let next = choose_next(&graph, &q, mask, &mut rng, cfg.epsilon);
                 match expand(
-                    query, &pre.tables, &indexes, &interner, &mask, &tuple, next, &budget,
+                    query,
+                    &pre.tables,
+                    &indexes,
+                    &interner,
+                    &mask,
+                    &tuple,
+                    next,
+                    &budget,
                 ) {
                     Ok(children) => {
                         let cost = 1.0 + children.len() as f64;
@@ -163,13 +176,9 @@ pub fn run_eddy(query: &JoinQuery, cfg: &EddyConfig) -> EddyOutcome {
         Ok(r) => r,
         Err(_) => return bail(&budget, routings, start),
     };
-    EddyOutcome {
-        result,
-        work_units: budget.used(),
-        routings,
-        wall: start.elapsed(),
-        timed_out: false,
-    }
+    ctx.absorb_work(budget.used());
+    ExecOutcome::completed(result, budget.used(), start.elapsed())
+        .with_metrics(ExecMetrics::default().with_counter("routings", routings))
 }
 
 /// ε-greedy choice of the next table for a partial tuple class.
@@ -226,19 +235,17 @@ fn expand(
         .collect();
     let mut out = Vec::new();
     let mut scratch: Vec<RowId> = tuple.to_vec();
-    let emit = |row: RowId,
-                    scratch: &mut Vec<RowId>,
-                    out: &mut Vec<TupleIxs>|
-     -> Result<(), Timeout> {
-        scratch[next] = row;
-        budget.charge(generic.len() as u64)?;
-        let ctx = EvalCtx::new(tables, scratch, interner);
-        if generic.iter().all(|p| p.expr.eval_bool(&ctx)) {
-            budget.produce_tuples(1)?;
-            out.push(scratch.clone().into_boxed_slice());
-        }
-        Ok(())
-    };
+    let emit =
+        |row: RowId, scratch: &mut Vec<RowId>, out: &mut Vec<TupleIxs>| -> Result<(), Timeout> {
+            scratch[next] = row;
+            budget.charge(generic.len() as u64)?;
+            let ctx = EvalCtx::new(tables, scratch, interner);
+            if generic.iter().all(|p| p.expr.eval_bool(&ctx)) {
+                budget.produce_tuples(1)?;
+                out.push(scratch.clone().into_boxed_slice());
+            }
+            Ok(())
+        };
     if let Some(p) = equi.first() {
         // Probe the index of the first predicate; verify the rest.
         let mine = p.side_on(next).unwrap();
@@ -315,7 +322,7 @@ mod tests {
             "SELECT a.g, COUNT(*) cnt FROM a, b WHERE a.id = b.aid GROUP BY a.g ORDER BY a.g",
         ] {
             let q = bind(sql, &cat);
-            let out = run_eddy(&q, &EddyConfig::default());
+            let out = run_eddy(&q, &ExecContext::default(), &EddyConfig::default());
             assert!(!out.timed_out, "{sql}");
             let expected = run_reference(&q);
             assert_eq!(
@@ -330,7 +337,7 @@ mod tests {
     fn theta_join_via_scan() {
         let cat = setup();
         let q = bind("SELECT a.id FROM a, c WHERE a.id < c.bw", &cat);
-        let out = run_eddy(&q, &EddyConfig::default());
+        let out = run_eddy(&q, &ExecContext::default(), &EddyConfig::default());
         let expected = run_reference(&q);
         assert_eq!(out.result.canonical_rows(), expected.canonical_rows());
     }
@@ -343,7 +350,7 @@ mod tests {
             work_limit: 20,
             ..Default::default()
         };
-        let out = run_eddy(&q, &cfg);
+        let out = run_eddy(&q, &ExecContext::default(), &cfg);
         assert!(out.timed_out);
     }
 
@@ -354,15 +361,18 @@ mod tests {
             "SELECT a.id FROM a, b, c WHERE a.id = b.aid AND b.w = c.bw",
             &cat,
         );
-        let out = run_eddy(&q, &EddyConfig::default());
-        assert!(out.routings > 0);
+        let out = run_eddy(&q, &ExecContext::default(), &EddyConfig::default());
+        assert!(out.metrics.counter("routings").unwrap() > 0);
     }
 
     #[test]
     fn empty_filter_is_empty_result() {
         let cat = setup();
-        let q = bind("SELECT a.id FROM a, b WHERE a.id = b.aid AND a.id > 999", &cat);
-        let out = run_eddy(&q, &EddyConfig::default());
+        let q = bind(
+            "SELECT a.id FROM a, b WHERE a.id = b.aid AND a.id > 999",
+            &cat,
+        );
+        let out = run_eddy(&q, &ExecContext::default(), &EddyConfig::default());
         assert_eq!(out.result.num_rows(), 0);
         assert!(!out.timed_out);
     }

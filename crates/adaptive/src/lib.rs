@@ -18,5 +18,5 @@
 pub mod eddies;
 pub mod reoptimizer;
 
-pub use eddies::{run_eddy, EddyConfig, EddyOutcome};
-pub use reoptimizer::{run_reoptimizer, ReoptimizerConfig, ReoptimizerOutcome};
+pub use eddies::{run_eddy, EddyConfig, EddyStrategy};
+pub use reoptimizer::{run_reoptimizer, ReoptimizerConfig, ReoptimizerStrategy};

@@ -9,14 +9,15 @@
 //! few wrong estimates well but still trusts the (possibly misled) planner
 //! between checkpoints — and cannot undo a bad join it already materialized.
 
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use skinner_exec::{
-    join_step, postprocess, preprocess, ExecProfile, QueryResult, TupleIxs, WorkBudget,
+    join_step, postprocess, preprocess, ExecContext, ExecMetrics, ExecOutcome, ExecProfile,
+    ExecutionStrategy, TupleIxs, WorkBudget,
 };
 use skinner_optimizer::dp::best_left_deep_from;
 use skinner_query::{JoinQuery, TableSet};
-use skinner_stats::{sample_selectivity, Estimator, StatsCache};
+use skinner_stats::{sample_selectivity, Estimator};
 use skinner_storage::RowId;
 
 /// Re-optimizer configuration.
@@ -45,42 +46,47 @@ impl Default for ReoptimizerConfig {
     }
 }
 
-/// Final report of a re-optimizer run.
-#[derive(Debug)]
-pub struct ReoptimizerOutcome {
-    pub result: QueryResult,
-    pub work_units: u64,
-    /// Times the remaining-order plan changed mid-execution.
-    pub replans: u32,
-    /// The join order actually executed.
-    pub order: Vec<usize>,
-    pub wall: Duration,
-    pub timed_out: bool,
+/// The re-optimizer as a pluggable [`ExecutionStrategy`].
+#[derive(Debug, Clone, Default)]
+pub struct ReoptimizerStrategy(pub ReoptimizerConfig);
+
+impl ExecutionStrategy for ReoptimizerStrategy {
+    fn name(&self) -> &str {
+        "Re-optimizer"
+    }
+
+    fn execute(&self, query: &JoinQuery, ctx: &ExecContext) -> ExecOutcome {
+        run_reoptimizer(query, ctx, &self.0)
+    }
 }
 
-/// Evaluate `query` with sampling-based re-optimization.
+fn reopt_metrics(order: Vec<usize>, replans: u32) -> ExecMetrics {
+    ExecMetrics {
+        order,
+        ..ExecMetrics::default()
+    }
+    .with_counter("replans", replans as u64)
+}
+
+/// Evaluate `query` with sampling-based re-optimization. The outcome's
+/// metrics report the executed `order` and a `replans` counter.
 pub fn run_reoptimizer(
     query: &JoinQuery,
-    stats: &StatsCache,
+    ctx: &ExecContext,
     cfg: &ReoptimizerConfig,
-) -> ReoptimizerOutcome {
+) -> ExecOutcome {
     let start = Instant::now();
-    let budget = WorkBudget::with_limit(cfg.work_limit);
+    let budget = WorkBudget::with_limit(ctx.effective_limit(cfg.work_limit));
     let columns: Vec<String> = query.select.iter().map(|s| s.name().to_string()).collect();
-    let bail = |budget: &WorkBudget, replans, order: Vec<usize>, start: Instant| {
-        ReoptimizerOutcome {
-            result: QueryResult::empty(columns.clone()),
-            work_units: budget.used(),
-            replans,
-            order,
-            wall: start.elapsed(),
-            timed_out: true,
-        }
+    let bail = |budget: &WorkBudget, replans: u32, order: Vec<usize>, start: Instant| {
+        ctx.absorb_work(budget.used());
+        ExecOutcome::timeout(columns.clone(), budget.used(), start.elapsed())
+            .with_metrics(reopt_metrics(order, replans))
     };
 
     let m = query.num_tables();
     let graph = query.join_graph();
-    let mut est = Estimator::new(query, stats);
+    let mut est = Estimator::new(query, ctx.stats());
 
     // Sampling pass: measure unary selectivities on samples (charged as one
     // unit per sampled predicate evaluation, like any predicate).
@@ -89,19 +95,10 @@ pub fn run_reoptimizer(
             continue;
         }
         let k = cfg.sample_size.min(query.tables[t].num_rows().max(1));
-        if budget
-            .charge((k * query.unary[t].len()) as u64)
-            .is_err()
-        {
+        if budget.charge((k * query.unary[t].len()) as u64).is_err() {
             return bail(&budget, 0, Vec::new(), start);
         }
-        let sel = sample_selectivity(
-            &query.tables,
-            t,
-            &query.unary[t],
-            k,
-            cfg.seed ^ (t as u64),
-        );
+        let sel = sample_selectivity(&query.tables, t, &query.unary[t], k, cfg.seed ^ (t as u64));
         est.calibrate_filtered(t, sel * query.tables[t].num_rows() as f64);
     }
 
@@ -123,6 +120,10 @@ pub fn run_reoptimizer(
 
     if !query.always_false {
         while executed.len() < m {
+            // Cooperative cancellation/deadline, once per join step.
+            if ctx.interrupted() {
+                return bail(&budget, replans, executed, start);
+            }
             let (rest, _) = best_left_deep_from(&graph, prefix, |s| est.join_cardinality(s));
             if !planned_rest.is_empty() && rest != planned_rest[1..] {
                 replans += 1;
@@ -175,19 +176,18 @@ pub fn run_reoptimizer(
         }
     }
 
-    let tuples = if executed.len() < m { Vec::new() } else { current };
+    let tuples = if executed.len() < m {
+        Vec::new()
+    } else {
+        current
+    };
     let result = match postprocess(&pre.tables, query, &tuples, &budget) {
         Ok(r) => r,
         Err(_) => return bail(&budget, replans, executed, start),
     };
-    ReoptimizerOutcome {
-        result,
-        work_units: budget.used(),
-        replans,
-        order: executed,
-        wall: start.elapsed(),
-        timed_out: false,
-    }
+    ctx.absorb_work(budget.used());
+    ExecOutcome::completed(result, budget.used(), start.elapsed())
+        .with_metrics(reopt_metrics(executed, replans))
 }
 
 #[cfg(test)]
@@ -235,8 +235,7 @@ mod tests {
             "SELECT a.id FROM a WHERE a.g = 0",
         ] {
             let q = bind(sql, &cat);
-            let stats = StatsCache::new();
-            let out = run_reoptimizer(&q, &stats, &ReoptimizerConfig::default());
+            let out = run_reoptimizer(&q, &ExecContext::default(), &ReoptimizerConfig::default());
             assert!(!out.timed_out, "{sql}");
             let expected = run_reference(&q);
             assert_eq!(
@@ -250,9 +249,11 @@ mod tests {
     #[test]
     fn empty_intermediate_short_circuits() {
         let cat = setup();
-        let q = bind("SELECT a.id FROM a, b WHERE a.id = b.aid AND a.id > 900", &cat);
-        let stats = StatsCache::new();
-        let out = run_reoptimizer(&q, &stats, &ReoptimizerConfig::default());
+        let q = bind(
+            "SELECT a.id FROM a, b WHERE a.id = b.aid AND a.id > 900",
+            &cat,
+        );
+        let out = run_reoptimizer(&q, &ExecContext::default(), &ReoptimizerConfig::default());
         assert_eq!(out.result.num_rows(), 0);
         assert!(!out.timed_out);
     }
@@ -264,10 +265,9 @@ mod tests {
             "SELECT a.id FROM a, b, c WHERE a.id = b.aid AND b.w = c.bw",
             &cat,
         );
-        let stats = StatsCache::new();
-        let out = run_reoptimizer(&q, &stats, &ReoptimizerConfig::default());
-        assert_eq!(out.order.len(), 3);
-        let mut sorted = out.order.clone();
+        let out = run_reoptimizer(&q, &ExecContext::default(), &ReoptimizerConfig::default());
+        assert_eq!(out.metrics.order.len(), 3);
+        let mut sorted = out.metrics.order.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, vec![0, 1, 2]);
     }
@@ -276,12 +276,11 @@ mod tests {
     fn work_limit_trips() {
         let cat = setup();
         let q = bind("SELECT a.id FROM a, b WHERE a.id = b.aid", &cat);
-        let stats = StatsCache::new();
         let cfg = ReoptimizerConfig {
             work_limit: 10,
             ..Default::default()
         };
-        let out = run_reoptimizer(&q, &stats, &cfg);
+        let out = run_reoptimizer(&q, &ExecContext::default(), &cfg);
         assert!(out.timed_out);
     }
 }

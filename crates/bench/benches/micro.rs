@@ -13,14 +13,14 @@ use skinnerdb::skinner_core::skinner_c::join::{continue_join, MultiwayCtx, Order
 use skinnerdb::skinner_core::skinner_c::result_set::ResultSet;
 use skinnerdb::skinner_core::skinner_c::state::{JoinState, ProgressTracker};
 use skinnerdb::skinner_core::{run_skinner_c, PyramidScheme, SkinnerCConfig};
-use skinnerdb::skinner_exec::WorkBudget;
+use skinnerdb::skinner_exec::{ExecContext, WorkBudget};
 use skinnerdb::skinner_query::{JoinGraph, TableSet};
 use skinnerdb::skinner_storage::HashIndex;
 use skinnerdb::skinner_uct::{UctConfig, UctTree};
 use skinnerdb::{DataType, Database, Value};
 
 fn bench_db(rows: i64) -> (Database, String) {
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_table(
         "a",
         &[("id", DataType::Int), ("g", DataType::Int)],
@@ -76,7 +76,13 @@ fn multiway_join_throughput(c: &mut Criterion) {
             |(mut state, mut results, budget)| {
                 let offsets = [0, 0, 0];
                 continue_join(
-                    &ctx, &info, &mut state, &offsets, u64::MAX, &budget, &mut results,
+                    &ctx,
+                    &info,
+                    &mut state,
+                    &offsets,
+                    u64::MAX,
+                    &budget,
+                    &mut results,
                 )
                 .unwrap();
                 results.len()
@@ -145,7 +151,12 @@ fn skinner_c_end_to_end(c: &mut Criterion) {
     let (db, sql) = bench_db(500);
     let q = db.bind(&sql).unwrap();
     c.bench_function("skinner_c_small_query", |bench| {
-        bench.iter(|| run_skinner_c(&q, &SkinnerCConfig::default()).result_tuples)
+        let ctx = ExecContext::default();
+        bench.iter(|| {
+            run_skinner_c(&q, &ctx, &SkinnerCConfig::default())
+                .metrics
+                .result_tuples
+        })
     });
 }
 

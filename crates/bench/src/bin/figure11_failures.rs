@@ -1,4 +1,7 @@
 fn main() {
     let scale = skinner_bench::Scale::from_env();
-    println!("{}", skinner_bench::experiments::figure11_failures::run(scale));
+    println!(
+        "{}",
+        skinner_bench::experiments::figure11_failures::run(scale)
+    );
 }

@@ -17,17 +17,42 @@ fn main() {
     let dir = std::path::Path::new("bench_reports");
     fs::create_dir_all(dir).expect("create bench_reports/");
 
-    let jobs: Vec<(&str, Box<dyn Fn(Scale) -> String>)> = vec![
-        ("table1_job_single", Box::new(|s| ex::table1_job::run(s, false))),
-        ("table2_job_multi", Box::new(|s| ex::table1_job::run(s, true))),
-        ("table3_order_replay", Box::new(|s| ex::table3_replay::run(s, false))),
-        ("table4_order_replay_multi", Box::new(|s| ex::table3_replay::run(s, true))),
-        ("table5_learning_vs_random", Box::new(ex::table5_random::run)),
+    type Job = (&'static str, Box<dyn Fn(Scale) -> String>);
+    let jobs: Vec<Job> = vec![
+        (
+            "table1_job_single",
+            Box::new(|s| ex::table1_job::run(s, false)),
+        ),
+        (
+            "table2_job_multi",
+            Box::new(|s| ex::table1_job::run(s, true)),
+        ),
+        (
+            "table3_order_replay",
+            Box::new(|s| ex::table3_replay::run(s, false)),
+        ),
+        (
+            "table4_order_replay_multi",
+            Box::new(|s| ex::table3_replay::run(s, true)),
+        ),
+        (
+            "table5_learning_vs_random",
+            Box::new(ex::table5_random::run),
+        ),
         ("table6_features", Box::new(ex::table6_features::run)),
-        ("figure6_speedup_sources", Box::new(ex::figure6_speedups::run)),
-        ("figure7_convergence", Box::new(ex::figure7_convergence::run)),
+        (
+            "figure6_speedup_sources",
+            Box::new(ex::figure6_speedups::run),
+        ),
+        (
+            "figure7_convergence",
+            Box::new(ex::figure7_convergence::run),
+        ),
         ("figure8_memory", Box::new(ex::figure8_memory::run)),
-        ("figure9_udf_torture", Box::new(ex::figure9_udf_torture::run)),
+        (
+            "figure9_udf_torture",
+            Box::new(ex::figure9_udf_torture::run),
+        ),
         (
             "figure10_correlation_torture",
             Box::new(ex::figure10_correlation::run),
@@ -44,7 +69,11 @@ fn main() {
         let report = f(scale);
         let path = dir.join(format!("{name}.md"));
         fs::write(&path, &report).expect("write report");
-        eprintln!("done in {:.1}s → {}", started.elapsed().as_secs_f64(), path.display());
+        eprintln!(
+            "done in {:.1}s → {}",
+            started.elapsed().as_secs_f64(),
+            path.display()
+        );
         println!("{report}\n");
     }
 }

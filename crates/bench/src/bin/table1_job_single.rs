@@ -1,4 +1,7 @@
 fn main() {
     let scale = skinner_bench::Scale::from_env();
-    println!("{}", skinner_bench::experiments::table1_job::run(scale, false));
+    println!(
+        "{}",
+        skinner_bench::experiments::table1_job::run(scale, false)
+    );
 }

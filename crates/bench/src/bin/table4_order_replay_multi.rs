@@ -1,4 +1,7 @@
 fn main() {
     let scale = skinner_bench::Scale::from_env();
-    println!("{}", skinner_bench::experiments::table3_replay::run(scale, true));
+    println!(
+        "{}",
+        skinner_bench::experiments::table3_replay::run(scale, true)
+    );
 }

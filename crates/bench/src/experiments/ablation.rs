@@ -61,10 +61,10 @@ pub fn run(scale: Scale) -> String {
         let mut timeouts = 0usize;
         for q in &queries {
             let query = db.bind(&q.script).unwrap();
-            let o = run_skinner_c(&query, cfg);
+            let o = run_skinner_c(&query, &db.exec_context(), cfg);
             total += o.work_units;
             max = max.max(o.work_units);
-            slices += o.slices;
+            slices += o.metrics.slices;
             if o.timed_out {
                 timeouts += 1;
             }

@@ -24,9 +24,8 @@ pub fn run(scale: Scale) -> String {
     let limit: u64 = scale.pick(20_000_000, 500_000_000);
     let sizes: Vec<usize> = scale.pick(vec![4, 6, 8], vec![4, 5, 6, 7, 8, 9, 10]);
 
-    let mut out = format!(
-        "## Figure 10 — Correlation Torture benchmark ({rows_per_table} tuples/table)\n"
-    );
+    let mut out =
+        format!("## Figure 10 — Correlation Torture benchmark ({rows_per_table} tuples/table)\n");
     for (label, mid) in [("m = 1 (first edge)", false), ("m = #tables/2", true)] {
         out += &format!(
             "\n### {label} (work units; '>' = timeout at {})\n\n",

@@ -39,7 +39,7 @@ pub fn run(scale: Scale) -> String {
 
     // (b) Speedup vs ColDB work per query, sorted by ColDB work.
     let mut sorted = per_query.clone();
-    sorted.sort_by(|a, b| b.2.cmp(&a.2));
+    sorted.sort_by_key(|e| std::cmp::Reverse(e.2));
     let speedup_rows: Vec<Vec<String>> = sorted
         .iter()
         .take(12)

@@ -28,6 +28,7 @@ pub fn run(scale: Scale) -> String {
     for b in [10u64, 500] {
         let o = run_skinner_c(
             &query,
+            &db.exec_context(),
             &SkinnerCConfig {
                 slice_steps: b,
                 work_limit: limit,
@@ -36,20 +37,22 @@ pub fn run(scale: Scale) -> String {
         );
         // (a) tree growth, normalized.
         let growth_rows: Vec<Vec<String>> = o
+            .metrics
             .tree_growth
             .iter()
-            .step_by((o.tree_growth.len() / 10).max(1))
+            .step_by((o.metrics.tree_growth.len() / 10).max(1))
             .map(|(slice, nodes)| {
                 vec![
-                    format!("{:.2}", *slice as f64 / o.slices.max(1) as f64),
-                    format!("{:.2}", *nodes as f64 / o.uct_nodes.max(1) as f64),
+                    format!("{:.2}", *slice as f64 / o.metrics.slices.max(1) as f64),
+                    format!("{:.2}", *nodes as f64 / o.metrics.uct_nodes.max(1) as f64),
                 ]
             })
             .collect();
         // (b) share of slices per top-k orders.
-        let total: u64 = o.order_slice_counts.iter().map(|(_, c)| c).sum();
+        let total: u64 = o.metrics.order_slice_counts.iter().map(|(_, c)| c).sum();
         let mut cum = 0u64;
         let topk_rows: Vec<Vec<String>> = o
+            .metrics
             .order_slice_counts
             .iter()
             .take(5)
@@ -65,8 +68,8 @@ pub fn run(scale: Scale) -> String {
         out += &format!(
             "### Slice budget b = {b}: {} slices, {} tree nodes\n\n\
              (a) tree growth (fractions)\n\n{}\n(b) cumulative slice share of top-k orders\n\n{}\n",
-            o.slices,
-            o.uct_nodes,
+            o.metrics.slices,
+            o.metrics.uct_nodes,
             markdown_table(&["time (scaled)", "#nodes (scaled)"], &growth_rows),
             markdown_table(&["top-k orders", "% of selections"], &topk_rows),
         );

@@ -26,16 +26,17 @@ pub fn run(scale: Scale) -> String {
         let query = db.bind(&q.script).unwrap();
         let o = run_skinner_c(
             &query,
+            &db.exec_context(),
             &SkinnerCConfig {
                 work_limit: limit,
                 ..Default::default()
             },
         );
         let e = by_size.entry(q.num_tables).or_default();
-        e.uct = e.uct.max(o.uct_nodes);
-        e.tracker = e.tracker.max(o.tracker_nodes);
-        e.results = e.results.max(o.result_tuples as usize);
-        e.bytes = e.bytes.max(o.total_aux_bytes);
+        e.uct = e.uct.max(o.metrics.uct_nodes);
+        e.tracker = e.tracker.max(o.metrics.tracker_nodes);
+        e.results = e.results.max(o.metrics.result_tuples as usize);
+        e.bytes = e.bytes.max(o.metrics.total_aux_bytes);
     }
 
     let rows: Vec<Vec<String>> = by_size

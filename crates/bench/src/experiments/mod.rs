@@ -27,7 +27,10 @@ pub fn job_workload(scale: Scale) -> (Workload, Database) {
         seed: 0x10B,
     };
     let w = generate(&cfg);
-    let db = Database::from_parts(w.catalog.clone(), skinnerdb::skinner_query::UdfRegistry::new());
+    let db = Database::from_parts(
+        w.catalog.clone(),
+        skinnerdb::skinner_query::UdfRegistry::new(),
+    );
     (w, db)
 }
 

@@ -61,12 +61,13 @@ pub fn run(scale: Scale, multi_threaded: bool) -> String {
                 System::SkinnerC | System::SkinnerCPar => {
                     let out = run_skinner_c(
                         &query,
+                        &db.exec_context(),
                         &SkinnerCConfig {
                             work_limit: limit,
                             ..Default::default()
                         },
                     );
-                    cout_of_order(&query, &out.final_order, limit)
+                    cout_of_order(&query, &out.metrics.order, limit)
                 }
                 _ => o.card,
             };

@@ -12,6 +12,7 @@ use skinnerdb::skinner_exec::oracle::optimal_order;
 use skinnerdb::skinner_exec::{
     preprocess, run_traditional, ExecProfile, TraditionalConfig, WorkBudget,
 };
+
 use skinnerdb::skinner_optimizer::best_left_deep_estimated;
 
 use super::{job_limit, job_workload};
@@ -41,7 +42,9 @@ pub fn run(scale: Scale, multi_threaded: bool) -> String {
         let query = db.bind(&q.script).unwrap();
 
         // The three order sources.
-        let skinner_order = run_skinner_c(&query, &SkinnerCConfig::default()).final_order;
+        let skinner_order = run_skinner_c(&query, &db.exec_context(), &SkinnerCConfig::default())
+            .metrics
+            .order;
         let original_order = best_left_deep_estimated(&query, db.stats()).0;
         let budget = WorkBudget::unlimited();
         let pre = preprocess(&query, &budget, 1).unwrap();
@@ -58,7 +61,7 @@ pub fn run(scale: Scale, multi_threaded: bool) -> String {
                 preprocess_threads: threads,
                 ..Default::default()
             };
-            let o = run_skinner_c_fixed(&query, order, &cfg);
+            let o = run_skinner_c_fixed(&query, &db.exec_context(), order, &cfg);
             add("Skinner", src, o.work_units);
             // Generic engines with forced orders (optimizer hints).
             for (engine, profile) in [
@@ -77,7 +80,7 @@ pub fn run(scale: Scale, multi_threaded: bool) -> String {
                 }
                 let t = run_traditional(
                     &query,
-                    db.stats(),
+                    &db.exec_context(),
                     &TraditionalConfig {
                         profile,
                         forced_order: Some(order.to_vec()),
@@ -107,9 +110,6 @@ pub fn run(scale: Scale, multi_threaded: bool) -> String {
     format!(
         "## {title}\n\n{covered} queries (≤{max_tables_for_optimal} tables; \
          optimal orders need exact cardinalities).\n\n{}",
-        markdown_table(
-            &["Engine", "Order", "Total Work", "Max Work"],
-            &rows
-        )
+        markdown_table(&["Engine", "Order", "Total Work", "Max Work"], &rows)
     )
 }

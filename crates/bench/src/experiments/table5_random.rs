@@ -4,9 +4,7 @@
 //! and the hybrid variants; learning turns out to be the crucial feature.
 
 use crate::harness::{human, markdown_table, Scale};
-use skinnerdb::skinner_core::{
-    run_skinner_c, SkinnerCConfig, SkinnerG, SkinnerGConfig,
-};
+use skinnerdb::skinner_core::{run_skinner_c, SkinnerCConfig, SkinnerG, SkinnerGConfig};
 
 use super::{job_limit, job_workload};
 
@@ -29,6 +27,7 @@ pub fn run(scale: Scale) -> String {
             let (work, timed_out) = if engine == "Skinner-C" {
                 let o = run_skinner_c(
                     &query,
+                    &db.exec_context(),
                     &SkinnerCConfig {
                         learning,
                         work_limit: limit,
@@ -39,6 +38,7 @@ pub fn run(scale: Scale) -> String {
             } else {
                 let o = SkinnerG::new(
                     &query,
+                    &db.exec_context(),
                     SkinnerGConfig {
                         learning,
                         work_limit: limit,

@@ -65,7 +65,7 @@ pub fn run(scale: Scale) -> String {
         let mut timeouts = 0usize;
         for q in &w.queries {
             let query = db.bind(&q.script).unwrap();
-            let o = run_skinner_c(&query, cfg);
+            let o = run_skinner_c(&query, &db.exec_context(), cfg);
             total += o.work_units;
             max = max.max(o.work_units);
             wall += o.wall.as_secs_f64();
@@ -87,7 +87,13 @@ pub fn run(scale: Scale) -> String {
         w.queries.len(),
         human(limit),
         markdown_table(
-            &["Enabled Features", "Total Time", "Total Work", "Max Work", "Timeouts"],
+            &[
+                "Enabled Features",
+                "Total Time",
+                "Total Work",
+                "Max Work",
+                "Timeouts"
+            ],
             &rows
         )
     )

@@ -35,7 +35,10 @@ pub fn run(scale: Scale) -> String {
         cfg.scale
     );
     for (label, workload) in [("TPC-H", generate(&cfg)), ("TPC-UDF", generate_udf(&cfg))] {
-        out += &format!("\n### {label} (work units; '>' = timeout at {})\n\n", human(limit));
+        out += &format!(
+            "\n### {label} (work units; '>' = timeout at {})\n\n",
+            human(limit)
+        );
         out += &run_variant(workload, limit);
     }
     out
@@ -108,13 +111,9 @@ fn run_variant(w: Workload, limit: u64) -> String {
         let total: u64 = (0..w.queries.len()).map(|qi| work[qi][si]).sum();
         summary.push(human(total));
         let mut worst = 0.0f64;
-        for qi in 0..w.queries.len() {
-            let best = (0..SYSTEMS.len())
-                .map(|s| work[qi][s])
-                .min()
-                .unwrap()
-                .max(1);
-            worst = worst.max(work[qi][si] as f64 / best as f64);
+        for per_system in work.iter().take(w.queries.len()) {
+            let best = per_system.iter().copied().min().unwrap().max(1);
+            worst = worst.max(per_system[si] as f64 / best as f64);
         }
         max_rel.push(format!("{worst:.1}"));
     }

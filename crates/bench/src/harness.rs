@@ -2,16 +2,12 @@
 
 use std::time::Duration;
 
-use skinnerdb::skinner_adaptive::{run_eddy, run_reoptimizer, EddyConfig, ReoptimizerConfig};
-use skinnerdb::skinner_core::{
-    run_skinner_c, SkinnerCConfig, SkinnerG, SkinnerGConfig, SkinnerHConfig,
-};
+use skinnerdb::skinner_adaptive::{EddyConfig, ReoptimizerConfig};
+use skinnerdb::skinner_core::{SkinnerCConfig, SkinnerGConfig, SkinnerHConfig};
 use skinnerdb::skinner_exec::oracle::CardOracle;
-use skinnerdb::skinner_exec::{
-    preprocess, run_traditional, ExecProfile, TraditionalConfig, WorkBudget,
-};
+use skinnerdb::skinner_exec::{preprocess, ExecProfile, TraditionalConfig, WorkBudget};
 use skinnerdb::skinner_query::{JoinQuery, TableSet};
-use skinnerdb::Database;
+use skinnerdb::{Database, Strategy};
 
 /// Benchmark scale, from the `BENCH_SCALE` environment variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -104,127 +100,83 @@ pub fn run_single(db: &Database, sql: &str, system: System, limit: u64) -> SysOu
     run_bound(db, &query, system, limit)
 }
 
-/// Run an already bound query under `system`.
-pub fn run_bound(db: &Database, query: &JoinQuery, system: System, limit: u64) -> SysOutcome {
+/// The [`Strategy`] a `System` maps to at a given work limit.
+pub fn system_strategy(system: System, limit: u64) -> Strategy {
     let threads = bench_threads();
     match system {
-        System::SkinnerC | System::SkinnerCPar => {
-            let cfg = SkinnerCConfig {
+        System::SkinnerC | System::SkinnerCPar => Strategy::SkinnerC(SkinnerCConfig {
+            work_limit: limit,
+            preprocess_threads: if system == System::SkinnerCPar {
+                threads
+            } else {
+                1
+            },
+            ..Default::default()
+        }),
+        System::RowDB | System::ColDB | System::ColDBPar => {
+            Strategy::Traditional(TraditionalConfig {
+                profile: match system {
+                    System::RowDB => ExecProfile::row_store(),
+                    System::ColDB => ExecProfile::column_store(),
+                    _ => ExecProfile::column_store_parallel(threads),
+                },
+                forced_order: None,
                 work_limit: limit,
-                preprocess_threads: if system == System::SkinnerCPar {
+                preprocess_threads: if system == System::ColDBPar {
                     threads
                 } else {
                     1
                 },
-                ..Default::default()
-            };
-            let o = run_skinner_c(query, &cfg);
-            SysOutcome {
-                wall: o.wall,
-                work: o.work_units,
-                card: None,
-                rows: o.result.num_rows(),
-                timed_out: o.timed_out,
-            }
+            })
         }
-        System::RowDB | System::ColDB | System::ColDBPar => {
-            let profile = match system {
-                System::RowDB => ExecProfile::row_store(),
-                System::ColDB => ExecProfile::column_store(),
-                _ => ExecProfile::column_store_parallel(threads),
-            };
-            let o = run_traditional(
-                query,
-                db.stats(),
-                &TraditionalConfig {
-                    profile,
-                    forced_order: None,
-                    work_limit: limit,
-                    preprocess_threads: if system == System::ColDBPar { threads } else { 1 },
-                },
-            );
-            SysOutcome {
-                wall: o.wall,
-                work: o.work_units,
-                card: Some(o.intermediate_tuples),
-                rows: o.result.num_rows(),
-                timed_out: o.timed_out,
-            }
-        }
-        System::SkinnerGRow | System::SkinnerGCol => {
-            let cfg = SkinnerGConfig {
-                engine_profile: if system == System::SkinnerGRow {
+        System::SkinnerGRow | System::SkinnerGCol => Strategy::SkinnerG(SkinnerGConfig {
+            engine_profile: if system == System::SkinnerGRow {
+                ExecProfile::row_store()
+            } else {
+                ExecProfile::column_store()
+            },
+            work_limit: limit,
+            ..Default::default()
+        }),
+        System::SkinnerHRow | System::SkinnerHCol => Strategy::SkinnerH(SkinnerHConfig {
+            learner: SkinnerGConfig {
+                engine_profile: if system == System::SkinnerHRow {
                     ExecProfile::row_store()
                 } else {
                     ExecProfile::column_store()
                 },
                 work_limit: limit,
                 ..Default::default()
-            };
-            let o = SkinnerG::new(query, cfg).run_to_completion();
-            SysOutcome {
-                wall: o.wall,
-                work: o.work_units,
-                card: None,
-                rows: o.result.num_rows(),
-                timed_out: o.timed_out,
-            }
-        }
-        System::SkinnerHRow | System::SkinnerHCol => {
-            let cfg = SkinnerHConfig {
-                learner: SkinnerGConfig {
-                    engine_profile: if system == System::SkinnerHRow {
-                        ExecProfile::row_store()
-                    } else {
-                        ExecProfile::column_store()
-                    },
-                    work_limit: limit,
-                    ..Default::default()
-                },
-                ..Default::default()
-            };
-            let o = skinnerdb::skinner_core::run_skinner_h(query, db.stats(), &cfg);
-            SysOutcome {
-                wall: o.wall,
-                work: o.work_units,
-                card: None,
-                rows: o.result.num_rows(),
-                timed_out: o.timed_out,
-            }
-        }
-        System::Eddy => {
-            let o = run_eddy(
-                query,
-                &EddyConfig {
-                    work_limit: limit,
-                    ..Default::default()
-                },
-            );
-            SysOutcome {
-                wall: o.wall,
-                work: o.work_units,
-                card: None,
-                rows: o.result.num_rows(),
-                timed_out: o.timed_out,
-            }
-        }
-        System::Reoptimizer => {
-            let o = run_reoptimizer(
-                query,
-                db.stats(),
-                &ReoptimizerConfig {
-                    work_limit: limit,
-                    ..Default::default()
-                },
-            );
-            SysOutcome {
-                wall: o.wall,
-                work: o.work_units,
-                card: None,
-                rows: o.result.num_rows(),
-                timed_out: o.timed_out,
-            }
-        }
+            },
+            ..Default::default()
+        }),
+        System::Eddy => Strategy::Eddy(EddyConfig {
+            work_limit: limit,
+            ..Default::default()
+        }),
+        System::Reoptimizer => Strategy::Reoptimizer(ReoptimizerConfig {
+            work_limit: limit,
+            ..Default::default()
+        }),
+    }
+}
+
+/// Run an already bound query under `system`. Every system goes through the
+/// same `ExecutionStrategy` door; only the harness-level interpretation of
+/// the metrics (`card` is meaningful for traditional engines) differs.
+pub fn run_bound(db: &Database, query: &JoinQuery, system: System, limit: u64) -> SysOutcome {
+    let strategy = system_strategy(system, limit).build();
+    let o = strategy.execute(query, &db.exec_context());
+    let card = match system {
+        System::RowDB | System::ColDB | System::ColDBPar => Some(o.metrics.intermediate_tuples),
+        _ => None,
+    };
+    SysOutcome {
+        wall: o.wall,
+        work: o.work_units,
+        card,
+        rows: o.result.num_rows(),
+        timed_out: o.timed_out,
     }
 }
 
@@ -310,7 +262,7 @@ mod tests {
     use skinnerdb::{DataType, Value};
 
     fn db() -> Database {
-        let mut db = Database::new();
+        let db = Database::new();
         db.create_table(
             "x",
             &[("a", DataType::Int)],

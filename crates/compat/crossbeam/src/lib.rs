@@ -1,0 +1,65 @@
+//! Offline stand-in for `crossbeam`: only `crossbeam::thread::scope`,
+//! implemented on `std::thread::scope` (Rust ≥ 1.63). The one behavioural
+//! difference: a panicking child thread propagates its panic out of
+//! `scope` directly instead of surfacing as `Err`, so the `Err` arm of the
+//! returned `Result` is unreachable here — which is fine for callers that
+//! `.expect()` it.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Scope handle passed to the `scope` closure (API subset of
+    /// `crossbeam::thread::Scope`).
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread; the closure receives the scope (crossbeam
+        /// style) so nested spawns would work.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle(self.inner.spawn(move || f(&scope)))
+        }
+    }
+
+    /// Join handle of a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.0.join()
+        }
+    }
+
+    /// Run `f` with a scope in which borrowed-data threads can be spawned;
+    /// all threads are joined before `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = crate::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+}

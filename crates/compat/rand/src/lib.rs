@@ -1,0 +1,209 @@
+//! Offline stand-in for the `rand` crate (0.8-compatible subset).
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a tiny deterministic implementation of exactly the API surface
+//! the engines use: `rngs::StdRng`, `SeedableRng::seed_from_u64`, and the
+//! `Rng` methods `gen`, `gen_bool` and `gen_range` over integer and float
+//! ranges. The generator is SplitMix64 — statistically fine for join-order
+//! exploration and workload synthesis, deterministic across platforms.
+
+use std::ops::Range;
+
+/// Construction of seedable generators (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling methods (subset of `rand::Rng`).
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample of `T` over its natural full range (`f64` in [0,1)).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self.next_u64())
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.gen::<f64>()) < p
+    }
+
+    /// Uniform sample from a half-open range (panics if empty).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+/// Types `gen()` can produce (stand-in for the `Standard` distribution).
+pub trait Standard {
+    fn sample(bits: u64) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample(bits: u64) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn sample(bits: u64) -> Self {
+        bits
+    }
+}
+
+impl Standard for u32 {
+    fn sample(bits: u64) -> Self {
+        (bits >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn sample(bits: u64) -> Self {
+        bits & 1 == 1
+    }
+}
+
+impl Standard for i64 {
+    fn sample(bits: u64) -> Self {
+        bits as i64
+    }
+}
+
+/// Types with uniform range sampling (stand-in for `rand`'s
+/// `SampleUniform`). Blanket `SampleRange` impls over this trait mirror the
+/// real crate's shape, so integer-literal inference behaves identically.
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range on empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+            fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range on empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+uniform_int!(usize, u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl SampleUniform for f64 {
+    fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "gen_range on empty range");
+        lo + rng.gen::<f64>() * (hi - lo)
+    }
+    fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo <= hi, "gen_range on empty range");
+        lo + rng.gen::<f64>() * (hi - lo)
+    }
+}
+
+/// Ranges `gen_range` accepts (stand-in for `rand::distributions::uniform`).
+pub trait SampleRange<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic SplitMix64 generator (stand-in for `rand::rngs::StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea & Flood): passes BigCrush, one u64 of
+            // state, no weak low bits.
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x = r.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = r.gen_range(-5i64..5);
+            assert!((-5..5).contains(&y));
+            let z = r.gen_range(1.5f64..2.5);
+            assert!((1.5..2.5).contains(&z));
+            let w = r.gen_range(2u64..=4);
+            assert!((2..=4).contains(&w));
+        }
+    }
+
+    #[test]
+    fn unit_float_and_bool() {
+        let mut r = StdRng::seed_from_u64(1);
+        let mut trues = 0;
+        for _ in 0..2000 {
+            let f: f64 = r.gen();
+            assert!((0.0..1.0).contains(&f));
+            if r.gen_bool(0.5) {
+                trues += 1;
+            }
+        }
+        assert!(
+            (600..1400).contains(&trues),
+            "gen_bool badly skewed: {trues}"
+        );
+    }
+}

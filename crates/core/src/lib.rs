@@ -28,9 +28,11 @@ pub mod pyramid;
 pub mod skinner_c;
 pub mod skinner_g;
 pub mod skinner_h;
+pub mod strategies;
 
 pub use config::{RewardKind, SkinnerCConfig, SkinnerGConfig, SkinnerHConfig};
 pub use pyramid::PyramidScheme;
-pub use skinner_c::engine::{run_skinner_c, run_skinner_c_fixed, SkinnerCOutcome};
-pub use skinner_g::{SkinnerG, SkinnerGOutcome};
-pub use skinner_h::{run_skinner_h, SkinnerHOutcome};
+pub use skinner_c::engine::{run_skinner_c, run_skinner_c_fixed};
+pub use skinner_g::SkinnerG;
+pub use skinner_h::{run_skinner_h, WINNER_LEARNED, WINNER_TRADITIONAL};
+pub use strategies::{SkinnerCStrategy, SkinnerGStrategy, SkinnerHStrategy};

@@ -1,12 +1,12 @@
 //! The Skinner-C main loop (paper Algorithm 3).
 
 use std::collections::HashMap;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use skinner_exec::{postprocess, QueryResult, WorkBudget};
+use skinner_exec::{postprocess, ExecContext, ExecMetrics, ExecOutcome, QueryResult, WorkBudget};
 use skinner_query::{JoinGraph, JoinQuery, TableSet};
 use skinner_storage::RowId;
 use skinner_uct::{UctConfig, UctTree};
@@ -19,69 +19,34 @@ use super::result_set::ResultSet;
 use super::reward::slice_reward;
 use super::state::ProgressTracker;
 
-/// Everything a Skinner-C run reports. The instrumentation fields feed the
-/// paper's convergence and memory experiments (Figures 7 and 8).
-#[derive(Debug)]
-pub struct SkinnerCOutcome {
-    pub result: QueryResult,
-    /// Work units consumed end-to-end.
-    pub work_units: u64,
-    /// Deduplicated join-result tuples.
-    pub result_tuples: u64,
-    /// Time slices executed.
-    pub slices: u64,
-    /// Most-visited join order at termination (replayed in Tables 3/4).
-    pub final_order: Vec<usize>,
-    /// UCT search-tree nodes (Figure 8a).
-    pub uct_nodes: usize,
-    /// Progress-tracker trie nodes (Figure 8b).
-    pub tracker_nodes: usize,
-    /// Result-set bytes (Figure 8c).
-    pub result_set_bytes: usize,
-    /// UCT + tracker + result-set + index bytes (Figure 8d).
-    pub total_aux_bytes: usize,
-    /// (slice, UCT nodes) samples (Figure 7a).
-    pub tree_growth: Vec<(u64, usize)>,
-    /// Slice counts per join order, most-used first (Figure 7b).
-    pub order_slice_counts: Vec<(Vec<usize>, u64)>,
-    pub wall: Duration,
-    pub timed_out: bool,
-}
-
-/// Evaluate `query` with Skinner-C.
-pub fn run_skinner_c(query: &JoinQuery, cfg: &SkinnerCConfig) -> SkinnerCOutcome {
+/// Evaluate `query` with Skinner-C. The outcome's [`ExecMetrics`] carry the
+/// instrumentation feeding the paper's convergence and memory experiments
+/// (Figures 7 and 8): `order` is the most-visited join order at
+/// termination (replayed in Tables 3/4).
+pub fn run_skinner_c(query: &JoinQuery, ctx: &ExecContext, cfg: &SkinnerCConfig) -> ExecOutcome {
     let start = Instant::now();
-    let budget = WorkBudget::with_limit(cfg.work_limit);
+    let budget = WorkBudget::with_limit(ctx.effective_limit(cfg.work_limit));
     let columns: Vec<String> = query.select.iter().map(|s| s.name().to_string()).collect();
     let m = query.num_tables();
 
     macro_rules! bail_timeout {
-        ($final_order:expr, $aux:expr) => {
-            return SkinnerCOutcome {
-                result: QueryResult::empty(columns.clone()),
-                work_units: budget.used(),
-                result_tuples: 0,
-                slices: 0,
-                final_order: $final_order,
-                uct_nodes: 0,
-                tracker_nodes: 0,
-                result_set_bytes: 0,
-                total_aux_bytes: $aux,
-                tree_growth: Vec::new(),
-                order_slice_counts: Vec::new(),
-                wall: start.elapsed(),
-                timed_out: true,
-            }
-        };
+        ($final_order:expr, $aux:expr) => {{
+            ctx.absorb_work(budget.used());
+            return ExecOutcome::timeout(columns.clone(), budget.used(), start.elapsed())
+                .with_metrics(ExecMetrics {
+                    order: $final_order,
+                    total_aux_bytes: $aux,
+                    ..ExecMetrics::default()
+                });
+        }};
     }
 
-    let prepared = match prepare(query, &budget, cfg.preprocess_threads, cfg.use_jump_indexes)
-    {
+    let prepared = match prepare(query, &budget, cfg.preprocess_threads, cfg.use_jump_indexes) {
         Ok(p) => p,
         Err(_) => bail_timeout!((0..m).collect(), 0),
     };
-    let ctx: &MultiwayCtx = &prepared.ctx;
-    let cards: Vec<RowId> = ctx.tables.iter().map(|t| t.cardinality()).collect();
+    let mctx: &MultiwayCtx = &prepared.ctx;
+    let cards: Vec<RowId> = mctx.tables.iter().map(|t| t.cardinality()).collect();
 
     let graph: JoinGraph = query.join_graph();
     let mut uct = UctTree::new(
@@ -108,6 +73,12 @@ pub fn run_skinner_c(query: &JoinQuery, cfg: &SkinnerCConfig) -> SkinnerCOutcome
 
     if !query.always_false {
         while !finished_by_offsets(&offsets, &cards) {
+            // Cooperative cancellation/deadline: checked once per slice, the
+            // engine's natural preemption point.
+            if ctx.interrupted() {
+                timed_out = true;
+                break;
+            }
             // Join order for this slice: UCT choice, or uniform random for
             // the ablation baseline.
             let order = if cfg.learning {
@@ -118,11 +89,11 @@ pub fn run_skinner_c(query: &JoinQuery, cfg: &SkinnerCConfig) -> SkinnerCOutcome
             let key: Box<[u8]> = order.iter().map(|&t| t as u8).collect();
             let info = order_infos
                 .entry(key.clone())
-                .or_insert_with(|| OrderInfo::build(query, ctx, &order, cfg.use_jump_indexes));
+                .or_insert_with(|| OrderInfo::build(query, mctx, &order, cfg.use_jump_indexes));
             let mut state = tracker.restore(&order, &offsets);
             let before = state.clone();
             let outcome = match continue_join(
-                ctx,
+                mctx,
                 info,
                 &mut state,
                 &offsets,
@@ -160,16 +131,14 @@ pub fn run_skinner_c(query: &JoinQuery, cfg: &SkinnerCConfig) -> SkinnerCOutcome
 
     let result_tuples = results.len() as u64;
     let result_set_bytes = results.byte_size();
-    let total_aux_bytes = uct.byte_size()
-        + tracker.byte_size()
-        + result_set_bytes
-        + prepared.index_bytes;
+    let total_aux_bytes =
+        uct.byte_size() + tracker.byte_size() + result_set_bytes + prepared.index_bytes;
 
     let result = if timed_out {
         QueryResult::empty(columns)
     } else {
         let tuples = results.into_tuples();
-        match postprocess(&ctx.tables, query, &tuples, &budget) {
+        match postprocess(&mctx.tables, query, &tuples, &budget) {
             Ok(r) => r,
             Err(_) => {
                 timed_out = true;
@@ -182,22 +151,26 @@ pub fn run_skinner_c(query: &JoinQuery, cfg: &SkinnerCConfig) -> SkinnerCOutcome
         .into_iter()
         .map(|(k, v)| (k.iter().map(|&b| b as usize).collect(), v))
         .collect();
-    order_slice_counts.sort_by(|a, b| b.1.cmp(&a.1));
+    order_slice_counts.sort_by_key(|e| std::cmp::Reverse(e.1));
 
-    SkinnerCOutcome {
+    ctx.absorb_work(budget.used());
+    ExecOutcome {
         result,
         work_units: budget.used(),
-        result_tuples,
-        slices,
-        final_order: uct.best_order(),
-        uct_nodes: uct.num_nodes(),
-        tracker_nodes: tracker.num_trie_nodes(),
-        result_set_bytes,
-        total_aux_bytes,
-        tree_growth,
-        order_slice_counts,
         wall: start.elapsed(),
         timed_out,
+        metrics: ExecMetrics {
+            order: uct.best_order(),
+            result_tuples,
+            slices,
+            uct_nodes: uct.num_nodes(),
+            tracker_nodes: tracker.num_trie_nodes(),
+            result_set_bytes,
+            total_aux_bytes,
+            tree_growth,
+            order_slice_counts,
+            ..ExecMetrics::default()
+        },
     }
 }
 
@@ -207,11 +180,12 @@ pub fn run_skinner_c(query: &JoinQuery, cfg: &SkinnerCConfig) -> SkinnerCOutcome
 /// Skinner orders and C_out-optimal orders inside each engine).
 pub fn run_skinner_c_fixed(
     query: &JoinQuery,
+    ctx: &ExecContext,
     order: &[usize],
     cfg: &SkinnerCConfig,
-) -> SkinnerCOutcome {
+) -> ExecOutcome {
     let start = Instant::now();
-    let budget = WorkBudget::with_limit(cfg.work_limit);
+    let budget = WorkBudget::with_limit(ctx.effective_limit(cfg.work_limit));
     let columns: Vec<String> = query.select.iter().map(|s| s.name().to_string()).collect();
     let m = query.num_tables();
     assert_eq!(order.len(), m, "order must cover all tables");
@@ -220,37 +194,32 @@ pub fn run_skinner_c_fixed(
     let mut slices = 0u64;
 
     let empty = QueryResult::empty(columns.clone());
-    let prepared = match prepare(query, &budget, cfg.preprocess_threads, cfg.use_jump_indexes)
-    {
+    let prepared = match prepare(query, &budget, cfg.preprocess_threads, cfg.use_jump_indexes) {
         Ok(p) => p,
         Err(_) => {
-            return SkinnerCOutcome {
-                result: empty,
-                work_units: budget.used(),
-                result_tuples: 0,
-                slices: 0,
-                final_order: order.to_vec(),
-                uct_nodes: 0,
-                tracker_nodes: 0,
-                result_set_bytes: 0,
-                total_aux_bytes: 0,
-                tree_growth: Vec::new(),
-                order_slice_counts: Vec::new(),
-                wall: start.elapsed(),
-                timed_out: true,
-            }
+            ctx.absorb_work(budget.used());
+            return ExecOutcome::timeout(columns, budget.used(), start.elapsed()).with_metrics(
+                ExecMetrics {
+                    order: order.to_vec(),
+                    ..ExecMetrics::default()
+                },
+            );
         }
     };
-    let ctx = &prepared.ctx;
-    let cards: Vec<RowId> = ctx.tables.iter().map(|t| t.cardinality()).collect();
+    let mctx = &prepared.ctx;
+    let cards: Vec<RowId> = mctx.tables.iter().map(|t| t.cardinality()).collect();
     let offsets: Vec<RowId> = vec![0; m];
-    let info = OrderInfo::build(query, ctx, order, cfg.use_jump_indexes);
+    let info = OrderInfo::build(query, mctx, order, cfg.use_jump_indexes);
     let mut state = super::state::JoinState::fresh(&offsets);
     if !query.always_false && cards.iter().all(|&n| n > 0) {
         loop {
+            if ctx.interrupted() {
+                timed_out = true;
+                break;
+            }
             slices += 1;
             match continue_join(
-                ctx,
+                mctx,
                 &info,
                 &mut state,
                 &offsets,
@@ -273,7 +242,7 @@ pub fn run_skinner_c_fixed(
         empty
     } else {
         let tuples = results.into_tuples();
-        match postprocess(&ctx.tables, query, &tuples, &budget) {
+        match postprocess(&mctx.tables, query, &tuples, &budget) {
             Ok(r) => r,
             Err(_) => {
                 timed_out = true;
@@ -281,20 +250,20 @@ pub fn run_skinner_c_fixed(
             }
         }
     };
-    SkinnerCOutcome {
+    ctx.absorb_work(budget.used());
+    ExecOutcome {
         result,
         work_units: budget.used(),
-        result_tuples,
-        slices,
-        final_order: order.to_vec(),
-        uct_nodes: 0,
-        tracker_nodes: 0,
-        result_set_bytes,
-        total_aux_bytes: result_set_bytes + prepared.index_bytes,
-        tree_growth: Vec::new(),
-        order_slice_counts: Vec::new(),
         wall: start.elapsed(),
         timed_out,
+        metrics: ExecMetrics {
+            order: order.to_vec(),
+            result_tuples,
+            slices,
+            result_set_bytes,
+            total_aux_bytes: result_set_bytes + prepared.index_bytes,
+            ..ExecMetrics::default()
+        },
     }
 }
 
@@ -358,7 +327,7 @@ mod tests {
             "SELECT a.id FROM a, c WHERE a.id + c.bw = 20",
         ] {
             let q = bind(sql, &cat);
-            let out = run_skinner_c(&q, &SkinnerCConfig::default());
+            let out = run_skinner_c(&q, &ExecContext::default(), &SkinnerCConfig::default());
             assert!(!out.timed_out, "{sql}");
             let expected = run_reference(&q);
             assert_eq!(
@@ -380,9 +349,9 @@ mod tests {
             slice_steps: 7,
             ..Default::default()
         };
-        let out = run_skinner_c(&q, &cfg);
+        let out = run_skinner_c(&q, &ExecContext::default(), &cfg);
         assert!(!out.timed_out);
-        assert!(out.slices > 10);
+        assert!(out.metrics.slices > 10);
         let expected = run_reference(&q);
         assert_eq!(out.result.canonical_rows(), expected.canonical_rows());
     }
@@ -405,7 +374,7 @@ mod tests {
                         slice_steps: 64,
                         ..Default::default()
                     };
-                    let out = run_skinner_c(&q, &cfg);
+                    let out = run_skinner_c(&q, &ExecContext::default(), &cfg);
                     assert_eq!(
                         out.result.canonical_rows(),
                         expected,
@@ -419,8 +388,11 @@ mod tests {
     #[test]
     fn single_table_query_works() {
         let cat = setup();
-        let q = bind("SELECT a.g, COUNT(*) c FROM a GROUP BY a.g ORDER BY a.g", &cat);
-        let out = run_skinner_c(&q, &SkinnerCConfig::default());
+        let q = bind(
+            "SELECT a.g, COUNT(*) c FROM a GROUP BY a.g ORDER BY a.g",
+            &cat,
+        );
+        let out = run_skinner_c(&q, &ExecContext::default(), &SkinnerCConfig::default());
         assert_eq!(out.result.num_rows(), 6);
         assert_eq!(out.result.rows[0][1], Value::Int(10));
     }
@@ -429,7 +401,7 @@ mod tests {
     fn always_false_query_is_empty() {
         let cat = setup();
         let q = bind("SELECT a.id FROM a WHERE 1 = 2", &cat);
-        let out = run_skinner_c(&q, &SkinnerCConfig::default());
+        let out = run_skinner_c(&q, &ExecContext::default(), &SkinnerCConfig::default());
         assert_eq!(out.result.num_rows(), 0);
         assert!(!out.timed_out);
     }
@@ -442,8 +414,20 @@ mod tests {
             work_limit: 50,
             ..Default::default()
         };
-        let out = run_skinner_c(&q, &cfg);
+        let out = run_skinner_c(&q, &ExecContext::default(), &cfg);
         assert!(out.timed_out);
+    }
+
+    #[test]
+    fn cancellation_token_interrupts_cleanly() {
+        let cat = setup();
+        let q = bind("SELECT a.id FROM a, b WHERE a.id = b.aid", &cat);
+        let cancel = skinner_exec::CancelToken::new();
+        cancel.cancel();
+        let ctx = ExecContext::default().with_cancel(cancel);
+        let out = run_skinner_c(&q, &ctx, &SkinnerCConfig::default());
+        assert!(out.timed_out);
+        assert_eq!(out.result.num_rows(), 0);
     }
 
     #[test]
@@ -457,14 +441,15 @@ mod tests {
             slice_steps: 16,
             ..Default::default()
         };
-        let out = run_skinner_c(&q, &cfg);
-        assert!(out.uct_nodes >= 1);
-        assert!(out.tracker_nodes >= 1);
-        assert!(!out.tree_growth.is_empty());
-        assert!(!out.order_slice_counts.is_empty());
-        assert_eq!(out.final_order.len(), 3);
-        let total: u64 = out.order_slice_counts.iter().map(|(_, c)| c).sum();
-        assert_eq!(total, out.slices);
+        let out = run_skinner_c(&q, &ExecContext::default(), &cfg);
+        let m = &out.metrics;
+        assert!(m.uct_nodes >= 1);
+        assert!(m.tracker_nodes >= 1);
+        assert!(!m.tree_growth.is_empty());
+        assert!(!m.order_slice_counts.is_empty());
+        assert_eq!(m.order.len(), 3);
+        let total: u64 = m.order_slice_counts.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, m.slices);
     }
 
     #[test]
@@ -474,9 +459,14 @@ mod tests {
             "SELECT a.id FROM a, b, c WHERE a.id = b.aid AND b.w = c.bw",
             &cat,
         );
-        let learned = run_skinner_c(&q, &SkinnerCConfig::default());
+        let learned = run_skinner_c(&q, &ExecContext::default(), &SkinnerCConfig::default());
         for order in [[0, 1, 2], [2, 1, 0], [1, 0, 2]] {
-            let fixed = run_skinner_c_fixed(&q, &order, &SkinnerCConfig::default());
+            let fixed = run_skinner_c_fixed(
+                &q,
+                &ExecContext::default(),
+                &order,
+                &SkinnerCConfig::default(),
+            );
             assert!(!fixed.timed_out);
             assert_eq!(
                 fixed.result.canonical_rows(),
@@ -493,8 +483,8 @@ mod tests {
             "SELECT a.id FROM a, b WHERE a.id = b.aid AND a.id > 1000",
             &cat,
         );
-        let out = run_skinner_c(&q, &SkinnerCConfig::default());
+        let out = run_skinner_c(&q, &ExecContext::default(), &SkinnerCConfig::default());
         assert_eq!(out.result.num_rows(), 0);
-        assert_eq!(out.slices, 0);
+        assert_eq!(out.metrics.slices, 0);
     }
 }

@@ -11,7 +11,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use skinner_exec::{Timeout, WorkBudget};
-use skinner_query::expr::{ColRef, CmpOp, EvalCtx, Expr};
+use skinner_query::expr::{CmpOp, ColRef, EvalCtx, Expr};
 use skinner_query::JoinQuery;
 use skinner_storage::{HashIndex, RowId, Table};
 
@@ -40,20 +40,14 @@ pub struct OrderInfo {
 
 impl OrderInfo {
     /// Analyze `order`, splitting predicates into index jumps and checks.
-    pub fn build(
-        query: &JoinQuery,
-        ctx: &MultiwayCtx,
-        order: &[usize],
-        use_jumps: bool,
-    ) -> Self {
+    pub fn build(query: &JoinQuery, ctx: &MultiwayCtx, order: &[usize], use_jumps: bool) -> Self {
         let m = order.len();
         let mut jumps: Vec<Vec<(usize, ColRef)>> = vec![Vec::new(); m];
         let mut checks: Vec<Vec<Expr>> = vec![Vec::new(); m];
         let pos_of: HashMap<usize, usize> =
             order.iter().enumerate().map(|(i, &t)| (t, i)).collect();
         for p in &query.equi_preds {
-            let (Some(&pl), Some(&pr)) =
-                (pos_of.get(&p.left.table), pos_of.get(&p.right.table))
+            let (Some(&pl), Some(&pr)) = (pos_of.get(&p.left.table), pos_of.get(&p.right.table))
             else {
                 continue; // predicate outside this (sub-)order
             };
@@ -254,11 +248,7 @@ mod tests {
         }
     }
 
-    fn run_to_completion(
-        q: &JoinQuery,
-        order: &[usize],
-        use_jumps: bool,
-    ) -> (ResultSet, u64) {
+    fn run_to_completion(q: &JoinQuery, order: &[usize], use_jumps: bool) -> (ResultSet, u64) {
         let ctx = ctx_for(q);
         let info = OrderInfo::build(q, &ctx, order, use_jumps);
         let offsets = vec![0; q.num_tables()];
@@ -268,10 +258,8 @@ mod tests {
         let mut slices = 0;
         loop {
             slices += 1;
-            match continue_join(
-                &ctx, &info, &mut state, &offsets, 64, &budget, &mut results,
-            )
-            .unwrap()
+            match continue_join(&ctx, &info, &mut state, &offsets, 64, &budget, &mut results)
+                .unwrap()
             {
                 SliceOutcome::Finished => break,
                 SliceOutcome::Budget => {}
@@ -307,8 +295,7 @@ mod tests {
         let (with_jumps, work_jumps) = run_to_completion(&q, &[0, 1, 2], true);
         let (without, work_scan) = run_to_completion(&q, &[0, 1, 2], false);
         let norm = |r: ResultSet| {
-            let mut v: Vec<Vec<RowId>> =
-                r.into_tuples().iter().map(|t| t.to_vec()).collect();
+            let mut v: Vec<Vec<RowId>> = r.into_tuples().iter().map(|t| t.to_vec()).collect();
             v.sort();
             v
         };
@@ -329,7 +316,13 @@ mod tests {
         let mut full_state = JoinState::fresh(&offsets);
         let mut full = ResultSet::new();
         while continue_join(
-            &ctx, &info, &mut full_state, &offsets, u64::MAX, &budget, &mut full,
+            &ctx,
+            &info,
+            &mut full_state,
+            &offsets,
+            u64::MAX,
+            &budget,
+            &mut full,
         )
         .unwrap()
             != SliceOutcome::Finished
@@ -341,8 +334,7 @@ mod tests {
         loop {
             guard += 1;
             assert!(guard < 10_000);
-            if continue_join(&ctx, &info, &mut state, &offsets, 2, &budget, &mut partial)
-                .unwrap()
+            if continue_join(&ctx, &info, &mut state, &offsets, 2, &budget, &mut partial).unwrap()
                 == SliceOutcome::Finished
             {
                 break;
@@ -363,7 +355,13 @@ mod tests {
         let mut results = ResultSet::new();
         let budget = WorkBudget::unlimited();
         while continue_join(
-            &ctx, &info, &mut state, &offsets, u64::MAX, &budget, &mut results,
+            &ctx,
+            &info,
+            &mut state,
+            &offsets,
+            u64::MAX,
+            &budget,
+            &mut results,
         )
         .unwrap()
             != SliceOutcome::Finished
@@ -385,7 +383,13 @@ mod tests {
         let mut results = ResultSet::new();
         let budget = WorkBudget::with_limit(3);
         let r = continue_join(
-            &ctx, &info, &mut state, &offsets, u64::MAX, &budget, &mut results,
+            &ctx,
+            &info,
+            &mut state,
+            &offsets,
+            u64::MAX,
+            &budget,
+            &mut results,
         );
         assert!(matches!(r, Err(Timeout)));
     }

@@ -68,29 +68,31 @@ pub fn prepare(
     })
 }
 
+/// One built jump index, keyed by (table, column).
+type BuiltIndex = ((usize, usize), HashIndex);
+
 fn build_parallel(
     tables: &[Arc<Table>],
     targets: &[(usize, usize)],
     budget: &WorkBudget,
     threads: usize,
-) -> Result<Vec<((usize, usize), HashIndex)>, Timeout> {
+) -> Result<Vec<BuiltIndex>, Timeout> {
     let chunk = targets.len().div_ceil(threads).max(1);
-    let results: Vec<Result<Vec<((usize, usize), HashIndex)>, Timeout>> =
-        crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for part in targets.chunks(chunk) {
-                handles.push(scope.spawn(move |_| {
-                    let mut out = Vec::with_capacity(part.len());
-                    for &(t, col) in part {
-                        budget.charge(tables[t].num_rows() as u64)?;
-                        out.push(((t, col), HashIndex::build(tables[t].column(col))));
-                    }
-                    Ok(out)
-                }));
-            }
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        })
-        .expect("index build thread panicked");
+    let results: Vec<Result<Vec<BuiltIndex>, Timeout>> = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for part in targets.chunks(chunk) {
+            handles.push(scope.spawn(move |_| {
+                let mut out = Vec::with_capacity(part.len());
+                for &(t, col) in part {
+                    budget.charge(tables[t].num_rows() as u64)?;
+                    out.push(((t, col), HashIndex::build(tables[t].column(col))));
+                }
+                Ok(out)
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .expect("index build thread panicked");
     let mut all = Vec::new();
     for r in results {
         all.extend(r?);
@@ -130,10 +132,7 @@ mod tests {
     #[test]
     fn indexes_built_on_filtered_join_columns() {
         let cat = setup();
-        let q = bind(
-            "SELECT a.id FROM a, b WHERE a.id = b.aid AND a.x = 0",
-            &cat,
-        );
+        let q = bind("SELECT a.id FROM a, b WHERE a.id = b.aid AND a.x = 0", &cat);
         let budget = WorkBudget::unlimited();
         let p = prepare(&q, &budget, 1, true).unwrap();
         // Filtered a: ids 0,5,10,… (10 rows).

@@ -50,7 +50,13 @@ impl JoinState {
         order
             .iter()
             .enumerate()
-            .map(|(i, &t)| if i <= self.depth { self.s[t] } else { offsets[t] })
+            .map(|(i, &t)| {
+                if i <= self.depth {
+                    self.s[t]
+                } else {
+                    offsets[t]
+                }
+            })
             .collect()
     }
 }

@@ -16,13 +16,14 @@
 //! with traditional-optimizer executions while preserving learning state.
 
 use std::collections::HashMap;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use skinner_exec::{
-    execute_join, postprocess, preprocess, Preprocessed, QueryResult, TupleIxs, WorkBudget,
+    execute_join, postprocess, preprocess, ExecContext, ExecMetrics, ExecOutcome, Preprocessed,
+    QueryResult, TupleIxs, WorkBudget,
 };
 use skinner_query::{JoinGraph, JoinQuery, TableSet};
 use skinner_storage::RowId;
@@ -31,23 +32,14 @@ use skinner_uct::{UctConfig, UctTree};
 use crate::config::SkinnerGConfig;
 use crate::pyramid::PyramidScheme;
 
-/// Final report of a Skinner-G run.
-#[derive(Debug)]
-pub struct SkinnerGOutcome {
-    pub result: QueryResult,
-    pub work_units: u64,
-    /// Iterations (time slices) executed.
-    pub slices: u64,
-    /// Timeout levels used by the pyramid scheme.
-    pub timeout_levels: usize,
-    pub wall: Duration,
-    pub timed_out: bool,
-}
-
-/// Resumable Skinner-G execution state.
+/// Resumable Skinner-G execution state. The final [`ExecOutcome`] reports
+/// `slices` and a `timeout_levels` counter in its metrics.
 pub struct SkinnerG<'q> {
     query: &'q JoinQuery,
+    ctx: ExecContext,
     cfg: SkinnerGConfig,
+    /// Effective global work limit (config capped by the context budget).
+    work_limit: u64,
     pre: Preprocessed,
     /// Per table: batch boundary rows (length `batches + 1`).
     bounds: Vec<Vec<RowId>>,
@@ -69,9 +61,10 @@ pub struct SkinnerG<'q> {
 impl<'q> SkinnerG<'q> {
     /// Pre-process and set up. Returns a failed instance (immediately
     /// `timed_out`) if pre-processing alone blows the work limit.
-    pub fn new(query: &'q JoinQuery, cfg: SkinnerGConfig) -> Self {
+    pub fn new(query: &'q JoinQuery, ctx: &ExecContext, cfg: SkinnerGConfig) -> Self {
         let started = Instant::now();
-        let budget = WorkBudget::with_limit(cfg.work_limit);
+        let work_limit = ctx.effective_limit(cfg.work_limit);
+        let budget = WorkBudget::with_limit(work_limit);
         let (pre, failed) = match preprocess(query, &budget, cfg.preprocess_threads) {
             Ok(p) => (p, false),
             Err(_) => (
@@ -92,12 +85,14 @@ impl<'q> SkinnerG<'q> {
             })
             .collect();
         // An empty (filtered) table means an empty join result.
-        let finished = !failed
-            && (query.always_false || pre.tables.iter().any(|t| t.num_rows() == 0));
+        let finished =
+            !failed && (query.always_false || pre.tables.iter().any(|t| t.num_rows() == 0));
         let graph = query.join_graph();
         SkinnerG {
             query,
+            ctx: ctx.clone(),
             rng: StdRng::seed_from_u64(cfg.seed ^ 0xBA7C4),
+            work_limit,
             cfg,
             pre,
             bounds,
@@ -127,6 +122,11 @@ impl<'q> SkinnerG<'q> {
     /// Run one iteration of Algorithm 1's main loop.
     pub fn step(&mut self) {
         if self.finished || self.failed {
+            return;
+        }
+        // Cooperative cancellation/deadline, once per slice.
+        if self.ctx.interrupted() {
+            self.failed = true;
             return;
         }
         let (level, timeout) = self.pyramid.next_timeout();
@@ -182,7 +182,7 @@ impl<'q> SkinnerG<'q> {
         if self.cfg.learning {
             self.trees.get_mut(&level).unwrap().update(&order, reward);
         }
-        if self.work > self.cfg.work_limit {
+        if self.work > self.work_limit {
             self.failed = true;
         }
     }
@@ -198,7 +198,7 @@ impl<'q> SkinnerG<'q> {
     }
 
     /// Run to completion and report.
-    pub fn run_to_completion(mut self) -> SkinnerGOutcome {
+    pub fn run_to_completion(mut self) -> ExecOutcome {
         while !self.finished && !self.failed {
             self.step();
         }
@@ -206,7 +206,7 @@ impl<'q> SkinnerG<'q> {
     }
 
     /// Post-process accumulated results into the final outcome.
-    pub fn into_outcome(self) -> SkinnerGOutcome {
+    pub fn into_outcome(self) -> ExecOutcome {
         let columns: Vec<String> = self
             .query
             .select
@@ -222,13 +222,18 @@ impl<'q> SkinnerG<'q> {
                 Err(_) => (QueryResult::empty(columns), true),
             }
         };
-        SkinnerGOutcome {
+        let work_units = self.work + budget.used();
+        self.ctx.absorb_work(work_units);
+        ExecOutcome {
             result,
-            work_units: self.work + budget.used(),
-            slices: self.slices,
-            timeout_levels: self.pyramid.num_levels(),
+            work_units,
             wall: self.started.elapsed(),
             timed_out,
+            metrics: ExecMetrics {
+                slices: self.slices,
+                ..ExecMetrics::default()
+            }
+            .with_counter("timeout_levels", self.pyramid.num_levels() as u64),
         }
     }
 }
@@ -291,7 +296,8 @@ mod tests {
              WHERE a.id = b.aid AND b.w = c.bw GROUP BY a.g ORDER BY a.g",
         ] {
             let q = bind(sql, &cat);
-            let out = SkinnerG::new(&q, SkinnerGConfig::default()).run_to_completion();
+            let out = SkinnerG::new(&q, &ExecContext::default(), SkinnerGConfig::default())
+                .run_to_completion();
             assert!(!out.timed_out, "{sql}");
             let expected = run_reference(&q);
             assert_eq!(
@@ -316,7 +322,7 @@ mod tests {
             base_timeout_units: 150,
             ..Default::default()
         };
-        let out = SkinnerG::new(&q, cfg).run_to_completion();
+        let out = SkinnerG::new(&q, &ExecContext::default(), cfg).run_to_completion();
         assert!(!out.timed_out);
         let expected = run_reference(&q);
         assert_eq!(out.result.canonical_rows(), expected.canonical_rows());
@@ -326,7 +332,7 @@ mod tests {
     fn resumable_in_unit_slices() {
         let cat = setup();
         let q = bind("SELECT a.id FROM a, b WHERE a.id = b.aid", &cat);
-        let mut g = SkinnerG::new(&q, SkinnerGConfig::default());
+        let mut g = SkinnerG::new(&q, &ExecContext::default(), SkinnerGConfig::default());
         let mut guard = 0;
         while !g.run_units(2_000) {
             guard += 1;
@@ -345,15 +351,31 @@ mod tests {
             work_limit: 500,
             ..Default::default()
         };
-        let out = SkinnerG::new(&q, cfg).run_to_completion();
+        let out = SkinnerG::new(&q, &ExecContext::default(), cfg).run_to_completion();
+        assert!(out.timed_out);
+    }
+
+    #[test]
+    fn cancellation_fails_gracefully() {
+        let cat = setup();
+        let q = bind("SELECT a.id FROM a, b WHERE a.id = b.aid", &cat);
+        let cancel = skinner_exec::CancelToken::new();
+        let ctx = ExecContext::default().with_cancel(cancel.clone());
+        let mut g = SkinnerG::new(&q, &ctx, SkinnerGConfig::default());
+        g.step();
+        cancel.cancel();
+        let out = g.run_to_completion();
         assert!(out.timed_out);
     }
 
     #[test]
     fn empty_filtered_table_finishes_instantly() {
         let cat = setup();
-        let q = bind("SELECT a.id FROM a, b WHERE a.id = b.aid AND a.id > 999", &cat);
-        let g = SkinnerG::new(&q, SkinnerGConfig::default());
+        let q = bind(
+            "SELECT a.id FROM a, b WHERE a.id = b.aid AND a.id > 999",
+            &cat,
+        );
+        let g = SkinnerG::new(&q, &ExecContext::default(), SkinnerGConfig::default());
         assert!(g.is_finished());
         let out = g.run_to_completion();
         assert_eq!(out.result.num_rows(), 0);
@@ -367,7 +389,7 @@ mod tests {
             learning: false,
             ..Default::default()
         };
-        let out = SkinnerG::new(&q, cfg).run_to_completion();
+        let out = SkinnerG::new(&q, &ExecContext::default(), cfg).run_to_completion();
         let expected = run_reference(&q);
         assert_eq!(out.result.canonical_rows(), expected.canonical_rows());
     }

@@ -7,61 +7,45 @@
 //! optimum (Theorem 5.7) and against pure traditional execution — at most
 //! 4/5 additional time (Theorem 5.8).
 
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
-use skinner_exec::{run_traditional, QueryResult, TraditionalConfig};
+use skinner_exec::{run_traditional, ExecContext, ExecMetrics, ExecOutcome, TraditionalConfig};
 use skinner_query::JoinQuery;
-use skinner_stats::StatsCache;
 
 use crate::config::SkinnerHConfig;
 use crate::skinner_g::SkinnerG;
 
-/// Which side produced the final result.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum HybridWinner {
-    /// The traditional optimizer's plan finished within one of its timeouts.
-    Traditional,
-    /// The learned (Skinner-G) side completed the query first.
-    Learned,
-    /// Neither finished within the global work limit.
-    None,
+/// Metric value when the traditional side delivered the result.
+pub const WINNER_TRADITIONAL: &str = "traditional";
+/// Metric value when the learned (Skinner-G) side delivered the result.
+pub const WINNER_LEARNED: &str = "learned";
+
+fn hybrid_metrics(winner: Option<&'static str>, rounds: u32) -> ExecMetrics {
+    ExecMetrics {
+        winner,
+        ..ExecMetrics::default()
+    }
+    .with_counter("rounds", rounds as u64)
 }
 
-/// Final report of a Skinner-H run.
-#[derive(Debug)]
-pub struct SkinnerHOutcome {
-    pub result: QueryResult,
-    /// Combined work of both halves.
-    pub work_units: u64,
-    pub winner: HybridWinner,
-    /// Rounds of (traditional, learned) alternation executed.
-    pub rounds: u32,
-    pub wall: Duration,
-    pub timed_out: bool,
-}
-
-/// Evaluate `query` with Skinner-H.
-pub fn run_skinner_h(
-    query: &JoinQuery,
-    stats: &StatsCache,
-    cfg: &SkinnerHConfig,
-) -> SkinnerHOutcome {
+/// Evaluate `query` with Skinner-H. The outcome's metrics report the
+/// `winner` side and a `rounds` counter.
+pub fn run_skinner_h(query: &JoinQuery, ctx: &ExecContext, cfg: &SkinnerHConfig) -> ExecOutcome {
     let start = Instant::now();
-    let mut learner = SkinnerG::new(query, cfg.learner.clone());
+    let work_limit = ctx.effective_limit(cfg.learner.work_limit);
+    let mut learner = SkinnerG::new(query, ctx, cfg.learner.clone());
     let mut traditional_work = 0u64;
     let mut rounds = 0u32;
 
     // The learner may finish during setup (empty filtered table).
     if learner.is_finished() {
-        let work = learner.work_units();
         let out = learner.into_outcome();
-        return SkinnerHOutcome {
+        return ExecOutcome {
             result: out.result,
-            work_units: work,
-            winner: HybridWinner::Learned,
-            rounds,
+            work_units: out.work_units,
             wall: start.elapsed(),
             timed_out: out.timed_out,
+            metrics: hybrid_metrics(Some(WINNER_LEARNED), rounds),
         };
     }
 
@@ -72,10 +56,11 @@ pub fn run_skinner_h(
             .base_timeout_units
             .saturating_mul(1u64 << i.min(62));
 
-        // (a) Traditional plan with the current timeout.
+        // (a) Traditional plan with the current timeout. Both halves share
+        // `ctx`, so the session budget and cancellation token apply to each.
         let trad = run_traditional(
             query,
-            stats,
+            ctx,
             &TraditionalConfig {
                 profile: cfg.learner.engine_profile,
                 forced_order: None,
@@ -85,44 +70,40 @@ pub fn run_skinner_h(
         );
         traditional_work += trad.work_units;
         if !trad.timed_out {
-            return SkinnerHOutcome {
+            ctx.absorb_work(learner.work_units());
+            return ExecOutcome {
                 result: trad.result,
                 work_units: traditional_work + learner.work_units(),
-                winner: HybridWinner::Traditional,
-                rounds,
                 wall: start.elapsed(),
                 timed_out: false,
+                metrics: hybrid_metrics(Some(WINNER_TRADITIONAL), rounds),
             };
         }
 
         // (b) Learned plans for the same amount of time.
         if learner.run_units(timeout_units) {
-            let learner_work = learner.work_units();
+            // into_outcome() includes the post-processing work it charges
+            // to the shared budget, so report that total, not a snapshot.
             let out = learner.into_outcome();
-            return SkinnerHOutcome {
+            return ExecOutcome {
                 result: out.result,
-                work_units: traditional_work + learner_work,
-                winner: HybridWinner::Learned,
-                rounds,
+                work_units: traditional_work + out.work_units,
                 wall: start.elapsed(),
                 timed_out: out.timed_out,
+                metrics: hybrid_metrics(Some(WINNER_LEARNED), rounds),
             };
         }
 
-        if traditional_work + learner.work_units() > cfg.learner.work_limit {
+        if ctx.interrupted() || traditional_work + learner.work_units() > work_limit {
             break;
         }
     }
 
     let columns: Vec<String> = query.select.iter().map(|s| s.name().to_string()).collect();
-    SkinnerHOutcome {
-        result: QueryResult::empty(columns),
-        work_units: traditional_work + learner.work_units(),
-        winner: HybridWinner::None,
-        rounds,
-        wall: start.elapsed(),
-        timed_out: true,
-    }
+    let learner_work = learner.work_units();
+    ctx.absorb_work(learner_work);
+    ExecOutcome::timeout(columns, traditional_work + learner_work, start.elapsed())
+        .with_metrics(hybrid_metrics(None, rounds))
 }
 
 #[cfg(test)]
@@ -145,7 +126,7 @@ mod tests {
             b.push_row(&[Value::Int(i % 60), Value::Int(i % 12)]);
         }
         cat.register(b.finish());
-        let mut udfs = UdfRegistry::new();
+        let udfs = UdfRegistry::new();
         // A UDF the optimizer cannot see through; always true here.
         udfs.register("opaque_true", |_| Value::from(true));
         (cat, udfs)
@@ -162,10 +143,10 @@ mod tests {
     fn traditional_side_wins_easy_queries() {
         let (cat, udfs) = setup();
         let q = bind("SELECT a.id FROM a, b WHERE a.id = b.aid", &cat, &udfs);
-        let stats = StatsCache::new();
-        let out = run_skinner_h(&q, &stats, &SkinnerHConfig::default());
+        let out = run_skinner_h(&q, &ExecContext::default(), &SkinnerHConfig::default());
         assert!(!out.timed_out);
-        assert_eq!(out.winner, HybridWinner::Traditional);
+        assert_eq!(out.metrics.winner, Some(WINNER_TRADITIONAL));
+        assert!(out.metrics.counter("rounds").unwrap() >= 1);
         let expected = run_reference(&q);
         assert_eq!(out.result.canonical_rows(), expected.canonical_rows());
     }
@@ -178,7 +159,6 @@ mod tests {
             &cat,
             &udfs,
         );
-        let stats = StatsCache::new();
         // Base timeout so small the traditional side cannot finish early,
         // while the learner accumulates progress across rounds.
         let cfg = SkinnerHConfig {
@@ -189,18 +169,17 @@ mod tests {
             },
             max_doublings: 30,
         };
-        let out = run_skinner_h(&q, &stats, &cfg);
+        let out = run_skinner_h(&q, &ExecContext::default(), &cfg);
         assert!(!out.timed_out);
         let expected = run_reference(&q);
         assert_eq!(out.result.canonical_rows(), expected.canonical_rows());
-        assert!(out.rounds >= 1);
+        assert!(out.metrics.counter("rounds").unwrap() >= 1);
     }
 
     #[test]
     fn global_limit_reports_timeout() {
         let (cat, udfs) = setup();
         let q = bind("SELECT a.id FROM a, b WHERE a.id = b.aid", &cat, &udfs);
-        let stats = StatsCache::new();
         let cfg = SkinnerHConfig {
             learner: SkinnerGConfig {
                 work_limit: 200,
@@ -209,19 +188,22 @@ mod tests {
             },
             max_doublings: 3,
         };
-        let out = run_skinner_h(&q, &stats, &cfg);
+        let out = run_skinner_h(&q, &ExecContext::default(), &cfg);
         // Either some side finished within 3 rounds, or we report timeout.
         if out.timed_out {
-            assert_eq!(out.winner, HybridWinner::None);
+            assert_eq!(out.metrics.winner, None);
         }
     }
 
     #[test]
     fn empty_result_query() {
         let (cat, udfs) = setup();
-        let q = bind("SELECT a.id FROM a, b WHERE a.id = b.aid AND a.id > 999", &cat, &udfs);
-        let stats = StatsCache::new();
-        let out = run_skinner_h(&q, &stats, &SkinnerHConfig::default());
+        let q = bind(
+            "SELECT a.id FROM a, b WHERE a.id = b.aid AND a.id > 999",
+            &cat,
+            &udfs,
+        );
+        let out = run_skinner_h(&q, &ExecContext::default(), &SkinnerHConfig::default());
         assert_eq!(out.result.num_rows(), 0);
         assert!(!out.timed_out);
     }

@@ -39,7 +39,11 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         proptest::collection::vec(0u32..50, M..=M),
         0usize..M,
     )
-        .prop_map(|(order_idx, s, depth)| Op { order_idx, s, depth })
+        .prop_map(|(order_idx, s, depth)| Op {
+            order_idx,
+            s,
+            depth,
+        })
 }
 
 fn resume_vec(order: &[usize], st: &JoinState, offsets: &[RowId]) -> Vec<RowId> {

@@ -23,13 +23,20 @@ impl std::error::Error for Timeout {}
 /// the repository charge through this type with the same conventions, which
 /// makes their unit totals comparable (the simulation-time metric used by
 /// the benchmark harness alongside wall-clock time).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct WorkBudget {
     used: AtomicU64,
     limit: u64,
     /// Intermediate-result tuples produced (the paper's "Total Card."
     /// optimizer-quality metric in Tables 1–2).
     tuples: AtomicU64,
+}
+
+/// The default budget is unlimited (a zero limit would reject all work).
+impl Default for WorkBudget {
+    fn default() -> Self {
+        Self::unlimited()
+    }
 }
 
 impl WorkBudget {

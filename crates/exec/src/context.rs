@@ -1,0 +1,200 @@
+//! Per-execution context shared by every strategy.
+//!
+//! An [`ExecContext`] bundles what used to be loose parameters (the stats
+//! cache, the UDF registry) with two new cross-cutting controls:
+//!
+//! * a shared [`WorkBudget`] spanning a whole script or session, so a
+//!   multi-statement script cannot exceed its caller's total work limit
+//!   even though each engine also enforces its own per-query limit, and
+//! * a cooperative [`CancelToken`] with an optional deadline, checked in
+//!   every engine's slice loop: when it trips, the engine abandons the run
+//!   and reports a timed-out [`crate::ExecOutcome`]. No threads are killed
+//!   — cancellation is cooperative, like the paper's timeout discipline.
+//!
+//! Contexts are cheap to clone (everything is behind an `Arc`).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use skinner_query::UdfRegistry;
+use skinner_stats::StatsCache;
+
+use crate::budget::WorkBudget;
+
+/// Cooperative cancellation flag with an optional deadline.
+///
+/// Clones share the flag: cancelling any clone cancels them all.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+#[derive(Debug, Default)]
+struct CancelInner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that never fires on its own (cancel explicitly).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token that fires once `timeout` has elapsed from now.
+    pub fn with_deadline(timeout: Duration) -> Self {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                cancelled: AtomicBool::new(false),
+                deadline: Instant::now().checked_add(timeout),
+            }),
+        }
+    }
+
+    /// A token that fires at `deadline`.
+    pub fn deadline_at(deadline: Instant) -> Self {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(deadline),
+            }),
+        }
+    }
+
+    /// Request cancellation (idempotent, callable from any thread).
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// True once cancelled or past the deadline.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Relaxed)
+            || self.inner.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+}
+
+/// Everything a strategy needs besides the bound query itself.
+#[derive(Clone, Default)]
+pub struct ExecContext {
+    stats: Arc<StatsCache>,
+    udfs: Arc<UdfRegistry>,
+    budget: Arc<WorkBudget>,
+    cancel: CancelToken,
+}
+
+impl ExecContext {
+    /// Fresh context: empty stats/UDFs, unlimited budget, no deadline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_stats(mut self, stats: Arc<StatsCache>) -> Self {
+        self.stats = stats;
+        self
+    }
+
+    pub fn with_udfs(mut self, udfs: Arc<UdfRegistry>) -> Self {
+        self.udfs = udfs;
+        self
+    }
+
+    pub fn with_budget(mut self, budget: Arc<WorkBudget>) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Statistics for cost-based strategies (SkinnerDB itself never reads
+    /// them — the paper's "no statistics" discipline).
+    pub fn stats(&self) -> &StatsCache {
+        &self.stats
+    }
+
+    pub fn stats_arc(&self) -> &Arc<StatsCache> {
+        &self.stats
+    }
+
+    pub fn udfs(&self) -> &UdfRegistry {
+        &self.udfs
+    }
+
+    /// The shared (script/session scope) work budget.
+    pub fn budget(&self) -> &WorkBudget {
+        &self.budget
+    }
+
+    pub fn cancel(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// Cheap check engines make once per slice: cancelled or past deadline?
+    #[inline]
+    pub fn interrupted(&self) -> bool {
+        self.cancel.is_cancelled()
+    }
+
+    /// The per-run work limit an engine should enforce: its own configured
+    /// limit capped by what remains of the shared budget.
+    pub fn effective_limit(&self, configured: u64) -> u64 {
+        configured.min(self.budget.remaining())
+    }
+
+    /// Fold a finished run's consumption back into the shared budget (the
+    /// over-limit error is irrelevant here — the run already ended).
+    pub fn absorb_work(&self, used: u64) {
+        let _ = self.budget.charge(used);
+    }
+}
+
+impl std::fmt::Debug for ExecContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecContext")
+            .field("budget_used", &self.budget.used())
+            .field("budget_limit", &self.budget.limit())
+            .field("cancelled", &self.cancel.is_cancelled())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_token_flag_and_clone_sharing() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        assert!(!t.is_cancelled());
+        u.cancel();
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_fires() {
+        let t = CancelToken::with_deadline(Duration::ZERO);
+        assert!(t.is_cancelled());
+        let far = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!far.is_cancelled());
+        assert!(far.deadline().is_some());
+    }
+
+    #[test]
+    fn shared_budget_caps_effective_limit() {
+        let ctx = ExecContext::new().with_budget(Arc::new(WorkBudget::with_limit(100)));
+        assert_eq!(ctx.effective_limit(u64::MAX), 100);
+        assert_eq!(ctx.effective_limit(30), 30);
+        ctx.absorb_work(80);
+        assert_eq!(ctx.effective_limit(u64::MAX), 20);
+        ctx.absorb_work(80); // over-limit absorption is not an error
+        assert_eq!(ctx.effective_limit(u64::MAX), 0);
+    }
+}

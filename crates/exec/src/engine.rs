@@ -143,9 +143,7 @@ pub fn execute_join(
         let equi: Vec<&EquiPred> = query
             .equi_preds
             .iter()
-            .filter(|p| {
-                p.table_set().is_subset_of(&step_set) && p.side_on(tk).is_some()
-            })
+            .filter(|p| p.table_set().is_subset_of(&step_set) && p.side_on(tk).is_some())
             .collect();
         let generic: Vec<&GenericPred> = query
             .generic_preds
@@ -155,12 +153,28 @@ pub fn execute_join(
 
         let produced = if equi.is_empty() {
             nested_loop_step(
-                tables, query, &current, tk, floors[tk], &generic, profile, budget, &interner,
+                tables,
+                query,
+                &current,
+                tk,
+                floors[tk],
+                &generic,
+                profile,
+                budget,
+                &interner,
                 is_last && count_only,
             )?
         } else {
             hash_join_step(
-                tables, query, &current, tk, floors[tk], &equi, &generic, profile, budget,
+                tables,
+                query,
+                &current,
+                tk,
+                floors[tk],
+                &equi,
+                &generic,
+                profile,
+                budget,
                 &interner,
                 is_last && count_only,
             )?
@@ -371,8 +385,7 @@ fn run_probe<F>(
     width: usize,
 ) -> Result<StepOutput, Timeout>
 where
-    F: Fn(&TupleIxs, &mut Vec<TupleIxs>, &mut u64, &mut Vec<RowId>) -> Result<(), Timeout>
-        + Sync,
+    F: Fn(&TupleIxs, &mut Vec<TupleIxs>, &mut u64, &mut Vec<RowId>) -> Result<(), Timeout> + Sync,
 {
     let threads = profile.threads;
     if threads <= 1 || current.len() < 1024 {
@@ -389,24 +402,23 @@ where
         });
     }
     let chunk = current.len().div_ceil(threads);
-    let results: Vec<Result<(Vec<TupleIxs>, u64), Timeout>> =
-        crossbeam::thread::scope(|scope| {
-            let probe_one = &probe_one;
-            let mut handles = Vec::new();
-            for part in current.chunks(chunk) {
-                handles.push(scope.spawn(move |_| {
-                    let mut out = Vec::new();
-                    let mut count = 0u64;
-                    let mut scratch = vec![0 as RowId; width];
-                    for tuple in part {
-                        probe_one(tuple, &mut out, &mut count, &mut scratch)?;
-                    }
-                    Ok((out, count))
-                }));
-            }
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        })
-        .expect("probe thread panicked");
+    let results: Vec<Result<(Vec<TupleIxs>, u64), Timeout>> = crossbeam::thread::scope(|scope| {
+        let probe_one = &probe_one;
+        let mut handles = Vec::new();
+        for part in current.chunks(chunk) {
+            handles.push(scope.spawn(move |_| {
+                let mut out = Vec::new();
+                let mut count = 0u64;
+                let mut scratch = vec![0 as RowId; width];
+                for tuple in part {
+                    probe_one(tuple, &mut out, &mut count, &mut scratch)?;
+                }
+                Ok((out, count))
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .expect("probe thread panicked");
     let mut out = Vec::new();
     let mut count = 0u64;
     for r in results {
@@ -458,11 +470,9 @@ mod tests {
         let budget = WorkBudget::unlimited();
         let floors = vec![0; q.num_tables()];
         let n0 = q.tables[order[0]].cardinality();
-        execute_join(
-            &q.tables, q, order, 0..n0, &floors, profile, &budget, false,
-        )
-        .unwrap()
-        .into_tuples()
+        execute_join(&q.tables, q, order, 0..n0, &floors, profile, &budget, false)
+            .unwrap()
+            .into_tuples()
     }
 
     #[test]
@@ -596,7 +606,11 @@ mod tests {
         let mut e = cat.builder("empty_t", schema![("x", Int)]);
         let _ = &mut e;
         cat.register(e.finish());
-        let q = bind("SELECT a.id FROM a, empty_t WHERE a.id = empty_t.x", &cat, &udfs);
+        let q = bind(
+            "SELECT a.id FROM a, empty_t WHERE a.id = empty_t.x",
+            &cat,
+            &udfs,
+        );
         let res = full_run(&q, &[1, 0], &ExecProfile::row_store());
         assert!(res.is_empty());
     }
@@ -609,11 +623,24 @@ mod tests {
         let b_row = WorkBudget::unlimited();
         let b_col = WorkBudget::unlimited();
         execute_join(
-            &q.tables, &q, &[0, 1], 0..20, &floors, &ExecProfile::row_store(), &b_row, false,
+            &q.tables,
+            &q,
+            &[0, 1],
+            0..20,
+            &floors,
+            &ExecProfile::row_store(),
+            &b_row,
+            false,
         )
         .unwrap();
         execute_join(
-            &q.tables, &q, &[0, 1], 0..20, &floors, &ExecProfile::column_store(), &b_col,
+            &q.tables,
+            &q,
+            &[0, 1],
+            0..20,
+            &floors,
+            &ExecProfile::column_store(),
+            &b_col,
             false,
         )
         .unwrap();

@@ -25,22 +25,38 @@
 //!   correctness tests.
 //! * [`oracle`] — exact join-cardinality counting, which defines the
 //!   *optimal* join orders replayed in the paper's Tables 3 and 4.
+//!
+//! It also defines the **execution API** every engine in the workspace
+//! (and external crates) plugs into:
+//!
+//! * [`strategy`] — the object-safe [`ExecutionStrategy`] trait and the
+//!   [`StrategyRegistry`] for name-based registration,
+//! * [`context`] — [`ExecContext`]: stats, UDFs, a shared [`WorkBudget`],
+//!   and a cooperative [`CancelToken`] threaded through the slice loops,
+//! * [`outcome`] — the one shared [`ExecOutcome`] / [`ExecMetrics`] pair
+//!   all strategies report.
 
 pub mod budget;
+pub mod context;
 pub mod engine;
 pub mod oracle;
+pub mod outcome;
 pub mod postprocess;
 pub mod preprocess;
 pub mod reference;
 pub mod result;
+pub mod strategy;
 pub mod traditional;
 
 pub use budget::{Timeout, WorkBudget};
+pub use context::{CancelToken, ExecContext};
 pub use engine::{execute_join, join_step, ExecProfile, JoinOutput};
+pub use outcome::{ExecMetrics, ExecOutcome};
 pub use postprocess::postprocess;
 pub use preprocess::{preprocess, Preprocessed};
 pub use result::QueryResult;
-pub use traditional::{run_traditional, TraditionalConfig, TraditionalOutcome};
+pub use strategy::{ExecutionStrategy, ReferenceStrategy, StrategyRegistry, TraditionalStrategy};
+pub use traditional::{run_traditional, TraditionalConfig};
 
 /// A join-result tuple: one row id per query table, in table-position order.
 pub type TupleIxs = Box<[skinner_storage::RowId]>;

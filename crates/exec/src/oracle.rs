@@ -198,7 +198,10 @@ mod tests {
     #[test]
     fn cap_saturates_instead_of_hanging() {
         let cat = setup();
-        let q = bind("SELECT mid.hid FROM mid, huge WHERE mid.hid = huge.mid_id", &cat);
+        let q = bind(
+            "SELECT mid.hid FROM mid, huge WHERE mid.hid = huge.mid_id",
+            &cat,
+        );
         let budget = WorkBudget::unlimited();
         let pre = preprocess(&q, &budget, 1).unwrap();
         let mut oracle = CardOracle::new(&q, pre.tables, 5);

@@ -148,7 +148,11 @@ mod tests {
     #[test]
     fn filters_apply_and_unfiltered_tables_are_shared() {
         let (cat, udfs) = setup();
-        let q = bind("SELECT a.x FROM a, b WHERE a.x < 10 AND a.y = 1", &cat, &udfs);
+        let q = bind(
+            "SELECT a.x FROM a, b WHERE a.x < 10 AND a.y = 1",
+            &cat,
+            &udfs,
+        );
         let budget = WorkBudget::unlimited();
         let p = preprocess(&q, &budget, 1).unwrap();
         // x < 10 and x % 7 == 1 → x ∈ {1, 8}.
@@ -168,15 +172,9 @@ mod tests {
         let b4 = WorkBudget::unlimited();
         let serial = preprocess(&q, &b1, 1).unwrap();
         let parallel = preprocess(&q, &b4, 4).unwrap();
-        assert_eq!(
-            serial.tables[0].num_rows(),
-            parallel.tables[0].num_rows()
-        );
+        assert_eq!(serial.tables[0].num_rows(), parallel.tables[0].num_rows());
         for r in 0..serial.tables[0].cardinality() {
-            assert_eq!(
-                serial.tables[0].value(r, 0),
-                parallel.tables[0].value(r, 0)
-            );
+            assert_eq!(serial.tables[0].value(r, 0), parallel.tables[0].value(r, 0));
         }
         // Same predicate-evaluation work.
         assert_eq!(b1.used(), b4.used());

@@ -11,37 +11,52 @@ use skinner_query::JoinQuery;
 use skinner_storage::RowId;
 
 use crate::budget::WorkBudget;
+use crate::context::CancelToken;
 use crate::postprocess::postprocess;
 use crate::result::QueryResult;
 use crate::TupleIxs;
 
 /// Execute `query` by brute force.
 pub fn run_reference(query: &JoinQuery) -> QueryResult {
+    run_reference_cancellable(query, &CancelToken::new()).expect("no cancellation")
+}
+
+/// Like [`run_reference`], but polls `cancel` in the outer-table loop and
+/// returns `None` once it fires — so even the exponential ground-truth
+/// executor honours session deadlines.
+pub fn run_reference_cancellable(query: &JoinQuery, cancel: &CancelToken) -> Option<QueryResult> {
     let m = query.num_tables();
     let interner = query.tables[0].interner().clone();
     let mut tuples: Vec<TupleIxs> = Vec::new();
     if !query.always_false {
         let mut rows: Vec<RowId> = vec![0; m];
-        enumerate(query, 0, &mut rows, &interner, &mut tuples);
+        if !enumerate(query, 0, &mut rows, &interner, cancel, &mut tuples) {
+            return None;
+        }
     }
     let budget = WorkBudget::unlimited();
-    postprocess(&query.tables, query, &tuples, &budget).expect("unlimited budget")
+    Some(postprocess(&query.tables, query, &tuples, &budget).expect("unlimited budget"))
 }
 
+/// Returns `false` if enumeration was cancelled.
 fn enumerate(
     query: &JoinQuery,
     depth: usize,
     rows: &mut Vec<RowId>,
     interner: &std::sync::Arc<skinner_storage::Interner>,
+    cancel: &CancelToken,
     out: &mut Vec<TupleIxs>,
-) {
+) -> bool {
     let m = query.num_tables();
     if depth == m {
         out.push(rows.clone().into_boxed_slice());
-        return;
+        return true;
     }
     let n = query.tables[depth].cardinality();
     'next_row: for row in 0..n {
+        if depth == 0 && cancel.is_cancelled() {
+            return false;
+        }
         rows[depth] = row;
         let ctx = EvalCtx::new(&query.tables, rows, interner);
         // Unary predicates of this table.
@@ -71,8 +86,11 @@ fn enumerate(
                 continue 'next_row;
             }
         }
-        enumerate(query, depth + 1, rows, interner, out);
+        if !enumerate(query, depth + 1, rows, interner, cancel, out) {
+            return false;
+        }
     }
+    true
 }
 
 #[cfg(test)]
@@ -128,5 +146,14 @@ mod tests {
         let cat = setup();
         let q = bind("SELECT a.id FROM a, b", &cat);
         assert_eq!(run_reference(&q).num_rows(), 40);
+    }
+
+    #[test]
+    fn cancelled_token_stops_enumeration() {
+        let cat = setup();
+        let q = bind("SELECT a.id FROM a, b", &cat);
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        assert!(run_reference_cancellable(&q, &cancel).is_none());
     }
 }

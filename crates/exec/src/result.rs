@@ -21,6 +21,31 @@ impl QueryResult {
         self.rows.len()
     }
 
+    /// Stream the rows without copying (row-major slices).
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[Value]> + '_ {
+        self.rows.iter().map(Vec::as_slice)
+    }
+
+    /// Consume the result, streaming owned rows.
+    pub fn into_rows(self) -> impl Iterator<Item = Vec<Value>> {
+        self.rows.into_iter()
+    }
+
+    /// Position of a named output column (exact match first, then
+    /// unqualified-suffix match: `name` finds `t.name`).
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.eq_ignore_ascii_case(name))
+            .or_else(|| {
+                self.columns.iter().position(|c| {
+                    c.rsplit('.')
+                        .next()
+                        .is_some_and(|base| base.eq_ignore_ascii_case(name))
+                })
+            })
+    }
+
     /// Canonical string form of every row, sorted — used by tests to compare
     /// results of different evaluation strategies irrespective of row order
     /// (when the query itself has no ORDER BY).
@@ -122,6 +147,25 @@ mod tests {
             rows: vec![vec![Value::Float(0.3)]],
         };
         assert_eq!(a.canonical_rows(), b.canonical_rows());
+    }
+
+    #[test]
+    fn row_iteration_and_column_lookup() {
+        let r = QueryResult {
+            columns: vec!["t.id".into(), "n".into()],
+            rows: vec![
+                vec![Value::Int(1), Value::Int(10)],
+                vec![Value::Int(2), Value::Int(20)],
+            ],
+        };
+        let ids: Vec<i64> = r.iter_rows().map(|row| row[0].as_i64().unwrap()).collect();
+        assert_eq!(ids, vec![1, 2]);
+        assert_eq!(r.column_index("n"), Some(1));
+        assert_eq!(r.column_index("T.ID"), Some(0));
+        assert_eq!(r.column_index("id"), Some(0));
+        assert_eq!(r.column_index("missing"), None);
+        let owned: Vec<Vec<Value>> = r.into_rows().collect();
+        assert_eq!(owned.len(), 2);
     }
 
     #[test]

@@ -4,17 +4,17 @@
 //! experiments, and the engine Skinner-G/H drive with forced join orders
 //! (via `forced_order`, our analogue of optimizer hints).
 
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use skinner_optimizer::best_left_deep_estimated;
 use skinner_query::JoinQuery;
-use skinner_stats::StatsCache;
 
 use crate::budget::WorkBudget;
+use crate::context::ExecContext;
 use crate::engine::{execute_join, ExecProfile};
+use crate::outcome::{ExecMetrics, ExecOutcome};
 use crate::postprocess::postprocess;
 use crate::preprocess::preprocess;
-use crate::result::QueryResult;
 
 /// Configuration of a traditional run.
 #[derive(Debug, Clone)]
@@ -40,53 +40,45 @@ impl Default for TraditionalConfig {
     }
 }
 
-/// Outcome of a traditional run.
-#[derive(Debug)]
-pub struct TraditionalOutcome {
-    pub result: QueryResult,
-    /// The join order actually executed.
-    pub order: Vec<usize>,
-    /// Work units consumed (including pre/post-processing).
-    pub work_units: u64,
-    /// Intermediate tuples produced — the optimizer-quality metric of the
-    /// paper's Tables 1–2 ("Total Card.").
-    pub intermediate_tuples: u64,
-    pub wall: Duration,
-    pub timed_out: bool,
-}
-
-/// Run `query` the traditional way.
+/// Run `query` the traditional way. The engine is a blocking black box, so
+/// cancellation is checked between pipeline stages rather than per tuple.
 pub fn run_traditional(
     query: &JoinQuery,
-    stats: &StatsCache,
+    ctx: &ExecContext,
     cfg: &TraditionalConfig,
-) -> TraditionalOutcome {
+) -> ExecOutcome {
     let start = Instant::now();
-    let budget = WorkBudget::with_limit(cfg.work_limit);
+    let budget = WorkBudget::with_limit(ctx.effective_limit(cfg.work_limit));
     let columns: Vec<String> = query.select.iter().map(|s| s.name().to_string()).collect();
+    let metrics = |order: Vec<usize>, budget: &WorkBudget| ExecMetrics {
+        order,
+        intermediate_tuples: budget.tuples_produced(),
+        ..ExecMetrics::default()
+    };
     let timed_out_outcome = |order: Vec<usize>, budget: &WorkBudget, start: Instant| {
-        TraditionalOutcome {
-            result: QueryResult::empty(columns.clone()),
-            order,
-            work_units: budget.used(),
-            intermediate_tuples: budget.tuples_produced(),
-            wall: start.elapsed(),
-            timed_out: true,
-        }
+        ctx.absorb_work(budget.used());
+        ExecOutcome::timeout(columns.clone(), budget.used(), start.elapsed())
+            .with_metrics(metrics(order, budget))
     };
 
     // Plan first: the optimizer only looks at statistics, not data, so it is
     // charged no work units (planning overhead is negligible at our scales).
     let order = match &cfg.forced_order {
         Some(o) => o.clone(),
-        None => best_left_deep_estimated(query, stats).0,
+        None => best_left_deep_estimated(query, ctx.stats()).0,
     };
 
+    if ctx.interrupted() {
+        return timed_out_outcome(order, &budget, start);
+    }
     let pre = match preprocess(query, &budget, cfg.preprocess_threads) {
         Ok(p) => p,
         Err(_) => return timed_out_outcome(order, &budget, start),
     };
 
+    if ctx.interrupted() {
+        return timed_out_outcome(order, &budget, start);
+    }
     let tuples = if query.always_false {
         Vec::new()
     } else {
@@ -107,19 +99,17 @@ pub fn run_traditional(
         }
     };
 
+    if ctx.interrupted() {
+        return timed_out_outcome(order, &budget, start);
+    }
     let result = match postprocess(&pre.tables, query, &tuples, &budget) {
         Ok(r) => r,
         Err(_) => return timed_out_outcome(order, &budget, start),
     };
 
-    TraditionalOutcome {
-        result,
-        order,
-        work_units: budget.used(),
-        intermediate_tuples: budget.tuples_produced(),
-        wall: start.elapsed(),
-        timed_out: false,
-    }
+    ctx.absorb_work(budget.used());
+    ExecOutcome::completed(result, budget.used(), start.elapsed())
+        .with_metrics(metrics(order, &budget))
 }
 
 #[cfg(test)]
@@ -127,7 +117,12 @@ mod tests {
     use super::*;
     use crate::reference::run_reference;
     use skinner_query::{bind_select, parser::parse_statement, UdfRegistry};
+    use skinner_stats::StatsCache;
     use skinner_storage::{schema, Catalog, Value};
+
+    fn ctx() -> ExecContext {
+        ExecContext::new().with_stats(std::sync::Arc::new(StatsCache::new()))
+    }
 
     fn setup() -> Catalog {
         let cat = Catalog::new();
@@ -167,8 +162,7 @@ mod tests {
             "SELECT a.id FROM a WHERE a.id BETWEEN 5 AND 9",
         ] {
             let q = bind(sql, &cat);
-            let stats = StatsCache::new();
-            let out = run_traditional(&q, &stats, &TraditionalConfig::default());
+            let out = run_traditional(&q, &ctx(), &TraditionalConfig::default());
             assert!(!out.timed_out);
             let expected = run_reference(&q);
             assert_eq!(
@@ -186,17 +180,17 @@ mod tests {
             "SELECT a.id FROM a, b, c WHERE a.id = b.aid AND b.w = c.bw",
             &cat,
         );
-        let stats = StatsCache::new();
-        let default = run_traditional(&q, &stats, &TraditionalConfig::default());
+        let ctx = ctx();
+        let default = run_traditional(&q, &ctx, &TraditionalConfig::default());
         let forced = run_traditional(
             &q,
-            &stats,
+            &ctx,
             &TraditionalConfig {
                 forced_order: Some(vec![2, 1, 0]),
                 ..Default::default()
             },
         );
-        assert_eq!(forced.order, vec![2, 1, 0]);
+        assert_eq!(forced.metrics.order, vec![2, 1, 0]);
         assert_eq!(
             default.result.canonical_rows(),
             forced.result.canonical_rows()
@@ -207,10 +201,9 @@ mod tests {
     fn work_limit_times_out() {
         let cat = setup();
         let q = bind("SELECT a.id FROM a, b WHERE a.id = b.aid", &cat);
-        let stats = StatsCache::new();
         let out = run_traditional(
             &q,
-            &stats,
+            &ctx(),
             &TraditionalConfig {
                 work_limit: 5,
                 ..Default::default()
@@ -224,8 +217,7 @@ mod tests {
     fn always_false_short_circuit() {
         let cat = setup();
         let q = bind("SELECT a.id FROM a WHERE 1 = 2", &cat);
-        let stats = StatsCache::new();
-        let out = run_traditional(&q, &stats, &TraditionalConfig::default());
+        let out = run_traditional(&q, &ctx(), &TraditionalConfig::default());
         assert!(!out.timed_out);
         assert_eq!(out.result.num_rows(), 0);
     }
@@ -234,9 +226,8 @@ mod tests {
     fn single_table_query() {
         let cat = setup();
         let q = bind("SELECT a.id FROM a WHERE a.g = 0 ORDER BY a.id", &cat);
-        let stats = StatsCache::new();
-        let out = run_traditional(&q, &stats, &TraditionalConfig::default());
+        let out = run_traditional(&q, &ctx(), &TraditionalConfig::default());
         assert_eq!(out.result.num_rows(), 8);
-        assert_eq!(out.order, vec![0]);
+        assert_eq!(out.metrics.order, vec![0]);
     }
 }

@@ -9,10 +9,7 @@ use skinner_stats::{Estimator, StatsCache};
 /// excluding avoidable Cartesian products. Returns the order and its `C_out`
 /// cost. `card` is consulted once per (reachable) table subset of size ≥ 2
 /// and may be expensive (e.g. exact counting), so results are cached here.
-pub fn best_left_deep(
-    graph: &JoinGraph,
-    card: impl FnMut(TableSet) -> f64,
-) -> (Vec<usize>, f64) {
+pub fn best_left_deep(graph: &JoinGraph, card: impl FnMut(TableSet) -> f64) -> (Vec<usize>, f64) {
     let m = graph.num_tables();
     assert!(m >= 1, "empty query");
     if m == 1 {
@@ -167,9 +164,7 @@ mod tests {
             best = best.min(c);
         }
         assert!((dp_cost - best).abs() < 1e-9, "dp {dp_cost} vs {best}");
-        assert!(
-            (crate::cost::cout(&dp_order, pseudo_card) - dp_cost).abs() < 1e-9
-        );
+        assert!((crate::cost::cout(&dp_order, pseudo_card) - dp_cost).abs() < 1e-9);
     }
 
     /// Deterministic pseudo-random cardinalities keyed on the subset mask.
@@ -230,9 +225,7 @@ mod tests {
         )
         .unwrap()
         {
-            skinner_query::ast::Statement::Select(s) => {
-                bind_select(&s, &cat, &udfs).unwrap()
-            }
+            skinner_query::ast::Statement::Select(s) => bind_select(&s, &cat, &udfs).unwrap(),
             _ => unreachable!(),
         };
         let cache = StatsCache::new();

@@ -9,9 +9,14 @@ pub enum Statement {
     /// `CREATE TEMP TABLE name AS SELECT …` — used by the decomposed
     /// (un-nested) TPC-H queries, following the paper's note that nested
     /// queries are treated via decomposition.
-    CreateTempTable { name: String, query: SelectStmt },
+    CreateTempTable {
+        name: String,
+        query: SelectStmt,
+    },
     /// `DROP TABLE name`.
-    DropTable { name: String },
+    DropTable {
+        name: String,
+    },
 }
 
 /// A single SELECT block.
@@ -115,7 +120,10 @@ pub enum AstExpr {
     },
     /// Function call: UDF or aggregate (disambiguated by the binder from
     /// position — aggregates are only legal in projections).
-    Call { name: String, args: Vec<AstExpr> },
+    Call {
+        name: String,
+        args: Vec<AstExpr>,
+    },
     /// `COUNT(*)`.
     CountStar,
 }

@@ -262,8 +262,12 @@ impl<'a> Binder<'a> {
                         )));
                     }
                     let arg = self.bind_expr(&args[0])?;
-                    if !matches!(agg, crate::ast::AstAgg::Count | crate::ast::AstAgg::Min | crate::ast::AstAgg::Max)
-                        && arg.dtype() == DataType::Str
+                    if !matches!(
+                        agg,
+                        crate::ast::AstAgg::Count
+                            | crate::ast::AstAgg::Min
+                            | crate::ast::AstAgg::Max
+                    ) && arg.dtype() == DataType::Str
                     {
                         return Err(BindError::new(format!(
                             "aggregate {fname} requires a numeric argument"
@@ -311,9 +315,10 @@ impl<'a> Binder<'a> {
                     .iter()
                     .position(|a| *a == lq)
                     .ok_or_else(|| BindError::new(format!("unknown table alias {q:?}")))?;
-                let col = self.tables[t].schema().index_of(name).ok_or_else(|| {
-                    BindError::new(format!("table {q:?} has no column {name:?}"))
-                })?;
+                let col = self.tables[t]
+                    .schema()
+                    .index_of(name)
+                    .ok_or_else(|| BindError::new(format!("table {q:?} has no column {name:?}")))?;
                 let dt = self.tables[t].schema().field(col).dtype;
                 Ok((ColRef { table: t, col }, dt))
             }
@@ -383,9 +388,7 @@ impl<'a> Binder<'a> {
                     }
                     BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
                         if l.dtype() == DataType::Str || r.dtype() == DataType::Str {
-                            return Err(BindError::new(format!(
-                                "arithmetic on strings in {e}"
-                            )));
+                            return Err(BindError::new(format!("arithmetic on strings in {e}")));
                         }
                         let ar = match op {
                             BinOp::Add => ArithOp::Add,
@@ -612,7 +615,7 @@ mod tests {
         let mut b = cat.builder("b", schema![("id", Int), ("aid", Int), ("w", Float)]);
         b.push_row(&[Value::Int(7), Value::Int(1), Value::Float(0.5)]);
         cat.register(b.finish());
-        let mut udfs = UdfRegistry::new();
+        let udfs = UdfRegistry::new();
         udfs.register("always_true", |_| Value::from(true));
         (cat, udfs)
     }
@@ -637,10 +640,7 @@ mod tests {
         assert_eq!(q.unary[1].len(), 0);
         assert_eq!(q.equi_preds.len(), 1);
         assert_eq!(q.generic_preds.len(), 1);
-        assert_eq!(
-            q.generic_preds[0].tables,
-            TableSet::from_iter([0, 1])
-        );
+        assert_eq!(q.generic_preds[0].tables, TableSet::from_iter([0, 1]));
     }
 
     #[test]
@@ -752,12 +752,7 @@ mod tests {
     #[test]
     fn self_join_with_aliases() {
         let (cat, udfs) = setup();
-        let q = bind(
-            "SELECT x.id FROM a x, a y WHERE x.id = y.x",
-            &cat,
-            &udfs,
-        )
-        .unwrap();
+        let q = bind("SELECT x.id FROM a x, a y WHERE x.id = y.x", &cat, &udfs).unwrap();
         assert_eq!(q.num_tables(), 2);
         assert_eq!(q.equi_preds.len(), 1);
     }
@@ -772,12 +767,7 @@ mod tests {
     #[test]
     fn between_desugars() {
         let (cat, udfs) = setup();
-        let q = bind(
-            "SELECT a.id FROM a WHERE a.x BETWEEN 5 AND 15",
-            &cat,
-            &udfs,
-        )
-        .unwrap();
+        let q = bind("SELECT a.id FROM a WHERE a.x BETWEEN 5 AND 15", &cat, &udfs).unwrap();
         assert!(matches!(&q.unary[0][0], Expr::And(es) if es.len() == 2));
     }
 }

@@ -67,7 +67,10 @@ pub enum Expr {
     LitInt(i64),
     LitFloat(f64),
     /// Interned string literal; `code` is the catalog-wide code.
-    LitStr { code: u32, text: Arc<str> },
+    LitStr {
+        code: u32,
+        text: Arc<str>,
+    },
     Cmp {
         op: CmpOp,
         left: Box<Expr>,
@@ -536,10 +539,8 @@ mod tests {
     #[test]
     fn udf_counts_calls() {
         let (cat, t) = fixture();
-        let mut reg = crate::udf::UdfRegistry::new();
-        let id = reg.register("gt15", |args| {
-            Value::from(args[0].as_i64().unwrap() > 15)
-        });
+        let reg = crate::udf::UdfRegistry::new();
+        let id = reg.register("gt15", |args| Value::from(args[0].as_i64().unwrap() > 15));
         let e = Expr::Udf {
             handle: UdfHandle {
                 name: Arc::from("gt15"),

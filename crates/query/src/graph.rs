@@ -31,10 +31,7 @@ impl JoinGraph {
                 }
             }
         }
-        JoinGraph {
-            n: num_tables,
-            adj,
-        }
+        JoinGraph { n: num_tables, adj }
     }
 
     pub fn num_tables(&self) -> usize {

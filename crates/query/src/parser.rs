@@ -584,9 +584,7 @@ mod tests {
 
     #[test]
     fn group_order_limit() {
-        let s = sel(
-            "SELECT a, COUNT(*) FROM t GROUP BY a ORDER BY a DESC, COUNT(*) ASC LIMIT 10",
-        );
+        let s = sel("SELECT a, COUNT(*) FROM t GROUP BY a ORDER BY a DESC, COUNT(*) ASC LIMIT 10");
         assert_eq!(s.group_by.len(), 1);
         assert_eq!(s.order_by.len(), 2);
         assert!(!s.order_by[0].1); // DESC

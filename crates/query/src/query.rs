@@ -188,10 +188,9 @@ impl JoinQuery {
                 SelectItem::Agg { func, arg, .. } => match func {
                     AggFunc::Count => DataType::Int,
                     AggFunc::Avg => DataType::Float,
-                    AggFunc::Sum | AggFunc::Min | AggFunc::Max => arg
-                        .as_ref()
-                        .map(|a| a.dtype())
-                        .unwrap_or(DataType::Int),
+                    AggFunc::Sum | AggFunc::Min | AggFunc::Max => {
+                        arg.as_ref().map(|a| a.dtype()).unwrap_or(DataType::Int)
+                    }
                 },
             })
             .collect()

@@ -29,14 +29,6 @@ impl TableSet {
         }
     }
 
-    pub fn from_iter(it: impl IntoIterator<Item = usize>) -> Self {
-        let mut s = TableSet::EMPTY;
-        for i in it {
-            s.insert(i);
-        }
-        s
-    }
-
     pub fn insert(&mut self, i: usize) {
         debug_assert!(i < 64);
         self.0 |= 1 << i;
@@ -119,6 +111,16 @@ impl fmt::Debug for TableSet {
             write!(f, "{i}")?;
         }
         write!(f, "}}")
+    }
+}
+
+impl FromIterator<usize> for TableSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(it: I) -> Self {
+        let mut s = TableSet::EMPTY;
+        for i in it {
+            s.insert(i);
+        }
+        s
     }
 }
 

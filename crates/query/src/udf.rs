@@ -14,6 +14,8 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use parking_lot::RwLock;
+
 use skinner_storage::Value;
 
 /// Stable identifier of a registered UDF.
@@ -30,11 +32,20 @@ struct UdfEntry {
     calls: Arc<AtomicU64>,
 }
 
-/// Registry of UDFs, shared by the binder and all engines.
 #[derive(Default)]
-pub struct UdfRegistry {
+struct Inner {
     by_name: HashMap<String, UdfId>,
     entries: Vec<UdfEntry>,
+}
+
+/// Registry of UDFs, shared by the binder and all engines.
+///
+/// Internally synchronized: registration takes `&self`, so a registry
+/// behind an `Arc` (as in the `Database` facade) accepts new UDFs from any
+/// thread while sessions are running.
+#[derive(Default)]
+pub struct UdfRegistry {
+    inner: RwLock<Inner>,
 }
 
 impl UdfRegistry {
@@ -46,7 +57,7 @@ impl UdfRegistry {
     /// (case-insensitive). Re-registering a name replaces the function but
     /// keeps the id, so bound queries keep working.
     pub fn register(
-        &mut self,
+        &self,
         name: &str,
         func: impl Fn(&[Value]) -> Value + Send + Sync + 'static,
     ) -> UdfId {
@@ -56,28 +67,29 @@ impl UdfRegistry {
     /// Register a UDF with an explicit return type (binder uses it for type
     /// checks around the call site).
     pub fn register_typed(
-        &mut self,
+        &self,
         name: &str,
         ret: skinner_storage::DataType,
         func: impl Fn(&[Value]) -> Value + Send + Sync + 'static,
     ) -> UdfId {
         let key = name.to_ascii_lowercase();
-        match self.by_name.get(&key) {
+        let mut inner = self.inner.write();
+        match inner.by_name.get(&key) {
             Some(&id) => {
-                let e = &mut self.entries[id.0 as usize];
+                let e = &mut inner.entries[id.0 as usize];
                 e.func = Arc::new(func);
                 e.ret = ret;
                 id
             }
             None => {
-                let id = UdfId(self.entries.len() as u32);
-                self.entries.push(UdfEntry {
+                let id = UdfId(inner.entries.len() as u32);
+                inner.entries.push(UdfEntry {
                     name: key.clone(),
                     func: Arc::new(func),
                     ret,
                     calls: Arc::new(AtomicU64::new(0)),
                 });
-                self.by_name.insert(key, id);
+                inner.by_name.insert(key, id);
                 id
             }
         }
@@ -85,44 +97,53 @@ impl UdfRegistry {
 
     /// Declared return type of `id`.
     pub fn return_type(&self, id: UdfId) -> skinner_storage::DataType {
-        self.entries[id.0 as usize].ret
+        self.inner.read().entries[id.0 as usize].ret
     }
 
     /// Shared invocation counter for `id`; bound expressions hold a clone so
     /// evaluation can count calls without a registry reference.
     pub fn counter(&self, id: UdfId) -> Arc<AtomicU64> {
-        self.entries[id.0 as usize].calls.clone()
+        self.inner.read().entries[id.0 as usize].calls.clone()
     }
 
     /// Look up a UDF by name.
     pub fn lookup(&self, name: &str) -> Option<UdfId> {
-        self.by_name.get(&name.to_ascii_lowercase()).copied()
+        self.inner
+            .read()
+            .by_name
+            .get(&name.to_ascii_lowercase())
+            .copied()
     }
 
     /// The function behind `id` (cheap Arc clone).
     pub fn func(&self, id: UdfId) -> UdfFn {
-        self.entries[id.0 as usize].func.clone()
+        self.inner.read().entries[id.0 as usize].func.clone()
     }
 
-    pub fn name(&self, id: UdfId) -> &str {
-        &self.entries[id.0 as usize].name
+    /// The (lowercased) registered name of `id`.
+    pub fn name(&self, id: UdfId) -> String {
+        self.inner.read().entries[id.0 as usize].name.clone()
     }
 
     /// Record one invocation (called from expression evaluation).
     pub fn record_call(&self, id: UdfId) {
-        self.entries[id.0 as usize]
+        self.inner.read().entries[id.0 as usize]
             .calls
             .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Total invocations of `id` so far.
     pub fn call_count(&self, id: UdfId) -> u64 {
-        self.entries[id.0 as usize].calls.load(Ordering::Relaxed)
+        self.inner.read().entries[id.0 as usize]
+            .calls
+            .load(Ordering::Relaxed)
     }
 
     /// Total invocations across all UDFs.
     pub fn total_calls(&self) -> u64 {
-        self.entries
+        self.inner
+            .read()
+            .entries
             .iter()
             .map(|e| e.calls.load(Ordering::Relaxed))
             .sum()
@@ -130,7 +151,7 @@ impl UdfRegistry {
 
     /// Reset all invocation counters (between benchmark runs).
     pub fn reset_counters(&self) {
-        for e in &self.entries {
+        for e in &self.inner.read().entries {
             e.calls.store(0, Ordering::Relaxed);
         }
     }
@@ -139,7 +160,16 @@ impl UdfRegistry {
 impl std::fmt::Debug for UdfRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("UdfRegistry")
-            .field("udfs", &self.entries.iter().map(|e| &e.name).collect::<Vec<_>>())
+            .field(
+                "udfs",
+                &self
+                    .inner
+                    .read()
+                    .entries
+                    .iter()
+                    .map(|e| e.name.clone())
+                    .collect::<Vec<_>>(),
+            )
             .finish()
     }
 }
@@ -150,7 +180,7 @@ mod tests {
 
     #[test]
     fn register_and_call() {
-        let mut r = UdfRegistry::new();
+        let r = UdfRegistry::new();
         let id = r.register("double_it", |args| {
             Value::Int(args[0].as_i64().unwrap() * 2)
         });
@@ -162,7 +192,7 @@ mod tests {
 
     #[test]
     fn reregistering_keeps_id() {
-        let mut r = UdfRegistry::new();
+        let r = UdfRegistry::new();
         let id1 = r.register("f", |_| Value::Int(1));
         let id2 = r.register("f", |_| Value::Int(2));
         assert_eq!(id1, id2);
@@ -171,7 +201,7 @@ mod tests {
 
     #[test]
     fn counters_accumulate_and_reset() {
-        let mut r = UdfRegistry::new();
+        let r = UdfRegistry::new();
         let id = r.register("g", |_| Value::Int(0));
         r.record_call(id);
         r.record_call(id);

@@ -126,9 +126,7 @@ impl<'q> Estimator<'q> {
 fn sel(stats: &TableStats, e: &Expr) -> f64 {
     match e {
         Expr::And(es) => es.iter().map(|x| sel(stats, x)).product(),
-        Expr::Or(es) => {
-            1.0 - es.iter().map(|x| 1.0 - sel(stats, x)).product::<f64>()
-        }
+        Expr::Or(es) => 1.0 - es.iter().map(|x| 1.0 - sel(stats, x)).product::<f64>(),
         Expr::Not(inner) => 1.0 - sel(stats, inner),
         Expr::Cmp { op, left, right } => cmp_sel(stats, *op, left, right),
         Expr::InSet { set, arg, negated } => {
@@ -219,9 +217,7 @@ fn flip(op: CmpOp) -> CmpOp {
 pub fn generic_pred_selectivity(e: &Expr) -> f64 {
     match e {
         Expr::Udf { .. } => DEFAULT_UDF_SELECTIVITY,
-        Expr::Cmp {
-            op: CmpOp::Eq, ..
-        } => 0.01,
+        Expr::Cmp { op: CmpOp::Eq, .. } => 0.01,
         Expr::And(es) => es.iter().map(generic_pred_selectivity).product(),
         _ => DEFAULT_GENERIC_JOIN_SELECTIVITY,
     }
@@ -245,7 +241,7 @@ mod tests {
             b.push_row(&[Value::Int(i % 1000), Value::Int(i % 50)]);
         }
         cat.register(b.finish());
-        let mut udfs = UdfRegistry::new();
+        let udfs = UdfRegistry::new();
         udfs.register("opaque", |_| Value::from(true));
         (cat, udfs)
     }

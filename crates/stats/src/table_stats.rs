@@ -29,11 +29,7 @@ impl TableStats {
     /// Scan `table` and compute statistics (one pass per column).
     pub fn compute(table: &Table) -> Self {
         let rows = table.num_rows();
-        let columns = table
-            .columns()
-            .iter()
-            .map(compute_column)
-            .collect();
+        let columns = table.columns().iter().map(compute_column).collect();
         TableStats { rows, columns }
     }
 

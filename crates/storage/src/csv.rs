@@ -20,23 +20,43 @@ use crate::Interner;
 pub enum CsvError {
     Io(std::io::Error),
     /// Row has a different arity than the header.
-    Ragged { line: usize, expected: usize, found: usize },
+    Ragged {
+        line: usize,
+        expected: usize,
+        found: usize,
+    },
     /// A cell failed to parse under the (given or inferred) column type.
-    BadCell { line: usize, column: String, value: String, expected: DataType },
+    BadCell {
+        line: usize,
+        column: String,
+        value: String,
+        expected: DataType,
+    },
     /// Input had no header line.
     Empty,
     /// Unterminated quoted field.
-    UnterminatedQuote { line: usize },
+    UnterminatedQuote {
+        line: usize,
+    },
 }
 
 impl fmt::Display for CsvError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CsvError::Io(e) => write!(f, "csv io error: {e}"),
-            CsvError::Ragged { line, expected, found } => {
+            CsvError::Ragged {
+                line,
+                expected,
+                found,
+            } => {
                 write!(f, "line {line}: expected {expected} fields, found {found}")
             }
-            CsvError::BadCell { line, column, value, expected } => write!(
+            CsvError::BadCell {
+                line,
+                column,
+                value,
+                expected,
+            } => write!(
                 f,
                 "line {line}, column {column:?}: {value:?} is not a valid {expected}"
             ),
@@ -111,29 +131,29 @@ fn infer_type(samples: &[&str]) -> DataType {
     ty
 }
 
-fn parse_cell(
-    raw: &str,
-    dt: DataType,
-    line: usize,
-    column: &str,
-) -> Result<Value, CsvError> {
+fn parse_cell(raw: &str, dt: DataType, line: usize, column: &str) -> Result<Value, CsvError> {
     match dt {
-        DataType::Int => raw.trim().parse::<i64>().map(Value::Int).map_err(|_| {
-            CsvError::BadCell {
+        DataType::Int => raw
+            .trim()
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| CsvError::BadCell {
                 line,
                 column: column.to_string(),
                 value: raw.to_string(),
                 expected: dt,
-            }
-        }),
-        DataType::Float => raw.trim().parse::<f64>().map(Value::Float).map_err(|_| {
-            CsvError::BadCell {
-                line,
-                column: column.to_string(),
-                value: raw.to_string(),
-                expected: dt,
-            }
-        }),
+            }),
+        DataType::Float => {
+            raw.trim()
+                .parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| CsvError::BadCell {
+                    line,
+                    column: column.to_string(),
+                    value: raw.to_string(),
+                    expected: dt,
+                })
+        }
         DataType::Str => Ok(Value::from(raw)),
     }
 }
@@ -185,8 +205,7 @@ pub fn read_csv(
                 .iter()
                 .enumerate()
                 .map(|(c, name)| {
-                    let samples: Vec<&str> =
-                        records.iter().map(|(_, r)| r[c].as_str()).collect();
+                    let samples: Vec<&str> = records.iter().map(|(_, r)| r[c].as_str()).collect();
                     Field::new(name.trim(), infer_type(&samples))
                 })
                 .collect();

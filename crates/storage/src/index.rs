@@ -83,8 +83,7 @@ impl HashIndex {
 
     /// Approximate heap size in bytes (Figure 8 memory accounting).
     pub fn byte_size(&self) -> usize {
-        self.postings.values().map(|v| 8 + v.len() * 4 + 16)
-            .sum()
+        self.postings.values().map(|v| 8 + v.len() * 4 + 16).sum()
     }
 }
 

@@ -23,8 +23,8 @@ pub mod table;
 pub mod value;
 
 pub use catalog::Catalog;
-pub use csv::read_csv;
 pub use column::Column;
+pub use csv::read_csv;
 pub use index::HashIndex;
 pub use interner::Interner;
 pub use schema::{Field, Schema};

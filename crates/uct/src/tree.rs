@@ -102,9 +102,7 @@ impl UctTree {
                 None => {
                     if !expanded {
                         // Materialize the first off-tree node of this path.
-                        let selected = self.nodes[node as usize]
-                            .selected
-                            .with(table);
+                        let selected = self.nodes[node as usize].selected.with(table);
                         let new_id = self.nodes.len() as NodeId;
                         let new_node = Node::new(selected, &self.graph);
                         self.nodes.push(new_node);
@@ -144,10 +142,7 @@ impl UctTree {
             let pick = unvisited[self.rng.gen_range(0..unvisited.len())];
             let table = n.child_tables[pick] as usize;
             let child = n.child_ids[pick];
-            return (
-                table,
-                (child != UNMATERIALIZED).then_some(child),
-            );
+            return (table, (child != UNMATERIALIZED).then_some(child));
         }
         // All children visited: maximize the upper confidence bound,
         // breaking ties uniformly at random.
@@ -285,10 +280,7 @@ mod tests {
     use super::*;
 
     fn chain(n: usize) -> JoinGraph {
-        JoinGraph::new(
-            n,
-            (0..n - 1).map(|i| TableSet::from_iter([i, i + 1])),
-        )
+        JoinGraph::new(n, (0..n - 1).map(|i| TableSet::from_iter([i, i + 1])))
     }
 
     fn cfg(seed: u64) -> UctConfig {
@@ -348,8 +340,7 @@ mod tests {
             t.update(&o, if o[0] == 0 { 1.0 } else { 0.0 });
             chosen.push(o[0]);
         }
-        let zero_fraction =
-            chosen.iter().filter(|&&x| x == 0).count() as f64 / chosen.len() as f64;
+        let zero_fraction = chosen.iter().filter(|&&x| x == 0).count() as f64 / chosen.len() as f64;
         assert!(zero_fraction > 0.5, "exploited {zero_fraction}");
     }
 

@@ -63,7 +63,12 @@ mod tests {
         for _ in 0..10_000 {
             counts[z.sample(&mut rng)] += 1;
         }
-        assert!(counts[0] > counts[50] * 5, "{} vs {}", counts[0], counts[50]);
+        assert!(
+            counts[0] > counts[50] * 5,
+            "{} vs {}",
+            counts[0],
+            counts[50]
+        );
         assert!(counts[0] > 500);
     }
 

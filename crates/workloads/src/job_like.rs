@@ -63,12 +63,7 @@ const GENRES: [&str; 8] = [
 ];
 const KINDS: [&str; 5] = ["movie", "tv series", "tv movie", "video movie", "episode"];
 const ROLES: [&str; 6] = [
-    "actor",
-    "actress",
-    "producer",
-    "director",
-    "writer",
-    "composer",
+    "actor", "actress", "producer", "director", "writer", "composer",
 ];
 const KEYWORDS_SPECIAL: [&str; 6] = [
     "character-name-in-title",
@@ -210,9 +205,9 @@ fn build_catalog(cfg: &JobConfig) -> Arc<Catalog> {
         ]);
     }
     // Guarantee every country has at least one company.
-    for c in 0..COUNTRIES.len() {
-        if by_country[c].is_empty() {
-            by_country[c].push(0);
+    for companies in by_country.iter_mut() {
+        if companies.is_empty() {
+            companies.push(0);
         }
     }
     cat.register(b.finish());
@@ -289,8 +284,9 @@ fn build_catalog(cfg: &JobConfig) -> Arc<Catalog> {
                 g.to_string()
             }
             "runtimes" => format!("{}", rng.gen_range(5..240)),
-            "languages" => ["English", "German", "French", "Japanese"][rng.gen_range(0..4)]
-                .to_string(),
+            "languages" => {
+                ["English", "German", "French", "Japanese"][rng.gen_range(0..4)].to_string()
+            }
             "countries" => COUNTRIES[country_zipf.sample(&mut rng)].to_string(),
             _ => format!("info-{}", rng.gen_range(0..50)),
         };
@@ -343,10 +339,7 @@ fn build_catalog(cfg: &JobConfig) -> Arc<Catalog> {
 
     // name: people, gendered.
     let mut genders = Vec::with_capacity(n.names);
-    let mut b = cat.builder(
-        "name",
-        schema![("id", Int), ("name", Str), ("gender", Str)],
-    );
+    let mut b = cat.builder("name", schema![("id", Int), ("name", Str), ("gender", Str)]);
     for i in 0..n.names {
         let g = if rng.gen_bool(0.45) { "f" } else { "m" };
         genders.push(g);
@@ -395,16 +388,18 @@ fn build_catalog(cfg: &JobConfig) -> Arc<Catalog> {
     // keyword + movie_keyword: special keywords only on certain kinds.
     let mut b = cat.builder("keyword", schema![("id", Int), ("keyword", Str)]);
     for i in 0..n.keywords {
-        let kw = if i < KEYWORDS_SPECIAL.len() {
-            KEYWORDS_SPECIAL[i].to_string()
-        } else {
-            format!("keyword-{i}")
+        let kw = match KEYWORDS_SPECIAL.get(i) {
+            Some(special) => special.to_string(),
+            None => format!("keyword-{i}"),
         };
         b.push_row(&[Value::Int(i as i64), Value::from(kw.as_str())]);
     }
     cat.register(b.finish());
     let kw_zipf = Zipf::new(n.keywords, 1.0);
-    let sequel = KEYWORDS_SPECIAL.iter().position(|&k| k == "sequel").unwrap();
+    let sequel = KEYWORDS_SPECIAL
+        .iter()
+        .position(|&k| k == "sequel")
+        .unwrap();
     let mut b = cat.builder(
         "movie_keyword",
         schema![("id", Int), ("movie_id", Int), ("keyword_id", Int)],
@@ -447,7 +442,11 @@ pub fn queries() -> Vec<BenchQuery> {
     };
 
     // Template 1 (3 joins): country × year correlation.
-    for (tag, cc, y) in [("1a", "[de]", 2000), ("1b", "[de]", 1975), ("1c", "[fr]", 1990)] {
+    for (tag, cc, y) in [
+        ("1a", "[de]", 2000),
+        ("1b", "[de]", 1975),
+        ("1c", "[fr]", 1990),
+    ] {
         push(
             tag,
             3,
@@ -631,7 +630,14 @@ pub fn queries() -> Vec<BenchQuery> {
     // while Zipf fanouts make wrong orders explode (the JOB recipe).
     for (tag, genre, rating, cc, kw1, kw2) in [
         ("10a", "Action", "7.0", "[us]", "sequel", "love"),
-        ("10b", "Documentary", "6.0", "[de]", "based-on-novel", "murder"),
+        (
+            "10b",
+            "Documentary",
+            "6.0",
+            "[de]",
+            "based-on-novel",
+            "murder",
+        ),
         (
             "10c",
             "Drama",

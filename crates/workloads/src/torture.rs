@@ -55,7 +55,7 @@ pub fn udf_torture(
         }
         cat.register(b.finish());
     }
-    let mut udfs = UdfRegistry::new();
+    let udfs = UdfRegistry::new();
     let mut conjuncts = Vec::new();
     for e in 0..num_edges {
         let name = if e == good_edge {
@@ -83,10 +83,7 @@ pub fn udf_torture(
         catalog: Arc::new(cat),
         udfs,
         queries: vec![BenchQuery {
-            name: format!(
-                "udf-torture-{:?}-{num_tables}t-good{good_edge}",
-                shape
-            ),
+            name: format!("udf-torture-{:?}-{num_tables}t-good{good_edge}", shape),
             script,
             num_tables,
         }],
@@ -114,7 +111,11 @@ pub fn correlation_torture(num_tables: usize, rows_per_table: usize, m: usize) -
             let a = r % half;
             // `b` is one key per pair → outgoing fanout 2 against the next
             // table's `a`; the edge from table m is shifted out of range.
-            let b_val = if t == m { r % half + half * 2 } else { r % half };
+            let b_val = if t == m {
+                r % half + half * 2
+            } else {
+                r % half
+            };
             b.push_row(&[Value::Int(a), Value::Int(b_val)]);
         }
         cat.register(b.finish());
@@ -152,7 +153,7 @@ pub fn trivial(num_tables: usize, rows_per_table: usize) -> Workload {
         }
         cat.register(b.finish());
     }
-    let mut udfs = UdfRegistry::new();
+    let udfs = UdfRegistry::new();
     udfs.register("udf_eq", |args| {
         Value::from(args[0].as_i64() == args[1].as_i64())
     });

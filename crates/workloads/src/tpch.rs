@@ -87,12 +87,27 @@ const TYPE_1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "P
 const TYPE_2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
 const TYPE_3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
 const COLORS: [&str; 10] = [
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "blanched", "green",
-    "blush", "burnished",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "blanched",
+    "green",
+    "blush",
+    "burnished",
 ];
 const MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 const CONTAINERS: [&str; 8] = [
-    "SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "JUMBO PACK", "WRAP JAR",
+    "SM CASE",
+    "SM BOX",
+    "MED BAG",
+    "MED BOX",
+    "LG CASE",
+    "LG BOX",
+    "JUMBO PACK",
+    "WRAP JAR",
 ];
 
 /// Row counts per table at the configured scale.
@@ -369,9 +384,8 @@ fn build_catalog(cfg: &TpchConfig) -> Arc<Catalog> {
 /// identical to the unary predicate it replaces; only the optimizer's view
 /// changes (default selectivity instead of statistics).
 fn register_udfs(udfs: &mut UdfRegistry) {
-    let streq = |lit: &'static str| {
-        move |args: &[Value]| Value::from(args[0].as_str() == Some(lit))
-    };
+    let streq =
+        |lit: &'static str| move |args: &[Value]| Value::from(args[0].as_str() == Some(lit));
     udfs.register("udf_region_europe", streq("EUROPE"));
     udfs.register("udf_region_asia", streq("ASIA"));
     udfs.register("udf_region_america", streq("AMERICA"));
@@ -396,12 +410,11 @@ fn register_udfs(udfs: &mut UdfRegistry) {
     udfs.register("udf_france_germany_pair", |args: &[Value]| {
         let a = args[0].as_str().unwrap_or("");
         let b = args[1].as_str().unwrap_or("");
-        Value::from(
-            (a == "FRANCE" && b == "GERMANY") || (a == "GERMANY" && b == "FRANCE"),
-        )
+        Value::from((a == "FRANCE" && b == "GERMANY") || (a == "GERMANY" && b == "FRANCE"))
     });
     let date_lt = |cut: i64| move |args: &[Value]| Value::from(args[0].as_i64().unwrap_or(0) < cut);
-    let date_ge = |cut: i64| move |args: &[Value]| Value::from(args[0].as_i64().unwrap_or(0) >= cut);
+    let date_ge =
+        |cut: i64| move |args: &[Value]| Value::from(args[0].as_i64().unwrap_or(0) >= cut);
     let date_between = |lo: i64, hi: i64| {
         move |args: &[Value]| {
             let d = args[0].as_i64().unwrap_or(0);
@@ -410,7 +423,10 @@ fn register_udfs(udfs: &mut UdfRegistry) {
     };
     udfs.register("udf_date_lt_1995_03_15", date_lt(days(1995, 3, 15)));
     udfs.register("udf_shipdate_gt_1995_03_15", date_ge(days(1995, 3, 15) + 1));
-    udfs.register("udf_odate_1994", date_between(days(1994, 1, 1), days(1995, 1, 1) - 1));
+    udfs.register(
+        "udf_odate_1994",
+        date_between(days(1994, 1, 1), days(1995, 1, 1) - 1),
+    );
     udfs.register(
         "udf_ship_95_96",
         date_between(days(1995, 1, 1), days(1996, 12, 31)),

@@ -17,12 +17,16 @@ fn main() {
     let db = Database::from_parts(w.catalog.clone(), w.udfs);
     // Query 9a: a 10-table join around the title hub.
     let q = w.queries.iter().find(|q| q.name == "9a").unwrap();
-    println!("Query {} joins {} tables:\n{}\n", q.name, q.num_tables, q.script);
+    println!(
+        "Query {} joins {} tables:\n{}\n",
+        q.name, q.num_tables, q.script
+    );
 
     for slice_steps in [10, 500] {
         let bound = db.bind(&q.script).unwrap();
         let out = run_skinner_c(
             &bound,
+            &db.exec_context(),
             &SkinnerCConfig {
                 slice_steps,
                 ..Default::default()
@@ -31,22 +35,23 @@ fn main() {
         println!("— slice budget b = {slice_steps} —");
         println!(
             "  {} slices, {} UCT nodes, {} progress-trie nodes, result rows: {}",
-            out.slices,
-            out.uct_nodes,
-            out.tracker_nodes,
+            out.metrics.slices,
+            out.metrics.uct_nodes,
+            out.metrics.tracker_nodes,
             out.result.num_rows()
         );
         println!("  tree growth (slice → nodes):");
         for (slice, nodes) in out
+            .metrics
             .tree_growth
             .iter()
-            .step_by((out.tree_growth.len() / 8).max(1))
+            .step_by((out.metrics.tree_growth.len() / 8).max(1))
         {
             println!("    {slice:>8} → {nodes}");
         }
-        let total: u64 = out.order_slice_counts.iter().map(|(_, c)| c).sum();
+        let total: u64 = out.metrics.order_slice_counts.iter().map(|(_, c)| c).sum();
         println!("  top join orders by share of time slices:");
-        for (order, count) in out.order_slice_counts.iter().take(3) {
+        for (order, count) in out.metrics.order_slice_counts.iter().take(3) {
             println!(
                 "    {:>5.1}%  {:?}",
                 100.0 * *count as f64 / total.max(1) as f64,
@@ -55,7 +60,7 @@ fn main() {
         }
         println!(
             "  final (most-visited) join order: {:?}\n",
-            out.final_order
+            out.metrics.order
         );
     }
     println!("With b = 500 fewer slices are needed and most time concentrates on");

@@ -1,4 +1,5 @@
-//! Quickstart: create tables, register a UDF, run queries.
+//! Quickstart: create tables, register a UDF, run queries, open sessions,
+//! and reuse prepared statements.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -7,7 +8,7 @@
 use skinnerdb::{DataType, Database, Strategy, Value};
 
 fn main() {
-    let mut db = Database::new();
+    let db = Database::new();
 
     // A small star schema: orders reference customers and products.
     db.create_table(
@@ -70,7 +71,10 @@ fn main() {
              GROUP BY c.name ORDER BY spent DESC",
         )
         .unwrap();
-    println!("Spend per customer (via Skinner-C):\n{}", result.to_table_string(10));
+    println!(
+        "Spend per customer (via Skinner-C):\n{}",
+        result.to_table_string(10)
+    );
 
     // UDFs are black boxes for a traditional optimizer; SkinnerDB does not
     // care — predicates are just predicates.
@@ -85,7 +89,10 @@ fn main() {
              GROUP BY c.country ORDER BY n DESC",
         )
         .unwrap();
-    println!("Premium orders per country:\n{}", premium.to_table_string(10));
+    println!(
+        "Premium orders per country:\n{}",
+        premium.to_table_string(10)
+    );
 
     // The same query under different evaluation strategies — identical
     // results, different execution models.
@@ -105,6 +112,26 @@ fn main() {
             out.result.num_rows(),
             out.work_units,
             out.wall
+        );
+    }
+
+    // Sessions: per-client strategy and limits over the shared database,
+    // and prepared statements — parse + bind once, execute many times.
+    let session = db.session();
+    session.use_strategy("traditional").unwrap();
+    session.set_work_limit(10_000_000);
+    let hot = session
+        .prepare(
+            "SELECT p.label, SUM(o.quantity) q FROM orders o, products p              WHERE p.id = o.product_id GROUP BY p.label ORDER BY q DESC",
+        )
+        .unwrap();
+    for round in 1..=2 {
+        let rows = hot.execute().unwrap();
+        println!(
+            "prepared execution #{round} ({}):
+{}",
+            hot.strategy().name(),
+            rows.to_table_string(5)
         );
     }
 }

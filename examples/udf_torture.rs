@@ -57,7 +57,7 @@ fn main() {
             )
             .unwrap();
 
-        let fmt = |out: &skinnerdb::RunOutcome| {
+        let fmt = |out: &skinnerdb::ExecOutcome| {
             if out.timed_out {
                 format!(">{WORK_LIMIT}")
             } else {

@@ -1,14 +1,18 @@
-//! The `Database` facade: tables, UDFs, SQL scripts, strategies.
+//! The `Database` facade: tables, UDFs, SQL scripts, strategies, sessions.
 
 use std::fmt;
 use std::sync::Arc;
 
+use parking_lot::RwLock;
+
+use skinner_exec::{ExecContext, ExecOutcome, ExecutionStrategy, StrategyRegistry};
 use skinner_query::ast::Statement;
 use skinner_query::{bind_select, parse_statements, BindError, JoinQuery, ParseError, UdfRegistry};
 use skinner_stats::StatsCache;
 use skinner_storage::{Catalog, DataType, Field, Schema, Value};
 
-use crate::strategy::{run_query, RunOutcome, Strategy};
+use crate::session::{Prepared, Session};
+use crate::strategy::{builtin_registry, Strategy};
 use crate::QueryResult;
 
 /// Top-level error type.
@@ -16,10 +20,12 @@ use crate::QueryResult;
 pub enum DbError {
     Parse(ParseError),
     Bind(BindError),
-    /// A statement exceeded its work limit.
+    /// A statement exceeded its work limit, deadline, or was cancelled.
     Timeout,
     /// Schema/constraint violations when creating tables.
     Schema(String),
+    /// A strategy name not present in the registry.
+    UnknownStrategy(String),
 }
 
 impl fmt::Display for DbError {
@@ -27,8 +33,9 @@ impl fmt::Display for DbError {
         match self {
             DbError::Parse(e) => write!(f, "{e}"),
             DbError::Bind(e) => write!(f, "{e}"),
-            DbError::Timeout => write!(f, "query exceeded its work limit"),
+            DbError::Timeout => write!(f, "query exceeded its work limit or deadline"),
             DbError::Schema(s) => write!(f, "schema error: {s}"),
+            DbError::UnknownStrategy(name) => write!(f, "unknown strategy: {name}"),
         }
     }
 }
@@ -49,12 +56,20 @@ impl From<BindError> for DbError {
 
 /// An embedded SkinnerDB instance: a catalog of in-memory tables, a UDF
 /// registry, cached statistics (for the *baseline* strategies only —
-/// SkinnerDB itself never reads them), and a default evaluation strategy.
+/// SkinnerDB itself never reads them), a strategy registry, and a default
+/// evaluation strategy.
+///
+/// `Database` is `Send + Sync` and every mutator takes `&self`, so one
+/// instance can serve many threads; `Clone` produces another handle to the
+/// same underlying database (all state is shared). Per-client defaults
+/// (strategy, work limits, deadlines) live on [`Session`]s.
+#[derive(Clone)]
 pub struct Database {
     catalog: Arc<Catalog>,
-    udfs: UdfRegistry,
-    stats: StatsCache,
-    default_strategy: Strategy,
+    udfs: Arc<UdfRegistry>,
+    stats: Arc<StatsCache>,
+    strategies: Arc<StrategyRegistry>,
+    default_strategy: Arc<RwLock<Arc<dyn ExecutionStrategy>>>,
 }
 
 impl Default for Database {
@@ -64,29 +79,41 @@ impl Default for Database {
 }
 
 impl Database {
-    /// Empty database with the default strategy (Skinner-C).
+    /// Empty database with the built-in strategies registered and
+    /// Skinner-C as the default.
     pub fn new() -> Self {
-        Database {
-            catalog: Arc::new(Catalog::new()),
-            udfs: UdfRegistry::new(),
-            stats: StatsCache::new(),
-            default_strategy: Strategy::default(),
-        }
+        Self::from_parts(Arc::new(Catalog::new()), UdfRegistry::new())
     }
 
     /// Wrap an existing catalog + UDFs (workload generators produce these).
     pub fn from_parts(catalog: Arc<Catalog>, udfs: UdfRegistry) -> Self {
         Database {
             catalog,
-            udfs,
-            stats: StatsCache::new(),
-            default_strategy: Strategy::default(),
+            udfs: Arc::new(udfs),
+            stats: Arc::new(StatsCache::new()),
+            strategies: Arc::new(builtin_registry()),
+            default_strategy: Arc::new(RwLock::new(Strategy::default().build())),
         }
     }
 
     /// Replace the default strategy used by [`Database::query`].
-    pub fn set_default_strategy(&mut self, strategy: Strategy) {
-        self.default_strategy = strategy;
+    pub fn set_default_strategy(&self, strategy: Strategy) {
+        *self.default_strategy.write() = strategy.build();
+    }
+
+    /// Select the default strategy by registry name (case-insensitive).
+    pub fn set_default_strategy_named(&self, name: &str) -> Result<(), DbError> {
+        let strategy = self
+            .strategies
+            .get(name)
+            .ok_or_else(|| DbError::UnknownStrategy(name.to_string()))?;
+        *self.default_strategy.write() = strategy;
+        Ok(())
+    }
+
+    /// The current default strategy.
+    pub fn default_strategy(&self) -> Arc<dyn ExecutionStrategy> {
+        self.default_strategy.read().clone()
     }
 
     pub fn catalog(&self) -> &Arc<Catalog> {
@@ -101,19 +128,33 @@ impl Database {
         &self.stats
     }
 
+    /// The strategy registry: look up, enumerate, or extend the engines
+    /// this database can run.
+    pub fn strategies(&self) -> &StrategyRegistry {
+        &self.strategies
+    }
+
+    /// Register an external [`ExecutionStrategy`] under its own name; it
+    /// becomes addressable from [`Database::query_with`],
+    /// [`Database::set_default_strategy_named`] and sessions.
+    pub fn register_strategy(&self, strategy: Arc<dyn ExecutionStrategy>) {
+        self.strategies.register(strategy);
+    }
+
+    /// Open a session: per-client default strategy and settings over this
+    /// shared database.
+    pub fn session(&self) -> Session {
+        Session::new(self.clone())
+    }
+
     /// Create and register a table from rows.
     pub fn create_table(
-        &mut self,
+        &self,
         name: &str,
         columns: &[(&str, DataType)],
         rows: Vec<Vec<Value>>,
     ) -> Result<(), DbError> {
-        let schema = Schema::new(
-            columns
-                .iter()
-                .map(|(n, dt)| Field::new(*n, *dt))
-                .collect(),
-        );
+        let schema = Schema::new(columns.iter().map(|(n, dt)| Field::new(*n, *dt)).collect());
         let mut b = self.catalog.builder(name, schema);
         for (i, row) in rows.iter().enumerate() {
             if row.len() != columns.len() {
@@ -130,16 +171,12 @@ impl Database {
     }
 
     /// Register a UDF callable from SQL.
-    pub fn register_udf(
-        &mut self,
-        name: &str,
-        f: impl Fn(&[Value]) -> Value + Send + Sync + 'static,
-    ) {
+    pub fn register_udf(&self, name: &str, f: impl Fn(&[Value]) -> Value + Send + Sync + 'static) {
         self.udfs.register(name, f);
     }
 
     /// Load a CSV file (header required, types inferred) as table `name`.
-    pub fn load_csv(&mut self, name: &str, path: impl AsRef<std::path::Path>) -> Result<(), DbError> {
+    pub fn load_csv(&self, name: &str, path: impl AsRef<std::path::Path>) -> Result<(), DbError> {
         let file = std::fs::File::open(path)
             .map_err(|e| DbError::Schema(format!("cannot open csv: {e}")))?;
         let table = skinner_storage::read_csv(
@@ -164,54 +201,122 @@ impl Database {
         }
     }
 
-    /// Run a SQL script with the default strategy and return the last
-    /// SELECT's result.
-    pub fn query(&self, sql: &str) -> Result<QueryResult, DbError> {
-        let strategy = self.default_strategy.clone();
-        Ok(self.run_script(sql, &strategy)?.result)
+    /// Parse and bind a single SELECT once, for repeated execution — the
+    /// natural unit for SkinnerDB's per-query learning. The prepared
+    /// statement snapshots the current default strategy; use
+    /// [`Session::prepare`] for per-session strategy and settings.
+    pub fn prepare(&self, sql: &str) -> Result<Prepared, DbError> {
+        self.session().prepare(sql)
     }
 
-    /// Run a SQL script with an explicit strategy, returning the normalized
-    /// outcome of the whole script (work units accumulate across
-    /// statements; the result is the last SELECT's).
-    pub fn run_script(&self, sql: &str, strategy: &Strategy) -> Result<RunOutcome, DbError> {
+    /// A fresh execution context carrying this database's stats and UDFs
+    /// (unlimited budget, no deadline).
+    pub fn exec_context(&self) -> ExecContext {
+        ExecContext::new()
+            .with_stats(self.stats.clone())
+            .with_udfs(self.udfs.clone())
+    }
+
+    /// Run a SQL script with the default strategy and return the last
+    /// SELECT's result. A timeout surfaces as [`DbError::Timeout`].
+    pub fn query(&self, sql: &str) -> Result<QueryResult, DbError> {
+        let strategy = self.default_strategy();
+        let out = self.run_script_with(sql, strategy.as_ref(), &self.exec_context())?;
+        if out.timed_out {
+            return Err(DbError::Timeout);
+        }
+        Ok(out.result)
+    }
+
+    /// Like [`Database::query`], but under a named registered strategy.
+    pub fn query_with(&self, sql: &str, strategy: &str) -> Result<QueryResult, DbError> {
+        let strategy = self
+            .strategies
+            .get(strategy)
+            .ok_or_else(|| DbError::UnknownStrategy(strategy.to_string()))?;
+        let out = self.run_script_with(sql, strategy.as_ref(), &self.exec_context())?;
+        if out.timed_out {
+            return Err(DbError::Timeout);
+        }
+        Ok(out.result)
+    }
+
+    /// Run a SQL script with an explicit built-in strategy (convenience
+    /// wrapper over [`Database::run_script_with`]).
+    pub fn run_script(&self, sql: &str, strategy: &Strategy) -> Result<ExecOutcome, DbError> {
+        self.run_script_with(sql, strategy.build().as_ref(), &self.exec_context())
+    }
+
+    /// Run a SQL script under any [`ExecutionStrategy`], returning the
+    /// normalized outcome of the whole script (work units accumulate across
+    /// statements; the result is the last SELECT's). Timeouts are reported
+    /// in the outcome, not as an error.
+    ///
+    /// Temp tables are registered in the shared catalog under the names the
+    /// script chooses and dropped on abnormal exit (timeout or bind error).
+    /// Concurrent scripts must therefore use distinct temp-table names —
+    /// same-named temp tables in simultaneous scripts clobber each other.
+    pub fn run_script_with(
+        &self,
+        sql: &str,
+        strategy: &dyn ExecutionStrategy,
+        ctx: &ExecContext,
+    ) -> Result<ExecOutcome, DbError> {
         let stmts = parse_statements(sql)?;
         if stmts.is_empty() {
             return Err(DbError::Schema("empty script".into()));
         }
+        let mut temp_tables: Vec<String> = Vec::new();
+        let outcome = self.run_statements(&stmts, strategy, ctx, &mut temp_tables);
+        // Any abnormal exit — a statement timing out, or a later statement
+        // failing to bind — drops the script's temp tables so they cannot
+        // leak into the shared catalog.
+        match &outcome {
+            Ok(out) if out.timed_out => self.cleanup(&temp_tables),
+            Err(_) => self.cleanup(&temp_tables),
+            Ok(_) => {}
+        }
+        outcome
+    }
+
+    fn run_statements(
+        &self,
+        stmts: &[Statement],
+        strategy: &dyn ExecutionStrategy,
+        ctx: &ExecContext,
+        temp_tables: &mut Vec<String>,
+    ) -> Result<ExecOutcome, DbError> {
         let started = std::time::Instant::now();
         let mut total_work = 0u64;
-        let mut last: Option<QueryResult> = None;
-        let mut temp_tables: Vec<String> = Vec::new();
-        for stmt in &stmts {
+        let mut last: Option<ExecOutcome> = None;
+        // Shared early return for a statement that timed out mid-script: the
+        // partial outcome (and its metrics) with the accumulated work.
+        let abort_timed_out = |out: ExecOutcome, total_work: u64| {
+            Ok(ExecOutcome {
+                result: out.result,
+                work_units: total_work,
+                wall: started.elapsed(),
+                timed_out: true,
+                metrics: out.metrics,
+            })
+        };
+        for stmt in stmts {
             match stmt {
                 Statement::Select(s) => {
                     let q = bind_select(s, &self.catalog, &self.udfs)?;
-                    let out = run_query(&q, strategy, &self.stats);
+                    let out = strategy.execute(&q, ctx);
                     total_work += out.work_units;
                     if out.timed_out {
-                        self.cleanup(&temp_tables);
-                        return Ok(RunOutcome {
-                            result: out.result,
-                            work_units: total_work,
-                            wall: started.elapsed(),
-                            timed_out: true,
-                        });
+                        return abort_timed_out(out, total_work);
                     }
-                    last = Some(out.result);
+                    last = Some(out);
                 }
                 Statement::CreateTempTable { name, query } => {
                     let q = bind_select(query, &self.catalog, &self.udfs)?;
-                    let out = run_query(&q, strategy, &self.stats);
+                    let out = strategy.execute(&q, ctx);
                     total_work += out.work_units;
                     if out.timed_out {
-                        self.cleanup(&temp_tables);
-                        return Ok(RunOutcome {
-                            result: out.result,
-                            work_units: total_work,
-                            wall: started.elapsed(),
-                            timed_out: true,
-                        });
+                        return abort_timed_out(out, total_work);
                     }
                     self.materialize(name, &q, &out.result)?;
                     temp_tables.push(name.clone());
@@ -222,14 +327,17 @@ impl Database {
                 }
             }
         }
-        let result = last.ok_or_else(|| {
+        let last = last.ok_or_else(|| {
             DbError::Schema("script contains no SELECT returning a result".into())
         })?;
-        Ok(RunOutcome {
-            result,
+        // The script's result is the last SELECT's — including its metrics
+        // (learned join order, slices, …), with script-wide work totals.
+        Ok(ExecOutcome {
+            result: last.result,
             work_units: total_work,
             wall: started.elapsed(),
             timed_out: false,
+            metrics: last.metrics,
         })
     }
 
@@ -270,8 +378,15 @@ impl Database {
 mod tests {
     use super::*;
 
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn database_is_send_sync() {
+        assert_send_sync::<Database>();
+    }
+
     fn sample_db() -> Database {
-        let mut db = Database::new();
+        let db = Database::new();
         db.create_table(
             "a",
             &[("id", DataType::Int), ("g", DataType::Int)],
@@ -307,14 +422,7 @@ mod tests {
         let db = sample_db();
         let sql = "SELECT a.id FROM a, b WHERE a.id = b.aid AND a.g = 1";
         let reference = db.run_script(sql, &Strategy::Reference).unwrap();
-        for strategy in [
-            Strategy::default(),
-            Strategy::SkinnerG(Default::default()),
-            Strategy::SkinnerH(Default::default()),
-            Strategy::Traditional(Default::default()),
-            Strategy::Eddy(Default::default()),
-            Strategy::Reoptimizer(Default::default()),
-        ] {
+        for strategy in Strategy::all_builtin() {
             let out = db.run_script(sql, &strategy).unwrap();
             assert!(!out.timed_out, "{}", strategy.name());
             assert_eq!(
@@ -324,6 +432,78 @@ mod tests {
                 strategy.name()
             );
         }
+    }
+
+    #[test]
+    fn query_with_named_strategy() {
+        let db = sample_db();
+        let sql = "SELECT a.id FROM a WHERE a.g = 0";
+        let a = db.query_with(sql, "reference").unwrap();
+        let b = db.query_with(sql, "Skinner-C").unwrap();
+        assert_eq!(a.canonical_rows(), b.canonical_rows());
+        assert!(matches!(
+            db.query_with(sql, "nope"),
+            Err(DbError::UnknownStrategy(_))
+        ));
+    }
+
+    #[test]
+    fn default_strategy_by_name() {
+        let db = sample_db();
+        db.set_default_strategy_named("traditional").unwrap();
+        assert_eq!(db.default_strategy().name(), "Traditional");
+        assert!(db.set_default_strategy_named("bogus").is_err());
+        db.set_default_strategy(Strategy::default());
+        assert_eq!(db.default_strategy().name(), "Skinner-C");
+    }
+
+    #[test]
+    fn concurrent_queries_on_shared_database() {
+        let db = Arc::new(sample_db());
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let db = db.clone();
+                std::thread::spawn(move || {
+                    let sql = format!(
+                        "SELECT a.id FROM a, b WHERE a.id = b.aid AND a.g = {}",
+                        i % 3
+                    );
+                    db.query(&sql).unwrap().num_rows()
+                })
+            })
+            .collect();
+        let counts: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(counts.iter().sum::<usize>(), 50 + counts[0]);
+    }
+
+    #[test]
+    fn temp_tables_dropped_when_a_later_statement_fails_to_bind() {
+        let db = sample_db();
+        let script = "CREATE TEMP TABLE leak AS SELECT a.g FROM a; \
+                      SELECT bogus.x FROM leak";
+        assert!(matches!(db.query(script), Err(DbError::Bind(_))));
+        assert!(
+            db.catalog().get("leak").is_none(),
+            "temp table must not leak into the shared catalog on bind failure"
+        );
+    }
+
+    #[test]
+    fn successful_scripts_keep_the_final_statement_metrics() {
+        let db = sample_db();
+        let out = db
+            .run_script(
+                "SELECT a.id FROM a, b WHERE a.id = b.aid",
+                &Strategy::default(),
+            )
+            .unwrap();
+        assert!(!out.timed_out);
+        assert_eq!(
+            out.metrics.order.len(),
+            2,
+            "Skinner-C's learned order must survive into the script outcome"
+        );
+        assert!(out.metrics.slices > 0);
     }
 
     #[test]
@@ -341,7 +521,7 @@ mod tests {
 
     #[test]
     fn udf_registration_and_use() {
-        let mut db = sample_db();
+        let db = sample_db();
         db.register_udf("is_even", |args| {
             Value::from(args[0].as_i64().unwrap_or(1) % 2 == 0)
         });
@@ -357,9 +537,19 @@ mod tests {
             db.query("SELECT nope.x FROM a"),
             Err(DbError::Bind(_))
         ));
+        assert!(matches!(db.query("DROP TABLE a"), Err(DbError::Schema(_))));
+    }
+
+    #[test]
+    fn query_timeout_is_an_error() {
+        let db = sample_db();
+        db.set_default_strategy(Strategy::SkinnerC(skinner_core::SkinnerCConfig {
+            work_limit: 5,
+            ..Default::default()
+        }));
         assert!(matches!(
-            db.query("DROP TABLE a"),
-            Err(DbError::Schema(_))
+            db.query("SELECT a.id FROM a, b WHERE a.id = b.aid"),
+            Err(DbError::Timeout)
         ));
     }
 
@@ -369,7 +559,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("people.csv");
         std::fs::write(&path, "id,name,score\n1,ann,2.5\n2,bob,3.0\n").unwrap();
-        let mut db = Database::new();
+        let db = Database::new();
         db.load_csv("people", &path).unwrap();
         let r = db
             .query("SELECT p.name FROM people p WHERE p.score > 2.7")
@@ -381,7 +571,7 @@ mod tests {
 
     #[test]
     fn schema_arity_checked() {
-        let mut db = Database::new();
+        let db = Database::new();
         let err = db.create_table(
             "t",
             &[("x", DataType::Int)],

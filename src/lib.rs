@@ -12,13 +12,17 @@
 //!
 //! ## Quick start
 //!
-//! ```
-//! use skinnerdb::{Database, Value};
+//! [`Database`] is `Send + Sync` with `&self` mutators; open [`Session`]s
+//! for per-client strategy and settings, and [`Database::prepare`] /
+//! [`Session::prepare`] a SELECT once to execute it many times:
 //!
-//! let mut db = Database::new();
+//! ```
+//! use skinnerdb::{Database, DataType, Value};
+//!
+//! let db = Database::new();
 //! db.create_table(
 //!     "users",
-//!     &[("id", skinnerdb::DataType::Int), ("name", skinnerdb::DataType::Str)],
+//!     &[("id", DataType::Int), ("name", DataType::Str)],
 //!     vec![
 //!         vec![Value::Int(1), Value::from("ada")],
 //!         vec![Value::Int(2), Value::from("grace")],
@@ -27,7 +31,7 @@
 //! .unwrap();
 //! db.create_table(
 //!     "events",
-//!     &[("user_id", skinnerdb::DataType::Int), ("kind", skinnerdb::DataType::Str)],
+//!     &[("user_id", DataType::Int), ("kind", DataType::Str)],
 //!     vec![
 //!         vec![Value::Int(1), Value::from("login")],
 //!         vec![Value::Int(1), Value::from("click")],
@@ -35,29 +39,102 @@
 //!     ],
 //! )
 //! .unwrap();
+//!
+//! // One-shot queries run under the database default (Skinner-C).
 //! let result = db
 //!     .query("SELECT u.name, COUNT(*) c FROM users u, events e \
 //!             WHERE u.id = e.user_id GROUP BY u.name ORDER BY u.name")
 //!     .unwrap();
 //! assert_eq!(result.num_rows(), 2);
+//! for row in result.iter_rows() {
+//!     assert!(row[1].as_i64().unwrap() >= 1);
+//! }
+//!
+//! // Sessions carry their own strategy and limits over the shared tables.
+//! let session = db.session();
+//! session.use_strategy("traditional").unwrap();
+//! session.set_work_limit(1_000_000);
+//!
+//! // Prepare once (parse + bind), execute many times.
+//! let hot = session
+//!     .prepare("SELECT e.kind FROM users u, events e WHERE u.id = e.user_id")
+//!     .unwrap();
+//! let a = hot.execute().unwrap();
+//! let b = hot.execute().unwrap();
+//! assert_eq!(a.canonical_rows(), b.canonical_rows());
+//! ```
+//!
+//! ## Plugging in your own engine
+//!
+//! The execution API is open: implement
+//! [`ExecutionStrategy`](skinner_exec::ExecutionStrategy) — from any crate
+//! — register it, and address it by name:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use std::time::Instant;
+//!
+//! use skinnerdb::skinner_exec::{ExecContext, ExecOutcome, ExecutionStrategy};
+//! use skinnerdb::skinner_query::JoinQuery;
+//! use skinnerdb::{Database, DataType, Value};
+//!
+//! /// A toy engine: delegates to the reference executor, but it could be
+//! /// any learned optimizer — the registry doesn't care where it's from.
+//! struct MyEngine;
+//!
+//! impl ExecutionStrategy for MyEngine {
+//!     fn name(&self) -> &str {
+//!         "my-engine"
+//!     }
+//!
+//!     fn execute(&self, query: &JoinQuery, _ctx: &ExecContext) -> ExecOutcome {
+//!         let started = Instant::now();
+//!         let result = skinnerdb::skinner_exec::reference::run_reference(query);
+//!         ExecOutcome::completed(result, 0, started.elapsed())
+//!     }
+//! }
+//!
+//! let db = Database::new();
+//! db.create_table(
+//!     "t",
+//!     &[("x", DataType::Int)],
+//!     (0..5).map(|i| vec![Value::Int(i)]).collect(),
+//! )
+//! .unwrap();
+//!
+//! db.register_strategy(Arc::new(MyEngine));
+//! let rows = db.query_with("SELECT t.x FROM t WHERE t.x > 2", "my-engine").unwrap();
+//! assert_eq!(rows.num_rows(), 2);
+//!
+//! // Sessions can select it too, like any built-in.
+//! let session = db.session();
+//! session.use_strategy("my-engine").unwrap();
+//! assert_eq!(session.query("SELECT t.x FROM t").unwrap().num_rows(), 5);
 //! ```
 //!
 //! ## Crate map
 //!
 //! * [`skinner_core`] — Skinner-C/G/H, the paper's contribution,
-//! * [`skinner_exec`] — the generic engine + shared pre/post-processing,
+//! * [`skinner_exec`] — the generic engine, shared pre/post-processing, and
+//!   the execution API ([`ExecutionStrategy`](skinner_exec::ExecutionStrategy),
+//!   [`ExecContext`], [`ExecOutcome`]),
 //! * [`skinner_uct`] — the UCT search tree,
 //! * [`skinner_optimizer`] / [`skinner_stats`] — the traditional baseline,
 //! * [`skinner_adaptive`] — Eddies and the sampling re-optimizer,
 //! * [`skinner_workloads`] — TPC-H / JOB-like / torture generators.
 
 pub mod database;
+pub mod session;
 pub mod strategy;
 
 pub use database::{Database, DbError};
-pub use strategy::{RunOutcome, Strategy};
+pub use session::{Prepared, Session, SessionSettings};
+pub use strategy::{builtin_registry, Strategy};
 
-pub use skinner_exec::QueryResult;
+pub use skinner_exec::{
+    CancelToken, ExecContext, ExecMetrics, ExecOutcome, ExecutionStrategy, QueryResult,
+    StrategyRegistry,
+};
 pub use skinner_storage::{DataType, Value};
 
 // Re-export the component crates for advanced use (benchmarks, examples).

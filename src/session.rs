@@ -1,0 +1,297 @@
+//! Sessions and prepared statements.
+//!
+//! A [`Session`] is a lightweight per-client view over a shared
+//! [`Database`]: it carries its own default strategy and settings (work
+//! limit, deadline) while tables, UDFs, statistics and the strategy
+//! registry stay shared. A [`Prepared`] statement is a SELECT parsed and
+//! bound once and executed many times — the natural unit for SkinnerDB,
+//! which learns join orders *per query* rather than from statistics.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::RwLock;
+
+use skinner_exec::{CancelToken, ExecContext, ExecOutcome, ExecutionStrategy, WorkBudget};
+use skinner_query::JoinQuery;
+use skinner_stats::StatsCache;
+
+use crate::database::{Database, DbError};
+use crate::strategy::Strategy;
+use crate::QueryResult;
+
+/// Per-session execution settings.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionSettings {
+    /// Total work-unit budget per statement/script run through the session.
+    pub work_limit: u64,
+    /// Wall-clock deadline per statement/script (cooperative).
+    pub deadline: Option<Duration>,
+}
+
+impl Default for SessionSettings {
+    fn default() -> Self {
+        SessionSettings {
+            work_limit: u64::MAX,
+            deadline: None,
+        }
+    }
+}
+
+/// A per-client handle over a shared [`Database`].
+pub struct Session {
+    db: Database,
+    strategy: RwLock<Arc<dyn ExecutionStrategy>>,
+    settings: RwLock<SessionSettings>,
+}
+
+impl Session {
+    pub(crate) fn new(db: Database) -> Self {
+        let strategy = db.default_strategy();
+        Session {
+            db,
+            strategy: RwLock::new(strategy),
+            settings: RwLock::new(SessionSettings::default()),
+        }
+    }
+
+    /// The shared database this session runs against.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// This session's current strategy.
+    pub fn strategy(&self) -> Arc<dyn ExecutionStrategy> {
+        self.strategy.read().clone()
+    }
+
+    /// Use a built-in strategy for subsequent statements.
+    pub fn set_strategy(&self, strategy: Strategy) {
+        *self.strategy.write() = strategy.build();
+    }
+
+    /// Use a registered strategy, by name (case-insensitive). This is how
+    /// externally registered engines are selected.
+    pub fn use_strategy(&self, name: &str) -> Result<(), DbError> {
+        let strategy = self
+            .db
+            .strategies()
+            .get(name)
+            .ok_or_else(|| DbError::UnknownStrategy(name.to_string()))?;
+        *self.strategy.write() = strategy;
+        Ok(())
+    }
+
+    /// Current settings snapshot.
+    pub fn settings(&self) -> SessionSettings {
+        *self.settings.read()
+    }
+
+    /// Cap the work units any single statement/script may consume.
+    pub fn set_work_limit(&self, limit: u64) {
+        self.settings.write().work_limit = limit;
+    }
+
+    /// Set (or clear) the per-statement cooperative deadline.
+    pub fn set_deadline(&self, deadline: Option<Duration>) {
+        self.settings.write().deadline = deadline;
+    }
+
+    /// A fresh [`ExecContext`] reflecting this session's settings.
+    pub fn exec_context(&self) -> ExecContext {
+        let settings = self.settings();
+        exec_context_for(&self.db, settings)
+    }
+
+    /// Run a SQL script under the session strategy/settings, returning the
+    /// full outcome (timeouts reported in the outcome).
+    pub fn run_script(&self, sql: &str) -> Result<ExecOutcome, DbError> {
+        let strategy = self.strategy();
+        self.db
+            .run_script_with(sql, strategy.as_ref(), &self.exec_context())
+    }
+
+    /// Run a SQL script and return the last SELECT's result; a timeout
+    /// surfaces as [`DbError::Timeout`].
+    pub fn query(&self, sql: &str) -> Result<QueryResult, DbError> {
+        let out = self.run_script(sql)?;
+        if out.timed_out {
+            return Err(DbError::Timeout);
+        }
+        Ok(out.result)
+    }
+
+    /// Parse and bind a single SELECT once for repeated execution. The
+    /// prepared statement snapshots the session's strategy and settings at
+    /// prepare time.
+    pub fn prepare(&self, sql: &str) -> Result<Prepared, DbError> {
+        let query = self.db.bind(sql)?;
+        Ok(Prepared {
+            sql: sql.to_string(),
+            query,
+            db: self.db.clone(),
+            strategy: self.strategy(),
+            settings: self.settings(),
+        })
+    }
+}
+
+fn exec_context_for(db: &Database, settings: SessionSettings) -> ExecContext {
+    let cancel = match settings.deadline {
+        Some(d) => CancelToken::with_deadline(d),
+        None => CancelToken::new(),
+    };
+    db.exec_context()
+        .with_budget(Arc::new(WorkBudget::with_limit(settings.work_limit)))
+        .with_cancel(cancel)
+}
+
+/// A SELECT statement parsed and bound once, executable many times.
+///
+/// Binding resolves tables, columns and UDFs up front, so repeated
+/// executions skip the entire frontend. Each execution still learns its
+/// own join order — SkinnerDB keeps no cross-query state to go stale.
+pub struct Prepared {
+    sql: String,
+    query: JoinQuery,
+    db: Database,
+    strategy: Arc<dyn ExecutionStrategy>,
+    settings: SessionSettings,
+}
+
+impl Prepared {
+    /// The original SQL text.
+    pub fn sql(&self) -> &str {
+        &self.sql
+    }
+
+    /// The bound query (advanced callers: run it through any engine).
+    pub fn query(&self) -> &JoinQuery {
+        &self.query
+    }
+
+    /// The strategy this statement snapshotted at prepare time.
+    pub fn strategy(&self) -> &Arc<dyn ExecutionStrategy> {
+        &self.strategy
+    }
+
+    /// Execute and return the rows; timeouts surface as
+    /// [`DbError::Timeout`].
+    pub fn execute(&self) -> Result<QueryResult, DbError> {
+        let out = self.execute_outcome();
+        if out.timed_out {
+            return Err(DbError::Timeout);
+        }
+        Ok(out.result)
+    }
+
+    /// Execute and return the full outcome (work units, wall time,
+    /// metrics; timeouts reported in the outcome).
+    pub fn execute_outcome(&self) -> ExecOutcome {
+        self.execute_with(self.strategy.clone().as_ref())
+    }
+
+    /// Execute under a different strategy, same bound query.
+    pub fn execute_with(&self, strategy: &dyn ExecutionStrategy) -> ExecOutcome {
+        let ctx = exec_context_for(&self.db, self.settings);
+        strategy.execute(&self.query, &ctx)
+    }
+
+    /// Statistics handle (for strategies that want calibration context).
+    pub fn stats(&self) -> &StatsCache {
+        self.db.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skinner_storage::{DataType, Value};
+
+    fn sample_db() -> Database {
+        let db = Database::new();
+        db.create_table(
+            "t",
+            &[("id", DataType::Int), ("g", DataType::Int)],
+            (0..40)
+                .map(|i| vec![Value::Int(i), Value::Int(i % 4)])
+                .collect(),
+        )
+        .unwrap();
+        db.create_table(
+            "u",
+            &[("tid", DataType::Int)],
+            (0..60).map(|i| vec![Value::Int(i % 40)]).collect(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn session_strategy_is_isolated_from_database_default() {
+        let db = sample_db();
+        let session = db.session();
+        session.set_strategy(Strategy::Traditional(Default::default()));
+        assert_eq!(session.strategy().name(), "Traditional");
+        assert_eq!(db.default_strategy().name(), "Skinner-C");
+        // A second session starts from the database default again.
+        assert_eq!(db.session().strategy().name(), "Skinner-C");
+    }
+
+    #[test]
+    fn prepared_statement_roundtrip() {
+        let db = sample_db();
+        let session = db.session();
+        let prepared = session
+            .prepare(
+                "SELECT t.g, COUNT(*) c FROM t, u WHERE t.id = u.tid GROUP BY t.g ORDER BY t.g",
+            )
+            .unwrap();
+        let first = prepared.execute().unwrap();
+        let second = prepared.execute().unwrap();
+        assert_eq!(first.ordered_rows(), second.ordered_rows());
+        assert_eq!(first.num_rows(), 4);
+        assert_eq!(prepared.query().num_tables(), 2);
+        assert!(prepared.sql().starts_with("SELECT"));
+    }
+
+    #[test]
+    fn session_work_limit_times_out() {
+        let db = sample_db();
+        let session = db.session();
+        session.set_work_limit(5);
+        let out = session
+            .run_script("SELECT t.id FROM t, u WHERE t.id = u.tid")
+            .unwrap();
+        assert!(out.timed_out);
+        assert!(matches!(
+            session.query("SELECT t.id FROM t, u WHERE t.id = u.tid"),
+            Err(DbError::Timeout)
+        ));
+    }
+
+    #[test]
+    fn session_deadline_cancels_cooperatively() {
+        let db = sample_db();
+        let session = db.session();
+        session.set_deadline(Some(Duration::ZERO));
+        let out = session
+            .run_script("SELECT t.id FROM t, u WHERE t.id = u.tid")
+            .unwrap();
+        assert!(out.timed_out, "expired deadline must yield a timeout");
+        session.set_deadline(None);
+        assert!(session.query("SELECT t.id FROM t WHERE t.g = 0").is_ok());
+    }
+
+    #[test]
+    fn use_strategy_by_name() {
+        let db = sample_db();
+        let session = db.session();
+        session.use_strategy("reference").unwrap();
+        assert_eq!(session.strategy().name(), "Reference");
+        assert!(matches!(
+            session.use_strategy("missing"),
+            Err(DbError::UnknownStrategy(_))
+        ));
+    }
+}

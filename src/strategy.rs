@@ -1,14 +1,24 @@
-//! Unified evaluation-strategy dispatch.
+//! Built-in strategy construction.
+//!
+//! The [`Strategy`] enum is a convenience layer for the strategies that
+//! ship with SkinnerDB: each variant pairs an engine with its config and
+//! [`Strategy::build`] turns it into the `Arc<dyn ExecutionStrategy>` the
+//! execution layer actually runs. The enum is *not* the extension point —
+//! external engines implement [`ExecutionStrategy`] directly and register
+//! with the [`StrategyRegistry`] (see [`builtin_registry`]).
 
-use std::time::Duration;
+use std::sync::Arc;
 
-use skinner_adaptive::{run_eddy, run_reoptimizer, EddyConfig, ReoptimizerConfig};
-use skinner_core::{run_skinner_c, run_skinner_h, SkinnerCConfig, SkinnerG, SkinnerGConfig, SkinnerHConfig};
-use skinner_exec::{run_traditional, QueryResult, TraditionalConfig};
-use skinner_query::JoinQuery;
-use skinner_stats::StatsCache;
+use skinner_adaptive::{EddyConfig, EddyStrategy, ReoptimizerConfig, ReoptimizerStrategy};
+use skinner_core::{
+    SkinnerCConfig, SkinnerCStrategy, SkinnerGConfig, SkinnerGStrategy, SkinnerHConfig,
+    SkinnerHStrategy,
+};
+use skinner_exec::{
+    ExecutionStrategy, ReferenceStrategy, StrategyRegistry, TraditionalConfig, TraditionalStrategy,
+};
 
-/// Which evaluation strategy executes a query.
+/// Which built-in evaluation strategy executes a query.
 #[derive(Debug, Clone)]
 pub enum Strategy {
     /// Skinner-C: the customized engine (paper Section 4.5). The default.
@@ -34,7 +44,7 @@ impl Default for Strategy {
 }
 
 impl Strategy {
-    /// Short display name (harness output).
+    /// Short display name (harness output; also the registry key).
     pub fn name(&self) -> &'static str {
         match self {
             Strategy::SkinnerC(_) => "Skinner-C",
@@ -46,86 +56,43 @@ impl Strategy {
             Strategy::Reference => "Reference",
         }
     }
-}
 
-/// Normalized outcome of running one statement under any strategy.
-#[derive(Debug)]
-pub struct RunOutcome {
-    pub result: QueryResult,
-    /// Deterministic work units (comparable across strategies).
-    pub work_units: u64,
-    pub wall: Duration,
-    pub timed_out: bool,
-}
-
-/// Execute one bound query under `strategy`.
-pub fn run_query(query: &JoinQuery, strategy: &Strategy, stats: &StatsCache) -> RunOutcome {
-    match strategy {
-        Strategy::SkinnerC(cfg) => {
-            let o = run_skinner_c(query, cfg);
-            RunOutcome {
-                result: o.result,
-                work_units: o.work_units,
-                wall: o.wall,
-                timed_out: o.timed_out,
-            }
-        }
-        Strategy::SkinnerG(cfg) => {
-            let o = SkinnerG::new(query, cfg.clone()).run_to_completion();
-            RunOutcome {
-                result: o.result,
-                work_units: o.work_units,
-                wall: o.wall,
-                timed_out: o.timed_out,
-            }
-        }
-        Strategy::SkinnerH(cfg) => {
-            let o = run_skinner_h(query, stats, cfg);
-            RunOutcome {
-                result: o.result,
-                work_units: o.work_units,
-                wall: o.wall,
-                timed_out: o.timed_out,
-            }
-        }
-        Strategy::Traditional(cfg) => {
-            let o = run_traditional(query, stats, cfg);
-            RunOutcome {
-                result: o.result,
-                work_units: o.work_units,
-                wall: o.wall,
-                timed_out: o.timed_out,
-            }
-        }
-        Strategy::Eddy(cfg) => {
-            let o = run_eddy(query, cfg);
-            RunOutcome {
-                result: o.result,
-                work_units: o.work_units,
-                wall: o.wall,
-                timed_out: o.timed_out,
-            }
-        }
-        Strategy::Reoptimizer(cfg) => {
-            let o = run_reoptimizer(query, stats, cfg);
-            RunOutcome {
-                result: o.result,
-                work_units: o.work_units,
-                wall: o.wall,
-                timed_out: o.timed_out,
-            }
-        }
-        Strategy::Reference => {
-            let start = std::time::Instant::now();
-            let result = skinner_exec::reference::run_reference(query);
-            RunOutcome {
-                result,
-                work_units: 0,
-                wall: start.elapsed(),
-                timed_out: false,
-            }
+    /// Materialize the executable strategy for this variant.
+    pub fn build(&self) -> Arc<dyn ExecutionStrategy> {
+        match self {
+            Strategy::SkinnerC(cfg) => Arc::new(SkinnerCStrategy(cfg.clone())),
+            Strategy::SkinnerG(cfg) => Arc::new(SkinnerGStrategy(cfg.clone())),
+            Strategy::SkinnerH(cfg) => Arc::new(SkinnerHStrategy(cfg.clone())),
+            Strategy::Traditional(cfg) => Arc::new(TraditionalStrategy(cfg.clone())),
+            Strategy::Eddy(cfg) => Arc::new(EddyStrategy(cfg.clone())),
+            Strategy::Reoptimizer(cfg) => Arc::new(ReoptimizerStrategy(cfg.clone())),
+            Strategy::Reference => Arc::new(ReferenceStrategy),
         }
     }
+
+    /// All built-in variants with default configs, Reference included.
+    pub fn all_builtin() -> Vec<Strategy> {
+        vec![
+            Strategy::SkinnerC(SkinnerCConfig::default()),
+            Strategy::SkinnerG(SkinnerGConfig::default()),
+            Strategy::SkinnerH(SkinnerHConfig::default()),
+            Strategy::Traditional(TraditionalConfig::default()),
+            Strategy::Eddy(EddyConfig::default()),
+            Strategy::Reoptimizer(ReoptimizerConfig::default()),
+            Strategy::Reference,
+        ]
+    }
+}
+
+/// A registry pre-populated with every built-in strategy under its default
+/// configuration. `Database::new` starts from this; external strategies are
+/// added via [`StrategyRegistry::register`].
+pub fn builtin_registry() -> StrategyRegistry {
+    let registry = StrategyRegistry::new();
+    for strategy in Strategy::all_builtin() {
+        registry.register(strategy.build());
+    }
+    registry
 }
 
 #[cfg(test)]
@@ -136,5 +103,21 @@ mod tests {
     fn names_are_stable() {
         assert_eq!(Strategy::default().name(), "Skinner-C");
         assert_eq!(Strategy::Reference.name(), "Reference");
+    }
+
+    #[test]
+    fn built_strategies_report_the_enum_name() {
+        for s in Strategy::all_builtin() {
+            assert_eq!(s.name(), s.build().name());
+        }
+    }
+
+    #[test]
+    fn builtin_registry_is_complete() {
+        let reg = builtin_registry();
+        assert_eq!(reg.len(), 7);
+        for s in Strategy::all_builtin() {
+            assert!(reg.contains(s.name()), "{} missing", s.name());
+        }
     }
 }

@@ -58,7 +58,7 @@ fn scenario() -> impl proptest::strategy::Strategy<Value = Scenario> {
 }
 
 fn build(scenario: &Scenario) -> (Database, String) {
-    let mut db = Database::new();
+    let db = Database::new();
     for (t, rows) in scenario.table_rows.iter().enumerate() {
         db.create_table(
             &format!("t{t}"),

@@ -15,11 +15,12 @@
 use skinnerdb::skinner_core::{run_skinner_c, run_skinner_c_fixed, SkinnerCConfig};
 use skinnerdb::skinner_core::{SkinnerG, SkinnerGConfig};
 use skinnerdb::skinner_workloads::torture::{correlation_torture, udf_torture, Shape};
-use skinnerdb::{Database, DataType, Strategy, Value};
+use skinnerdb::ExecContext;
+use skinnerdb::{DataType, Database, Strategy, Value};
 
 /// Build a moderately sized star-join database with one selective edge.
 fn star_db() -> (Database, String) {
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_table(
         "hub",
         &[("id", DataType::Int), ("grp", DataType::Int)],
@@ -53,14 +54,19 @@ fn star_db() -> (Database, String) {
 fn skinner_c_cost_is_within_small_factor_of_best_fixed_order() {
     let (db, sql) = star_db();
     let q = db.bind(&sql).unwrap();
-    let learned = run_skinner_c(&q, &SkinnerCConfig::default());
+    let learned = run_skinner_c(&q, &ExecContext::default(), &SkinnerCConfig::default());
     assert!(!learned.timed_out);
 
     // Best fixed order over all valid orders (4 tables → cheap to scan).
     let graph = q.join_graph();
     let mut best_fixed = u64::MAX;
     for order in graph.all_orders() {
-        let o = run_skinner_c_fixed(&q, &order, &SkinnerCConfig::default());
+        let o = run_skinner_c_fixed(
+            &q,
+            &ExecContext::default(),
+            &order,
+            &SkinnerCConfig::default(),
+        );
         assert_eq!(
             o.result.canonical_rows(),
             learned.result.canonical_rows(),
@@ -88,10 +94,7 @@ fn skinner_h_overhead_vs_good_traditional_is_bounded() {
         .run_script(&sql, &Strategy::SkinnerH(Default::default()))
         .unwrap();
     assert!(!trad.timed_out && !hybrid.timed_out);
-    assert_eq!(
-        hybrid.result.canonical_rows(),
-        trad.result.canonical_rows()
-    );
+    assert_eq!(hybrid.result.canonical_rows(), trad.result.canonical_rows());
     // Theorem 5.8: maximal regret vs traditional is 4/5·n, i.e. at most 5×
     // its cost; the doubling scheme's discretization adds a little more.
     let ratio = hybrid.work_units as f64 / trad.work_units.max(1) as f64;
@@ -107,6 +110,7 @@ fn skinner_c_beats_worst_fixed_order_on_torture_workloads() {
     let q = db.bind(&w.queries[0].script).unwrap();
     let learned = run_skinner_c(
         &q,
+        &ExecContext::default(),
         &SkinnerCConfig {
             work_limit: 50_000_000,
             ..Default::default()
@@ -116,6 +120,7 @@ fn skinner_c_beats_worst_fixed_order_on_torture_workloads() {
     // The worst fixed order: apply the good predicate last.
     let worst = run_skinner_c_fixed(
         &q,
+        &ExecContext::default(),
         &[5, 4, 3, 2, 1, 0],
         &SkinnerCConfig {
             work_limit: 50_000_000,
@@ -139,6 +144,7 @@ fn skinner_g_terminates_and_balances_despite_unknown_timeouts() {
     // the pyramid scheme to climb levels before anything completes.
     let out = SkinnerG::new(
         &q,
+        &ExecContext::default(),
         SkinnerGConfig {
             batches: 10,
             base_timeout_units: 8,
@@ -148,6 +154,7 @@ fn skinner_g_terminates_and_balances_despite_unknown_timeouts() {
     )
     .run_to_completion();
     assert!(!out.timed_out, "pyramid scheme failed to climb");
-    assert!(out.timeout_levels >= 3, "levels: {}", out.timeout_levels);
+    let levels = out.metrics.counter("timeout_levels").unwrap();
+    assert!(levels >= 3, "levels: {levels}");
     assert_eq!(out.result.rows[0][0], Value::Int(0));
 }

@@ -1,0 +1,161 @@
+//! Integration tests for the session / prepared-statement facade and the
+//! cooperative cancellation path of the execution API.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use skinnerdb::skinner_core::SkinnerCConfig;
+use skinnerdb::{CancelToken, DataType, Database, DbError, Strategy, Value};
+
+fn serving_db() -> Database {
+    let db = Database::new();
+    db.create_table(
+        "orders",
+        &[
+            ("id", DataType::Int),
+            ("customer", DataType::Int),
+            ("amount", DataType::Float),
+        ],
+        (0..200)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::Int(i % 25),
+                    Value::Float((i % 40) as f64 * 1.5),
+                ]
+            })
+            .collect(),
+    )
+    .unwrap();
+    db.create_table(
+        "customers",
+        &[("id", DataType::Int), ("tier", DataType::Int)],
+        (0..25)
+            .map(|i| vec![Value::Int(i), Value::Int(i % 3)])
+            .collect(),
+    )
+    .unwrap();
+    db
+}
+
+const JOIN_SQL: &str = "SELECT c.tier, COUNT(*) n, SUM(o.amount) s \
+                        FROM orders o, customers c WHERE o.customer = c.id \
+                        GROUP BY c.tier ORDER BY c.tier";
+
+#[test]
+fn prepare_once_execute_many_identical() {
+    let db = serving_db();
+    let prepared = db.prepare(JOIN_SQL).unwrap();
+    let first = prepared.execute().unwrap();
+    for _ in 0..3 {
+        let again = prepared.execute().unwrap();
+        assert_eq!(first.ordered_rows(), again.ordered_rows());
+    }
+    assert_eq!(first.num_rows(), 3);
+    // The outcome form exposes work accounting per execution.
+    let outcome = prepared.execute_outcome();
+    assert!(!outcome.timed_out);
+    assert!(outcome.work_units > 0);
+}
+
+#[test]
+fn prepared_statement_strategy_snapshot_and_override() {
+    let db = serving_db();
+    let session = db.session();
+    session.set_strategy(Strategy::Traditional(Default::default()));
+    let prepared = session.prepare(JOIN_SQL).unwrap();
+    // Session switches strategy afterwards; the prepared statement keeps
+    // its snapshot.
+    session.set_strategy(Strategy::Eddy(Default::default()));
+    assert_eq!(prepared.strategy().name(), "Traditional");
+    let base = prepared.execute().unwrap();
+    // Same bound query through a different engine: identical rows.
+    let other = prepared.execute_with(
+        Strategy::SkinnerC(SkinnerCConfig::default())
+            .build()
+            .as_ref(),
+    );
+    assert!(!other.timed_out);
+    assert_eq!(base.canonical_rows(), other.result.canonical_rows());
+}
+
+#[test]
+fn sessions_are_concurrent_over_one_database() {
+    let db = Arc::new(serving_db());
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            let db = db.clone();
+            std::thread::spawn(move || {
+                let session = db.session();
+                if i % 2 == 0 {
+                    session.use_strategy("traditional").unwrap();
+                }
+                let prepared = session.prepare(JOIN_SQL).unwrap();
+                prepared.execute().unwrap().ordered_rows()
+            })
+        })
+        .collect();
+    let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    for r in &results[1..] {
+        assert_eq!(&results[0], r);
+    }
+}
+
+#[test]
+fn deadline_produces_timeout_outcome_without_panic() {
+    let db = serving_db();
+    let session = db.session();
+    session.set_deadline(Some(Duration::ZERO));
+    let out = session.run_script(JOIN_SQL).unwrap();
+    assert!(out.timed_out, "expired deadline must report timed_out");
+    assert_eq!(out.result.num_rows(), 0);
+    assert!(matches!(session.query(JOIN_SQL), Err(DbError::Timeout)));
+    // Clearing the deadline restores normal service on the same session.
+    session.set_deadline(None);
+    assert_eq!(session.query(JOIN_SQL).unwrap().num_rows(), 3);
+}
+
+#[test]
+fn explicit_cancel_token_interrupts_every_builtin() {
+    let db = serving_db();
+    for strategy in Strategy::all_builtin() {
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let ctx = db.exec_context().with_cancel(cancel);
+        let out = db
+            .run_script_with(JOIN_SQL, strategy.build().as_ref(), &ctx)
+            .unwrap();
+        assert!(out.timed_out, "{} ignored cancellation", strategy.name());
+    }
+}
+
+#[test]
+fn session_work_limit_spans_whole_scripts() {
+    let db = serving_db();
+    let session = db.session();
+    session.set_work_limit(50);
+    let out = session
+        .run_script(
+            "SELECT o.id FROM orders o, customers c WHERE o.customer = c.id; \
+             SELECT c.id FROM customers c",
+        )
+        .unwrap();
+    assert!(out.timed_out, "50 work units cannot cover the script");
+}
+
+#[test]
+fn streaming_row_access() {
+    let db = serving_db();
+    let result = db.query(JOIN_SQL).unwrap();
+    let tiers: Vec<i64> = result
+        .iter_rows()
+        .map(|row| row[0].as_i64().unwrap())
+        .collect();
+    assert_eq!(tiers, vec![0, 1, 2]);
+    let idx = result.column_index("n").unwrap();
+    let total: i64 = result
+        .iter_rows()
+        .map(|row| row[idx].as_i64().unwrap())
+        .sum();
+    assert_eq!(total, 200);
+}

@@ -1,12 +1,20 @@
-//! Differential testing: every evaluation strategy must produce exactly the
-//! result of the naive reference executor (paper Theorems 5.1–5.3 claim
-//! correctness for all Skinner variants; we hold the baselines to the same
-//! standard).
+//! Differential testing through the execution API: every strategy in the
+//! registry — built-ins and externally registered ones alike — must produce
+//! exactly the result of the naive reference executor (paper Theorems
+//! 5.1–5.3 claim correctness for all Skinner variants; we hold the
+//! baselines to the same standard).
+//!
+//! The suite is deliberately driven through `StrategyRegistry` /
+//! `ExecutionStrategy` rather than the `Strategy` enum: anything that
+//! registers is automatically held to the equivalence bar.
 
-use skinnerdb::{DataType, Database, Strategy, Value};
+use std::sync::Arc;
+
+use skinnerdb::skinner_exec::reference::run_reference;
+use skinnerdb::{DataType, Database, ExecContext, ExecOutcome, ExecutionStrategy, Value};
 
 fn test_db() -> Database {
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_table(
         "fact",
         &[
@@ -56,46 +64,77 @@ fn test_db() -> Database {
     db
 }
 
-fn all_strategies() -> Vec<Strategy> {
-    vec![
-        Strategy::SkinnerC(Default::default()),
-        Strategy::SkinnerG(Default::default()),
-        Strategy::SkinnerH(Default::default()),
-        Strategy::Traditional(Default::default()),
-        Strategy::Eddy(Default::default()),
-        Strategy::Reoptimizer(Default::default()),
-    ]
+/// An "external" engine registered from outside the engine crates: wraps
+/// the reference executor. Its presence in the registry proves third-party
+/// strategies flow through the same door — and get the same differential
+/// testing — as the built-ins.
+struct ExternalNestedLoop;
+
+impl ExecutionStrategy for ExternalNestedLoop {
+    fn name(&self) -> &str {
+        "external-nested-loop"
+    }
+
+    fn execute(
+        &self,
+        query: &skinnerdb::skinner_query::JoinQuery,
+        _ctx: &ExecContext,
+    ) -> ExecOutcome {
+        let started = std::time::Instant::now();
+        let result = run_reference(query);
+        ExecOutcome::completed(result, 0, started.elapsed())
+    }
 }
 
 fn assert_all_agree(db: &Database, sql: &str) {
     let expected = db
-        .run_script(sql, &Strategy::Reference)
+        .run_script(sql, &skinnerdb::Strategy::Reference)
         .unwrap()
         .result
         .canonical_rows();
-    for strategy in all_strategies() {
+    for name in db.strategies().names() {
+        if name == "Reference" {
+            continue;
+        }
+        let strategy = db.strategies().get(&name).unwrap();
         let out = db
-            .run_script(sql, &strategy)
-            .unwrap_or_else(|e| panic!("{} failed on {sql}: {e}", strategy.name()));
-        assert!(!out.timed_out, "{} timed out on {sql}", strategy.name());
+            .run_script_with(sql, strategy.as_ref(), &db.exec_context())
+            .unwrap_or_else(|e| panic!("{name} failed on {sql}: {e}"));
+        assert!(!out.timed_out, "{name} timed out on {sql}");
         assert_eq!(
             out.result.canonical_rows(),
             expected,
-            "{} disagrees on {sql}",
-            strategy.name()
+            "{name} disagrees on {sql}"
         );
     }
 }
 
+fn registry_db() -> Database {
+    let db = test_db();
+    db.register_strategy(Arc::new(ExternalNestedLoop));
+    db
+}
+
+#[test]
+fn registry_includes_external_strategy() {
+    let db = registry_db();
+    assert!(db.strategies().len() >= 8);
+    assert!(db.strategies().contains("external-nested-loop"));
+    assert!(db.strategies().contains("Skinner-C"));
+}
+
 #[test]
 fn two_way_equi_join() {
-    let db = test_db();
-    assert_all_agree(&db, "SELECT f.id, d.label FROM fact f, dim1 d WHERE f.d1 = d.id");
+    let db = registry_db();
+    assert_all_agree(
+        &db,
+        "SELECT f.id, d.label FROM fact f, dim1 d WHERE f.d1 = d.id",
+    );
 }
 
 #[test]
 fn three_way_join_with_filters() {
-    let db = test_db();
+    let db = registry_db();
     assert_all_agree(
         &db,
         "SELECT f.id FROM fact f, dim1 a, dim2 b \
@@ -105,7 +144,7 @@ fn three_way_join_with_filters() {
 
 #[test]
 fn theta_join() {
-    let db = test_db();
+    let db = registry_db();
     assert_all_agree(
         &db,
         "SELECT f.id FROM fact f, dim2 b WHERE f.d2 = b.id AND f.id < b.weight",
@@ -114,7 +153,7 @@ fn theta_join() {
 
 #[test]
 fn udf_join_predicate() {
-    let db = test_db();
+    let db = registry_db();
     assert_all_agree(
         &db,
         "SELECT f.id FROM fact f, dim2 b WHERE f.d2 = b.id AND mod3_is(f.id, b.id)",
@@ -123,7 +162,7 @@ fn udf_join_predicate() {
 
 #[test]
 fn aggregates_and_groups() {
-    let db = test_db();
+    let db = registry_db();
     assert_all_agree(
         &db,
         "SELECT a.label, COUNT(*) c, SUM(f.v) s, MIN(f.id) mn, MAX(f.id) mx, AVG(f.v) av \
@@ -133,7 +172,7 @@ fn aggregates_and_groups() {
 
 #[test]
 fn like_and_in_and_between() {
-    let db = test_db();
+    let db = registry_db();
     assert_all_agree(
         &db,
         "SELECT f.id FROM fact f, dim1 a WHERE f.d1 = a.id \
@@ -143,7 +182,7 @@ fn like_and_in_and_between() {
 
 #[test]
 fn self_join_aliases() {
-    let db = test_db();
+    let db = registry_db();
     assert_all_agree(
         &db,
         "SELECT x.id FROM fact x, fact y \
@@ -153,7 +192,7 @@ fn self_join_aliases() {
 
 #[test]
 fn cartesian_product_fallback() {
-    let db = test_db();
+    let db = registry_db();
     assert_all_agree(
         &db,
         "SELECT d.label, b.weight FROM dim1 d, dim2 b WHERE d.id < 3 AND b.id < 2",
@@ -162,7 +201,7 @@ fn cartesian_product_fallback() {
 
 #[test]
 fn empty_results_everywhere() {
-    let db = test_db();
+    let db = registry_db();
     assert_all_agree(
         &db,
         "SELECT f.id FROM fact f, dim1 a WHERE f.d1 = a.id AND f.id > 100000",
@@ -172,7 +211,7 @@ fn empty_results_everywhere() {
 
 #[test]
 fn scalar_aggregate_over_join() {
-    let db = test_db();
+    let db = registry_db();
     assert_all_agree(
         &db,
         "SELECT COUNT(*) n, SUM(b.weight) w FROM fact f, dim2 b WHERE f.d2 = b.id",
@@ -181,7 +220,7 @@ fn scalar_aggregate_over_join() {
 
 #[test]
 fn distinct_order_limit() {
-    let db = test_db();
+    let db = registry_db();
     assert_all_agree(
         &db,
         "SELECT DISTINCT a.label FROM fact f, dim1 a WHERE f.d1 = a.id ORDER BY a.label LIMIT 2",
@@ -190,7 +229,7 @@ fn distinct_order_limit() {
 
 #[test]
 fn or_predicates() {
-    let db = test_db();
+    let db = registry_db();
     assert_all_agree(
         &db,
         "SELECT f.id FROM fact f, dim1 a WHERE f.d1 = a.id \
@@ -200,7 +239,7 @@ fn or_predicates() {
 
 #[test]
 fn four_way_join() {
-    let db = test_db();
+    let db = registry_db();
     assert_all_agree(
         &db,
         "SELECT COUNT(*) n FROM fact f, dim1 a, dim2 b, fact g \

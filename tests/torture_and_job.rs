@@ -2,9 +2,7 @@
 
 use skinnerdb::skinner_core::SkinnerCConfig;
 use skinnerdb::skinner_workloads::job_like::{generate as job, JobConfig};
-use skinnerdb::skinner_workloads::torture::{
-    correlation_torture, trivial, udf_torture, Shape,
-};
+use skinnerdb::skinner_workloads::torture::{correlation_torture, trivial, udf_torture, Shape};
 use skinnerdb::{Database, Strategy, Value};
 
 #[test]
@@ -64,12 +62,7 @@ fn trivial_benchmark_counts_the_chain() {
     ] {
         let out = db.run_script(&w.queries[0].script, &strategy).unwrap();
         // Fanout-1 chain over 30 rows → exactly 30 results.
-        assert_eq!(
-            out.result.rows[0][0],
-            Value::Int(30),
-            "{}",
-            strategy.name()
-        );
+        assert_eq!(out.result.rows[0][0], Value::Int(30), "{}", strategy.name());
     }
 }
 

@@ -85,10 +85,7 @@ fn ordered_queries_preserve_row_order() {
         .run_script(&q3.script, &Strategy::Traditional(Default::default()))
         .unwrap();
     // ORDER BY revenue DESC must hold exactly, not just set-wise.
-    assert_eq!(
-        skinner.result.ordered_rows(),
-        trad.result.ordered_rows()
-    );
+    assert_eq!(skinner.result.ordered_rows(), trad.result.ordered_rows());
     let revenues: Vec<f64> = skinner
         .result
         .rows
