@@ -61,6 +61,7 @@ fn main() {
         ("figure12_trivial", Box::new(ex::figure12_trivial::run)),
         ("table7_tpch", Box::new(ex::table7_tpch::run)),
         ("ablation_design_choices", Box::new(ex::ablation::run)),
+        ("thread_scaling", Box::new(ex::thread_scaling::run)),
     ];
 
     for (name, f) in jobs {

@@ -1,0 +1,127 @@
+//! Thread scaling of `parallel_skinner`.
+//!
+//! Runs a JOB-like subset (the workload's larger joins) under the parallel
+//! learned strategy at 1, 2, 4 and 8 worker threads and reports wall-clock
+//! time, work units and the speedup over the 1-thread configuration.
+//!
+//! Two caveats the table states explicitly:
+//!
+//! * speedup is bounded by the machine — on a single-core container all
+//!   configurations time-slice one CPU and the wall-clock ratio hovers
+//!   around 1.0 (the report prints the detected core count so readers can
+//!   interpret the numbers);
+//! * work units are *total* work: they grow slightly with thread count
+//!   (per-chunk join restarts), so `work / wall` is the fairer throughput
+//!   lens on multi-core hardware.
+
+use std::time::Duration;
+
+use skinnerdb::skinner_core::ParallelSkinnerConfig;
+use skinnerdb::{Database, Strategy};
+
+use crate::harness::{fmt_dur, markdown_table, Scale};
+
+use super::{job_limit, job_workload};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn strategy(threads: usize, limit: u64, scale: Scale) -> Strategy {
+    Strategy::ParallelSkinner(ParallelSkinnerConfig {
+        threads,
+        batch_tuples: scale.pick(512, 4096),
+        work_limit: limit,
+        ..Default::default()
+    })
+}
+
+/// Best-of-`reps` wall time plus the work units of one representative run.
+fn measure(db: &Database, script: &str, s: &Strategy, reps: usize) -> (Duration, u64, bool) {
+    let mut best = Duration::MAX;
+    let mut work = 0;
+    let mut timed_out = false;
+    for _ in 0..reps {
+        let o = db.run_script(script, s).expect("bench query must run");
+        if o.wall < best {
+            best = o.wall;
+            work = o.work_units;
+        }
+        timed_out |= o.timed_out;
+    }
+    (best, work, timed_out)
+}
+
+pub fn run(scale: Scale) -> String {
+    let (w, db) = job_workload(scale);
+    let limit = job_limit(scale);
+    let reps = scale.pick(2, 3);
+
+    // The top joins by table count: enough per-episode work for the
+    // partitioning to matter.
+    let mut queries = w.queries.clone();
+    queries.sort_by_key(|q| std::cmp::Reverse(q.num_tables));
+    let queries: Vec<_> = queries.into_iter().take(scale.pick(3, 6)).collect();
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut out = format!(
+        "## Thread scaling — parallel_skinner on a JOB-like subset\n\n\
+         Machine: {cores} core(s) available. Speedups are wall-clock vs the\n\
+         1-thread configuration; on a single core they cannot exceed ~1.0.\n\n"
+    );
+
+    let mut rows = Vec::new();
+    for q in &queries {
+        let mut cells = vec![format!("{} ({}T)", q.name, q.num_tables)];
+        let mut base = None;
+        for &t in &THREADS {
+            let (wall, work, timed_out) = measure(&db, &q.script, &strategy(t, limit, scale), reps);
+            let base_wall = *base.get_or_insert(wall);
+            let speedup = base_wall.as_secs_f64() / wall.as_secs_f64().max(1e-9);
+            let flag = if timed_out { "*" } else { "" };
+            cells.push(format!(
+                "{}{} ({:.2}x, {}u)",
+                fmt_dur(wall),
+                flag,
+                speedup,
+                crate::harness::human(work)
+            ));
+        }
+        rows.push(cells);
+    }
+    out.push_str(&markdown_table(
+        &["query", "t=1", "t=2", "t=4", "t=8"],
+        &rows,
+    ));
+    out.push_str("\n`*` = timed out at the work limit. Each cell: best-of-");
+    out.push_str(&format!(
+        "{reps} wall time (speedup vs t=1, total work units).\n"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_covers_all_thread_counts() {
+        // Smallest possible sanity run: one tiny query, one rep.
+        let (w, db) = job_workload(Scale::Quick);
+        let q = w
+            .queries
+            .iter()
+            .min_by_key(|q| q.num_tables)
+            .expect("non-empty workload");
+        for &t in &THREADS {
+            let (wall, work, _) = measure(
+                &db,
+                &q.script,
+                &strategy(t, job_limit(Scale::Quick), Scale::Quick),
+                1,
+            );
+            assert!(wall > Duration::ZERO);
+            assert!(work > 0);
+        }
+    }
+}

@@ -19,11 +19,18 @@
 //!   rounds; bounded regret against both the optimum and the traditional
 //!   plan (Theorems 5.7, 5.8).
 //!
+//! * [`parallel`] — **parallel_skinner**: the paper's multi-threaded
+//!   SkinnerC configuration (Section 6.1). Each episode's batch of
+//!   left-most-table tuples is split across N worker threads executing the
+//!   same join order, and all workers learn through one shared concurrent
+//!   UCT tree.
+//!
 //! All strategies produce exactly the same results as a traditional
 //! execution (Theorems 5.1–5.3); the integration tests verify this against
 //! a naive reference executor.
 
 pub mod config;
+pub mod parallel;
 pub mod pyramid;
 pub mod skinner_c;
 pub mod skinner_g;
@@ -31,6 +38,7 @@ pub mod skinner_h;
 pub mod strategies;
 
 pub use config::{RewardKind, SkinnerCConfig, SkinnerGConfig, SkinnerHConfig};
+pub use parallel::{run_parallel_skinner, ParallelSkinnerConfig, ParallelSkinnerStrategy};
 pub use pyramid::PyramidScheme;
 pub use skinner_c::engine::{run_skinner_c, run_skinner_c_fixed};
 pub use skinner_g::SkinnerG;

@@ -1,0 +1,547 @@
+//! `parallel_skinner`: multi-threaded Skinner-C with a shared learned tree.
+//!
+//! The paper's multi-threaded SkinnerC configuration (Section 6.1)
+//! parallelizes over *data*: every episode executes one join order, the
+//! episode's batch of left-most-table tuples is split across N worker
+//! threads, and all workers learn through one UCT tree. This module is that
+//! design on top of the Skinner-C machinery:
+//!
+//! * the coordinator selects a join order from a
+//!   [`ConcurrentUctTree`](skinner_uct::ConcurrentUctTree), cuts the next
+//!   `batch_tuples` rows of the order's left-most table into contiguous
+//!   chunks ([`skinner_exec::partition_tuples`]), and scatters them over a
+//!   persistent [`WorkerPool`];
+//! * each worker runs the bounded multi-way join
+//!   ([`continue_join_ranged`]) over its chunk to completion, polling the
+//!   shared [`CancelToken`] every `slice_steps` steps and charging a
+//!   *reserved* slice of the shared work budget (so concurrent workers
+//!   cannot overspend it), then reports its reward into the shared tree;
+//! * completed batches advance the global per-table offsets exactly like
+//!   sequential Skinner-C, so every tuple range is joined exactly once and
+//!   the result is identical to any other strategy's.
+//!
+//! Episodes that blow past the adaptive per-episode work cap are
+//! *abandoned* (Skinner-G's destructive-timeout discipline): their partial
+//! result tuples are kept (deduplicated), the order earns reward 0, the
+//! cap doubles, and the tree picks again — so a catastrophic join order
+//! costs a bounded amount before learning routes around it, and caps
+//! eventually grow large enough for the best order to finish a batch.
+//!
+//! With one thread the strategy degenerates to sequential Skinner-C over
+//! whole batches: same joins, same offsets discipline, same result rows.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use skinner_exec::{
+    merge_worker_metrics, partition_tuples, CancelToken, ExecContext, ExecMetrics, ExecOutcome,
+    ExecutionStrategy, QueryResult, TupleIxs, TupleRange, WorkBudget, WorkerPool,
+};
+use skinner_query::JoinQuery;
+use skinner_storage::RowId;
+use skinner_uct::ConcurrentUctTree;
+
+use crate::skinner_c::join::{continue_join_ranged, MultiwayCtx, OrderInfo, SliceOutcome};
+use crate::skinner_c::preproc::prepare;
+use crate::skinner_c::result_set::ResultSet;
+use crate::skinner_c::state::JoinState;
+
+/// Configuration of the parallel learned strategy.
+#[derive(Debug, Clone)]
+pub struct ParallelSkinnerConfig {
+    /// Worker threads; `0` inherits the [`ExecContext::threads`] knob
+    /// (which defaults to the machine's available parallelism).
+    pub threads: usize,
+    /// Left-most-table tuples per episode, split across the workers.
+    pub batch_tuples: u64,
+    /// Minimum left-most tuples per worker chunk: small batches use fewer
+    /// workers rather than paying dispatch overhead for micro-chunks.
+    pub min_chunk_tuples: u64,
+    /// Steps between cancellation polls inside each worker (the same
+    /// granularity as sequential Skinner-C's time slice).
+    pub slice_steps: u64,
+    /// UCT exploration weight `w` for the shared tree.
+    pub exploration_weight: f64,
+    /// Seed for the coordinator's and the workers' generators.
+    pub seed: u64,
+    /// Use hash indexes to jump over non-matching tuples.
+    pub use_jump_indexes: bool,
+    /// Global work-unit cap (shared by all workers; enforced by
+    /// reservation, so N workers cannot collectively overspend it).
+    pub work_limit: u64,
+    /// Threads for index building during pre-processing; `0` = same as
+    /// `threads`.
+    pub preprocess_threads: usize,
+}
+
+impl Default for ParallelSkinnerConfig {
+    fn default() -> Self {
+        ParallelSkinnerConfig {
+            threads: 0,
+            batch_tuples: 1024,
+            min_chunk_tuples: 32,
+            slice_steps: 500,
+            exploration_weight: 1e-6,
+            seed: 0x5EED,
+            use_jump_indexes: true,
+            work_limit: u64::MAX,
+            preprocess_threads: 0,
+        }
+    }
+}
+
+/// One worker's share of an episode: join its chunk of the left-most table
+/// under the episode's order, bounded by a reserved work cap.
+struct EpisodeTask {
+    mctx: Arc<MultiwayCtx>,
+    info: Arc<OrderInfo>,
+    offsets: Arc<Vec<RowId>>,
+    range: TupleRange,
+    /// Work units this worker may spend (already reserved from the shared
+    /// budget; unspent remainder is refunded by the coordinator).
+    cap: u64,
+    slice_steps: u64,
+    cancel: CancelToken,
+    tree: Arc<ConcurrentUctTree>,
+    /// Reward normalization: expected work per left-most tuple of a good
+    /// order.
+    norm: f64,
+}
+
+struct WorkerReport {
+    tuples: Vec<TupleIxs>,
+    used: u64,
+    /// Ran out of its reserved cap before finishing the chunk.
+    capped: bool,
+    /// Observed the cancel token mid-chunk.
+    cancelled: bool,
+    metrics: ExecMetrics,
+}
+
+/// Join one chunk of the episode's batch to completion (or until the cap /
+/// cancellation stops it), then report the order's reward into the shared
+/// tree.
+fn run_chunk(task: EpisodeTask) -> WorkerReport {
+    let budget = WorkBudget::with_limit(task.cap);
+    let order = &task.info.order;
+    let t0 = order[0];
+    let mut offsets = (*task.offsets).clone();
+    offsets[t0] = task.range.start as RowId;
+    let mut state = JoinState::fresh(&offsets);
+    let mut results = ResultSet::new();
+    let mut slices = 0u64;
+    let mut capped = false;
+    let mut cancelled = false;
+    loop {
+        if task.cancel.is_cancelled() {
+            cancelled = true;
+            break;
+        }
+        slices += 1;
+        match continue_join_ranged(
+            &task.mctx,
+            &task.info,
+            &mut state,
+            &offsets,
+            task.slice_steps,
+            &budget,
+            &mut results,
+            task.range.end as RowId,
+        ) {
+            Ok(SliceOutcome::Finished) => break,
+            Ok(SliceOutcome::Budget) => {}
+            Err(_) => {
+                capped = true;
+                break;
+            }
+        }
+    }
+    let used = budget.used();
+    if !cancelled {
+        // Cheap orders finish their chunk with little work per tuple and
+        // earn rewards near 1; abandoned chunks teach the tree to avoid
+        // the order.
+        let reward = if capped {
+            0.0
+        } else {
+            let per_tuple = used as f64 / task.range.len().max(1) as f64;
+            1.0 / (1.0 + per_tuple / task.norm)
+        };
+        task.tree.backup(order, reward);
+    }
+    let metrics = ExecMetrics {
+        result_tuples: results.len() as u64,
+        slices,
+        ..ExecMetrics::default()
+    }
+    .with_counter("chunks", 1);
+    WorkerReport {
+        tuples: results.into_tuples(),
+        used,
+        capped,
+        cancelled,
+        metrics,
+    }
+}
+
+/// Evaluate `query` with the parallel learned strategy.
+pub fn run_parallel_skinner(
+    query: &JoinQuery,
+    ctx: &ExecContext,
+    cfg: &ParallelSkinnerConfig,
+) -> ExecOutcome {
+    let start = Instant::now();
+    let budget = WorkBudget::with_limit(ctx.effective_limit(cfg.work_limit));
+    let columns: Vec<String> = query.select.iter().map(|s| s.name().to_string()).collect();
+    let m = query.num_tables();
+    let threads = if cfg.threads == 0 {
+        ctx.threads()
+    } else {
+        cfg.threads
+    }
+    .max(1);
+    let preprocess_threads = if cfg.preprocess_threads == 0 {
+        threads
+    } else {
+        cfg.preprocess_threads
+    };
+
+    let prepared = match prepare(query, &budget, preprocess_threads, cfg.use_jump_indexes) {
+        Ok(p) => p,
+        Err(_) => {
+            ctx.absorb_work(budget.used());
+            return ExecOutcome::timeout(columns, budget.used(), start.elapsed()).with_metrics(
+                ExecMetrics {
+                    order: (0..m).collect(),
+                    ..ExecMetrics::default()
+                }
+                .with_counter("threads", threads as u64),
+            );
+        }
+    };
+    let mctx = Arc::new(prepared.ctx);
+    let cards: Vec<RowId> = mctx.tables.iter().map(|t| t.cardinality()).collect();
+
+    let graph = query.join_graph();
+    let tree = Arc::new(ConcurrentUctTree::new(
+        graph.clone(),
+        cfg.exploration_weight,
+    ));
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x9A7A11E1);
+    let pool: WorkerPool<EpisodeTask, WorkerReport> =
+        WorkerPool::new(threads, |_, task| run_chunk(task));
+
+    let mut offsets: Vec<RowId> = vec![0; m];
+    let mut global_results = ResultSet::new();
+    let mut order_infos: HashMap<Box<[u8]>, Arc<OrderInfo>> = HashMap::new();
+    let mut order_counts: HashMap<Box<[u8]>, u64> = HashMap::new();
+    let mut tree_growth: Vec<(u64, usize)> = Vec::new();
+    let mut worker_metrics: Vec<ExecMetrics> = Vec::new();
+    let mut episodes = 0u64;
+    let mut failed_episodes = 0u64;
+    let mut timed_out = false;
+    // Adaptive per-episode work cap, doubled whenever an episode is
+    // abandoned (Skinner-G's escalating-timeout discipline) so a
+    // catastrophic order costs a bounded amount and good orders eventually
+    // get enough room to finish a batch.
+    let mut episode_cap: u64 = (cfg.batch_tuples.saturating_mul(8)).max(cfg.slice_steps);
+    let norm = 2.0 * m as f64;
+
+    let finished =
+        |offsets: &[RowId], cards: &[RowId]| offsets.iter().zip(cards).any(|(&o, &n)| o >= n);
+
+    if !query.always_false {
+        while !finished(&offsets, &cards) {
+            if ctx.interrupted() {
+                timed_out = true;
+                break;
+            }
+            let order = tree.select(&mut rng);
+            let key: Box<[u8]> = order.iter().map(|&t| t as u8).collect();
+            let info = order_infos
+                .entry(key.clone())
+                .or_insert_with(|| {
+                    Arc::new(OrderInfo::build(query, &mctx, &order, cfg.use_jump_indexes))
+                })
+                .clone();
+            let t0 = order[0];
+            let lo = offsets[t0] as u64;
+            let hi = (lo + cfg.batch_tuples).min(cards[t0] as u64);
+            let max_parts = ((hi - lo) / cfg.min_chunk_tuples.max(1))
+                .max(1)
+                .min(threads as u64) as usize;
+            let ranges = partition_tuples(lo, hi, max_parts);
+            let nparts = ranges.len().max(1) as u64;
+            // Reserve each worker's cap from the shared budget up front
+            // (`try_consume` never overspends), so workers spend against
+            // pre-granted quotas; after the episode the reservation is
+            // released and the *actual* consumption recorded instead.
+            let share = budget.remaining() / nparts;
+            let cap = share.min(episode_cap);
+            if cap == 0 || !budget.try_consume(cap * nparts) {
+                timed_out = true;
+                break;
+            }
+            let shared_offsets = Arc::new(offsets.clone());
+            let tasks: Vec<EpisodeTask> = ranges
+                .iter()
+                .map(|&range| EpisodeTask {
+                    mctx: mctx.clone(),
+                    info: info.clone(),
+                    offsets: shared_offsets.clone(),
+                    range,
+                    cap,
+                    slice_steps: cfg.slice_steps,
+                    cancel: ctx.cancel().clone(),
+                    tree: tree.clone(),
+                    norm,
+                })
+                .collect();
+            let reports = pool.scatter_gather(tasks);
+
+            // Release the reservation, then record what was actually spent
+            // (a worker may exceed its cap by its final charge's overage,
+            // which `charge` records faithfully).
+            budget.refund(cap * nparts);
+            let mut any_capped = false;
+            let mut any_cancelled = false;
+            for (_, report) in reports {
+                let _ = budget.charge(report.used);
+                any_capped |= report.capped;
+                any_cancelled |= report.cancelled;
+                for tuple in report.tuples {
+                    global_results.insert(&tuple);
+                }
+                worker_metrics.push(report.metrics);
+            }
+            episodes += 1;
+            *order_counts.entry(key).or_insert(0) += 1;
+            if episodes.is_power_of_two() || episodes.is_multiple_of(256) {
+                tree_growth.push((episodes, tree.num_nodes()));
+            }
+            if any_cancelled {
+                timed_out = true;
+                break;
+            }
+            if any_capped {
+                if cap >= share {
+                    // The cap was the global budget's share: out of budget.
+                    timed_out = true;
+                    break;
+                }
+                failed_episodes += 1;
+                episode_cap = episode_cap.saturating_mul(2);
+                continue; // offsets unchanged: the batch will be retried
+            }
+            offsets[t0] = hi as RowId;
+        }
+    }
+    tree_growth.push((episodes, tree.num_nodes()));
+
+    let result_tuples = global_results.len() as u64;
+    let result_set_bytes = global_results.byte_size();
+    let total_aux_bytes = tree.byte_size() + result_set_bytes + prepared.index_bytes;
+
+    let result = if timed_out {
+        QueryResult::empty(columns)
+    } else {
+        let tuples = global_results.into_tuples();
+        match skinner_exec::postprocess(&mctx.tables, query, &tuples, &budget) {
+            Ok(r) => r,
+            Err(_) => {
+                timed_out = true;
+                QueryResult::empty(columns)
+            }
+        }
+    };
+
+    let mut order_slice_counts: Vec<(Vec<usize>, u64)> = order_counts
+        .into_iter()
+        .map(|(k, v)| (k.iter().map(|&b| b as usize).collect(), v))
+        .collect();
+    order_slice_counts.sort_by_key(|e| std::cmp::Reverse(e.1));
+
+    let workers = merge_worker_metrics(worker_metrics);
+    ctx.absorb_work(budget.used());
+    ExecOutcome {
+        result,
+        work_units: budget.used(),
+        wall: start.elapsed(),
+        timed_out,
+        metrics: ExecMetrics {
+            order: tree.best_order(),
+            result_tuples,
+            slices: episodes,
+            uct_nodes: tree.num_nodes(),
+            result_set_bytes,
+            total_aux_bytes,
+            tree_growth,
+            order_slice_counts,
+            ..ExecMetrics::default()
+        }
+        .with_counter("threads", threads as u64)
+        .with_counter("episodes", episodes)
+        .with_counter("failed_episodes", failed_episodes)
+        .with_counter("worker_slices", workers.slices)
+        .with_counter("chunks", workers.counter("chunks").unwrap_or(0)),
+    }
+}
+
+/// The parallel learned engine as a pluggable strategy.
+#[derive(Debug, Clone, Default)]
+pub struct ParallelSkinnerStrategy(pub ParallelSkinnerConfig);
+
+impl ExecutionStrategy for ParallelSkinnerStrategy {
+    fn name(&self) -> &str {
+        "parallel_skinner"
+    }
+
+    fn execute(&self, query: &JoinQuery, ctx: &ExecContext) -> ExecOutcome {
+        run_parallel_skinner(query, ctx, &self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skinner_exec::reference::run_reference;
+    use skinner_query::{bind_select, parser::parse_statement, UdfRegistry};
+    use skinner_storage::{schema, Catalog, Value};
+
+    fn setup() -> Catalog {
+        let cat = Catalog::new();
+        let mut a = cat.builder("a", schema![("id", Int), ("g", Int)]);
+        for i in 0..60 {
+            a.push_row(&[Value::Int(i), Value::Int(i % 6)]);
+        }
+        cat.register(a.finish());
+        let mut b = cat.builder("b", schema![("aid", Int), ("w", Int)]);
+        for i in 0..90 {
+            b.push_row(&[Value::Int(i % 60), Value::Int(i % 12)]);
+        }
+        cat.register(b.finish());
+        let mut c = cat.builder("c", schema![("bw", Int)]);
+        for i in 0..12 {
+            c.push_row(&[Value::Int(i)]);
+        }
+        cat.register(c.finish());
+        cat
+    }
+
+    fn bind(sql: &str, cat: &Catalog) -> JoinQuery {
+        let udfs = UdfRegistry::new();
+        match parse_statement(sql).unwrap() {
+            skinner_query::ast::Statement::Select(s) => bind_select(&s, cat, &udfs).unwrap(),
+            _ => unreachable!(),
+        }
+    }
+
+    fn cfg(threads: usize) -> ParallelSkinnerConfig {
+        ParallelSkinnerConfig {
+            threads,
+            batch_tuples: 16,    // small batches → many episodes, even on tiny data
+            min_chunk_tuples: 2, // …still split across all the workers
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn matches_reference_at_every_thread_count() {
+        let cat = setup();
+        for sql in [
+            "SELECT a.id, b.w FROM a, b WHERE a.id = b.aid",
+            "SELECT a.g, COUNT(*) cnt FROM a, b, c \
+             WHERE a.id = b.aid AND b.w = c.bw GROUP BY a.g ORDER BY a.g",
+            "SELECT a.id FROM a WHERE a.g = 3 ORDER BY a.id LIMIT 4",
+            "SELECT a.id FROM a, c WHERE a.id + c.bw = 20",
+        ] {
+            let q = bind(sql, &cat);
+            let expected = run_reference(&q).canonical_rows();
+            for threads in [1, 2, 4] {
+                let out = run_parallel_skinner(&q, &ExecContext::default(), &cfg(threads));
+                assert!(!out.timed_out, "{sql} ({threads} threads)");
+                assert_eq!(
+                    out.result.canonical_rows(),
+                    expected,
+                    "{sql} ({threads} threads)"
+                );
+                assert_eq!(out.metrics.counter("threads"), Some(threads as u64));
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_episodes_learn_through_one_tree() {
+        let cat = setup();
+        let q = bind(
+            "SELECT a.id FROM a, b, c WHERE a.id = b.aid AND b.w = c.bw",
+            &cat,
+        );
+        let out = run_parallel_skinner(&q, &ExecContext::default(), &cfg(2));
+        assert!(!out.timed_out);
+        assert!(out.metrics.slices > 1, "expected several episodes");
+        assert!(out.metrics.uct_nodes >= 1);
+        assert!(!out.metrics.order_slice_counts.is_empty());
+        assert!(out.metrics.counter("chunks").unwrap() >= out.metrics.slices);
+        assert_eq!(out.metrics.order.len(), 3);
+    }
+
+    #[test]
+    fn work_limit_times_out() {
+        let cat = setup();
+        let q = bind("SELECT a.id FROM a, b WHERE a.id = b.aid", &cat);
+        let c = ParallelSkinnerConfig {
+            work_limit: 50,
+            ..cfg(2)
+        };
+        let out = run_parallel_skinner(&q, &ExecContext::default(), &c);
+        assert!(out.timed_out);
+        assert_eq!(out.result.num_rows(), 0);
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_immediately() {
+        let cat = setup();
+        let q = bind("SELECT a.id FROM a, b WHERE a.id = b.aid", &cat);
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let ctx = ExecContext::default().with_cancel(cancel);
+        let out = run_parallel_skinner(&q, &ctx, &cfg(4));
+        assert!(out.timed_out);
+        assert_eq!(out.result.num_rows(), 0);
+    }
+
+    #[test]
+    fn always_false_and_empty_tables_finish_without_episodes() {
+        let cat = setup();
+        let q = bind("SELECT a.id FROM a WHERE 1 = 2", &cat);
+        let out = run_parallel_skinner(&q, &ExecContext::default(), &cfg(2));
+        assert!(!out.timed_out);
+        assert_eq!(out.result.num_rows(), 0);
+        assert_eq!(out.metrics.slices, 0);
+
+        let q = bind(
+            "SELECT a.id FROM a, b WHERE a.id = b.aid AND a.id > 1000",
+            &cat,
+        );
+        let out = run_parallel_skinner(&q, &ExecContext::default(), &cfg(2));
+        assert_eq!(out.result.num_rows(), 0);
+        assert_eq!(out.metrics.slices, 0);
+    }
+
+    #[test]
+    fn single_table_query_works() {
+        let cat = setup();
+        let q = bind(
+            "SELECT a.g, COUNT(*) c FROM a GROUP BY a.g ORDER BY a.g",
+            &cat,
+        );
+        let out = run_parallel_skinner(&q, &ExecContext::default(), &cfg(3));
+        assert_eq!(out.result.num_rows(), 6);
+        assert_eq!(out.result.rows[0][1], Value::Int(10));
+    }
+}

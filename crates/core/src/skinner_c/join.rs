@@ -112,6 +112,35 @@ pub fn continue_join(
     budget: &WorkBudget,
     results: &mut ResultSet,
 ) -> Result<SliceOutcome, Timeout> {
+    continue_join_ranged(
+        ctx,
+        info,
+        state,
+        offsets,
+        max_steps,
+        budget,
+        results,
+        RowId::MAX,
+    )
+}
+
+/// [`continue_join`] restricted to left-most rows `< level0_end`: the
+/// outermost loop finishes once its cursor passes `level0_end` instead of
+/// the table's cardinality. Parallel execution partitions the left-most
+/// table into `[start, end)` chunks and runs one such bounded join per
+/// worker (the chunk's `start` enters through `offsets`); everything below
+/// level 0 is identical to the sequential join.
+#[allow(clippy::too_many_arguments)]
+pub fn continue_join_ranged(
+    ctx: &MultiwayCtx,
+    info: &OrderInfo,
+    state: &mut JoinState,
+    offsets: &[RowId],
+    max_steps: u64,
+    budget: &WorkBudget,
+    results: &mut ResultSet,
+    level0_end: RowId,
+) -> Result<SliceOutcome, Timeout> {
     let m = info.order.len();
     let mut steps = 0u64;
     loop {
@@ -122,7 +151,8 @@ pub fn continue_join(
         budget.charge(1)?;
         let depth = state.depth;
         let ti = info.order[depth];
-        match next_candidate(ctx, info, state, depth, offsets, budget)? {
+        let bound = if depth == 0 { level0_end } else { RowId::MAX };
+        match next_candidate(ctx, info, state, depth, offsets, budget, bound)? {
             None => {
                 // Level exhausted: reset and backtrack.
                 state.s[ti] = offsets[ti];
@@ -162,7 +192,9 @@ pub fn continue_join(
 
 /// Find the next candidate row `>= max(s[ti], offset)` satisfying all
 /// indexable equality predicates at `depth`, leapfrogging across their
-/// posting lists. `None` when the level is exhausted.
+/// posting lists. `None` when the level is exhausted (cardinality or the
+/// caller's `bound`, whichever is lower).
+#[allow(clippy::too_many_arguments)]
 fn next_candidate(
     ctx: &MultiwayCtx,
     info: &OrderInfo,
@@ -170,9 +202,10 @@ fn next_candidate(
     depth: usize,
     offsets: &[RowId],
     budget: &WorkBudget,
+    bound: RowId,
 ) -> Result<Option<RowId>, Timeout> {
     let ti = info.order[depth];
-    let n = ctx.tables[ti].cardinality();
+    let n = ctx.tables[ti].cardinality().min(bound);
     let mut cur = state.s[ti].max(offsets[ti]);
     let jumps = &info.jumps[depth];
     if jumps.is_empty() {
@@ -370,6 +403,41 @@ mod tests {
         // (3,4,5 and none above 8 → rows 3,4,5 plus none) → count them.
         let expected = (0..9).filter(|i| i % 6 >= 3).count();
         assert_eq!(results.len(), expected);
+    }
+
+    #[test]
+    fn ranged_chunks_union_to_the_full_join() {
+        let cat = setup();
+        let q = bind(
+            "SELECT a.id FROM a, b, c WHERE a.id = b.aid AND b.w = c.bw",
+            &cat,
+        );
+        let ctx = ctx_for(&q);
+        let order = [1usize, 0, 2]; // leftmost table b, 9 rows
+        let info = OrderInfo::build(&q, &ctx, &order, true);
+        let budget = WorkBudget::unlimited();
+        let (full, _) = run_to_completion(&q, &order, true);
+        // Split b's rows into 3 chunks and run each to completion.
+        let mut union = ResultSet::new();
+        for (lo, hi) in [(0u32, 3u32), (3, 7), (7, 9)] {
+            let mut offsets = vec![0; q.num_tables()];
+            offsets[1] = lo;
+            let mut state = JoinState::fresh(&offsets);
+            let mut chunk = ResultSet::new();
+            loop {
+                let out = continue_join_ranged(
+                    &ctx, &info, &mut state, &offsets, 8, &budget, &mut chunk, hi,
+                )
+                .unwrap();
+                if out == SliceOutcome::Finished {
+                    break;
+                }
+            }
+            for t in chunk.into_tuples() {
+                assert!(union.insert(&t), "chunks produced overlapping tuple {t:?}");
+            }
+        }
+        assert_eq!(union.len(), full.len());
     }
 
     #[test]

@@ -66,6 +66,38 @@ impl WorkBudget {
         }
     }
 
+    /// Atomically reserve `n` units if — and only if — the whole amount
+    /// still fits under the limit. Returns `false` (leaving `used`
+    /// untouched) otherwise.
+    ///
+    /// Unlike [`WorkBudget::charge`], which records the work it rejects
+    /// (work already done must be accounted), `try_consume` reserves work
+    /// *before* it happens: concurrent consumers can never collectively
+    /// overspend the limit, which makes it the right primitive for handing
+    /// out per-worker quotas from a shared budget.
+    #[inline]
+    pub fn try_consume(&self, n: u64) -> bool {
+        self.used
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |used| {
+                let after = used.checked_add(n)?;
+                (after <= self.limit).then_some(after)
+            })
+            .is_ok()
+    }
+
+    /// Return `n` previously consumed units to the budget (saturating at
+    /// zero). Pairs with [`WorkBudget::try_consume`]: reserve a worst-case
+    /// amount up front, then refund what went unused once the actual
+    /// consumption is known.
+    #[inline]
+    pub fn refund(&self, n: u64) {
+        let _ = self
+            .used
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |used| {
+                Some(used.saturating_sub(n))
+            });
+    }
+
     /// Record `n` intermediate tuples produced (also charges `n` units).
     #[inline]
     pub fn produce_tuples(&self, n: u64) -> Result<(), Timeout> {
@@ -127,6 +159,37 @@ mod tests {
         b.produce_tuples(5).unwrap();
         assert_eq!(b.tuples_produced(), 5);
         assert_eq!(b.used(), 5);
+    }
+
+    #[test]
+    fn try_consume_never_overspends() {
+        let b = WorkBudget::with_limit(10);
+        assert!(b.try_consume(6));
+        assert!(!b.try_consume(5), "6 + 5 exceeds the limit");
+        assert_eq!(b.used(), 6, "failed reservation must not be recorded");
+        assert!(b.try_consume(4));
+        assert!(!b.try_consume(1));
+        assert!(!b.exhausted(), "reservations stop at the limit exactly");
+    }
+
+    #[test]
+    fn refund_returns_reserved_units() {
+        let b = WorkBudget::with_limit(10);
+        assert!(b.try_consume(8));
+        assert!(!b.try_consume(4));
+        b.refund(5); // only 3 of the reservation were actually used
+        assert_eq!(b.used(), 3);
+        assert!(b.try_consume(7));
+        b.refund(100); // over-refund saturates at zero
+        assert_eq!(b.used(), 0);
+    }
+
+    #[test]
+    fn try_consume_handles_huge_requests() {
+        let b = WorkBudget::unlimited();
+        assert!(b.try_consume(u64::MAX - 1));
+        assert!(!b.try_consume(2), "checked_add overflow must fail cleanly");
+        assert!(b.try_consume(1));
     }
 
     #[test]

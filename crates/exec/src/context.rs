@@ -85,6 +85,9 @@ pub struct ExecContext {
     udfs: Arc<UdfRegistry>,
     budget: Arc<WorkBudget>,
     cancel: CancelToken,
+    /// Worker threads parallel strategies may use; `0` = unset, resolved to
+    /// the machine's available parallelism by [`ExecContext::threads`].
+    threads: usize,
 }
 
 impl ExecContext {
@@ -111,6 +114,24 @@ impl ExecContext {
     pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
         self.cancel = cancel;
         self
+    }
+
+    /// Set the worker-thread count parallel strategies should use
+    /// (clamped to at least 1; the session/database `threads` knob lands
+    /// here).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Worker threads for parallel strategies: the configured knob, or the
+    /// machine's available parallelism when unset.
+    pub fn threads(&self) -> usize {
+        if self.threads == 0 {
+            default_threads()
+        } else {
+            self.threads
+        }
     }
 
     /// Statistics for cost-based strategies (SkinnerDB itself never reads
@@ -155,6 +176,14 @@ impl ExecContext {
     }
 }
 
+/// The machine's available parallelism (the default for the `threads`
+/// knob on databases and sessions).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 impl std::fmt::Debug for ExecContext {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ExecContext")
@@ -185,6 +214,17 @@ mod tests {
         let far = CancelToken::with_deadline(Duration::from_secs(3600));
         assert!(!far.is_cancelled());
         assert!(far.deadline().is_some());
+    }
+
+    #[test]
+    fn threads_knob_defaults_to_available_parallelism() {
+        let ctx = ExecContext::new();
+        assert_eq!(ctx.threads(), default_threads());
+        assert!(ctx.threads() >= 1);
+        let ctx = ctx.with_threads(4);
+        assert_eq!(ctx.threads(), 4);
+        // Zero is clamped rather than re-enabling the default.
+        assert_eq!(ExecContext::new().with_threads(0).threads(), 1);
     }
 
     #[test]

@@ -34,13 +34,17 @@
 //! * [`context`] — [`ExecContext`]: stats, UDFs, a shared [`WorkBudget`],
 //!   and a cooperative [`CancelToken`] threaded through the slice loops,
 //! * [`outcome`] — the one shared [`ExecOutcome`] / [`ExecMetrics`] pair
-//!   all strategies report.
+//!   all strategies report,
+//! * [`pool`] — the persistent [`WorkerPool`] plus tuple-range partitioning
+//!   and metric merging used by data-parallel strategies such as
+//!   `parallel_skinner`.
 
 pub mod budget;
 pub mod context;
 pub mod engine;
 pub mod oracle;
 pub mod outcome;
+pub mod pool;
 pub mod postprocess;
 pub mod preprocess;
 pub mod reference;
@@ -49,9 +53,10 @@ pub mod strategy;
 pub mod traditional;
 
 pub use budget::{Timeout, WorkBudget};
-pub use context::{CancelToken, ExecContext};
+pub use context::{default_threads, CancelToken, ExecContext};
 pub use engine::{execute_join, join_step, ExecProfile, JoinOutput};
 pub use outcome::{ExecMetrics, ExecOutcome};
+pub use pool::{merge_worker_metrics, partition_tuples, TupleRange, WorkerPool};
 pub use postprocess::postprocess;
 pub use preprocess::{preprocess, Preprocessed};
 pub use result::QueryResult;

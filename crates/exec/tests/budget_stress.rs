@@ -1,0 +1,144 @@
+//! Concurrency stress and property tests for the shared [`WorkBudget`].
+//!
+//! Many threads hammer `charge` and `try_consume` concurrently; the tests
+//! assert the two accounting guarantees parallel execution relies on:
+//!
+//! * `charge` never loses an update — `used()` is exactly the sum of all
+//!   charges, successful or not;
+//! * `try_consume` never overspends — the sum of *successful* reservations
+//!   never exceeds the limit, under any interleaving.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use skinner_exec::WorkBudget;
+
+/// `threads` workers each attempt `attempts` reservations of size `amount`
+/// against one budget; returns the total successfully reserved.
+fn hammer_try_consume(limit: u64, threads: u64, attempts: u64, amount: u64) -> u64 {
+    let budget = Arc::new(WorkBudget::with_limit(limit));
+    let reserved = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let budget = budget.clone();
+            let reserved = reserved.clone();
+            std::thread::spawn(move || {
+                for _ in 0..attempts {
+                    if budget.try_consume(amount) {
+                        reserved.fetch_add(amount, Ordering::Relaxed);
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let total = reserved.load(Ordering::Relaxed);
+    assert_eq!(
+        budget.used(),
+        total,
+        "used() must reflect exactly the successful reservations"
+    );
+    assert!(!budget.exhausted(), "try_consume must stop at the limit");
+    total
+}
+
+#[test]
+fn try_consume_under_contention_never_overspends() {
+    for (limit, threads, attempts, amount) in [
+        (1_000u64, 8u64, 500u64, 1u64),
+        (999, 8, 500, 7),
+        (64, 16, 64, 8),
+        (10, 4, 1_000, 3),
+    ] {
+        let total = hammer_try_consume(limit, threads, attempts, amount);
+        assert!(total <= limit, "overspent: {total} > {limit}");
+        // With enough attempts the budget is driven to within one grant of
+        // full: no spurious failures leave permanent headroom.
+        if threads * attempts * amount >= limit + amount {
+            assert!(
+                total + amount > limit,
+                "under-filled: {total} of {limit} with grants of {amount}"
+            );
+        }
+    }
+}
+
+#[test]
+fn concurrent_charges_are_never_lost() {
+    let budget = Arc::new(WorkBudget::unlimited());
+    let threads = 8u64;
+    let per_thread = 2_000u64;
+    let handles: Vec<_> = (0..threads)
+        .map(|i| {
+            let budget = budget.clone();
+            std::thread::spawn(move || {
+                for k in 0..per_thread {
+                    // Mixed charge sizes to vary interleavings.
+                    budget.charge(1 + (i + k) % 3).unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let expected: u64 = (0..threads)
+        .map(|i| (0..per_thread).map(|k| 1 + (i + k) % 3).sum::<u64>())
+        .sum();
+    assert_eq!(budget.used(), expected, "lost charge updates");
+}
+
+#[test]
+fn mixed_charge_and_try_consume_accounting_is_exact() {
+    let budget = Arc::new(WorkBudget::with_limit(u64::MAX));
+    let granted = Arc::new(AtomicU64::new(0));
+    let charged = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..8u64)
+        .map(|i| {
+            let budget = budget.clone();
+            let granted = granted.clone();
+            let charged = charged.clone();
+            std::thread::spawn(move || {
+                for k in 0..1_000u64 {
+                    if (i + k) % 2 == 0 {
+                        if budget.try_consume(2) {
+                            granted.fetch_add(2, Ordering::Relaxed);
+                        }
+                    } else {
+                        budget.charge(3).unwrap();
+                        charged.fetch_add(3, Ordering::Relaxed);
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(
+        budget.used(),
+        granted.load(Ordering::Relaxed) + charged.load(Ordering::Relaxed)
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Property: for random limits, thread counts and grant sizes, the sum
+    /// of successful reservations fits the limit and the accounting is
+    /// exact.
+    #[test]
+    fn reservations_fit_limit_for_random_shapes(
+        limit in 1u64..5_000,
+        threads in 2u64..8,
+        attempts in 1u64..200,
+        amount in 1u64..64,
+    ) {
+        let total = hammer_try_consume(limit, threads, attempts, amount);
+        prop_assert!(total <= limit);
+        prop_assert_eq!(total % amount, 0);
+    }
+}

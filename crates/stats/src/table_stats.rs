@@ -1,7 +1,7 @@
 //! Per-table statistics: row counts, per-column distinct counts and ranges.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 use parking_lot::Mutex;
 use skinner_storage::{Column, DataType, Table};
@@ -65,12 +65,23 @@ fn compute_column(c: &Column) -> ColumnStats {
     }
 }
 
-/// Cache of computed statistics keyed by table identity (`Arc` pointer).
+/// Cache of computed statistics keyed by table identity
+/// ([`Table::uid`] — never the `Arc` address, which the allocator can
+/// reuse for a different table after a temp table drops).
 /// Computing distinct counts scans the data, so the traditional optimizer
 /// amortizes it across queries — real systems do the same via `ANALYZE`.
+///
+/// Entries also hold a `Weak` handle to their table; once a table is
+/// dropped (temp-table churn in decomposed-query scripts) its entry is
+/// garbage and gets pruned on the next cache miss, so the cache stays
+/// bounded by the number of *live* tables.
+/// One cache slot: the owning table (weak, for liveness-based pruning)
+/// and its computed statistics.
+type CacheEntry = (Weak<Table>, Arc<TableStats>);
+
 #[derive(Default)]
 pub struct StatsCache {
-    map: Mutex<HashMap<usize, Arc<TableStats>>>,
+    map: Mutex<HashMap<u64, CacheEntry>>,
 }
 
 impl StatsCache {
@@ -80,13 +91,24 @@ impl StatsCache {
 
     /// Stats for `table`, computing on first access.
     pub fn stats_for(&self, table: &Arc<Table>) -> Arc<TableStats> {
-        let key = Arc::as_ptr(table) as usize;
-        if let Some(s) = self.map.lock().get(&key) {
+        let key = table.uid();
+        if let Some((_, s)) = self.map.lock().get(&key) {
             return s.clone();
         }
         let stats = Arc::new(TableStats::compute(table));
-        self.map.lock().insert(key, stats.clone());
+        let mut map = self.map.lock();
+        map.retain(|_, (t, _)| t.strong_count() > 0);
+        map.insert(key, (Arc::downgrade(table), stats.clone()));
         stats
+    }
+
+    /// Number of cached entries (live and not-yet-pruned).
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.lock().is_empty()
     }
 
     /// Drop all cached entries (tests / reloads).
@@ -125,6 +147,53 @@ mod tests {
         assert_eq!(s.column(0).min, 0.0);
         assert_eq!(s.column(0).max, 9.0);
         assert_eq!(s.column(2).max, 49.5);
+    }
+
+    #[test]
+    fn cache_is_keyed_by_table_uid_not_address() {
+        // Regression: temp-table churn used to poison the cache when the
+        // allocator reused a dropped table's address for a new table with a
+        // different schema (index-out-of-bounds in the estimator).
+        let cache = StatsCache::new();
+        for round in 0..50 {
+            let cat = Catalog::new();
+            let ncols = 1 + round % 3;
+            let mut fields = Vec::new();
+            for c in 0..ncols {
+                fields.push(skinner_storage::Field::new(
+                    format!("c{c}"),
+                    skinner_storage::DataType::Int,
+                ));
+            }
+            let mut b = cat.builder("t", skinner_storage::Schema::new(fields));
+            for i in 0..4 {
+                b.push_row(&vec![Value::Int(i); ncols]);
+            }
+            let t = cat.register(b.finish());
+            let s = cache.stats_for(&t);
+            assert_eq!(
+                s.columns.len(),
+                ncols,
+                "stale stats served in round {round}"
+            );
+            drop(t);
+            cat.drop_table("t");
+        }
+        // Dead temp tables are pruned on cache misses, so churn cannot
+        // grow the cache without bound: only entries inserted since the
+        // last miss-triggered prune may linger.
+        assert!(
+            cache.len() <= 2,
+            "cache grew with dropped tables: {} entries",
+            cache.len()
+        );
+    }
+
+    #[test]
+    fn table_uids_are_unique() {
+        let (_cat, t) = table();
+        let filtered = Arc::new(t.gather(&[0, 1], "t_f"));
+        assert_ne!(t.uid(), filtered.uid());
     }
 
     #[test]

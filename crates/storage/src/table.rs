@@ -19,6 +19,18 @@ pub struct Table {
     columns: Vec<Column>,
     interner: Arc<Interner>,
     nrows: usize,
+    /// Process-wide unique id. Caches keyed by table identity (e.g. the
+    /// statistics cache) must use this, never the `Arc` address: a dropped
+    /// temp table's allocation can be reused for a different table, so
+    /// pointer-keyed caches serve stale entries nondeterministically.
+    uid: u64,
+}
+
+/// Source of process-wide unique table ids.
+static NEXT_TABLE_UID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+fn fresh_table_uid() -> u64 {
+    NEXT_TABLE_UID.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
 }
 
 impl Table {
@@ -42,11 +54,18 @@ impl Table {
             columns,
             interner,
             nrows,
+            uid: fresh_table_uid(),
         }
     }
 
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Process-wide unique table id (stable for this table's lifetime,
+    /// never reused).
+    pub fn uid(&self) -> u64 {
+        self.uid
     }
 
     pub fn schema(&self) -> &Schema {
@@ -97,6 +116,7 @@ impl Table {
             columns,
             interner: self.interner.clone(),
             nrows: rows.len(),
+            uid: fresh_table_uid(),
         }
     }
 

@@ -1,0 +1,421 @@
+//! A thread-safe UCT tree shared by parallel workers.
+//!
+//! The paper's multi-threaded SkinnerC configuration splits each time
+//! slice's tuple batches across threads while *all* threads learn through
+//! one UCT tree. [`ConcurrentUctTree`] is that shared tree: the selection
+//! policy is identical to the sequential [`crate::UctTree`] (unvisited
+//! children first, then the upper-confidence bound, random completion below
+//! the materialized frontier), but every counter is atomic and both
+//! [`ConcurrentUctTree::select`] and [`ConcurrentUctTree::backup`] take
+//! `&self`, so any number of threads may interleave them.
+//!
+//! Concurrency design:
+//!
+//! * per-node visit counts are `AtomicU64` (`fetch_add`) and reward sums are
+//!   `f64` bit patterns in an `AtomicU64` updated by a CAS loop — no backup
+//!   is ever lost, so `rounds()` equals the exact number of `backup` calls;
+//! * the node arena grows behind an `RwLock`; selection only reads it, and
+//!   materializing a node briefly takes the write lock, re-checking the
+//!   child slot so a lost race reuses the winner's node instead of leaking
+//!   a duplicate;
+//! * child links only ever transition unmaterialized → materialized
+//!   (release/acquire), so a reader that observes a child id also observes
+//!   the fully constructed node behind it.
+//!
+//! Randomness is caller-owned: each worker passes its own seeded `StdRng`
+//! to `select`, which keeps single-threaded runs deterministic and avoids a
+//! contended global generator.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use skinner_query::{JoinGraph, TableSet};
+
+const UNMATERIALIZED: u32 = u32::MAX;
+
+struct CNode {
+    /// Join-order prefix this node represents.
+    selected: TableSet,
+    /// Eligible next tables, parallel to `child_ids`.
+    child_tables: Vec<u8>,
+    /// Arena ids of materialized children (`u32::MAX` = not materialized).
+    child_ids: Vec<AtomicU32>,
+    visits: AtomicU64,
+    /// Reward sum stored as `f64` bits, updated via CAS.
+    reward_bits: AtomicU64,
+}
+
+impl CNode {
+    fn new(selected: TableSet, graph: &JoinGraph) -> Self {
+        let child_tables: Vec<u8> = graph
+            .eligible_next(selected)
+            .iter()
+            .map(|t| t as u8)
+            .collect();
+        let child_ids = (0..child_tables.len())
+            .map(|_| AtomicU32::new(UNMATERIALIZED))
+            .collect();
+        CNode {
+            selected,
+            child_tables,
+            child_ids,
+            visits: AtomicU64::new(0),
+            reward_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    fn visits(&self) -> u64 {
+        self.visits.load(Ordering::Relaxed)
+    }
+
+    fn reward_sum(&self) -> f64 {
+        f64::from_bits(self.reward_bits.load(Ordering::Relaxed))
+    }
+
+    fn mean_reward(&self) -> f64 {
+        let v = self.visits();
+        if v == 0 {
+            0.0
+        } else {
+            self.reward_sum() / v as f64
+        }
+    }
+
+    fn record(&self, reward: f64) {
+        self.visits.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.reward_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + reward).to_bits();
+            match self.reward_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+/// The shared UCT search tree for one query, usable from many threads.
+pub struct ConcurrentUctTree {
+    graph: JoinGraph,
+    nodes: RwLock<Vec<Arc<CNode>>>,
+    w: f64,
+}
+
+impl ConcurrentUctTree {
+    pub fn new(graph: JoinGraph, exploration_weight: f64) -> Self {
+        let root = Arc::new(CNode::new(TableSet::EMPTY, &graph));
+        ConcurrentUctTree {
+            graph,
+            nodes: RwLock::new(vec![root]),
+            w: exploration_weight,
+        }
+    }
+
+    fn node(&self, id: u32) -> Arc<CNode> {
+        self.nodes.read()[id as usize].clone()
+    }
+
+    /// `UctChoice(T)`: select a complete join order for the next episode,
+    /// materializing at most one new node per call. Safe to call from many
+    /// threads; each caller supplies its own generator.
+    pub fn select(&self, rng: &mut StdRng) -> Vec<usize> {
+        let m = self.graph.num_tables();
+        let mut order = Vec::with_capacity(m);
+        let mut node = self.node(0);
+        let mut expanded = false;
+        loop {
+            if order.len() == m {
+                return order;
+            }
+            let (table, child) = self.select_child(&node, rng);
+            order.push(table);
+            match child {
+                Some(c) => node = self.node(c),
+                None => {
+                    if !expanded {
+                        node = self.materialize(&node, table);
+                        expanded = true;
+                    } else {
+                        // Below the frontier: random completion.
+                        let mut selected = TableSet::from_iter(order.iter().copied());
+                        while order.len() < m {
+                            let eligible: Vec<usize> =
+                                self.graph.eligible_next(selected).iter().collect();
+                            let t = eligible[rng.gen_range(0..eligible.len())];
+                            order.push(t);
+                            selected.insert(t);
+                        }
+                        return order;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pick a child of `node` by the UCT policy (same policy as the
+    /// sequential tree): unvisited children uniformly at random, otherwise
+    /// the maximal upper confidence bound with random tie-breaking.
+    fn select_child(&self, node: &CNode, rng: &mut StdRng) -> (usize, Option<u32>) {
+        debug_assert!(!node.child_tables.is_empty(), "selecting from a leaf");
+        let ids: Vec<u32> = node
+            .child_ids
+            .iter()
+            .map(|c| c.load(Ordering::Acquire))
+            .collect();
+        let unvisited: Vec<usize> = (0..node.child_tables.len())
+            .filter(|&i| ids[i] == UNMATERIALIZED || self.node(ids[i]).visits() == 0)
+            .collect();
+        if !unvisited.is_empty() {
+            let pick = unvisited[rng.gen_range(0..unvisited.len())];
+            let table = node.child_tables[pick] as usize;
+            return (table, (ids[pick] != UNMATERIALIZED).then_some(ids[pick]));
+        }
+        let ln_vp = (node.visits().max(1) as f64).ln();
+        let mut best_score = f64::NEG_INFINITY;
+        let mut best: Vec<usize> = Vec::new();
+        for (i, &id) in ids.iter().enumerate() {
+            let c = self.node(id);
+            // A concurrent backup can race `visits` to a newer value than
+            // the unvisited scan saw; `max(1)` keeps the bound finite.
+            let score = c.mean_reward() + self.w * (ln_vp / c.visits().max(1) as f64).sqrt();
+            if score > best_score + 1e-12 {
+                best_score = score;
+                best.clear();
+                best.push(i);
+            } else if (score - best_score).abs() <= 1e-12 {
+                best.push(i);
+            }
+        }
+        let pick = best[rng.gen_range(0..best.len())];
+        (node.child_tables[pick] as usize, Some(ids[pick]))
+    }
+
+    /// Materialize the child of `parent` for `table`, or return the node
+    /// another thread materialized first.
+    fn materialize(&self, parent: &CNode, table: usize) -> Arc<CNode> {
+        let slot = parent
+            .child_tables
+            .iter()
+            .position(|&t| t as usize == table)
+            .expect("selected child must be eligible");
+        let mut nodes = self.nodes.write();
+        // Re-check under the write lock: a concurrent select may have won.
+        let existing = parent.child_ids[slot].load(Ordering::Acquire);
+        if existing != UNMATERIALIZED {
+            return nodes[existing as usize].clone();
+        }
+        let id = nodes.len() as u32;
+        assert!(id != UNMATERIALIZED, "node arena overflow");
+        let node = Arc::new(CNode::new(parent.selected.with(table), &self.graph));
+        nodes.push(node.clone());
+        parent.child_ids[slot].store(id, Ordering::Release);
+        node
+    }
+
+    /// `RewardUpdate(T, j, r)`: register `reward` (clamped into `[0,1]`)
+    /// along the materialized part of `order`'s path. Lock-free; never
+    /// loses an update, so `rounds()` is exactly the number of calls.
+    pub fn backup(&self, order: &[usize], reward: f64) {
+        let reward = reward.clamp(0.0, 1.0);
+        let mut node = self.node(0);
+        node.record(reward);
+        for &t in order {
+            let Some(slot) = node.child_tables.iter().position(|&x| x as usize == t) else {
+                return; // order left the materialized tree shape
+            };
+            let child = node.child_ids[slot].load(Ordering::Acquire);
+            if child == UNMATERIALIZED {
+                return;
+            }
+            node = self.node(child);
+            node.record(reward);
+        }
+    }
+
+    /// Number of materialized nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.read().len()
+    }
+
+    /// Total rounds played (root visits == number of `backup` calls).
+    pub fn rounds(&self) -> u64 {
+        self.node(0).visits()
+    }
+
+    /// Mean reward currently recorded at the root (diagnostics).
+    pub fn root_mean_reward(&self) -> f64 {
+        self.node(0).mean_reward()
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.nodes
+            .read()
+            .iter()
+            .map(|n| std::mem::size_of::<CNode>() + n.child_tables.len() * 5)
+            .sum()
+    }
+
+    /// The most-visited complete join order; unmaterialized suffixes
+    /// complete greedily by eligibility (mirrors the sequential tree).
+    pub fn best_order(&self) -> Vec<usize> {
+        let m = self.graph.num_tables();
+        let mut order = Vec::with_capacity(m);
+        let mut selected = TableSet::EMPTY;
+        let mut node: Option<Arc<CNode>> = Some(self.node(0));
+        while order.len() < m {
+            let mut picked = None;
+            if let Some(n) = &node {
+                let mut best_visits = 0u64;
+                for i in 0..n.child_tables.len() {
+                    let c = n.child_ids[i].load(Ordering::Acquire);
+                    if c != UNMATERIALIZED {
+                        let child = self.node(c);
+                        let v = child.visits();
+                        if v > best_visits {
+                            best_visits = v;
+                            picked = Some((n.child_tables[i] as usize, child));
+                        }
+                    }
+                }
+            }
+            match picked {
+                Some((t, child)) => {
+                    order.push(t);
+                    selected.insert(t);
+                    node = Some(child);
+                }
+                None => {
+                    let t = self
+                        .graph
+                        .eligible_next(selected)
+                        .iter()
+                        .next()
+                        .expect("incomplete order must have eligible tables");
+                    order.push(t);
+                    selected.insert(t);
+                    node = None;
+                }
+            }
+        }
+        order
+    }
+
+    /// The join graph this tree searches over.
+    pub fn graph(&self) -> &JoinGraph {
+        &self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn chain(n: usize) -> JoinGraph {
+        JoinGraph::new(n, (0..n - 1).map(|i| TableSet::from_iter([i, i + 1])))
+    }
+
+    #[test]
+    fn select_returns_valid_orders() {
+        let g = chain(5);
+        let t = ConcurrentUctTree::new(g.clone(), std::f64::consts::SQRT_2);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let o = t.select(&mut rng);
+            assert!(g.validates(&o), "invalid order {o:?}");
+            t.backup(&o, 0.5);
+        }
+        assert_eq!(t.rounds(), 100);
+    }
+
+    #[test]
+    fn single_threaded_growth_is_one_node_per_round() {
+        let t = ConcurrentUctTree::new(chain(6), std::f64::consts::SQRT_2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut prev = t.num_nodes();
+        for _ in 0..50 {
+            let o = t.select(&mut rng);
+            t.backup(&o, 0.1);
+            let now = t.num_nodes();
+            assert!(now <= prev + 1, "grew by {}", now - prev);
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn converges_to_rewarding_order() {
+        let g = JoinGraph::new(
+            4,
+            [
+                TableSet::from_iter([0, 1]),
+                TableSet::from_iter([0, 2]),
+                TableSet::from_iter([0, 3]),
+            ],
+        );
+        let t = ConcurrentUctTree::new(g, std::f64::consts::SQRT_2);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..600 {
+            let o = t.select(&mut rng);
+            let r = if o[0] == 0 { 1.0 } else { 0.0 };
+            t.backup(&o, r);
+        }
+        assert_eq!(t.best_order()[0], 0);
+    }
+
+    #[test]
+    fn rewards_clamped_and_counted() {
+        let t = ConcurrentUctTree::new(chain(3), std::f64::consts::SQRT_2);
+        let mut rng = StdRng::seed_from_u64(4);
+        let o = t.select(&mut rng);
+        t.backup(&o, 7.0);
+        assert!(t.root_mean_reward() <= 1.0);
+        t.backup(&o, -3.0);
+        assert!(t.root_mean_reward() >= 0.0);
+        assert_eq!(t.rounds(), 2);
+        assert!(t.byte_size() > 0);
+    }
+
+    #[test]
+    fn backup_ignores_off_tree_orders() {
+        let t = ConcurrentUctTree::new(chain(3), std::f64::consts::SQRT_2);
+        t.backup(&[2, 0, 1], 1.0);
+        assert_eq!(t.rounds(), 1);
+    }
+
+    #[test]
+    fn concurrent_select_backup_loses_no_updates() {
+        let t = Arc::new(ConcurrentUctTree::new(chain(6), std::f64::consts::SQRT_2));
+        let threads = 8;
+        let per_thread = 500u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|i| {
+                let t = t.clone();
+                std::thread::spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(0xC0FFEE + i as u64);
+                    for _ in 0..per_thread {
+                        let o = t.select(&mut rng);
+                        assert!(t.graph().validates(&o), "{o:?}");
+                        t.backup(&o, 0.25);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.rounds(), threads as u64 * per_thread);
+        let mean = t.root_mean_reward();
+        assert!((mean - 0.25).abs() < 1e-9, "mean drifted: {mean}");
+        assert!(t.graph().validates(&t.best_order()));
+    }
+}

@@ -16,6 +16,8 @@
 //! * rewards are in `[0,1]`; `w = √2` gives the regret guarantee, but the
 //!   weight is tunable per domain (the paper uses `10⁻⁶` for Skinner-C).
 
+pub mod concurrent;
 pub mod tree;
 
+pub use concurrent::ConcurrentUctTree;
 pub use tree::{UctConfig, UctTree};

@@ -70,6 +70,10 @@ pub struct Database {
     stats: Arc<StatsCache>,
     strategies: Arc<StrategyRegistry>,
     default_strategy: Arc<RwLock<Arc<dyn ExecutionStrategy>>>,
+    /// Worker threads parallel strategies use by default (sessions may
+    /// override per client). Defaults to the machine's available
+    /// parallelism.
+    default_threads: Arc<RwLock<usize>>,
 }
 
 impl Default for Database {
@@ -93,7 +97,20 @@ impl Database {
             stats: Arc::new(StatsCache::new()),
             strategies: Arc::new(builtin_registry()),
             default_strategy: Arc::new(RwLock::new(Strategy::default().build())),
+            default_threads: Arc::new(RwLock::new(skinner_exec::default_threads())),
         }
+    }
+
+    /// Set the default worker-thread count parallel strategies use
+    /// (clamped to at least 1). New and existing sessions without their own
+    /// `threads` setting pick this up on their next statement.
+    pub fn set_default_threads(&self, threads: usize) {
+        *self.default_threads.write() = threads.max(1);
+    }
+
+    /// The default worker-thread count for parallel strategies.
+    pub fn default_threads(&self) -> usize {
+        *self.default_threads.read()
     }
 
     /// Replace the default strategy used by [`Database::query`].
@@ -209,12 +226,13 @@ impl Database {
         self.session().prepare(sql)
     }
 
-    /// A fresh execution context carrying this database's stats and UDFs
-    /// (unlimited budget, no deadline).
+    /// A fresh execution context carrying this database's stats, UDFs and
+    /// thread default (unlimited budget, no deadline).
     pub fn exec_context(&self) -> ExecContext {
         ExecContext::new()
             .with_stats(self.stats.clone())
             .with_udfs(self.udfs.clone())
+            .with_threads(self.default_threads())
     }
 
     /// Run a SQL script with the default strategy and return the last
@@ -455,6 +473,23 @@ mod tests {
         assert!(db.set_default_strategy_named("bogus").is_err());
         db.set_default_strategy(Strategy::default());
         assert_eq!(db.default_strategy().name(), "Skinner-C");
+    }
+
+    #[test]
+    fn thread_knob_defaults_and_overrides() {
+        let db = sample_db();
+        assert_eq!(db.default_threads(), skinner_exec::default_threads());
+        db.set_default_threads(4);
+        assert_eq!(db.default_threads(), 4);
+        assert_eq!(db.exec_context().threads(), 4);
+        db.set_default_threads(0); // clamped
+        assert_eq!(db.default_threads(), 1);
+        // The parallel strategy runs under the knob and agrees with the rest.
+        db.set_default_threads(2);
+        let sql = "SELECT a.id FROM a, b WHERE a.id = b.aid";
+        let par = db.query_with(sql, "parallel_skinner").unwrap();
+        let seq = db.query_with(sql, "Skinner-C").unwrap();
+        assert_eq!(par.canonical_rows(), seq.canonical_rows());
     }
 
     #[test]

@@ -64,6 +64,49 @@
 //! assert_eq!(a.canonical_rows(), b.canonical_rows());
 //! ```
 //!
+//! ## Parallel learned execution
+//!
+//! `parallel_skinner` is the paper's multi-threaded SkinnerC
+//! configuration: each episode's batch of left-most-table tuples is split
+//! across N worker threads executing the same join order, while all
+//! workers learn through **one shared concurrent UCT tree**. The thread
+//! count comes from a knob — [`Database::set_default_threads`] for the
+//! instance default (initially the machine's available parallelism),
+//! [`Session::set_threads`] per client — and determinism is guaranteed
+//! regardless of it: any thread count produces exactly the same result
+//! set (offsets advance only when a batch completes, and the
+//! deduplicating result set makes retries harmless), so `threads` is
+//! purely a performance knob.
+//!
+//! ```
+//! use skinnerdb::{Database, DataType, Value};
+//!
+//! let db = Database::new();
+//! db.create_table(
+//!     "t",
+//!     &[("x", DataType::Int)],
+//!     (0..100).map(|i| vec![Value::Int(i)]).collect(),
+//! )
+//! .unwrap();
+//! db.create_table(
+//!     "u",
+//!     &[("x", DataType::Int)],
+//!     (0..100).map(|i| vec![Value::Int(i % 10)]).collect(),
+//! )
+//! .unwrap();
+//!
+//! let session = db.session();
+//! session.use_strategy("parallel_skinner").unwrap();
+//! session.set_threads(Some(4));
+//! let parallel = session
+//!     .query("SELECT t.x FROM t, u WHERE t.x = u.x")
+//!     .unwrap();
+//!
+//! // Same rows as every sequential strategy, at any thread count.
+//! let sequential = db.query("SELECT t.x FROM t, u WHERE t.x = u.x").unwrap();
+//! assert_eq!(parallel.canonical_rows(), sequential.canonical_rows());
+//! ```
+//!
 //! ## Plugging in your own engine
 //!
 //! The execution API is open: implement
@@ -114,7 +157,8 @@
 //!
 //! ## Crate map
 //!
-//! * [`skinner_core`] — Skinner-C/G/H, the paper's contribution,
+//! * [`skinner_core`] — Skinner-C/G/H and `parallel_skinner`, the paper's
+//!   contribution,
 //! * [`skinner_exec`] — the generic engine, shared pre/post-processing, and
 //!   the execution API ([`ExecutionStrategy`](skinner_exec::ExecutionStrategy),
 //!   [`ExecContext`], [`ExecOutcome`]),

@@ -27,6 +27,10 @@ pub struct SessionSettings {
     pub work_limit: u64,
     /// Wall-clock deadline per statement/script (cooperative).
     pub deadline: Option<Duration>,
+    /// Worker threads for parallel strategies; `None` inherits the
+    /// database default (which itself defaults to the machine's available
+    /// parallelism).
+    pub threads: Option<usize>,
 }
 
 impl Default for SessionSettings {
@@ -34,6 +38,7 @@ impl Default for SessionSettings {
         SessionSettings {
             work_limit: u64::MAX,
             deadline: None,
+            threads: None,
         }
     }
 }
@@ -97,6 +102,12 @@ impl Session {
         self.settings.write().deadline = deadline;
     }
 
+    /// Set how many worker threads parallel strategies may use for this
+    /// session's statements, or `None` to inherit the database default.
+    pub fn set_threads(&self, threads: Option<usize>) {
+        self.settings.write().threads = threads.map(|t| t.max(1));
+    }
+
     /// A fresh [`ExecContext`] reflecting this session's settings.
     pub fn exec_context(&self) -> ExecContext {
         let settings = self.settings();
@@ -141,9 +152,14 @@ fn exec_context_for(db: &Database, settings: SessionSettings) -> ExecContext {
         Some(d) => CancelToken::with_deadline(d),
         None => CancelToken::new(),
     };
-    db.exec_context()
+    let mut ctx = db
+        .exec_context()
         .with_budget(Arc::new(WorkBudget::with_limit(settings.work_limit)))
-        .with_cancel(cancel)
+        .with_cancel(cancel);
+    if let Some(threads) = settings.threads {
+        ctx = ctx.with_threads(threads);
+    }
+    ctx
 }
 
 /// A SELECT statement parsed and bound once, executable many times.
@@ -281,6 +297,24 @@ mod tests {
         assert!(out.timed_out, "expired deadline must yield a timeout");
         session.set_deadline(None);
         assert!(session.query("SELECT t.id FROM t WHERE t.g = 0").is_ok());
+    }
+
+    #[test]
+    fn session_threads_override_database_default() {
+        let db = sample_db();
+        db.set_default_threads(2);
+        let session = db.session();
+        assert_eq!(session.settings().threads, None);
+        assert_eq!(session.exec_context().threads(), 2, "inherits db default");
+        session.set_threads(Some(4));
+        assert_eq!(session.exec_context().threads(), 4);
+        session.use_strategy("parallel_skinner").unwrap();
+        let rows = session
+            .query("SELECT t.g, COUNT(*) c FROM t, u WHERE t.id = u.tid GROUP BY t.g ORDER BY t.g")
+            .unwrap();
+        assert_eq!(rows.num_rows(), 4);
+        session.set_threads(None);
+        assert_eq!(session.exec_context().threads(), 2, "back to db default");
     }
 
     #[test]

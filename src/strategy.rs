@@ -11,8 +11,8 @@ use std::sync::Arc;
 
 use skinner_adaptive::{EddyConfig, EddyStrategy, ReoptimizerConfig, ReoptimizerStrategy};
 use skinner_core::{
-    SkinnerCConfig, SkinnerCStrategy, SkinnerGConfig, SkinnerGStrategy, SkinnerHConfig,
-    SkinnerHStrategy,
+    ParallelSkinnerConfig, ParallelSkinnerStrategy, SkinnerCConfig, SkinnerCStrategy,
+    SkinnerGConfig, SkinnerGStrategy, SkinnerHConfig, SkinnerHStrategy,
 };
 use skinner_exec::{
     ExecutionStrategy, ReferenceStrategy, StrategyRegistry, TraditionalConfig, TraditionalStrategy,
@@ -27,6 +27,10 @@ pub enum Strategy {
     SkinnerG(SkinnerGConfig),
     /// Skinner-H hybrid (Section 4.4).
     SkinnerH(SkinnerHConfig),
+    /// Multi-threaded Skinner-C: episode batches split across worker
+    /// threads, all learning through one shared concurrent UCT tree (the
+    /// paper's parallel configuration, Section 6.1).
+    ParallelSkinner(ParallelSkinnerConfig),
     /// Traditional statistics + DP optimizer + generic engine.
     Traditional(TraditionalConfig),
     /// Reinforcement-learning Eddy baseline.
@@ -50,6 +54,7 @@ impl Strategy {
             Strategy::SkinnerC(_) => "Skinner-C",
             Strategy::SkinnerG(_) => "Skinner-G",
             Strategy::SkinnerH(_) => "Skinner-H",
+            Strategy::ParallelSkinner(_) => "parallel_skinner",
             Strategy::Traditional(_) => "Traditional",
             Strategy::Eddy(_) => "Eddy",
             Strategy::Reoptimizer(_) => "Re-optimizer",
@@ -63,6 +68,7 @@ impl Strategy {
             Strategy::SkinnerC(cfg) => Arc::new(SkinnerCStrategy(cfg.clone())),
             Strategy::SkinnerG(cfg) => Arc::new(SkinnerGStrategy(cfg.clone())),
             Strategy::SkinnerH(cfg) => Arc::new(SkinnerHStrategy(cfg.clone())),
+            Strategy::ParallelSkinner(cfg) => Arc::new(ParallelSkinnerStrategy(cfg.clone())),
             Strategy::Traditional(cfg) => Arc::new(TraditionalStrategy(cfg.clone())),
             Strategy::Eddy(cfg) => Arc::new(EddyStrategy(cfg.clone())),
             Strategy::Reoptimizer(cfg) => Arc::new(ReoptimizerStrategy(cfg.clone())),
@@ -76,6 +82,7 @@ impl Strategy {
             Strategy::SkinnerC(SkinnerCConfig::default()),
             Strategy::SkinnerG(SkinnerGConfig::default()),
             Strategy::SkinnerH(SkinnerHConfig::default()),
+            Strategy::ParallelSkinner(ParallelSkinnerConfig::default()),
             Strategy::Traditional(TraditionalConfig::default()),
             Strategy::Eddy(EddyConfig::default()),
             Strategy::Reoptimizer(ReoptimizerConfig::default()),
@@ -115,7 +122,7 @@ mod tests {
     #[test]
     fn builtin_registry_is_complete() {
         let reg = builtin_registry();
-        assert_eq!(reg.len(), 7);
+        assert_eq!(reg.len(), 8);
         for s in Strategy::all_builtin() {
             assert!(reg.contains(s.name()), "{} missing", s.name());
         }
