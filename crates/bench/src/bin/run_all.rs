@@ -62,6 +62,7 @@ fn main() {
         ("table7_tpch", Box::new(ex::table7_tpch::run)),
         ("ablation_design_choices", Box::new(ex::ablation::run)),
         ("thread_scaling", Box::new(ex::thread_scaling::run)),
+        ("server_throughput", Box::new(ex::server_throughput::run)),
     ];
 
     for (name, f) in jobs {

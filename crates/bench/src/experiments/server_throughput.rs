@@ -1,0 +1,190 @@
+//! Server throughput under concurrent wire clients.
+//!
+//! Starts a real `skinner_server` on a loopback port and hammers it with
+//! 1 / 4 / 16 / 64 concurrent `skinner_client` connections running a
+//! mixed query set, with admission control **on** (concurrency gate sized
+//! to the machine, bounded queue) and **off** (gate effectively
+//! unbounded). Reports queries/sec, p50/p99 latency and how many queries
+//! were load-shed — the point of the comparison: with the gate, overload
+//! turns into explicit shed responses and stable latency instead of an
+//! ever-growing pile of concurrent executions.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use skinner_client::Client;
+use skinner_server::{AdmissionConfig, Server, ServerConfig};
+use skinnerdb::{DataType, Database, Value};
+
+use crate::harness::{fmt_dur, markdown_table, Scale};
+
+const CLIENT_COUNTS: [usize; 4] = [1, 4, 16, 64];
+
+fn bench_db(scale: Scale) -> Database {
+    let n = scale.pick(400u64, 2_000);
+    let db = Database::new();
+    db.create_table(
+        "t",
+        &[("id", DataType::Int), ("g", DataType::Int)],
+        (0..n)
+            .map(|i| vec![Value::Int(i as i64), Value::Int((i % 7) as i64)])
+            .collect(),
+    )
+    .unwrap();
+    db.create_table(
+        "u",
+        &[("tid", DataType::Int), ("w", DataType::Int)],
+        (0..n * 2)
+            .map(|i| vec![Value::Int((i % n) as i64), Value::Int((i % 13) as i64)])
+            .collect(),
+    )
+    .unwrap();
+    db.create_table(
+        "v",
+        &[("uid", DataType::Int)],
+        (0..n)
+            .map(|i| vec![Value::Int(((i * 3) % n) as i64)])
+            .collect(),
+    )
+    .unwrap();
+    db
+}
+
+const QUERIES: [&str; 3] = [
+    "SELECT t.g, COUNT(*) c FROM t, u WHERE t.id = u.tid GROUP BY t.g",
+    "SELECT t.id FROM t, u, v WHERE t.id = u.tid AND u.tid = v.uid AND t.g = 2",
+    "SELECT u.w, COUNT(*) c FROM t, u WHERE t.id = u.tid AND t.g = 1 GROUP BY u.w",
+];
+
+struct RunStats {
+    completed: usize,
+    shed: usize,
+    wall: Duration,
+    latencies: Vec<Duration>,
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// `clients` connections, each running `per_client` queries round-robin.
+fn drive(addr: &str, clients: usize, per_client: usize) -> RunStats {
+    let addr: Arc<str> = addr.into();
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut latencies = Vec::with_capacity(per_client);
+                let mut shed = 0usize;
+                let mut client =
+                    Client::connect_with_retry(&*addr, Duration::from_secs(10)).expect("connect");
+                for i in 0..per_client {
+                    let sql = QUERIES[(c + i) % QUERIES.len()];
+                    let t0 = Instant::now();
+                    match client.query(sql) {
+                        Ok(_) => latencies.push(t0.elapsed()),
+                        Err(e) if e.is_overloaded() => shed += 1,
+                        Err(e) => panic!("unexpected query failure: {e}"),
+                    }
+                }
+                (latencies, shed)
+            })
+        })
+        .collect();
+    let mut latencies = Vec::new();
+    let mut shed = 0;
+    for h in handles {
+        let (l, s) = h.join().expect("client thread");
+        latencies.extend(l);
+        shed += s;
+    }
+    let wall = started.elapsed();
+    latencies.sort();
+    RunStats {
+        completed: latencies.len(),
+        shed,
+        wall,
+        latencies,
+    }
+}
+
+pub fn run(scale: Scale) -> String {
+    let per_client = scale.pick(8, 32);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut out = format!(
+        "## Server throughput — concurrent wire clients vs admission control\n\n\
+         Machine: {cores} core(s). Each client runs {per_client} queries from a\n\
+         3-query mix over one shared database; latency is per completed query.\n\
+         \"gated\" sizes the admission gate to the machine ({} concurrent, queue 32);\n\
+         \"open\" admits everything at once. Shed queries received an explicit\n\
+         Overloaded error (never a hang) and are excluded from latency.\n\n",
+        cores.max(2)
+    );
+    let mut rows = Vec::new();
+    for gated in [true, false] {
+        let admission = if gated {
+            AdmissionConfig {
+                max_concurrent: cores.max(2),
+                queue_depth: 32,
+                queue_timeout: Duration::from_secs(30),
+            }
+        } else {
+            AdmissionConfig {
+                max_concurrent: 1 << 20,
+                queue_depth: 1 << 20,
+                queue_timeout: Duration::from_secs(30),
+            }
+        };
+        let cfg = ServerConfig {
+            max_connections: 1024,
+            admission,
+            ..ServerConfig::default()
+        };
+        for &clients in &CLIENT_COUNTS {
+            let mut server =
+                Server::bind(bench_db(scale), "127.0.0.1:0", cfg.clone()).expect("bind");
+            let addr = server.local_addr().to_string();
+            let stats = drive(&addr, clients, per_client);
+            server.shutdown();
+            let qps = stats.completed as f64 / stats.wall.as_secs_f64().max(1e-9);
+            rows.push(vec![
+                if gated { "gated" } else { "open" }.to_string(),
+                clients.to_string(),
+                stats.completed.to_string(),
+                stats.shed.to_string(),
+                format!("{qps:.0}"),
+                fmt_dur(percentile(&stats.latencies, 0.50)),
+                fmt_dur(percentile(&stats.latencies, 0.99)),
+                fmt_dur(stats.wall),
+            ]);
+        }
+    }
+    out.push_str(&markdown_table(
+        &[
+            "admission",
+            "clients",
+            "completed",
+            "shed",
+            "qps",
+            "p50",
+            "p99",
+            "total",
+        ],
+        &rows,
+    ));
+    out.push_str(
+        "\nReading guide: on a single-core container the two configurations\n\
+         converge (there is no parallelism to protect); on multi-core hardware\n\
+         the gated server holds p99 roughly flat as clients grow, while the\n\
+         open server's tail latency climbs with every additional in-flight\n\
+         query competing for the same cores.\n",
+    );
+    out
+}

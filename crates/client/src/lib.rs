@@ -1,0 +1,322 @@
+//! # skinner_client — the in-repo client for `skinner_server`
+//!
+//! A small blocking client speaking the native length-prefixed protocol
+//! (see `skinner_server`'s crate docs for the wire format). Used by the
+//! integration tests, the throughput benchmark and `examples/`.
+//!
+//! ```no_run
+//! use skinner_client::Client;
+//!
+//! let mut client = Client::connect("127.0.0.1:7878").unwrap();
+//! client.set("strategy", "parallel_skinner").unwrap();
+//! let result = client.query("SELECT n.x FROM nums n WHERE n.x < 3").unwrap();
+//! assert_eq!(result.rows.len(), 3);
+//!
+//! // Out-of-band cancel: grab a handle, run the query elsewhere, cancel.
+//! let handle = client.cancel_handle();
+//! handle.cancel().unwrap();
+//! ```
+
+use std::io::BufWriter;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use skinner_server::protocol::{
+    ErrorCode, QuerySummary, Request, Response, WireError, PROTOCOL_VERSION,
+};
+pub use skinner_server::{QueryResult, Value};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    Io(std::io::Error),
+    /// The server answered with an error frame.
+    Server {
+        code: ErrorCode,
+        message: String,
+    },
+    /// The server broke protocol (unexpected frame for the state).
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error ({code:?}): {message}")
+            }
+            ClientError::Protocol(m) => write!(f, "protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::Io(e) => ClientError::Io(e),
+            WireError::Malformed(m) => ClientError::Protocol(m),
+        }
+    }
+}
+
+impl ClientError {
+    /// The server-side error code, if this is a server error.
+    pub fn code(&self) -> Option<ErrorCode> {
+        match self {
+            ClientError::Server { code, .. } => Some(*code),
+            _ => None,
+        }
+    }
+
+    /// True for load-shed responses (admission control said no).
+    pub fn is_overloaded(&self) -> bool {
+        self.code() == Some(ErrorCode::Overloaded)
+    }
+
+    /// True when the query was cancelled via the out-of-band cancel path.
+    pub fn is_cancelled(&self) -> bool {
+        self.code() == Some(ErrorCode::Cancelled)
+    }
+}
+
+/// A query's result as received over the wire.
+#[derive(Debug)]
+pub struct RemoteResult {
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Value>>,
+    /// Set instead of columns/rows when the session is in text mode.
+    pub text: Option<String>,
+    /// Script totals + per-statement detail from the server.
+    pub summary: QuerySummary,
+}
+
+impl RemoteResult {
+    /// View as the library's [`QueryResult`] (e.g. for `canonical_rows`
+    /// comparisons against in-process execution).
+    pub fn into_query_result(self) -> QueryResult {
+        QueryResult {
+            columns: self.columns,
+            rows: self.rows,
+        }
+    }
+}
+
+/// Credential for cancelling the associated connection's running query
+/// from another thread/connection. Cloneable and independent of the
+/// [`Client`]'s borrow state by design: cancel happens *while* the client
+/// is blocked in [`Client::query`].
+#[derive(Debug, Clone)]
+pub struct CancelHandle {
+    addr: SocketAddr,
+    conn_id: u64,
+    cancel_key: u64,
+}
+
+impl CancelHandle {
+    /// Open a one-shot connection and cancel the target's running query.
+    pub fn cancel(&self) -> Result<(), ClientError> {
+        let stream = TcpStream::connect(self.addr)?;
+        let mut writer = BufWriter::new(stream.try_clone()?);
+        Request::Cancel {
+            conn_id: self.conn_id,
+            key: self.cancel_key,
+        }
+        .write(&mut writer)?;
+        let mut reader = stream;
+        match Response::read(&mut reader)? {
+            Response::Ok => Ok(()),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected cancel response {other:?}"
+            ))),
+        }
+    }
+}
+
+/// A connection to a `skinner-server`.
+pub struct Client {
+    reader: TcpStream,
+    writer: BufWriter<TcpStream>,
+    addr: SocketAddr,
+    conn_id: u64,
+    cancel_key: u64,
+}
+
+impl Client {
+    /// Connect and handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| ClientError::Protocol("address resolved to nothing".into()))?;
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = stream.try_clone()?;
+        let mut client = Client {
+            reader,
+            writer: BufWriter::new(stream),
+            addr,
+            conn_id: 0,
+            cancel_key: 0,
+        };
+        Request::Hello {
+            version: PROTOCOL_VERSION,
+        }
+        .write(&mut client.writer)?;
+        match Response::read(&mut client.reader)? {
+            Response::HelloOk {
+                version: _,
+                conn_id,
+                cancel_key,
+            } => {
+                client.conn_id = conn_id;
+                client.cancel_key = cancel_key;
+                Ok(client)
+            }
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected handshake response {other:?}"
+            ))),
+        }
+    }
+
+    /// Retry [`Client::connect`] until the server comes up or `patience`
+    /// runs out — for tests and scripts racing a server start.
+    pub fn connect_with_retry(
+        addr: impl ToSocketAddrs + Clone,
+        patience: Duration,
+    ) -> Result<Client, ClientError> {
+        let deadline = std::time::Instant::now() + patience;
+        loop {
+            match Client::connect(addr.clone()) {
+                Ok(c) => return Ok(c),
+                Err(e) if std::time::Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+    }
+
+    /// The server-assigned connection id.
+    pub fn conn_id(&self) -> u64 {
+        self.conn_id
+    }
+
+    /// A credential for out-of-band cancellation of this connection.
+    pub fn cancel_handle(&self) -> CancelHandle {
+        CancelHandle {
+            addr: self.addr,
+            conn_id: self.conn_id,
+            cancel_key: self.cancel_key,
+        }
+    }
+
+    /// Run a SQL script (or a `SET`/`SHOW` command) and collect the reply.
+    pub fn query(&mut self, sql: &str) -> Result<RemoteResult, ClientError> {
+        Request::Query {
+            sql: sql.to_string(),
+        }
+        .write(&mut self.writer)?;
+        self.read_result()
+    }
+
+    /// Set a session option (`strategy`, `threads`, `work_limit`,
+    /// `deadline_ms`, `output`).
+    pub fn set(&mut self, key: &str, value: &str) -> Result<(), ClientError> {
+        Request::Set {
+            key: key.to_string(),
+            value: value.to_string(),
+        }
+        .write(&mut self.writer)?;
+        self.expect_ok("set")
+    }
+
+    /// Prepare a SELECT; returns the statement id and output columns.
+    pub fn prepare(&mut self, sql: &str) -> Result<(u32, Vec<String>), ClientError> {
+        Request::Prepare {
+            sql: sql.to_string(),
+        }
+        .write(&mut self.writer)?;
+        match Response::read(&mut self.reader)? {
+            Response::PrepareOk { id, columns } => Ok((id, columns)),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected prepare response {other:?}"
+            ))),
+        }
+    }
+
+    /// Execute a prepared statement.
+    pub fn execute(&mut self, id: u32) -> Result<RemoteResult, ClientError> {
+        Request::Execute { id }.write(&mut self.writer)?;
+        self.read_result()
+    }
+
+    /// Drop a prepared statement.
+    pub fn close(&mut self, id: u32) -> Result<(), ClientError> {
+        Request::Close { id }.write(&mut self.writer)?;
+        self.expect_ok("close")
+    }
+
+    /// Ask the server to shut down gracefully (drain + join + exit).
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        Request::Shutdown.write(&mut self.writer)?;
+        self.expect_ok("shutdown")
+    }
+
+    fn expect_ok(&mut self, what: &str) -> Result<(), ClientError> {
+        match Response::read(&mut self.reader)? {
+            Response::Ok => Ok(()),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected {what} response {other:?}"
+            ))),
+        }
+    }
+
+    fn read_result(&mut self) -> Result<RemoteResult, ClientError> {
+        let mut columns: Vec<String> = Vec::new();
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        let mut text: Option<String> = None;
+        loop {
+            match Response::read(&mut self.reader)? {
+                // SET and friends answered through Query: an empty result.
+                Response::Ok => {
+                    return Ok(RemoteResult {
+                        columns,
+                        rows,
+                        text,
+                        summary: QuerySummary::default(),
+                    })
+                }
+                Response::RowHeader { columns: c } => columns = c,
+                Response::RowBatch { rows: mut batch } => rows.append(&mut batch),
+                Response::Text { text: t } => text = Some(t),
+                Response::Done { summary } => {
+                    return Ok(RemoteResult {
+                        columns,
+                        rows,
+                        text,
+                        summary,
+                    })
+                }
+                Response::Error { code, message } => {
+                    return Err(ClientError::Server { code, message })
+                }
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "unexpected result frame {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,454 @@
+//! End-to-end loopback tests: a real `Server` on an ephemeral port, real
+//! TCP clients, concurrency, admission control, cancellation, shutdown.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use skinner_client::Client;
+use skinner_server::protocol::{ErrorCode, Request, Response, PROTOCOL_VERSION};
+use skinner_server::{AdmissionConfig, Server, ServerConfig};
+use skinnerdb::{DataType, Database, Value};
+
+/// Shared fixture schema: a join pair (t, u), a mid-size table for slow
+/// queries and a big one for torture queries.
+fn fixture_db() -> Database {
+    let db = Database::new();
+    db.create_table(
+        "t",
+        &[("id", DataType::Int), ("g", DataType::Int)],
+        (0..60)
+            .map(|i| vec![Value::Int(i), Value::Int(i % 5)])
+            .collect(),
+    )
+    .unwrap();
+    db.create_table(
+        "u",
+        &[("tid", DataType::Int), ("w", DataType::Float)],
+        (0..90)
+            .map(|i| vec![Value::Int(i % 60), Value::Float(i as f64 / 2.0)])
+            .collect(),
+    )
+    .unwrap();
+    db.create_table(
+        "mid",
+        &[("x", DataType::Int)],
+        (0..400).map(|i| vec![Value::Int(i)]).collect(),
+    )
+    .unwrap();
+    db.create_table(
+        "big",
+        &[("x", DataType::Int)],
+        (0..1500).map(|i| vec![Value::Int(i)]).collect(),
+    )
+    .unwrap();
+    db
+}
+
+fn start(cfg: ServerConfig) -> (Server, String) {
+    let server = Server::bind(fixture_db(), "127.0.0.1:0", cfg).expect("bind ephemeral port");
+    let addr = server.local_addr().to_string();
+    (server, addr)
+}
+
+fn default_server() -> (Server, String) {
+    start(ServerConfig::default())
+}
+
+/// Cross join big³ with non-equi predicates: ~3×10⁹ tuple combinations.
+/// Minutes of work — only ever run to be cancelled or deadlined.
+const TORTURE: &str = "SELECT COUNT(*) c FROM big a, big b, big c \
+                       WHERE a.x <= b.x AND b.x <= c.x";
+
+/// A query slow enough (~hundreds of ms) to hold an admission slot.
+const SLOW: &str = "SELECT COUNT(*) c FROM mid a, mid b, mid c \
+                    WHERE a.x <= b.x AND b.x <= c.x";
+
+const QUERIES: [&str; 3] = [
+    "SELECT t.g, COUNT(*) c FROM t, u WHERE t.id = u.tid GROUP BY t.g ORDER BY t.g",
+    "SELECT t.id FROM t, u WHERE t.id = u.tid AND t.g = 1",
+    "SELECT u.w FROM t, u WHERE t.id = u.tid AND t.g = 2 ORDER BY u.w",
+];
+
+#[test]
+fn sixteen_concurrent_clients_match_in_process_execution() {
+    let (mut server, addr) = default_server();
+    let db = server.database().clone();
+    // Ground truth computed in-process, per query.
+    let expected: Vec<Vec<String>> = QUERIES
+        .iter()
+        .map(|q| db.query_with(q, "reference").unwrap().canonical_rows())
+        .collect();
+    let expected = Arc::new(expected);
+    let strategies = ["skinner-c", "traditional", "parallel_skinner", "skinner-g"];
+    let handles: Vec<_> = (0..16)
+        .map(|i| {
+            let addr = addr.clone();
+            let expected = expected.clone();
+            let strategy = strategies[i % strategies.len()];
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&*addr).expect("connect");
+                client.set("strategy", strategy).unwrap();
+                for (q, want) in QUERIES.iter().zip(expected.iter()) {
+                    let got = client.query(q).expect("query over the wire");
+                    assert!(got.summary.wall_micros > 0);
+                    assert_eq!(
+                        &got.into_query_result().canonical_rows(),
+                        want,
+                        "client {i} ({strategy}) diverged on {q}"
+                    );
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn per_statement_summaries_cross_the_wire() {
+    let (mut server, addr) = default_server();
+    let mut client = Client::connect(&addr).unwrap();
+    let script = "CREATE TEMP TABLE e2e_sums AS \
+                  SELECT t.g grp, COUNT(*) c FROM t, u WHERE t.id = u.tid GROUP BY t.g; \
+                  SELECT s.grp, s.c FROM e2e_sums s ORDER BY s.grp; \
+                  DROP TABLE e2e_sums;";
+    let r = client.query(script).unwrap();
+    assert_eq!(r.rows.len(), 5);
+    assert_eq!(r.summary.statements.len(), 3, "one summary per statement");
+    let stmts = &r.summary.statements;
+    assert!(stmts[0].work_units > 0 && stmts[1].work_units > 0);
+    assert_eq!(stmts[0].order.len(), 2, "learned join order reported");
+    assert_eq!(stmts[2].work_units, 0, "DROP does no work");
+    assert_eq!(
+        r.summary.work_units,
+        stmts.iter().map(|s| s.work_units).sum::<u64>()
+    );
+    server.shutdown();
+}
+
+#[test]
+fn prepared_statements_roundtrip_over_the_wire() {
+    let (mut server, addr) = default_server();
+    let mut client = Client::connect(&addr).unwrap();
+    let (id, columns) = client
+        .prepare("SELECT t.g, COUNT(*) c FROM t, u WHERE t.id = u.tid GROUP BY t.g")
+        .unwrap();
+    assert_eq!(columns, vec!["t.g".to_string(), "c".to_string()]);
+    let first = client.execute(id).unwrap().into_query_result();
+    let second = client.execute(id).unwrap().into_query_result();
+    assert_eq!(first.canonical_rows(), second.canonical_rows());
+    assert_eq!(first.num_rows(), 5);
+    client.close(id).unwrap();
+    let gone = client.execute(id);
+    assert!(matches!(
+        gone.unwrap_err().code(),
+        Some(ErrorCode::UnknownStatement)
+    ));
+    // Bad SQL at prepare time is a clean error, not a dropped connection.
+    assert!(client.prepare("SELECT nope.x FROM t").is_err());
+    assert_eq!(
+        client.query(QUERIES[1]).unwrap().summary.statements.len(),
+        1
+    );
+    server.shutdown();
+}
+
+#[test]
+fn set_show_and_text_mode() {
+    let (mut server, addr) = default_server();
+    let mut client = Client::connect(&addr).unwrap();
+    // SQL-style SET through Query, wire-style through Set.
+    client.query("SET strategy = 'traditional'").unwrap();
+    client.set("deadline_ms", "30000").unwrap();
+    assert!(client.set("strategy", "bogus").is_err());
+    assert!(client.query("SET bogus = 1").is_err());
+    // SHOW STRATEGIES lists the registry.
+    let strategies = client.query("SHOW STRATEGIES").unwrap();
+    let names: Vec<String> = strategies
+        .rows
+        .iter()
+        .map(|r| r[0].as_str().unwrap().to_string())
+        .collect();
+    assert!(names.iter().any(|n| n == "parallel_skinner"));
+    assert!(names.iter().any(|n| n == "Skinner-C"));
+    // Text mode: one rendered table instead of row batches.
+    client.set("output", "text").unwrap();
+    let r = client.query(QUERIES[0]).unwrap();
+    let text = r.text.expect("text-mode response");
+    assert!(text.contains("t.g"), "header rendered: {text}");
+    assert!(text.contains("(5 row(s))"), "footer rendered: {text}");
+    assert!(r.rows.is_empty());
+    client.set("output", "binary").unwrap();
+    // Back in binary mode, rows flow again.
+    assert_eq!(client.query(QUERIES[1]).unwrap().rows.len(), 18);
+    // SHOW SERVER STATS: counters and per-strategy aggregates.
+    let stats = client
+        .query("SHOW SERVER STATS")
+        .unwrap()
+        .into_query_result();
+    let metric = |name: &str| -> i64 {
+        stats
+            .rows
+            .iter()
+            .find(|r| r[0].as_str() == Some(name))
+            .unwrap_or_else(|| panic!("metric {name} missing"))[1]
+            .as_i64()
+            .unwrap()
+    };
+    assert!(metric("queries_total") >= 2);
+    assert_eq!(metric("active_connections"), 1);
+    assert!(metric("strategy.Traditional.queries") >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn wire_cancel_aborts_a_torture_query_promptly() {
+    let (mut server, addr) = default_server();
+    let mut client = Client::connect(&addr).unwrap();
+    let handle = client.cancel_handle();
+    // Cancelling an idle connection is harmless …
+    handle.cancel().unwrap();
+    // … and must not taint the next query.
+    assert_eq!(client.query(QUERIES[1]).unwrap().rows.len(), 18);
+
+    let started = Instant::now();
+    let runner = std::thread::spawn(move || {
+        let err = client.query(TORTURE).expect_err("torture must not finish");
+        (err, client)
+    });
+    // Let the query get going, then cancel from outside.
+    std::thread::sleep(Duration::from_millis(300));
+    let cancelled_at = Instant::now();
+    handle.cancel().expect("cancel is acknowledged");
+    let (err, mut client) = runner.join().unwrap();
+    let latency = cancelled_at.elapsed();
+    assert!(
+        err.is_cancelled(),
+        "expected Cancelled, got {err} after {:?}",
+        started.elapsed()
+    );
+    assert!(
+        latency < Duration::from_secs(1),
+        "cancel took {latency:?}, want < 1s"
+    );
+    // The connection survives and serves the next query.
+    assert_eq!(client.query(QUERIES[1]).unwrap().rows.len(), 18);
+    server.shutdown();
+}
+
+#[test]
+fn cancel_while_queued_at_the_admission_gate_is_not_lost() {
+    let (mut server, addr) = start(ServerConfig {
+        admission: AdmissionConfig {
+            max_concurrent: 1,
+            queue_depth: 4,
+            queue_timeout: Duration::from_secs(60),
+        },
+        ..ServerConfig::default()
+    });
+    // Occupy the only slot with a torture query.
+    let mut holder = Client::connect(&addr).unwrap();
+    let holder_handle = holder.cancel_handle();
+    let holder_thread = std::thread::spawn(move || {
+        let _ = holder.query(TORTURE);
+    });
+    std::thread::sleep(Duration::from_millis(200));
+    // A second query queues behind it; cancel it while it waits.
+    let mut queued = Client::connect(&addr).unwrap();
+    let queued_handle = queued.cancel_handle();
+    let queued_thread = std::thread::spawn(move || queued.query(QUERIES[0]));
+    std::thread::sleep(Duration::from_millis(200));
+    queued_handle.cancel().expect("cancel acknowledged");
+    // Free the slot so the queued query gets admitted — it must then
+    // abort as cancelled instead of silently executing.
+    holder_handle.cancel().unwrap();
+    holder_thread.join().unwrap();
+    let err = queued_thread
+        .join()
+        .unwrap()
+        .expect_err("a cancelled queued query must not run");
+    assert!(err.is_cancelled(), "got {err}");
+    server.shutdown();
+}
+
+#[test]
+fn deadline_timeouts_are_reported_as_timeout_not_cancel() {
+    let (mut server, addr) = default_server();
+    let mut client = Client::connect(&addr).unwrap();
+    client.set("deadline_ms", "100").unwrap();
+    let err = client.query(TORTURE).expect_err("deadline must trip");
+    assert_eq!(err.code(), Some(ErrorCode::Timeout), "got {err}");
+    client.set("deadline_ms", "none").unwrap();
+    client.set("work_limit", "50").unwrap();
+    let err = client.query(QUERIES[0]).expect_err("work limit must trip");
+    assert_eq!(err.code(), Some(ErrorCode::Timeout));
+    server.shutdown();
+}
+
+#[test]
+fn bad_cancel_credentials_are_rejected() {
+    let (mut server, addr) = default_server();
+    let client = Client::connect(&addr).unwrap();
+    // Speak the protocol manually with a wrong key.
+    let stream = std::net::TcpStream::connect(&addr).unwrap();
+    Request::Cancel {
+        conn_id: client.conn_id(),
+        key: 0xbad,
+    }
+    .write(&mut &stream)
+    .unwrap();
+    match Response::read(&mut &stream).unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::Protocol),
+        other => panic!("expected rejection, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn oversubscribed_burst_sheds_explicitly_and_never_hangs() {
+    let (mut server, addr) = start(ServerConfig {
+        admission: AdmissionConfig {
+            max_concurrent: 1,
+            queue_depth: 1,
+            queue_timeout: Duration::from_millis(200),
+        },
+        ..ServerConfig::default()
+    });
+    let clients = 6;
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&*addr).unwrap();
+                match client.query(SLOW) {
+                    Ok(r) => {
+                        assert_eq!(r.rows.len(), 1, "a completed SLOW returns one row");
+                        Ok(())
+                    }
+                    Err(e) => Err(e),
+                }
+            })
+        })
+        .collect();
+    let mut completed = 0;
+    let mut shed = 0;
+    for h in handles {
+        match h.join().unwrap() {
+            Ok(()) => completed += 1,
+            Err(e) => {
+                assert!(
+                    e.is_overloaded(),
+                    "overload must shed with Overloaded, got {e}"
+                );
+                shed += 1;
+            }
+        }
+    }
+    assert_eq!(completed + shed, clients);
+    assert!(completed >= 1, "the slot holder must finish");
+    assert!(shed >= 1, "an oversubscribed burst must shed");
+    assert!(
+        started.elapsed() < Duration::from_secs(60),
+        "overload must resolve promptly, not hang"
+    );
+    // The shed counter is visible in SHOW SERVER STATS.
+    let mut probe = Client::connect(&addr).unwrap();
+    let stats = probe
+        .query("SHOW SERVER STATS")
+        .unwrap()
+        .into_query_result();
+    let shed_row = stats
+        .rows
+        .iter()
+        .find(|r| r[0].as_str() == Some("shed_total"))
+        .unwrap();
+    assert!(shed_row[1].as_i64().unwrap() >= shed as i64);
+    server.shutdown();
+}
+
+#[test]
+fn connection_limit_is_enforced_with_an_explicit_error() {
+    let (mut server, addr) = start(ServerConfig {
+        max_connections: 2,
+        ..ServerConfig::default()
+    });
+    let _a = Client::connect(&addr).unwrap();
+    let _b = Client::connect(&addr).unwrap();
+    // Give the acceptor a moment to account for both.
+    std::thread::sleep(Duration::from_millis(100));
+    let c = Client::connect(&addr);
+    match c {
+        Err(e) => assert_eq!(e.code(), Some(ErrorCode::TooManyConnections), "got {e}"),
+        Ok(_) => panic!("third connection must be refused"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_joins_all_threads_and_refuses_new_work() {
+    let (mut server, addr) = default_server();
+    // One idle client and one mid-handshake client exist while we stop.
+    let _idle = Client::connect(&addr).unwrap();
+    let _idle2 = Client::connect(&addr).unwrap();
+    let t0 = Instant::now();
+    server.shutdown(); // must join acceptor + connection threads
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "shutdown must not hang on idle connections"
+    );
+    // Fresh connections are refused once the server is gone.
+    assert!(Client::connect(&addr).is_err());
+    // Idempotent.
+    server.shutdown();
+}
+
+#[test]
+fn wire_level_shutdown_drains_the_server() {
+    let (mut server, addr) = default_server();
+    let mut client = Client::connect(&addr).unwrap();
+    assert_eq!(client.query(QUERIES[1]).unwrap().rows.len(), 18);
+    client.shutdown_server().expect("shutdown acknowledged");
+    let t0 = Instant::now();
+    server.wait(); // returns once the wire request lands and all threads join
+    assert!(t0.elapsed() < Duration::from_secs(10));
+    assert!(Client::connect(&addr).is_err());
+}
+
+#[test]
+fn shutdown_cancels_running_queries_promptly() {
+    let (mut server, addr) = default_server();
+    let mut client = Client::connect(&addr).unwrap();
+    let runner = std::thread::spawn(move || {
+        // Either a Cancelled/ShuttingDown error or a broken connection is
+        // acceptable — what matters is that it returns promptly.
+        let _ = client.query(TORTURE);
+    });
+    std::thread::sleep(Duration::from_millis(300));
+    let t0 = Instant::now();
+    server.shutdown();
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "shutdown must interrupt a torture query, took {:?}",
+        t0.elapsed()
+    );
+    runner.join().unwrap();
+}
+
+#[test]
+fn protocol_version_mismatch_is_refused() {
+    let (mut server, addr) = default_server();
+    let stream = std::net::TcpStream::connect(&addr).unwrap();
+    Request::Hello {
+        version: PROTOCOL_VERSION + 999,
+    }
+    .write(&mut &stream)
+    .unwrap();
+    match Response::read(&mut &stream).unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::Protocol),
+        other => panic!("expected version refusal, got {other:?}"),
+    }
+    server.shutdown();
+}

@@ -1,0 +1,79 @@
+//! Integration suite against an *externally started* `skinner-server`
+//! binary (CI's clean-shutdown job). Skipped unless `SKINNER_SERVER_ADDR`
+//! is set; the server must have been started with `--demo`.
+//!
+//! ```sh
+//! cargo run --release -p skinner_server --bin skinner-server -- \
+//!     --addr 127.0.0.1:7979 --demo &
+//! SKINNER_SERVER_ADDR=127.0.0.1:7979 cargo test -p skinner_client --test live_server
+//! wait $!   # exits 0 only if the server joined all threads
+//! ```
+
+use std::time::{Duration, Instant};
+
+use skinner_client::Client;
+
+/// One test driving the whole session so ordering is deterministic: query
+/// → SET strategy → prepared → cancel → stats → shutdown.
+#[test]
+fn live_server_suite() {
+    let Ok(addr) = std::env::var("SKINNER_SERVER_ADDR") else {
+        eprintln!("SKINNER_SERVER_ADDR not set; skipping live-server suite");
+        return;
+    };
+    let mut client = Client::connect_with_retry(addr.as_str(), Duration::from_secs(15))
+        .expect("server must come up within 15s");
+
+    // Demo-schema query under two strategies; results must agree.
+    let sql = "SELECT c.country, COUNT(*) n FROM customers c, orders o \
+               WHERE c.id = o.customer_id GROUP BY c.country ORDER BY c.country";
+    let learned = client.query(sql).expect("query").into_query_result();
+    client.set("strategy", "traditional").unwrap();
+    let traditional = client.query(sql).unwrap().into_query_result();
+    assert_eq!(learned.canonical_rows(), traditional.canonical_rows());
+    assert_eq!(learned.num_rows(), 3);
+    client.set("strategy", "skinner-c").unwrap();
+
+    // Prepared statements.
+    let (id, _) = client
+        .prepare("SELECT o.quantity FROM orders o, products p WHERE p.id = o.product_id")
+        .unwrap();
+    let a = client.execute(id).unwrap().into_query_result();
+    let b = client.execute(id).unwrap().into_query_result();
+    assert_eq!(a.canonical_rows(), b.canonical_rows());
+    client.close(id).unwrap();
+
+    // Wire-level cancel of a torture query on a second connection.
+    let mut victim = Client::connect(addr.as_str()).unwrap();
+    let handle = victim.cancel_handle();
+    let torture = "SELECT COUNT(*) c FROM nums a, nums b, nums c \
+                   WHERE a.x <= b.x AND b.x <= c.x";
+    let runner = std::thread::spawn(move || victim.query(torture));
+    std::thread::sleep(Duration::from_millis(400));
+    let t0 = Instant::now();
+    handle.cancel().expect("cancel acknowledged");
+    let err = runner
+        .join()
+        .unwrap()
+        .expect_err("torture must be cancelled");
+    assert!(err.is_cancelled(), "got {err}");
+    assert!(t0.elapsed() < Duration::from_secs(1), "{:?}", t0.elapsed());
+
+    // Stats reflect the traffic.
+    let stats = client
+        .query("SHOW SERVER STATS")
+        .unwrap()
+        .into_query_result();
+    let queries_total = stats
+        .rows
+        .iter()
+        .find(|r| r[0].as_str() == Some("queries_total"))
+        .expect("queries_total metric")[1]
+        .as_i64()
+        .unwrap();
+    assert!(queries_total >= 4, "saw {queries_total}");
+
+    // Graceful remote shutdown: the binary must now drain, join every
+    // thread and exit 0 — the shell harness asserts the exit code.
+    client.shutdown_server().expect("shutdown acknowledged");
+}

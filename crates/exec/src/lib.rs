@@ -52,7 +52,7 @@ pub mod result;
 pub mod strategy;
 pub mod traditional;
 
-pub use budget::{Timeout, WorkBudget};
+pub use budget::{Timeout, WorkBudget, WorkPermit};
 pub use context::{default_threads, CancelToken, ExecContext};
 pub use engine::{execute_join, join_step, ExecProfile, JoinOutput};
 pub use outcome::{ExecMetrics, ExecOutcome};

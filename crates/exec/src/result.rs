@@ -59,48 +59,6 @@ impl QueryResult {
     pub fn ordered_rows(&self) -> Vec<String> {
         self.rows.iter().map(|r| row_string(r)).collect()
     }
-
-    /// Pretty-print as an aligned text table (examples and harness output).
-    pub fn to_table_string(&self, max_rows: usize) -> String {
-        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
-        let shown = self.rows.len().min(max_rows);
-        let cells: Vec<Vec<String>> = self.rows[..shown]
-            .iter()
-            .map(|r| r.iter().map(format_value).collect())
-            .collect();
-        for row in &cells {
-            for (i, c) in row.iter().enumerate() {
-                widths[i] = widths[i].max(c.len());
-            }
-        }
-        let mut out = String::new();
-        for (i, c) in self.columns.iter().enumerate() {
-            out.push_str(&format!("{:<w$}  ", c, w = widths[i]));
-        }
-        out.push('\n');
-        for (i, _) in self.columns.iter().enumerate() {
-            out.push_str(&"-".repeat(widths[i]));
-            out.push_str("  ");
-        }
-        out.push('\n');
-        for row in &cells {
-            for (i, c) in row.iter().enumerate() {
-                out.push_str(&format!("{:<w$}  ", c, w = widths[i]));
-            }
-            out.push('\n');
-        }
-        if self.rows.len() > shown {
-            out.push_str(&format!("… ({} more rows)\n", self.rows.len() - shown));
-        }
-        out
-    }
-}
-
-fn format_value(v: &Value) -> String {
-    match v {
-        Value::Float(x) => format!("{x:.4}"),
-        other => other.to_string(),
-    }
 }
 
 fn row_string(row: &[Value]) -> String {
@@ -166,18 +124,5 @@ mod tests {
         assert_eq!(r.column_index("missing"), None);
         let owned: Vec<Vec<Value>> = r.into_rows().collect();
         assert_eq!(owned.len(), 2);
-    }
-
-    #[test]
-    fn table_rendering_truncates() {
-        let r = QueryResult {
-            columns: vec!["a".into(), "b".into()],
-            rows: (0..5)
-                .map(|i| vec![Value::Int(i), Value::from("x")])
-                .collect(),
-        };
-        let s = r.to_table_string(2);
-        assert!(s.contains("3 more rows"));
-        assert!(s.starts_with("a"));
     }
 }

@@ -1,0 +1,331 @@
+//! Server-level admission control.
+//!
+//! A global concurrency gate built on the library's [`WorkBudget`]: the
+//! budget's limit is the number of queries allowed to execute at once, and
+//! each admitted query holds a one-unit [`WorkPermit`] that returns to the
+//! budget when the query finishes (RAII). Arrivals beyond the limit wait
+//! in a *bounded* queue; once the queue is full — or a queued arrival
+//! outwaits [`AdmissionConfig::queue_timeout`] — the query is load-shed
+//! with an explicit `Overloaded` error instead of piling up. Overload
+//! therefore degrades predictably: at most `max_concurrent` queries run,
+//! at most `queue_depth` wait, everyone else is told to back off.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use skinnerdb::skinner_exec::{WorkBudget, WorkPermit};
+
+/// Gate sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionConfig {
+    /// Queries allowed to execute concurrently across all connections.
+    pub max_concurrent: usize,
+    /// Arrivals allowed to wait for a slot before load shedding starts.
+    pub queue_depth: usize,
+    /// How long a queued arrival waits before being shed.
+    pub queue_timeout: Duration,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_concurrent: skinnerdb::skinner_exec::default_threads().max(2),
+            queue_depth: 64,
+            queue_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Outcome of asking the gate for a slot.
+pub enum Admission {
+    /// Run now; drop the permit when the query finishes.
+    Granted(WorkPermit),
+    /// Load-shed: the queue was full, or the wait timed out.
+    Shed(ShedReason),
+}
+
+/// Why a query was shed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    QueueFull,
+    QueueTimeout,
+    /// The gate was closed (server shutting down); nothing is admitted.
+    Closed,
+}
+
+impl ShedReason {
+    pub fn message(&self, cfg: &AdmissionConfig) -> String {
+        match self {
+            ShedReason::QueueFull => format!(
+                "server overloaded: {} queries running and {} queued; retry later",
+                cfg.max_concurrent, cfg.queue_depth
+            ),
+            ShedReason::QueueTimeout => format!(
+                "server overloaded: no execution slot freed within {:?}; retry later",
+                cfg.queue_timeout
+            ),
+            ShedReason::Closed => "server is shutting down".into(),
+        }
+    }
+}
+
+/// The gate itself. Cheap to share (`Arc` inside).
+pub struct AdmissionGate {
+    cfg: AdmissionConfig,
+    slots: Arc<WorkBudget>,
+    queued: Mutex<usize>,
+    freed: Condvar,
+    shed_total: AtomicU64,
+    admitted_total: AtomicU64,
+    closed: std::sync::atomic::AtomicBool,
+}
+
+impl AdmissionGate {
+    pub fn new(cfg: AdmissionConfig) -> Self {
+        AdmissionGate {
+            slots: Arc::new(WorkBudget::with_limit(cfg.max_concurrent.max(1) as u64)),
+            cfg,
+            queued: Mutex::new(0),
+            freed: Condvar::new(),
+            shed_total: AtomicU64::new(0),
+            admitted_total: AtomicU64::new(0),
+            closed: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// Close the gate (shutdown): every queued waiter and every future
+    /// arrival is shed immediately with [`ShedReason::Closed`].
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        let _guard = self.queued.lock().unwrap();
+        self.freed.notify_all();
+    }
+
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.cfg
+    }
+
+    /// Ask for an execution slot, waiting in the bounded queue if needed.
+    pub fn admit(&self) -> Admission {
+        if self.closed.load(Ordering::SeqCst) {
+            self.shed_total.fetch_add(1, Ordering::Relaxed);
+            return Admission::Shed(ShedReason::Closed);
+        }
+        if let Some(permit) = self.slots.acquire(1) {
+            self.admitted_total.fetch_add(1, Ordering::Relaxed);
+            return Admission::Granted(permit);
+        }
+        // Queue up — but only if there is room.
+        {
+            let mut queued = self.queued.lock().unwrap();
+            if *queued >= self.cfg.queue_depth {
+                self.shed_total.fetch_add(1, Ordering::Relaxed);
+                return Admission::Shed(ShedReason::QueueFull);
+            }
+            *queued += 1;
+        }
+        let admission = self.wait_for_slot();
+        *self.queued.lock().unwrap() -= 1;
+        if matches!(admission, Admission::Shed(_)) {
+            self.shed_total.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.admitted_total.fetch_add(1, Ordering::Relaxed);
+        }
+        admission
+    }
+
+    fn wait_for_slot(&self) -> Admission {
+        let deadline = Instant::now() + self.cfg.queue_timeout;
+        let mut guard = self.queued.lock().unwrap();
+        loop {
+            if self.closed.load(Ordering::SeqCst) {
+                return Admission::Shed(ShedReason::Closed);
+            }
+            if let Some(permit) = self.slots.acquire(1) {
+                return Admission::Granted(permit);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Admission::Shed(ShedReason::QueueTimeout);
+            }
+            let (g, timeout) = self.freed.wait_timeout(guard, deadline - now).unwrap();
+            guard = g;
+            if timeout.timed_out() {
+                // One last try before giving up (a slot may have freed
+                // exactly at the deadline).
+                return match self.slots.acquire(1) {
+                    Some(permit) => Admission::Granted(permit),
+                    None => Admission::Shed(ShedReason::QueueTimeout),
+                };
+            }
+        }
+    }
+
+    /// Called when an admitted query finishes (after its permit dropped)
+    /// so a queued arrival can claim the freed slot. [`SlotGuard`] does
+    /// this automatically.
+    pub fn on_release(&self) {
+        // Take the queue lock before notifying: a waiter holds it between
+        // its failed `acquire` and its `wait`, so locking here makes the
+        // notify impossible to lose in that window.
+        let _guard = self.queued.lock().unwrap();
+        self.freed.notify_one();
+    }
+
+    /// Queries currently holding an execution slot.
+    pub fn active(&self) -> u64 {
+        self.slots.used()
+    }
+
+    /// Arrivals currently waiting in the queue.
+    pub fn queued(&self) -> usize {
+        *self.queued.lock().unwrap()
+    }
+
+    /// Total queries shed since startup.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_total.load(Ordering::Relaxed)
+    }
+
+    /// Total queries admitted since startup.
+    pub fn admitted_total(&self) -> u64 {
+        self.admitted_total.load(Ordering::Relaxed)
+    }
+}
+
+/// RAII guard pairing the slot permit with the wake-up: dropping it frees
+/// the slot *and* notifies one queued waiter.
+pub struct SlotGuard {
+    gate: Arc<AdmissionGate>,
+    permit: Option<WorkPermit>,
+}
+
+impl SlotGuard {
+    pub fn new(gate: Arc<AdmissionGate>, permit: WorkPermit) -> Self {
+        SlotGuard {
+            gate,
+            permit: Some(permit),
+        }
+    }
+}
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        self.permit.take(); // refund the slot first …
+        self.gate.on_release(); // … then wake a waiter.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn gate(max_concurrent: usize, queue_depth: usize, timeout_ms: u64) -> Arc<AdmissionGate> {
+        Arc::new(AdmissionGate::new(AdmissionConfig {
+            max_concurrent,
+            queue_depth,
+            queue_timeout: Duration::from_millis(timeout_ms),
+        }))
+    }
+
+    #[test]
+    fn grants_up_to_capacity_then_sheds_past_queue() {
+        let g = gate(2, 0, 50);
+        let a = g.admit();
+        let b = g.admit();
+        assert!(matches!(a, Admission::Granted(_)));
+        assert!(matches!(b, Admission::Granted(_)));
+        // Queue depth 0: third arrival is shed immediately.
+        match g.admit() {
+            Admission::Shed(ShedReason::QueueFull) => {}
+            _ => panic!("expected immediate shed"),
+        }
+        assert_eq!(g.shed_total(), 1);
+        assert_eq!(g.active(), 2);
+    }
+
+    #[test]
+    fn released_slot_admits_a_queued_waiter() {
+        let g = gate(1, 4, 5_000);
+        let first = match g.admit() {
+            Admission::Granted(p) => SlotGuard::new(g.clone(), p),
+            _ => panic!(),
+        };
+        let g2 = g.clone();
+        let waiter = std::thread::spawn(move || match g2.admit() {
+            Admission::Granted(_) => true,
+            Admission::Shed(_) => false,
+        });
+        // Give the waiter time to enqueue, then free the slot.
+        while g.queued() == 0 {
+            std::thread::yield_now();
+        }
+        drop(first);
+        assert!(waiter.join().unwrap(), "waiter must inherit the freed slot");
+        assert_eq!(g.shed_total(), 0);
+    }
+
+    #[test]
+    fn queued_waiters_time_out_to_shed() {
+        let g = gate(1, 4, 30);
+        let _hold = match g.admit() {
+            Admission::Granted(p) => SlotGuard::new(g.clone(), p),
+            _ => panic!(),
+        };
+        let started = Instant::now();
+        match g.admit() {
+            Admission::Shed(ShedReason::QueueTimeout) => {}
+            _ => panic!("expected queue timeout"),
+        }
+        assert!(started.elapsed() >= Duration::from_millis(25));
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "shed must be prompt, not a hang"
+        );
+    }
+
+    #[test]
+    fn closing_the_gate_sheds_waiters_and_arrivals() {
+        let g = gate(1, 4, 60_000);
+        let _hold = match g.admit() {
+            Admission::Granted(p) => SlotGuard::new(g.clone(), p),
+            _ => panic!(),
+        };
+        let g2 = g.clone();
+        let waiter = std::thread::spawn(move || g2.admit());
+        while g.queued() == 0 {
+            std::thread::yield_now();
+        }
+        g.close();
+        assert!(matches!(
+            waiter.join().unwrap(),
+            Admission::Shed(ShedReason::Closed)
+        ));
+        assert!(matches!(g.admit(), Admission::Shed(ShedReason::Closed)));
+    }
+
+    #[test]
+    fn queue_is_bounded() {
+        let g = gate(1, 1, 400);
+        let _hold = match g.admit() {
+            Admission::Granted(p) => SlotGuard::new(g.clone(), p),
+            _ => panic!(),
+        };
+        let g2 = g.clone();
+        let queued = std::thread::spawn(move || matches!(g2.admit(), Admission::Shed(_)));
+        while g.queued() == 0 {
+            std::thread::yield_now();
+        }
+        // Queue of 1 is occupied: the next arrival is shed instantly.
+        match g.admit() {
+            Admission::Shed(ShedReason::QueueFull) => {}
+            _ => panic!("expected queue-full shed"),
+        }
+        // The queued waiter eventually times out too (slot never freed
+        // while _hold lives).
+        assert!(queued.join().unwrap());
+        assert_eq!(g.shed_total(), 2);
+    }
+}

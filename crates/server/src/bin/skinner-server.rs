@@ -1,0 +1,173 @@
+//! The `skinner-server` binary: serve a SkinnerDB instance over TCP.
+//!
+//! ```sh
+//! skinner-server --addr 127.0.0.1:7878 --demo
+//! skinner-server --addr 0.0.0.0:7878 --csv people=data/people.csv --csv orders=data/orders.csv
+//! ```
+//!
+//! The process runs until it receives a wire-level `Shutdown` request
+//! (e.g. `skinner_client::Client::shutdown_server`), then drains, joins
+//! every thread and exits 0 — which is what the CI clean-shutdown check
+//! asserts.
+
+use std::time::Duration;
+
+use skinner_server::{AdmissionConfig, Server, ServerConfig};
+use skinnerdb::{DataType, Database, Value};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: skinner-server [--addr HOST:PORT] [--demo] [--csv NAME=PATH]...\n\
+         \x20                     [--max-conns N] [--max-queries N] [--queue N]\n\
+         \x20                     [--queue-timeout-ms N] [--threads N] [--no-remote-shutdown]\n\
+         \n\
+         --addr                listen address (default 127.0.0.1:7878)\n\
+         --demo                load the built-in demo tables (nums, customers, products, orders)\n\
+         --csv NAME=PATH       load a CSV file as table NAME (repeatable)\n\
+         --max-conns N         connection limit (default 256)\n\
+         --max-queries N       concurrently executing queries (default: cores)\n\
+         --queue N             admission queue depth (default 64)\n\
+         --queue-timeout-ms N  max wait for an execution slot (default 10000)\n\
+         --threads N           default worker threads per parallel query\n\
+         --no-remote-shutdown  ignore wire-level Shutdown requests"
+    );
+    std::process::exit(2);
+}
+
+fn demo_tables(db: &Database) {
+    // A numbers table big enough that a 3-way cross join is a torture
+    // query (cancellation demos), …
+    db.create_table(
+        "nums",
+        &[("x", DataType::Int)],
+        (0..2000).map(|i| vec![Value::Int(i)]).collect(),
+    )
+    .unwrap();
+    // … and a small star schema for sensible queries.
+    db.create_table(
+        "customers",
+        &[
+            ("id", DataType::Int),
+            ("name", DataType::Str),
+            ("country", DataType::Str),
+        ],
+        vec![
+            vec![Value::Int(1), Value::from("ada"), Value::from("uk")],
+            vec![Value::Int(2), Value::from("grace"), Value::from("us")],
+            vec![Value::Int(3), Value::from("edsger"), Value::from("nl")],
+        ],
+    )
+    .unwrap();
+    db.create_table(
+        "products",
+        &[
+            ("id", DataType::Int),
+            ("label", DataType::Str),
+            ("price", DataType::Float),
+        ],
+        vec![
+            vec![Value::Int(10), Value::from("keyboard"), Value::Float(49.5)],
+            vec![Value::Int(11), Value::from("monitor"), Value::Float(199.0)],
+            vec![Value::Int(12), Value::from("mouse"), Value::Float(25.0)],
+        ],
+    )
+    .unwrap();
+    db.create_table(
+        "orders",
+        &[
+            ("id", DataType::Int),
+            ("customer_id", DataType::Int),
+            ("product_id", DataType::Int),
+            ("quantity", DataType::Int),
+        ],
+        (0..200)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::Int(1 + i % 3),
+                    Value::Int(10 + i % 3),
+                    Value::Int(1 + (i * 7) % 5),
+                ]
+            })
+            .collect(),
+    )
+    .unwrap();
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut cfg = ServerConfig::default();
+    let mut admission = AdmissionConfig::default();
+    let db = Database::new();
+
+    let mut args = std::env::args().skip(1);
+    let expect = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        args.next().unwrap_or_else(|| {
+            eprintln!("missing value for {flag}");
+            usage()
+        })
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = expect(&mut args, "--addr"),
+            "--demo" => demo_tables(&db),
+            "--csv" => {
+                let spec = expect(&mut args, "--csv");
+                let Some((name, path)) = spec.split_once('=') else {
+                    eprintln!("--csv expects NAME=PATH, got {spec:?}");
+                    usage();
+                };
+                if let Err(e) = db.load_csv(name, path) {
+                    eprintln!("cannot load {path}: {e}");
+                    std::process::exit(1);
+                }
+                eprintln!("loaded table {name} from {path}");
+            }
+            "--max-conns" => {
+                cfg.max_connections = expect(&mut args, "--max-conns")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--max-queries" => {
+                admission.max_concurrent = expect(&mut args, "--max-queries")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--queue" => {
+                admission.queue_depth = expect(&mut args, "--queue")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--queue-timeout-ms" => {
+                admission.queue_timeout = Duration::from_millis(
+                    expect(&mut args, "--queue-timeout-ms")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                )
+            }
+            "--threads" => db.set_default_threads(
+                expect(&mut args, "--threads")
+                    .parse()
+                    .unwrap_or_else(|_| usage()),
+            ),
+            "--no-remote-shutdown" => cfg.allow_remote_shutdown = false,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+    cfg.admission = admission;
+
+    let mut server = match Server::bind(db, addr.as_str(), cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("skinner-server listening on {}", server.local_addr());
+    server.wait();
+    println!("skinner-server: drained and joined all threads, bye");
+}

@@ -1,0 +1,88 @@
+//! # skinner_server — SkinnerDB as a standalone database server
+//!
+//! The paper describes SkinnerDB as a system clients submit queries to;
+//! this crate is that serving layer over the embedded library: a TCP
+//! server (std only — no external dependencies) that maps each client
+//! connection to its own [`skinnerdb::Session`] over one shared
+//! [`skinnerdb::Database`], with server-level admission control so
+//! overload degrades predictably.
+//!
+//! ```no_run
+//! use skinner_server::{Server, ServerConfig};
+//! use skinnerdb::Database;
+//!
+//! let db = Database::new();
+//! // … create tables …
+//! let mut server = Server::bind(db, "127.0.0.1:7878", ServerConfig::default()).unwrap();
+//! server.wait(); // serve until a wire-level Shutdown arrives
+//! ```
+//!
+//! The in-repo client is the `skinner_client` crate; the `skinner-server`
+//! binary in this crate starts a server from the command line.
+//!
+//! ## Wire protocol
+//!
+//! Frames are a little-endian `u32` payload length followed by the
+//! payload; the payload's first byte is the message tag (see
+//! [`protocol`]). Strings are length-prefixed UTF-8; values carry a
+//! one-byte type tag (int / float / string). The flow:
+//!
+//! 1. **Handshake** — the client opens a TCP connection and sends
+//!    `Hello{version}`; the server answers `HelloOk{version, conn_id,
+//!    cancel_key}`. The `(conn_id, cancel_key)` pair is this connection's
+//!    cancellation credential.
+//! 2. **Queries** — `Query{sql}` runs a SQL script under the connection's
+//!    session. The server streams back `RowHeader{columns}`, zero or more
+//!    `RowBatch{rows}`, and a final `Done{summary}` carrying script totals
+//!    plus per-statement work/wall/episode metrics. Failures produce a
+//!    single `Error{code, message}` instead.
+//! 3. **Session options** — `Set{key, value}` (or a SQL-style `SET key =
+//!    value` through `Query`) adjusts the session: `strategy` (any
+//!    registered engine, e.g. `skinner-c`, `traditional`,
+//!    `parallel_skinner`), `threads`, `work_limit`, `deadline_ms`, and the
+//!    wire-level `output` (`binary` row batches or `text` — one rendered
+//!    table per query, via the library's shared renderer).
+//! 4. **Prepared statements** — `Prepare{sql}` → `PrepareOk{id, columns}`
+//!    binds a SELECT once; `Execute{id}` runs it (streaming like Query);
+//!    `Close{id}` drops it.
+//! 5. **Cancel** — out-of-band, Postgres style: while a query runs on
+//!    connection A, the client opens a *new* connection and sends
+//!    `Cancel{conn_id, cancel_key}` as its only message. The server trips
+//!    connection A's cooperative cancel token; A's query stops at its next
+//!    slice boundary and A receives `Error{Cancelled}` promptly. The
+//!    credential check stops third parties from cancelling other people's
+//!    queries.
+//! 6. **Introspection** — `SHOW SERVER STATS` (through `Query`) returns a
+//!    `metric | value` table: active/total connections, queued and shed
+//!    queries, and per-strategy aggregates (queries, learning episodes,
+//!    result tuples ≈ cumulative reward, work units, wall time). `SHOW
+//!    STRATEGIES` lists the registry.
+//! 7. **Shutdown** — `Shutdown` (ack `Ok`) drains the server: the
+//!    admission gate closes (queued queries shed with `ShuttingDown`),
+//!    running queries are cancelled, sockets are shut, and every thread —
+//!    acceptor and per-connection handlers — is joined before the process
+//!    exits.
+//!
+//! ## Admission control
+//!
+//! A global [`admission::AdmissionGate`] (a one-unit-per-query
+//! [`skinnerdb::skinner_exec::WorkBudget`] used as a concurrency gate)
+//! admits at most `max_concurrent` queries; up to `queue_depth` more wait
+//! (bounded, with a timeout); everything beyond that is refused with
+//! `Error{Overloaded}` immediately. Connections above `max_connections`
+//! are likewise refused at accept time with `TooManyConnections`.
+
+pub mod admission;
+pub mod protocol;
+pub mod server;
+pub mod stats;
+
+pub use admission::{Admission, AdmissionConfig, AdmissionGate, ShedReason};
+pub use protocol::{
+    ErrorCode, QuerySummary, Request, Response, StatementSummary, WireError, PROTOCOL_VERSION,
+};
+pub use server::{Server, ServerConfig};
+pub use stats::{ServerStats, StrategyAgg};
+
+// The value/result types that cross the wire, for client-side use.
+pub use skinnerdb::{QueryResult, Value};

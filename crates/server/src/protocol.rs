@@ -1,0 +1,685 @@
+//! The native wire protocol: length-prefixed frames over TCP.
+//!
+//! Every message is one *frame*: a little-endian `u32` payload length
+//! followed by the payload, whose first byte is the message tag. Integers
+//! are little-endian; strings are a `u32` byte length plus UTF-8 bytes;
+//! values are a one-byte type tag (1 = int, 2 = float, 3 = string)
+//! followed by the scalar. Frames are capped at [`MAX_FRAME`] bytes — a
+//! peer announcing a larger frame is a protocol error, never an
+//! allocation.
+//!
+//! See the crate-level docs for the full message flow; the short version:
+//!
+//! ```text
+//! client                          server
+//!   Hello{version}          →
+//!                           ←      HelloOk{version, conn_id, cancel_key}
+//!   Query{sql}              →
+//!                           ←      RowHeader{columns}
+//!                           ←      RowBatch{rows}   (0..n frames)
+//!                           ←      Done{summary}    (or Error{code,msg})
+//!   Cancel{conn_id, key}    →      (first frame of a *separate* connection)
+//!                           ←      Ok
+//! ```
+
+use std::io::{Read, Write};
+
+use skinnerdb::Value;
+
+/// Protocol version spoken by this crate.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Hard cap on a single frame's payload (16 MiB). Row batches are sized
+/// well under this by the server.
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Rows per `RowBatch` frame the server emits.
+pub const ROWS_PER_BATCH: usize = 256;
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Must be the first message on a connection (except [`Request::Cancel`]).
+    Hello { version: u32 },
+    /// Run a SQL script; also carries `SET`/`SHOW` commands.
+    Query { sql: String },
+    /// Parse + bind a SELECT once; returns a statement id.
+    Prepare { sql: String },
+    /// Execute a previously prepared statement.
+    Execute { id: u32 },
+    /// Drop a prepared statement.
+    Close { id: u32 },
+    /// Set a session option without going through SQL text.
+    Set { key: String, value: String },
+    /// Out-of-band cancel: sent as the *only* message of a fresh
+    /// connection, aborts the query running on connection `conn_id` if
+    /// `key` matches the secret from that connection's handshake.
+    Cancel { conn_id: u64, key: u64 },
+    /// Ask the server to shut down gracefully (drain, join, exit).
+    Shutdown,
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    HelloOk {
+        version: u32,
+        conn_id: u64,
+        cancel_key: u64,
+    },
+    /// Generic acknowledgement (SET, Cancel, Shutdown).
+    Ok,
+    PrepareOk {
+        id: u32,
+        columns: Vec<String>,
+    },
+    RowHeader {
+        columns: Vec<String>,
+    },
+    RowBatch {
+        rows: Vec<Vec<Value>>,
+    },
+    /// Terminates a successful query; carries per-statement detail.
+    Done {
+        summary: QuerySummary,
+    },
+    /// A query answered in text mode (`SET output = text`): one rendered
+    /// table instead of header/batches, still terminated by `Done`.
+    Text {
+        text: String,
+    },
+    Error {
+        code: ErrorCode,
+        message: String,
+    },
+}
+
+/// Wire-level error classes, so clients can react without string matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Parse/bind/option errors — the SQL itself is at fault.
+    Sql = 1,
+    /// Work limit or deadline exceeded.
+    Timeout = 2,
+    /// Cancelled via the out-of-band cancel message.
+    Cancelled = 3,
+    /// Load shed: admission queue full or admission wait timed out.
+    Overloaded = 4,
+    /// Malformed frame / message out of order.
+    Protocol = 5,
+    /// Server is shutting down.
+    ShuttingDown = 6,
+    /// Connection limit reached.
+    TooManyConnections = 7,
+    /// Unknown prepared-statement id.
+    UnknownStatement = 8,
+}
+
+impl ErrorCode {
+    fn from_u16(x: u16) -> Option<ErrorCode> {
+        use ErrorCode::*;
+        Some(match x {
+            1 => Sql,
+            2 => Timeout,
+            3 => Cancelled,
+            4 => Overloaded,
+            5 => Protocol,
+            6 => ShuttingDown,
+            7 => TooManyConnections,
+            8 => UnknownStatement,
+            _ => return None,
+        })
+    }
+}
+
+/// Per-query execution summary, with one entry per script statement.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QuerySummary {
+    pub work_units: u64,
+    pub wall_micros: u64,
+    pub statements: Vec<StatementSummary>,
+}
+
+/// One script statement's own numbers (the satellite fix in the library:
+/// scripts report per-statement metrics, and the server forwards them).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StatementSummary {
+    pub rows: u64,
+    pub work_units: u64,
+    pub wall_micros: u64,
+    /// Learning-engine episodes (time slices) the statement ran.
+    pub slices: u64,
+    /// Join order the statement executed/converged to (table positions).
+    pub order: Vec<u32>,
+}
+
+/// Errors arising while reading or decoding a frame.
+#[derive(Debug)]
+pub enum WireError {
+    Io(std::io::Error),
+    /// Malformed payload, unknown tag, or an oversized frame.
+    Malformed(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "io: {e}"),
+            WireError::Malformed(m) => write!(f, "malformed frame: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+fn malformed(msg: impl Into<String>) -> WireError {
+    WireError::Malformed(msg.into())
+}
+
+// ---- primitive encoders -------------------------------------------------
+
+struct Enc(Vec<u8>);
+
+impl Enc {
+    fn new(tag: u8) -> Self {
+        Enc(vec![tag])
+    }
+    fn u8(&mut self, x: u8) {
+        self.0.push(x);
+    }
+    fn u16(&mut self, x: u16) {
+        self.0.extend_from_slice(&x.to_le_bytes());
+    }
+    fn u32(&mut self, x: u32) {
+        self.0.extend_from_slice(&x.to_le_bytes());
+    }
+    fn u64(&mut self, x: u64) {
+        self.0.extend_from_slice(&x.to_le_bytes());
+    }
+    fn f64(&mut self, x: f64) {
+        self.0.extend_from_slice(&x.to_bits().to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.0.extend_from_slice(s.as_bytes());
+    }
+    fn value(&mut self, v: &Value) {
+        match v {
+            Value::Int(i) => {
+                self.u8(1);
+                self.u64(*i as u64);
+            }
+            Value::Float(x) => {
+                self.u8(2);
+                self.f64(*x);
+            }
+            Value::Str(s) => {
+                self.u8(3);
+                self.str(s);
+            }
+        }
+    }
+}
+
+// ---- primitive decoders -------------------------------------------------
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| malformed("truncated payload"))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    fn str(&mut self) -> Result<String, WireError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| malformed("string is not UTF-8"))
+    }
+    fn value(&mut self) -> Result<Value, WireError> {
+        match self.u8()? {
+            1 => Ok(Value::Int(self.u64()? as i64)),
+            2 => Ok(Value::Float(self.f64()?)),
+            3 => Ok(Value::from(self.str()?.as_str())),
+            t => Err(malformed(format!("unknown value tag {t}"))),
+        }
+    }
+    fn finish(self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(malformed("trailing bytes in payload"))
+        }
+    }
+}
+
+// ---- framing ------------------------------------------------------------
+
+fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), WireError> {
+    // Enforced on the write side too (not just on read): an oversized
+    // frame must fail loudly here, before half a header desyncs the peer.
+    if payload.len() as u64 > MAX_FRAME as u64 {
+        return Err(malformed(format!(
+            "refusing to write a {}-byte frame (MAX_FRAME is {MAX_FRAME})",
+            payload.len()
+        )));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, WireError> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME {
+        return Err(malformed(format!("frame of {len} bytes exceeds MAX_FRAME")));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+// ---- message codecs -----------------------------------------------------
+
+impl Request {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e;
+        match self {
+            Request::Hello { version } => {
+                e = Enc::new(0x01);
+                e.u32(*version);
+            }
+            Request::Query { sql } => {
+                e = Enc::new(0x02);
+                e.str(sql);
+            }
+            Request::Prepare { sql } => {
+                e = Enc::new(0x03);
+                e.str(sql);
+            }
+            Request::Execute { id } => {
+                e = Enc::new(0x04);
+                e.u32(*id);
+            }
+            Request::Close { id } => {
+                e = Enc::new(0x05);
+                e.u32(*id);
+            }
+            Request::Set { key, value } => {
+                e = Enc::new(0x06);
+                e.str(key);
+                e.str(value);
+            }
+            Request::Cancel { conn_id, key } => {
+                e = Enc::new(0x07);
+                e.u64(*conn_id);
+                e.u64(*key);
+            }
+            Request::Shutdown => e = Enc::new(0x08),
+        }
+        e.0
+    }
+
+    pub fn decode(payload: &[u8]) -> Result<Request, WireError> {
+        let mut d = Dec::new(payload);
+        let req = match d.u8()? {
+            0x01 => Request::Hello { version: d.u32()? },
+            0x02 => Request::Query { sql: d.str()? },
+            0x03 => Request::Prepare { sql: d.str()? },
+            0x04 => Request::Execute { id: d.u32()? },
+            0x05 => Request::Close { id: d.u32()? },
+            0x06 => Request::Set {
+                key: d.str()?,
+                value: d.str()?,
+            },
+            0x07 => Request::Cancel {
+                conn_id: d.u64()?,
+                key: d.u64()?,
+            },
+            0x08 => Request::Shutdown,
+            t => return Err(malformed(format!("unknown request tag {t:#x}"))),
+        };
+        d.finish()?;
+        Ok(req)
+    }
+
+    /// Write this request as one frame.
+    pub fn write(&self, w: &mut impl Write) -> Result<(), WireError> {
+        write_frame(w, &self.encode())
+    }
+
+    /// Read one request frame.
+    pub fn read(r: &mut impl Read) -> Result<Request, WireError> {
+        Request::decode(&read_frame(r)?)
+    }
+}
+
+impl Response {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e;
+        match self {
+            Response::HelloOk {
+                version,
+                conn_id,
+                cancel_key,
+            } => {
+                e = Enc::new(0x81);
+                e.u32(*version);
+                e.u64(*conn_id);
+                e.u64(*cancel_key);
+            }
+            Response::Ok => e = Enc::new(0x82),
+            Response::PrepareOk { id, columns } => {
+                e = Enc::new(0x83);
+                e.u32(*id);
+                e.u32(columns.len() as u32);
+                for c in columns {
+                    e.str(c);
+                }
+            }
+            Response::RowHeader { columns } => {
+                e = Enc::new(0x84);
+                e.u32(columns.len() as u32);
+                for c in columns {
+                    e.str(c);
+                }
+            }
+            Response::RowBatch { rows } => {
+                e = Enc::new(0x85);
+                e.u32(rows.len() as u32);
+                for row in rows {
+                    e.u32(row.len() as u32);
+                    for v in row {
+                        e.value(v);
+                    }
+                }
+            }
+            Response::Done { summary } => {
+                e = Enc::new(0x86);
+                e.u64(summary.work_units);
+                e.u64(summary.wall_micros);
+                e.u32(summary.statements.len() as u32);
+                for s in &summary.statements {
+                    e.u64(s.rows);
+                    e.u64(s.work_units);
+                    e.u64(s.wall_micros);
+                    e.u64(s.slices);
+                    e.u32(s.order.len() as u32);
+                    for &t in &s.order {
+                        e.u32(t);
+                    }
+                }
+            }
+            Response::Text { text } => {
+                e = Enc::new(0x87);
+                e.str(text);
+            }
+            Response::Error { code, message } => {
+                e = Enc::new(0x88);
+                e.u16(*code as u16);
+                e.str(message);
+            }
+        }
+        e.0
+    }
+
+    pub fn decode(payload: &[u8]) -> Result<Response, WireError> {
+        let mut d = Dec::new(payload);
+        let resp = match d.u8()? {
+            0x81 => Response::HelloOk {
+                version: d.u32()?,
+                conn_id: d.u64()?,
+                cancel_key: d.u64()?,
+            },
+            0x82 => Response::Ok,
+            0x83 => {
+                let id = d.u32()?;
+                let n = d.u32()? as usize;
+                let mut columns = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    columns.push(d.str()?);
+                }
+                Response::PrepareOk { id, columns }
+            }
+            0x84 => {
+                let n = d.u32()? as usize;
+                let mut columns = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    columns.push(d.str()?);
+                }
+                Response::RowHeader { columns }
+            }
+            0x85 => {
+                let n = d.u32()? as usize;
+                let mut rows = Vec::with_capacity(n.min(ROWS_PER_BATCH * 4));
+                for _ in 0..n {
+                    let w = d.u32()? as usize;
+                    let mut row = Vec::with_capacity(w.min(4096));
+                    for _ in 0..w {
+                        row.push(d.value()?);
+                    }
+                    rows.push(row);
+                }
+                Response::RowBatch { rows }
+            }
+            0x86 => {
+                let work_units = d.u64()?;
+                let wall_micros = d.u64()?;
+                let n = d.u32()? as usize;
+                let mut statements = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    let rows = d.u64()?;
+                    let work_units = d.u64()?;
+                    let wall_micros = d.u64()?;
+                    let slices = d.u64()?;
+                    let k = d.u32()? as usize;
+                    let mut order = Vec::with_capacity(k.min(4096));
+                    for _ in 0..k {
+                        order.push(d.u32()?);
+                    }
+                    statements.push(StatementSummary {
+                        rows,
+                        work_units,
+                        wall_micros,
+                        slices,
+                        order,
+                    });
+                }
+                Response::Done {
+                    summary: QuerySummary {
+                        work_units,
+                        wall_micros,
+                        statements,
+                    },
+                }
+            }
+            0x87 => Response::Text { text: d.str()? },
+            0x88 => {
+                let code = d.u16()?;
+                let message = d.str()?;
+                Response::Error {
+                    code: ErrorCode::from_u16(code)
+                        .ok_or_else(|| malformed(format!("unknown error code {code}")))?,
+                    message,
+                }
+            }
+            t => return Err(malformed(format!("unknown response tag {t:#x}"))),
+        };
+        d.finish()?;
+        Ok(resp)
+    }
+
+    /// Write this response as one frame.
+    pub fn write(&self, w: &mut impl Write) -> Result<(), WireError> {
+        write_frame(w, &self.encode())
+    }
+
+    /// Read one response frame.
+    pub fn read(r: &mut impl Read) -> Result<Response, WireError> {
+        Response::decode(&read_frame(r)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(req: Request) {
+        let mut buf = Vec::new();
+        req.write(&mut buf).unwrap();
+        let got = Request::read(&mut buf.as_slice()).unwrap();
+        assert_eq!(got, req);
+    }
+
+    fn roundtrip_resp(resp: Response) {
+        let mut buf = Vec::new();
+        resp.write(&mut buf).unwrap();
+        let got = Response::read(&mut buf.as_slice()).unwrap();
+        assert_eq!(got, resp);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_req(Request::Hello {
+            version: PROTOCOL_VERSION,
+        });
+        roundtrip_req(Request::Query {
+            sql: "SELECT t.x FROM t".into(),
+        });
+        roundtrip_req(Request::Prepare { sql: "".into() });
+        roundtrip_req(Request::Execute { id: 7 });
+        roundtrip_req(Request::Close { id: 7 });
+        roundtrip_req(Request::Set {
+            key: "strategy".into(),
+            value: "parallel_skinner".into(),
+        });
+        roundtrip_req(Request::Cancel {
+            conn_id: u64::MAX,
+            key: 12345,
+        });
+        roundtrip_req(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_resp(Response::HelloOk {
+            version: 1,
+            conn_id: 3,
+            cancel_key: 0xdead_beef,
+        });
+        roundtrip_resp(Response::Ok);
+        roundtrip_resp(Response::PrepareOk {
+            id: 1,
+            columns: vec!["t.x".into(), "c".into()],
+        });
+        roundtrip_resp(Response::RowHeader {
+            columns: vec!["a".into()],
+        });
+        roundtrip_resp(Response::RowBatch {
+            rows: vec![
+                vec![Value::Int(-5), Value::Float(2.75), Value::from("héllo")],
+                vec![
+                    Value::Int(i64::MIN),
+                    Value::Float(f64::MAX),
+                    Value::from(""),
+                ],
+            ],
+        });
+        roundtrip_resp(Response::Done {
+            summary: QuerySummary {
+                work_units: 99,
+                wall_micros: 1_000_000,
+                statements: vec![
+                    StatementSummary {
+                        rows: 10,
+                        work_units: 44,
+                        wall_micros: 17,
+                        slices: 3,
+                        order: vec![2, 0, 1],
+                    },
+                    StatementSummary::default(),
+                ],
+            },
+        });
+        roundtrip_resp(Response::Text {
+            text: "a  b\n-  -\n1  2\n".into(),
+        });
+        roundtrip_resp(Response::Error {
+            code: ErrorCode::Overloaded,
+            message: "queue full".into(),
+        });
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected_not_panicked() {
+        // Unknown tag.
+        assert!(Request::decode(&[0x7f]).is_err());
+        assert!(Response::decode(&[0x01]).is_err());
+        // Truncated string.
+        let mut e = Request::Query {
+            sql: "hello".into(),
+        }
+        .encode();
+        e.truncate(e.len() - 2);
+        assert!(Request::decode(&e).is_err());
+        // Trailing garbage.
+        let mut e = Request::Shutdown.encode();
+        e.push(0);
+        assert!(Request::decode(&e).is_err());
+        // Oversized frame length.
+        let huge = (MAX_FRAME + 1).to_le_bytes();
+        assert!(read_frame(&mut huge.as_slice()).is_err());
+        // Unknown error code.
+        assert!(Response::decode(&{
+            let mut e = Enc::new(0x88);
+            e.u16(999);
+            e.str("x");
+            e.0
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn empty_stream_reports_io_error() {
+        let empty: &[u8] = &[];
+        assert!(matches!(
+            Request::read(&mut { empty }),
+            Err(WireError::Io(_))
+        ));
+    }
+}

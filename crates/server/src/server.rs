@@ -1,0 +1,871 @@
+//! The concurrent server: acceptor, per-connection sessions, cancellation
+//! and graceful shutdown.
+
+use std::collections::HashMap;
+use std::io::BufWriter;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use skinnerdb::skinner_exec::CancelToken;
+use skinnerdb::{
+    render_table_with, Database, DbError, Prepared, QueryResult, ScriptOutcome, Session,
+    TableOptions,
+};
+
+use crate::admission::{Admission, AdmissionConfig, AdmissionGate, ShedReason, SlotGuard};
+use crate::protocol::{
+    ErrorCode, QuerySummary, Request, Response, StatementSummary, WireError, PROTOCOL_VERSION,
+    ROWS_PER_BATCH,
+};
+use crate::stats::ServerStats;
+
+/// Server sizing and behaviour.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Connections allowed at once; further arrivals are turned away with
+    /// an explicit error (never silently dropped).
+    pub max_connections: usize,
+    /// Query admission control (concurrency gate + bounded queue).
+    pub admission: AdmissionConfig,
+    /// Honour the wire-level `Shutdown` request (the binary's clean-exit
+    /// path; embedders running in-process may prefer to disable it and
+    /// call [`Server::shutdown`] themselves).
+    pub allow_remote_shutdown: bool,
+    /// Rows per `RowBatch` frame.
+    pub rows_per_batch: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: 256,
+            admission: AdmissionConfig::default(),
+            allow_remote_shutdown: true,
+            rows_per_batch: ROWS_PER_BATCH,
+        }
+    }
+}
+
+/// Per-connection state reachable from *other* threads (the cancel path
+/// and shutdown).
+struct ConnShared {
+    stream: TcpStream,
+    cancel_key: u64,
+    /// The running query's cancel state. Token and flag live under one
+    /// lock so "arm a fresh query" and "cancel the current query" are
+    /// atomic with respect to each other — a stale cancel aimed at the
+    /// previous query can neither kill the next one nor leave a flag
+    /// behind that mislabels its outcome.
+    slot: Mutex<QuerySlot>,
+}
+
+/// Cancel state of the query currently executing on a connection.
+struct QuerySlot {
+    /// Fresh per query; stale cancels hit an abandoned token harmlessly.
+    token: CancelToken,
+    /// Set by an out-of-band cancel so the connection can distinguish
+    /// "cancelled" from an ordinary deadline/work-limit timeout.
+    cancel_requested: bool,
+}
+
+struct Shared {
+    db: Database,
+    cfg: ServerConfig,
+    addr: SocketAddr,
+    gate: Arc<AdmissionGate>,
+    stats: ServerStats,
+    shutting_down: AtomicBool,
+    conns: Mutex<HashMap<u64, Arc<ConnShared>>>,
+    next_conn_id: AtomicU64,
+    active_conns: AtomicUsize,
+    key_seed: AtomicU64,
+}
+
+impl Shared {
+    fn trigger_shutdown(&self) {
+        if self.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Shed every queued query immediately.
+        self.gate.close();
+        // Break every connection: trip the running query's token, then
+        // shut the socket so blocked reads/writes error out.
+        for conn in self.conns.lock().values() {
+            conn.slot.lock().token.cancel();
+            let _ = conn.stream.shutdown(Shutdown::Both);
+        }
+        // Unblock the acceptor's `accept()` with a throwaway connection.
+        // A wildcard bind (0.0.0.0 / ::) is not connectable everywhere;
+        // wake through loopback on the same port instead.
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match self.addr {
+                SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect(wake);
+    }
+
+    /// A process-unique, hard-to-guess cancel key (no RNG dependency:
+    /// mixes a counter with the clock, which is plenty for a loopback
+    /// protocol's misdirected-cancel guard).
+    fn mint_cancel_key(&self) -> u64 {
+        let n = self
+            .key_seed
+            .fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed);
+        let t = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+            .unwrap_or(0);
+        let mut x = n ^ (t << 17) ^ std::process::id() as u64;
+        // splitmix64 finalizer.
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+}
+
+/// A running server. Dropping it (or calling [`Server::shutdown`]) stops
+/// the acceptor, breaks every connection and joins all threads.
+pub struct Server {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral test port) and
+    /// start serving `db`.
+    pub fn bind(
+        db: Database,
+        addr: impl ToSocketAddrs,
+        cfg: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            db,
+            gate: Arc::new(AdmissionGate::new(cfg.admission)),
+            cfg,
+            addr: local,
+            stats: ServerStats::new(),
+            shutting_down: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            next_conn_id: AtomicU64::new(1),
+            active_conns: AtomicUsize::new(0),
+            key_seed: AtomicU64::new(0x5123_9d1f_8437_aa77),
+        });
+        let acceptor = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("skinner-acceptor".into())
+                .spawn(move || accept_loop(listener, shared))?
+        };
+        Ok(Server {
+            shared,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The address actually bound (resolves `:0` ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The shared database this server fronts (tests use it to compare
+    /// wire results with in-process execution).
+    pub fn database(&self) -> &Database {
+        &self.shared.db
+    }
+
+    /// True once a shutdown has been requested (locally or over the wire).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Stop accepting, cancel and disconnect every client, and join every
+    /// thread the server spawned. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.trigger_shutdown();
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Block until a shutdown is requested (e.g. by a wire-level
+    /// `Shutdown` message), then join everything. The binary's main loop.
+    pub fn wait(&mut self) {
+        while !self.is_shutting_down() {
+            std::thread::park_timeout(std::time::Duration::from_millis(100));
+        }
+        self.shutdown();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut handles: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    break;
+                }
+                // Transient accept failures (e.g. EMFILE under fd
+                // pressure) must not busy-spin a core.
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                continue;
+            }
+        };
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            // The shutdown wake-up (or an unlucky late client).
+            let _ = Response::Error {
+                code: ErrorCode::ShuttingDown,
+                message: "server is shutting down".into(),
+            }
+            .write(&mut &stream);
+            break;
+        }
+        // Reap finished connection threads so the handle list stays small.
+        handles.retain(|h| !h.is_finished());
+        if shared.active_conns.load(Ordering::SeqCst) >= shared.cfg.max_connections {
+            ServerStats::bump(&shared.stats.connections_rejected);
+            let _ = Response::Error {
+                code: ErrorCode::TooManyConnections,
+                message: format!(
+                    "connection limit ({}) reached; retry later",
+                    shared.cfg.max_connections
+                ),
+            }
+            .write(&mut &stream);
+            continue;
+        }
+        shared.active_conns.fetch_add(1, Ordering::SeqCst);
+        ServerStats::bump(&shared.stats.connections_total);
+        let shared2 = shared.clone();
+        let spawned = std::thread::Builder::new()
+            .name("skinner-conn".into())
+            .spawn(move || {
+                let shared = shared2;
+                // A panicking connection (a strategy blowing up on a
+                // pathological query, say) must still release its
+                // connection slot, or 256 such panics would permanently
+                // lock everyone out.
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    Conn::run(stream, &shared)
+                }));
+                shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+            });
+        match spawned {
+            Ok(h) => handles.push(h),
+            Err(_) => {
+                shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+    // Graceful exit: every connection thread is joined before the
+    // acceptor returns, so `Server::shutdown` joining the acceptor
+    // transitively joins the whole server.
+    for h in handles {
+        let _ = h.join();
+    }
+}
+
+/// How query results travel back.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum OutputMode {
+    Binary,
+    Text,
+}
+
+struct Conn<'a> {
+    shared: &'a Shared,
+    session: Session,
+    me: Arc<ConnShared>,
+    conn_id: u64,
+    output: OutputMode,
+    prepared: HashMap<u32, Prepared>,
+    next_stmt_id: u32,
+}
+
+impl<'a> Conn<'a> {
+    fn run(stream: TcpStream, shared: &Shared) {
+        let _ = stream.set_nodelay(true);
+        let conn_id = shared.next_conn_id.fetch_add(1, Ordering::SeqCst);
+        let me = Arc::new(ConnShared {
+            stream: match stream.try_clone() {
+                Ok(s) => s,
+                Err(_) => return,
+            },
+            cancel_key: shared.mint_cancel_key(),
+            slot: Mutex::new(QuerySlot {
+                token: CancelToken::new(),
+                cancel_requested: false,
+            }),
+        });
+        shared.conns.lock().insert(conn_id, me.clone());
+        let mut conn = Conn {
+            shared,
+            session: shared.db.session(),
+            me,
+            conn_id,
+            output: OutputMode::Binary,
+            prepared: HashMap::new(),
+            next_stmt_id: 1,
+        };
+        // catch_unwind so the conns-map entry is removed even if a
+        // request handler panics (the thread's slot is released by the
+        // acceptor-side guard either way).
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| conn.serve(stream)));
+        shared.conns.lock().remove(&conn_id);
+    }
+
+    fn serve(&mut self, stream: TcpStream) -> Result<(), WireError> {
+        let mut reader = stream.try_clone()?;
+        let mut writer = BufWriter::new(stream);
+        // First frame: Hello — or an out-of-band Cancel/Shutdown on a
+        // dedicated connection.
+        match Request::read(&mut reader)? {
+            Request::Hello { version } => {
+                if version != PROTOCOL_VERSION {
+                    let resp = Response::Error {
+                        code: ErrorCode::Protocol,
+                        message: format!(
+                            "protocol version {version} unsupported (server speaks {PROTOCOL_VERSION})"
+                        ),
+                    };
+                    return resp.write(&mut writer);
+                }
+                Response::HelloOk {
+                    version: PROTOCOL_VERSION,
+                    conn_id: self.conn_id,
+                    cancel_key: self.me.cancel_key,
+                }
+                .write(&mut writer)?;
+            }
+            Request::Cancel { conn_id, key } => {
+                let resp = self.handle_cancel(conn_id, key);
+                return resp.write(&mut writer);
+            }
+            Request::Shutdown => {
+                return self.handle_shutdown(&mut writer);
+            }
+            _ => {
+                let resp = Response::Error {
+                    code: ErrorCode::Protocol,
+                    message: "expected Hello as the first message".into(),
+                };
+                return resp.write(&mut writer);
+            }
+        }
+        loop {
+            let req = match Request::read(&mut reader) {
+                Ok(req) => req,
+                // EOF / reset / socket shut down by shutdown(): done.
+                Err(_) => return Ok(()),
+            };
+            match req {
+                Request::Hello { .. } => {
+                    Response::Error {
+                        code: ErrorCode::Protocol,
+                        message: "duplicate Hello".into(),
+                    }
+                    .write(&mut writer)?;
+                }
+                Request::Query { sql } => self.handle_query(&sql, &mut writer)?,
+                Request::Prepare { sql } => {
+                    let resp = match self.session.prepare(&sql) {
+                        Ok(p) => {
+                            let id = self.next_stmt_id;
+                            self.next_stmt_id += 1;
+                            let columns = p
+                                .query()
+                                .select
+                                .iter()
+                                .map(|s| s.name().to_string())
+                                .collect();
+                            self.prepared.insert(id, p);
+                            Response::PrepareOk { id, columns }
+                        }
+                        Err(e) => sql_error(&e),
+                    };
+                    resp.write(&mut writer)?;
+                }
+                Request::Execute { id } => self.handle_execute(id, &mut writer)?,
+                Request::Close { id } => {
+                    self.prepared.remove(&id);
+                    Response::Ok.write(&mut writer)?;
+                }
+                Request::Set { key, value } => {
+                    let resp = self.handle_set(&key, &value);
+                    resp.write(&mut writer)?;
+                }
+                Request::Cancel { conn_id, key } => {
+                    let resp = self.handle_cancel(conn_id, key);
+                    resp.write(&mut writer)?;
+                }
+                Request::Shutdown => return self.handle_shutdown(&mut writer),
+            }
+            if self.shared.shutting_down.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+        }
+    }
+
+    fn handle_shutdown(&mut self, writer: &mut impl std::io::Write) -> Result<(), WireError> {
+        if !self.shared.cfg.allow_remote_shutdown {
+            return Response::Error {
+                code: ErrorCode::Protocol,
+                message: "remote shutdown is disabled on this server".into(),
+            }
+            .write(writer);
+        }
+        Response::Ok.write(writer)?;
+        self.shared.trigger_shutdown();
+        Ok(())
+    }
+
+    fn handle_cancel(&self, conn_id: u64, key: u64) -> Response {
+        let conns = self.shared.conns.lock();
+        match conns.get(&conn_id) {
+            Some(conn) if conn.cancel_key == key => {
+                let mut slot = conn.slot.lock();
+                slot.cancel_requested = true;
+                slot.token.cancel();
+                Response::Ok
+            }
+            _ => Response::Error {
+                code: ErrorCode::Protocol,
+                message: "unknown connection id or bad cancel key".into(),
+            },
+        }
+    }
+
+    fn handle_set(&mut self, key: &str, value: &str) -> Response {
+        if key.trim().eq_ignore_ascii_case("output") {
+            return match value.trim().to_ascii_lowercase().as_str() {
+                "binary" => {
+                    self.output = OutputMode::Binary;
+                    Response::Ok
+                }
+                "text" => {
+                    self.output = OutputMode::Text;
+                    Response::Ok
+                }
+                other => Response::Error {
+                    code: ErrorCode::Sql,
+                    message: format!("output must be 'binary' or 'text', got {other:?}"),
+                },
+            };
+        }
+        match self.session.set_option(key, value) {
+            Ok(()) => Response::Ok,
+            Err(e) => sql_error(&e),
+        }
+    }
+
+    /// `SET`/`SHOW` text commands and plain SQL, multiplexed over Query.
+    fn handle_query(
+        &mut self,
+        sql: &str,
+        writer: &mut impl std::io::Write,
+    ) -> Result<(), WireError> {
+        let trimmed = sql.trim().trim_end_matches(';').trim();
+        if let Some(rest) = strip_keyword(trimmed, "SET") {
+            let resp = match parse_set(rest) {
+                Some((key, value)) => self.handle_set(&key, &value),
+                None => Response::Error {
+                    code: ErrorCode::Sql,
+                    message: "usage: SET <option> = <value>".into(),
+                },
+            };
+            return resp.write(writer);
+        }
+        if let Some(rest) = strip_keyword(trimmed, "SHOW") {
+            let resp = self.handle_show(rest);
+            return match resp {
+                Ok(table) => self.write_result(writer, table, QuerySummary::default()),
+                Err(resp) => resp.write(writer),
+            };
+        }
+        self.execute_gated(writer, |conn, ctx| {
+            let strategy = conn.session.strategy();
+            (
+                strategy.name().to_string(),
+                conn.shared
+                    .db
+                    .run_script_detailed(sql, strategy.as_ref(), ctx),
+            )
+        })
+    }
+
+    fn handle_execute(
+        &mut self,
+        id: u32,
+        writer: &mut impl std::io::Write,
+    ) -> Result<(), WireError> {
+        if !self.prepared.contains_key(&id) {
+            return Response::Error {
+                code: ErrorCode::UnknownStatement,
+                message: format!("no prepared statement #{id}"),
+            }
+            .write(writer);
+        }
+        self.execute_gated(writer, |conn, ctx| {
+            let p = &conn.prepared[&id];
+            let started = Instant::now();
+            let out = p.execute_in(ctx);
+            let name = p.strategy().name().to_string();
+            let script = ScriptOutcome {
+                work_units: out.work_units,
+                wall: started.elapsed(),
+                timed_out: out.timed_out,
+                statements: vec![skinnerdb::StatementOutcome {
+                    kind: skinnerdb::StatementKind::Select,
+                    rows: out.result.num_rows(),
+                    work_units: out.work_units,
+                    wall: out.wall,
+                    timed_out: out.timed_out,
+                    metrics: out.metrics,
+                }],
+                result: out.result,
+            };
+            (name, Ok(script))
+        })
+    }
+
+    /// Admission-gated execution shared by Query and Execute: take a slot
+    /// (or shed), arm the per-query cancel token, run, stream the result.
+    fn execute_gated(
+        &mut self,
+        writer: &mut impl std::io::Write,
+        run: impl FnOnce(&mut Self, &skinnerdb::ExecContext) -> (String, Result<ScriptOutcome, DbError>),
+    ) -> Result<(), WireError> {
+        if self.shared.shutting_down.load(Ordering::SeqCst) {
+            return Response::Error {
+                code: ErrorCode::ShuttingDown,
+                message: "server is shutting down".into(),
+            }
+            .write(writer);
+        }
+        // Fresh per-query token honouring the session deadline; parked in
+        // the connection slot so the out-of-band cancel path can trip it.
+        // Armed *before* queueing at the admission gate, so a cancel that
+        // lands while this query waits for a slot is not lost (the
+        // deadline clock also covers queue time — the client-perceived
+        // latency is what the deadline bounds).
+        let token = match self.session.settings().deadline {
+            Some(d) => CancelToken::with_deadline(d),
+            None => CancelToken::new(),
+        };
+        {
+            // Atomically arm the new query: install its token and clear
+            // any cancel aimed at a previous one.
+            let mut slot = self.me.slot.lock();
+            slot.token = token.clone();
+            slot.cancel_requested = false;
+        }
+        let guard = match self.shared.gate.admit() {
+            Admission::Granted(permit) => SlotGuard::new(self.shared.gate.clone(), permit),
+            Admission::Shed(reason) => {
+                let code = match reason {
+                    ShedReason::Closed => ErrorCode::ShuttingDown,
+                    _ => ErrorCode::Overloaded,
+                };
+                return Response::Error {
+                    code,
+                    message: reason.message(self.shared.gate.config()),
+                }
+                .write(writer);
+            }
+        };
+        ServerStats::bump(&self.shared.stats.queries_total);
+        // A cancel (or deadline) that fired during the queue wait aborts
+        // before any execution work is done.
+        let (strategy_name, outcome) = if token.is_cancelled() {
+            let name = self.session.strategy().name().to_string();
+            (
+                name,
+                Ok(ScriptOutcome {
+                    result: QueryResult::empty(Vec::new()),
+                    work_units: 0,
+                    wall: std::time::Duration::ZERO,
+                    timed_out: true,
+                    statements: Vec::new(),
+                }),
+            )
+        } else {
+            let ctx = self.session.exec_context().with_cancel(token);
+            run(self, &ctx)
+        };
+        drop(guard); // free the slot before streaming rows back
+        match outcome {
+            Err(e) => {
+                ServerStats::bump(&self.shared.stats.queries_failed);
+                sql_error(&e).write(writer)
+            }
+            Ok(script) if script.timed_out => {
+                let cancelled = {
+                    let mut slot = self.me.slot.lock();
+                    std::mem::take(&mut slot.cancel_requested)
+                };
+                let (code, counter) = if cancelled {
+                    (ErrorCode::Cancelled, &self.shared.stats.queries_cancelled)
+                } else {
+                    (ErrorCode::Timeout, &self.shared.stats.queries_timed_out)
+                };
+                ServerStats::bump(counter);
+                Response::Error {
+                    code,
+                    message: match code {
+                        ErrorCode::Cancelled => "query cancelled by client request".into(),
+                        _ => "query exceeded its work limit or deadline".into(),
+                    },
+                }
+                .write(writer)
+            }
+            Ok(script) => {
+                let metrics: Vec<&skinnerdb::ExecMetrics> =
+                    script.statements.iter().map(|s| &s.metrics).collect();
+                self.shared.stats.record_query(
+                    &strategy_name,
+                    &metrics,
+                    script.work_units,
+                    script.wall,
+                );
+                let summary = summarize(&script);
+                let ScriptOutcome { result, .. } = script;
+                self.write_result(writer, result, summary)
+            }
+        }
+    }
+
+    fn handle_show(&self, what: &str) -> Result<QueryResult, Response> {
+        let what = what.trim().to_ascii_uppercase();
+        match what.as_str() {
+            "SERVER STATS" => Ok(self.shared.stats.snapshot_table(&[
+                (
+                    "active_connections",
+                    self.shared.active_conns.load(Ordering::SeqCst) as u64,
+                ),
+                ("active_queries", self.shared.gate.active()),
+                ("queued_queries", self.shared.gate.queued() as u64),
+                ("shed_total", self.shared.gate.shed_total()),
+                ("admitted_total", self.shared.gate.admitted_total()),
+            ])),
+            "STRATEGIES" => {
+                let names = self.shared.db.strategies().names();
+                Ok(QueryResult {
+                    columns: vec!["strategy".into()],
+                    rows: names
+                        .into_iter()
+                        .map(|n| vec![skinnerdb::Value::from(n.as_str())])
+                        .collect(),
+                })
+            }
+            other => Err(Response::Error {
+                code: ErrorCode::Sql,
+                message: format!("unknown SHOW target {other:?} (try SERVER STATS, STRATEGIES)"),
+            }),
+        }
+    }
+
+    /// Stream a result: text mode sends one rendered table, binary mode
+    /// sends header + row batches; both end with `Done`.
+    fn write_result(
+        &self,
+        writer: &mut impl std::io::Write,
+        result: QueryResult,
+        summary: QuerySummary,
+    ) -> Result<(), WireError> {
+        match self.output {
+            OutputMode::Text => {
+                let mut text = render_table_with(
+                    &result,
+                    &TableOptions {
+                        max_rows: usize::MAX,
+                        row_count_footer: true,
+                        ..TableOptions::default()
+                    },
+                );
+                // A rendered table must still fit one frame; clip rather
+                // than desync the connection with an unwritable frame.
+                let budget = (crate::protocol::MAX_FRAME as usize).saturating_sub(1024);
+                if text.len() > budget {
+                    let mut cut = budget;
+                    while cut > 0 && !text.is_char_boundary(cut) {
+                        cut -= 1;
+                    }
+                    text.truncate(cut);
+                    text.push_str("\n… (output truncated: table exceeds one frame)\n");
+                }
+                Response::Text { text }.write(writer)?;
+            }
+            OutputMode::Binary => {
+                Response::RowHeader {
+                    columns: result.columns.clone(),
+                }
+                .write(writer)?;
+                // Batches are bounded by row count AND bytes: wide string
+                // values must not push a frame past MAX_FRAME.
+                let byte_budget = (crate::protocol::MAX_FRAME as usize) / 8;
+                let mut batch: Vec<Vec<skinnerdb::Value>> = Vec::new();
+                let mut batch_bytes = 0usize;
+                for row in result.rows {
+                    let row_bytes: usize = 4 + row
+                        .iter()
+                        .map(|v| match v {
+                            skinnerdb::Value::Str(s) => 5 + s.len(),
+                            _ => 9,
+                        })
+                        .sum::<usize>();
+                    if !batch.is_empty()
+                        && (batch.len() >= self.shared.cfg.rows_per_batch
+                            || batch_bytes + row_bytes > byte_budget)
+                    {
+                        Response::RowBatch {
+                            rows: std::mem::take(&mut batch),
+                        }
+                        .write(writer)?;
+                        batch_bytes = 0;
+                    }
+                    batch_bytes += row_bytes;
+                    batch.push(row);
+                }
+                if !batch.is_empty() {
+                    Response::RowBatch { rows: batch }.write(writer)?;
+                }
+            }
+        }
+        Response::Done { summary }.write(writer)
+    }
+}
+
+fn summarize(script: &ScriptOutcome) -> QuerySummary {
+    QuerySummary {
+        work_units: script.work_units,
+        wall_micros: script.wall.as_micros() as u64,
+        statements: script
+            .statements
+            .iter()
+            .map(|s| StatementSummary {
+                rows: s.rows as u64,
+                work_units: s.work_units,
+                wall_micros: s.wall.as_micros() as u64,
+                slices: s.metrics.slices,
+                order: s.metrics.order.iter().map(|&t| t as u32).collect(),
+            })
+            .collect(),
+    }
+}
+
+fn sql_error(e: &DbError) -> Response {
+    let code = match e {
+        DbError::Timeout => ErrorCode::Timeout,
+        _ => ErrorCode::Sql,
+    };
+    Response::Error {
+        code,
+        message: e.to_string(),
+    }
+}
+
+/// Case-insensitive keyword prefix: returns the remainder if `input`
+/// starts with `kw` followed by whitespace or end.
+fn strip_keyword<'x>(input: &'x str, kw: &str) -> Option<&'x str> {
+    if input.len() < kw.len() || !input[..kw.len()].eq_ignore_ascii_case(kw) {
+        return None;
+    }
+    let rest = &input[kw.len()..];
+    if rest.is_empty() || rest.starts_with(char::is_whitespace) {
+        Some(rest)
+    } else {
+        None
+    }
+}
+
+/// Parse the tail of a `SET` command: `key = value`, `key TO value`, or
+/// `key value`; values may be quoted.
+fn parse_set(rest: &str) -> Option<(String, String)> {
+    let rest = rest.trim();
+    let (key, value) = match rest.split_once('=') {
+        Some((k, v)) => (k, v),
+        None => {
+            let (k, v) = rest.split_once(char::is_whitespace)?;
+            let v = strip_keyword(v.trim(), "TO").unwrap_or(v);
+            (k, v)
+        }
+    };
+    let value = value.trim().trim_matches('\'').trim_matches('"');
+    let key = key.trim();
+    if key.is_empty() || value.is_empty() {
+        return None;
+    }
+    Some((key.to_string(), value.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_command_forms_parse() {
+        assert_eq!(
+            parse_set("strategy = 'parallel_skinner'"),
+            Some(("strategy".into(), "parallel_skinner".into()))
+        );
+        assert_eq!(
+            parse_set("threads TO 4"),
+            Some(("threads".into(), "4".into()))
+        );
+        assert_eq!(
+            parse_set("work_limit 100"),
+            Some(("work_limit".into(), "100".into()))
+        );
+        assert_eq!(parse_set("lonely"), None);
+        assert_eq!(parse_set(""), None);
+    }
+
+    #[test]
+    fn keyword_stripping_is_case_insensitive_and_word_bounded() {
+        assert_eq!(strip_keyword("SET a = b", "set"), Some(" a = b"));
+        assert_eq!(strip_keyword("settle down", "SET"), None);
+        assert_eq!(
+            strip_keyword("show server stats", "SHOW"),
+            Some(" server stats")
+        );
+        assert_eq!(strip_keyword("SHOW", "SHOW"), Some(""));
+    }
+
+    #[test]
+    fn cancel_keys_are_distinct() {
+        let shared = Shared {
+            db: Database::new(),
+            cfg: ServerConfig::default(),
+            addr: "127.0.0.1:1".parse().unwrap(),
+            gate: Arc::new(AdmissionGate::new(AdmissionConfig::default())),
+            stats: ServerStats::new(),
+            shutting_down: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            next_conn_id: AtomicU64::new(1),
+            active_conns: AtomicUsize::new(0),
+            key_seed: AtomicU64::new(1),
+        };
+        let a = shared.mint_cancel_key();
+        let b = shared.mint_cancel_key();
+        assert_ne!(a, b);
+    }
+}

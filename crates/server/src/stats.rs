@@ -1,0 +1,178 @@
+//! The observable server state behind `SHOW SERVER STATS`.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use skinnerdb::{ExecMetrics, QueryResult, Value};
+
+/// Per-strategy execution aggregates: how many queries each strategy
+/// served, how many learning episodes (time slices) they ran, and the
+/// cumulative reward proxy (deduplicated result tuples — per-episode
+/// reward in the paper is per-slice progress, so tuples/episodes is the
+/// mean reward).
+#[derive(Debug, Default, Clone)]
+pub struct StrategyAgg {
+    pub queries: u64,
+    pub episodes: u64,
+    pub result_tuples: u64,
+    pub work_units: u64,
+    pub wall_micros: u64,
+}
+
+/// Counters the server maintains; everything is monotonic except the
+/// gauges (`active_*`, `queued`) sampled from live structures.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    pub connections_total: AtomicU64,
+    pub connections_rejected: AtomicU64,
+    pub queries_total: AtomicU64,
+    pub queries_failed: AtomicU64,
+    pub queries_cancelled: AtomicU64,
+    pub queries_timed_out: AtomicU64,
+    per_strategy: Mutex<BTreeMap<String, StrategyAgg>>,
+}
+
+impl ServerStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fold one finished query into the per-strategy aggregates.
+    pub fn record_query(
+        &self,
+        strategy: &str,
+        metrics_per_statement: &[&ExecMetrics],
+        work_units: u64,
+        wall: Duration,
+    ) {
+        let mut map = self.per_strategy.lock();
+        let agg = map.entry(strategy.to_string()).or_default();
+        agg.queries += 1;
+        agg.work_units += work_units;
+        agg.wall_micros += wall.as_micros() as u64;
+        for m in metrics_per_statement {
+            agg.episodes += m.slices;
+            agg.result_tuples += m.result_tuples;
+        }
+    }
+
+    pub fn strategy_aggregates(&self) -> BTreeMap<String, StrategyAgg> {
+        self.per_strategy.lock().clone()
+    }
+
+    /// Materialize the stats as a result table (`metric`, `value`), the
+    /// shape `SHOW SERVER STATS` returns over the wire. Gauges the server
+    /// owns (connections, queue) are passed in.
+    pub fn snapshot_table(&self, gauges: &[(&str, u64)]) -> QueryResult {
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        let mut push = |k: &str, v: u64| {
+            rows.push(vec![Value::from(k), Value::Int(v as i64)]);
+        };
+        for (k, v) in gauges {
+            push(k, *v);
+        }
+        push("queries_total", self.queries_total.load(Ordering::Relaxed));
+        push(
+            "queries_failed",
+            self.queries_failed.load(Ordering::Relaxed),
+        );
+        push(
+            "queries_cancelled",
+            self.queries_cancelled.load(Ordering::Relaxed),
+        );
+        push(
+            "queries_timed_out",
+            self.queries_timed_out.load(Ordering::Relaxed),
+        );
+        push(
+            "connections_total",
+            self.connections_total.load(Ordering::Relaxed),
+        );
+        push(
+            "connections_rejected",
+            self.connections_rejected.load(Ordering::Relaxed),
+        );
+        for (name, agg) in self.strategy_aggregates() {
+            let mean_reward_milli = (agg.result_tuples * 1000)
+                .checked_div(agg.episodes)
+                .unwrap_or(0);
+            push(&format!("strategy.{name}.queries"), agg.queries);
+            push(&format!("strategy.{name}.episodes"), agg.episodes);
+            push(&format!("strategy.{name}.result_tuples"), agg.result_tuples);
+            push(&format!("strategy.{name}.work_units"), agg.work_units);
+            push(&format!("strategy.{name}.wall_micros"), agg.wall_micros);
+            push(
+                &format!("strategy.{name}.mean_reward_milli"),
+                mean_reward_milli,
+            );
+        }
+        QueryResult {
+            columns: vec!["metric".into(), "value".into()],
+            rows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_fold_per_strategy() {
+        let stats = ServerStats::new();
+        let m1 = ExecMetrics {
+            slices: 10,
+            result_tuples: 40,
+            ..ExecMetrics::default()
+        };
+        let m2 = ExecMetrics {
+            slices: 5,
+            result_tuples: 10,
+            ..ExecMetrics::default()
+        };
+        stats.record_query("Skinner-C", &[&m1, &m2], 500, Duration::from_micros(90));
+        stats.record_query("Skinner-C", &[&m1], 100, Duration::from_micros(10));
+        stats.record_query("Traditional", &[], 7, Duration::ZERO);
+        let aggs = stats.strategy_aggregates();
+        assert_eq!(aggs["Skinner-C"].queries, 2);
+        assert_eq!(aggs["Skinner-C"].episodes, 25);
+        assert_eq!(aggs["Skinner-C"].result_tuples, 90);
+        assert_eq!(aggs["Skinner-C"].work_units, 600);
+        assert_eq!(aggs["Skinner-C"].wall_micros, 100);
+        assert_eq!(aggs["Traditional"].queries, 1);
+    }
+
+    #[test]
+    fn snapshot_is_a_metric_value_table() {
+        let stats = ServerStats::new();
+        ServerStats::bump(&stats.queries_total);
+        let m = ExecMetrics {
+            slices: 4,
+            result_tuples: 8,
+            ..ExecMetrics::default()
+        };
+        stats.record_query("Skinner-C", &[&m], 1, Duration::ZERO);
+        let t = stats.snapshot_table(&[("active_connections", 3), ("queued", 0)]);
+        assert_eq!(t.columns, vec!["metric".to_string(), "value".to_string()]);
+        let find = |k: &str| {
+            t.rows
+                .iter()
+                .find(|r| r[0].as_str() == Some(k))
+                .unwrap_or_else(|| panic!("metric {k} missing"))[1]
+                .as_i64()
+                .unwrap()
+        };
+        assert_eq!(find("active_connections"), 3);
+        assert_eq!(find("queries_total"), 1);
+        assert_eq!(find("strategy.Skinner-C.episodes"), 4);
+        assert_eq!(find("strategy.Skinner-C.mean_reward_milli"), 2000);
+    }
+}

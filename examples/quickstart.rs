@@ -73,7 +73,7 @@ fn main() {
         .unwrap();
     println!(
         "Spend per customer (via Skinner-C):\n{}",
-        result.to_table_string(10)
+        skinnerdb::render_table(&result, 10)
     );
 
     // UDFs are black boxes for a traditional optimizer; SkinnerDB does not
@@ -91,7 +91,7 @@ fn main() {
         .unwrap();
     println!(
         "Premium orders per country:\n{}",
-        premium.to_table_string(10)
+        skinnerdb::render_table(&premium, 10)
     );
 
     // The same query under different evaluation strategies — identical
@@ -131,7 +131,7 @@ fn main() {
             "prepared execution #{round} ({}):
 {}",
             hot.strategy().name(),
-            rows.to_table_string(5)
+            skinnerdb::render_table(&rows, 5)
         );
     }
 }

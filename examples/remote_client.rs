@@ -1,0 +1,108 @@
+//! Drive a SkinnerDB server over the wire: connect, SET a strategy, run
+//! queries, cancel a torture query mid-run, read the server stats.
+//!
+//! ```sh
+//! # Self-contained (starts an in-process server on a loopback port):
+//! cargo run --release --example remote_client
+//!
+//! # Or against a separately started binary:
+//! cargo run --release -p skinner_server --bin skinner-server -- --demo &
+//! SKINNER_ADDR=127.0.0.1:7878 cargo run --release --example remote_client
+//! ```
+
+use std::time::{Duration, Instant};
+
+use skinner_client::Client;
+use skinner_server::{Server, ServerConfig};
+use skinnerdb::{DataType, Database, Value};
+
+fn demo_db() -> Database {
+    let db = Database::new();
+    db.create_table(
+        "nums",
+        &[("x", DataType::Int)],
+        (0..2000).map(|i| vec![Value::Int(i)]).collect(),
+    )
+    .unwrap();
+    db.create_table(
+        "customers",
+        &[("id", DataType::Int), ("name", DataType::Str)],
+        vec![
+            vec![Value::Int(1), Value::from("ada")],
+            vec![Value::Int(2), Value::from("grace")],
+            vec![Value::Int(3), Value::from("edsger")],
+        ],
+    )
+    .unwrap();
+    db.create_table(
+        "orders",
+        &[("customer_id", DataType::Int), ("quantity", DataType::Int)],
+        (0..200)
+            .map(|i| vec![Value::Int(1 + i % 3), Value::Int(1 + (i * 7) % 5)])
+            .collect(),
+    )
+    .unwrap();
+    db
+}
+
+fn main() {
+    // Use an external server when pointed at one, else start our own.
+    let (server, addr) = match std::env::var("SKINNER_ADDR") {
+        Ok(addr) => (None, addr),
+        Err(_) => {
+            let server = Server::bind(demo_db(), "127.0.0.1:0", ServerConfig::default())
+                .expect("bind loopback server");
+            let addr = server.local_addr().to_string();
+            println!("started in-process server on {addr}");
+            (Some(server), addr)
+        }
+    };
+
+    let mut client = Client::connect_with_retry(addr.as_str(), Duration::from_secs(10))
+        .expect("connect to server");
+    println!("connected, connection id {}", client.conn_id());
+
+    // Text mode: the server renders tables with the shared renderer.
+    client.set("output", "text").unwrap();
+    client.set("strategy", "skinner-c").unwrap();
+    let r = client
+        .query(
+            "SELECT c.name, SUM(o.quantity) total FROM customers c, orders o \
+             WHERE c.id = o.customer_id GROUP BY c.name ORDER BY total DESC",
+        )
+        .unwrap();
+    println!("\nOrder volume per customer (learned execution, over the wire):");
+    print!("{}", r.text.as_deref().unwrap_or(""));
+    println!(
+        "  [{} work units, {} µs, {} statement(s)]",
+        r.summary.work_units,
+        r.summary.wall_micros,
+        r.summary.statements.len()
+    );
+
+    // Out-of-band cancel: a torture query aborted from a second connection.
+    let handle = client.cancel_handle();
+    let canceller = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(300));
+        handle.cancel().expect("cancel acknowledged");
+    });
+    let t0 = Instant::now();
+    let err = client
+        .query(
+            "SELECT COUNT(*) c FROM nums a, nums b, nums c \
+             WHERE a.x <= b.x AND b.x <= c.x",
+        )
+        .expect_err("the torture query must be cancelled");
+    canceller.join().unwrap();
+    println!("\ntorture query cancelled after {:?}: {err}", t0.elapsed());
+
+    // The connection survives; inspect the server.
+    let stats = client.query("SHOW SERVER STATS").unwrap();
+    println!("\nSHOW SERVER STATS:");
+    print!("{}", stats.text.as_deref().unwrap_or(""));
+
+    if server.is_some() {
+        client.shutdown_server().expect("graceful shutdown");
+        println!("\nserver drained and joined all threads");
+    }
+}

@@ -52,5 +52,5 @@ fn main() {
     println!("Sample output of Q5:");
     let q5 = &workload.queries.iter().find(|q| q.name == "Q5").unwrap();
     let r = db.query(&q5.script).unwrap();
-    println!("{}", r.to_table_string(10));
+    println!("{}", skinnerdb::render_table(&r, 10));
 }

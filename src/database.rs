@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use skinner_exec::{ExecContext, ExecOutcome, ExecutionStrategy, StrategyRegistry};
+use skinner_exec::{ExecContext, ExecMetrics, ExecOutcome, ExecutionStrategy, StrategyRegistry};
 use skinner_query::ast::Statement;
 use skinner_query::{bind_select, parse_statements, BindError, JoinQuery, ParseError, UdfRegistry};
 use skinner_stats::StatsCache;
@@ -26,6 +26,9 @@ pub enum DbError {
     Schema(String),
     /// A strategy name not present in the registry.
     UnknownStrategy(String),
+    /// An unknown session option, or a value that does not parse
+    /// (see [`crate::Session::set_option`]).
+    BadOption(String),
 }
 
 impl fmt::Display for DbError {
@@ -36,6 +39,7 @@ impl fmt::Display for DbError {
             DbError::Timeout => write!(f, "query exceeded its work limit or deadline"),
             DbError::Schema(s) => write!(f, "schema error: {s}"),
             DbError::UnknownStrategy(name) => write!(f, "unknown strategy: {name}"),
+            DbError::BadOption(msg) => write!(f, "bad option: {msg}"),
         }
     }
 }
@@ -51,6 +55,90 @@ impl From<ParseError> for DbError {
 impl From<BindError> for DbError {
     fn from(e: BindError) -> Self {
         DbError::Bind(e)
+    }
+}
+
+/// What one script statement was, for per-statement reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StatementKind {
+    Select,
+    CreateTempTable(String),
+    DropTable(String),
+}
+
+impl fmt::Display for StatementKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatementKind::Select => write!(f, "SELECT"),
+            StatementKind::CreateTempTable(name) => write!(f, "CREATE TEMP TABLE {name}"),
+            StatementKind::DropTable(name) => write!(f, "DROP TABLE {name}"),
+        }
+    }
+}
+
+/// Execution record of a single statement inside a script: its own timing,
+/// work units and [`ExecMetrics`] — not just the script totals.
+#[derive(Debug)]
+pub struct StatementOutcome {
+    pub kind: StatementKind,
+    /// Rows the statement produced (result rows for the final SELECT, rows
+    /// materialized for a temp table, 0 for DROP).
+    pub rows: usize,
+    pub work_units: u64,
+    pub wall: std::time::Duration,
+    pub timed_out: bool,
+    pub metrics: ExecMetrics,
+}
+
+/// Outcome of a whole script with per-statement detail.
+///
+/// [`Database::run_script_with`] folds this into a single [`ExecOutcome`]
+/// (last SELECT's result and metrics, script-wide work/wall); callers that
+/// need per-statement timings and metrics — the server reports them per
+/// query — use [`Database::run_script_detailed`] /
+/// [`crate::Session::run_script_detailed`] instead.
+#[derive(Debug)]
+pub struct ScriptOutcome {
+    /// The last SELECT's result.
+    pub result: QueryResult,
+    /// Work units accumulated across every statement.
+    pub work_units: u64,
+    /// Wall time of the whole script.
+    pub wall: std::time::Duration,
+    /// True if any statement hit its work limit, deadline or cancellation
+    /// (the script stops at that statement).
+    pub timed_out: bool,
+    /// One record per executed statement, in script order.
+    pub statements: Vec<StatementOutcome>,
+}
+
+impl ScriptOutcome {
+    /// Collapse into the classic single-block [`ExecOutcome`]: the final
+    /// result plus the metrics of the statement that produced it (or of the
+    /// statement that timed out).
+    pub fn into_outcome(mut self) -> ExecOutcome {
+        // The single-block metrics are the ones belonging to the statement
+        // that produced `result`: the timed-out statement if any, else the
+        // last SELECT.
+        let idx = self
+            .statements
+            .iter()
+            .rposition(|s| s.timed_out)
+            .or_else(|| {
+                self.statements
+                    .iter()
+                    .rposition(|s| matches!(s.kind, StatementKind::Select))
+            });
+        let metrics = idx
+            .map(|i| std::mem::take(&mut self.statements[i].metrics))
+            .unwrap_or_default();
+        ExecOutcome {
+            result: self.result,
+            work_units: self.work_units,
+            wall: self.wall,
+            timed_out: self.timed_out,
+            metrics,
+        }
     }
 }
 
@@ -280,6 +368,21 @@ impl Database {
         strategy: &dyn ExecutionStrategy,
         ctx: &ExecContext,
     ) -> Result<ExecOutcome, DbError> {
+        self.run_script_detailed(sql, strategy, ctx)
+            .map(ScriptOutcome::into_outcome)
+    }
+
+    /// Like [`Database::run_script_with`], but reporting every statement's
+    /// own timing, work units and [`ExecMetrics`] alongside the script
+    /// totals — previously only the final statement's metrics and the
+    /// script-wide wall clock survived, so a multi-statement script could
+    /// not be attributed per statement.
+    pub fn run_script_detailed(
+        &self,
+        sql: &str,
+        strategy: &dyn ExecutionStrategy,
+        ctx: &ExecContext,
+    ) -> Result<ScriptOutcome, DbError> {
         let stmts = parse_statements(sql)?;
         if stmts.is_empty() {
             return Err(DbError::Schema("empty script".into()));
@@ -303,38 +406,63 @@ impl Database {
         strategy: &dyn ExecutionStrategy,
         ctx: &ExecContext,
         temp_tables: &mut Vec<String>,
-    ) -> Result<ExecOutcome, DbError> {
+    ) -> Result<ScriptOutcome, DbError> {
         let started = std::time::Instant::now();
         let mut total_work = 0u64;
-        let mut last: Option<ExecOutcome> = None;
-        // Shared early return for a statement that timed out mid-script: the
-        // partial outcome (and its metrics) with the accumulated work.
-        let abort_timed_out = |out: ExecOutcome, total_work: u64| {
-            Ok(ExecOutcome {
-                result: out.result,
-                work_units: total_work,
-                wall: started.elapsed(),
-                timed_out: true,
-                metrics: out.metrics,
-            })
-        };
+        let mut records: Vec<StatementOutcome> = Vec::with_capacity(stmts.len());
+        let mut last: Option<QueryResult> = None;
+        let record =
+            |records: &mut Vec<StatementOutcome>, kind: StatementKind, out: &ExecOutcome, rows| {
+                records.push(StatementOutcome {
+                    kind,
+                    rows,
+                    work_units: out.work_units,
+                    wall: out.wall,
+                    timed_out: out.timed_out,
+                    metrics: out.metrics.clone(),
+                });
+            };
         for stmt in stmts {
             match stmt {
                 Statement::Select(s) => {
                     let q = bind_select(s, &self.catalog, &self.udfs)?;
                     let out = strategy.execute(&q, ctx);
                     total_work += out.work_units;
+                    record(
+                        &mut records,
+                        StatementKind::Select,
+                        &out,
+                        out.result.num_rows(),
+                    );
                     if out.timed_out {
-                        return abort_timed_out(out, total_work);
+                        return Ok(ScriptOutcome {
+                            result: out.result,
+                            work_units: total_work,
+                            wall: started.elapsed(),
+                            timed_out: true,
+                            statements: records,
+                        });
                     }
-                    last = Some(out);
+                    last = Some(out.result);
                 }
                 Statement::CreateTempTable { name, query } => {
                     let q = bind_select(query, &self.catalog, &self.udfs)?;
                     let out = strategy.execute(&q, ctx);
                     total_work += out.work_units;
+                    record(
+                        &mut records,
+                        StatementKind::CreateTempTable(name.clone()),
+                        &out,
+                        out.result.num_rows(),
+                    );
                     if out.timed_out {
-                        return abort_timed_out(out, total_work);
+                        return Ok(ScriptOutcome {
+                            result: out.result,
+                            work_units: total_work,
+                            wall: started.elapsed(),
+                            timed_out: true,
+                            statements: records,
+                        });
                     }
                     self.materialize(name, &q, &out.result)?;
                     temp_tables.push(name.clone());
@@ -342,20 +470,26 @@ impl Database {
                 Statement::DropTable { name } => {
                     self.catalog.drop_table(name);
                     temp_tables.retain(|t| !t.eq_ignore_ascii_case(name));
+                    records.push(StatementOutcome {
+                        kind: StatementKind::DropTable(name.clone()),
+                        rows: 0,
+                        work_units: 0,
+                        wall: std::time::Duration::ZERO,
+                        timed_out: false,
+                        metrics: ExecMetrics::default(),
+                    });
                 }
             }
         }
-        let last = last.ok_or_else(|| {
+        let result = last.ok_or_else(|| {
             DbError::Schema("script contains no SELECT returning a result".into())
         })?;
-        // The script's result is the last SELECT's — including its metrics
-        // (learned join order, slices, …), with script-wide work totals.
-        Ok(ExecOutcome {
-            result: last.result,
+        Ok(ScriptOutcome {
+            result,
             work_units: total_work,
             wall: started.elapsed(),
             timed_out: false,
-            metrics: last.metrics,
+            statements: records,
         })
     }
 
@@ -539,6 +673,60 @@ mod tests {
             "Skinner-C's learned order must survive into the script outcome"
         );
         assert!(out.metrics.slices > 0);
+    }
+
+    #[test]
+    fn scripts_report_per_statement_outcomes() {
+        let db = sample_db();
+        let script = "CREATE TEMP TABLE sums AS \
+                      SELECT a.g grp, COUNT(*) c FROM a, b WHERE a.id = b.aid GROUP BY a.g; \
+                      SELECT s.grp FROM sums s ORDER BY s.grp; \
+                      DROP TABLE sums;";
+        let out = db
+            .run_script_detailed(script, db.default_strategy().as_ref(), &db.exec_context())
+            .unwrap();
+        assert_eq!(out.statements.len(), 3);
+        assert!(matches!(
+            out.statements[0].kind,
+            StatementKind::CreateTempTable(_)
+        ));
+        assert_eq!(out.statements[1].kind, StatementKind::Select);
+        assert!(matches!(
+            out.statements[2].kind,
+            StatementKind::DropTable(_)
+        ));
+        // Each executing statement carries its own timing/work/metrics.
+        assert!(out.statements[0].work_units > 0);
+        assert!(out.statements[1].work_units > 0);
+        assert_eq!(out.statements[0].rows, 3);
+        assert_eq!(out.statements[1].rows, 3);
+        assert!(out.statements[0].metrics.order.len() == 2);
+        // Script totals are the sum over statements, and the per-statement
+        // walls are individually recorded (not the whole-script elapsed).
+        assert_eq!(
+            out.work_units,
+            out.statements.iter().map(|s| s.work_units).sum::<u64>()
+        );
+        assert!(out.statements.iter().all(|s| s.wall <= out.wall));
+        // The collapsed outcome keeps the final SELECT's metrics.
+        let collapsed = out.into_outcome();
+        assert_eq!(collapsed.metrics.order.len(), 1);
+    }
+
+    #[test]
+    fn timed_out_scripts_mark_the_guilty_statement() {
+        let db = sample_db();
+        let ctx = db
+            .exec_context()
+            .with_budget(Arc::new(skinner_exec::WorkBudget::with_limit(5)));
+        let script = "SELECT a.g FROM a WHERE a.g = 0; \
+                      SELECT a.id FROM a, b WHERE a.id = b.aid";
+        let out = db
+            .run_script_detailed(script, db.default_strategy().as_ref(), &ctx)
+            .unwrap();
+        assert!(out.timed_out);
+        let last = out.statements.last().unwrap();
+        assert!(last.timed_out, "the statement that tripped is marked");
     }
 
     #[test]

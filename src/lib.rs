@@ -166,12 +166,20 @@
 //! * [`skinner_optimizer`] / [`skinner_stats`] — the traditional baseline,
 //! * [`skinner_adaptive`] — Eddies and the sampling re-optimizer,
 //! * [`skinner_workloads`] — TPC-H / JOB-like / torture generators.
+//!
+//! Beyond the library, `skinner_server` (with its `skinner-server`
+//! binary) serves this engine over a native TCP wire protocol — one
+//! [`Session`] per connection, admission control, out-of-band query
+//! cancellation — and `skinner_client` is the matching client; see the
+//! README's "Running the server".
 
 pub mod database;
+pub mod render;
 pub mod session;
 pub mod strategy;
 
-pub use database::{Database, DbError};
+pub use database::{Database, DbError, ScriptOutcome, StatementKind, StatementOutcome};
+pub use render::{render_table, render_table_with, TableOptions};
 pub use session::{Prepared, Session, SessionSettings};
 pub use strategy::{builtin_registry, Strategy};
 

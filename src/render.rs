@@ -1,0 +1,195 @@
+//! Text rendering of query results.
+//!
+//! One shared aligned-column renderer for every place the workspace prints
+//! rows — the `examples/`, the benchmark harness, and the server's text
+//! mode — instead of ad-hoc per-caller formatting.
+
+use skinner_exec::QueryResult;
+use skinner_storage::Value;
+
+/// Rendering knobs for [`render_table_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct TableOptions {
+    /// Rows printed before the output is truncated with a
+    /// "(… more rows)" footer.
+    pub max_rows: usize,
+    /// Hard cap on a single cell's width; longer cells are cut with an
+    /// ellipsis so one wide string cannot blow up the whole table.
+    pub max_col_width: usize,
+    /// Append a `N row(s)` summary line after the table.
+    pub row_count_footer: bool,
+}
+
+impl Default for TableOptions {
+    fn default() -> Self {
+        TableOptions {
+            max_rows: 50,
+            max_col_width: 64,
+            row_count_footer: false,
+        }
+    }
+}
+
+/// Render `result` as an aligned text table showing at most `max_rows` rows.
+pub fn render_table(result: &QueryResult, max_rows: usize) -> String {
+    render_table_with(
+        result,
+        &TableOptions {
+            max_rows,
+            ..TableOptions::default()
+        },
+    )
+}
+
+/// Render `result` as an aligned text table under explicit [`TableOptions`].
+pub fn render_table_with(result: &QueryResult, opts: &TableOptions) -> String {
+    // All widths are in chars (not bytes) so multibyte text aligns.
+    let clip = |s: String| -> String {
+        if s.chars().count() > opts.max_col_width {
+            let keep = opts.max_col_width.saturating_sub(1);
+            let mut clipped: String = s.chars().take(keep).collect();
+            clipped.push('…');
+            clipped
+        } else {
+            s
+        }
+    };
+    let mut widths: Vec<usize> = result
+        .columns
+        .iter()
+        .map(|c| c.chars().count().min(opts.max_col_width))
+        .collect();
+    let shown = result.rows.len().min(opts.max_rows);
+    let cells: Vec<Vec<String>> = result.rows[..shown]
+        .iter()
+        .map(|r| r.iter().map(|v| clip(format_value(v))).collect())
+        .collect();
+    for row in &cells {
+        for (i, c) in row.iter().enumerate() {
+            widths[i] = widths[i].max(c.chars().count());
+        }
+    }
+    // `{:<w$}` pads by char count for strings, matching the char widths.
+    let mut out = String::new();
+    for (i, c) in result.columns.iter().enumerate() {
+        out.push_str(&format!("{:<w$}  ", clip(c.clone()), w = widths[i]));
+    }
+    out.push('\n');
+    for w in &widths {
+        out.push_str(&"-".repeat(*w));
+        out.push_str("  ");
+    }
+    out.push('\n');
+    for row in &cells {
+        for (i, c) in row.iter().enumerate() {
+            out.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+        }
+        out.push('\n');
+    }
+    if result.rows.len() > shown {
+        out.push_str(&format!("… ({} more rows)\n", result.rows.len() - shown));
+    }
+    if opts.row_count_footer {
+        out.push_str(&format!("({} row(s))\n", result.num_rows()));
+    }
+    out
+}
+
+/// Canonical display form of one value (floats at fixed precision so
+/// strategies differing only in summation order render identically).
+pub fn format_value(v: &Value) -> String {
+    match v {
+        Value::Float(x) => format!("{x:.4}"),
+        other => other.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> QueryResult {
+        QueryResult {
+            columns: vec!["a".into(), "b".into()],
+            rows: (0..5)
+                .map(|i| vec![Value::Int(i), Value::from("x")])
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn table_rendering_truncates() {
+        let s = render_table(&sample(), 2);
+        assert!(s.contains("3 more rows"));
+        assert!(s.starts_with("a"));
+    }
+
+    #[test]
+    fn columns_align_to_widest_cell() {
+        let r = QueryResult {
+            columns: vec!["n".into()],
+            rows: vec![vec![Value::Int(1)], vec![Value::Int(12345)]],
+        };
+        let s = render_table(&r, 10);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[1], "-----  ", "separator spans the widest cell");
+        assert!(lines[2].starts_with("1    "));
+    }
+
+    #[test]
+    fn wide_cells_are_clipped() {
+        let r = QueryResult {
+            columns: vec!["s".into()],
+            rows: vec![vec![Value::from("x".repeat(200).as_str())]],
+        };
+        let s = render_table_with(
+            &r,
+            &TableOptions {
+                max_col_width: 8,
+                ..TableOptions::default()
+            },
+        );
+        assert!(s.contains('…'));
+        assert!(!s.contains(&"x".repeat(9)));
+    }
+
+    #[test]
+    fn multibyte_text_aligns_and_clips_by_chars() {
+        let r = QueryResult {
+            columns: vec!["имя".into()],
+            rows: vec![vec![Value::from("долгое-имя")], vec![Value::from("aб")]],
+        };
+        let s = render_table(&r, 10);
+        let lines: Vec<&str> = s.lines().collect();
+        // Width is the 10-char cell, measured in chars not bytes.
+        assert_eq!(lines[1], format!("{}  ", "-".repeat(10)));
+        // A 10-char multibyte string under a 64-char cap is NOT clipped.
+        assert!(!s.contains('…'));
+        let clipped = render_table_with(
+            &r,
+            &TableOptions {
+                max_col_width: 6,
+                ..TableOptions::default()
+            },
+        );
+        assert!(clipped.contains("долго…"), "{clipped}");
+    }
+
+    #[test]
+    fn footer_counts_rows() {
+        let s = render_table_with(
+            &sample(),
+            &TableOptions {
+                row_count_footer: true,
+                ..TableOptions::default()
+            },
+        );
+        assert!(s.trim_end().ends_with("(5 row(s))"));
+    }
+
+    #[test]
+    fn floats_render_at_fixed_precision() {
+        assert_eq!(format_value(&Value::Float(0.1 + 0.2)), "0.3000");
+        assert_eq!(format_value(&Value::Int(7)), "7");
+    }
+}

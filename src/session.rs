@@ -16,7 +16,7 @@ use skinner_exec::{CancelToken, ExecContext, ExecOutcome, ExecutionStrategy, Wor
 use skinner_query::JoinQuery;
 use skinner_stats::StatsCache;
 
-use crate::database::{Database, DbError};
+use crate::database::{Database, DbError, ScriptOutcome};
 use crate::strategy::Strategy;
 use crate::QueryResult;
 
@@ -108,6 +108,51 @@ impl Session {
         self.settings.write().threads = threads.map(|t| t.max(1));
     }
 
+    /// Set a session option from string key/value pairs — the plumbing
+    /// behind the server's `SET <key> = <value>` command, usable by any
+    /// text-configured client. Keys (case-insensitive):
+    ///
+    /// | key           | value                                            |
+    /// |---------------|--------------------------------------------------|
+    /// | `strategy`    | a registry name (`skinner-c`, `traditional`, …)  |
+    /// | `threads`     | worker count; `0` or `default` inherits the db   |
+    /// | `work_limit`  | max work units per statement; `none` = unlimited |
+    /// | `deadline_ms` | per-statement deadline in ms; `0`/`none` = none  |
+    pub fn set_option(&self, key: &str, value: &str) -> Result<(), DbError> {
+        let value = value.trim();
+        let bad = |what: &str| DbError::BadOption(format!("{what}: {value:?}"));
+        match key.trim().to_ascii_lowercase().as_str() {
+            "strategy" => self.use_strategy(value),
+            "threads" => {
+                if value.eq_ignore_ascii_case("default") {
+                    self.set_threads(None);
+                    return Ok(());
+                }
+                let n: usize = value.parse().map_err(|_| bad("threads"))?;
+                self.set_threads(if n == 0 { None } else { Some(n) });
+                Ok(())
+            }
+            "work_limit" => {
+                if value.eq_ignore_ascii_case("none") {
+                    self.set_work_limit(u64::MAX);
+                    return Ok(());
+                }
+                self.set_work_limit(value.parse().map_err(|_| bad("work_limit"))?);
+                Ok(())
+            }
+            "deadline_ms" => {
+                if value.eq_ignore_ascii_case("none") {
+                    self.set_deadline(None);
+                    return Ok(());
+                }
+                let ms: u64 = value.parse().map_err(|_| bad("deadline_ms"))?;
+                self.set_deadline((ms > 0).then(|| Duration::from_millis(ms)));
+                Ok(())
+            }
+            other => Err(DbError::BadOption(format!("unknown option: {other:?}"))),
+        }
+    }
+
     /// A fresh [`ExecContext`] reflecting this session's settings.
     pub fn exec_context(&self) -> ExecContext {
         let settings = self.settings();
@@ -120,6 +165,15 @@ impl Session {
         let strategy = self.strategy();
         self.db
             .run_script_with(sql, strategy.as_ref(), &self.exec_context())
+    }
+
+    /// Run a SQL script under the session strategy/settings with
+    /// per-statement detail (each statement's timing, work units and
+    /// metrics — what the server reports per query).
+    pub fn run_script_detailed(&self, sql: &str) -> Result<ScriptOutcome, DbError> {
+        let strategy = self.strategy();
+        self.db
+            .run_script_detailed(sql, strategy.as_ref(), &self.exec_context())
     }
 
     /// Run a SQL script and return the last SELECT's result; a timeout
@@ -211,6 +265,20 @@ impl Prepared {
     pub fn execute_with(&self, strategy: &dyn ExecutionStrategy) -> ExecOutcome {
         let ctx = exec_context_for(&self.db, self.settings);
         strategy.execute(&self.query, &ctx)
+    }
+
+    /// Execute under an explicit [`ExecContext`] (callers that need their
+    /// own cancellation or budget wiring — the server threads a
+    /// per-connection cancel token through here).
+    pub fn execute_in(&self, ctx: &ExecContext) -> ExecOutcome {
+        self.strategy.execute(&self.query, ctx)
+    }
+
+    /// A fresh context from the statement's snapshotted settings (work
+    /// limit, deadline, threads); combine with
+    /// [`ExecContext::with_cancel`] to add external cancellation.
+    pub fn fresh_context(&self) -> ExecContext {
+        exec_context_for(&self.db, self.settings)
     }
 
     /// Statistics handle (for strategies that want calibration context).
@@ -315,6 +383,57 @@ mod tests {
         assert_eq!(rows.num_rows(), 4);
         session.set_threads(None);
         assert_eq!(session.exec_context().threads(), 2, "back to db default");
+    }
+
+    #[test]
+    fn set_option_plumbs_every_knob() {
+        let db = sample_db();
+        let session = db.session();
+        session.set_option("strategy", "traditional").unwrap();
+        assert_eq!(session.strategy().name(), "Traditional");
+        session.set_option("THREADS", "4").unwrap();
+        assert_eq!(session.settings().threads, Some(4));
+        session.set_option("threads", "default").unwrap();
+        assert_eq!(session.settings().threads, None);
+        session.set_option("work_limit", "1234").unwrap();
+        assert_eq!(session.settings().work_limit, 1234);
+        session.set_option("work_limit", "none").unwrap();
+        assert_eq!(session.settings().work_limit, u64::MAX);
+        session.set_option("deadline_ms", "250").unwrap();
+        assert_eq!(
+            session.settings().deadline,
+            Some(Duration::from_millis(250))
+        );
+        session.set_option("deadline_ms", "0").unwrap();
+        assert_eq!(session.settings().deadline, None);
+        assert!(matches!(
+            session.set_option("nope", "1"),
+            Err(DbError::BadOption(_))
+        ));
+        assert!(matches!(
+            session.set_option("threads", "lots"),
+            Err(DbError::BadOption(_))
+        ));
+        assert!(matches!(
+            session.set_option("strategy", "missing"),
+            Err(DbError::UnknownStrategy(_))
+        ));
+    }
+
+    #[test]
+    fn prepared_execute_in_honours_external_cancel() {
+        let db = sample_db();
+        let session = db.session();
+        let prepared = session
+            .prepare("SELECT t.id FROM t, u WHERE t.id = u.tid")
+            .unwrap();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let out = prepared.execute_in(&prepared.fresh_context().with_cancel(cancel));
+        assert!(out.timed_out, "pre-cancelled context must abort the run");
+        let ok = prepared.execute_in(&prepared.fresh_context());
+        assert!(!ok.timed_out);
+        assert_eq!(ok.result.num_rows(), 60);
     }
 
     #[test]
