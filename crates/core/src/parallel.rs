@@ -6,8 +6,14 @@
 //! threads, and all workers learn through one UCT tree. This module is that
 //! design on top of the Skinner-C machinery:
 //!
-//! * the coordinator selects a join order from a
-//!   [`ConcurrentUctTree`](skinner_uct::ConcurrentUctTree), cuts the next
+//! * the coordinator selects a join order from a shared
+//!   [`SharedUctTree`] — behind the `threads`
+//!   knob this is the single-root
+//!   [`ConcurrentUctTree`](skinner_uct::ConcurrentUctTree) at one thread
+//!   (keeping the 1-thread run bit-identical to sequential Skinner-C) and
+//!   the per-first-table [`ShardedUctTree`](skinner_uct::ShardedUctTree)
+//!   at more, so workers back rewards up into disjoint padded shard
+//!   counters instead of all CASing one root — cuts the next
 //!   `batch_tuples` rows of the order's left-most table into contiguous
 //!   chunks ([`skinner_exec::partition_tuples`]), and scatters them over a
 //!   persistent [`WorkerPool`];
@@ -18,7 +24,13 @@
 //!   cannot overspend it), then reports its reward into the shared tree;
 //! * completed batches advance the global per-table offsets exactly like
 //!   sequential Skinner-C, so every tuple range is joined exactly once and
-//!   the result is identical to any other strategy's.
+//!   the result is identical to any other strategy's;
+//! * grouping/ordering post-processing runs through
+//!   [`skinner_exec::postprocess_parallel`]: result tuples are partitioned
+//!   across a short-lived [`WorkerPool`] of its own (the episode pool's
+//!   channels are typed for join tasks) for partial aggregation / local
+//!   sorting with a coordinator hash-/k-way merge, so the tail of the
+//!   query no longer serializes on the coordinator thread.
 //!
 //! Episodes that blow past the adaptive per-episode work cap are
 //! *abandoned* (Skinner-G's destructive-timeout discipline): their partial
@@ -29,6 +41,13 @@
 //!
 //! With one thread the strategy degenerates to sequential Skinner-C over
 //! whole batches: same joins, same offsets discipline, same result rows.
+//!
+//! Instrumentation: the outcome's [`ExecMetrics`] counters include
+//! `uct_shards` (shards the learner spread root updates over),
+//! `root_cas_contention` (CAS retries on the hot reward counters — the
+//! quantity sharding exists to reduce) and `postprocess_us` (wall time of
+//! the post-processing phase, reported separately so the `thread_scaling`
+//! benchmark can show the parallel-postprocessing win on its own).
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -43,7 +62,7 @@ use skinner_exec::{
 };
 use skinner_query::JoinQuery;
 use skinner_storage::RowId;
-use skinner_uct::ConcurrentUctTree;
+use skinner_uct::SharedUctTree;
 
 use crate::skinner_c::join::{continue_join_ranged, MultiwayCtx, OrderInfo, SliceOutcome};
 use crate::skinner_c::preproc::prepare;
@@ -106,7 +125,7 @@ struct EpisodeTask {
     cap: u64,
     slice_steps: u64,
     cancel: CancelToken,
-    tree: Arc<ConcurrentUctTree>,
+    tree: Arc<SharedUctTree>,
     /// Reward normalization: expected work per left-most tuple of a good
     /// order.
     norm: f64,
@@ -226,10 +245,14 @@ pub fn run_parallel_skinner(
     let mctx = Arc::new(prepared.ctx);
     let cards: Vec<RowId> = mctx.tables.iter().map(|t| t.cardinality()).collect();
 
+    // One thread keeps the single-root tree (bit-identical learning path
+    // to sequential Skinner-C); more threads get the sharded tree so
+    // backups from different first tables hit disjoint cache lines.
     let graph = query.join_graph();
-    let tree = Arc::new(ConcurrentUctTree::new(
+    let tree = Arc::new(SharedUctTree::for_threads(
         graph.clone(),
         cfg.exploration_weight,
+        threads,
     ));
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x9A7A11E1);
     let pool: WorkerPool<EpisodeTask, WorkerReport> =
@@ -346,11 +369,15 @@ pub fn run_parallel_skinner(
     let result_set_bytes = global_results.byte_size();
     let total_aux_bytes = tree.byte_size() + result_set_bytes + prepared.index_bytes;
 
+    // Post-processing: partitioned across workers (partial aggregation /
+    // local sort + coordinator merge) instead of serializing on this
+    // thread; timed separately so benchmarks can report the phase alone.
+    let pp_start = Instant::now();
     let result = if timed_out {
         QueryResult::empty(columns)
     } else {
         let tuples = global_results.into_tuples();
-        match skinner_exec::postprocess(&mctx.tables, query, &tuples, &budget) {
+        match skinner_exec::postprocess_parallel(&mctx.tables, query, tuples, &budget, threads) {
             Ok(r) => r,
             Err(_) => {
                 timed_out = true;
@@ -358,6 +385,7 @@ pub fn run_parallel_skinner(
             }
         }
     };
+    let postprocess_us = pp_start.elapsed().as_micros() as u64;
 
     let mut order_slice_counts: Vec<(Vec<usize>, u64)> = order_counts
         .into_iter()
@@ -381,13 +409,21 @@ pub fn run_parallel_skinner(
             total_aux_bytes,
             tree_growth,
             order_slice_counts,
+            shard_stats: tree
+                .shard_stats()
+                .iter()
+                .map(|s| (s.first_table, s.visits, s.contention))
+                .collect(),
             ..ExecMetrics::default()
         }
         .with_counter("threads", threads as u64)
         .with_counter("episodes", episodes)
         .with_counter("failed_episodes", failed_episodes)
         .with_counter("worker_slices", workers.slices)
-        .with_counter("chunks", workers.counter("chunks").unwrap_or(0)),
+        .with_counter("chunks", workers.counter("chunks").unwrap_or(0))
+        .with_counter("uct_shards", tree.num_shards() as u64)
+        .with_counter("root_cas_contention", tree.contention())
+        .with_counter("postprocess_us", postprocess_us),
     }
 }
 
@@ -488,6 +524,25 @@ mod tests {
         assert!(!out.metrics.order_slice_counts.is_empty());
         assert!(out.metrics.counter("chunks").unwrap() >= out.metrics.slices);
         assert_eq!(out.metrics.order.len(), 3);
+        // Multi-threaded runs learn through the sharded tree: one shard
+        // per eligible first table, with contention observable (possibly
+        // zero on a single-core box) and post-processing timed separately.
+        assert_eq!(out.metrics.counter("uct_shards"), Some(3));
+        assert!(out.metrics.counter("root_cas_contention").is_some());
+        assert!(out.metrics.counter("postprocess_us").is_some());
+    }
+
+    #[test]
+    fn one_thread_keeps_the_single_root_tree() {
+        let cat = setup();
+        let q = bind("SELECT a.id FROM a, b WHERE a.id = b.aid", &cat);
+        let out = run_parallel_skinner(&q, &ExecContext::default(), &cfg(1));
+        assert!(!out.timed_out);
+        assert_eq!(
+            out.metrics.counter("uct_shards"),
+            Some(1),
+            "1 thread must use the proven single-root tree"
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! regret-bounded evaluation:
 //!
 //! 1. **Minimal join-order switching overhead** — execution state is a
-//!    single vector of tuple indices ([`join::JoinState`]); switching orders
+//!    single vector of tuple indices ([`state::JoinState`]); switching orders
 //!    is a vector copy.
 //! 2. **No progress loss on interruption** — state is backed up after every
 //!    time slice and restored on re-selection ([`state::ProgressTracker`]).

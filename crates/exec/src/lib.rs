@@ -9,19 +9,22 @@
 //!   baselines — the hardware-independent counterpart of the paper's wall
 //!   clock, mirroring its cardinality columns (Tables 1–2) and
 //!   "#evaluations" (Figure 11).
-//! * [`preprocess`] — unary filtering into materialized filtered tables
+//! * [`preprocess`](mod@preprocess) — unary filtering into materialized filtered tables
 //!   (optionally parallel), shared by all engines (paper Section 3's
 //!   pre-processor).
 //! * [`engine`] — a blocking left-deep join executor (hash joins on equality
 //!   predicates, nested loops otherwise) that materializes intermediate
 //!   results per binary join and **loses all progress on timeout** — exactly
 //!   the black-box behaviour Skinner-G must cope with (Section 4.3).
-//! * [`postprocess`] — grouping, aggregation, ordering, limit, distinct
-//!   (Section 3's post-processor).
+//! * [`postprocess`](mod@postprocess) — grouping, aggregation, ordering, limit, distinct
+//!   (Section 3's post-processor), plus [`postprocess_parallel`]: the same
+//!   pipeline split across the worker pool (per-worker partial aggregation
+//!   or local sort, coordinator hash-/k-way merge) with identical results
+//!   at every thread count.
 //! * [`traditional`] — the full traditional-DBMS query path (statistics →
 //!   DP optimizer → execution), configurable between a row-at-a-time profile
 //!   (Postgres-like) and a vectorized column profile (MonetDB-like).
-//! * [`reference`] — a naive nested-loop executor used as ground truth in
+//! * [`reference`](mod@reference) — a naive nested-loop executor used as ground truth in
 //!   correctness tests.
 //! * [`oracle`] — exact join-cardinality counting, which defines the
 //!   *optimal* join orders replayed in the paper's Tables 3 and 4.
@@ -57,7 +60,7 @@ pub use context::{default_threads, CancelToken, ExecContext};
 pub use engine::{execute_join, join_step, ExecProfile, JoinOutput};
 pub use outcome::{ExecMetrics, ExecOutcome};
 pub use pool::{merge_worker_metrics, partition_tuples, TupleRange, WorkerPool};
-pub use postprocess::postprocess;
+pub use postprocess::{postprocess, postprocess_parallel};
 pub use preprocess::{preprocess, Preprocessed};
 pub use result::QueryResult;
 pub use strategy::{ExecutionStrategy, ReferenceStrategy, StrategyRegistry, TraditionalStrategy};

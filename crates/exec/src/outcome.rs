@@ -84,6 +84,11 @@ pub struct ExecMetrics {
     pub tree_growth: Vec<(u64, usize)>,
     /// Slice counts per join order, most-used first (Figure 7b).
     pub order_slice_counts: Vec<(Vec<usize>, u64)>,
+    /// Per-shard learner counters `(first_table, visits, cas_retries)`
+    /// from sharded-tree strategies (`parallel_skinner`); a single entry
+    /// for single-root trees. The `thread_scaling` benchmark serializes
+    /// these into `BENCH_thread_scaling.json`.
+    pub shard_stats: Vec<(usize, u64, u64)>,
     /// Named scalar metrics: `routings` (eddy), `replans` (re-optimizer),
     /// `rounds` (Skinner-H), `timeout_levels` (Skinner-G), ….
     pub counters: Vec<(&'static str, u64)>,

@@ -22,6 +22,10 @@
 //!
 //! ## Wire protocol
 //!
+//! The full normative specification — frame layout, message tags,
+//! error codes, the cancel handshake — lives next to this crate in
+//! `crates/server/PROTOCOL.md`; the summary:
+//!
 //! Frames are a little-endian `u32` payload length followed by the
 //! payload; the payload's first byte is the message tag (see
 //! [`protocol`]). Strings are length-prefixed UTF-8; values carry a

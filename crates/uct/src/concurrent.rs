@@ -35,22 +35,25 @@ use rand::Rng;
 
 use skinner_query::{JoinGraph, TableSet};
 
-const UNMATERIALIZED: u32 = u32::MAX;
+pub(crate) const UNMATERIALIZED: u32 = u32::MAX;
 
-struct CNode {
+/// One node of a concurrent UCT arena (shared with the sharded tree in
+/// [`crate::sharded`]; both trees run the identical selection policy over
+/// this node shape).
+pub(crate) struct CNode {
     /// Join-order prefix this node represents.
-    selected: TableSet,
+    pub(crate) selected: TableSet,
     /// Eligible next tables, parallel to `child_ids`.
-    child_tables: Vec<u8>,
+    pub(crate) child_tables: Vec<u8>,
     /// Arena ids of materialized children (`u32::MAX` = not materialized).
-    child_ids: Vec<AtomicU32>,
-    visits: AtomicU64,
+    pub(crate) child_ids: Vec<AtomicU32>,
+    pub(crate) visits: AtomicU64,
     /// Reward sum stored as `f64` bits, updated via CAS.
-    reward_bits: AtomicU64,
+    pub(crate) reward_bits: AtomicU64,
 }
 
 impl CNode {
-    fn new(selected: TableSet, graph: &JoinGraph) -> Self {
+    pub(crate) fn new(selected: TableSet, graph: &JoinGraph) -> Self {
         let child_tables: Vec<u8> = graph
             .eligible_next(selected)
             .iter()
@@ -68,15 +71,15 @@ impl CNode {
         }
     }
 
-    fn visits(&self) -> u64 {
+    pub(crate) fn visits(&self) -> u64 {
         self.visits.load(Ordering::Relaxed)
     }
 
-    fn reward_sum(&self) -> f64 {
+    pub(crate) fn reward_sum(&self) -> f64 {
         f64::from_bits(self.reward_bits.load(Ordering::Relaxed))
     }
 
-    fn mean_reward(&self) -> f64 {
+    pub(crate) fn mean_reward(&self) -> f64 {
         let v = self.visits();
         if v == 0 {
             0.0
@@ -85,22 +88,82 @@ impl CNode {
         }
     }
 
-    fn record(&self, reward: f64) {
+    /// Register one visit with `reward`. Returns the number of CAS retries
+    /// the reward accumulation needed — the direct measure of how many
+    /// other threads were hammering the same counter at the same moment.
+    pub(crate) fn record(&self, reward: f64) -> u64 {
         self.visits.fetch_add(1, Ordering::Relaxed);
-        let mut cur = self.reward_bits.load(Ordering::Relaxed);
-        loop {
-            let next = (f64::from_bits(cur) + reward).to_bits();
-            match self.reward_bits.compare_exchange_weak(
-                cur,
-                next,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            ) {
-                Ok(_) => return,
-                Err(seen) => cur = seen,
+        cas_add_reward(&self.reward_bits, reward)
+    }
+}
+
+/// Lossless concurrent reward accumulation: add `reward` to the `f64`
+/// stored as bits in `bits` via a CAS loop. Returns the number of retries
+/// (0 = uncontended). Shared by every reward counter in the crate so the
+/// accumulation discipline — and its contention accounting — cannot drift
+/// between the single-root and sharded trees.
+pub(crate) fn cas_add_reward(bits: &AtomicU64, reward: f64) -> u64 {
+    let mut retries = 0;
+    let mut cur = bits.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(cur) + reward).to_bits();
+        match bits.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return retries,
+            Err(seen) => {
+                retries += 1;
+                cur = seen;
             }
         }
     }
+}
+
+/// The UCT child-selection policy both concurrent trees share: unvisited
+/// children first (uniformly at random), otherwise the maximal upper
+/// confidence bound `r̄_c + w·√(ln v_p / v_c)` with random tie-breaking.
+///
+/// `parent_visits` is passed in rather than read from `node` because the
+/// sharded tree keeps its shard-root visit counters outside the node arena
+/// (padded, per-shard); `resolve` maps arena ids to nodes for whichever
+/// arena the caller descends.
+pub(crate) fn select_child_policy(
+    w: f64,
+    node: &CNode,
+    parent_visits: u64,
+    resolve: &impl Fn(u32) -> Arc<CNode>,
+    rng: &mut StdRng,
+) -> (usize, Option<u32>) {
+    debug_assert!(!node.child_tables.is_empty(), "selecting from a leaf");
+    let ids: Vec<u32> = node
+        .child_ids
+        .iter()
+        .map(|c| c.load(Ordering::Acquire))
+        .collect();
+    let unvisited: Vec<usize> = (0..node.child_tables.len())
+        .filter(|&i| ids[i] == UNMATERIALIZED || resolve(ids[i]).visits() == 0)
+        .collect();
+    if !unvisited.is_empty() {
+        let pick = unvisited[rng.gen_range(0..unvisited.len())];
+        let table = node.child_tables[pick] as usize;
+        return (table, (ids[pick] != UNMATERIALIZED).then_some(ids[pick]));
+    }
+    let ln_vp = (parent_visits.max(1) as f64).ln();
+    let mut best_score = f64::NEG_INFINITY;
+    let mut best: Vec<usize> = Vec::new();
+    for (i, &id) in ids.iter().enumerate() {
+        let c = resolve(id);
+        // A concurrent backup can race `visits` to a newer value than
+        // the unvisited scan saw; `max(1)` keeps the bound finite.
+        let score = c.mean_reward() + w * (ln_vp / c.visits().max(1) as f64).sqrt();
+        if score > best_score + 1e-12 {
+            best_score = score;
+            best.clear();
+            best.push(i);
+        } else if (score - best_score).abs() <= 1e-12 {
+            best.push(i);
+        }
+    }
+    let pick = best[rng.gen_range(0..best.len())];
+    (node.child_tables[pick] as usize, Some(ids[pick]))
 }
 
 /// The shared UCT search tree for one query, usable from many threads.
@@ -108,6 +171,10 @@ pub struct ConcurrentUctTree {
     graph: JoinGraph,
     nodes: RwLock<Vec<Arc<CNode>>>,
     w: f64,
+    /// CAS retries observed while accumulating reward at the *root* — the
+    /// counter every worker of every episode hits. This is the contention
+    /// the sharded tree ([`crate::ShardedUctTree`]) exists to spread out.
+    root_contention: AtomicU64,
 }
 
 impl ConcurrentUctTree {
@@ -117,6 +184,7 @@ impl ConcurrentUctTree {
             graph,
             nodes: RwLock::new(vec![root]),
             w: exploration_weight,
+            root_contention: AtomicU64::new(0),
         }
     }
 
@@ -165,38 +233,7 @@ impl ConcurrentUctTree {
     /// sequential tree): unvisited children uniformly at random, otherwise
     /// the maximal upper confidence bound with random tie-breaking.
     fn select_child(&self, node: &CNode, rng: &mut StdRng) -> (usize, Option<u32>) {
-        debug_assert!(!node.child_tables.is_empty(), "selecting from a leaf");
-        let ids: Vec<u32> = node
-            .child_ids
-            .iter()
-            .map(|c| c.load(Ordering::Acquire))
-            .collect();
-        let unvisited: Vec<usize> = (0..node.child_tables.len())
-            .filter(|&i| ids[i] == UNMATERIALIZED || self.node(ids[i]).visits() == 0)
-            .collect();
-        if !unvisited.is_empty() {
-            let pick = unvisited[rng.gen_range(0..unvisited.len())];
-            let table = node.child_tables[pick] as usize;
-            return (table, (ids[pick] != UNMATERIALIZED).then_some(ids[pick]));
-        }
-        let ln_vp = (node.visits().max(1) as f64).ln();
-        let mut best_score = f64::NEG_INFINITY;
-        let mut best: Vec<usize> = Vec::new();
-        for (i, &id) in ids.iter().enumerate() {
-            let c = self.node(id);
-            // A concurrent backup can race `visits` to a newer value than
-            // the unvisited scan saw; `max(1)` keeps the bound finite.
-            let score = c.mean_reward() + self.w * (ln_vp / c.visits().max(1) as f64).sqrt();
-            if score > best_score + 1e-12 {
-                best_score = score;
-                best.clear();
-                best.push(i);
-            } else if (score - best_score).abs() <= 1e-12 {
-                best.push(i);
-            }
-        }
-        let pick = best[rng.gen_range(0..best.len())];
-        (node.child_tables[pick] as usize, Some(ids[pick]))
+        select_child_policy(self.w, node, node.visits(), &|id| self.node(id), rng)
     }
 
     /// Materialize the child of `parent` for `table`, or return the node
@@ -227,7 +264,10 @@ impl ConcurrentUctTree {
     pub fn backup(&self, order: &[usize], reward: f64) {
         let reward = reward.clamp(0.0, 1.0);
         let mut node = self.node(0);
-        node.record(reward);
+        let retries = node.record(reward);
+        if retries > 0 {
+            self.root_contention.fetch_add(retries, Ordering::Relaxed);
+        }
         for &t in order {
             let Some(slot) = node.child_tables.iter().position(|&x| x as usize == t) else {
                 return; // order left the materialized tree shape
@@ -249,6 +289,14 @@ impl ConcurrentUctTree {
     /// Total rounds played (root visits == number of `backup` calls).
     pub fn rounds(&self) -> u64 {
         self.node(0).visits()
+    }
+
+    /// CAS retries suffered at the root reward counter so far. Every worker
+    /// of every episode backs up through the single root, so under high
+    /// thread counts this number grows with contention — the quantity the
+    /// `thread_scaling` benchmark reports and the sharded tree removes.
+    pub fn root_contention(&self) -> u64 {
+        self.root_contention.load(Ordering::Relaxed)
     }
 
     /// Mean reward currently recorded at the root (diagnostics).

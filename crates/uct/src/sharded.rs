@@ -1,0 +1,683 @@
+//! A sharded concurrent UCT tree: per-first-table subtrees with disjoint
+//! hot counters.
+//!
+//! [`crate::ConcurrentUctTree`] funnels every worker of every episode
+//! through one root: each backup does a `fetch_add` plus a CAS loop on the
+//! same pair of cache lines, so at high thread counts the learner itself
+//! becomes the contention point of the executor it steers.
+//! [`ShardedUctTree`] partitions the search tree by the *first table* of
+//! the join order — the root's children — into independent shards:
+//!
+//! * each shard owns a cache-line-aligned block of root counters
+//!   (visits, reward bits, a CAS-retry counter) and its
+//!   **own node arena behind its own lock**, so workers backing up through
+//!   different first tables touch disjoint cache lines and never serialize
+//!   on a shared arena lock;
+//! * a lightweight top-level selector plays UCB over the shards using only
+//!   their visit totals and reward sums (no global counter is ever
+//!   written — the "root visit count" is the *sum* of the shard counters,
+//!   computed on read);
+//! * within a shard, selection and backup are exactly the concurrent
+//!   tree's policy over the shard's arena (the child-selection routine is
+//!   literally the same function), so learning behaviour per subtree is
+//!   unchanged.
+//!
+//! # Invariants
+//!
+//! The invariants the stress suite (`crates/uct/tests/sharded_stress.rs`)
+//! pins, which parallel learning correctness rests on:
+//!
+//! * **visits == backups**: the sum of per-shard visit counters equals the
+//!   exact number of [`ShardedUctTree::backup`] calls — no update is ever
+//!   lost, under any interleaving;
+//! * **exact reward sums**: reward accumulation is a CAS loop on `f64`
+//!   bits, so the total reward recorded equals the total reward submitted
+//!   (no torn or dropped updates);
+//! * **bounded growth**: at most one node is materialized per `select`
+//!   call;
+//! * **valid orders**: every selected order satisfies the join graph's
+//!   eligibility rule (Cartesian products only when unavoidable).
+//!
+//! Contention is observable, not just hoped away:
+//! [`ShardedUctTree::shard_stats`] reports per-shard visits and CAS-retry
+//! counts, and [`ShardedUctTree::contention`] totals them; the
+//! `thread_scaling` benchmark prints both sides (shared root vs sharded)
+//! so the win is measurable even before multi-core hardware is available.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use skinner_query::{JoinGraph, TableSet};
+
+use crate::concurrent::{select_child_policy, CNode, UNMATERIALIZED};
+
+/// One shard's root counters, padded to two cache lines so shards never
+/// false-share: every backup hits its shard's block and nobody else's.
+#[repr(align(128))]
+struct ShardCounters {
+    visits: AtomicU64,
+    /// Reward sum as `f64` bits, CAS-accumulated (never lossy).
+    reward_bits: AtomicU64,
+    /// CAS retries on `reward_bits` — this shard's observed contention.
+    contention: AtomicU64,
+}
+
+impl ShardCounters {
+    fn new() -> Self {
+        ShardCounters {
+            visits: AtomicU64::new(0),
+            reward_bits: AtomicU64::new(0f64.to_bits()),
+            contention: AtomicU64::new(0),
+        }
+    }
+
+    fn visits(&self) -> u64 {
+        self.visits.load(Ordering::Relaxed)
+    }
+
+    fn reward_sum(&self) -> f64 {
+        f64::from_bits(self.reward_bits.load(Ordering::Relaxed))
+    }
+
+    fn mean_reward(&self) -> f64 {
+        let v = self.visits();
+        if v == 0 {
+            0.0
+        } else {
+            self.reward_sum() / v as f64
+        }
+    }
+
+    fn record(&self, reward: f64) {
+        self.visits.fetch_add(1, Ordering::Relaxed);
+        let retries = crate::concurrent::cas_add_reward(&self.reward_bits, reward);
+        if retries > 0 {
+            self.contention.fetch_add(retries, Ordering::Relaxed);
+        }
+    }
+}
+
+/// One first-table subtree: its own counters and its own arena + lock.
+struct Shard {
+    first_table: usize,
+    counters: ShardCounters,
+    /// Arena of this shard's subtree; `nodes[0]` is the shard root (the
+    /// node whose prefix is `{first_table}`). Growing the arena takes this
+    /// shard's lock only — other shards keep materializing in parallel.
+    nodes: RwLock<Vec<Arc<CNode>>>,
+}
+
+/// A read-only snapshot of one shard's hot counters. `parallel_skinner`
+/// copies these into its outcome's `ExecMetrics::shard_stats`, from where
+/// the `thread_scaling` benchmark serializes the per-shard breakdown into
+/// `BENCH_thread_scaling.json`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardStats {
+    /// The first join-order table this shard covers.
+    pub first_table: usize,
+    /// Backups recorded through this shard.
+    pub visits: u64,
+    /// Mean reward recorded at the shard root.
+    pub mean_reward: f64,
+    /// CAS retries on this shard's reward counter.
+    pub contention: u64,
+    /// Materialized nodes in this shard's arena.
+    pub nodes: usize,
+}
+
+/// The sharded shared UCT search tree for one query, usable from many
+/// threads. Same selection policy and same public surface as
+/// [`crate::ConcurrentUctTree`]; see the [module docs](self) for the
+/// sharding design and its invariants.
+pub struct ShardedUctTree {
+    graph: JoinGraph,
+    /// One shard per eligible first table, in table order.
+    shards: Vec<Shard>,
+    w: f64,
+}
+
+impl ShardedUctTree {
+    /// Build a tree with one shard per eligible first table of `graph`.
+    pub fn new(graph: JoinGraph, exploration_weight: f64) -> Self {
+        let shards: Vec<Shard> = graph
+            .eligible_next(TableSet::EMPTY)
+            .iter()
+            .map(|t| Shard {
+                first_table: t,
+                counters: ShardCounters::new(),
+                nodes: RwLock::new(vec![Arc::new(CNode::new(TableSet::singleton(t), &graph))]),
+            })
+            .collect();
+        assert!(!shards.is_empty(), "query must have at least one table");
+        ShardedUctTree {
+            graph,
+            shards,
+            w: exploration_weight,
+        }
+    }
+
+    fn shard_of(&self, first_table: usize) -> Option<&Shard> {
+        self.shards.iter().find(|s| s.first_table == first_table)
+    }
+
+    /// Top-level selector: UCB over the shards on their aggregated visit
+    /// totals — unvisited shards first (uniformly at random), then the
+    /// maximal bound with random tie-breaking. Reads only; the root has no
+    /// writable counter of its own.
+    fn select_shard(&self, rng: &mut StdRng) -> &Shard {
+        let visits: Vec<u64> = self.shards.iter().map(|s| s.counters.visits()).collect();
+        let unvisited: Vec<usize> = (0..self.shards.len()).filter(|&i| visits[i] == 0).collect();
+        if !unvisited.is_empty() {
+            return &self.shards[unvisited[rng.gen_range(0..unvisited.len())]];
+        }
+        let total: u64 = visits.iter().sum();
+        let ln_total = (total.max(1) as f64).ln();
+        let mut best_score = f64::NEG_INFINITY;
+        let mut best: Vec<usize> = Vec::new();
+        for (i, s) in self.shards.iter().enumerate() {
+            let score =
+                s.counters.mean_reward() + self.w * (ln_total / visits[i].max(1) as f64).sqrt();
+            if score > best_score + 1e-12 {
+                best_score = score;
+                best.clear();
+                best.push(i);
+            } else if (score - best_score).abs() <= 1e-12 {
+                best.push(i);
+            }
+        }
+        &self.shards[best[rng.gen_range(0..best.len())]]
+    }
+
+    /// `UctChoice(T)`: select a complete join order for the next episode,
+    /// materializing at most one new node per call (in the chosen shard's
+    /// arena). Safe from any number of threads; each caller supplies its
+    /// own generator.
+    pub fn select(&self, rng: &mut StdRng) -> Vec<usize> {
+        let m = self.graph.num_tables();
+        let shard = self.select_shard(rng);
+        let mut order = Vec::with_capacity(m);
+        order.push(shard.first_table);
+        let resolve = |id: u32| shard.nodes.read()[id as usize].clone();
+        let mut node = resolve(0);
+        // The shard root's visit count lives in the padded counters, not
+        // on the arena node; deeper nodes carry their own.
+        let mut parent_visits = shard.counters.visits();
+        let mut expanded = false;
+        loop {
+            if order.len() == m {
+                return order;
+            }
+            let (table, child) = select_child_policy(self.w, &node, parent_visits, &resolve, rng);
+            order.push(table);
+            match child {
+                Some(c) => {
+                    node = resolve(c);
+                    parent_visits = node.visits();
+                }
+                None => {
+                    if !expanded {
+                        node = Self::materialize(shard, &node, table, &self.graph);
+                        parent_visits = node.visits();
+                        expanded = true;
+                    } else {
+                        // Below the frontier: random completion.
+                        let mut selected = TableSet::from_iter(order.iter().copied());
+                        while order.len() < m {
+                            let eligible: Vec<usize> =
+                                self.graph.eligible_next(selected).iter().collect();
+                            let t = eligible[rng.gen_range(0..eligible.len())];
+                            order.push(t);
+                            selected.insert(t);
+                        }
+                        return order;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Materialize `parent`'s child for `table` in `shard`'s arena, or
+    /// return the node another thread materialized first. Takes only this
+    /// shard's write lock.
+    fn materialize(shard: &Shard, parent: &CNode, table: usize, graph: &JoinGraph) -> Arc<CNode> {
+        let slot = parent
+            .child_tables
+            .iter()
+            .position(|&t| t as usize == table)
+            .expect("selected child must be eligible");
+        let mut nodes = shard.nodes.write();
+        // Re-check under the write lock: a concurrent select may have won.
+        let existing = parent.child_ids[slot].load(Ordering::Acquire);
+        if existing != UNMATERIALIZED {
+            return nodes[existing as usize].clone();
+        }
+        let id = nodes.len() as u32;
+        assert!(id != UNMATERIALIZED, "shard arena overflow");
+        let node = Arc::new(CNode::new(parent.selected.with(table), graph));
+        nodes.push(node.clone());
+        parent.child_ids[slot].store(id, Ordering::Release);
+        node
+    }
+
+    /// `RewardUpdate(T, j, r)`: register `reward` (clamped into `[0,1]`)
+    /// along the materialized part of `order`'s path. Lock-free; workers
+    /// with different first tables write disjoint cache lines. Never loses
+    /// an update: the sum of shard visit counters is exactly the number of
+    /// calls.
+    pub fn backup(&self, order: &[usize], reward: f64) {
+        let reward = reward.clamp(0.0, 1.0);
+        let Some(&first) = order.first() else { return };
+        let Some(shard) = self.shard_of(first) else {
+            return; // order's first table is not an eligible start
+        };
+        // The padded shard counters *are* the first-table node's counters
+        // (the conceptual root is their sum, computed on read), so the
+        // arena's shard-root node records nothing itself — one update per
+        // level, same as the single-root tree.
+        shard.counters.record(reward);
+        let mut node = shard.nodes.read()[0].clone();
+        for &t in &order[1..] {
+            let Some(slot) = node.child_tables.iter().position(|&x| x as usize == t) else {
+                return; // order left the materialized tree shape
+            };
+            let child = node.child_ids[slot].load(Ordering::Acquire);
+            if child == UNMATERIALIZED {
+                return;
+            }
+            node = shard.nodes.read()[child as usize].clone();
+            node.record(reward);
+        }
+    }
+
+    /// Number of shards (== eligible first tables).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Materialized nodes across all shards (the conceptual root is free).
+    pub fn num_nodes(&self) -> usize {
+        self.shards.iter().map(|s| s.nodes.read().len()).sum()
+    }
+
+    /// Total rounds played: the **sum of shard visit counters**, which the
+    /// stress suite asserts equals the exact number of `backup` calls.
+    pub fn rounds(&self) -> u64 {
+        self.shards.iter().map(|s| s.counters.visits()).sum()
+    }
+
+    /// Visit-weighted mean reward across shards (diagnostics; equals what
+    /// a single root counter would hold).
+    pub fn root_mean_reward(&self) -> f64 {
+        let total = self.rounds();
+        if total == 0 {
+            return 0.0;
+        }
+        let sum: f64 = self.shards.iter().map(|s| s.counters.reward_sum()).sum();
+        sum / total as f64
+    }
+
+    /// Total CAS retries across all shard reward counters — the sharded
+    /// counterpart of [`crate::ConcurrentUctTree::root_contention`].
+    pub fn contention(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.counters.contention.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Per-shard counter snapshots, in first-table order.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|s| ShardStats {
+                first_table: s.first_table,
+                visits: s.counters.visits(),
+                mean_reward: s.counters.mean_reward(),
+                contention: s.counters.contention.load(Ordering::Relaxed),
+                nodes: s.nodes.read().len(),
+            })
+            .collect()
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                std::mem::size_of::<Shard>()
+                    + s.nodes
+                        .read()
+                        .iter()
+                        .map(|n| std::mem::size_of::<CNode>() + n.child_tables.len() * 5)
+                        .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// The most-visited complete join order: most-visited shard first,
+    /// then the most-visited path down its arena; unmaterialized suffixes
+    /// complete greedily by eligibility (mirrors the concurrent tree).
+    pub fn best_order(&self) -> Vec<usize> {
+        let m = self.graph.num_tables();
+        let mut order = Vec::with_capacity(m);
+        let shard = self
+            .shards
+            .iter()
+            .max_by_key(|s| s.counters.visits())
+            .expect("tree has at least one shard");
+        order.push(shard.first_table);
+        let mut selected = TableSet::singleton(shard.first_table);
+        let mut node: Option<Arc<CNode>> = Some(shard.nodes.read()[0].clone());
+        while order.len() < m {
+            let mut picked = None;
+            if let Some(n) = &node {
+                let mut best_visits = 0u64;
+                for i in 0..n.child_tables.len() {
+                    let c = n.child_ids[i].load(Ordering::Acquire);
+                    if c != UNMATERIALIZED {
+                        let child = shard.nodes.read()[c as usize].clone();
+                        let v = child.visits();
+                        if v > best_visits {
+                            best_visits = v;
+                            picked = Some((n.child_tables[i] as usize, child));
+                        }
+                    }
+                }
+            }
+            match picked {
+                Some((t, child)) => {
+                    order.push(t);
+                    selected.insert(t);
+                    node = Some(child);
+                }
+                None => {
+                    let t = self
+                        .graph
+                        .eligible_next(selected)
+                        .iter()
+                        .next()
+                        .expect("incomplete order must have eligible tables");
+                    order.push(t);
+                    selected.insert(t);
+                    node = None;
+                }
+            }
+        }
+        order
+    }
+
+    /// The join graph this tree searches over.
+    pub fn graph(&self) -> &JoinGraph {
+        &self.graph
+    }
+}
+
+/// The shared learned tree behind `parallel_skinner`'s `threads` knob:
+/// one thread keeps the proven single-root [`crate::ConcurrentUctTree`]
+/// (bit-identical to the sequential path, preserving the equivalence
+/// suite), more threads get the contention-spreading [`ShardedUctTree`].
+/// Both variants expose the same operations, so the episode loop is
+/// oblivious to which one it learns through.
+pub enum SharedUctTree {
+    /// Single root arena — the 1-thread / low-contention configuration.
+    Single(crate::ConcurrentUctTree),
+    /// Per-first-table shards — the multi-thread configuration.
+    Sharded(ShardedUctTree),
+}
+
+impl SharedUctTree {
+    /// Pick the variant for a worker-thread count: `threads <= 1` keeps
+    /// the single-root tree, anything more shards by first table.
+    pub fn for_threads(graph: JoinGraph, exploration_weight: f64, threads: usize) -> Self {
+        if threads <= 1 {
+            SharedUctTree::Single(crate::ConcurrentUctTree::new(graph, exploration_weight))
+        } else {
+            SharedUctTree::Sharded(ShardedUctTree::new(graph, exploration_weight))
+        }
+    }
+
+    /// Select a complete join order for the next episode.
+    pub fn select(&self, rng: &mut StdRng) -> Vec<usize> {
+        match self {
+            SharedUctTree::Single(t) => t.select(rng),
+            SharedUctTree::Sharded(t) => t.select(rng),
+        }
+    }
+
+    /// Back up `reward` along `order`'s materialized path.
+    pub fn backup(&self, order: &[usize], reward: f64) {
+        match self {
+            SharedUctTree::Single(t) => t.backup(order, reward),
+            SharedUctTree::Sharded(t) => t.backup(order, reward),
+        }
+    }
+
+    /// Total rounds played (== number of `backup` calls).
+    pub fn rounds(&self) -> u64 {
+        match self {
+            SharedUctTree::Single(t) => t.rounds(),
+            SharedUctTree::Sharded(t) => t.rounds(),
+        }
+    }
+
+    /// Materialized nodes.
+    pub fn num_nodes(&self) -> usize {
+        match self {
+            SharedUctTree::Single(t) => t.num_nodes(),
+            SharedUctTree::Sharded(t) => t.num_nodes(),
+        }
+    }
+
+    /// Shards the learner spreads root updates over (1 for the single tree).
+    pub fn num_shards(&self) -> usize {
+        match self {
+            SharedUctTree::Single(_) => 1,
+            SharedUctTree::Sharded(t) => t.num_shards(),
+        }
+    }
+
+    /// Root-counter CAS retries observed so far (summed over shards).
+    pub fn contention(&self) -> u64 {
+        match self {
+            SharedUctTree::Single(t) => t.root_contention(),
+            SharedUctTree::Sharded(t) => t.contention(),
+        }
+    }
+
+    /// Per-shard counter snapshots; the single tree reports itself as one
+    /// shard covering every first table (`first_table` is meaningless
+    /// there and reported as 0 only when the graph is empty — it uses the
+    /// best order's head).
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        match self {
+            SharedUctTree::Single(t) => vec![ShardStats {
+                first_table: t.best_order().first().copied().unwrap_or(0),
+                visits: t.rounds(),
+                mean_reward: t.root_mean_reward(),
+                contention: t.root_contention(),
+                nodes: t.num_nodes(),
+            }],
+            SharedUctTree::Sharded(t) => t.shard_stats(),
+        }
+    }
+
+    /// Mean reward at the (conceptual) root.
+    pub fn root_mean_reward(&self) -> f64 {
+        match self {
+            SharedUctTree::Single(t) => t.root_mean_reward(),
+            SharedUctTree::Sharded(t) => t.root_mean_reward(),
+        }
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn byte_size(&self) -> usize {
+        match self {
+            SharedUctTree::Single(t) => t.byte_size(),
+            SharedUctTree::Sharded(t) => t.byte_size(),
+        }
+    }
+
+    /// The most-visited complete join order.
+    pub fn best_order(&self) -> Vec<usize> {
+        match self {
+            SharedUctTree::Single(t) => t.best_order(),
+            SharedUctTree::Sharded(t) => t.best_order(),
+        }
+    }
+
+    /// The join graph this tree searches over.
+    pub fn graph(&self) -> &JoinGraph {
+        match self {
+            SharedUctTree::Single(t) => t.graph(),
+            SharedUctTree::Sharded(t) => t.graph(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn chain(n: usize) -> JoinGraph {
+        JoinGraph::new(n, (0..n - 1).map(|i| TableSet::from_iter([i, i + 1])))
+    }
+
+    #[test]
+    fn one_shard_per_first_table() {
+        let t = ShardedUctTree::new(chain(5), std::f64::consts::SQRT_2);
+        assert_eq!(t.num_shards(), 5);
+        // One shard-root node pre-materialized per shard.
+        assert_eq!(t.num_nodes(), 5);
+    }
+
+    #[test]
+    fn select_returns_valid_orders_and_counts_exactly() {
+        let g = chain(5);
+        let t = ShardedUctTree::new(g.clone(), std::f64::consts::SQRT_2);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let o = t.select(&mut rng);
+            assert!(g.validates(&o), "invalid order {o:?}");
+            t.backup(&o, 0.5);
+        }
+        assert_eq!(t.rounds(), 200);
+        let per_shard: u64 = t.shard_stats().iter().map(|s| s.visits).sum();
+        assert_eq!(per_shard, 200, "shard visits must sum to total backups");
+        assert!((t.root_mean_reward() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn growth_is_at_most_one_node_per_select() {
+        let t = ShardedUctTree::new(chain(6), std::f64::consts::SQRT_2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut prev = t.num_nodes();
+        for _ in 0..80 {
+            let o = t.select(&mut rng);
+            t.backup(&o, 0.1);
+            let now = t.num_nodes();
+            assert!(now <= prev + 1, "grew by {}", now - prev);
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn converges_to_rewarding_first_table() {
+        let g = JoinGraph::new(
+            4,
+            [
+                TableSet::from_iter([0, 1]),
+                TableSet::from_iter([0, 2]),
+                TableSet::from_iter([0, 3]),
+            ],
+        );
+        let t = ShardedUctTree::new(g, std::f64::consts::SQRT_2);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..600 {
+            let o = t.select(&mut rng);
+            let r = if o[0] == 0 { 1.0 } else { 0.0 };
+            t.backup(&o, r);
+        }
+        assert_eq!(t.best_order()[0], 0);
+        assert!(t.graph().validates(&t.best_order()));
+    }
+
+    #[test]
+    fn backup_ignores_off_tree_orders() {
+        let t = ShardedUctTree::new(chain(3), std::f64::consts::SQRT_2);
+        // Valid first table, impossible continuation: counted at the shard
+        // root (it is a real backup), ignored below it.
+        t.backup(&[0, 2, 1], 1.0);
+        assert_eq!(t.rounds(), 1);
+        // Empty orders are ignored entirely.
+        t.backup(&[], 1.0);
+        assert_eq!(t.rounds(), 1);
+    }
+
+    #[test]
+    fn rewards_clamped() {
+        let t = ShardedUctTree::new(chain(3), std::f64::consts::SQRT_2);
+        let mut rng = StdRng::seed_from_u64(4);
+        let o = t.select(&mut rng);
+        t.backup(&o, 7.0);
+        assert!(t.root_mean_reward() <= 1.0);
+        t.backup(&o, -3.0);
+        assert!(t.root_mean_reward() >= 0.0);
+        assert!(t.byte_size() > 0);
+    }
+
+    #[test]
+    fn concurrent_hammering_loses_no_updates() {
+        let t = Arc::new(ShardedUctTree::new(chain(6), std::f64::consts::SQRT_2));
+        let threads = 8;
+        let per_thread = 500u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|i| {
+                let t = t.clone();
+                std::thread::spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(0xC0FFEE + i as u64);
+                    for _ in 0..per_thread {
+                        let o = t.select(&mut rng);
+                        assert!(t.graph().validates(&o), "{o:?}");
+                        t.backup(&o, 0.25);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.rounds(), threads as u64 * per_thread);
+        let per_shard: u64 = t.shard_stats().iter().map(|s| s.visits).sum();
+        assert_eq!(per_shard, threads as u64 * per_thread);
+        let mean = t.root_mean_reward();
+        assert!((mean - 0.25).abs() < 1e-9, "mean drifted: {mean}");
+        assert!(t.graph().validates(&t.best_order()));
+    }
+
+    #[test]
+    fn shared_tree_picks_variant_by_threads() {
+        let single = SharedUctTree::for_threads(chain(4), 1e-6, 1);
+        assert!(matches!(single, SharedUctTree::Single(_)));
+        assert_eq!(single.num_shards(), 1);
+        let sharded = SharedUctTree::for_threads(chain(4), 1e-6, 4);
+        assert!(matches!(sharded, SharedUctTree::Sharded(_)));
+        assert_eq!(sharded.num_shards(), 4);
+        // Both variants drive the same loop shape.
+        let mut rng = StdRng::seed_from_u64(9);
+        for tree in [&single, &sharded] {
+            for _ in 0..50 {
+                let o = tree.select(&mut rng);
+                assert!(tree.graph().validates(&o));
+                tree.backup(&o, 0.5);
+            }
+            assert_eq!(tree.rounds(), 50);
+            assert_eq!(tree.shard_stats().iter().map(|s| s.visits).sum::<u64>(), 50);
+            assert!(tree.num_nodes() > 0 && tree.byte_size() > 0);
+        }
+    }
+}

@@ -310,6 +310,25 @@ impl Database {
     /// natural unit for SkinnerDB's per-query learning. The prepared
     /// statement snapshots the current default strategy; use
     /// [`Session::prepare`] for per-session strategy and settings.
+    ///
+    /// ```
+    /// use skinnerdb::{Database, DataType, Value};
+    ///
+    /// let db = Database::new();
+    /// db.create_table(
+    ///     "t",
+    ///     &[("x", DataType::Int)],
+    ///     (0..10).map(|i| vec![Value::Int(i)]).collect(),
+    /// )
+    /// .unwrap();
+    ///
+    /// // Parse + bind once; execute many times with the frontend amortized.
+    /// let hot = db.prepare("SELECT t.x FROM t WHERE t.x > 6").unwrap();
+    /// let first = hot.execute().unwrap();
+    /// let again = hot.execute().unwrap();
+    /// assert_eq!(first.num_rows(), 3);
+    /// assert_eq!(first.canonical_rows(), again.canonical_rows());
+    /// ```
     pub fn prepare(&self, sql: &str) -> Result<Prepared, DbError> {
         self.session().prepare(sql)
     }

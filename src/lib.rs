@@ -10,6 +10,10 @@
 //! partial results from different orders merge into one complete result —
 //! with formal bounds on the regret versus an optimal join order.
 //!
+//! `ARCHITECTURE.md` at the repository root maps the whole workspace —
+//! crate graph, the episode/learning loop end-to-end, how the execution
+//! API composes, and where the paper's sections live in the code.
+//!
 //! ## Quick start
 //!
 //! [`Database`] is `Send + Sync` with `&self` mutators; open [`Session`]s
@@ -110,7 +114,7 @@
 //! ## Plugging in your own engine
 //!
 //! The execution API is open: implement
-//! [`ExecutionStrategy`](skinner_exec::ExecutionStrategy) — from any crate
+//! [`ExecutionStrategy`] — from any crate
 //! — register it, and address it by name:
 //!
 //! ```
@@ -160,8 +164,8 @@
 //! * [`skinner_core`] — Skinner-C/G/H and `parallel_skinner`, the paper's
 //!   contribution,
 //! * [`skinner_exec`] — the generic engine, shared pre/post-processing, and
-//!   the execution API ([`ExecutionStrategy`](skinner_exec::ExecutionStrategy),
-//!   [`ExecContext`], [`ExecOutcome`]),
+//!   the execution API ([`ExecutionStrategy`], [`ExecContext`],
+//!   [`ExecOutcome`]),
 //! * [`skinner_uct`] — the UCT search tree,
 //! * [`skinner_optimizer`] / [`skinner_stats`] — the traditional baseline,
 //! * [`skinner_adaptive`] — Eddies and the sampling re-optimizer,

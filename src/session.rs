@@ -44,6 +44,34 @@ impl Default for SessionSettings {
 }
 
 /// A per-client handle over a shared [`Database`].
+///
+/// Sessions isolate *policy* (which engine, how much work, how long,
+/// how many threads) while *data* (tables, UDFs, statistics, the
+/// strategy registry) stays shared:
+///
+/// ```
+/// use skinnerdb::{Database, DataType, Value};
+///
+/// let db = Database::new();
+/// db.create_table(
+///     "t",
+///     &[("x", DataType::Int)],
+///     (0..100).map(|i| vec![Value::Int(i)]).collect(),
+/// )
+/// .unwrap();
+///
+/// let session = db.session();
+/// session.use_strategy("parallel_skinner").unwrap(); // by registry name
+/// session.set_threads(Some(4));                      // per-client override
+/// session.set_work_limit(1_000_000);                 // units per statement
+/// session.set_deadline(Some(std::time::Duration::from_secs(5)));
+///
+/// let rows = session.query("SELECT t.x FROM t WHERE t.x < 3").unwrap();
+/// assert_eq!(rows.num_rows(), 3);
+///
+/// // Other sessions (and the database default) are unaffected.
+/// assert_eq!(db.session().strategy().name(), "Skinner-C");
+/// ```
 pub struct Session {
     db: Database,
     strategy: RwLock<Arc<dyn ExecutionStrategy>>,
@@ -189,6 +217,27 @@ impl Session {
     /// Parse and bind a single SELECT once for repeated execution. The
     /// prepared statement snapshots the session's strategy and settings at
     /// prepare time.
+    ///
+    /// ```
+    /// use skinnerdb::{Database, DataType, Value};
+    ///
+    /// let db = Database::new();
+    /// db.create_table(
+    ///     "t",
+    ///     &[("x", DataType::Int)],
+    ///     (0..20).map(|i| vec![Value::Int(i)]).collect(),
+    /// )
+    /// .unwrap();
+    ///
+    /// let session = db.session();
+    /// session.use_strategy("traditional").unwrap();
+    /// let hot = session.prepare("SELECT t.x FROM t WHERE t.x >= 15").unwrap();
+    ///
+    /// // The snapshot keeps the strategy even if the session moves on.
+    /// session.use_strategy("reference").unwrap();
+    /// assert_eq!(hot.strategy().name(), "Traditional");
+    /// assert_eq!(hot.execute().unwrap().num_rows(), 5);
+    /// ```
     pub fn prepare(&self, sql: &str) -> Result<Prepared, DbError> {
         let query = self.db.bind(sql)?;
         Ok(Prepared {

@@ -1,0 +1,97 @@
+//! Parallel post-processing equivalence: grouped and ordered results are
+//! identical at 1 vs N threads.
+//!
+//! `parallel_skinner` routes grouping/ordering through
+//! `skinner_exec::postprocess_parallel` (per-worker partial aggregation /
+//! local sort, coordinator hash-/k-way merge). These tests pin the
+//! contract on real workloads: the JOB-like generator and the correlation
+//! torture chain, with GROUP BY, ORDER BY (+ DESC, LIMIT) and mixed
+//! aggregate queries — result rows must match the 1-thread run (and the
+//! reference executor) exactly, not just as sorted multisets.
+
+use skinnerdb::skinner_core::ParallelSkinnerConfig;
+use skinnerdb::skinner_workloads::job_like::{generate as job, JobConfig};
+use skinnerdb::skinner_workloads::torture::correlation_torture;
+use skinnerdb::{Database, Strategy};
+
+fn parallel(threads: usize) -> Strategy {
+    Strategy::ParallelSkinner(ParallelSkinnerConfig {
+        threads,
+        batch_tuples: 64,
+        min_chunk_tuples: 4,
+        ..Default::default()
+    })
+}
+
+/// Run `sql` at 1 and N threads and demand exactly equal rows; also check
+/// the 1-thread rows against the reference executor's canonical set.
+fn assert_thread_invariant(db: &Database, sql: &str) {
+    let base = db.run_script(sql, &parallel(1)).expect("1-thread run");
+    assert!(!base.timed_out, "1-thread run timed out: {sql}");
+    let reference = db
+        .run_script(sql, &Strategy::Reference)
+        .expect("reference run");
+    assert_eq!(
+        base.result.canonical_rows(),
+        reference.result.canonical_rows(),
+        "1-thread disagrees with reference: {sql}"
+    );
+    for threads in [2, 4, 8] {
+        let out = db
+            .run_script(sql, &parallel(threads))
+            .expect("N-thread run");
+        assert!(!out.timed_out, "{threads}-thread run timed out: {sql}");
+        assert_eq!(
+            out.result.rows, base.result.rows,
+            "rows differ at {threads} threads: {sql}"
+        );
+        assert_eq!(out.result.columns, base.result.columns);
+    }
+}
+
+#[test]
+fn grouped_and_ordered_results_identical_on_job_like() {
+    let w = job(&JobConfig {
+        scale: 0.05,
+        seed: 0x10B,
+    });
+    let db = Database::from_parts(w.catalog.clone(), w.udfs);
+    for sql in [
+        // GROUP BY with several aggregate kinds, ordered by the group key.
+        "SELECT t.production_year, COUNT(*) n, MIN(t.title) first_title \
+         FROM title t, movie_companies mc \
+         WHERE t.id = mc.movie_id \
+         GROUP BY t.production_year ORDER BY t.production_year",
+        // Plain ORDER BY (descending + tiebreaker) with LIMIT — exercises
+        // the per-worker local sort + k-way merge path.
+        "SELECT t.production_year, t.title \
+         FROM title t, movie_companies mc \
+         WHERE t.id = mc.movie_id \
+         ORDER BY t.production_year DESC, t.title LIMIT 50",
+        // GROUP BY over a join with a selective filter.
+        "SELECT mc.company_type_id, COUNT(*) n, MAX(t.production_year) latest \
+         FROM title t, movie_companies mc \
+         WHERE t.id = mc.movie_id AND t.production_year > 1990 \
+         GROUP BY mc.company_type_id ORDER BY mc.company_type_id",
+    ] {
+        assert_thread_invariant(&db, sql);
+    }
+}
+
+#[test]
+fn grouped_and_ordered_results_identical_on_torture() {
+    // Edge 2 is the empty edge: joins over t0..t2 are real work with
+    // fanout 2 per hop, so the result set is large enough to split.
+    let w = correlation_torture(4, 200, 2);
+    let db = Database::from_parts(w.catalog.clone(), w.udfs);
+    for sql in [
+        "SELECT t0.a, COUNT(*) n, MIN(t1.b) mn, MAX(t2.b) mx \
+         FROM t0, t1, t2 WHERE t0.b = t1.a AND t1.b = t2.a \
+         GROUP BY t0.a ORDER BY t0.a",
+        "SELECT t0.a, t1.b FROM t0, t1 WHERE t0.b = t1.a \
+         ORDER BY t0.a DESC, t1.b LIMIT 40",
+        "SELECT DISTINCT t0.a FROM t0, t1 WHERE t0.b = t1.a ORDER BY t0.a",
+    ] {
+        assert_thread_invariant(&db, sql);
+    }
+}
