@@ -2,8 +2,11 @@
 //! report per experiment into `bench_reports/`.
 //!
 //! ```sh
-//! cargo run --release -p skinner-bench --bin run_all              # quick
-//! BENCH_SCALE=paper cargo run --release -p skinner-bench --bin run_all
+//! cargo run --release -p skinner_bench --bin run_all              # quick
+//! BENCH_SCALE=paper cargo run --release -p skinner_bench --bin run_all
+//! # Only a subset (the bench-smoke CI job does this):
+//! BENCH_SCALE=smoke cargo run --release -p skinner_bench --bin run_all \
+//!     -- thread_scaling repeat_workload
 //! ```
 
 use std::fs;
@@ -14,6 +17,7 @@ use skinner_bench::Scale;
 
 fn main() {
     let scale = Scale::from_env();
+    let filter: Vec<String> = std::env::args().skip(1).collect();
     let dir = std::path::Path::new("bench_reports");
     fs::create_dir_all(dir).expect("create bench_reports/");
 
@@ -62,10 +66,23 @@ fn main() {
         ("table7_tpch", Box::new(ex::table7_tpch::run)),
         ("ablation_design_choices", Box::new(ex::ablation::run)),
         ("thread_scaling", Box::new(ex::thread_scaling::run)),
+        ("repeat_workload", Box::new(ex::repeat_workload::run)),
         ("server_throughput", Box::new(ex::server_throughput::run)),
     ];
 
+    if !filter.is_empty() {
+        let known: Vec<&str> = jobs.iter().map(|(n, _)| *n).collect();
+        for want in &filter {
+            assert!(
+                known.contains(&want.as_str()),
+                "unknown experiment {want:?}; known: {known:?}"
+            );
+        }
+    }
     for (name, f) in jobs {
+        if !filter.is_empty() && !filter.iter().any(|w| w == name) {
+            continue;
+        }
         let started = Instant::now();
         eprint!("running {name} … ");
         let report = f(scale);

@@ -8,6 +8,7 @@ pub mod figure6_speedups;
 pub mod figure7_convergence;
 pub mod figure8_memory;
 pub mod figure9_udf_torture;
+pub mod repeat_workload;
 pub mod server_throughput;
 pub mod table1_job;
 pub mod table3_replay;

@@ -1,0 +1,391 @@
+//! Cross-query learning on a repeated-template workload.
+//!
+//! The serving scenario the `learning_cache` knob exists for: the same
+//! query *template* arrives over and over with different literals. With
+//! the cache off, every execution learns its join order from scratch; with
+//! it on, the second-and-later executions warm-start their UCT tree from
+//! the previous run's decayed statistics and should lock onto the best
+//! join order in measurably fewer episodes.
+//!
+//! Convergence measure: `last_order_switch` — the episode index after
+//! which the engine executed one join order exclusively (reported by both
+//! Skinner-C and `parallel_skinner`). Lower = faster lock-in. The report
+//! compares it (plus work units and wall time) per repetition, cache on vs
+//! off, for the sequential and the 4-thread parallel engine.
+//!
+//! Correctness is asserted, not assumed: for one representative literal
+//! the experiment executes the template cache-on and cache-off at 1, 2, 4
+//! and 8 worker threads and panics unless the result rows are bit-for-bit
+//! identical — a panic fails the `bench-smoke` CI job.
+//!
+//! Raw numbers land in `bench_reports/BENCH_repeat_workload.json`.
+
+use skinnerdb::skinner_core::{ParallelSkinnerConfig, SkinnerCConfig};
+use skinnerdb::{DataType, Database, Strategy, Value};
+
+use crate::harness::{human, markdown_table, Scale};
+
+/// Star schema whose best join order is clearly "filtered small dimension
+/// first": a selective unary predicate on `d1` makes starting anywhere
+/// else pay a large intermediate result.
+fn build_db(scale: Scale) -> Database {
+    let fact_rows = if scale.is_smoke() {
+        1500
+    } else {
+        scale.pick(4000, 40_000)
+    };
+    let db = Database::new();
+    db.create_table(
+        "d1",
+        &[("id", DataType::Int), ("a", DataType::Int)],
+        (0..24)
+            .map(|i| vec![Value::Int(i), Value::Int(i % 12)])
+            .collect(),
+    )
+    .unwrap();
+    db.create_table(
+        "d2",
+        &[("id", DataType::Int)],
+        (0..240).map(|i| vec![Value::Int(i)]).collect(),
+    )
+    .unwrap();
+    db.create_table(
+        "d3",
+        &[("id", DataType::Int)],
+        (0..600).map(|i| vec![Value::Int(i)]).collect(),
+    )
+    .unwrap();
+    db.create_table(
+        "fact",
+        &[
+            ("k1", DataType::Int),
+            ("k2", DataType::Int),
+            ("k3", DataType::Int),
+        ],
+        (0..fact_rows)
+            .map(|i| {
+                vec![
+                    Value::Int(i % 24),
+                    Value::Int((i * 7) % 240),
+                    Value::Int((i * 13) % 600),
+                ]
+            })
+            .collect(),
+    )
+    .unwrap();
+    db
+}
+
+/// The repeated template; `lit` is the varying literal.
+fn sql(lit: i64) -> String {
+    format!(
+        "SELECT d1.a, COUNT(*) c FROM fact f, d1, d2, d3 \
+         WHERE f.k1 = d1.id AND f.k2 = d2.id AND f.k3 = d3.id AND d1.a < {lit} \
+         GROUP BY d1.a ORDER BY d1.a"
+    )
+}
+
+struct Rep {
+    lit: i64,
+    cache_hit: bool,
+    warm_start_visits: u64,
+    episodes: u64,
+    last_order_switch: u64,
+    /// Episodes spent executing something other than the run's final
+    /// (most-visited) order — the exploration cost warm starts amortize.
+    off_order: u64,
+    work: u64,
+    wall_us: u64,
+}
+
+fn run_reps(db: &Database, strategy: &Strategy, reps: usize) -> Vec<Rep> {
+    (0..reps)
+        .map(|r| {
+            let lit = 3 + (r as i64 % 5);
+            let o = db
+                .run_script(&sql(lit), strategy)
+                .expect("bench query must run");
+            assert!(!o.timed_out, "repeat_workload query timed out");
+            let counter = |name| o.metrics.counter(name).unwrap_or(0);
+            let best_count = o
+                .metrics
+                .order_slice_counts
+                .first()
+                .map(|(_, c)| *c)
+                .unwrap_or(0);
+            Rep {
+                lit,
+                cache_hit: counter("cache_hit") == 1,
+                warm_start_visits: counter("warm_start_visits"),
+                episodes: o.metrics.slices,
+                last_order_switch: counter("last_order_switch"),
+                off_order: o.metrics.slices.saturating_sub(best_count),
+                work: o.work_units,
+                wall_us: o.wall.as_micros() as u64,
+            }
+        })
+        .collect()
+}
+
+/// Mean of `f` over the warm repetitions (2nd and later).
+fn warm_mean(reps: &[Rep], f: impl Fn(&Rep) -> u64) -> f64 {
+    if reps.len() < 2 {
+        return 0.0;
+    }
+    let tail = &reps[1..];
+    tail.iter().map(|r| f(r) as f64).sum::<f64>() / tail.len() as f64
+}
+
+/// Mean `last_order_switch` of the warm repetitions.
+fn mean_lock_in(reps: &[Rep]) -> f64 {
+    warm_mean(reps, |r| r.last_order_switch)
+}
+
+/// Mean off-final-order episodes of the warm repetitions.
+fn mean_off_order(reps: &[Rep]) -> f64 {
+    warm_mean(reps, |r| r.off_order)
+}
+
+fn render_section(name: &str, off: &[Rep], on: &[Rep], out: &mut String) {
+    out.push_str(&format!("### {name}\n\n"));
+    let mut rows = Vec::new();
+    for (i, (a, b)) in off.iter().zip(on).enumerate() {
+        rows.push(vec![
+            format!("{} (a<{})", i + 1, a.lit),
+            format!(
+                "{} ep, lock {}, {} expl",
+                a.episodes, a.last_order_switch, a.off_order
+            ),
+            human(a.work),
+            format!(
+                "{} ep, lock {}, {} expl{}",
+                b.episodes,
+                b.last_order_switch,
+                b.off_order,
+                if b.cache_hit { " (warm)" } else { "" }
+            ),
+            human(b.work),
+            format!("{}", b.warm_start_visits),
+        ]);
+    }
+    out.push_str(&markdown_table(
+        &[
+            "rep",
+            "cache off",
+            "work (off)",
+            "cache on",
+            "work (on)",
+            "warm visits",
+        ],
+        &rows,
+    ));
+    let off_lock = mean_lock_in(off);
+    let on_lock = mean_lock_in(on);
+    let off_expl = mean_off_order(off);
+    let on_expl = mean_off_order(on);
+    out.push_str(&format!(
+        "\nWarm repetitions (2nd+), cache off vs on: mean lock-in episode \
+         {off_lock:.1} vs {on_lock:.1}; mean exploration episodes (off the \
+         final order) {off_expl:.1} vs {on_expl:.1}{}.\n\n",
+        if on_expl < off_expl {
+            format!(
+                " — **{:.1}x less exploration**",
+                off_expl / on_expl.max(0.5)
+            )
+        } else {
+            String::new()
+        }
+    ));
+}
+
+fn json_reps(reps: &[Rep]) -> String {
+    let cells: Vec<String> = reps
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"lit\": {}, \"cache_hit\": {}, \"warm_start_visits\": {}, \
+                 \"episodes\": {}, \"last_order_switch\": {}, \"work_units\": {}, \
+                 \"wall_us\": {}}}",
+                r.lit,
+                r.cache_hit,
+                r.warm_start_visits,
+                r.episodes,
+                r.last_order_switch,
+                r.work,
+                r.wall_us
+            )
+        })
+        .collect();
+    format!("[{}]", cells.join(", "))
+}
+
+fn write_json(
+    dir: &std::path::Path,
+    sections: &[(&str, &[Rep], &[Rep])],
+) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join("BENCH_repeat_workload.json");
+    let mut out = String::from("{\n  \"engines\": [\n");
+    for (i, (name, off, on)) in sections.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"engine\": \"{name}\", \"cache_off\": {}, \"cache_on\": {}, \
+             \"mean_lock_in_off\": {:.2}, \"mean_lock_in_on\": {:.2}}}{}\n",
+            json_reps(off),
+            json_reps(on),
+            mean_lock_in(off),
+            mean_lock_in(on),
+            if i + 1 < sections.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(&path, out)?;
+    Ok(path)
+}
+
+/// Bit-identity guard: the template's rows must be byte-for-byte the same
+/// cache-on vs cache-off at every thread count. Panics on divergence.
+fn assert_thread_equivalence(scale: Scale) {
+    let db_off = build_db(scale);
+    let db_on = build_db(scale);
+    db_on.set_learning_cache(true);
+    let query = sql(5);
+    for threads in [1usize, 2, 4, 8] {
+        let strategy = Strategy::ParallelSkinner(ParallelSkinnerConfig {
+            threads,
+            batch_tuples: 256,
+            ..Default::default()
+        });
+        // Two runs on the warm side so the second actually consumes a
+        // cached prior at this thread count.
+        let a = db_off.run_script(&query, &strategy).unwrap();
+        db_on.run_script(&query, &strategy).unwrap();
+        let b = db_on.run_script(&query, &strategy).unwrap();
+        assert_eq!(
+            a.result.rows, b.result.rows,
+            "cache on/off rows diverged at {threads} threads"
+        );
+    }
+    let a = db_off
+        .run_script(&query, &Strategy::SkinnerC(SkinnerCConfig::default()))
+        .unwrap();
+    let b = db_on
+        .run_script(&query, &Strategy::SkinnerC(SkinnerCConfig::default()))
+        .unwrap();
+    assert_eq!(a.result.rows, b.result.rows, "sequential rows diverged");
+}
+
+pub fn run(scale: Scale) -> String {
+    let reps = if scale.is_smoke() {
+        4
+    } else {
+        scale.pick(6, 10)
+    };
+
+    let mut out = String::from(
+        "## Repeated-template workload — cross-query learning cache\n\n\
+         The same query template executes repeatedly with varying literals.\n\
+         `lock-in` is the episode index of the last join-order switch: after\n\
+         it the engine ran one order exclusively. With `learning_cache` on,\n\
+         repetitions 2+ warm-start from the previous run's decayed UCT\n\
+         statistics (`warm visits` = seeded root visits) and should lock in\n\
+         earlier; result rows are asserted bit-identical on vs off at 1, 2,\n\
+         4 and 8 threads.\n\n",
+    );
+
+    // Sequential Skinner-C.
+    let seq = Strategy::SkinnerC(SkinnerCConfig::default());
+    let db_off = build_db(scale);
+    let seq_off = run_reps(&db_off, &seq, reps);
+    let db_on = build_db(scale);
+    db_on.set_learning_cache(true);
+    let seq_on = run_reps(&db_on, &seq, reps);
+    assert!(
+        seq_on[1..].iter().all(|r| r.cache_hit),
+        "warm repetitions must hit the template cache"
+    );
+    render_section("Skinner-C (sequential)", &seq_off, &seq_on, &mut out);
+
+    // Parallel engine, 4 workers (sharded tree path).
+    // Small batches: enough episodes per run for convergence (and its
+    // acceleration) to be observable on bench-scale data.
+    let par = Strategy::ParallelSkinner(ParallelSkinnerConfig {
+        threads: 4,
+        batch_tuples: 64,
+        min_chunk_tuples: 8,
+        ..Default::default()
+    });
+    let db_off = build_db(scale);
+    let par_off = run_reps(&db_off, &par, reps);
+    let db_on = build_db(scale);
+    db_on.set_learning_cache(true);
+    let par_on = run_reps(&db_on, &par, reps);
+    render_section("parallel_skinner (4 threads)", &par_off, &par_on, &mut out);
+
+    assert_thread_equivalence(scale);
+    out.push_str("Thread equivalence check: rows bit-identical cache-on vs cache-off at 1/2/4/8 threads. ✔\n");
+
+    match write_json(
+        std::path::Path::new("bench_reports"),
+        &[
+            ("Skinner-C", &seq_off, &seq_on),
+            ("parallel_skinner", &par_off, &par_on),
+        ],
+    ) {
+        Ok(path) => out.push_str(&format!(
+            "\nRaw counters written to `{}`.\n",
+            path.display()
+        )),
+        Err(e) => out.push_str(&format!(
+            "\n(could not write BENCH_repeat_workload.json: {e})\n"
+        )),
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warm_repetitions_hit_and_converge_no_worse() {
+        let db = build_db(Scale::Smoke);
+        db.set_learning_cache(true);
+        let seq = Strategy::SkinnerC(SkinnerCConfig::default());
+        let reps = run_reps(&db, &seq, 3);
+        assert!(!reps[0].cache_hit, "first execution is cold");
+        assert!(reps[1].cache_hit && reps[2].cache_hit);
+        assert!(reps[1].warm_start_visits > 0);
+        // Convergence must not regress on warm runs (usually improves).
+        assert!(
+            reps[1].last_order_switch <= reps[0].last_order_switch,
+            "warm lock-in {} vs cold {}",
+            reps[1].last_order_switch,
+            reps[0].last_order_switch
+        );
+    }
+
+    #[test]
+    fn thread_equivalence_guard_passes() {
+        assert_thread_equivalence(Scale::Smoke);
+    }
+
+    #[test]
+    fn json_shape_is_valid() {
+        let tmp = std::env::temp_dir().join(format!("skinner_repeat_json_{}", std::process::id()));
+        let rep = Rep {
+            lit: 3,
+            cache_hit: true,
+            warm_start_visits: 10,
+            episodes: 5,
+            last_order_switch: 2,
+            off_order: 1,
+            work: 100,
+            wall_us: 42,
+        };
+        let path = write_json(&tmp, &[("e", std::slice::from_ref(&rep), &[])]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_dir_all(&tmp).ok();
+        assert!(text.contains("\"cache_hit\": true"));
+        assert!(text.contains("\"mean_lock_in_off\""));
+    }
+}

@@ -12,6 +12,9 @@ use skinnerdb::{Database, Strategy};
 /// Benchmark scale, from the `BENCH_SCALE` environment variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
+    /// Seconds-level CI guard runs: quick-scale data, minimum iterations
+    /// (`BENCH_SCALE=smoke`; the `bench-smoke` CI job uses this).
+    Smoke,
     /// Minutes-level runs on scaled-down data (default).
     Quick,
     /// Closer to the paper's data sizes and timeouts.
@@ -22,15 +25,22 @@ impl Scale {
     pub fn from_env() -> Self {
         match std::env::var("BENCH_SCALE").as_deref() {
             Ok("paper") => Scale::Paper,
+            Ok("smoke") => Scale::Smoke,
             _ => Scale::Quick,
         }
     }
 
     pub fn pick<T>(&self, quick: T, paper: T) -> T {
         match self {
-            Scale::Quick => quick,
+            Scale::Smoke | Scale::Quick => quick,
             Scale::Paper => paper,
         }
+    }
+
+    /// True for the reduced-iteration CI guard scale: experiments shrink
+    /// repetition counts and query subsets further than `Quick`.
+    pub fn is_smoke(&self) -> bool {
+        matches!(self, Scale::Smoke)
     }
 }
 

@@ -2,7 +2,7 @@
 //! SkinnerDB paper's evaluation (Section 6 + appendix).
 //!
 //! Each experiment lives in [`experiments`] with a matching `src/bin/`
-//! wrapper; `cargo run --release -p skinner-bench --bin <name>` regenerates
+//! wrapper; `cargo run --release -p skinner_bench --bin <name>` regenerates
 //! one table/figure, `--bin run_all` regenerates everything into
 //! `bench_reports/`.
 //!

@@ -204,6 +204,46 @@ fn set_show_and_text_mode() {
 }
 
 #[test]
+fn learning_cache_over_the_wire() {
+    let (mut server, addr) = default_server();
+    let mut client = Client::connect(&addr).unwrap();
+    let metric = |client: &mut Client, name: &str| -> i64 {
+        let stats = client
+            .query("SHOW SERVER STATS")
+            .unwrap()
+            .into_query_result();
+        stats
+            .rows
+            .iter()
+            .find(|r| r[0].as_str() == Some(name))
+            .unwrap_or_else(|| panic!("metric {name} missing"))[1]
+            .as_i64()
+            .unwrap()
+    };
+    assert_eq!(metric(&mut client, "learning_cache.enabled_default"), 0);
+    // Off by default: repeated queries never touch the cache.
+    let cold = client.query(QUERIES[0]).unwrap().into_query_result();
+    assert_eq!(metric(&mut client, "learning_cache.published"), 0);
+    // Opt in per connection; the same template then publishes and hits.
+    client.set("learning_cache", "on").unwrap();
+    let first = client.query(QUERIES[0]).unwrap().into_query_result();
+    let second = client.query(QUERIES[0]).unwrap().into_query_result();
+    assert_eq!(first.canonical_rows(), cold.canonical_rows());
+    assert_eq!(second.canonical_rows(), cold.canonical_rows());
+    assert!(metric(&mut client, "learning_cache.published") >= 2);
+    assert!(metric(&mut client, "learning_cache.hits") >= 1);
+    assert!(metric(&mut client, "learning_cache.entries") >= 1);
+    // A second connection shares the warmed templates.
+    let mut other = Client::connect(&addr).unwrap();
+    other.set("learning_cache", "on").unwrap();
+    let shared = other.query(QUERIES[0]).unwrap().into_query_result();
+    assert_eq!(shared.canonical_rows(), cold.canonical_rows());
+    assert!(metric(&mut client, "learning_cache.hits") >= 2);
+    assert!(client.set("learning_cache", "sideways").is_err());
+    server.shutdown();
+}
+
+#[test]
 fn wire_cancel_aborts_a_torture_query_promptly() {
     let (mut server, addr) = default_server();
     let mut client = Client::connect(&addr).unwrap();

@@ -1,0 +1,402 @@
+//! Cross-query learning: a bounded, thread-safe cache of UCT tree priors
+//! keyed by query template.
+//!
+//! SkinnerDB learns join orders from scratch for every query — fine per
+//! the paper, wasteful under a serving workload where the same templates
+//! recur constantly. The [`TreeCache`] closes the loop: when a learned
+//! strategy finishes a query it publishes the tree's exported statistics
+//! ([`TreePrior`]) under the query's template key
+//! ([`skinner_query::template_key`]); the next query with the same
+//! template warm-starts its tree from the decayed prior and converges to
+//! the best join order in far fewer episodes.
+//!
+//! Design constraints, in order:
+//!
+//! * **correctness is untouchable** — the cache only ever biases *which
+//!   orders get explored first*; every engine's offsets discipline makes
+//!   results identical for any order sequence, so results are bit-identical
+//!   with the cache on or off (the equivalence suite pins this);
+//! * **staleness is detected, not assumed away** — entries record the
+//!   [`uid`](skinner_storage::Table::uid) of every table in the template;
+//!   a lookup whose uids mismatch (table dropped/recreated, temp-table
+//!   churn) invalidates the entry instead of serving priors learned on
+//!   different data — the same lesson the statistics cache learned in its
+//!   `Arc`-pointer-keying bug;
+//! * **bounded** — least-recently-used eviction above a fixed capacity, so
+//!   a million distinct ad-hoc queries cannot grow the cache without
+//!   bound;
+//! * **thread-safe** — one mutex around the map (lookups copy an
+//!   `Arc<TreePrior>` out; the critical section is a hash probe), with
+//!   atomic hit/miss counters the server surfaces in `SHOW SERVER STATS`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use skinner_exec::ExecContext;
+use skinner_query::{template_key, JoinQuery};
+use skinner_uct::TreePrior;
+
+/// Tuning knobs of a [`TreeCache`].
+#[derive(Debug, Clone, Copy)]
+pub struct TreeCacheConfig {
+    /// Maximum number of cached templates (LRU-evicted beyond this).
+    pub capacity: usize,
+    /// Decay applied to cached statistics when seeding a new tree, in
+    /// `[0, 1]`: `0.5` halves the prior's confidence per generation, so
+    /// fresh rewards can overturn stale knowledge quickly; `0` carries
+    /// nothing over (warm starts become inert).
+    pub decay: f64,
+    /// Maximum prior entries (tree nodes) exported per publication.
+    pub max_entries: usize,
+}
+
+impl Default for TreeCacheConfig {
+    fn default() -> Self {
+        TreeCacheConfig {
+            capacity: 256,
+            decay: 0.5,
+            max_entries: 128,
+        }
+    }
+}
+
+struct CacheEntry {
+    /// `Table::uid`s of the template's tables, in FROM order. A mismatch
+    /// at lookup means the template's name now binds different tables —
+    /// the entry is stale and must die.
+    uids: Vec<u64>,
+    prior: Arc<TreePrior>,
+    /// Recency stamp for LRU eviction (monotonic use counter).
+    stamp: u64,
+}
+
+/// Monotonic counters of a [`TreeCache`], surfaced by
+/// `SHOW SERVER STATS` (plus the current entry count).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TreeCacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub invalidations: u64,
+    pub published: u64,
+    pub evictions: u64,
+    pub entries: usize,
+}
+
+/// A bounded, thread-safe, LRU cache of cross-query UCT priors.
+pub struct TreeCache {
+    cfg: TreeCacheConfig,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+    published: AtomicU64,
+    evictions: AtomicU64,
+}
+
+struct Inner {
+    map: HashMap<String, CacheEntry>,
+    clock: u64,
+}
+
+impl Default for TreeCache {
+    fn default() -> Self {
+        Self::new(TreeCacheConfig::default())
+    }
+}
+
+impl TreeCache {
+    pub fn new(cfg: TreeCacheConfig) -> Self {
+        TreeCache {
+            cfg: TreeCacheConfig {
+                capacity: cfg.capacity.max(1),
+                decay: cfg.decay.clamp(0.0, 1.0),
+                max_entries: cfg.max_entries.max(1),
+            },
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                clock: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+            published: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    pub fn config(&self) -> TreeCacheConfig {
+        self.cfg
+    }
+
+    /// Look up the prior for `key`, validating that the template still
+    /// binds the same tables (`uids`). A uid mismatch removes the stale
+    /// entry and counts as both an invalidation and a miss.
+    pub fn lookup(&self, key: &str, uids: &[u64]) -> Option<Arc<TreePrior>> {
+        let mut inner = self.inner.lock();
+        // Advance the recency clock up front (publish does so
+        // unconditionally too), so the hit path can stamp and clone in
+        // the single map probe below.
+        inner.clock += 1;
+        let clock = inner.clock;
+        match inner.map.get_mut(key) {
+            Some(entry) if entry.uids == uids => {
+                entry.stamp = clock;
+                let prior = entry.prior.clone();
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(prior)
+            }
+            Some(_) => {
+                inner.map.remove(key);
+                drop(inner);
+                self.invalidations.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => {
+                drop(inner);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Publish a finished tree's prior for `key`, replacing any previous
+    /// entry (fresher statistics win) and LRU-evicting beyond capacity.
+    pub fn publish(&self, key: String, uids: Vec<u64>, prior: TreePrior) {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let stamp = inner.clock;
+        inner.map.insert(
+            key,
+            CacheEntry {
+                uids,
+                prior: Arc::new(prior),
+                stamp,
+            },
+        );
+        while inner.map.len() > self.cfg.capacity {
+            let coldest = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k.clone())
+                .expect("over-capacity map is non-empty");
+            inner.map.remove(&coldest);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        drop(inner);
+        self.published.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Drop every entry whose template involves table `uid` — eager
+    /// invalidation when a table is dropped (lazy uid validation at lookup
+    /// covers recreation under the same name either way).
+    pub fn invalidate_table(&self, uid: u64) {
+        let mut inner = self.inner.lock();
+        let before = inner.map.len();
+        inner.map.retain(|_, e| !e.uids.contains(&uid));
+        let removed = (before - inner.map.len()) as u64;
+        drop(inner);
+        if removed > 0 {
+            self.invalidations.fetch_add(removed, Ordering::Relaxed);
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot (hits/misses/invalidations/published/evictions and
+    /// the live entry count).
+    pub fn stats(&self) -> TreeCacheStats {
+        TreeCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            published: self.published.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+}
+
+/// One query's view of the cache: the template key and table uids computed
+/// once, shared by the lookup at query start and the publication at query
+/// end. `probe` returns `None` when the context carries no cache (the
+/// knob is off) — the engines then skip all cross-query work.
+pub struct CacheProbe {
+    cache: Arc<TreeCache>,
+    key: String,
+    uids: Vec<u64>,
+}
+
+impl CacheProbe {
+    /// Probe the context for a learning cache and fingerprint `query`
+    /// against it. Single-table queries are not worth caching (their only
+    /// join order is trivial) and return `None`.
+    pub fn probe(ctx: &ExecContext, query: &JoinQuery) -> Option<CacheProbe> {
+        if query.num_tables() < 2 {
+            return None;
+        }
+        let cache = ctx.learning_cache::<TreeCache>()?;
+        Some(CacheProbe {
+            key: template_key(query),
+            uids: query.tables.iter().map(|t| t.uid()).collect(),
+            cache,
+        })
+    }
+
+    /// Look up this query's prior (uid-validated).
+    pub fn lookup(&self) -> Option<Arc<TreePrior>> {
+        self.cache.lookup(&self.key, &self.uids)
+    }
+
+    /// Publish this query's finished tree statistics.
+    pub fn publish(&self, prior: TreePrior) {
+        self.cache
+            .publish(self.key.clone(), self.uids.clone(), prior);
+    }
+
+    /// Decay factor to apply when seeding from the cached prior.
+    pub fn decay(&self) -> f64 {
+        self.cache.config().decay
+    }
+
+    /// Cap on prior entries exported at publication.
+    pub fn max_entries(&self) -> usize {
+        self.cache.config().max_entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skinner_uct::PriorEntry;
+
+    fn prior(visits: u64) -> TreePrior {
+        TreePrior {
+            num_tables: 2,
+            entries: vec![PriorEntry {
+                prefix: vec![],
+                visits,
+                reward_sum: visits as f64 * 0.5,
+            }],
+        }
+    }
+
+    #[test]
+    fn hit_miss_and_counter_accounting() {
+        let cache = TreeCache::default();
+        assert!(cache.lookup("q1", &[1, 2]).is_none());
+        cache.publish("q1".into(), vec![1, 2], prior(10));
+        let got = cache.lookup("q1", &[1, 2]).expect("hit");
+        assert_eq!(got.root_visits(), 10);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.published, s.entries), (1, 1, 1, 1));
+    }
+
+    #[test]
+    fn uid_mismatch_invalidates_the_entry() {
+        let cache = TreeCache::default();
+        cache.publish("q1".into(), vec![1, 2], prior(10));
+        // Table 2 was dropped and recreated: same name (same key),
+        // different uid — the stale entry must die, not be served.
+        assert!(cache.lookup("q1", &[1, 99]).is_none());
+        assert_eq!(cache.stats().invalidations, 1);
+        // Gone entirely: even the original uids now miss.
+        assert!(cache.lookup("q1", &[1, 2]).is_none());
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn lru_eviction_under_tiny_capacity() {
+        let cache = TreeCache::new(TreeCacheConfig {
+            capacity: 2,
+            ..Default::default()
+        });
+        cache.publish("a".into(), vec![1], prior(1));
+        cache.publish("b".into(), vec![2], prior(2));
+        // Touch "a" so "b" is the LRU when "c" pushes one out.
+        assert!(cache.lookup("a", &[1]).is_some());
+        cache.publish("c".into(), vec![3], prior(3));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup("a", &[1]).is_some(), "recently used survives");
+        assert!(cache.lookup("c", &[3]).is_some(), "new entry present");
+        assert!(cache.lookup("b", &[2]).is_none(), "LRU evicted");
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn republish_refreshes_the_prior() {
+        let cache = TreeCache::default();
+        cache.publish("q".into(), vec![7], prior(10));
+        cache.publish("q".into(), vec![7], prior(20));
+        assert_eq!(cache.lookup("q", &[7]).unwrap().root_visits(), 20);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn eager_table_invalidation() {
+        let cache = TreeCache::default();
+        cache.publish("q1".into(), vec![1, 2], prior(1));
+        cache.publish("q2".into(), vec![2, 3], prior(2));
+        cache.publish("q3".into(), vec![4], prior(3));
+        cache.invalidate_table(2);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.lookup("q3", &[4]).is_some());
+        assert_eq!(cache.stats().invalidations, 2);
+    }
+
+    #[test]
+    fn config_is_sanitized() {
+        let cache = TreeCache::new(TreeCacheConfig {
+            capacity: 0,
+            decay: 7.0,
+            max_entries: 0,
+        });
+        let cfg = cache.config();
+        assert_eq!(cfg.capacity, 1);
+        assert_eq!(cfg.decay, 1.0);
+        assert_eq!(cfg.max_entries, 1);
+    }
+
+    #[test]
+    fn concurrent_publish_and_lookup_stay_consistent() {
+        let cache = Arc::new(TreeCache::new(TreeCacheConfig {
+            capacity: 8,
+            ..Default::default()
+        }));
+        let threads = 8;
+        let per_thread = 200;
+        let handles: Vec<_> = (0..threads)
+            .map(|i| {
+                let cache = cache.clone();
+                std::thread::spawn(move || {
+                    for n in 0..per_thread {
+                        let key = format!("q{}", (i + n) % 12);
+                        let uid = ((i + n) % 12) as u64;
+                        if let Some(p) = cache.lookup(&key, &[uid]) {
+                            assert_eq!(p.num_tables, 2);
+                        }
+                        cache.publish(key, vec![uid], prior(n as u64 + 1));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = cache.stats();
+        assert!(cache.len() <= 8, "capacity respected: {}", cache.len());
+        assert_eq!(s.published, (threads * per_thread) as u64);
+        assert_eq!(s.hits + s.misses, (threads * per_thread) as u64);
+    }
+}

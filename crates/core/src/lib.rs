@@ -25,10 +25,17 @@
 //!   same join order, and all workers learn through one shared concurrent
 //!   UCT tree.
 //!
+//! * [`cache`] — **cross-query learning**: a bounded, thread-safe cache of
+//!   UCT tree priors keyed by query template, consulted at query start and
+//!   published into at query end by Skinner-C and `parallel_skinner` when
+//!   the `learning_cache` knob is on. Purely a convergence accelerator —
+//!   results are identical with it on or off.
+//!
 //! All strategies produce exactly the same results as a traditional
 //! execution (Theorems 5.1–5.3); the integration tests verify this against
 //! a naive reference executor.
 
+pub mod cache;
 pub mod config;
 pub mod parallel;
 pub mod pyramid;
@@ -37,6 +44,7 @@ pub mod skinner_g;
 pub mod skinner_h;
 pub mod strategies;
 
+pub use cache::{CacheProbe, TreeCache, TreeCacheConfig, TreeCacheStats};
 pub use config::{RewardKind, SkinnerCConfig, SkinnerGConfig, SkinnerHConfig};
 pub use parallel::{run_parallel_skinner, ParallelSkinnerConfig, ParallelSkinnerStrategy};
 pub use pyramid::PyramidScheme;

@@ -64,6 +64,7 @@ use skinner_query::JoinQuery;
 use skinner_storage::RowId;
 use skinner_uct::SharedUctTree;
 
+use crate::cache::CacheProbe;
 use crate::skinner_c::join::{continue_join_ranged, MultiwayCtx, OrderInfo, SliceOutcome};
 use crate::skinner_c::preproc::prepare;
 use crate::skinner_c::result_set::ResultSet;
@@ -254,6 +255,19 @@ pub fn run_parallel_skinner(
         cfg.exploration_weight,
         threads,
     ));
+    // Cross-query learning: warm-start the shared tree from the template
+    // cache when the context carries one (both tree variants seed from the
+    // same prior format). Results stay identical either way — the cache
+    // only biases which orders the learner tries first.
+    let probe = CacheProbe::probe(ctx, query);
+    let mut cache_hit = 0u64;
+    let mut warm_start_visits = 0u64;
+    if let Some(p) = &probe {
+        if let Some(prior) = p.lookup() {
+            warm_start_visits = tree.seed_prior(&prior, p.decay());
+            cache_hit = 1;
+        }
+    }
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x9A7A11E1);
     let pool: WorkerPool<EpisodeTask, WorkerReport> =
         WorkerPool::new(threads, |_, task| run_chunk(task));
@@ -267,6 +281,11 @@ pub fn run_parallel_skinner(
     let mut episodes = 0u64;
     let mut failed_episodes = 0u64;
     let mut timed_out = false;
+    // Episode index of the last join-order switch (see the sequential
+    // engine): the convergence measure `repeat_workload` compares
+    // warm-started runs against cold ones on.
+    let mut last_order_switch = 0u64;
+    let mut prev_order_key: Option<Box<[u8]>> = None;
     // Adaptive per-episode work cap, doubled whenever an episode is
     // abandoned (Skinner-G's escalating-timeout discipline) so a
     // catastrophic order costs a bounded amount and good orders eventually
@@ -285,6 +304,10 @@ pub fn run_parallel_skinner(
             }
             let order = tree.select(&mut rng);
             let key: Box<[u8]> = order.iter().map(|&t| t as u8).collect();
+            if prev_order_key.as_deref() != Some(&key[..]) {
+                last_order_switch = episodes + 1;
+                prev_order_key = Some(key.clone());
+            }
             let info = order_infos
                 .entry(key.clone())
                 .or_insert_with(|| {
@@ -393,6 +416,14 @@ pub fn run_parallel_skinner(
         .collect();
     order_slice_counts.sort_by_key(|e| std::cmp::Reverse(e.1));
 
+    // Publish the shared tree's statistics for the next query of this
+    // template (skipped on timeout — see the sequential engine).
+    if let Some(p) = &probe {
+        if !timed_out && episodes > 0 {
+            p.publish(tree.extract_prior(p.max_entries()));
+        }
+    }
+
     let workers = merge_worker_metrics(worker_metrics);
     ctx.absorb_work(budget.used());
     ExecOutcome {
@@ -423,7 +454,10 @@ pub fn run_parallel_skinner(
         .with_counter("chunks", workers.counter("chunks").unwrap_or(0))
         .with_counter("uct_shards", tree.num_shards() as u64)
         .with_counter("root_cas_contention", tree.contention())
-        .with_counter("postprocess_us", postprocess_us),
+        .with_counter("postprocess_us", postprocess_us)
+        .with_counter("cache_hit", cache_hit)
+        .with_counter("warm_start_visits", warm_start_visits)
+        .with_counter("last_order_switch", last_order_switch),
     }
 }
 

@@ -11,6 +11,7 @@ use skinner_query::{JoinGraph, JoinQuery, TableSet};
 use skinner_storage::RowId;
 use skinner_uct::{UctConfig, UctTree};
 
+use crate::cache::CacheProbe;
 use crate::config::SkinnerCConfig;
 
 use super::join::{continue_join, MultiwayCtx, OrderInfo, SliceOutcome};
@@ -56,6 +57,23 @@ pub fn run_skinner_c(query: &JoinQuery, ctx: &ExecContext, cfg: &SkinnerCConfig)
             seed: cfg.seed,
         },
     );
+    // Cross-query learning: when the context carries a template cache,
+    // warm-start the tree from the decayed prior of a previous execution
+    // of the same template. Purely a learning bias — the offsets
+    // discipline keeps results identical whatever orders get explored.
+    let probe = if cfg.learning {
+        CacheProbe::probe(ctx, query)
+    } else {
+        None
+    };
+    let mut cache_hit = 0u64;
+    let mut warm_start_visits = 0u64;
+    if let Some(p) = &probe {
+        if let Some(prior) = p.lookup() {
+            warm_start_visits = uct.seed_prior(&prior, p.decay());
+            cache_hit = 1;
+        }
+    }
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xD1CE);
     let mut tracker = ProgressTracker::new(m, cfg.share_progress);
     let mut results = ResultSet::new();
@@ -65,6 +83,12 @@ pub fn run_skinner_c(query: &JoinQuery, ctx: &ExecContext, cfg: &SkinnerCConfig)
     let mut tree_growth: Vec<(u64, usize)> = Vec::new();
     let mut slices = 0u64;
     let mut timed_out = false;
+    // Convergence instrumentation: the episode index of the last join-order
+    // switch — after it the engine executed one order exclusively. Warm
+    // starts should lock in measurably earlier (the `repeat_workload`
+    // benchmark reads this).
+    let mut last_order_switch = 0u64;
+    let mut prev_order_key: Option<Box<[u8]>> = None;
 
     // Skinner-C terminates once any table's offset passes its end (all its
     // tuples fully joined) — including the degenerate empty-table case.
@@ -87,6 +111,10 @@ pub fn run_skinner_c(query: &JoinQuery, ctx: &ExecContext, cfg: &SkinnerCConfig)
                 random_order(&graph, &mut rng)
             };
             let key: Box<[u8]> = order.iter().map(|&t| t as u8).collect();
+            if prev_order_key.as_deref() != Some(&key[..]) {
+                last_order_switch = slices + 1;
+                prev_order_key = Some(key.clone());
+            }
             let info = order_infos
                 .entry(key.clone())
                 .or_insert_with(|| OrderInfo::build(query, mctx, &order, cfg.use_jump_indexes));
@@ -153,6 +181,15 @@ pub fn run_skinner_c(query: &JoinQuery, ctx: &ExecContext, cfg: &SkinnerCConfig)
         .collect();
     order_slice_counts.sort_by_key(|e| std::cmp::Reverse(e.1));
 
+    // Publish the finished tree's statistics for the next query of this
+    // template. Timed-out runs publish nothing: their trees are dominated
+    // by orders the abandonment discipline already rejected.
+    if let Some(p) = &probe {
+        if !timed_out && slices > 0 {
+            p.publish(uct.extract_prior(p.max_entries()));
+        }
+    }
+
     ctx.absorb_work(budget.used());
     ExecOutcome {
         result,
@@ -170,7 +207,10 @@ pub fn run_skinner_c(query: &JoinQuery, ctx: &ExecContext, cfg: &SkinnerCConfig)
             tree_growth,
             order_slice_counts,
             ..ExecMetrics::default()
-        },
+        }
+        .with_counter("cache_hit", cache_hit)
+        .with_counter("warm_start_visits", warm_start_visits)
+        .with_counter("last_order_switch", last_order_switch),
     }
 }
 

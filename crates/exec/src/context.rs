@@ -88,6 +88,11 @@ pub struct ExecContext {
     /// Worker threads parallel strategies may use; `0` = unset, resolved to
     /// the machine's available parallelism by [`ExecContext::threads`].
     threads: usize,
+    /// Cross-query learning cache, type-erased because the concrete
+    /// `TreeCache` lives above this crate (in `skinner_core`, which
+    /// depends on `skinner_exec`). `None` = cross-query learning off —
+    /// the default, preserving the paper's per-query discipline.
+    learning_cache: Option<Arc<dyn std::any::Any + Send + Sync>>,
 }
 
 impl ExecContext {
@@ -163,6 +168,20 @@ impl ExecContext {
         self.cancel.is_cancelled()
     }
 
+    /// Attach a cross-query learning cache (the session/database
+    /// `learning_cache` knob lands here). The value is type-erased; learned
+    /// strategies downcast it back via [`ExecContext::learning_cache`].
+    pub fn with_learning_cache(mut self, cache: Arc<dyn std::any::Any + Send + Sync>) -> Self {
+        self.learning_cache = Some(cache);
+        self
+    }
+
+    /// The attached cross-query learning cache, downcast to its concrete
+    /// type; `None` when the knob is off or the type does not match.
+    pub fn learning_cache<T: std::any::Any + Send + Sync>(&self) -> Option<Arc<T>> {
+        self.learning_cache.clone()?.downcast::<T>().ok()
+    }
+
     /// The per-run work limit an engine should enforce: its own configured
     /// limit capped by what remains of the shared budget.
     pub fn effective_limit(&self, configured: u64) -> u64 {
@@ -225,6 +244,15 @@ mod tests {
         assert_eq!(ctx.threads(), 4);
         // Zero is clamped rather than re-enabling the default.
         assert_eq!(ExecContext::new().with_threads(0).threads(), 1);
+    }
+
+    #[test]
+    fn learning_cache_slot_roundtrips_by_type() {
+        let ctx = ExecContext::new();
+        assert!(ctx.learning_cache::<String>().is_none());
+        let ctx = ctx.with_learning_cache(Arc::new(String::from("cache")));
+        assert_eq!(*ctx.learning_cache::<String>().unwrap(), "cache");
+        assert!(ctx.learning_cache::<u64>().is_none(), "wrong type is None");
     }
 
     #[test]

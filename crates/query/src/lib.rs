@@ -17,7 +17,9 @@
 //!   join-order search space (paper Section 4.2),
 //! * [`udf`] — the user-defined-function registry; UDFs are black boxes for
 //!   the traditional optimizer, exactly as in the paper's UDF benchmarks,
-//! * [`binder`] — name resolution from AST to bound IR.
+//! * [`binder`] — name resolution from AST to bound IR,
+//! * [`template`] — query canonicalization into template keys (literals and
+//!   aliases normalized), the identity cross-query learning caches under.
 
 pub mod ast;
 pub mod binder;
@@ -27,6 +29,7 @@ pub mod lexer;
 pub mod parser;
 pub mod query;
 pub mod table_set;
+pub mod template;
 pub mod udf;
 
 pub use binder::{bind_select, BindError};
@@ -35,4 +38,5 @@ pub use graph::JoinGraph;
 pub use parser::{parse_statement, parse_statements, ParseError};
 pub use query::{AggFunc, EquiPred, GenericPred, JoinQuery, OrderKey, SelectItem, SortOrder};
 pub use table_set::TableSet;
+pub use template::template_key;
 pub use udf::{UdfId, UdfRegistry};

@@ -1,0 +1,344 @@
+//! Query canonicalization: map a bound [`JoinQuery`] to a *template key*.
+//!
+//! Under a serving workload the same query shapes recur constantly with
+//! different literals — `WHERE d.year = 1995` today, `= 1996` tomorrow —
+//! and SkinnerDB's per-query learning would start every one of them from a
+//! cold UCT tree. The template key is the identity that cross-query
+//! learning caches under: two queries share a key exactly when they have
+//! the same *join-order learning problem*, i.e. the same tables, the same
+//! predicate structure and the same output shape, regardless of
+//!
+//! * literal values (`LitInt`/`LitFloat`/`LitStr`, `IN` sets, `LIKE`
+//!   patterns, `LIMIT` counts all normalize to `?`), and
+//! * table aliases (`movies m` vs `movies mv` — the bound query refers to
+//!   tables by position, so alias spellings never enter the key).
+//!
+//! Table *names* do enter the key, but name collisions across
+//! drop/recreate are handled one level up: the tree cache stores each
+//! template's table [`uid`](skinner_storage::Table::uid)s and invalidates
+//! on mismatch (the same discipline the statistics cache uses).
+//!
+//! The key is a plain `String` rather than a hash so cache contents stay
+//! debuggable (`SHOW SERVER STATS` counts, test failures, logs); it is
+//! deterministic across processes and runs.
+
+use crate::expr::Expr;
+use crate::query::{AggFunc, JoinQuery, SelectItem};
+
+/// Canonical template key of a bound query. Stable across literal values
+/// and alias spellings; distinct across table sets, predicate structure,
+/// select/group/order shape.
+pub fn template_key(query: &JoinQuery) -> String {
+    let mut out = String::with_capacity(128);
+    out.push_str("from(");
+    for (i, t) in query.tables.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(t.name());
+    }
+    out.push(')');
+
+    for (t, conjuncts) in query.unary.iter().enumerate() {
+        if conjuncts.is_empty() {
+            continue;
+        }
+        out.push_str(&format!(";unary{t}("));
+        for (i, e) in conjuncts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            expr_template(e, &mut out);
+        }
+        out.push(')');
+    }
+
+    if !query.equi_preds.is_empty() {
+        out.push_str(";equi(");
+        for (i, p) in query.equi_preds.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "t{}.{}=t{}.{}",
+                p.left.table, p.left.col, p.right.table, p.right.col
+            ));
+        }
+        out.push(')');
+    }
+
+    if !query.generic_preds.is_empty() {
+        out.push_str(";theta(");
+        for (i, p) in query.generic_preds.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            expr_template(&p.expr, &mut out);
+        }
+        out.push(')');
+    }
+
+    out.push_str(";select(");
+    for (i, item) in query.select.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        match item {
+            SelectItem::Expr { expr, .. } => expr_template(expr, &mut out),
+            SelectItem::Agg { func, arg, .. } => {
+                out.push_str(agg_name(*func));
+                out.push('(');
+                match arg {
+                    Some(a) => expr_template(a, &mut out),
+                    None => out.push('*'),
+                }
+                out.push(')');
+            }
+        }
+    }
+    out.push(')');
+
+    if !query.group_by.is_empty() {
+        out.push_str(";group(");
+        for (i, e) in query.group_by.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            expr_template(e, &mut out);
+        }
+        out.push(')');
+    }
+    if !query.order_by.is_empty() {
+        out.push_str(";order(");
+        for (i, k) in query.order_by.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{}{}",
+                k.output_col,
+                if k.asc { 'a' } else { 'd' }
+            ));
+        }
+        out.push(')');
+    }
+    // LIMIT counts are literals: presence shapes post-processing, the
+    // value does not change the join-order learning problem.
+    if query.limit.is_some() {
+        out.push_str(";limit(?)");
+    }
+    if query.distinct {
+        out.push_str(";distinct");
+    }
+    out
+}
+
+fn agg_name(f: AggFunc) -> &'static str {
+    match f {
+        AggFunc::Count => "count",
+        AggFunc::Sum => "sum",
+        AggFunc::Min => "min",
+        AggFunc::Max => "max",
+        AggFunc::Avg => "avg",
+    }
+}
+
+/// Append `e`'s structure with every literal replaced by `?`.
+fn expr_template(e: &Expr, out: &mut String) {
+    match e {
+        Expr::Col(c, _) => out.push_str(&format!("t{}.{}", c.table, c.col)),
+        Expr::LitInt(_) | Expr::LitFloat(_) | Expr::LitStr { .. } => out.push('?'),
+        Expr::Cmp { op, left, right } => {
+            out.push_str(&format!("{op:?}").to_ascii_lowercase());
+            out.push('(');
+            expr_template(left, out);
+            out.push(',');
+            expr_template(right, out);
+            out.push(')');
+        }
+        Expr::And(es) | Expr::Or(es) => {
+            out.push_str(if matches!(e, Expr::And(_)) {
+                "and("
+            } else {
+                "or("
+            });
+            for (i, sub) in es.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                expr_template(sub, out);
+            }
+            out.push(')');
+        }
+        Expr::Not(sub) => {
+            out.push_str("not(");
+            expr_template(sub, out);
+            out.push(')');
+        }
+        Expr::Neg(sub) => {
+            out.push_str("neg(");
+            expr_template(sub, out);
+            out.push(')');
+        }
+        Expr::Arith { op, left, right } => {
+            out.push_str(&format!("{op:?}").to_ascii_lowercase());
+            out.push('(');
+            expr_template(left, out);
+            out.push(',');
+            expr_template(right, out);
+            out.push(')');
+        }
+        // The set / pattern contents are literals.
+        Expr::InSet { arg, negated, .. } => {
+            out.push_str(if *negated { "notin(" } else { "in(" });
+            expr_template(arg, out);
+            out.push_str(",?)");
+        }
+        Expr::LikeSet { arg, negated, .. } => {
+            out.push_str(if *negated { "notlike(" } else { "like(" });
+            expr_template(arg, out);
+            out.push_str(",?)");
+        }
+        Expr::Udf { handle, args } => {
+            out.push_str("udf:");
+            out.push_str(&handle.name);
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                expr_template(a, out);
+            }
+            out.push(')');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_statement;
+    use crate::udf::UdfRegistry;
+    use skinner_storage::{schema, Catalog, Value};
+
+    fn fixture() -> Catalog {
+        let cat = Catalog::new();
+        let mut a = cat.builder("a", schema![("id", Int), ("g", Int), ("s", Str)]);
+        for i in 0..10 {
+            a.push_row(&[
+                Value::Int(i),
+                Value::Int(i % 3),
+                Value::from(if i % 2 == 0 { "even" } else { "odd" }),
+            ]);
+        }
+        cat.register(a.finish());
+        let mut b = cat.builder("b", schema![("aid", Int), ("w", Int)]);
+        for i in 0..10 {
+            b.push_row(&[Value::Int(i), Value::Int(i % 4)]);
+        }
+        cat.register(b.finish());
+        cat
+    }
+
+    fn key(sql: &str, cat: &Catalog) -> String {
+        let udfs = UdfRegistry::new();
+        match parse_statement(sql).unwrap() {
+            crate::ast::Statement::Select(s) => {
+                template_key(&crate::bind_select(&s, cat, &udfs).unwrap())
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn literals_normalize_to_the_same_key() {
+        let cat = fixture();
+        let base = "SELECT a.id FROM a, b WHERE a.id = b.aid AND a.g = 1";
+        for other in [
+            "SELECT a.id FROM a, b WHERE a.id = b.aid AND a.g = 2",
+            "SELECT a.id FROM a, b WHERE a.id = b.aid AND a.g = 999",
+        ] {
+            assert_eq!(key(base, &cat), key(other, &cat));
+        }
+    }
+
+    #[test]
+    fn string_and_like_literals_normalize() {
+        let cat = fixture();
+        assert_eq!(
+            key("SELECT a.id FROM a WHERE a.s = 'even'", &cat),
+            key("SELECT a.id FROM a WHERE a.s = 'odd'", &cat),
+        );
+        assert_eq!(
+            key("SELECT a.id FROM a WHERE a.s LIKE 'ev%'", &cat),
+            key("SELECT a.id FROM a WHERE a.s LIKE '%dd'", &cat),
+        );
+        assert_eq!(
+            key("SELECT a.id FROM a WHERE a.g IN (1, 2)", &cat),
+            key("SELECT a.id FROM a WHERE a.g IN (0, 1, 2)", &cat),
+        );
+    }
+
+    #[test]
+    fn aliases_do_not_enter_the_key() {
+        let cat = fixture();
+        assert_eq!(
+            key("SELECT x.id FROM a x, b y WHERE x.id = y.aid", &cat),
+            key("SELECT q.id FROM a q, b r WHERE q.id = r.aid", &cat),
+        );
+    }
+
+    #[test]
+    fn limit_value_is_normalized_but_presence_kept() {
+        let cat = fixture();
+        assert_eq!(
+            key("SELECT a.id FROM a ORDER BY a.id LIMIT 3", &cat),
+            key("SELECT a.id FROM a ORDER BY a.id LIMIT 7", &cat),
+        );
+        assert_ne!(
+            key("SELECT a.id FROM a ORDER BY a.id LIMIT 3", &cat),
+            key("SELECT a.id FROM a ORDER BY a.id", &cat),
+        );
+    }
+
+    #[test]
+    fn structure_differences_change_the_key() {
+        let cat = fixture();
+        let base = key("SELECT a.id FROM a, b WHERE a.id = b.aid", &cat);
+        for other in [
+            "SELECT a.id FROM a, b WHERE a.id = b.w", // different column
+            "SELECT a.id FROM a WHERE a.g = 1",       // different tables
+            "SELECT a.id FROM a, b WHERE a.id = b.aid AND a.g = 1", // extra pred
+            "SELECT a.g FROM a, b WHERE a.id = b.aid", // different select
+            "SELECT a.id FROM a, b WHERE a.id = b.aid ORDER BY a.id", // order
+            "SELECT a.id FROM a, b WHERE a.id > b.aid", // theta not equi
+        ] {
+            assert_ne!(base, key(other, &cat), "{other}");
+        }
+    }
+
+    #[test]
+    fn group_by_and_aggregates_shape_the_key() {
+        let cat = fixture();
+        let grouped = key(
+            "SELECT a.g, COUNT(*) c FROM a GROUP BY a.g ORDER BY a.g",
+            &cat,
+        );
+        let summed = key(
+            "SELECT a.g, SUM(a.id) s FROM a GROUP BY a.g ORDER BY a.g",
+            &cat,
+        );
+        assert_ne!(grouped, summed);
+        assert!(grouped.contains("count(*)"));
+        assert!(grouped.contains("group("));
+    }
+
+    #[test]
+    fn distinct_flag_enters_the_key() {
+        let cat = fixture();
+        assert_ne!(
+            key("SELECT DISTINCT a.g FROM a", &cat),
+            key("SELECT a.g FROM a", &cat),
+        );
+    }
+}

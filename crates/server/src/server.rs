@@ -656,16 +656,32 @@ impl<'a> Conn<'a> {
     fn handle_show(&self, what: &str) -> Result<QueryResult, Response> {
         let what = what.trim().to_ascii_uppercase();
         match what.as_str() {
-            "SERVER STATS" => Ok(self.shared.stats.snapshot_table(&[
-                (
-                    "active_connections",
-                    self.shared.active_conns.load(Ordering::SeqCst) as u64,
-                ),
-                ("active_queries", self.shared.gate.active()),
-                ("queued_queries", self.shared.gate.queued() as u64),
-                ("shed_total", self.shared.gate.shed_total()),
-                ("admitted_total", self.shared.gate.admitted_total()),
-            ])),
+            "SERVER STATS" => {
+                let cache = self.shared.db.learning_cache_stats();
+                Ok(self.shared.stats.snapshot_table(&[
+                    (
+                        "active_connections",
+                        self.shared.active_conns.load(Ordering::SeqCst) as u64,
+                    ),
+                    ("active_queries", self.shared.gate.active()),
+                    ("queued_queries", self.shared.gate.queued() as u64),
+                    ("shed_total", self.shared.gate.shed_total()),
+                    ("admitted_total", self.shared.gate.admitted_total()),
+                    // The instance-wide default only — connections may
+                    // override per session via SET learning_cache, which
+                    // the hit/miss/published counters below reflect.
+                    (
+                        "learning_cache.enabled_default",
+                        self.shared.db.learning_cache_enabled() as u64,
+                    ),
+                    ("learning_cache.entries", cache.entries as u64),
+                    ("learning_cache.hits", cache.hits),
+                    ("learning_cache.misses", cache.misses),
+                    ("learning_cache.invalidations", cache.invalidations),
+                    ("learning_cache.published", cache.published),
+                    ("learning_cache.evictions", cache.evictions),
+                ]))
+            }
             "STRATEGIES" => {
                 let names = self.shared.db.strategies().names();
                 Ok(QueryResult {

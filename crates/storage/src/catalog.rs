@@ -9,20 +9,53 @@ use crate::interner::Interner;
 use crate::schema::Schema;
 use crate::table::{Table, TableBuilder};
 
+/// Callback invoked with a table's [`uid`](Table::uid) when it leaves the
+/// catalog (dropped, or replaced by a same-named registration). Caches
+/// keyed by table identity register one to purge eagerly. Returns whether
+/// the observer is still alive; `false` deregisters it — observers that
+/// capture weak references outlive their owners by at most one drop.
+type DropObserver = Box<dyn Fn(u64) -> bool + Send + Sync>;
+
 /// A catalog of tables. All tables in a catalog share one [`Interner`], which
 /// makes string comparisons across tables code comparisons.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct Catalog {
     interner: Arc<Interner>,
     tables: RwLock<HashMap<String, Arc<Table>>>,
+    drop_observers: RwLock<Vec<DropObserver>>,
+}
+
+impl std::fmt::Debug for Catalog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Catalog")
+            .field("tables", &self.table_names())
+            .field("drop_observers", &self.drop_observers.read().len())
+            .finish()
+    }
 }
 
 impl Catalog {
     pub fn new() -> Self {
-        Catalog {
-            interner: Arc::new(Interner::new()),
-            tables: RwLock::new(HashMap::new()),
-        }
+        Self::default()
+    }
+
+    /// Register a callback run (outside the table-map lock) with the uid
+    /// of every table that leaves the catalog — via
+    /// [`Catalog::drop_table`] or by being replaced under its name in
+    /// [`Catalog::register`]. This is the one choke point for uid-keyed
+    /// caches to purge through, so no drop path can bypass them.
+    ///
+    /// The callback returns whether it is still alive: return `false`
+    /// (e.g. when a captured `Weak` no longer upgrades) and it is removed
+    /// — long-lived catalogs shared by many short-lived owners do not
+    /// accumulate dead observers. Callbacks run under the observer-list
+    /// lock and must not register/drop tables themselves.
+    pub fn on_table_drop(&self, observer: impl Fn(u64) -> bool + Send + Sync + 'static) {
+        self.drop_observers.write().push(Box::new(observer));
+    }
+
+    fn notify_dropped(&self, uid: u64) {
+        self.drop_observers.write().retain(|observer| observer(uid));
     }
 
     pub fn interner(&self) -> &Arc<Interner> {
@@ -35,12 +68,18 @@ impl Catalog {
         TableBuilder::new(name, schema, self.interner.clone())
     }
 
-    /// Register (or replace) a table. Names are case-insensitive.
+    /// Register (or replace) a table. Names are case-insensitive. A
+    /// replaced table counts as dropped for [`Catalog::on_table_drop`]
+    /// observers.
     pub fn register(&self, table: Table) -> Arc<Table> {
         let arc = Arc::new(table);
-        self.tables
+        let replaced = self
+            .tables
             .write()
             .insert(arc.name().to_ascii_lowercase(), arc.clone());
+        if let Some(old) = replaced {
+            self.notify_dropped(old.uid());
+        }
         arc
     }
 
@@ -50,11 +89,16 @@ impl Catalog {
     }
 
     /// Remove a table (used for temp tables of decomposed queries).
+    /// Notifies [`Catalog::on_table_drop`] observers.
     pub fn drop_table(&self, name: &str) -> bool {
-        self.tables
-            .write()
-            .remove(&name.to_ascii_lowercase())
-            .is_some()
+        let removed = self.tables.write().remove(&name.to_ascii_lowercase());
+        match removed {
+            Some(t) => {
+                self.notify_dropped(t.uid());
+                true
+            }
+            None => false,
+        }
     }
 
     /// Names of all registered tables, sorted.
@@ -102,6 +146,68 @@ mod tests {
         assert!(cat.drop_table("TMP"));
         assert!(cat.get("tmp").is_none());
         assert!(!cat.drop_table("tmp"));
+    }
+
+    #[test]
+    fn drop_observers_see_drops_and_replacements() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let cat = Catalog::new();
+        let dropped = Arc::new(AtomicU64::new(u64::MAX));
+        let count = Arc::new(AtomicU64::new(0));
+        {
+            let (dropped, count) = (dropped.clone(), count.clone());
+            cat.on_table_drop(move |uid| {
+                dropped.store(uid, Ordering::Relaxed);
+                count.fetch_add(1, Ordering::Relaxed);
+                true
+            });
+        }
+        let t = cat.register(cat.builder("t", schema![("id", Int)]).finish());
+        assert_eq!(count.load(Ordering::Relaxed), 0, "fresh register is silent");
+        // Replacement under the same name notifies with the OLD uid.
+        let old_uid = t.uid();
+        cat.register(cat.builder("t", schema![("id", Int)]).finish());
+        assert_eq!(dropped.load(Ordering::Relaxed), old_uid);
+        // Explicit drop notifies with the current uid.
+        let cur = cat.get("t").unwrap().uid();
+        assert!(cat.drop_table("t"));
+        assert_eq!(dropped.load(Ordering::Relaxed), cur);
+        assert_eq!(count.load(Ordering::Relaxed), 2);
+        // Dropping a missing table stays silent.
+        assert!(!cat.drop_table("t"));
+        assert_eq!(count.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn dead_observers_self_deregister() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let cat = Catalog::new();
+        // An owner that goes away: the observer holds only a Weak and
+        // asks to be removed once its owner is gone.
+        let owner = Arc::new(AtomicU64::new(u64::MAX));
+        {
+            let weak = Arc::downgrade(&owner);
+            cat.on_table_drop(move |uid| match weak.upgrade() {
+                Some(o) => {
+                    o.store(uid, Ordering::Relaxed);
+                    true
+                }
+                None => false,
+            });
+        }
+        let t = cat.register(cat.builder("t", schema![("id", Int)]).finish());
+        let uid = t.uid();
+        assert!(cat.drop_table("t"));
+        assert_eq!(owner.load(Ordering::Relaxed), uid, "live observer fired");
+        drop(owner);
+        assert_eq!(cat.drop_observers.read().len(), 1);
+        cat.register(cat.builder("t", schema![("id", Int)]).finish());
+        assert!(cat.drop_table("t"));
+        assert_eq!(
+            cat.drop_observers.read().len(),
+            0,
+            "dead observer removed on the next drop"
+        );
     }
 
     #[test]

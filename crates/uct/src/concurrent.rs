@@ -35,6 +35,8 @@ use rand::Rng;
 
 use skinner_query::{JoinGraph, TableSet};
 
+use crate::prior::{PriorEntry, TreePrior};
+
 pub(crate) const UNMATERIALIZED: u32 = u32::MAX;
 
 /// One node of a concurrent UCT arena (shared with the sharded tree in
@@ -356,6 +358,72 @@ impl ConcurrentUctTree {
             }
         }
         order
+    }
+
+    /// Export the hottest `max_entries` nodes as a cross-query prior (see
+    /// [`crate::prior`]). Safe to call while other threads still select and
+    /// back up — counters are read individually, so the snapshot is
+    /// per-node consistent (visits and reward of one node may be split by
+    /// an in-flight backup, which the decay step tolerates).
+    pub fn extract_prior(&self, max_entries: usize) -> TreePrior {
+        let mut entries: Vec<PriorEntry> = Vec::new();
+        let mut stack: Vec<(Arc<CNode>, Vec<u8>)> = vec![(self.node(0), Vec::new())];
+        while let Some((node, prefix)) = stack.pop() {
+            if node.visits() == 0 {
+                continue;
+            }
+            for (i, c) in node.child_ids.iter().enumerate() {
+                let id = c.load(Ordering::Acquire);
+                if id != UNMATERIALIZED {
+                    let mut p = prefix.clone();
+                    p.push(node.child_tables[i]);
+                    stack.push((self.node(id), p));
+                }
+            }
+            entries.push(PriorEntry {
+                visits: node.visits(),
+                reward_sum: node.reward_sum(),
+                prefix,
+            });
+        }
+        TreePrior {
+            num_tables: self.graph.num_tables(),
+            entries: TreePrior::truncate_hottest(entries, max_entries),
+        }
+    }
+
+    /// Warm-start this tree from a prior: each entry's path is
+    /// materialized and credited with its decayed statistics (mean rewards
+    /// preserved). Entries that do not fit this tree's graph are skipped.
+    /// Returns the visits seeded at the root.
+    pub fn seed_prior(&self, prior: &TreePrior, decay: f64) -> u64 {
+        if prior.num_tables != self.graph.num_tables() {
+            return 0;
+        }
+        let mut seeded_root = 0;
+        'entry: for e in prior.seeding_order() {
+            let Some((dv, dr)) = crate::prior::decay_entry(e, decay) else {
+                continue;
+            };
+            let mut node = self.node(0);
+            for &t in &e.prefix {
+                let Some(slot) = node.child_tables.iter().position(|&x| x == t) else {
+                    continue 'entry;
+                };
+                let child = node.child_ids[slot].load(Ordering::Acquire);
+                node = if child == UNMATERIALIZED {
+                    self.materialize(&node, t as usize)
+                } else {
+                    self.node(child)
+                };
+            }
+            node.visits.fetch_add(dv, Ordering::Relaxed);
+            cas_add_reward(&node.reward_bits, dr);
+            if e.prefix.is_empty() {
+                seeded_root = dv;
+            }
+        }
+        seeded_root
     }
 
     /// The join graph this tree searches over.

@@ -56,11 +56,22 @@
 //! [`ConcurrentUctTree::root_contention`] and
 //! [`ShardedUctTree::shard_stats`] expose CAS-retry counters the
 //! `thread_scaling` benchmark reports.
+//!
+//! # Cross-query priors
+//!
+//! All three trees can export their join-order statistics as a
+//! [`TreePrior`] (`extract_prior`) and warm-start a fresh tree from one
+//! (`seed_prior`, with decayed visits and exactly preserved mean rewards)
+//! — the transfer mechanism behind the cross-query learning cache; see
+//! [`prior`] for the invariants (ancestor closure, mean preservation,
+//! graph validation).
 
 pub mod concurrent;
+pub mod prior;
 pub mod sharded;
 pub mod tree;
 
 pub use concurrent::ConcurrentUctTree;
+pub use prior::{PriorEntry, TreePrior};
 pub use sharded::{ShardStats, ShardedUctTree, SharedUctTree};
 pub use tree::{UctConfig, UctTree};

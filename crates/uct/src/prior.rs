@@ -1,0 +1,177 @@
+//! Cross-query priors: export a finished tree's join-order statistics and
+//! warm-start a fresh tree from them.
+//!
+//! SkinnerDB learns per query, so every execution of a recurring template
+//! re-pays the exploration cost. A [`TreePrior`] is the transferable part
+//! of a finished tree: its most-visited join-order *prefixes* with their
+//! visit counts and reward sums. A new tree for the same template seeds
+//! those statistics back in — scaled down by a decay factor, so stale
+//! knowledge biases rather than dictates and fresh rewards can overturn it
+//! quickly (Krishnan et al.'s lesson that transferred join-order knowledge
+//! must stay revisable).
+//!
+//! Three invariants make priors safe to move between any of the crate's
+//! tree types (`UctTree`, `ConcurrentUctTree`, `ShardedUctTree` all
+//! implement `extract_prior` / `seed_prior`):
+//!
+//! * **ancestor closure** — extraction sorts nodes by visits (descending)
+//!   then depth and truncates; since every backup that touches a node also
+//!   touches its ancestors, an ancestor's count is ≥ any descendant's, so
+//!   the kept set always contains the full path to each kept node;
+//! * **mean preservation** — decaying multiplies visits and scales the
+//!   reward sum by the *same* ratio, so every seeded node starts with
+//!   exactly its historical mean reward (UCT's exploitation term is
+//!   unchanged; only its confidence shrinks);
+//! * **graph validation** — seeding re-checks each prefix step against the
+//!   target tree's join graph and silently skips entries that no longer
+//!   fit, so a stale or foreign prior can never corrupt a tree.
+//!
+//! Seeded visits never round to zero (minimum 1 per kept entry): a child
+//! the old tree visited stays "visited", which spares the warm tree the
+//! mandatory try-every-unvisited-child sweep that cold trees pay at every
+//! node.
+
+/// One exported node: a join-order prefix with its accumulated statistics.
+/// The root is the empty prefix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PriorEntry {
+    /// Tables of the join-order prefix, outermost first.
+    pub prefix: Vec<u8>,
+    pub visits: u64,
+    pub reward_sum: f64,
+}
+
+/// Transferable join-order statistics of one finished UCT tree.
+#[derive(Debug, Clone, Default)]
+pub struct TreePrior {
+    /// Number of tables of the query the tree searched over; seeding
+    /// refuses priors whose table count does not match the target graph.
+    pub num_tables: usize,
+    /// Exported nodes, ancestor-closed (see module docs).
+    pub entries: Vec<PriorEntry>,
+}
+
+impl TreePrior {
+    /// Total visits recorded at the root of the exported tree (0 if the
+    /// root was not exported — an empty tree).
+    pub fn root_visits(&self) -> u64 {
+        self.entries
+            .iter()
+            .find(|e| e.prefix.is_empty())
+            .map_or(0, |e| e.visits)
+    }
+
+    /// Entries sorted shallowest-first, the order seeding must apply them
+    /// in so ancestors materialize before their descendants.
+    pub fn seeding_order(&self) -> Vec<&PriorEntry> {
+        let mut entries: Vec<&PriorEntry> = self.entries.iter().collect();
+        entries.sort_by_key(|e| e.prefix.len());
+        entries
+    }
+
+    /// Approximate heap footprint in bytes (diagnostics only — the tree
+    /// cache bounds by template count and export size, not bytes).
+    pub fn byte_size(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .entries
+                .iter()
+                .map(|e| std::mem::size_of::<PriorEntry>() + e.prefix.len())
+                .sum::<usize>()
+    }
+
+    /// Sort collected entries by visits (descending) then depth and keep
+    /// the `max_entries` hottest — the shared truncation rule whose
+    /// tie-breaking keeps the set ancestor-closed.
+    pub(crate) fn truncate_hottest(
+        mut entries: Vec<PriorEntry>,
+        max_entries: usize,
+    ) -> Vec<PriorEntry> {
+        entries.sort_by(|a, b| {
+            b.visits
+                .cmp(&a.visits)
+                .then(a.prefix.len().cmp(&b.prefix.len()))
+                .then(a.prefix.cmp(&b.prefix))
+        });
+        entries.truncate(max_entries);
+        entries
+    }
+}
+
+/// Decay one entry's statistics: visits scaled by `decay` (rounded, never
+/// below 1 for a visited node), reward sum scaled by the same realized
+/// ratio so the mean reward is preserved exactly. `None` for never-visited
+/// entries — and for `decay <= 0`, which means "carry nothing over" and
+/// must disable seeding entirely rather than floor every entry at one
+/// visit.
+pub(crate) fn decay_entry(e: &PriorEntry, decay: f64) -> Option<(u64, f64)> {
+    if e.visits == 0 || decay <= 0.0 {
+        return None;
+    }
+    let decay = decay.clamp(0.0, 1.0);
+    let dv = ((e.visits as f64 * decay).round() as u64).max(1);
+    let dr = e.reward_sum * (dv as f64 / e.visits as f64);
+    Some((dv, dr))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(prefix: &[u8], visits: u64, reward_sum: f64) -> PriorEntry {
+        PriorEntry {
+            prefix: prefix.to_vec(),
+            visits,
+            reward_sum,
+        }
+    }
+
+    #[test]
+    fn decay_preserves_mean_and_floors_at_one() {
+        let e = entry(&[0], 100, 80.0);
+        let (dv, dr) = decay_entry(&e, 0.5).unwrap();
+        assert_eq!(dv, 50);
+        assert!((dr / dv as f64 - 0.8).abs() < 1e-12, "mean must survive");
+        // A single historical visit never decays away.
+        let tiny = entry(&[1], 1, 0.3);
+        let (dv, dr) = decay_entry(&tiny, 0.25).unwrap();
+        assert_eq!(dv, 1);
+        assert!((dr - 0.3).abs() < 1e-12);
+        assert!(decay_entry(&entry(&[2], 0, 0.0), 0.5).is_none());
+        // decay 0 = carry nothing over: seeding is disabled, not floored.
+        assert!(decay_entry(&entry(&[0], 100, 80.0), 0.0).is_none());
+    }
+
+    #[test]
+    fn truncation_keeps_ancestors_of_kept_nodes() {
+        // Parent visits always >= child visits (every backup touches the
+        // ancestors), so the hottest-N rule keeps paths intact.
+        let entries = vec![
+            entry(&[], 10, 5.0),
+            entry(&[0], 7, 4.0),
+            entry(&[0, 1], 7, 4.0), // ties break towards the ancestor
+            entry(&[2], 3, 0.5),
+        ];
+        let kept = TreePrior::truncate_hottest(entries, 3);
+        assert_eq!(kept.len(), 3);
+        assert_eq!(kept[0].prefix, Vec::<u8>::new());
+        assert_eq!(kept[1].prefix, vec![0]);
+        assert_eq!(kept[2].prefix, vec![0, 1]);
+    }
+
+    #[test]
+    fn seeding_order_is_shallowest_first() {
+        let p = TreePrior {
+            num_tables: 3,
+            entries: vec![
+                entry(&[0, 1], 1, 0.0),
+                entry(&[], 5, 1.0),
+                entry(&[0], 2, 0.0),
+            ],
+        };
+        let order: Vec<usize> = p.seeding_order().iter().map(|e| e.prefix.len()).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+        assert_eq!(p.root_visits(), 5);
+        assert!(p.byte_size() > 0);
+    }
+}

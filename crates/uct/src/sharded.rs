@@ -53,7 +53,8 @@ use rand::Rng;
 
 use skinner_query::{JoinGraph, TableSet};
 
-use crate::concurrent::{select_child_policy, CNode, UNMATERIALIZED};
+use crate::concurrent::{cas_add_reward, select_child_policy, CNode, UNMATERIALIZED};
+use crate::prior::{PriorEntry, TreePrior};
 
 /// One shard's root counters, padded to two cache lines so shards never
 /// false-share: every backup hits its shard's block and nobody else's.
@@ -410,6 +411,105 @@ impl ShardedUctTree {
         order
     }
 
+    /// Export the hottest `max_entries` nodes as a cross-query prior (see
+    /// [`crate::prior`]). The conceptual root (sum of the shard counters)
+    /// is synthesized as the empty-prefix entry, so priors extracted here
+    /// seed single-root trees with a consistent parent count; each shard's
+    /// padded counters become that first table's entry.
+    pub fn extract_prior(&self, max_entries: usize) -> TreePrior {
+        let mut entries: Vec<PriorEntry> = vec![PriorEntry {
+            prefix: Vec::new(),
+            visits: self.rounds(),
+            reward_sum: self.shards.iter().map(|s| s.counters.reward_sum()).sum(),
+        }];
+        for shard in &self.shards {
+            if shard.counters.visits() == 0 {
+                continue;
+            }
+            entries.push(PriorEntry {
+                prefix: vec![shard.first_table as u8],
+                visits: shard.counters.visits(),
+                reward_sum: shard.counters.reward_sum(),
+            });
+            // The shard-root arena node records nothing itself (its stats
+            // are the padded counters above); descend into its children.
+            // One read guard covers the whole walk: extraction runs on
+            // the coordinator, and materialization (the only writer) is
+            // merely delayed by it, never deadlocked.
+            let nodes = shard.nodes.read();
+            let mut stack: Vec<(u32, Vec<u8>)> = vec![(0, vec![shard.first_table as u8])];
+            while let Some((id, prefix)) = stack.pop() {
+                let node = &nodes[id as usize];
+                for (i, c) in node.child_ids.iter().enumerate() {
+                    let child_id = c.load(Ordering::Acquire);
+                    if child_id == UNMATERIALIZED {
+                        continue;
+                    }
+                    let child = &nodes[child_id as usize];
+                    if child.visits() == 0 {
+                        continue;
+                    }
+                    let mut p = prefix.clone();
+                    p.push(node.child_tables[i]);
+                    entries.push(PriorEntry {
+                        visits: child.visits(),
+                        reward_sum: child.reward_sum(),
+                        prefix: p.clone(),
+                    });
+                    stack.push((child_id, p));
+                }
+            }
+        }
+        TreePrior {
+            num_tables: self.graph.num_tables(),
+            entries: TreePrior::truncate_hottest(entries, max_entries),
+        }
+    }
+
+    /// Warm-start this tree from a prior. The empty-prefix entry is
+    /// skipped (the conceptual root is the sum of shard counters, computed
+    /// on read); length-1 prefixes credit the shard counters, deeper ones
+    /// materialize down the shard arena. Returns the visits seeded across
+    /// the shard roots — the tree's head start in rounds.
+    pub fn seed_prior(&self, prior: &TreePrior, decay: f64) -> u64 {
+        if prior.num_tables != self.graph.num_tables() {
+            return 0;
+        }
+        let mut seeded = 0;
+        'entry: for e in prior.seeding_order() {
+            if e.prefix.is_empty() {
+                continue; // conceptual root: derived, never written
+            }
+            let Some((dv, dr)) = crate::prior::decay_entry(e, decay) else {
+                continue;
+            };
+            let Some(shard) = self.shard_of(e.prefix[0] as usize) else {
+                continue;
+            };
+            if e.prefix.len() == 1 {
+                shard.counters.visits.fetch_add(dv, Ordering::Relaxed);
+                cas_add_reward(&shard.counters.reward_bits, dr);
+                seeded += dv;
+                continue;
+            }
+            let mut node = shard.nodes.read()[0].clone();
+            for &t in &e.prefix[1..] {
+                let Some(slot) = node.child_tables.iter().position(|&x| x == t) else {
+                    continue 'entry;
+                };
+                let child = node.child_ids[slot].load(Ordering::Acquire);
+                node = if child == UNMATERIALIZED {
+                    Self::materialize(shard, &node, t as usize, &self.graph)
+                } else {
+                    shard.nodes.read()[child as usize].clone()
+                };
+            }
+            node.visits.fetch_add(dv, Ordering::Relaxed);
+            cas_add_reward(&node.reward_bits, dr);
+        }
+        seeded
+    }
+
     /// The join graph this tree searches over.
     pub fn graph(&self) -> &JoinGraph {
         &self.graph
@@ -526,6 +626,24 @@ impl SharedUctTree {
         match self {
             SharedUctTree::Single(t) => t.best_order(),
             SharedUctTree::Sharded(t) => t.best_order(),
+        }
+    }
+
+    /// Export this tree's join-order statistics as a cross-query prior.
+    pub fn extract_prior(&self, max_entries: usize) -> TreePrior {
+        match self {
+            SharedUctTree::Single(t) => t.extract_prior(max_entries),
+            SharedUctTree::Sharded(t) => t.extract_prior(max_entries),
+        }
+    }
+
+    /// Warm-start this tree from a prior (decayed; see [`crate::prior`]).
+    /// Returns the visits seeded at the root level — what `rounds()`
+    /// reports before the first real episode.
+    pub fn seed_prior(&self, prior: &TreePrior, decay: f64) -> u64 {
+        match self {
+            SharedUctTree::Single(t) => t.seed_prior(prior, decay),
+            SharedUctTree::Sharded(t) => t.seed_prior(prior, decay),
         }
     }
 

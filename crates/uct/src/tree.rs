@@ -5,6 +5,8 @@ use rand::{Rng, SeedableRng};
 
 use skinner_query::{JoinGraph, TableSet};
 
+use crate::prior::{PriorEntry, TreePrior};
+
 /// UCT parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct UctConfig {
@@ -267,6 +269,78 @@ impl UctTree {
     /// Mean reward currently recorded at the root (diagnostics).
     pub fn root_mean_reward(&self) -> f64 {
         self.nodes[0].mean_reward()
+    }
+
+    /// Export the hottest `max_entries` nodes as a cross-query prior (see
+    /// [`crate::prior`]): each visited node becomes a (prefix, visits,
+    /// reward sum) entry, truncated ancestor-closed by visit count.
+    pub fn extract_prior(&self, max_entries: usize) -> TreePrior {
+        let mut entries: Vec<PriorEntry> = Vec::new();
+        // DFS from the root, carrying the join-order prefix of each path.
+        let mut stack: Vec<(NodeId, Vec<u8>)> = vec![(0, Vec::new())];
+        while let Some((id, prefix)) = stack.pop() {
+            let n = &self.nodes[id as usize];
+            if n.visits == 0 {
+                continue;
+            }
+            for (i, &c) in n.child_ids.iter().enumerate() {
+                if c != UNMATERIALIZED {
+                    let mut p = prefix.clone();
+                    p.push(n.child_tables[i]);
+                    stack.push((c, p));
+                }
+            }
+            entries.push(PriorEntry {
+                prefix,
+                visits: n.visits,
+                reward_sum: n.reward_sum,
+            });
+        }
+        TreePrior {
+            num_tables: self.graph.num_tables(),
+            entries: TreePrior::truncate_hottest(entries, max_entries),
+        }
+    }
+
+    /// Warm-start this tree from a prior: every entry's path is
+    /// materialized and credited with its decayed statistics (mean rewards
+    /// preserved; see [`crate::prior`]). Entries that do not fit this
+    /// tree's graph are skipped. Returns the visits seeded at the root —
+    /// the tree's head start in rounds.
+    pub fn seed_prior(&mut self, prior: &TreePrior, decay: f64) -> u64 {
+        if prior.num_tables != self.graph.num_tables() {
+            return 0;
+        }
+        let mut seeded_root = 0;
+        'entry: for e in prior.seeding_order() {
+            let Some((dv, dr)) = crate::prior::decay_entry(e, decay) else {
+                continue;
+            };
+            let mut node: NodeId = 0;
+            for &t in &e.prefix {
+                let n = &self.nodes[node as usize];
+                let Some(slot) = n.child_tables.iter().position(|&x| x == t) else {
+                    continue 'entry; // prefix invalid for this graph
+                };
+                let child = n.child_ids[slot];
+                node = if child == UNMATERIALIZED {
+                    let selected = n.selected.with(t as usize);
+                    let new_id = self.nodes.len() as NodeId;
+                    self.nodes.push(Node::new(selected, &self.graph));
+                    self.nodes[node as usize].child_ids[slot] = new_id;
+                    new_id
+                } else {
+                    child
+                };
+            }
+            let n = &mut self.nodes[node as usize];
+            n.visits += dv;
+            n.reward_sum += dr;
+            if e.prefix.is_empty() {
+                seeded_root = dv;
+            }
+        }
+        seeded_root
     }
 
     /// The join graph this tree searches over.

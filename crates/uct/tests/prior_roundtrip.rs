@@ -1,0 +1,171 @@
+//! Cross-query priors move between every tree type without corrupting
+//! statistics: extract from a trained tree, seed a fresh one, and the
+//! warm tree must (a) start with the decayed round count, (b) preserve
+//! mean rewards, and (c) keep exploiting the known-best first table.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use skinner_query::{JoinGraph, TableSet};
+use skinner_uct::{
+    ConcurrentUctTree, ShardedUctTree, SharedUctTree, TreePrior, UctConfig, UctTree,
+};
+
+fn star(n: usize) -> JoinGraph {
+    JoinGraph::new(n, (1..n).map(|i| TableSet::from_iter([0, i])))
+}
+
+/// Train a sequential tree where starting at table 0 earns reward 1.
+fn trained_tree(rounds: usize) -> UctTree {
+    let mut t = UctTree::new(star(4), UctConfig::default());
+    for _ in 0..rounds {
+        let o = t.choose();
+        let r = if o[0] == 0 { 1.0 } else { 0.1 };
+        t.update(&o, r);
+    }
+    t
+}
+
+#[test]
+fn sequential_roundtrip_preserves_rounds_and_means() {
+    let t = trained_tree(400);
+    let prior = t.extract_prior(64);
+    assert_eq!(prior.num_tables, 4);
+    assert_eq!(prior.root_visits(), 400);
+
+    let mut warm = UctTree::new(star(4), UctConfig::default());
+    let seeded = warm.seed_prior(&prior, 0.5);
+    assert_eq!(seeded, 200);
+    assert_eq!(warm.rounds(), 200);
+    // Mean reward at the root survives decay exactly.
+    assert!((warm.root_mean_reward() - t.root_mean_reward()).abs() < 1e-9);
+    // The warm tree exploits the learned best first table immediately.
+    assert_eq!(warm.best_order()[0], t.best_order()[0]);
+}
+
+#[test]
+fn full_decay_ratio_keeps_all_statistics() {
+    let t = trained_tree(100);
+    let prior = t.extract_prior(1024);
+    let mut warm = UctTree::new(star(4), UctConfig::default());
+    assert_eq!(warm.seed_prior(&prior, 1.0), 100);
+    assert_eq!(warm.rounds(), t.rounds());
+    assert!((warm.root_mean_reward() - t.root_mean_reward()).abs() < 1e-9);
+}
+
+#[test]
+fn prior_seeds_concurrent_and_sharded_trees() {
+    let t = trained_tree(400);
+    let prior = t.extract_prior(64);
+
+    let conc = ConcurrentUctTree::new(star(4), 1e-6);
+    let seeded = conc.seed_prior(&prior, 0.5);
+    assert_eq!(seeded, 200);
+    assert_eq!(conc.rounds(), 200);
+    assert_eq!(conc.best_order()[0], t.best_order()[0]);
+
+    let sharded = ShardedUctTree::new(star(4), 1e-6);
+    let seeded = sharded.seed_prior(&prior, 0.5);
+    assert!(seeded > 0);
+    assert_eq!(sharded.rounds(), seeded);
+    assert_eq!(sharded.best_order()[0], t.best_order()[0]);
+    // Selection still yields valid orders from the warm state.
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..50 {
+        let o = sharded.select(&mut rng);
+        assert!(sharded.graph().validates(&o));
+        sharded.backup(&o, 0.5);
+    }
+}
+
+#[test]
+fn sharded_extraction_synthesizes_the_root_and_seeds_single_trees() {
+    let sharded = ShardedUctTree::new(star(4), std::f64::consts::SQRT_2);
+    let mut rng = StdRng::seed_from_u64(11);
+    for _ in 0..300 {
+        let o = sharded.select(&mut rng);
+        let r = if o[0] == 0 { 0.9 } else { 0.05 };
+        sharded.backup(&o, r);
+    }
+    let prior = sharded.extract_prior(64);
+    assert_eq!(prior.root_visits(), 300, "conceptual root must be exported");
+
+    let mut warm = UctTree::new(star(4), UctConfig::default());
+    let seeded = warm.seed_prior(&prior, 0.5);
+    assert_eq!(seeded, 150);
+    assert!((warm.root_mean_reward() - sharded.root_mean_reward()).abs() < 1e-9);
+    assert_eq!(warm.best_order()[0], 0);
+}
+
+#[test]
+fn shared_tree_dispatches_both_variants() {
+    let t = trained_tree(200);
+    let prior = t.extract_prior(64);
+    for threads in [1, 4] {
+        let tree = SharedUctTree::for_threads(star(4), 1e-6, threads);
+        let seeded = tree.seed_prior(&prior, 0.5);
+        // The single-root variant decays the root entry exactly (200/2);
+        // the sharded one sums per-first-table decays, so rounding may
+        // drift by at most ±0.5 per shard.
+        assert!(
+            (seeded as i64 - 100).abs() <= 4,
+            "threads={threads}: seeded {seeded}"
+        );
+        assert_eq!(tree.rounds(), seeded, "threads={threads}");
+        assert_eq!(tree.best_order()[0], t.best_order()[0]);
+        let roundtrip = tree.extract_prior(64);
+        assert_eq!(roundtrip.root_visits(), tree.rounds());
+    }
+}
+
+#[test]
+fn mismatched_or_invalid_priors_are_ignored() {
+    let t = trained_tree(100);
+    let prior = t.extract_prior(64);
+    // Wrong table count: refused wholesale.
+    let mut other = UctTree::new(star(5), UctConfig::default());
+    assert_eq!(other.seed_prior(&prior, 0.5), 0);
+    assert_eq!(other.rounds(), 0);
+    // Entries whose prefixes violate the target graph are skipped, valid
+    // ones still land: a chain graph accepts [] but not the star's [0,1]
+    // continuations that break its adjacency.
+    let chain = JoinGraph::new(4, (0..3).map(|i| TableSet::from_iter([i, i + 1])));
+    let bogus = TreePrior {
+        num_tables: 4,
+        entries: vec![
+            skinner_uct::PriorEntry {
+                prefix: vec![],
+                visits: 10,
+                reward_sum: 5.0,
+            },
+            skinner_uct::PriorEntry {
+                prefix: vec![1, 3], // 3 is not adjacent to 1 in the chain
+                visits: 4,
+                reward_sum: 2.0,
+            },
+        ],
+    };
+    let mut warm = UctTree::new(chain, UctConfig::default());
+    assert_eq!(warm.seed_prior(&bogus, 1.0), 10);
+    assert_eq!(warm.rounds(), 10);
+    assert_eq!(warm.num_nodes(), 2, "only the valid path materializes");
+}
+
+#[test]
+fn truncation_is_bounded_and_ancestor_closed() {
+    let t = trained_tree(500);
+    let prior = t.extract_prior(8);
+    assert!(prior.entries.len() <= 8);
+    // Every kept entry's parent prefix is kept too.
+    for e in &prior.entries {
+        if e.prefix.is_empty() {
+            continue;
+        }
+        let parent = &e.prefix[..e.prefix.len() - 1];
+        assert!(
+            prior.entries.iter().any(|p| p.prefix == parent),
+            "entry {:?} lost its ancestor",
+            e.prefix
+        );
+    }
+}

@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
+use skinner_core::{TreeCache, TreeCacheConfig, TreeCacheStats};
 use skinner_exec::{ExecContext, ExecMetrics, ExecOutcome, ExecutionStrategy, StrategyRegistry};
 use skinner_query::ast::Statement;
 use skinner_query::{bind_select, parse_statements, BindError, JoinQuery, ParseError, UdfRegistry};
@@ -162,6 +163,19 @@ pub struct Database {
     /// override per client). Defaults to the machine's available
     /// parallelism.
     default_threads: Arc<RwLock<usize>>,
+    /// Cross-query learning state: one [`TreeCache`] shared by every
+    /// session (that is the point — templates learned by one client warm
+    /// every other client), plus the instance-default on/off knob.
+    learning: Arc<LearningState>,
+}
+
+/// Shared cross-query learning state of a database instance.
+struct LearningState {
+    /// Instance default for the `learning_cache` knob; sessions may
+    /// override per client. Off by default: cross-query state is opt-in,
+    /// the paper's per-query discipline is the baseline.
+    enabled: std::sync::atomic::AtomicBool,
+    cache: RwLock<Arc<TreeCache>>,
 }
 
 impl Default for Database {
@@ -179,6 +193,32 @@ impl Database {
 
     /// Wrap an existing catalog + UDFs (workload generators produce these).
     pub fn from_parts(catalog: Arc<Catalog>, udfs: UdfRegistry) -> Self {
+        let learning = Arc::new(LearningState {
+            enabled: std::sync::atomic::AtomicBool::new(false),
+            cache: RwLock::new(Arc::new(TreeCache::default())),
+        });
+        // Eagerly purge cross-query priors whenever a table leaves the
+        // catalog (DROP TABLE, temp-table cleanup, or replacement under
+        // the same name) — through the catalog's own choke point, so
+        // every drop path triggers it. This is slot hygiene, not the
+        // correctness mechanism: a query already in flight when the drop
+        // fires may still publish its dead-uid entry afterwards, and the
+        // uid validation at lookup is what guarantees such an entry can
+        // never be served (it just waits for LRU eviction or the next
+        // probe to reap it). The observer holds only a `Weak`: once
+        // every handle to this Database is gone it deregisters itself, so
+        // constructing many Databases over one shared catalog (the bench
+        // harness does) cannot pin dead caches or accumulate callbacks.
+        {
+            let learning = Arc::downgrade(&learning);
+            catalog.on_table_drop(move |uid| match learning.upgrade() {
+                Some(l) => {
+                    l.cache.read().invalidate_table(uid);
+                    true
+                }
+                None => false,
+            });
+        }
         Database {
             catalog,
             udfs: Arc::new(udfs),
@@ -186,7 +226,45 @@ impl Database {
             strategies: Arc::new(builtin_registry()),
             default_strategy: Arc::new(RwLock::new(Strategy::default().build())),
             default_threads: Arc::new(RwLock::new(skinner_exec::default_threads())),
+            learning,
         }
+    }
+
+    /// Turn cross-query learning on or off for the whole instance: learned
+    /// strategies (`Skinner-C`, `parallel_skinner`) warm-start their UCT
+    /// trees from previous executions of the same query template and
+    /// publish updated statistics at query end. Results are bit-identical
+    /// either way — the cache only accelerates join-order convergence.
+    /// Sessions may override per client ([`Session::set_learning_cache`]).
+    pub fn set_learning_cache(&self, enabled: bool) {
+        self.learning
+            .enabled
+            .store(enabled, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Instance default of the cross-query learning knob.
+    pub fn learning_cache_enabled(&self) -> bool {
+        self.learning
+            .enabled
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// The shared tree cache itself (present even while disabled, so
+    /// flipping the knob never loses learned templates).
+    pub fn learning_cache(&self) -> Arc<TreeCache> {
+        self.learning.cache.read().clone()
+    }
+
+    /// Replace the tree cache with a freshly configured one (capacity,
+    /// decay, export size). Drops everything learned so far.
+    pub fn set_learning_cache_config(&self, cfg: TreeCacheConfig) {
+        *self.learning.cache.write() = Arc::new(TreeCache::new(cfg));
+    }
+
+    /// Counter snapshot of the cross-query tree cache (what
+    /// `SHOW SERVER STATS` reports as `learning_cache.*`).
+    pub fn learning_cache_stats(&self) -> TreeCacheStats {
+        self.learning_cache().stats()
     }
 
     /// Set the default worker-thread count parallel strategies use
@@ -333,13 +411,24 @@ impl Database {
         self.session().prepare(sql)
     }
 
-    /// A fresh execution context carrying this database's stats, UDFs and
-    /// thread default (unlimited budget, no deadline).
+    /// A fresh execution context carrying this database's stats, UDFs,
+    /// thread default and (when enabled) the cross-query learning cache
+    /// (unlimited budget, no deadline).
     pub fn exec_context(&self) -> ExecContext {
-        ExecContext::new()
+        self.exec_context_with_learning(self.learning_cache_enabled())
+    }
+
+    /// Like [`Database::exec_context`], but with the cross-query learning
+    /// knob resolved explicitly — sessions pass their per-client override.
+    pub(crate) fn exec_context_with_learning(&self, learning_cache: bool) -> ExecContext {
+        let mut ctx = ExecContext::new()
             .with_stats(self.stats.clone())
             .with_udfs(self.udfs.clone())
-            .with_threads(self.default_threads())
+            .with_threads(self.default_threads());
+        if learning_cache {
+            ctx = ctx.with_learning_cache(self.learning_cache());
+        }
+        ctx
     }
 
     /// Run a SQL script with the default strategy and return the last

@@ -187,6 +187,7 @@ pub use render::{render_table, render_table_with, TableOptions};
 pub use session::{Prepared, Session, SessionSettings};
 pub use strategy::{builtin_registry, Strategy};
 
+pub use skinner_core::{TreeCache, TreeCacheConfig, TreeCacheStats};
 pub use skinner_exec::{
     CancelToken, ExecContext, ExecMetrics, ExecOutcome, ExecutionStrategy, QueryResult,
     StrategyRegistry,

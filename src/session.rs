@@ -31,6 +31,10 @@ pub struct SessionSettings {
     /// database default (which itself defaults to the machine's available
     /// parallelism).
     pub threads: Option<usize>,
+    /// Cross-query learning: warm-start learned strategies from the
+    /// database's shared template cache. `None` inherits the database
+    /// default (off unless [`Database::set_learning_cache`] enabled it).
+    pub learning_cache: Option<bool>,
 }
 
 impl Default for SessionSettings {
@@ -39,6 +43,7 @@ impl Default for SessionSettings {
             work_limit: u64::MAX,
             deadline: None,
             threads: None,
+            learning_cache: None,
         }
     }
 }
@@ -136,16 +141,26 @@ impl Session {
         self.settings.write().threads = threads.map(|t| t.max(1));
     }
 
+    /// Override the cross-query learning knob for this session
+    /// (`Some(true)`/`Some(false)`), or inherit the database default
+    /// (`None`). The cache itself is always the database-wide one, so a
+    /// session that opts in shares templates with every other opted-in
+    /// client.
+    pub fn set_learning_cache(&self, enabled: Option<bool>) {
+        self.settings.write().learning_cache = enabled;
+    }
+
     /// Set a session option from string key/value pairs — the plumbing
     /// behind the server's `SET <key> = <value>` command, usable by any
     /// text-configured client. Keys (case-insensitive):
     ///
-    /// | key           | value                                            |
-    /// |---------------|--------------------------------------------------|
-    /// | `strategy`    | a registry name (`skinner-c`, `traditional`, …)  |
-    /// | `threads`     | worker count; `0` or `default` inherits the db   |
-    /// | `work_limit`  | max work units per statement; `none` = unlimited |
-    /// | `deadline_ms` | per-statement deadline in ms; `0`/`none` = none  |
+    /// | key              | value                                            |
+    /// |------------------|--------------------------------------------------|
+    /// | `strategy`       | a registry name (`skinner-c`, `traditional`, …)  |
+    /// | `threads`        | worker count; `0` or `default` inherits the db   |
+    /// | `work_limit`     | max work units per statement; `none` = unlimited |
+    /// | `deadline_ms`    | per-statement deadline in ms; `0`/`none` = none  |
+    /// | `learning_cache` | `on`/`off` (cross-query warm starts); `default`  |
     pub fn set_option(&self, key: &str, value: &str) -> Result<(), DbError> {
         let value = value.trim();
         let bad = |what: &str| DbError::BadOption(format!("{what}: {value:?}"));
@@ -175,6 +190,15 @@ impl Session {
                 }
                 let ms: u64 = value.parse().map_err(|_| bad("deadline_ms"))?;
                 self.set_deadline((ms > 0).then(|| Duration::from_millis(ms)));
+                Ok(())
+            }
+            "learning_cache" => {
+                match value.to_ascii_lowercase().as_str() {
+                    "on" | "true" | "1" => self.set_learning_cache(Some(true)),
+                    "off" | "false" | "0" => self.set_learning_cache(Some(false)),
+                    "default" => self.set_learning_cache(None),
+                    _ => return Err(bad("learning_cache")),
+                }
                 Ok(())
             }
             other => Err(DbError::BadOption(format!("unknown option: {other:?}"))),
@@ -255,8 +279,11 @@ fn exec_context_for(db: &Database, settings: SessionSettings) -> ExecContext {
         Some(d) => CancelToken::with_deadline(d),
         None => CancelToken::new(),
     };
+    let learning = settings
+        .learning_cache
+        .unwrap_or_else(|| db.learning_cache_enabled());
     let mut ctx = db
-        .exec_context()
+        .exec_context_with_learning(learning)
         .with_budget(Arc::new(WorkBudget::with_limit(settings.work_limit)))
         .with_cancel(cancel);
     if let Some(threads) = settings.threads {
@@ -339,6 +366,7 @@ impl Prepared {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use skinner_core::TreeCache;
     use skinner_storage::{DataType, Value};
 
     fn sample_db() -> Database {
@@ -455,6 +483,16 @@ mod tests {
         );
         session.set_option("deadline_ms", "0").unwrap();
         assert_eq!(session.settings().deadline, None);
+        session.set_option("learning_cache", "on").unwrap();
+        assert_eq!(session.settings().learning_cache, Some(true));
+        session.set_option("learning_cache", "OFF").unwrap();
+        assert_eq!(session.settings().learning_cache, Some(false));
+        session.set_option("learning_cache", "default").unwrap();
+        assert_eq!(session.settings().learning_cache, None);
+        assert!(matches!(
+            session.set_option("learning_cache", "sometimes"),
+            Err(DbError::BadOption(_))
+        ));
         assert!(matches!(
             session.set_option("nope", "1"),
             Err(DbError::BadOption(_))
@@ -467,6 +505,31 @@ mod tests {
             session.set_option("strategy", "missing"),
             Err(DbError::UnknownStrategy(_))
         ));
+    }
+
+    #[test]
+    fn learning_cache_knob_inherits_and_overrides() {
+        let db = sample_db();
+        let session = db.session();
+        let sql = "SELECT t.g, COUNT(*) c FROM t, u WHERE t.id = u.tid GROUP BY t.g ORDER BY t.g";
+        // Default: off everywhere — queries never touch the cache.
+        let cold = session.query(sql).unwrap();
+        assert_eq!(db.learning_cache_stats().published, 0);
+        // Session opt-in publishes and then warm-starts, same rows.
+        session.set_learning_cache(Some(true));
+        let first = session.query(sql).unwrap();
+        assert_eq!(db.learning_cache_stats().published, 1);
+        let second = session.query(sql).unwrap();
+        let stats = db.learning_cache_stats();
+        assert_eq!(stats.hits, 1, "second run must hit the template");
+        assert_eq!(first.canonical_rows(), cold.canonical_rows());
+        assert_eq!(second.canonical_rows(), cold.canonical_rows());
+        // Database default flips new sessions on; Some(false) opts out.
+        db.set_learning_cache(true);
+        let other = db.session();
+        assert!(other.exec_context().learning_cache::<TreeCache>().is_some());
+        other.set_learning_cache(Some(false));
+        assert!(other.exec_context().learning_cache::<TreeCache>().is_none());
     }
 
     #[test]
