@@ -1,0 +1,4 @@
+fn main() {
+    let scale = skinner_bench::Scale::from_env();
+    println!("{}", skinner_bench::experiments::disk_scan::run(scale));
+}

@@ -6,7 +6,7 @@
 //! BENCH_SCALE=paper cargo run --release -p skinner_bench --bin run_all
 //! # Only a subset (the bench-smoke CI job does this):
 //! BENCH_SCALE=smoke cargo run --release -p skinner_bench --bin run_all \
-//!     -- thread_scaling repeat_workload
+//!     -- thread_scaling repeat_workload disk_scan
 //! ```
 
 use std::fs;
@@ -66,6 +66,7 @@ fn main() {
         ("table7_tpch", Box::new(ex::table7_tpch::run)),
         ("ablation_design_choices", Box::new(ex::ablation::run)),
         ("thread_scaling", Box::new(ex::thread_scaling::run)),
+        ("disk_scan", Box::new(ex::disk_scan::run)),
         ("repeat_workload", Box::new(ex::repeat_workload::run)),
         ("server_throughput", Box::new(ex::server_throughput::run)),
     ];

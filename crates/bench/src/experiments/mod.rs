@@ -1,6 +1,7 @@
 //! One module per paper table/figure (see DESIGN.md §4 for the index).
 
 pub mod ablation;
+pub mod disk_scan;
 pub mod figure10_correlation;
 pub mod figure11_failures;
 pub mod figure12_trivial;

@@ -445,6 +445,8 @@ pub fn run_parallel_skinner(
                 .iter()
                 .map(|s| (s.first_table, s.visits, s.contention))
                 .collect(),
+            pages_read: prepared.pages_read,
+            pages_skipped: prepared.pages_skipped,
             ..ExecMetrics::default()
         }
         .with_counter("threads", threads as u64)

@@ -206,6 +206,8 @@ pub fn run_skinner_c(query: &JoinQuery, ctx: &ExecContext, cfg: &SkinnerCConfig)
             total_aux_bytes,
             tree_growth,
             order_slice_counts,
+            pages_read: prepared.pages_read,
+            pages_skipped: prepared.pages_skipped,
             ..ExecMetrics::default()
         }
         .with_counter("cache_hit", cache_hit)
@@ -302,6 +304,8 @@ pub fn run_skinner_c_fixed(
             slices,
             result_set_bytes,
             total_aux_bytes: result_set_bytes + prepared.index_bytes,
+            pages_read: prepared.pages_read,
+            pages_skipped: prepared.pages_skipped,
             ..ExecMetrics::default()
         },
     }

@@ -21,6 +21,9 @@ pub struct PreparedC {
     pub base_rows: Vec<usize>,
     /// Bytes spent on hash indexes (memory accounting).
     pub index_bytes: usize,
+    /// Zone-mapped pages evaluated / skipped during pre-processing.
+    pub pages_read: u64,
+    pub pages_skipped: u64,
 }
 
 /// Run pre-processing for Skinner-C.
@@ -65,6 +68,8 @@ pub fn prepare(
         },
         base_rows: pre.base_rows,
         index_bytes,
+        pages_read: pre.pages_read,
+        pages_skipped: pre.pages_skipped,
     })
 }
 

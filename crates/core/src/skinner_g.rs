@@ -71,6 +71,8 @@ impl<'q> SkinnerG<'q> {
                 Preprocessed {
                     tables: query.tables.clone(),
                     base_rows: query.tables.iter().map(|t| t.num_rows()).collect(),
+                    pages_read: 0,
+                    pages_skipped: 0,
                 },
                 true,
             ),

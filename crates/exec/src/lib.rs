@@ -54,6 +54,7 @@ pub mod reference;
 pub mod result;
 pub mod strategy;
 pub mod traditional;
+pub mod zonescan;
 
 pub use budget::{Timeout, WorkBudget, WorkPermit};
 pub use context::{default_threads, CancelToken, ExecContext};
@@ -65,6 +66,7 @@ pub use preprocess::{preprocess, Preprocessed};
 pub use result::QueryResult;
 pub use strategy::{ExecutionStrategy, ReferenceStrategy, StrategyRegistry, TraditionalStrategy};
 pub use traditional::{run_traditional, TraditionalConfig};
+pub use zonescan::{plan_scan, ScanPlan};
 
 /// A join-result tuple: one row id per query table, in table-position order.
 pub type TupleIxs = Box<[skinner_storage::RowId]>;

@@ -89,6 +89,11 @@ pub struct ExecMetrics {
     /// for single-root trees. The `thread_scaling` benchmark serializes
     /// these into `BENCH_thread_scaling.json`.
     pub shard_stats: Vec<(usize, u64, u64)>,
+    /// Zone-mapped pages whose rows were evaluated during pre-processing
+    /// (0 for purely in-memory tables, which carry no zone maps).
+    pub pages_read: u64,
+    /// Zone-mapped pages skipped outright via min/max bounds.
+    pub pages_skipped: u64,
     /// Named scalar metrics: `routings` (eddy), `replans` (re-optimizer),
     /// `rounds` (Skinner-H), `timeout_levels` (Skinner-G), ….
     pub counters: Vec<(&'static str, u64)>,

@@ -72,6 +72,8 @@ pub fn merge_worker_metrics(parts: impl IntoIterator<Item = ExecMetrics>) -> Exe
         merged.intermediate_tuples += m.intermediate_tuples;
         merged.result_tuples += m.result_tuples;
         merged.slices += m.slices;
+        merged.pages_read += m.pages_read;
+        merged.pages_skipped += m.pages_skipped;
         merged.uct_nodes = merged.uct_nodes.max(m.uct_nodes);
         merged.tracker_nodes = merged.tracker_nodes.max(m.tracker_nodes);
         merged.result_set_bytes = merged.result_set_bytes.max(m.result_set_bytes);

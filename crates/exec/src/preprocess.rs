@@ -5,6 +5,11 @@
 //! the join phase works on dense row ids. Pre-processing is the only phase
 //! SkinnerDB parallelizes (Section 6.1); `threads > 1` splits each table
 //! scan across crossbeam scoped threads.
+//!
+//! Tables decoded from disk segments carry zone maps; the scan plan
+//! (see [`crate::zonescan`]) is computed once, on the coordinator, before
+//! any thread split — so the filtered output and the work charged are
+//! identical at every thread count, zone maps or not.
 
 use std::sync::Arc;
 
@@ -13,6 +18,7 @@ use skinner_query::JoinQuery;
 use skinner_storage::{RowId, Table};
 
 use crate::budget::{Timeout, WorkBudget};
+use crate::zonescan::{plan_scan, split_ranges, ScanPlan};
 
 /// Output of pre-processing.
 #[derive(Debug, Clone)]
@@ -22,6 +28,10 @@ pub struct Preprocessed {
     pub tables: Vec<Arc<Table>>,
     /// Original (unfiltered) row counts, for reporting.
     pub base_rows: Vec<usize>,
+    /// Pages whose rows were evaluated (zone-mapped tables only).
+    pub pages_read: u64,
+    /// Pages skipped outright via zone-map bounds.
+    pub pages_skipped: u64,
 }
 
 impl Preprocessed {
@@ -32,7 +42,9 @@ impl Preprocessed {
 }
 
 /// Apply all unary predicates of `query`. Charges one work unit per
-/// (row, predicate) evaluation plus one per surviving row.
+/// (row, predicate) evaluation plus one per surviving row; zone-mapped
+/// tables additionally charge one unit per page bound consulted — and in
+/// exchange skip the per-row charges of every pruned page.
 pub fn preprocess(
     query: &JoinQuery,
     budget: &WorkBudget,
@@ -40,37 +52,55 @@ pub fn preprocess(
 ) -> Result<Preprocessed, Timeout> {
     let mut tables = Vec::with_capacity(query.tables.len());
     let mut base_rows = Vec::with_capacity(query.tables.len());
+    let mut pages_read = 0u64;
+    let mut pages_skipped = 0u64;
     for (t, table) in query.tables.iter().enumerate() {
         base_rows.push(table.num_rows());
         if query.unary[t].is_empty() {
             tables.push(table.clone());
             continue;
         }
+        // Scan plan on the coordinator: deterministic across thread counts.
+        let plan = plan_scan(table, t, &query.unary[t]);
+        budget.charge(plan.pages_read + plan.pages_skipped)?;
+        pages_read += plan.pages_read;
+        pages_skipped += plan.pages_skipped;
         let rows = if threads > 1 {
-            filter_parallel(query, t, budget, threads)?
+            filter_parallel(query, t, budget, threads, &plan)?
         } else {
-            filter_serial(query, t, budget)?
+            filter_serial(query, t, budget, &plan.ranges)?
         };
         budget.charge(rows.len() as u64)?;
         let filtered = table.gather(&rows, format!("{}#f", table.name()));
         tables.push(Arc::new(filtered));
     }
-    Ok(Preprocessed { tables, base_rows })
+    Ok(Preprocessed {
+        tables,
+        base_rows,
+        pages_read,
+        pages_skipped,
+    })
 }
 
-fn filter_serial(query: &JoinQuery, t: usize, budget: &WorkBudget) -> Result<Vec<RowId>, Timeout> {
+fn filter_serial(
+    query: &JoinQuery,
+    t: usize,
+    budget: &WorkBudget,
+    ranges: &[(RowId, RowId)],
+) -> Result<Vec<RowId>, Timeout> {
     let table = &query.tables[t];
     let interner = table.interner().clone();
-    let n = table.cardinality();
     let preds = &query.unary[t];
     let mut rows_vec = Vec::new();
     let mut probe: Vec<RowId> = vec![0; query.tables.len()];
-    for row in 0..n {
-        probe[t] = row;
-        budget.charge(preds.len() as u64)?;
-        let ctx = EvalCtx::new(&query.tables, &probe, &interner);
-        if preds.iter().all(|p| p.eval_bool(&ctx)) {
-            rows_vec.push(row);
+    for &(lo, hi) in ranges {
+        for row in lo..hi {
+            probe[t] = row;
+            budget.charge(preds.len() as u64)?;
+            let ctx = EvalCtx::new(&query.tables, &probe, &interner);
+            if preds.iter().all(|p| p.eval_bool(&ctx)) {
+                rows_vec.push(row);
+            }
         }
     }
     Ok(rows_vec)
@@ -81,27 +111,27 @@ fn filter_parallel(
     t: usize,
     budget: &WorkBudget,
     threads: usize,
+    plan: &ScanPlan,
 ) -> Result<Vec<RowId>, Timeout> {
-    let table = &query.tables[t];
-    let n = table.cardinality() as usize;
-    let chunk = n.div_ceil(threads).max(1);
     let preds = &query.unary[t];
+    let table = &query.tables[t];
     let interner = table.interner().clone();
+    let chunks = split_ranges(&plan.ranges, threads);
     let results: Vec<Result<Vec<RowId>, Timeout>> = crossbeam::thread::scope(|scope| {
         let mut handles = Vec::new();
-        for c in 0..threads {
-            let lo = (c * chunk).min(n) as RowId;
-            let hi = ((c + 1) * chunk).min(n) as RowId;
+        for chunk in &chunks {
             let interner = &interner;
             handles.push(scope.spawn(move |_| {
                 let mut out = Vec::new();
                 let mut probe: Vec<RowId> = vec![0; query.tables.len()];
-                for row in lo..hi {
-                    probe[t] = row;
-                    budget.charge(preds.len() as u64)?;
-                    let ctx = EvalCtx::new(&query.tables, &probe, interner);
-                    if preds.iter().all(|p| p.eval_bool(&ctx)) {
-                        out.push(row);
+                for &(lo, hi) in chunk {
+                    for row in lo..hi {
+                        probe[t] = row;
+                        budget.charge(preds.len() as u64)?;
+                        let ctx = EvalCtx::new(&query.tables, &probe, interner);
+                        if preds.iter().all(|p| p.eval_bool(&ctx)) {
+                            out.push(row);
+                        }
                     }
                 }
                 Ok(out)
@@ -162,6 +192,8 @@ mod tests {
         // b untouched → same allocation.
         assert!(Arc::ptr_eq(&p.tables[1], &q.tables[1]));
         assert_eq!(p.base_rows, vec![100, 50]);
+        // In-memory tables have no zone maps, so no page accounting.
+        assert_eq!((p.pages_read, p.pages_skipped), (0, 0));
     }
 
     #[test]
@@ -195,5 +227,59 @@ mod tests {
         let budget = WorkBudget::unlimited();
         let p = preprocess(&q, &budget, 1).unwrap();
         assert_eq!(p.tables[0].num_rows(), 0);
+    }
+
+    #[test]
+    fn zone_maps_skip_pages_and_save_work() {
+        use skinner_storage::disk::DiskStore;
+        // Build a disk-backed table so preprocessing sees zone maps.
+        let dir = std::env::temp_dir().join(format!("skinner_prep_zones_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cat = Catalog::new();
+        cat.attach_disk(&dir).unwrap();
+        let store: Arc<DiskStore> = cat.disk_store().unwrap();
+        store
+            .create_table_with("a", schema![("x", Int), ("y", Int)], 16, |w| {
+                for i in 0..100 {
+                    w.push_row(&[Value::Int(i), Value::Int(i % 7)])?;
+                }
+                Ok(())
+            })
+            .unwrap();
+        let opened = store.load_table("a", cat.interner()).unwrap();
+        cat.register(opened.table);
+        let udfs = UdfRegistry::new();
+        let q = bind("SELECT a.x FROM a WHERE a.x < 20", &cat, &udfs);
+        let zoned_budget = WorkBudget::unlimited();
+        let p1 = preprocess(&q, &zoned_budget, 1).unwrap();
+        // 100 rows / 16-row pages = 7 pages; x < 20 keeps pages 0 and 1.
+        assert_eq!(p1.pages_read, 2);
+        assert_eq!(p1.pages_skipped, 5);
+        assert_eq!(p1.tables[0].num_rows(), 20);
+        // Same result and same work at 4 threads.
+        let b4 = WorkBudget::unlimited();
+        let p4 = preprocess(&q, &b4, 4).unwrap();
+        assert_eq!(zoned_budget.used(), b4.used());
+        for r in 0..p1.tables[0].cardinality() {
+            assert_eq!(p1.tables[0].value(r, 0), p4.tables[0].value(r, 0));
+        }
+        // Zone maps must be a net work saving versus the full scan:
+        // 7 page consults + 32 row evals + 20 survivors < 100 + 20.
+        let cat2 = Catalog::new();
+        let mut a = cat2.builder("a", schema![("x", Int), ("y", Int)]);
+        for i in 0..100 {
+            a.push_row(&[Value::Int(i), Value::Int(i % 7)]);
+        }
+        cat2.register(a.finish());
+        let q2 = bind("SELECT a.x FROM a WHERE a.x < 20", &cat2, &udfs);
+        let flat_budget = WorkBudget::unlimited();
+        preprocess(&q2, &flat_budget, 1).unwrap();
+        assert!(
+            zoned_budget.used() < flat_budget.used(),
+            "zoned {} !< flat {}",
+            zoned_budget.used(),
+            flat_budget.used()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -50,16 +50,19 @@ pub fn run_traditional(
     let start = Instant::now();
     let budget = WorkBudget::with_limit(ctx.effective_limit(cfg.work_limit));
     let columns: Vec<String> = query.select.iter().map(|s| s.name().to_string()).collect();
-    let metrics = |order: Vec<usize>, budget: &WorkBudget| ExecMetrics {
+    let metrics = |order: Vec<usize>, budget: &WorkBudget, pages: (u64, u64)| ExecMetrics {
         order,
         intermediate_tuples: budget.tuples_produced(),
+        pages_read: pages.0,
+        pages_skipped: pages.1,
         ..ExecMetrics::default()
     };
-    let timed_out_outcome = |order: Vec<usize>, budget: &WorkBudget, start: Instant| {
-        ctx.absorb_work(budget.used());
-        ExecOutcome::timeout(columns.clone(), budget.used(), start.elapsed())
-            .with_metrics(metrics(order, budget))
-    };
+    let timed_out_outcome =
+        |order: Vec<usize>, budget: &WorkBudget, start: Instant, pages: (u64, u64)| {
+            ctx.absorb_work(budget.used());
+            ExecOutcome::timeout(columns.clone(), budget.used(), start.elapsed())
+                .with_metrics(metrics(order, budget, pages))
+        };
 
     // Plan first: the optimizer only looks at statistics, not data, so it is
     // charged no work units (planning overhead is negligible at our scales).
@@ -69,15 +72,16 @@ pub fn run_traditional(
     };
 
     if ctx.interrupted() {
-        return timed_out_outcome(order, &budget, start);
+        return timed_out_outcome(order, &budget, start, (0, 0));
     }
     let pre = match preprocess(query, &budget, cfg.preprocess_threads) {
         Ok(p) => p,
-        Err(_) => return timed_out_outcome(order, &budget, start),
+        Err(_) => return timed_out_outcome(order, &budget, start, (0, 0)),
     };
+    let pages = (pre.pages_read, pre.pages_skipped);
 
     if ctx.interrupted() {
-        return timed_out_outcome(order, &budget, start);
+        return timed_out_outcome(order, &budget, start, pages);
     }
     let tuples = if query.always_false {
         Vec::new()
@@ -95,21 +99,21 @@ pub fn run_traditional(
             false,
         ) {
             Ok(out) => out.into_tuples(),
-            Err(_) => return timed_out_outcome(order, &budget, start),
+            Err(_) => return timed_out_outcome(order, &budget, start, pages),
         }
     };
 
     if ctx.interrupted() {
-        return timed_out_outcome(order, &budget, start);
+        return timed_out_outcome(order, &budget, start, pages);
     }
     let result = match postprocess(&pre.tables, query, &tuples, &budget) {
         Ok(r) => r,
-        Err(_) => return timed_out_outcome(order, &budget, start),
+        Err(_) => return timed_out_outcome(order, &budget, start, pages),
     };
 
     ctx.absorb_work(budget.used());
     ExecOutcome::completed(result, budget.used(), start.elapsed())
-        .with_metrics(metrics(order, &budget))
+        .with_metrics(metrics(order, &budget, pages))
 }
 
 #[cfg(test)]

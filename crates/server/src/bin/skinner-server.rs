@@ -3,6 +3,7 @@
 //! ```sh
 //! skinner-server --addr 127.0.0.1:7878 --demo
 //! skinner-server --addr 0.0.0.0:7878 --csv people=data/people.csv --csv orders=data/orders.csv
+//! skinner-server --data-dir /var/lib/skinnerdb --bulk-csv lineitem=data/lineitem.csv
 //! ```
 //!
 //! The process runs until it receives a wire-level `Shutdown` request
@@ -18,12 +19,17 @@ use skinnerdb::{DataType, Database, Value};
 fn usage() -> ! {
     eprintln!(
         "usage: skinner-server [--addr HOST:PORT] [--demo] [--csv NAME=PATH]...\n\
+         \x20                     [--data-dir DIR] [--bulk-csv NAME=PATH]...\n\
          \x20                     [--max-conns N] [--max-queries N] [--queue N]\n\
          \x20                     [--queue-timeout-ms N] [--threads N] [--no-remote-shutdown]\n\
          \n\
          --addr                listen address (default 127.0.0.1:7878)\n\
          --demo                load the built-in demo tables (nums, customers, products, orders)\n\
          --csv NAME=PATH       load a CSV file as table NAME (repeatable)\n\
+         --data-dir DIR        open a persistent data directory: committed tables are\n\
+         \x20                     loaded at startup, dropped tables are removed on disk\n\
+         --bulk-csv NAME=PATH  stream a CSV straight into a persistent zone-mapped\n\
+         \x20                     segment (requires --data-dir earlier on the command line)\n\
          --max-conns N         connection limit (default 256)\n\
          --max-queries N       concurrently executing queries (default: cores)\n\
          --queue N             admission queue depth (default 64)\n\
@@ -122,6 +128,31 @@ fn main() {
                     std::process::exit(1);
                 }
                 eprintln!("loaded table {name} from {path}");
+            }
+            "--data-dir" => {
+                let dir = expect(&mut args, "--data-dir");
+                match db.attach_data_dir(&dir) {
+                    Ok(tables) if tables.is_empty() => {
+                        eprintln!("data dir {dir}: no committed tables yet")
+                    }
+                    Ok(tables) => eprintln!("data dir {dir}: loaded {}", tables.join(", ")),
+                    Err(e) => {
+                        eprintln!("cannot open data dir {dir}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            "--bulk-csv" => {
+                let spec = expect(&mut args, "--bulk-csv");
+                let Some((name, path)) = spec.split_once('=') else {
+                    eprintln!("--bulk-csv expects NAME=PATH, got {spec:?}");
+                    usage();
+                };
+                if let Err(e) = db.bulk_load_csv(name, path) {
+                    eprintln!("cannot bulk-load {path}: {e}");
+                    std::process::exit(1);
+                }
+                eprintln!("bulk-loaded persistent table {name} from {path}");
             }
             "--max-conns" => {
                 cfg.max_connections = expect(&mut args, "--max-conns")

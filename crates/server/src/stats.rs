@@ -20,6 +20,10 @@ pub struct StrategyAgg {
     pub result_tuples: u64,
     pub work_units: u64,
     pub wall_micros: u64,
+    /// Zone-mapped pages evaluated / skipped during pre-processing (only
+    /// disk-backed tables carry zone maps; in-memory scans report zero).
+    pub pages_read: u64,
+    pub pages_skipped: u64,
 }
 
 /// Counters the server maintains; everything is monotonic except the
@@ -61,6 +65,8 @@ impl ServerStats {
         for m in metrics_per_statement {
             agg.episodes += m.slices;
             agg.result_tuples += m.result_tuples;
+            agg.pages_read += m.pages_read;
+            agg.pages_skipped += m.pages_skipped;
         }
     }
 
@@ -109,6 +115,8 @@ impl ServerStats {
             push(&format!("strategy.{name}.result_tuples"), agg.result_tuples);
             push(&format!("strategy.{name}.work_units"), agg.work_units);
             push(&format!("strategy.{name}.wall_micros"), agg.wall_micros);
+            push(&format!("strategy.{name}.pages_read"), agg.pages_read);
+            push(&format!("strategy.{name}.pages_skipped"), agg.pages_skipped);
             push(
                 &format!("strategy.{name}.mean_reward_milli"),
                 mean_reward_milli,
@@ -157,6 +165,8 @@ mod tests {
         let m = ExecMetrics {
             slices: 4,
             result_tuples: 8,
+            pages_read: 3,
+            pages_skipped: 5,
             ..ExecMetrics::default()
         };
         stats.record_query("Skinner-C", &[&m], 1, Duration::ZERO);
@@ -174,5 +184,7 @@ mod tests {
         assert_eq!(find("queries_total"), 1);
         assert_eq!(find("strategy.Skinner-C.episodes"), 4);
         assert_eq!(find("strategy.Skinner-C.mean_reward_milli"), 2000);
+        assert_eq!(find("strategy.Skinner-C.pages_read"), 3);
+        assert_eq!(find("strategy.Skinner-C.pages_skipped"), 5);
     }
 }

@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use crate::schema::{Field, Schema};
 use crate::table::{Table, TableBuilder};
-use crate::value::{DataType, Value};
+use crate::value::DataType;
 use crate::Interner;
 
 /// CSV ingestion errors.
@@ -77,7 +77,8 @@ impl From<std::io::Error> for CsvError {
 }
 
 /// Parse one CSV record (handles quotes; `start_line` is for errors only).
-fn split_record(line: &str, start_line: usize) -> Result<Vec<String>, CsvError> {
+/// Shared with the disk bulk loader.
+pub(crate) fn split_record(line: &str, start_line: usize) -> Result<Vec<String>, CsvError> {
     let mut fields = Vec::new();
     let mut cur = String::new();
     let mut chars = line.chars().peekable();
@@ -107,7 +108,8 @@ fn split_record(line: &str, start_line: usize) -> Result<Vec<String>, CsvError> 
 }
 
 /// Infer the narrowest type that parses every sample: Int ⊂ Float ⊂ Str.
-fn infer_type(samples: &[&str]) -> DataType {
+/// Shared with the disk bulk loader.
+pub(crate) fn infer_type(samples: &[&str]) -> DataType {
     let mut ty = DataType::Int;
     for s in samples {
         match ty {
@@ -131,30 +133,12 @@ fn infer_type(samples: &[&str]) -> DataType {
     ty
 }
 
-fn parse_cell(raw: &str, dt: DataType, line: usize, column: &str) -> Result<Value, CsvError> {
-    match dt {
-        DataType::Int => raw
-            .trim()
-            .parse::<i64>()
-            .map(Value::Int)
-            .map_err(|_| CsvError::BadCell {
-                line,
-                column: column.to_string(),
-                value: raw.to_string(),
-                expected: dt,
-            }),
-        DataType::Float => {
-            raw.trim()
-                .parse::<f64>()
-                .map(Value::Float)
-                .map_err(|_| CsvError::BadCell {
-                    line,
-                    column: column.to_string(),
-                    value: raw.to_string(),
-                    expected: dt,
-                })
-        }
-        DataType::Str => Ok(Value::from(raw)),
+fn bad_cell(raw: &str, dt: DataType, line: usize, column: &str) -> CsvError {
+    CsvError::BadCell {
+        line,
+        column: column.to_string(),
+        value: raw.to_string(),
+        expected: dt,
     }
 }
 
@@ -213,15 +197,38 @@ pub fn read_csv(
         }
     };
 
+    // Fill the builder column-major through its typed fast paths: one tight
+    // parse loop per column, no per-cell `Value` boxing (string cells went
+    // through an `Arc<str>` allocation each in the old row-at-a-time path).
     let mut b = TableBuilder::new(name, schema.clone(), interner);
-    let mut row_buf = Vec::with_capacity(ncols);
-    for (line, rec) in &records {
-        row_buf.clear();
-        for (c, raw) in rec.iter().enumerate() {
-            let f = schema.field(c);
-            row_buf.push(parse_cell(raw, f.dtype, *line, &f.name)?);
+    for (c, f) in schema.fields().iter().enumerate() {
+        match f.dtype {
+            DataType::Int => {
+                for (line, rec) in &records {
+                    let raw = &rec[c];
+                    let v = raw
+                        .trim()
+                        .parse::<i64>()
+                        .map_err(|_| bad_cell(raw, f.dtype, *line, &f.name))?;
+                    b.push_int(c, v);
+                }
+            }
+            DataType::Float => {
+                for (line, rec) in &records {
+                    let raw = &rec[c];
+                    let v = raw
+                        .trim()
+                        .parse::<f64>()
+                        .map_err(|_| bad_cell(raw, f.dtype, *line, &f.name))?;
+                    b.push_float(c, v);
+                }
+            }
+            DataType::Str => {
+                for (_, rec) in &records {
+                    b.push_str(c, &rec[c]);
+                }
+            }
         }
-        b.push_row(&row_buf);
     }
     Ok(b.finish())
 }
@@ -229,6 +236,7 @@ pub fn read_csv(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::value::Value;
 
     fn load(csv: &str) -> Result<Table, CsvError> {
         read_csv(

@@ -1,0 +1,231 @@
+//! Streaming bulk CSV ingestion into a [`DiskStore`].
+//!
+//! Unlike [`crate::read_csv`], which materializes a full in-memory table,
+//! the bulk loader parses each record straight into the [`SegmentWriter`]'s
+//! typed page buffers — no per-cell [`crate::Value`] allocation, and with
+//! an explicit schema no buffering of the input at all: memory stays
+//! bounded by one page per column regardless of file size. With
+//! `schema: None` the records are buffered once for type inference (the
+//! same Int ⊂ Float ⊂ Str lattice as the in-memory path) and then streamed
+//! out of the buffer.
+
+use std::io::BufRead;
+
+use crate::csv::{infer_type, split_record, CsvError};
+use crate::disk::manifest::DiskStore;
+use crate::disk::segment::SegmentWriter;
+use crate::disk::DiskError;
+use crate::schema::{Field, Schema};
+use crate::value::DataType;
+
+fn bad_cell(raw: &str, dt: DataType, line: usize, column: &str) -> DiskError {
+    DiskError::Csv(CsvError::BadCell {
+        line,
+        column: column.to_string(),
+        value: raw.to_string(),
+        expected: dt,
+    })
+}
+
+/// Parse one cell directly into the writer's typed buffer for column `col`.
+fn push_cell(
+    w: &mut SegmentWriter,
+    col: usize,
+    raw: &str,
+    dt: DataType,
+    line: usize,
+    column: &str,
+) -> Result<(), DiskError> {
+    match dt {
+        DataType::Int => {
+            let v = raw
+                .trim()
+                .parse::<i64>()
+                .map_err(|_| bad_cell(raw, dt, line, column))?;
+            w.push_int(col, v);
+        }
+        DataType::Float => {
+            let v = raw
+                .trim()
+                .parse::<f64>()
+                .map_err(|_| bad_cell(raw, dt, line, column))?;
+            w.push_float(col, v);
+        }
+        DataType::Str => w.push_str(col, raw),
+    }
+    Ok(())
+}
+
+/// Bulk-load a CSV (header required) as the persistent table `name` in
+/// `store`, committing atomically. Returns the committed row count.
+///
+/// `page_rows` sets the segment page size (use
+/// [`crate::disk::PAGE_ROWS`] unless testing page boundaries).
+pub fn bulk_load_csv(
+    store: &DiskStore,
+    name: &str,
+    reader: impl BufRead,
+    schema: Option<Schema>,
+    page_rows: usize,
+) -> Result<u64, DiskError> {
+    let mut lines = reader.lines().enumerate();
+    let header = match lines.next() {
+        Some((_, line)) => split_record(&line?, 1).map_err(DiskError::Csv)?,
+        None => return Err(DiskError::Csv(CsvError::Empty)),
+    };
+    let ncols = header.len();
+
+    match schema {
+        Some(schema) => {
+            assert_eq!(schema.len(), ncols, "schema arity must match the header");
+            // True streaming: each record goes straight to page buffers.
+            store.create_table_with(name, schema.clone(), page_rows, move |w| {
+                for (i, line) in lines {
+                    let line = line?;
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    let lineno = i + 1;
+                    let rec = split_record(&line, lineno).map_err(DiskError::Csv)?;
+                    if rec.len() != ncols {
+                        return Err(DiskError::Csv(CsvError::Ragged {
+                            line: lineno,
+                            expected: ncols,
+                            found: rec.len(),
+                        }));
+                    }
+                    for (c, raw) in rec.iter().enumerate() {
+                        let f = schema.field(c);
+                        push_cell(w, c, raw, f.dtype, lineno, &f.name)?;
+                    }
+                    w.end_row()?;
+                }
+                Ok(())
+            })
+        }
+        None => {
+            // Inference needs every cell once; buffer records, then stream.
+            let mut records: Vec<(usize, Vec<String>)> = Vec::new();
+            for (i, line) in lines {
+                let line = line?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let lineno = i + 1;
+                let rec = split_record(&line, lineno).map_err(DiskError::Csv)?;
+                if rec.len() != ncols {
+                    return Err(DiskError::Csv(CsvError::Ragged {
+                        line: lineno,
+                        expected: ncols,
+                        found: rec.len(),
+                    }));
+                }
+                records.push((lineno, rec));
+            }
+            let fields: Vec<Field> = header
+                .iter()
+                .enumerate()
+                .map(|(c, name)| {
+                    let samples: Vec<&str> = records.iter().map(|(_, r)| r[c].as_str()).collect();
+                    Field::new(name.trim(), infer_type(&samples))
+                })
+                .collect();
+            let schema = Schema::new(fields);
+            store.create_table_with(name, schema.clone(), page_rows, move |w| {
+                for (lineno, rec) in &records {
+                    for (c, raw) in rec.iter().enumerate() {
+                        let f = schema.field(c);
+                        push_cell(w, c, raw, f.dtype, *lineno, &f.name)?;
+                    }
+                    w.end_row()?;
+                }
+                Ok(())
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interner::Interner;
+    use crate::schema;
+    use crate::value::Value;
+    use std::sync::Arc;
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let p = std::env::temp_dir().join(format!("skinner_loader_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        p
+    }
+
+    #[test]
+    fn streams_with_explicit_schema() {
+        let dir = tmp_dir("explicit");
+        let store = DiskStore::open(&dir).unwrap();
+        let mut csv = String::from("id,score,tag\n");
+        for i in 0..100 {
+            csv.push_str(&format!("{i},{}.5,t{}\n", i, i % 3));
+        }
+        let rows = bulk_load_csv(
+            &store,
+            "m",
+            std::io::BufReader::new(csv.as_bytes()),
+            Some(schema![("id", Int), ("score", Float), ("tag", Str)]),
+            16,
+        )
+        .unwrap();
+        assert_eq!(rows, 100);
+        let interner = Arc::new(Interner::new());
+        let t = store.load_table("m", &interner).unwrap().table;
+        assert_eq!(t.num_rows(), 100);
+        assert_eq!(t.value(42, 0), Value::Int(42));
+        assert_eq!(t.value(42, 1), Value::Float(42.5));
+        assert_eq!(t.value(42, 2).as_str(), Some("t0"));
+        assert_eq!(t.zones().unwrap().npages(), 7);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn infers_schema_like_the_memory_path() {
+        let dir = tmp_dir("infer");
+        let store = DiskStore::open(&dir).unwrap();
+        bulk_load_csv(
+            &store,
+            "n",
+            std::io::BufReader::new("a,b,c\n1,2.5,x\n2,3,y\n".as_bytes()),
+            None,
+            8,
+        )
+        .unwrap();
+        let interner = Arc::new(Interner::new());
+        let t = store.load_table("n", &interner).unwrap().table;
+        assert_eq!(t.schema().field(0).dtype, DataType::Int);
+        assert_eq!(t.schema().field(1).dtype, DataType::Float);
+        assert_eq!(t.schema().field(2).dtype, DataType::Str);
+        assert_eq!(t.value(1, 1), Value::Float(3.0));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bad_cell_aborts_without_commit() {
+        let dir = tmp_dir("badcell");
+        let store = DiskStore::open(&dir).unwrap();
+        let r = bulk_load_csv(
+            &store,
+            "t",
+            std::io::BufReader::new("id\n1\nnope\n".as_bytes()),
+            Some(schema![("id", Int)]),
+            8,
+        );
+        assert!(matches!(
+            r,
+            Err(DiskError::Csv(CsvError::BadCell { line: 3, .. }))
+        ));
+        assert!(
+            store.table_names().is_empty(),
+            "failed load must not commit"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,154 @@
+//! Read-only memory mapping with a portable fallback.
+//!
+//! Segments are opened for reading by mapping the whole file; the build
+//! environment has no `libc`/`memmap2` crate, so on Linux the two syscalls
+//! we need are declared directly against the platform C library every Rust
+//! binary already links. Anywhere the mapping is unavailable (non-Unix
+//! targets, empty files, or an `mmap` failure) the file is read into an
+//! owned buffer instead — callers only ever see a `&[u8]`.
+
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom};
+use std::ops::Deref;
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+}
+
+/// A read-only view over a whole file: a real `mmap` where possible, an
+/// owned in-memory copy otherwise.
+pub enum Mmap {
+    #[cfg(unix)]
+    Mapped {
+        ptr: *const u8,
+        len: usize,
+    },
+    Owned(Vec<u8>),
+}
+
+// SAFETY: the mapping is immutable (PROT_READ, MAP_PRIVATE) for the whole
+// lifetime of the value, so sharing the raw pointer across threads is a
+// shared read of immutable memory.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Map `file` read-only. Falls back to reading the file when mapping is
+    /// unavailable; an empty file maps to an empty slice.
+    pub fn map_readonly(file: &mut File) -> io::Result<Mmap> {
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "segment exceeds usize"))?;
+        if len == 0 {
+            return Ok(Mmap::Owned(Vec::new()));
+        }
+        #[cfg(unix)]
+        {
+            use std::os::unix::io::AsRawFd;
+            let ptr = unsafe {
+                sys::mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    sys::PROT_READ,
+                    sys::MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize != -1 && !ptr.is_null() {
+                return Ok(Mmap::Mapped {
+                    ptr: ptr as *const u8,
+                    len,
+                });
+            }
+            // fall through to the owned-read path
+        }
+        let mut buf = Vec::with_capacity(len);
+        file.seek(SeekFrom::Start(0))?;
+        file.read_to_end(&mut buf)?;
+        Ok(Mmap::Owned(buf))
+    }
+
+    /// True when the bytes are a live kernel mapping (diagnostics only).
+    pub fn is_mapped(&self) -> bool {
+        #[cfg(unix)]
+        {
+            matches!(self, Mmap::Mapped { .. })
+        }
+        #[cfg(not(unix))]
+        {
+            false
+        }
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match self {
+            #[cfg(unix)]
+            Mmap::Mapped { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            Mmap::Owned(v) => v,
+        }
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Mmap::Mapped { ptr, len } = self {
+            unsafe {
+                sys::munmap(*ptr as *mut std::ffi::c_void, *len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmp(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let p = std::env::temp_dir().join(format!("skinner_mmap_{}_{name}", std::process::id()));
+        let mut f = File::create(&p).unwrap();
+        f.write_all(bytes).unwrap();
+        p
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        let p = tmp("basic", b"hello segment");
+        let mut f = File::open(&p).unwrap();
+        let m = Mmap::map_readonly(&mut f).unwrap();
+        assert_eq!(&*m, b"hello segment");
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn empty_file_is_empty_slice() {
+        let p = tmp("empty", b"");
+        let mut f = File::open(&p).unwrap();
+        let m = Mmap::map_readonly(&mut f).unwrap();
+        assert!(m.is_empty());
+        assert!(!m.is_mapped());
+        std::fs::remove_file(p).unwrap();
+    }
+}

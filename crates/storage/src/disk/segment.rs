@@ -1,0 +1,711 @@
+//! On-disk segment format: one file per table.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! +-----------+------------------------------+----------+-------------+----------+
+//! | "SKSEG01\n" | page payloads (interleaved) | footer   | footer_off  | checksum |
+//! | 8 bytes   |                              |          | u64         | u64      |
+//! +-----------+------------------------------+----------+-------------+----------+
+//! ```
+//!
+//! Pages are flushed in row-chunk order — every `page_rows` rows the writer
+//! emits one page per column back to back — so bulk loading streams without
+//! buffering the table. The footer records the schema, the per-segment
+//! string dictionary, and for every column a page directory
+//! (`offset, len, rows` per page) plus per-page min/max zone bounds.
+//! The checksum is FNV-1a 64 over every byte before it; a torn or truncated
+//! write is detected before any page is decoded.
+//!
+//! Readers map the file (see [`super::mmap`]), verify the checksum, then
+//! decode every page into an ordinary in-memory [`Table`]: engines keep
+//! their random-access scan code, and the attached [`ZoneMap`] lets the
+//! pre-processing scan skip per-page predicate evaluation.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use crate::column::Column;
+use crate::disk::mmap::Mmap;
+use crate::disk::page::{self, PageData};
+use crate::disk::zonemap::{ZoneCol, ZoneMap};
+use crate::disk::DiskError;
+use crate::interner::Interner;
+use crate::schema::{Field, Schema};
+use crate::table::Table;
+use crate::value::{DataType, Value};
+
+pub(crate) const MAGIC: &[u8; 8] = b"SKSEG01\n";
+
+/// Default rows per page. Small enough that selective predicates skip real
+/// work, large enough that per-page overhead stays negligible.
+pub const PAGE_ROWS: usize = 1024;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn dtype_tag(dt: DataType) -> u8 {
+    match dt {
+        DataType::Int => 0,
+        DataType::Float => 1,
+        DataType::Str => 2,
+    }
+}
+
+fn dtype_from_tag(t: u8) -> Result<DataType, DiskError> {
+    match t {
+        0 => Ok(DataType::Int),
+        1 => Ok(DataType::Float),
+        2 => Ok(DataType::Str),
+        t => Err(DiskError::Corrupt(format!("unknown dtype tag {t}"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// File sink that maintains the running FNV-1a checksum and byte offset.
+struct HashWriter {
+    inner: BufWriter<File>,
+    hash: u64,
+    len: u64,
+}
+
+impl HashWriter {
+    fn put(&mut self, bytes: &[u8]) -> Result<(), DiskError> {
+        self.inner.write_all(bytes)?;
+        for &b in bytes {
+            self.hash = (self.hash ^ b as u64).wrapping_mul(FNV_PRIME);
+        }
+        self.len += bytes.len() as u64;
+        Ok(())
+    }
+}
+
+/// One column's in-flight state while writing.
+enum ColBuf {
+    Int(Vec<i64>),
+    Float(Vec<f64>),
+    /// Per-segment dictionary codes.
+    Str(Vec<u32>),
+}
+
+struct PageEntry {
+    offset: u64,
+    len: u32,
+    rows: u32,
+}
+
+/// Streaming segment writer. Push rows; every [`page_rows`] rows one page
+/// per column is encoded and written out, so memory stays bounded by the
+/// page size (plus the string dictionary).
+///
+/// [`page_rows`]: SegmentWriter::page_rows
+pub struct SegmentWriter {
+    out: HashWriter,
+    schema: Schema,
+    page_rows: usize,
+    bufs: Vec<ColBuf>,
+    buffered: usize,
+    nrows: u64,
+    dict: Vec<String>,
+    dict_map: std::collections::HashMap<String, u32>,
+    directory: Vec<Vec<PageEntry>>,
+    zones: Vec<ZoneCol>,
+    scratch: Vec<u8>,
+}
+
+impl SegmentWriter {
+    /// Start writing a segment at `path` (the caller passes a temp path and
+    /// renames after [`SegmentWriter::finish`] for crash safety).
+    pub fn create(
+        path: &Path,
+        schema: Schema,
+        page_rows: usize,
+    ) -> Result<SegmentWriter, DiskError> {
+        assert!(page_rows > 0, "page_rows must be positive");
+        let file = File::create(path)?;
+        let mut out = HashWriter {
+            inner: BufWriter::new(file),
+            hash: FNV_OFFSET,
+            len: 0,
+        };
+        out.put(MAGIC)?;
+        let bufs = schema
+            .fields()
+            .iter()
+            .map(|f| match f.dtype {
+                DataType::Int => ColBuf::Int(Vec::with_capacity(page_rows)),
+                DataType::Float => ColBuf::Float(Vec::with_capacity(page_rows)),
+                DataType::Str => ColBuf::Str(Vec::with_capacity(page_rows)),
+            })
+            .collect::<Vec<_>>();
+        let ncols = bufs.len();
+        let zones = schema
+            .fields()
+            .iter()
+            .map(|f| match f.dtype {
+                DataType::Int => ZoneCol::Int(vec![]),
+                DataType::Float => ZoneCol::Float(vec![]),
+                DataType::Str => ZoneCol::Str(vec![]),
+            })
+            .collect();
+        Ok(SegmentWriter {
+            out,
+            schema,
+            page_rows,
+            bufs,
+            buffered: 0,
+            nrows: 0,
+            dict: vec![],
+            dict_map: std::collections::HashMap::new(),
+            directory: (0..ncols).map(|_| vec![]).collect(),
+            zones,
+            scratch: vec![],
+        })
+    }
+
+    pub fn page_rows(&self) -> usize {
+        self.page_rows
+    }
+
+    pub fn rows_written(&self) -> u64 {
+        self.nrows + self.buffered as u64
+    }
+
+    fn dict_code(&mut self, s: &str) -> u32 {
+        if let Some(&c) = self.dict_map.get(s) {
+            return c;
+        }
+        let c = self.dict.len() as u32;
+        self.dict.push(s.to_string());
+        self.dict_map.insert(s.to_string(), c);
+        c
+    }
+
+    /// Append one row. Ints widen into float columns, matching
+    /// [`crate::TableBuilder::push_row`]. Panics on arity/type mismatch.
+    pub fn push_row(&mut self, row: &[Value]) -> Result<(), DiskError> {
+        assert_eq!(row.len(), self.bufs.len(), "row arity mismatch");
+        for (i, v) in row.iter().enumerate() {
+            match (&mut self.bufs[i], v) {
+                (ColBuf::Int(b), Value::Int(x)) => b.push(*x),
+                (ColBuf::Float(b), Value::Float(x)) => b.push(*x),
+                (ColBuf::Float(b), Value::Int(x)) => b.push(*x as f64),
+                (ColBuf::Str(_), Value::Str(s)) => {
+                    let s = s.clone();
+                    let code = self.dict_code(&s);
+                    match &mut self.bufs[i] {
+                        ColBuf::Str(b) => b.push(code),
+                        _ => unreachable!(),
+                    }
+                }
+                (_, v) => panic!(
+                    "type mismatch in column {} of segment: got {v:?}",
+                    self.schema.field(i).name
+                ),
+            }
+        }
+        self.buffered += 1;
+        if self.buffered == self.page_rows {
+            self.flush_pages()?;
+        }
+        Ok(())
+    }
+
+    /// Typed fast paths for the bulk loader (column-wise within a row; the
+    /// caller must fill every column before [`SegmentWriter::end_row`]).
+    pub fn push_int(&mut self, col: usize, v: i64) {
+        match &mut self.bufs[col] {
+            ColBuf::Int(b) => b.push(v),
+            ColBuf::Float(b) => b.push(v as f64),
+            ColBuf::Str(_) => panic!("push_int on string column"),
+        }
+    }
+
+    pub fn push_float(&mut self, col: usize, v: f64) {
+        match &mut self.bufs[col] {
+            ColBuf::Float(b) => b.push(v),
+            _ => panic!("push_float on non-float column"),
+        }
+    }
+
+    pub fn push_str(&mut self, col: usize, v: &str) {
+        let code = self.dict_code(v);
+        match &mut self.bufs[col] {
+            ColBuf::Str(b) => b.push(code),
+            _ => panic!("push_str on non-string column"),
+        }
+    }
+
+    /// Finish the current row after typed pushes; flushes a full page.
+    pub fn end_row(&mut self) -> Result<(), DiskError> {
+        self.buffered += 1;
+        debug_assert!(self.bufs.iter().all(|b| match b {
+            ColBuf::Int(v) => v.len(),
+            ColBuf::Float(v) => v.len(),
+            ColBuf::Str(v) => v.len(),
+        } == self.buffered));
+        if self.buffered == self.page_rows {
+            self.flush_pages()?;
+        }
+        Ok(())
+    }
+
+    fn flush_pages(&mut self) -> Result<(), DiskError> {
+        if self.buffered == 0 {
+            return Ok(());
+        }
+        let rows = self.buffered as u32;
+        for col in 0..self.bufs.len() {
+            let data = match &mut self.bufs[col] {
+                ColBuf::Int(b) => PageData::Int(std::mem::take(b)),
+                ColBuf::Float(b) => PageData::Float(std::mem::take(b)),
+                ColBuf::Str(b) => PageData::Codes(std::mem::take(b)),
+            };
+            match (&data, &mut self.zones[col]) {
+                (PageData::Int(v), ZoneCol::Int(z)) => z.push(
+                    v.iter()
+                        .fold((i64::MAX, i64::MIN), |(lo, hi), &x| (lo.min(x), hi.max(x))),
+                ),
+                (PageData::Float(v), ZoneCol::Float(z)) => z.push(
+                    v.iter()
+                        .filter(|x| !x.is_nan())
+                        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
+                            (lo.min(x), hi.max(x))
+                        }),
+                ),
+                (PageData::Codes(v), ZoneCol::Str(z)) => z.push(
+                    v.iter()
+                        .fold((u32::MAX, u32::MIN), |(lo, hi), &x| (lo.min(x), hi.max(x))),
+                ),
+                _ => unreachable!("buffer/zone kind mismatch"),
+            }
+            self.scratch.clear();
+            page::encode_page(&data, &mut self.scratch);
+            let entry = PageEntry {
+                offset: self.out.len,
+                len: self.scratch.len() as u32,
+                rows,
+            };
+            let payload = std::mem::take(&mut self.scratch);
+            self.out.put(&payload)?;
+            self.scratch = payload;
+            self.directory[col].push(entry);
+        }
+        self.nrows += self.buffered as u64;
+        self.buffered = 0;
+        Ok(())
+    }
+
+    /// Flush the tail page, write footer + checksum, fsync. The file is
+    /// complete and self-validating after this returns.
+    pub fn finish(mut self) -> Result<u64, DiskError> {
+        self.flush_pages()?;
+        let footer_offset = self.out.len;
+        // -- footer --
+        let mut f = Vec::new();
+        f.extend_from_slice(&self.nrows.to_le_bytes());
+        f.extend_from_slice(&(self.page_rows as u32).to_le_bytes());
+        f.extend_from_slice(&(self.schema.len() as u32).to_le_bytes());
+        for field in self.schema.fields() {
+            let name = field.name.as_bytes();
+            f.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            f.extend_from_slice(name);
+            f.push(dtype_tag(field.dtype));
+        }
+        f.extend_from_slice(&(self.dict.len() as u32).to_le_bytes());
+        for s in &self.dict {
+            f.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            f.extend_from_slice(s.as_bytes());
+        }
+        for (col, entries) in self.directory.iter().enumerate() {
+            f.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+            for e in entries {
+                f.extend_from_slice(&e.offset.to_le_bytes());
+                f.extend_from_slice(&e.len.to_le_bytes());
+                f.extend_from_slice(&e.rows.to_le_bytes());
+            }
+            match &self.zones[col] {
+                ZoneCol::Int(z) => {
+                    for &(lo, hi) in z {
+                        f.extend_from_slice(&lo.to_le_bytes());
+                        f.extend_from_slice(&hi.to_le_bytes());
+                    }
+                }
+                ZoneCol::Float(z) => {
+                    for &(lo, hi) in z {
+                        f.extend_from_slice(&lo.to_le_bytes());
+                        f.extend_from_slice(&hi.to_le_bytes());
+                    }
+                }
+                ZoneCol::Str(z) => {
+                    for &(lo, hi) in z {
+                        f.extend_from_slice(&lo.to_le_bytes());
+                        f.extend_from_slice(&hi.to_le_bytes());
+                    }
+                }
+            }
+        }
+        self.out.put(&f)?;
+        self.out.put(&footer_offset.to_le_bytes())?;
+        // The checksum covers everything before it, including footer_offset.
+        let hash = self.out.hash;
+        self.out.inner.write_all(&hash.to_le_bytes())?;
+        self.out.inner.flush()?;
+        self.out.inner.get_ref().sync_all()?;
+        Ok(self.nrows)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DiskError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| DiskError::Corrupt("footer truncated".into()))?;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, DiskError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, DiskError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, DiskError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, DiskError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, DiskError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, DiskError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+/// What a segment open yields: a fully decoded, zone-mapped table plus
+/// read statistics.
+#[derive(Debug)]
+pub struct OpenedSegment {
+    pub table: Table,
+    /// True when the file bytes came from a live `mmap` (not a buffered read).
+    pub mapped: bool,
+    /// Total pages decoded across all columns.
+    pub pages_decoded: usize,
+}
+
+/// Open a segment file and decode it into a `Table` named `table_name`,
+/// remapping dictionary strings into the catalog `interner` and attaching
+/// the zone map. Any truncation, bit-flip or format violation is a
+/// [`DiskError::Corrupt`] — never a panic.
+pub fn read_segment(
+    path: &Path,
+    table_name: &str,
+    interner: &Arc<Interner>,
+) -> Result<OpenedSegment, DiskError> {
+    let mut file = File::open(path)?;
+    let map = Mmap::map_readonly(&mut file)?;
+    let bytes: &[u8] = &map;
+    if bytes.len() < MAGIC.len() + 16 {
+        return Err(DiskError::Corrupt(format!(
+            "{}: too small ({} bytes)",
+            path.display(),
+            bytes.len()
+        )));
+    }
+    if &bytes[..MAGIC.len()] != MAGIC {
+        return Err(DiskError::Corrupt(format!("{}: bad magic", path.display())));
+    }
+    let stored_hash = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+    if fnv1a64(&bytes[..bytes.len() - 8]) != stored_hash {
+        return Err(DiskError::Corrupt(format!(
+            "{}: checksum mismatch (torn or truncated write)",
+            path.display()
+        )));
+    }
+    let footer_offset =
+        u64::from_le_bytes(bytes[bytes.len() - 16..bytes.len() - 8].try_into().unwrap()) as usize;
+    if footer_offset < MAGIC.len() || footer_offset > bytes.len() - 16 {
+        return Err(DiskError::Corrupt(format!(
+            "{}: footer offset out of range",
+            path.display()
+        )));
+    }
+    let mut cur = Cursor {
+        bytes: &bytes[..bytes.len() - 16],
+        pos: footer_offset,
+    };
+    let nrows = usize::try_from(cur.u64()?)
+        .map_err(|_| DiskError::Corrupt("row count exceeds usize".into()))?;
+    let page_rows = cur.u32()? as usize;
+    if page_rows == 0 {
+        return Err(DiskError::Corrupt("page_rows is zero".into()));
+    }
+    let ncols = cur.u32()? as usize;
+    let mut fields = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        let name_len = cur.u16()? as usize;
+        let name = std::str::from_utf8(cur.take(name_len)?)
+            .map_err(|_| DiskError::Corrupt("column name not utf-8".into()))?
+            .to_string();
+        let dtype = dtype_from_tag(cur.u8()?)?;
+        fields.push(Field { name, dtype });
+    }
+    // Per-segment dictionary → catalog interner codes.
+    let dict_count = cur.u32()? as usize;
+    let mut remap = Vec::with_capacity(dict_count);
+    for _ in 0..dict_count {
+        let len = cur.u32()? as usize;
+        let s = std::str::from_utf8(cur.take(len)?)
+            .map_err(|_| DiskError::Corrupt("dictionary entry not utf-8".into()))?;
+        remap.push(interner.intern(s));
+    }
+    let expected_pages = nrows.div_ceil(page_rows);
+    let mut columns = Vec::with_capacity(ncols);
+    let mut zone_cols = Vec::with_capacity(ncols);
+    let mut pages_decoded = 0usize;
+    for field in &fields {
+        let npages = cur.u32()? as usize;
+        if npages != expected_pages {
+            return Err(DiskError::Corrupt(format!(
+                "column {:?}: {npages} pages, expected {expected_pages}",
+                field.name
+            )));
+        }
+        let mut entries = Vec::with_capacity(npages);
+        for _ in 0..npages {
+            let offset = cur.u64()? as usize;
+            let len = cur.u32()? as usize;
+            let rows = cur.u32()? as usize;
+            if offset < MAGIC.len() || offset.saturating_add(len) > footer_offset {
+                return Err(DiskError::Corrupt(format!(
+                    "column {:?}: page extent out of range",
+                    field.name
+                )));
+            }
+            entries.push((offset, len, rows));
+        }
+        let total_rows: usize = entries.iter().map(|e| e.2).sum();
+        if total_rows != nrows {
+            return Err(DiskError::Corrupt(format!(
+                "column {:?}: directory rows {total_rows} != {nrows}",
+                field.name
+            )));
+        }
+        let zones = match field.dtype {
+            DataType::Int => ZoneCol::Int(
+                (0..npages)
+                    .map(|_| Ok((cur.i64()?, cur.i64()?)))
+                    .collect::<Result<_, DiskError>>()?,
+            ),
+            DataType::Float => ZoneCol::Float(
+                (0..npages)
+                    .map(|_| Ok((cur.f64()?, cur.f64()?)))
+                    .collect::<Result<_, DiskError>>()?,
+            ),
+            DataType::Str => ZoneCol::Str(
+                (0..npages)
+                    .map(|_| Ok((cur.u32()?, cur.u32()?)))
+                    .collect::<Result<_, DiskError>>()?,
+            ),
+        };
+        // Decode every page into one contiguous in-memory column.
+        let column = match field.dtype {
+            DataType::Int => {
+                let mut v = Vec::with_capacity(nrows);
+                for &(off, len, rows) in &entries {
+                    v.extend(page::decode_int(&bytes[off..off + len], rows)?);
+                }
+                Column::Int(v)
+            }
+            DataType::Float => {
+                let mut v = Vec::with_capacity(nrows);
+                for &(off, len, rows) in &entries {
+                    v.extend(page::decode_float(&bytes[off..off + len], rows)?);
+                }
+                Column::Float(v)
+            }
+            DataType::Str => {
+                let mut v = Vec::with_capacity(nrows);
+                for &(off, len, rows) in &entries {
+                    for code in page::decode_codes(&bytes[off..off + len], rows)? {
+                        let cat = *remap.get(code as usize).ok_or_else(|| {
+                            DiskError::Corrupt(format!(
+                                "column {:?}: dictionary code {code} out of range",
+                                field.name
+                            ))
+                        })?;
+                        v.push(cat);
+                    }
+                }
+                Column::Str(v)
+            }
+        };
+        pages_decoded += npages;
+        columns.push(column);
+        zone_cols.push(zones);
+    }
+    // String zone bounds stored in the file are per-segment codes; after
+    // remapping into the catalog interner they are stale, so recompute them
+    // over the remapped column. Int/float bounds survive remap-free.
+    for (zc, col) in zone_cols.iter_mut().zip(&columns) {
+        if let (ZoneCol::Str(z), Column::Str(codes)) = (zc, col) {
+            *z = codes
+                .chunks(page_rows)
+                .map(|pagev| {
+                    pagev
+                        .iter()
+                        .fold((u32::MAX, u32::MIN), |(lo, hi), &x| (lo.min(x), hi.max(x)))
+                })
+                .collect();
+        }
+    }
+    let zones = ZoneMap::from_cols(zone_cols, nrows, page_rows);
+    let table = Table::from_columns(table_name, Schema::new(fields), columns, interner.clone())
+        .with_zones(Arc::new(zones));
+    Ok(OpenedSegment {
+        table,
+        mapped: map.is_mapped(),
+        pages_decoded,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema;
+
+    fn tmp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("skinner_seg_{}_{name}.seg", std::process::id()))
+    }
+
+    fn write_sample(path: &Path, rows: usize, page_rows: usize) {
+        let mut w = SegmentWriter::create(
+            path,
+            schema![("id", Int), ("v", Float), ("tag", Str)],
+            page_rows,
+        )
+        .unwrap();
+        for i in 0..rows {
+            w.push_row(&[
+                Value::Int(i as i64),
+                Value::Float(i as f64 * 0.5),
+                Value::from(if i % 3 == 0 { "alpha" } else { "beta" }),
+            ])
+            .unwrap();
+        }
+        w.finish().unwrap();
+    }
+
+    #[test]
+    fn roundtrip_with_partial_tail_page() {
+        let p = tmp_path("roundtrip");
+        write_sample(&p, 10, 4);
+        let interner = Arc::new(Interner::new());
+        let opened = read_segment(&p, "t", &interner).unwrap();
+        let t = &opened.table;
+        assert_eq!(t.num_rows(), 10);
+        assert_eq!(t.value(7, 0), Value::Int(7));
+        assert_eq!(t.value(7, 1), Value::Float(3.5));
+        assert_eq!(t.value(9, 2).as_str(), Some("alpha"));
+        let zm = t.zones().unwrap();
+        assert_eq!(zm.npages(), 3);
+        assert_eq!(zm.page_range(2), (8, 10));
+        match zm.col(0) {
+            ZoneCol::Int(z) => assert_eq!(z, &vec![(0, 3), (4, 7), (8, 9)]),
+            _ => panic!(),
+        }
+        assert_eq!(opened.pages_decoded, 9);
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn dictionary_remaps_into_shared_interner() {
+        let p = tmp_path("dict");
+        write_sample(&p, 6, 4);
+        let interner = Arc::new(Interner::new());
+        // Pre-intern something so segment codes can't accidentally line up.
+        interner.intern("unrelated");
+        let opened = read_segment(&p, "t", &interner).unwrap();
+        let codes: Vec<u32> = (0..6).map(|r| opened.table.column(2).code_at(r)).collect();
+        assert_eq!(interner.lookup("alpha"), Some(codes[0]));
+        assert_eq!(interner.lookup("beta"), Some(codes[1]));
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let p = tmp_path("trunc");
+        write_sample(&p, 100, 8);
+        let full = std::fs::read(&p).unwrap();
+        for keep in [full.len() - 1, full.len() / 2, 10, 0] {
+            std::fs::write(&p, &full[..keep]).unwrap();
+            let interner = Arc::new(Interner::new());
+            assert!(
+                read_segment(&p, "t", &interner).is_err(),
+                "truncation to {keep} bytes not detected"
+            );
+        }
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_is_detected() {
+        let p = tmp_path("flip");
+        write_sample(&p, 50, 8);
+        let mut bytes = std::fs::read(&p).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&p, &bytes).unwrap();
+        let interner = Arc::new(Interner::new());
+        match read_segment(&p, "t", &interner) {
+            Err(DiskError::Corrupt(msg)) => assert!(msg.contains("checksum"), "{msg}"),
+            other => panic!("expected corruption error, got {other:?}"),
+        }
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn empty_table_roundtrips() {
+        let p = tmp_path("empty");
+        let w = SegmentWriter::create(&p, schema![("x", Int)], 4).unwrap();
+        w.finish().unwrap();
+        let interner = Arc::new(Interner::new());
+        let opened = read_segment(&p, "t", &interner).unwrap();
+        assert_eq!(opened.table.num_rows(), 0);
+        assert_eq!(opened.table.zones().unwrap().npages(), 0);
+        std::fs::remove_file(p).unwrap();
+    }
+}

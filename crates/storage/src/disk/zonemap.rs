@@ -1,0 +1,176 @@
+//! Per-page min/max zone maps.
+//!
+//! A zone map carries, for every column and every fixed-size page of rows,
+//! the minimum and maximum value on that page. The scan path uses them to
+//! prove a unary predicate false for a whole page without evaluating it
+//! row by row (see `skinner_exec::zonescan`).
+//!
+//! Soundness notes baked into construction:
+//!
+//! - Float bounds are taken over the **non-NaN** values of a page. A NaN
+//!   row can never satisfy a comparison predicate (SQL comparisons with
+//!   NaN evaluate false in this engine), so excluding NaNs keeps the
+//!   bounds usable: if the bounds refute the predicate, the non-NaN rows
+//!   fail it by the bounds and the NaN rows fail it by NaN semantics.
+//!   A page that is *all* NaN gets the empty-marker bounds
+//!   `(INFINITY, NEG_INFINITY)`, which every comparison refutes.
+//! - String pages store min/max **interner codes**. Codes are assigned in
+//!   interning order, not lexicographic order, so string zones support
+//!   equality/membership pruning only — never range pruning.
+
+use crate::column::Column;
+
+/// Zone bounds for one column, one `(min, max)` pair per page.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ZoneCol {
+    Int(Vec<(i64, i64)>),
+    Float(Vec<(f64, f64)>),
+    /// Min/max interner codes — valid for equality pruning only.
+    Str(Vec<(u32, u32)>),
+}
+
+impl ZoneCol {
+    pub fn npages(&self) -> usize {
+        match self {
+            ZoneCol::Int(v) => v.len(),
+            ZoneCol::Float(v) => v.len(),
+            ZoneCol::Str(v) => v.len(),
+        }
+    }
+}
+
+/// Per-page min/max bounds for every column of a table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZoneMap {
+    page_rows: usize,
+    nrows: usize,
+    cols: Vec<ZoneCol>,
+}
+
+impl ZoneMap {
+    /// Build a zone map over fully decoded columns.
+    pub fn build(columns: &[Column], nrows: usize, page_rows: usize) -> ZoneMap {
+        assert!(page_rows > 0, "page_rows must be positive");
+        let cols = columns
+            .iter()
+            .map(|c| {
+                debug_assert_eq!(c.len(), nrows);
+                match c {
+                    Column::Int(v) => ZoneCol::Int(
+                        v.chunks(page_rows)
+                            .map(|page| {
+                                page.iter().fold((i64::MAX, i64::MIN), |(lo, hi), &x| {
+                                    (lo.min(x), hi.max(x))
+                                })
+                            })
+                            .collect(),
+                    ),
+                    Column::Float(v) => ZoneCol::Float(
+                        v.chunks(page_rows)
+                            .map(|page| {
+                                // NaNs excluded; all-NaN pages keep the
+                                // (INF, -INF) empty marker.
+                                page.iter()
+                                    .filter(|x| !x.is_nan())
+                                    .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
+                                        (lo.min(x), hi.max(x))
+                                    })
+                            })
+                            .collect(),
+                    ),
+                    Column::Str(v) => ZoneCol::Str(
+                        v.chunks(page_rows)
+                            .map(|page| {
+                                page.iter().fold((u32::MAX, u32::MIN), |(lo, hi), &x| {
+                                    (lo.min(x), hi.max(x))
+                                })
+                            })
+                            .collect(),
+                    ),
+                }
+            })
+            .collect();
+        ZoneMap {
+            page_rows,
+            nrows,
+            cols,
+        }
+    }
+
+    /// Assemble from precomputed per-column zones (segment open path).
+    pub fn from_cols(cols: Vec<ZoneCol>, nrows: usize, page_rows: usize) -> ZoneMap {
+        assert!(page_rows > 0, "page_rows must be positive");
+        let npages = nrows.div_ceil(page_rows);
+        for c in &cols {
+            assert_eq!(c.npages(), npages, "zone column page-count mismatch");
+        }
+        ZoneMap {
+            page_rows,
+            nrows,
+            cols,
+        }
+    }
+
+    pub fn page_rows(&self) -> usize {
+        self.page_rows
+    }
+
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of pages (same for every column).
+    pub fn npages(&self) -> usize {
+        self.nrows.div_ceil(self.page_rows)
+    }
+
+    /// Zones for column `col`.
+    pub fn col(&self, col: usize) -> &ZoneCol {
+        &self.cols[col]
+    }
+
+    pub fn ncols(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Row range `[start, end)` covered by `page`.
+    pub fn page_range(&self, page: usize) -> (usize, usize) {
+        let start = page * self.page_rows;
+        (start, (start + self.page_rows).min(self.nrows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_bounds_per_page() {
+        let col = Column::Int((0..10).collect());
+        let zm = ZoneMap::build(&[col], 10, 4);
+        assert_eq!(zm.npages(), 3);
+        assert_eq!(zm.col(0), &ZoneCol::Int(vec![(0, 3), (4, 7), (8, 9)]));
+        assert_eq!(zm.page_range(2), (8, 10));
+    }
+
+    #[test]
+    fn float_bounds_skip_nans() {
+        let col = Column::Float(vec![1.0, f64::NAN, 3.0, f64::NAN, f64::NAN, f64::NAN]);
+        let zm = ZoneMap::build(&[col], 6, 3);
+        match zm.col(0) {
+            ZoneCol::Float(pages) => {
+                assert_eq!(pages[0], (1.0, 3.0));
+                // all-NaN page keeps the empty marker: min > max
+                assert!(pages[1].0 > pages[1].1);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn str_bounds_are_code_ranges() {
+        let col = Column::Str(vec![5, 2, 9, 1]);
+        let zm = ZoneMap::build(&[col], 4, 2);
+        assert_eq!(zm.col(0), &ZoneCol::Str(vec![(2, 5), (1, 9)]));
+    }
+}

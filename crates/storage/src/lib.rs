@@ -16,6 +16,7 @@
 pub mod catalog;
 pub mod column;
 pub mod csv;
+pub mod disk;
 pub mod index;
 pub mod interner;
 pub mod schema;
@@ -25,6 +26,7 @@ pub mod value;
 pub use catalog::Catalog;
 pub use column::Column;
 pub use csv::read_csv;
+pub use disk::{bulk_load_csv, DiskError, DiskStore, ZoneCol, ZoneMap};
 pub use index::HashIndex;
 pub use interner::Interner;
 pub use schema::{Field, Schema};

@@ -3,6 +3,7 @@
 use std::sync::Arc;
 
 use crate::column::Column;
+use crate::disk::zonemap::ZoneMap;
 use crate::interner::Interner;
 use crate::schema::Schema;
 use crate::value::{DataType, Value};
@@ -24,6 +25,11 @@ pub struct Table {
     /// temp table's allocation can be reused for a different table, so
     /// pointer-keyed caches serve stale entries nondeterministically.
     uid: u64,
+    /// Per-page min/max bounds, present on tables decoded from disk
+    /// segments. The scan path uses them to skip per-page predicate
+    /// evaluation; `None` (in-memory tables, `gather` outputs) means scan
+    /// every row, exactly the pre-existing behavior.
+    zones: Option<Arc<ZoneMap>>,
 }
 
 /// Source of process-wide unique table ids.
@@ -55,7 +61,26 @@ impl Table {
             interner,
             nrows,
             uid: fresh_table_uid(),
+            zones: None,
         }
+    }
+
+    /// Attach a zone map (segment open path). Panics if the map does not
+    /// cover exactly this table's rows and columns.
+    pub fn with_zones(mut self, zones: Arc<ZoneMap>) -> Self {
+        assert_eq!(zones.nrows(), self.nrows, "zone map row-count mismatch");
+        assert_eq!(
+            zones.ncols(),
+            self.columns.len(),
+            "zone map column-count mismatch"
+        );
+        self.zones = Some(zones);
+        self
+    }
+
+    /// Per-page min/max bounds, if this table came from a disk segment.
+    pub fn zones(&self) -> Option<&Arc<ZoneMap>> {
+        self.zones.as_ref()
     }
 
     pub fn name(&self) -> &str {
@@ -110,6 +135,7 @@ impl Table {
     /// `0..n` of the filtered table.
     pub fn gather(&self, rows: &[RowId], name: impl Into<String>) -> Table {
         let columns = self.columns.iter().map(|c| c.gather(rows)).collect();
+        // Gathered rows are no longer page-aligned, so zones do not carry over.
         Table {
             name: name.into(),
             schema: self.schema.clone(),
@@ -117,6 +143,7 @@ impl Table {
             interner: self.interner.clone(),
             nrows: rows.len(),
             uid: fresh_table_uid(),
+            zones: None,
         }
     }
 

@@ -10,7 +10,7 @@ use skinner_exec::{ExecContext, ExecMetrics, ExecOutcome, ExecutionStrategy, Str
 use skinner_query::ast::Statement;
 use skinner_query::{bind_select, parse_statements, BindError, JoinQuery, ParseError, UdfRegistry};
 use skinner_stats::StatsCache;
-use skinner_storage::{Catalog, DataType, Field, Schema, Value};
+use skinner_storage::{Catalog, DataType, DiskError, Field, Schema, Value};
 
 use crate::session::{Prepared, Session};
 use crate::strategy::{builtin_registry, Strategy};
@@ -25,6 +25,9 @@ pub enum DbError {
     Timeout,
     /// Schema/constraint violations when creating tables.
     Schema(String),
+    /// Persistent-storage failures: I/O, corrupt segments, invalid table
+    /// names, or persistence requested without a data directory attached.
+    Storage(DiskError),
     /// A strategy name not present in the registry.
     UnknownStrategy(String),
     /// An unknown session option, or a value that does not parse
@@ -39,6 +42,7 @@ impl fmt::Display for DbError {
             DbError::Bind(e) => write!(f, "{e}"),
             DbError::Timeout => write!(f, "query exceeded its work limit or deadline"),
             DbError::Schema(s) => write!(f, "schema error: {s}"),
+            DbError::Storage(e) => write!(f, "storage error: {e}"),
             DbError::UnknownStrategy(name) => write!(f, "unknown strategy: {name}"),
             DbError::BadOption(msg) => write!(f, "bad option: {msg}"),
         }
@@ -56,6 +60,12 @@ impl From<ParseError> for DbError {
 impl From<BindError> for DbError {
     fn from(e: BindError) -> Self {
         DbError::Bind(e)
+    }
+}
+
+impl From<DiskError> for DbError {
+    fn from(e: DiskError) -> Self {
+        DbError::Storage(e)
     }
 }
 
@@ -189,6 +199,21 @@ impl Database {
     /// Skinner-C as the default.
     pub fn new() -> Self {
         Self::from_parts(Arc::new(Catalog::new()), UdfRegistry::new())
+    }
+
+    /// Open (or create) a database backed by a persistent data directory:
+    /// every table committed to `dir` by a previous process is loaded into
+    /// the catalog, and tables persisted later are written there crash-safely.
+    ///
+    /// ```no_run
+    /// use skinnerdb::Database;
+    ///
+    /// let db = Database::open("/var/lib/skinnerdb").unwrap();
+    /// ```
+    pub fn open(dir: impl Into<std::path::PathBuf>) -> Result<Self, DbError> {
+        let db = Self::new();
+        db.attach_data_dir(dir)?;
+        Ok(db)
     }
 
     /// Wrap an existing catalog + UDFs (workload generators produce these).
@@ -356,6 +381,50 @@ impl Database {
     /// Register a UDF callable from SQL.
     pub fn register_udf(&self, name: &str, f: impl Fn(&[Value]) -> Value + Send + Sync + 'static) {
         self.udfs.register(name, f);
+    }
+
+    /// Attach a persistent data directory to an already-running database:
+    /// loads every committed table from `dir` (returning their names) and
+    /// makes [`Database::persist_table`] / [`Database::bulk_load_csv`]
+    /// available. Fails with [`DbError::Storage`] if a data directory is
+    /// already attached or the manifest is corrupt.
+    pub fn attach_data_dir(
+        &self,
+        dir: impl Into<std::path::PathBuf>,
+    ) -> Result<Vec<String>, DbError> {
+        Ok(self.catalog.attach_disk(dir)?)
+    }
+
+    /// Whether a persistent data directory is attached.
+    pub fn has_data_dir(&self) -> bool {
+        self.catalog.disk_store().is_some()
+    }
+
+    /// Write registered table `name` to the attached data directory as a
+    /// paged columnar segment (temp file → fsync → atomic rename + manifest
+    /// commit) and swap the registered table for the disk-backed copy, which
+    /// carries per-page zone maps. Subsequent `DROP TABLE name` also removes
+    /// the segment file.
+    pub fn persist_table(&self, name: &str) -> Result<(), DbError> {
+        self.catalog.persist_table(name)?;
+        Ok(())
+    }
+
+    /// Stream a CSV file straight into a persistent segment (header
+    /// required, types inferred) and register the zone-mapped table as
+    /// `name` — the bulk-ingest path: rows go to disk page by page instead
+    /// of materializing an intermediate in-memory table first. Requires an
+    /// attached data directory.
+    pub fn bulk_load_csv(
+        &self,
+        name: &str,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<(), DbError> {
+        let file = std::fs::File::open(path)
+            .map_err(|e| DbError::Schema(format!("cannot open csv: {e}")))?;
+        self.catalog
+            .bulk_load_csv(name, std::io::BufReader::new(file), None)?;
+        Ok(())
     }
 
     /// Load a CSV file (header required, types inferred) as table `name`.
@@ -898,6 +967,92 @@ mod tests {
         assert_eq!(r.num_rows(), 1);
         assert_eq!(r.rows[0][0].as_str(), Some("bob"));
         assert!(db.load_csv("nope", dir.join("missing.csv")).is_err());
+    }
+
+    #[test]
+    fn persistent_tables_survive_reopen_and_drop_cleans_disk() {
+        let dir = std::env::temp_dir().join(format!("skinnerdb_open_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let expected;
+        {
+            let db = Database::open(&dir).unwrap();
+            assert!(db.has_data_dir());
+            db.create_table(
+                "t",
+                &[("x", DataType::Int), ("s", DataType::Str)],
+                (0..40)
+                    .map(|i| vec![Value::Int(i), Value::from(format!("s{}", i % 4).as_str())])
+                    .collect(),
+            )
+            .unwrap();
+            db.persist_table("t").unwrap();
+            assert!(db.catalog().is_persistent("t"));
+            expected = db
+                .query("SELECT t.x FROM t WHERE t.s = 's1' ORDER BY t.x")
+                .unwrap()
+                .canonical_rows();
+        }
+        {
+            let db = Database::open(&dir).unwrap();
+            let got = db
+                .query("SELECT t.x FROM t WHERE t.s = 's1' ORDER BY t.x")
+                .unwrap()
+                .canonical_rows();
+            assert_eq!(got, expected, "reloaded table must answer identically");
+            db.catalog().drop_table("t");
+        }
+        {
+            let db = Database::open(&dir).unwrap();
+            assert!(
+                db.catalog().get("t").is_none(),
+                "dropped persistent table must not reappear"
+            );
+            // No orphan segment files either.
+            let segs = std::fs::read_dir(&dir)
+                .unwrap()
+                .filter(|e| {
+                    e.as_ref()
+                        .unwrap()
+                        .path()
+                        .extension()
+                        .and_then(|x| x.to_str())
+                        == Some("seg")
+                })
+                .count();
+            assert_eq!(segs, 0);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bulk_load_requires_data_dir_and_registers_zoned_table() {
+        let dir = std::env::temp_dir().join(format!("skinnerdb_bulk_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("m.csv");
+        let mut body = String::from("id,v\n");
+        for i in 0..2000 {
+            body.push_str(&format!("{i},{}\n", i % 10));
+        }
+        std::fs::write(&csv, body).unwrap();
+
+        let db = Database::new();
+        assert!(matches!(
+            db.bulk_load_csv("m", &csv),
+            Err(DbError::Storage(
+                skinner_storage::disk::DiskError::NoDataDir
+            ))
+        ));
+        db.attach_data_dir(dir.join("data")).unwrap();
+        db.bulk_load_csv("m", &csv).unwrap();
+        let t = db.catalog().get("m").unwrap();
+        assert!(
+            t.zones().is_some(),
+            "bulk-loaded table must carry zone maps"
+        );
+        let r = db.query("SELECT m.id FROM m WHERE m.id < 5").unwrap();
+        assert_eq!(r.num_rows(), 5);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -192,7 +192,7 @@ pub use skinner_exec::{
     CancelToken, ExecContext, ExecMetrics, ExecOutcome, ExecutionStrategy, QueryResult,
     StrategyRegistry,
 };
-pub use skinner_storage::{DataType, Value};
+pub use skinner_storage::{DataType, DiskError, DiskStore, Value};
 
 // Re-export the component crates for advanced use (benchmarks, examples).
 pub use skinner_adaptive;
