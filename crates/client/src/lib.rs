@@ -4,6 +4,12 @@
 //! (see `skinner_server`'s crate docs for the wire format). Used by the
 //! integration tests, the throughput benchmark and `examples/`.
 //!
+//! The client negotiates protocol v2 and tags every request, which makes
+//! pipelining a first-class operation: [`Client::send_query`] puts a
+//! statement in flight and returns its tag immediately, [`Client::wait`]
+//! collects a specific tag's result, and interleaved response streams
+//! demultiplex by tag. The plain [`Client::query`] is just send + wait.
+//!
 //! ```no_run
 //! use skinner_client::Client;
 //!
@@ -12,11 +18,19 @@
 //! let result = client.query("SELECT n.x FROM nums n WHERE n.x < 3").unwrap();
 //! assert_eq!(result.rows.len(), 3);
 //!
+//! // Pipelining: several statements in flight on one connection.
+//! let a = client.send_query("SELECT n.x FROM nums n").unwrap();
+//! let b = client.send_query("SELECT n.x FROM nums n WHERE n.x = 1").unwrap();
+//! let rb = client.wait(b).unwrap(); // completion order is the client's choice
+//! let ra = client.wait(a).unwrap();
+//! assert!(ra.rows.len() >= rb.rows.len());
+//!
 //! // Out-of-band cancel: grab a handle, run the query elsewhere, cancel.
 //! let handle = client.cancel_handle();
 //! handle.cancel().unwrap();
 //! ```
 
+use std::collections::HashMap;
 use std::io::BufWriter;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -64,6 +78,7 @@ impl From<WireError> for ClientError {
         match e {
             WireError::Io(e) => ClientError::Io(e),
             WireError::Malformed(m) => ClientError::Protocol(m),
+            WireError::Oversize(m) => ClientError::Protocol(m),
         }
     }
 }
@@ -110,10 +125,10 @@ impl RemoteResult {
     }
 }
 
-/// Credential for cancelling the associated connection's running query
+/// Credential for cancelling the associated connection's running queries
 /// from another thread/connection. Cloneable and independent of the
 /// [`Client`]'s borrow state by design: cancel happens *while* the client
-/// is blocked in [`Client::query`].
+/// is blocked in [`Client::query`] / [`Client::wait`].
 #[derive(Debug, Clone)]
 pub struct CancelHandle {
     addr: SocketAddr,
@@ -122,7 +137,8 @@ pub struct CancelHandle {
 }
 
 impl CancelHandle {
-    /// Open a one-shot connection and cancel the target's running query.
+    /// Open a one-shot connection and cancel the target's in-flight
+    /// queries.
     pub fn cancel(&self) -> Result<(), ClientError> {
         let stream = TcpStream::connect(self.addr)?;
         let mut writer = BufWriter::new(stream.try_clone()?);
@@ -142,6 +158,20 @@ impl CancelHandle {
     }
 }
 
+/// Accumulator for one in-flight tag's response stream.
+#[derive(Default)]
+struct Partial {
+    columns: Vec<String>,
+    rows: Vec<Vec<Value>>,
+    text: Option<String>,
+}
+
+/// A finished tag's reply, parked until the caller waits for it.
+enum Reply {
+    Result(RemoteResult),
+    Prepared { id: u32, columns: Vec<String> },
+}
+
 /// A connection to a `skinner-server`.
 pub struct Client {
     reader: TcpStream,
@@ -149,11 +179,22 @@ pub struct Client {
     addr: SocketAddr,
     conn_id: u64,
     cancel_key: u64,
+    version: u32,
+    max_inflight: u32,
+    next_tag: u32,
+    pending: HashMap<u32, Partial>,
+    done: HashMap<u32, Result<Reply, ClientError>>,
 }
 
 impl Client {
-    /// Connect and handshake.
+    /// Connect and handshake under the default tenant.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        Client::connect_as(addr, "")
+    }
+
+    /// Connect and handshake, identifying as `tenant` for fair-share
+    /// admission (empty = the default tenant class).
+    pub fn connect_as(addr: impl ToSocketAddrs, tenant: &str) -> Result<Client, ClientError> {
         let addr = addr
             .to_socket_addrs()?
             .next()
@@ -167,19 +208,28 @@ impl Client {
             addr,
             conn_id: 0,
             cancel_key: 0,
+            version: 0,
+            max_inflight: 1,
+            next_tag: 1,
+            pending: HashMap::new(),
+            done: HashMap::new(),
         };
         Request::Hello {
             version: PROTOCOL_VERSION,
+            tenant: tenant.to_string(),
         }
         .write(&mut client.writer)?;
         match Response::read(&mut client.reader)? {
             Response::HelloOk {
-                version: _,
+                version,
                 conn_id,
                 cancel_key,
+                max_inflight,
             } => {
+                client.version = version;
                 client.conn_id = conn_id;
                 client.cancel_key = cancel_key;
+                client.max_inflight = max_inflight.max(1);
                 Ok(client)
             }
             Response::Error { code, message } => Err(ClientError::Server { code, message }),
@@ -210,6 +260,23 @@ impl Client {
         self.conn_id
     }
 
+    /// The negotiated protocol version.
+    pub fn protocol_version(&self) -> u32 {
+        self.version
+    }
+
+    /// The server's per-connection pipelining cap. Sending more than this
+    /// many statements is safe — the server just stops reading until
+    /// completions drain — but a self-limiting client keeps latency flat.
+    pub fn max_inflight(&self) -> u32 {
+        self.max_inflight
+    }
+
+    /// Statements sent but not yet collected with [`Client::wait`].
+    pub fn inflight(&self) -> usize {
+        self.pending.len() + self.done.len()
+    }
+
     /// A credential for out-of-band cancellation of this connection.
     pub fn cancel_handle(&self) -> CancelHandle {
         CancelHandle {
@@ -219,104 +286,161 @@ impl Client {
         }
     }
 
-    /// Run a SQL script (or a `SET`/`SHOW` command) and collect the reply.
-    pub fn query(&mut self, sql: &str) -> Result<RemoteResult, ClientError> {
-        Request::Query {
-            sql: sql.to_string(),
+    fn alloc_tag(&mut self) -> u32 {
+        loop {
+            let tag = self.next_tag;
+            self.next_tag = self.next_tag.wrapping_add(1).max(1);
+            if !self.pending.contains_key(&tag) && !self.done.contains_key(&tag) {
+                return tag;
+            }
+        }
+    }
+
+    fn send_tagged(&mut self, req: Request) -> Result<u32, ClientError> {
+        let tag = self.alloc_tag();
+        Request::Tagged {
+            tag,
+            req: Box::new(req),
         }
         .write(&mut self.writer)?;
-        self.read_result()
+        self.pending.insert(tag, Partial::default());
+        Ok(tag)
+    }
+
+    /// Pipeline a SQL script: send it and return its tag without waiting.
+    pub fn send_query(&mut self, sql: &str) -> Result<u32, ClientError> {
+        self.send_tagged(Request::Query {
+            sql: sql.to_string(),
+        })
+    }
+
+    /// Pipeline a prepared-statement execution.
+    pub fn send_execute(&mut self, id: u32) -> Result<u32, ClientError> {
+        self.send_tagged(Request::Execute { id })
+    }
+
+    /// Block until `tag`'s reply is complete and return it. Replies for
+    /// other tags arriving meanwhile are parked, not lost.
+    pub fn wait(&mut self, tag: u32) -> Result<RemoteResult, ClientError> {
+        match self.wait_reply(tag)? {
+            Reply::Result(r) => Ok(r),
+            Reply::Prepared { .. } => Err(ClientError::Protocol(format!(
+                "tag {tag}: expected a result stream, got PrepareOk"
+            ))),
+        }
+    }
+
+    fn wait_reply(&mut self, tag: u32) -> Result<Reply, ClientError> {
+        loop {
+            if let Some(reply) = self.done.remove(&tag) {
+                return reply;
+            }
+            if !self.pending.contains_key(&tag) {
+                return Err(ClientError::Protocol(format!("tag {tag} was never sent")));
+            }
+            let resp = Response::read(&mut self.reader)?;
+            self.route(resp)?;
+        }
+    }
+
+    /// File one incoming frame under its tag.
+    fn route(&mut self, resp: Response) -> Result<(), ClientError> {
+        let (tag, resp) = match resp {
+            Response::Tagged { tag, resp } => (tag, *resp),
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "untagged frame {other:?} outside handshake"
+                )))
+            }
+        };
+        let Some(partial) = self.pending.get_mut(&tag) else {
+            return Err(ClientError::Protocol(format!(
+                "frame for unknown tag {tag}"
+            )));
+        };
+        let finished: Option<Result<Reply, ClientError>> = match resp {
+            // SET and friends answered through Query: an empty result.
+            Response::Ok => Some(Ok(Reply::Result(RemoteResult {
+                columns: std::mem::take(&mut partial.columns),
+                rows: std::mem::take(&mut partial.rows),
+                text: partial.text.take(),
+                summary: QuerySummary::default(),
+            }))),
+            Response::RowHeader { columns } => {
+                partial.columns = columns;
+                None
+            }
+            Response::RowBatch { mut rows } => {
+                partial.rows.append(&mut rows);
+                None
+            }
+            Response::Text { text } => {
+                partial.text = Some(text);
+                None
+            }
+            Response::Done { summary } => Some(Ok(Reply::Result(RemoteResult {
+                columns: std::mem::take(&mut partial.columns),
+                rows: std::mem::take(&mut partial.rows),
+                text: partial.text.take(),
+                summary,
+            }))),
+            Response::PrepareOk { id, columns } => Some(Ok(Reply::Prepared { id, columns })),
+            Response::Error { code, message } => Some(Err(ClientError::Server { code, message })),
+            other => Some(Err(ClientError::Protocol(format!(
+                "unexpected result frame {other:?}"
+            )))),
+        };
+        if let Some(reply) = finished {
+            self.pending.remove(&tag);
+            self.done.insert(tag, reply);
+        }
+        Ok(())
+    }
+
+    /// Run a SQL script (or a `SET`/`SHOW` command) and collect the reply.
+    pub fn query(&mut self, sql: &str) -> Result<RemoteResult, ClientError> {
+        let tag = self.send_query(sql)?;
+        self.wait(tag)
     }
 
     /// Set a session option (`strategy`, `threads`, `work_limit`,
     /// `deadline_ms`, `output`).
     pub fn set(&mut self, key: &str, value: &str) -> Result<(), ClientError> {
-        Request::Set {
+        let tag = self.send_tagged(Request::Set {
             key: key.to_string(),
             value: value.to_string(),
-        }
-        .write(&mut self.writer)?;
-        self.expect_ok("set")
+        })?;
+        self.wait(tag).map(|_| ())
     }
 
     /// Prepare a SELECT; returns the statement id and output columns.
     pub fn prepare(&mut self, sql: &str) -> Result<(u32, Vec<String>), ClientError> {
-        Request::Prepare {
+        let tag = self.send_tagged(Request::Prepare {
             sql: sql.to_string(),
-        }
-        .write(&mut self.writer)?;
-        match Response::read(&mut self.reader)? {
-            Response::PrepareOk { id, columns } => Ok((id, columns)),
-            Response::Error { code, message } => Err(ClientError::Server { code, message }),
-            other => Err(ClientError::Protocol(format!(
-                "unexpected prepare response {other:?}"
-            ))),
+        })?;
+        match self.wait_reply(tag)? {
+            Reply::Prepared { id, columns } => Ok((id, columns)),
+            Reply::Result(_) => Err(ClientError::Protocol(
+                "expected PrepareOk, got a result stream".into(),
+            )),
         }
     }
 
     /// Execute a prepared statement.
     pub fn execute(&mut self, id: u32) -> Result<RemoteResult, ClientError> {
-        Request::Execute { id }.write(&mut self.writer)?;
-        self.read_result()
+        let tag = self.send_execute(id)?;
+        self.wait(tag)
     }
 
     /// Drop a prepared statement.
     pub fn close(&mut self, id: u32) -> Result<(), ClientError> {
-        Request::Close { id }.write(&mut self.writer)?;
-        self.expect_ok("close")
+        let tag = self.send_tagged(Request::Close { id })?;
+        self.wait(tag).map(|_| ())
     }
 
     /// Ask the server to shut down gracefully (drain + join + exit).
     pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
-        Request::Shutdown.write(&mut self.writer)?;
-        self.expect_ok("shutdown")
-    }
-
-    fn expect_ok(&mut self, what: &str) -> Result<(), ClientError> {
-        match Response::read(&mut self.reader)? {
-            Response::Ok => Ok(()),
-            Response::Error { code, message } => Err(ClientError::Server { code, message }),
-            other => Err(ClientError::Protocol(format!(
-                "unexpected {what} response {other:?}"
-            ))),
-        }
-    }
-
-    fn read_result(&mut self) -> Result<RemoteResult, ClientError> {
-        let mut columns: Vec<String> = Vec::new();
-        let mut rows: Vec<Vec<Value>> = Vec::new();
-        let mut text: Option<String> = None;
-        loop {
-            match Response::read(&mut self.reader)? {
-                // SET and friends answered through Query: an empty result.
-                Response::Ok => {
-                    return Ok(RemoteResult {
-                        columns,
-                        rows,
-                        text,
-                        summary: QuerySummary::default(),
-                    })
-                }
-                Response::RowHeader { columns: c } => columns = c,
-                Response::RowBatch { rows: mut batch } => rows.append(&mut batch),
-                Response::Text { text: t } => text = Some(t),
-                Response::Done { summary } => {
-                    return Ok(RemoteResult {
-                        columns,
-                        rows,
-                        text,
-                        summary,
-                    })
-                }
-                Response::Error { code, message } => {
-                    return Err(ClientError::Server { code, message })
-                }
-                other => {
-                    return Err(ClientError::Protocol(format!(
-                        "unexpected result frame {other:?}"
-                    )))
-                }
-            }
-        }
+        let tag = self.send_tagged(Request::Shutdown)?;
+        self.wait(tag).map(|_| ())
     }
 }

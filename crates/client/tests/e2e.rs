@@ -6,7 +6,7 @@ use std::time::{Duration, Instant};
 
 use skinner_client::Client;
 use skinner_server::protocol::{ErrorCode, Request, Response, PROTOCOL_VERSION};
-use skinner_server::{AdmissionConfig, Server, ServerConfig};
+use skinner_server::{AdmissionConfig, Server, ServerConfig, TenantClass};
 use skinnerdb::{DataType, Database, Value};
 
 /// Shared fixture schema: a join pair (t, u), a mid-size table for slow
@@ -32,7 +32,7 @@ fn fixture_db() -> Database {
     db.create_table(
         "mid",
         &[("x", DataType::Int)],
-        (0..400).map(|i| vec![Value::Int(i)]).collect(),
+        (0..220).map(|i| vec![Value::Int(i)]).collect(),
     )
     .unwrap();
     db.create_table(
@@ -285,6 +285,7 @@ fn cancel_while_queued_at_the_admission_gate_is_not_lost() {
             max_concurrent: 1,
             queue_depth: 4,
             queue_timeout: Duration::from_secs(60),
+            ..AdmissionConfig::default()
         },
         ..ServerConfig::default()
     });
@@ -353,6 +354,7 @@ fn oversubscribed_burst_sheds_explicitly_and_never_hangs() {
             max_concurrent: 1,
             queue_depth: 1,
             queue_timeout: Duration::from_millis(200),
+            ..AdmissionConfig::default()
         },
         ..ServerConfig::default()
     });
@@ -483,6 +485,7 @@ fn protocol_version_mismatch_is_refused() {
     let stream = std::net::TcpStream::connect(&addr).unwrap();
     Request::Hello {
         version: PROTOCOL_VERSION + 999,
+        tenant: String::new(),
     }
     .write(&mut &stream)
     .unwrap();
@@ -490,5 +493,177 @@ fn protocol_version_mismatch_is_refused() {
         Response::Error { code, .. } => assert_eq!(code, ErrorCode::Protocol),
         other => panic!("expected version refusal, got {other:?}"),
     }
+    server.shutdown();
+}
+
+/// Pull one metric out of a `SHOW SERVER STATS` result.
+fn stat(r: &skinner_client::RemoteResult, key: &str) -> i64 {
+    r.rows
+        .iter()
+        .find(|row| row[0].as_str() == Some(key))
+        .unwrap_or_else(|| panic!("metric {key} missing"))[1]
+        .as_i64()
+        .unwrap()
+}
+
+#[test]
+fn pipelined_statements_interleave_and_complete_out_of_order() {
+    let (mut server, addr) = default_server();
+    let db = server.database().clone();
+    let expected: Vec<Vec<String>> = QUERIES
+        .iter()
+        .map(|q| db.query_with(q, "reference").unwrap().canonical_rows())
+        .collect();
+    let mut client = Client::connect(&addr).unwrap();
+    assert_eq!(client.protocol_version(), PROTOCOL_VERSION);
+    assert!(client.max_inflight() > 1, "v2 must allow pipelining");
+    // Put nine statements in flight at once, then collect them newest
+    // first: responses for other tags must be parked, not lost, and each
+    // tag's stream must demultiplex to the right query.
+    let tags: Vec<(u32, usize)> = (0..9)
+        .map(|i| (client.send_query(QUERIES[i % 3]).unwrap(), i % 3))
+        .collect();
+    assert_eq!(client.inflight(), 9);
+    for (tag, qi) in tags.into_iter().rev() {
+        let got = client.wait(tag).unwrap();
+        assert_eq!(
+            got.into_query_result().canonical_rows(),
+            expected[qi],
+            "tag {tag} returned the wrong query's rows"
+        );
+    }
+    assert_eq!(client.inflight(), 0);
+    server.shutdown();
+}
+
+#[test]
+fn idle_connections_are_reaped_and_their_slots_released() {
+    let (mut server, addr) = start(ServerConfig {
+        idle_timeout: Some(Duration::from_millis(150)),
+        max_connections: 1,
+        ..ServerConfig::default()
+    });
+    let mut idle = Client::connect(&addr).unwrap();
+    assert_eq!(idle.query(QUERIES[1]).unwrap().rows.len(), 18);
+    // The sweep runs about once a second; wait past idle deadline + sweep.
+    std::thread::sleep(Duration::from_millis(2500));
+    // The only connection slot was held by the idle client; a newcomer
+    // fitting means the reap released it.
+    let mut second = Client::connect(&addr).expect("reaped slot must be reusable");
+    let stats = second.query("SHOW SERVER STATS").unwrap();
+    assert!(stat(&stats, "connections_reaped_idle") >= 1);
+    assert!(
+        idle.query(QUERIES[0]).is_err(),
+        "reaped connection must be closed"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn tenant_classes_are_tracked_through_admission() {
+    let (mut server, addr) = start(ServerConfig {
+        admission: AdmissionConfig {
+            tenants: vec![
+                TenantClass {
+                    name: "gold".into(),
+                    weight: 3,
+                },
+                TenantClass {
+                    name: "bronze".into(),
+                    weight: 1,
+                },
+            ],
+            ..AdmissionConfig::default()
+        },
+        ..ServerConfig::default()
+    });
+    let mut gold = Client::connect_as(&addr, "gold").unwrap();
+    let mut bronze = Client::connect_as(&addr, "bronze").unwrap();
+    assert_eq!(gold.query(QUERIES[1]).unwrap().rows.len(), 18);
+    assert_eq!(bronze.query(QUERIES[1]).unwrap().rows.len(), 18);
+    let stats = gold.query("SHOW SERVER STATS").unwrap();
+    assert_eq!(stat(&stats, "tenant.gold.weight"), 3);
+    assert_eq!(stat(&stats, "tenant.bronze.weight"), 1);
+    assert!(stat(&stats, "tenant.gold.admitted") >= 1);
+    assert!(stat(&stats, "tenant.bronze.admitted") >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn clean_shutdown_wakes_the_waiter_within_10ms() {
+    let (server, addr) = default_server();
+    let waiter = std::thread::spawn(move || {
+        let mut server = server;
+        server.wait();
+        let latency = server.shutdown_wake_latency().expect("latency recorded");
+        server.shutdown();
+        latency
+    });
+    let mut client = Client::connect_with_retry(&addr, Duration::from_secs(5)).unwrap();
+    // Let the waiter actually park on the condvar before firing.
+    std::thread::sleep(Duration::from_millis(100));
+    client.shutdown_server().unwrap();
+    let latency = waiter.join().unwrap();
+    assert!(
+        latency < Duration::from_millis(10),
+        "shutdown wake took {latency:?}, want < 10ms (condvar, not a poll loop)"
+    );
+}
+
+#[test]
+fn protocol_fuzz_under_pipelining_never_wedges_the_server() {
+    let (mut server, addr) = default_server();
+    // Hostile byte streams, each on its own connection: truncated length
+    // prefix, truncated payload, absurd length, garbage message tag.
+    let hostile: Vec<Vec<u8>> = vec![
+        vec![0x03],
+        vec![0x10, 0x00, 0x00, 0x00],
+        {
+            let mut b = vec![0xff, 0xff, 0xff, 0x7f];
+            b.extend_from_slice(&[0u8; 64]);
+            b
+        },
+        vec![0x08, 0, 0, 0, 0xDE, 0xAD, 0xBE, 0xEF, 1, 2, 3, 4],
+        // A valid Hello followed by a frame that lies about its length.
+        {
+            let mut b = Vec::new();
+            Request::Hello {
+                version: PROTOCOL_VERSION,
+                tenant: String::new(),
+            }
+            .write(&mut b)
+            .unwrap();
+            b.extend_from_slice(&[0xAA, 0x00, 0x00, 0x00, 0x05]);
+            b
+        },
+    ];
+    for bytes in hostile {
+        use std::io::{Read, Write};
+        let mut s = std::net::TcpStream::connect(&addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        s.write_all(&bytes).unwrap();
+        let _ = s.shutdown(std::net::Shutdown::Write);
+        let mut sink = Vec::new();
+        let _ = s.read_to_end(&mut sink); // server must close, not hang
+    }
+    // Cancel racing an in-flight pipeline: a torture query and a quick
+    // one share the connection; the out-of-band cancel kills whatever is
+    // still running without corrupting tag demultiplexing.
+    let mut c = Client::connect(&addr).unwrap();
+    let handle = c.cancel_handle();
+    let slow = c.send_query(TORTURE).unwrap();
+    let quick = c.send_query(QUERIES[0]).unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+    handle.cancel().unwrap();
+    let err = c.wait(slow).expect_err("torture query must be cancelled");
+    assert!(err.is_cancelled(), "got {err}");
+    match c.wait(quick) {
+        Ok(r) => assert_eq!(r.rows.len(), 5),
+        Err(e) => assert!(e.is_cancelled(), "got {e}"),
+    }
+    // The connection and the server both survive.
+    assert_eq!(c.query(QUERIES[1]).unwrap().rows.len(), 18);
+    let mut fresh = Client::connect(&addr).unwrap();
+    assert_eq!(fresh.query(QUERIES[1]).unwrap().rows.len(), 18);
     server.shutdown();
 }

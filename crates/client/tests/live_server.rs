@@ -59,6 +59,44 @@ fn live_server_suite() {
     assert!(err.is_cancelled(), "got {err}");
     assert!(t0.elapsed() < Duration::from_secs(1), "{:?}", t0.elapsed());
 
+    // Pipelining: several tagged statements in flight on one connection,
+    // collected out of order.
+    let t1 = client.send_query(sql).unwrap();
+    let t2 = client
+        .send_query("SELECT p.label FROM products p ORDER BY p.label")
+        .unwrap();
+    let r2 = client.wait(t2).unwrap();
+    let r1 = client.wait(t1).unwrap();
+    assert_eq!(r2.rows.len(), 3);
+    assert_eq!(
+        r1.into_query_result().canonical_rows(),
+        learned.canonical_rows()
+    );
+
+    // Connection-scale soak (CI sets SKINNER_LIVE_CONNS=1000 under a
+    // raised ulimit): hold N idle connections open simultaneously, then
+    // prove the server still answers queries through the crowd.
+    if let Ok(n) = std::env::var("SKINNER_LIVE_CONNS") {
+        let n: usize = n.parse().expect("SKINNER_LIVE_CONNS must be a number");
+        let t0 = Instant::now();
+        let mut herd = Vec::with_capacity(n);
+        for i in 0..n {
+            match Client::connect(addr.as_str()) {
+                Ok(c) => herd.push(c),
+                Err(e) => panic!("connection {i}/{n} refused: {e}"),
+            }
+        }
+        eprintln!("opened {n} concurrent connections in {:?}", t0.elapsed());
+        // A sample of the herd runs a real query while the rest idle.
+        for c in herd.iter_mut().step_by((n / 16).max(1)) {
+            assert_eq!(
+                c.query("SELECT p.id FROM products p").unwrap().rows.len(),
+                3
+            );
+        }
+        drop(herd);
+    }
+
     // Stats reflect the traffic.
     let stats = client
         .query("SHOW SERVER STATS")

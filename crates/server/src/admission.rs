@@ -1,4 +1,4 @@
-//! Server-level admission control.
+//! Server-level admission control with per-tenant fair sharing.
 //!
 //! A global concurrency gate built on the library's [`WorkBudget`]: the
 //! budget's limit is the number of queries allowed to execute at once, and
@@ -9,15 +9,47 @@
 //! with an explicit `Overloaded` error instead of piling up. Overload
 //! therefore degrades predictably: at most `max_concurrent` queries run,
 //! at most `queue_depth` wait, everyone else is told to back off.
+//!
+//! ## Tenant classes
+//!
+//! Every admission names a *tenant* (the `Hello` handshake's tenant
+//! field; empty = `"default"`). Each tenant is guaranteed a weighted fair
+//! share of the execution slots: with active weights `w_i`, tenant `i` is
+//! guaranteed `max(1, max_concurrent · w_i / Σw)` slots. A tenant may
+//! burst past its share while slots are idle (the gate is
+//! work-conserving), but once a *below-share* tenant is waiting, tenants
+//! at or above their share are held back — so one heavy tenant cannot
+//! starve the rest.
+//!
+//! ## Event-loop split
+//!
+//! The event-loop server must never block, so admission is two-phase:
+//! [`AdmissionGate::begin`] is non-blocking — it either grants
+//! immediately, sheds, or returns a queued [`Ticket`]; the blocking
+//! [`Ticket::wait`] then runs on a pool worker thread, not on the event
+//! loop. The one-call [`AdmissionGate::admit`] wraps both for blocking
+//! callers (tests, benches).
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use skinnerdb::skinner_exec::{WorkBudget, WorkPermit};
 
+/// Name of the admission class used when a client doesn't pick one.
+pub const DEFAULT_TENANT: &str = "default";
+
+/// One configured admission class: tenants with a higher weight are
+/// guaranteed proportionally more concurrent execution slots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantClass {
+    pub name: String,
+    pub weight: u32,
+}
+
 /// Gate sizing.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct AdmissionConfig {
     /// Queries allowed to execute concurrently across all connections.
     pub max_concurrent: usize,
@@ -25,6 +57,11 @@ pub struct AdmissionConfig {
     pub queue_depth: usize,
     /// How long a queued arrival waits before being shed.
     pub queue_timeout: Duration,
+    /// Configured tenant classes; tenants not listed here get
+    /// [`AdmissionConfig::default_weight`].
+    pub tenants: Vec<TenantClass>,
+    /// Weight for tenants without an explicit [`TenantClass`].
+    pub default_weight: u32,
 }
 
 impl Default for AdmissionConfig {
@@ -33,15 +70,28 @@ impl Default for AdmissionConfig {
             max_concurrent: skinnerdb::skinner_exec::default_threads().max(2),
             queue_depth: 64,
             queue_timeout: Duration::from_secs(10),
+            tenants: Vec::new(),
+            default_weight: 1,
         }
     }
 }
 
-/// Outcome of asking the gate for a slot.
+/// Outcome of asking the gate for a slot (blocking path).
 pub enum Admission {
     /// Run now; drop the permit when the query finishes.
-    Granted(WorkPermit),
+    Granted(TenantPermit),
     /// Load-shed: the queue was full, or the wait timed out.
+    Shed(ShedReason),
+}
+
+/// Outcome of the non-blocking [`AdmissionGate::begin`].
+pub enum Begin {
+    /// Run now.
+    Granted(TenantPermit),
+    /// Queued: hand the ticket to a thread that may block and call
+    /// [`Ticket::wait`].
+    Queued(Ticket),
+    /// Load-shed immediately (queue full or gate closed).
     Shed(ShedReason),
 }
 
@@ -70,15 +120,42 @@ impl ShedReason {
     }
 }
 
-/// The gate itself. Cheap to share (`Arc` inside).
+#[derive(Debug, Default)]
+struct TenantCounts {
+    weight: u32,
+    inflight: u32,
+    waiting: u32,
+    admitted: u64,
+    shed: u64,
+}
+
+#[derive(Debug, Default)]
+struct GateState {
+    tenants: HashMap<String, TenantCounts>,
+    waiting_total: usize,
+}
+
+/// A point-in-time view of one tenant's admission counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantStat {
+    pub name: String,
+    pub weight: u32,
+    pub inflight: u32,
+    pub waiting: u32,
+    pub admitted: u64,
+    pub shed: u64,
+}
+
+/// The gate itself. Cheap to share (`Arc` inside); the permit-returning
+/// entry points take `&Arc<Self>` so permits can hold the gate alive.
 pub struct AdmissionGate {
     cfg: AdmissionConfig,
     slots: Arc<WorkBudget>,
-    queued: Mutex<usize>,
+    state: Mutex<GateState>,
     freed: Condvar,
     shed_total: AtomicU64,
     admitted_total: AtomicU64,
-    closed: std::sync::atomic::AtomicBool,
+    closed: AtomicBool,
 }
 
 impl AdmissionGate {
@@ -86,11 +163,11 @@ impl AdmissionGate {
         AdmissionGate {
             slots: Arc::new(WorkBudget::with_limit(cfg.max_concurrent.max(1) as u64)),
             cfg,
-            queued: Mutex::new(0),
+            state: Mutex::new(GateState::default()),
             freed: Condvar::new(),
             shed_total: AtomicU64::new(0),
             admitted_total: AtomicU64::new(0),
-            closed: std::sync::atomic::AtomicBool::new(false),
+            closed: AtomicBool::new(false),
         }
     }
 
@@ -98,7 +175,7 @@ impl AdmissionGate {
     /// arrival is shed immediately with [`ShedReason::Closed`].
     pub fn close(&self) {
         self.closed.store(true, Ordering::SeqCst);
-        let _guard = self.queued.lock().unwrap();
+        let _guard = self.state.lock().unwrap();
         self.freed.notify_all();
     }
 
@@ -106,71 +183,132 @@ impl AdmissionGate {
         &self.cfg
     }
 
-    /// Ask for an execution slot, waiting in the bounded queue if needed.
-    pub fn admit(&self) -> Admission {
-        if self.closed.load(Ordering::SeqCst) {
-            self.shed_total.fetch_add(1, Ordering::Relaxed);
-            return Admission::Shed(ShedReason::Closed);
-        }
-        if let Some(permit) = self.slots.acquire(1) {
-            self.admitted_total.fetch_add(1, Ordering::Relaxed);
-            return Admission::Granted(permit);
-        }
-        // Queue up — but only if there is room.
-        {
-            let mut queued = self.queued.lock().unwrap();
-            if *queued >= self.cfg.queue_depth {
-                self.shed_total.fetch_add(1, Ordering::Relaxed);
-                return Admission::Shed(ShedReason::QueueFull);
+    fn weight_of(&self, tenant: &str) -> u32 {
+        self.cfg
+            .tenants
+            .iter()
+            .find(|t| t.name == tenant)
+            .map(|t| t.weight)
+            .unwrap_or(self.cfg.default_weight)
+            .max(1)
+    }
+
+    /// Guaranteed concurrent slots for `tenant` given the currently
+    /// *active* tenants (those with in-flight or waiting work; `tenant`
+    /// itself always counts).
+    fn share(&self, state: &GateState, tenant: &str) -> u64 {
+        let mut total: u64 = 0;
+        let mut mine: u64 = 0;
+        for (name, c) in &state.tenants {
+            let active = c.inflight > 0 || c.waiting > 0 || name == tenant;
+            if active {
+                total += u64::from(c.weight.max(1));
+                if name == tenant {
+                    mine = u64::from(c.weight.max(1));
+                }
             }
-            *queued += 1;
         }
-        let admission = self.wait_for_slot();
-        *self.queued.lock().unwrap() -= 1;
-        if matches!(admission, Admission::Shed(_)) {
-            self.shed_total.fetch_add(1, Ordering::Relaxed);
+        if mine == 0 {
+            // Tenant not in the map yet (first contact).
+            mine = u64::from(self.weight_of(tenant));
+            total += mine;
+        }
+        ((self.cfg.max_concurrent as u64) * mine / total.max(1)).max(1)
+    }
+
+    /// True when some *other* tenant has a queued waiter and is below its
+    /// guaranteed share — the condition that suspends work-conserving
+    /// bursts above one's own share.
+    fn hungrier_waiter_exists(&self, state: &GateState, tenant: &str) -> bool {
+        state.tenants.iter().any(|(name, c)| {
+            name != tenant && c.waiting > 0 && u64::from(c.inflight) < self.share(state, name)
+        })
+    }
+
+    /// Try to take a slot for `tenant` under the fair-share policy.
+    fn try_grant(&self, state: &GateState, tenant: &str) -> Option<WorkPermit> {
+        let my_inflight = state
+            .tenants
+            .get(tenant)
+            .map(|c| u64::from(c.inflight))
+            .unwrap_or(0);
+        let allowed =
+            my_inflight < self.share(state, tenant) || !self.hungrier_waiter_exists(state, tenant);
+        if !allowed {
+            return None;
+        }
+        self.slots.acquire(1)
+    }
+
+    fn record_grant(&self, state: &mut MutexGuard<'_, GateState>, tenant: &str) {
+        let e = state.tenants.get_mut(tenant).expect("tenant entry exists");
+        e.inflight += 1;
+        e.admitted += 1;
+        self.admitted_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_shed(&self, state: &mut MutexGuard<'_, GateState>, tenant: &str) {
+        if let Some(e) = state.tenants.get_mut(tenant) {
+            e.shed += 1;
+        }
+        self.shed_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn ensure_tenant(&self, state: &mut MutexGuard<'_, GateState>, tenant: &str) {
+        let weight = self.weight_of(tenant);
+        state
+            .tenants
+            .entry(tenant.to_string())
+            .or_insert_with(|| TenantCounts {
+                weight,
+                ..TenantCounts::default()
+            });
+    }
+
+    /// Non-blocking admission for the event loop: grant, queue (returning
+    /// a [`Ticket`] whose blocking `wait` belongs on a worker thread), or
+    /// shed.
+    pub fn begin(self: &Arc<Self>, tenant: &str) -> Begin {
+        let tenant = if tenant.is_empty() {
+            DEFAULT_TENANT
         } else {
-            self.admitted_total.fetch_add(1, Ordering::Relaxed);
+            tenant
+        };
+        let mut state = self.state.lock().unwrap();
+        self.ensure_tenant(&mut state, tenant);
+        if self.closed.load(Ordering::SeqCst) {
+            self.record_shed(&mut state, tenant);
+            return Begin::Shed(ShedReason::Closed);
         }
-        admission
+        if let Some(permit) = self.try_grant(&state, tenant) {
+            self.record_grant(&mut state, tenant);
+            return Begin::Granted(TenantPermit {
+                gate: self.clone(),
+                tenant: tenant.to_string(),
+                permit: Some(permit),
+            });
+        }
+        if state.waiting_total >= self.cfg.queue_depth {
+            self.record_shed(&mut state, tenant);
+            return Begin::Shed(ShedReason::QueueFull);
+        }
+        state.waiting_total += 1;
+        state.tenants.get_mut(tenant).expect("entry").waiting += 1;
+        Begin::Queued(Ticket {
+            gate: self.clone(),
+            tenant: tenant.to_string(),
+            deadline: Instant::now() + self.cfg.queue_timeout,
+            queued: true,
+        })
     }
 
-    fn wait_for_slot(&self) -> Admission {
-        let deadline = Instant::now() + self.cfg.queue_timeout;
-        let mut guard = self.queued.lock().unwrap();
-        loop {
-            if self.closed.load(Ordering::SeqCst) {
-                return Admission::Shed(ShedReason::Closed);
-            }
-            if let Some(permit) = self.slots.acquire(1) {
-                return Admission::Granted(permit);
-            }
-            let now = Instant::now();
-            if now >= deadline {
-                return Admission::Shed(ShedReason::QueueTimeout);
-            }
-            let (g, timeout) = self.freed.wait_timeout(guard, deadline - now).unwrap();
-            guard = g;
-            if timeout.timed_out() {
-                // One last try before giving up (a slot may have freed
-                // exactly at the deadline).
-                return match self.slots.acquire(1) {
-                    Some(permit) => Admission::Granted(permit),
-                    None => Admission::Shed(ShedReason::QueueTimeout),
-                };
-            }
+    /// Blocking admission: [`AdmissionGate::begin`] plus the queue wait.
+    pub fn admit(self: &Arc<Self>, tenant: &str) -> Admission {
+        match self.begin(tenant) {
+            Begin::Granted(p) => Admission::Granted(p),
+            Begin::Queued(ticket) => ticket.wait(),
+            Begin::Shed(r) => Admission::Shed(r),
         }
-    }
-
-    /// Called when an admitted query finishes (after its permit dropped)
-    /// so a queued arrival can claim the freed slot. [`SlotGuard`] does
-    /// this automatically.
-    pub fn on_release(&self) {
-        // Take the queue lock before notifying: a waiter holds it between
-        // its failed `acquire` and its `wait`, so locking here makes the
-        // notify impossible to lose in that window.
-        let _guard = self.queued.lock().unwrap();
-        self.freed.notify_one();
     }
 
     /// Queries currently holding an execution slot.
@@ -180,7 +318,7 @@ impl AdmissionGate {
 
     /// Arrivals currently waiting in the queue.
     pub fn queued(&self) -> usize {
-        *self.queued.lock().unwrap()
+        self.state.lock().unwrap().waiting_total
     }
 
     /// Total queries shed since startup.
@@ -192,28 +330,144 @@ impl AdmissionGate {
     pub fn admitted_total(&self) -> u64 {
         self.admitted_total.load(Ordering::Relaxed)
     }
+
+    /// Per-tenant counters, sorted by tenant name (for `SHOW SERVER
+    /// STATS`).
+    pub fn tenant_snapshot(&self) -> Vec<TenantStat> {
+        let state = self.state.lock().unwrap();
+        let mut out: Vec<TenantStat> = state
+            .tenants
+            .iter()
+            .map(|(name, c)| TenantStat {
+                name: name.clone(),
+                weight: c.weight,
+                inflight: c.inflight,
+                waiting: c.waiting,
+                admitted: c.admitted,
+                shed: c.shed,
+            })
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
 }
 
-/// RAII guard pairing the slot permit with the wake-up: dropping it frees
-/// the slot *and* notifies one queued waiter.
-pub struct SlotGuard {
+/// A queued admission: blocks in [`Ticket::wait`] until a slot frees (or
+/// timeout/closure sheds it). Dropping an unwaited ticket dequeues it.
+pub struct Ticket {
     gate: Arc<AdmissionGate>,
-    permit: Option<WorkPermit>,
+    tenant: String,
+    deadline: Instant,
+    queued: bool,
 }
 
-impl SlotGuard {
-    pub fn new(gate: Arc<AdmissionGate>, permit: WorkPermit) -> Self {
-        SlotGuard {
-            gate,
-            permit: Some(permit),
+impl Ticket {
+    /// The tenant this ticket queues for.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// Block until granted, shed by timeout, or shed by gate closure.
+    pub fn wait(mut self) -> Admission {
+        let gate = self.gate.clone();
+        let mut state = gate.state.lock().unwrap();
+        loop {
+            if gate.closed.load(Ordering::SeqCst) {
+                self.dequeue(&mut state);
+                gate.record_shed(&mut state, &self.tenant);
+                drop(state);
+                gate.freed.notify_all();
+                return Admission::Shed(ShedReason::Closed);
+            }
+            // Try to claim a slot with ourselves off the waiting books (a
+            // waiter is not "hungrier" than itself).
+            self.dequeue(&mut state);
+            if let Some(permit) = gate.try_grant(&state, &self.tenant) {
+                gate.record_grant(&mut state, &self.tenant);
+                return Admission::Granted(TenantPermit {
+                    gate: gate.clone(),
+                    tenant: self.tenant.clone(),
+                    permit: Some(permit),
+                });
+            }
+            self.requeue(&mut state);
+            let now = Instant::now();
+            if now >= self.deadline {
+                self.dequeue(&mut state);
+                gate.record_shed(&mut state, &self.tenant);
+                drop(state);
+                // Fairness state changed (one fewer waiter): re-evaluate.
+                gate.freed.notify_all();
+                return Admission::Shed(ShedReason::QueueTimeout);
+            }
+            state = gate
+                .freed
+                .wait_timeout(state, self.deadline - now)
+                .unwrap()
+                .0;
+        }
+    }
+
+    fn dequeue(&mut self, state: &mut MutexGuard<'_, GateState>) {
+        if self.queued {
+            self.queued = false;
+            state.waiting_total -= 1;
+            if let Some(e) = state.tenants.get_mut(&self.tenant) {
+                e.waiting -= 1;
+            }
+        }
+    }
+
+    fn requeue(&mut self, state: &mut MutexGuard<'_, GateState>) {
+        if !self.queued {
+            self.queued = true;
+            state.waiting_total += 1;
+            if let Some(e) = state.tenants.get_mut(&self.tenant) {
+                e.waiting += 1;
+            }
         }
     }
 }
 
-impl Drop for SlotGuard {
+impl Drop for Ticket {
     fn drop(&mut self) {
-        self.permit.take(); // refund the slot first …
-        self.gate.on_release(); // … then wake a waiter.
+        if self.queued {
+            let gate = self.gate.clone();
+            let mut state = gate.state.lock().unwrap();
+            self.dequeue(&mut state);
+            drop(state);
+            gate.freed.notify_all();
+        }
+    }
+}
+
+/// RAII admission: holds one execution slot on behalf of a tenant.
+/// Dropping it refunds the slot, decrements the tenant's in-flight count
+/// and wakes queued waiters (all of them — under fair sharing only a
+/// specific tenant's waiter may be eligible, and a targeted wake-up can't
+/// know which).
+pub struct TenantPermit {
+    gate: Arc<AdmissionGate>,
+    tenant: String,
+    permit: Option<WorkPermit>,
+}
+
+impl TenantPermit {
+    /// The tenant this permit was granted to.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+}
+
+impl Drop for TenantPermit {
+    fn drop(&mut self) {
+        let mut state = self.gate.state.lock().unwrap();
+        if let Some(e) = state.tenants.get_mut(&self.tenant) {
+            e.inflight = e.inflight.saturating_sub(1);
+        }
+        self.permit.take(); // refund the slot …
+        drop(state);
+        self.gate.freed.notify_all(); // … then wake every waiter.
     }
 }
 
@@ -227,18 +481,19 @@ mod tests {
             max_concurrent,
             queue_depth,
             queue_timeout: Duration::from_millis(timeout_ms),
+            ..AdmissionConfig::default()
         }))
     }
 
     #[test]
     fn grants_up_to_capacity_then_sheds_past_queue() {
         let g = gate(2, 0, 50);
-        let a = g.admit();
-        let b = g.admit();
+        let a = g.admit("");
+        let b = g.admit("");
         assert!(matches!(a, Admission::Granted(_)));
         assert!(matches!(b, Admission::Granted(_)));
         // Queue depth 0: third arrival is shed immediately.
-        match g.admit() {
+        match g.admit("") {
             Admission::Shed(ShedReason::QueueFull) => {}
             _ => panic!("expected immediate shed"),
         }
@@ -249,12 +504,12 @@ mod tests {
     #[test]
     fn released_slot_admits_a_queued_waiter() {
         let g = gate(1, 4, 5_000);
-        let first = match g.admit() {
-            Admission::Granted(p) => SlotGuard::new(g.clone(), p),
+        let first = match g.admit("") {
+            Admission::Granted(p) => p,
             _ => panic!(),
         };
         let g2 = g.clone();
-        let waiter = std::thread::spawn(move || match g2.admit() {
+        let waiter = std::thread::spawn(move || match g2.admit("") {
             Admission::Granted(_) => true,
             Admission::Shed(_) => false,
         });
@@ -270,12 +525,12 @@ mod tests {
     #[test]
     fn queued_waiters_time_out_to_shed() {
         let g = gate(1, 4, 30);
-        let _hold = match g.admit() {
-            Admission::Granted(p) => SlotGuard::new(g.clone(), p),
+        let _hold = match g.admit("") {
+            Admission::Granted(p) => p,
             _ => panic!(),
         };
         let started = Instant::now();
-        match g.admit() {
+        match g.admit("") {
             Admission::Shed(ShedReason::QueueTimeout) => {}
             _ => panic!("expected queue timeout"),
         }
@@ -289,12 +544,12 @@ mod tests {
     #[test]
     fn closing_the_gate_sheds_waiters_and_arrivals() {
         let g = gate(1, 4, 60_000);
-        let _hold = match g.admit() {
-            Admission::Granted(p) => SlotGuard::new(g.clone(), p),
+        let _hold = match g.admit("") {
+            Admission::Granted(p) => p,
             _ => panic!(),
         };
         let g2 = g.clone();
-        let waiter = std::thread::spawn(move || g2.admit());
+        let waiter = std::thread::spawn(move || g2.admit(""));
         while g.queued() == 0 {
             std::thread::yield_now();
         }
@@ -303,23 +558,23 @@ mod tests {
             waiter.join().unwrap(),
             Admission::Shed(ShedReason::Closed)
         ));
-        assert!(matches!(g.admit(), Admission::Shed(ShedReason::Closed)));
+        assert!(matches!(g.admit(""), Admission::Shed(ShedReason::Closed)));
     }
 
     #[test]
     fn queue_is_bounded() {
         let g = gate(1, 1, 400);
-        let _hold = match g.admit() {
-            Admission::Granted(p) => SlotGuard::new(g.clone(), p),
+        let _hold = match g.admit("") {
+            Admission::Granted(p) => p,
             _ => panic!(),
         };
         let g2 = g.clone();
-        let queued = std::thread::spawn(move || matches!(g2.admit(), Admission::Shed(_)));
+        let queued = std::thread::spawn(move || matches!(g2.admit(""), Admission::Shed(_)));
         while g.queued() == 0 {
             std::thread::yield_now();
         }
         // Queue of 1 is occupied: the next arrival is shed instantly.
-        match g.admit() {
+        match g.admit("") {
             Admission::Shed(ShedReason::QueueFull) => {}
             _ => panic!("expected queue-full shed"),
         }
@@ -327,5 +582,130 @@ mod tests {
         // while _hold lives).
         assert!(queued.join().unwrap());
         assert_eq!(g.shed_total(), 2);
+    }
+
+    #[test]
+    fn begin_is_nonblocking_and_tickets_wait() {
+        let g = gate(1, 4, 5_000);
+        let held = match g.begin("") {
+            Begin::Granted(p) => p,
+            _ => panic!("first arrival must be granted"),
+        };
+        let ticket = match g.begin("") {
+            Begin::Queued(t) => t,
+            _ => panic!("second arrival must queue"),
+        };
+        assert_eq!(g.queued(), 1);
+        let waiter = std::thread::spawn(move || ticket.wait());
+        std::thread::sleep(Duration::from_millis(30));
+        drop(held);
+        assert!(matches!(waiter.join().unwrap(), Admission::Granted(_)));
+        assert_eq!(g.queued(), 0);
+    }
+
+    #[test]
+    fn dropping_an_unwaited_ticket_dequeues_it() {
+        let g = gate(1, 2, 5_000);
+        let _held = match g.begin("") {
+            Begin::Granted(p) => p,
+            _ => panic!(),
+        };
+        let ticket = match g.begin("") {
+            Begin::Queued(t) => t,
+            _ => panic!(),
+        };
+        assert_eq!(g.queued(), 1);
+        drop(ticket); // e.g. the dispatch path died before waiting
+        assert_eq!(g.queued(), 0);
+    }
+
+    /// The fair-share core: a released slot goes to the *below-share*
+    /// tenant's waiter, not the heavy tenant that already holds slots.
+    #[test]
+    fn below_share_tenant_preempts_heavy_tenants_queue() {
+        let g = Arc::new(AdmissionGate::new(AdmissionConfig {
+            max_concurrent: 2,
+            queue_depth: 8,
+            queue_timeout: Duration::from_secs(30),
+            ..AdmissionConfig::default()
+        }));
+        // Heavy tenant A grabs both slots while alone (work-conserving).
+        let a1 = match g.admit("a") {
+            Admission::Granted(p) => p,
+            _ => panic!(),
+        };
+        let _a2 = match g.admit("a") {
+            Admission::Granted(p) => p,
+            _ => panic!(),
+        };
+        // A queues a third; B queues its first.
+        let ga = g.clone();
+        let a_waiter = std::thread::spawn(move || ga.admit("a"));
+        while g.queued() < 1 {
+            std::thread::yield_now();
+        }
+        let gb = g.clone();
+        let b_waiter = std::thread::spawn(move || gb.admit("b"));
+        while g.queued() < 2 {
+            std::thread::yield_now();
+        }
+        // One A slot frees: B (inflight 0 < share 1) must win it even
+        // though A's waiter queued first.
+        drop(a1);
+        let b = match b_waiter.join().unwrap() {
+            Admission::Granted(p) => p,
+            Admission::Shed(r) => panic!("B shed: {r:?}"),
+        };
+        assert_eq!(b.tenant(), "b");
+        // A's waiter is still queued (A holds 1 = its share, B holds 1).
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(g.queued(), 1, "A's waiter must still be queued");
+        // B finishing hands the slot back to A's waiter.
+        drop(b);
+        assert!(matches!(a_waiter.join().unwrap(), Admission::Granted(_)));
+    }
+
+    #[test]
+    fn weighted_shares_respect_configured_classes() {
+        let g = Arc::new(AdmissionGate::new(AdmissionConfig {
+            max_concurrent: 4,
+            queue_depth: 8,
+            queue_timeout: Duration::from_secs(30),
+            tenants: vec![
+                TenantClass {
+                    name: "gold".into(),
+                    weight: 3,
+                },
+                TenantClass {
+                    name: "bronze".into(),
+                    weight: 1,
+                },
+            ],
+            default_weight: 1,
+        }));
+        {
+            let state = g.state.lock().unwrap();
+            drop(state);
+        }
+        // Prime both tenants so both are "active", then check shares.
+        let gold = match g.admit("gold") {
+            Admission::Granted(p) => p,
+            _ => panic!(),
+        };
+        let bronze = match g.admit("bronze") {
+            Admission::Granted(p) => p,
+            _ => panic!(),
+        };
+        let state = g.state.lock().unwrap();
+        assert_eq!(g.share(&state, "gold"), 3, "gold: 4·3/4 = 3");
+        assert_eq!(g.share(&state, "bronze"), 1, "bronze: 4·1/4 = 1");
+        drop(state);
+        drop(gold);
+        drop(bronze);
+        // Counters surfaced per tenant.
+        let snap = g.tenant_snapshot();
+        let names: Vec<&str> = snap.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(names, vec!["bronze", "gold"]);
+        assert!(snap.iter().all(|t| t.admitted == 1 && t.inflight == 0));
     }
 }

@@ -13,7 +13,7 @@
 
 use std::time::Duration;
 
-use skinner_server::{AdmissionConfig, Server, ServerConfig};
+use skinner_server::{AdmissionConfig, Server, ServerConfig, TenantClass};
 use skinnerdb::{DataType, Database, Value};
 
 fn usage() -> ! {
@@ -22,6 +22,8 @@ fn usage() -> ! {
          \x20                     [--data-dir DIR] [--bulk-csv NAME=PATH]...\n\
          \x20                     [--max-conns N] [--max-queries N] [--queue N]\n\
          \x20                     [--queue-timeout-ms N] [--threads N] [--no-remote-shutdown]\n\
+         \x20                     [--shards N] [--max-inflight N] [--idle-timeout-ms N]\n\
+         \x20                     [--tenant NAME=WEIGHT]...\n\
          \n\
          --addr                listen address (default 127.0.0.1:7878)\n\
          --demo                load the built-in demo tables (nums, customers, products, orders)\n\
@@ -35,7 +37,11 @@ fn usage() -> ! {
          --queue N             admission queue depth (default 64)\n\
          --queue-timeout-ms N  max wait for an execution slot (default 10000)\n\
          --threads N           default worker threads per parallel query\n\
-         --no-remote-shutdown  ignore wire-level Shutdown requests"
+         --no-remote-shutdown  ignore wire-level Shutdown requests\n\
+         --shards N            connection event-loop shards (default: auto)\n\
+         --max-inflight N      pipelined statements per v2 connection (default 32)\n\
+         --idle-timeout-ms N   reap idle connections after N ms (0 = never, default 300000)\n\
+         --tenant NAME=WEIGHT  declare an admission tenant class (repeatable)"
     );
     std::process::exit(2);
 }
@@ -182,6 +188,33 @@ fn main() {
                     .unwrap_or_else(|_| usage()),
             ),
             "--no-remote-shutdown" => cfg.allow_remote_shutdown = false,
+            "--shards" => {
+                cfg.shards = expect(&mut args, "--shards")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--max-inflight" => {
+                cfg.max_inflight_per_conn = expect(&mut args, "--max-inflight")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--idle-timeout-ms" => {
+                let ms: u64 = expect(&mut args, "--idle-timeout-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+                cfg.idle_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--tenant" => {
+                let spec = expect(&mut args, "--tenant");
+                let Some((name, weight)) = spec.split_once('=') else {
+                    eprintln!("--tenant expects NAME=WEIGHT, got {spec:?}");
+                    usage();
+                };
+                admission.tenants.push(TenantClass {
+                    name: name.to_string(),
+                    weight: weight.parse().unwrap_or_else(|_| usage()),
+                });
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other:?}");
@@ -200,5 +233,14 @@ fn main() {
     };
     println!("skinner-server listening on {}", server.local_addr());
     server.wait();
+    // CI parses this line and asserts the condvar wake beat 10ms — the
+    // old park_timeout(100ms) loop could not.
+    println!(
+        "skinner-server: shutdown wake latency {}us",
+        server
+            .shutdown_wake_latency()
+            .unwrap_or_default()
+            .as_micros()
+    );
     println!("skinner-server: drained and joined all threads, bye");
 }

@@ -6,18 +6,33 @@
 //! values are a one-byte type tag (1 = int, 2 = float, 3 = string)
 //! followed by the scalar. Frames are capped at [`MAX_FRAME`] bytes — a
 //! peer announcing a larger frame is a protocol error, never an
-//! allocation.
+//! allocation (payloads are read incrementally in bounded chunks, so a
+//! hostile length prefix cannot force a large up-front allocation
+//! either).
+//!
+//! Version 2 adds *statement pipelining*: a client may wrap requests in
+//! [`Request::Tagged`] and keep several in flight on one connection; each
+//! response frame comes back wrapped in [`Response::Tagged`] carrying the
+//! request's tag. Frames of different tags may interleave, but the frames
+//! of one tag keep their v1 order (header → batches → done). Version
+//! negotiation is backward compatible: the server answers `Hello` with
+//! `min(client_version, PROTOCOL_VERSION)` and a v1 peer keeps speaking
+//! plain frames.
 //!
 //! See the crate-level docs for the full message flow; the short version:
 //!
 //! ```text
 //! client                          server
-//!   Hello{version}          →
-//!                           ←      HelloOk{version, conn_id, cancel_key}
-//!   Query{sql}              →
-//!                           ←      RowHeader{columns}
-//!                           ←      RowBatch{rows}   (0..n frames)
-//!                           ←      Done{summary}    (or Error{code,msg})
+//!   Hello{version, tenant}  →
+//!                           ←      HelloOk{version, conn_id, cancel_key,
+//!                                          max_inflight}
+//!   Tagged{7, Query{sql}}   →      (plain Query{sql} in v1)
+//!   Tagged{8, Query{sql}}   →      (second in-flight statement, v2 only)
+//!                           ←      Tagged{7, RowHeader{columns}}
+//!                           ←      Tagged{8, RowHeader{columns}}   (interleaved)
+//!                           ←      Tagged{7, RowBatch{rows}}   (0..n frames)
+//!                           ←      Tagged{7, Done{summary}}    (or Error{code,msg})
+//!                           ←      Tagged{8, Done{summary}}
 //!   Cancel{conn_id, key}    →      (first frame of a *separate* connection)
 //!                           ←      Ok
 //! ```
@@ -26,21 +41,41 @@ use std::io::{Read, Write};
 
 use skinnerdb::Value;
 
-/// Protocol version spoken by this crate.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// Protocol version spoken by this crate (v2: tagged pipelining, tenant
+/// handshake, per-connection in-flight caps).
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Oldest protocol version the server still accepts.
+pub const MIN_PROTOCOL_VERSION: u32 = 1;
 
 /// Hard cap on a single frame's payload (16 MiB). Row batches are sized
 /// well under this by the server.
 pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
 
+/// Payloads are read (and grown) in chunks of at most this many bytes, so
+/// a hostile length prefix never forces a MAX_FRAME-sized allocation
+/// before any payload bytes arrive.
+pub const READ_CHUNK: usize = 64 * 1024;
+
 /// Rows per `RowBatch` frame the server emits.
 pub const ROWS_PER_BATCH: usize = 256;
+
+/// Default cap on concurrently in-flight pipelined statements per
+/// connection (the server advertises its actual cap in `HelloOk`).
+pub const DEFAULT_MAX_INFLIGHT: u32 = 32;
 
 /// Client → server messages.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Must be the first message on a connection (except [`Request::Cancel`]).
-    Hello { version: u32 },
+    /// `tenant` names the admission class (empty = default tenant); on the
+    /// wire the field is omitted when empty, so a v1 `Hello` payload stays
+    /// byte-identical.
+    Hello { version: u32, tenant: String },
+    /// v2 pipelining envelope: the inner request, stamped with a
+    /// client-chosen tag echoed on every response frame it produces.
+    /// Nesting (a Tagged inside a Tagged) is malformed.
+    Tagged { tag: u32, req: Box<Request> },
     /// Run a SQL script; also carries `SET`/`SHOW` commands.
     Query { sql: String },
     /// Parse + bind a SELECT once; returns a statement id.
@@ -66,6 +101,15 @@ pub enum Response {
         version: u32,
         conn_id: u64,
         cancel_key: u64,
+        /// Pipelined statements the server allows in flight at once on
+        /// this connection. Only on the wire when `version >= 2`; decoded
+        /// as 1 for v1 peers (which are strictly request/response).
+        max_inflight: u32,
+    },
+    /// v2 pipelining envelope mirroring [`Request::Tagged`].
+    Tagged {
+        tag: u32,
+        resp: Box<Response>,
     },
     /// Generic acknowledgement (SET, Cancel, Shutdown).
     Ok,
@@ -113,6 +157,9 @@ pub enum ErrorCode {
     TooManyConnections = 7,
     /// Unknown prepared-statement id.
     UnknownStatement = 8,
+    /// A value or count in the result exceeds what one frame can carry
+    /// (v2; downgraded to [`ErrorCode::Protocol`] for v1 peers).
+    TooLarge = 9,
 }
 
 impl ErrorCode {
@@ -127,6 +174,7 @@ impl ErrorCode {
             6 => ShuttingDown,
             7 => TooManyConnections,
             8 => UnknownStatement,
+            9 => TooLarge,
             _ => return None,
         })
     }
@@ -153,12 +201,16 @@ pub struct StatementSummary {
     pub order: Vec<u32>,
 }
 
-/// Errors arising while reading or decoding a frame.
+/// Errors arising while reading, decoding or encoding a frame.
 #[derive(Debug)]
 pub enum WireError {
     Io(std::io::Error),
     /// Malformed payload, unknown tag, or an oversized frame.
     Malformed(String),
+    /// A length on the *encode* side exceeds `u32`/[`MAX_FRAME`] bounds —
+    /// the frame is refused before a silently truncated length corrupts
+    /// the stream.
+    Oversize(String),
 }
 
 impl std::fmt::Display for WireError {
@@ -166,6 +218,7 @@ impl std::fmt::Display for WireError {
         match self {
             WireError::Io(e) => write!(f, "io: {e}"),
             WireError::Malformed(m) => write!(f, "malformed frame: {m}"),
+            WireError::Oversize(m) => write!(f, "unencodable frame: {m}"),
         }
     }
 }
@@ -184,30 +237,66 @@ fn malformed(msg: impl Into<String>) -> WireError {
 
 // ---- primitive encoders -------------------------------------------------
 
-struct Enc(Vec<u8>);
+/// Buffer builder with *checked* lengths: strings and element counts that
+/// do not fit `u32`/[`MAX_FRAME`] bounds record an error instead of being
+/// silently truncated by an `as u32` cast (which would emit a length
+/// prefix disagreeing with the bytes that follow and desync the peer).
+/// The first oversize condition sticks; [`Enc::finish`] surfaces it.
+struct Enc {
+    buf: Vec<u8>,
+    oversize: Option<String>,
+}
 
 impl Enc {
     fn new(tag: u8) -> Self {
-        Enc(vec![tag])
+        Enc {
+            buf: vec![tag],
+            oversize: None,
+        }
     }
     fn u8(&mut self, x: u8) {
-        self.0.push(x);
+        self.buf.push(x);
     }
     fn u16(&mut self, x: u16) {
-        self.0.extend_from_slice(&x.to_le_bytes());
+        self.buf.extend_from_slice(&x.to_le_bytes());
     }
     fn u32(&mut self, x: u32) {
-        self.0.extend_from_slice(&x.to_le_bytes());
+        self.buf.extend_from_slice(&x.to_le_bytes());
     }
     fn u64(&mut self, x: u64) {
-        self.0.extend_from_slice(&x.to_le_bytes());
+        self.buf.extend_from_slice(&x.to_le_bytes());
     }
     fn f64(&mut self, x: f64) {
-        self.0.extend_from_slice(&x.to_bits().to_le_bytes());
+        self.buf.extend_from_slice(&x.to_bits().to_le_bytes());
+    }
+    /// Record an element count as `u32`, refusing counts that don't fit.
+    fn count(&mut self, n: usize, what: &str) -> u32 {
+        match u32::try_from(n) {
+            Ok(x) => {
+                self.u32(x);
+                x
+            }
+            Err(_) => {
+                self.fail(format!("{what} count {n} exceeds u32"));
+                self.u32(0);
+                0
+            }
+        }
     }
     fn str(&mut self, s: &str) {
+        if s.len() > MAX_FRAME as usize {
+            self.fail(format!(
+                "string of {} bytes exceeds MAX_FRAME ({MAX_FRAME})",
+                s.len()
+            ));
+            self.u32(0);
+            return;
+        }
         self.u32(s.len() as u32);
-        self.0.extend_from_slice(s.as_bytes());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+    fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
     }
     fn value(&mut self, v: &Value) {
         match v {
@@ -223,6 +312,15 @@ impl Enc {
                 self.u8(3);
                 self.str(s);
             }
+        }
+    }
+    fn fail(&mut self, msg: String) {
+        self.oversize.get_or_insert(msg);
+    }
+    fn finish(self) -> Result<Vec<u8>, WireError> {
+        match self.oversize {
+            None => Ok(self.buf),
+            Some(msg) => Err(WireError::Oversize(msg)),
         }
     }
 }
@@ -276,6 +374,15 @@ impl<'a> Dec<'a> {
             t => Err(malformed(format!("unknown value tag {t}"))),
         }
     }
+    /// Everything not yet consumed (used by envelope/optional-tail codecs).
+    fn rest(&mut self) -> &'a [u8] {
+        let s = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        s
+    }
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
     fn finish(self) -> Result<(), WireError> {
         if self.pos == self.buf.len() {
             Ok(())
@@ -309,20 +416,99 @@ fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, WireError> {
     if len > MAX_FRAME {
         return Err(malformed(format!("frame of {len} bytes exceeds MAX_FRAME")));
     }
-    let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)?;
+    // Grow the buffer at most READ_CHUNK ahead of the bytes actually
+    // received: the length prefix is attacker-controlled, and a swarm of
+    // connections announcing MAX_FRAME with no payload must not pin
+    // MAX_FRAME-sized allocations each.
+    let len = len as usize;
+    let mut payload = Vec::new();
+    while payload.len() < len {
+        let chunk = (len - payload.len()).min(READ_CHUNK);
+        let filled = payload.len();
+        payload.resize(filled + chunk, 0);
+        r.read_exact(&mut payload[filled..])?;
+    }
     Ok(payload)
+}
+
+/// Accumulates raw socket bytes and yields complete frame payloads — the
+/// incremental-decode half of the event loop's nonblocking reads. Bytes
+/// arrive in arbitrary segments via [`FrameBuffer::ingest`];
+/// [`FrameBuffer::try_frame`] pops one payload when its frame is whole.
+/// The MAX_FRAME check happens as soon as the 4-byte header is visible,
+/// before any payload accumulates.
+#[derive(Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl FrameBuffer {
+    pub fn new() -> FrameBuffer {
+        FrameBuffer::default()
+    }
+
+    /// Append freshly read socket bytes.
+    pub fn ingest(&mut self, data: &[u8]) {
+        // Reclaim consumed prefix before growing (amortized O(1)).
+        if self.start > 0 && (self.start >= READ_CHUNK || self.start == self.buf.len()) {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Pop the next complete frame payload, `Ok(None)` if more bytes are
+    /// needed, or an error for an oversized header (connection-fatal).
+    pub fn try_frame(&mut self) -> Result<Option<Vec<u8>>, WireError> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[..4].try_into().unwrap());
+        if len > MAX_FRAME {
+            return Err(malformed(format!("frame of {len} bytes exceeds MAX_FRAME")));
+        }
+        let len = len as usize;
+        if avail.len() < 4 + len {
+            return Ok(None);
+        }
+        let payload = avail[4..4 + len].to_vec();
+        self.start += 4 + len;
+        Ok(Some(payload))
+    }
 }
 
 // ---- message codecs -----------------------------------------------------
 
 impl Request {
-    pub fn encode(&self) -> Vec<u8> {
+    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
         let mut e;
         match self {
-            Request::Hello { version } => {
+            Request::Hello { version, tenant } => {
                 e = Enc::new(0x01);
                 e.u32(*version);
+                // Omitted when empty, keeping a default-tenant Hello
+                // byte-identical to the v1 encoding.
+                if !tenant.is_empty() {
+                    e.str(tenant);
+                }
+            }
+            Request::Tagged { tag, req } => {
+                if matches!(**req, Request::Tagged { .. }) {
+                    return Err(WireError::Oversize(
+                        "refusing to nest Tagged inside Tagged".into(),
+                    ));
+                }
+                let inner = req.encode()?;
+                e = Enc::new(0x10);
+                e.u32(*tag);
+                e.raw(&inner);
             }
             Request::Query { sql } => {
                 e = Enc::new(0x02);
@@ -352,13 +538,32 @@ impl Request {
             }
             Request::Shutdown => e = Enc::new(0x08),
         }
-        e.0
+        e.finish()
     }
 
     pub fn decode(payload: &[u8]) -> Result<Request, WireError> {
         let mut d = Dec::new(payload);
         let req = match d.u8()? {
-            0x01 => Request::Hello { version: d.u32()? },
+            0x01 => {
+                let version = d.u32()?;
+                let tenant = if d.remaining() > 0 {
+                    d.str()?
+                } else {
+                    String::new()
+                };
+                Request::Hello { version, tenant }
+            }
+            0x10 => {
+                let tag = d.u32()?;
+                let inner = Request::decode(d.rest())?;
+                if matches!(inner, Request::Tagged { .. }) {
+                    return Err(malformed("nested Tagged request"));
+                }
+                Request::Tagged {
+                    tag,
+                    req: Box::new(inner),
+                }
+            }
             0x02 => Request::Query { sql: d.str()? },
             0x03 => Request::Prepare { sql: d.str()? },
             0x04 => Request::Execute { id: d.u32()? },
@@ -380,7 +585,7 @@ impl Request {
 
     /// Write this request as one frame.
     pub fn write(&self, w: &mut impl Write) -> Result<(), WireError> {
-        write_frame(w, &self.encode())
+        write_frame(w, &self.encode()?)
     }
 
     /// Read one request frame.
@@ -390,40 +595,57 @@ impl Request {
 }
 
 impl Response {
-    pub fn encode(&self) -> Vec<u8> {
+    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
         let mut e;
         match self {
             Response::HelloOk {
                 version,
                 conn_id,
                 cancel_key,
+                max_inflight,
             } => {
                 e = Enc::new(0x81);
                 e.u32(*version);
                 e.u64(*conn_id);
                 e.u64(*cancel_key);
+                // The in-flight cap is a v2 field; a v1 peer stops
+                // reading after cancel_key and must not see extra bytes.
+                if *version >= 2 {
+                    e.u32(*max_inflight);
+                }
+            }
+            Response::Tagged { tag, resp } => {
+                if matches!(**resp, Response::Tagged { .. }) {
+                    return Err(WireError::Oversize(
+                        "refusing to nest Tagged inside Tagged".into(),
+                    ));
+                }
+                let inner = resp.encode()?;
+                e = Enc::new(0x90);
+                e.u32(*tag);
+                e.raw(&inner);
             }
             Response::Ok => e = Enc::new(0x82),
             Response::PrepareOk { id, columns } => {
                 e = Enc::new(0x83);
                 e.u32(*id);
-                e.u32(columns.len() as u32);
+                e.count(columns.len(), "column");
                 for c in columns {
                     e.str(c);
                 }
             }
             Response::RowHeader { columns } => {
                 e = Enc::new(0x84);
-                e.u32(columns.len() as u32);
+                e.count(columns.len(), "column");
                 for c in columns {
                     e.str(c);
                 }
             }
             Response::RowBatch { rows } => {
                 e = Enc::new(0x85);
-                e.u32(rows.len() as u32);
+                e.count(rows.len(), "row");
                 for row in rows {
-                    e.u32(row.len() as u32);
+                    e.count(row.len(), "value");
                     for v in row {
                         e.value(v);
                     }
@@ -433,13 +655,13 @@ impl Response {
                 e = Enc::new(0x86);
                 e.u64(summary.work_units);
                 e.u64(summary.wall_micros);
-                e.u32(summary.statements.len() as u32);
+                e.count(summary.statements.len(), "statement");
                 for s in &summary.statements {
                     e.u64(s.rows);
                     e.u64(s.work_units);
                     e.u64(s.wall_micros);
                     e.u64(s.slices);
-                    e.u32(s.order.len() as u32);
+                    e.count(s.order.len(), "join-order entry");
                     for &t in &s.order {
                         e.u32(t);
                     }
@@ -455,17 +677,39 @@ impl Response {
                 e.str(message);
             }
         }
-        e.0
+        e.finish()
     }
 
     pub fn decode(payload: &[u8]) -> Result<Response, WireError> {
         let mut d = Dec::new(payload);
         let resp = match d.u8()? {
-            0x81 => Response::HelloOk {
-                version: d.u32()?,
-                conn_id: d.u64()?,
-                cancel_key: d.u64()?,
-            },
+            0x81 => {
+                let version = d.u32()?;
+                let conn_id = d.u64()?;
+                let cancel_key = d.u64()?;
+                let max_inflight = if version >= 2 && d.remaining() > 0 {
+                    d.u32()?
+                } else {
+                    1
+                };
+                Response::HelloOk {
+                    version,
+                    conn_id,
+                    cancel_key,
+                    max_inflight,
+                }
+            }
+            0x90 => {
+                let tag = d.u32()?;
+                let inner = Response::decode(d.rest())?;
+                if matches!(inner, Response::Tagged { .. }) {
+                    return Err(malformed("nested Tagged response"));
+                }
+                Response::Tagged {
+                    tag,
+                    resp: Box::new(inner),
+                }
+            }
             0x82 => Response::Ok,
             0x83 => {
                 let id = d.u32()?;
@@ -546,7 +790,22 @@ impl Response {
 
     /// Write this response as one frame.
     pub fn write(&self, w: &mut impl Write) -> Result<(), WireError> {
-        write_frame(w, &self.encode())
+        write_frame(w, &self.encode()?)
+    }
+
+    /// Encode as a complete frame (length prefix + payload) into `out` —
+    /// the event loop's outbox format.
+    pub fn encode_framed(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
+        let payload = self.encode()?;
+        if payload.len() as u64 > MAX_FRAME as u64 {
+            return Err(WireError::Oversize(format!(
+                "{}-byte frame exceeds MAX_FRAME ({MAX_FRAME})",
+                payload.len()
+            )));
+        }
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&payload);
+        Ok(())
     }
 
     /// Read one response frame.
@@ -577,6 +836,17 @@ mod tests {
     fn requests_roundtrip() {
         roundtrip_req(Request::Hello {
             version: PROTOCOL_VERSION,
+            tenant: String::new(),
+        });
+        roundtrip_req(Request::Hello {
+            version: PROTOCOL_VERSION,
+            tenant: "analytics".into(),
+        });
+        roundtrip_req(Request::Tagged {
+            tag: 0xfeed_beef,
+            req: Box::new(Request::Query {
+                sql: "SELECT t.x FROM t".into(),
+            }),
         });
         roundtrip_req(Request::Query {
             sql: "SELECT t.x FROM t".into(),
@@ -601,6 +871,19 @@ mod tests {
             version: 1,
             conn_id: 3,
             cancel_key: 0xdead_beef,
+            max_inflight: 1,
+        });
+        roundtrip_resp(Response::HelloOk {
+            version: 2,
+            conn_id: 3,
+            cancel_key: 0xdead_beef,
+            max_inflight: 32,
+        });
+        roundtrip_resp(Response::Tagged {
+            tag: 41,
+            resp: Box::new(Response::RowHeader {
+                columns: vec!["a".into(), "b".into()],
+            }),
         });
         roundtrip_resp(Response::Ok);
         roundtrip_resp(Response::PrepareOk {
@@ -654,11 +937,12 @@ mod tests {
         let mut e = Request::Query {
             sql: "hello".into(),
         }
-        .encode();
+        .encode()
+        .unwrap();
         e.truncate(e.len() - 2);
         assert!(Request::decode(&e).is_err());
         // Trailing garbage.
-        let mut e = Request::Shutdown.encode();
+        let mut e = Request::Shutdown.encode().unwrap();
         e.push(0);
         assert!(Request::decode(&e).is_err());
         // Oversized frame length.
@@ -669,9 +953,170 @@ mod tests {
             let mut e = Enc::new(0x88);
             e.u16(999);
             e.str("x");
-            e.0
+            e.finish().unwrap()
         })
         .is_err());
+        // Nested Tagged envelopes are refused on both sides.
+        let nested = Request::Tagged {
+            tag: 1,
+            req: Box::new(Request::Tagged {
+                tag: 2,
+                req: Box::new(Request::Shutdown),
+            }),
+        };
+        assert!(nested.encode().is_err());
+        // Build the nested bytes by hand (encode refuses to).
+        let mut hand_rolled = Enc::new(0x10);
+        hand_rolled.u32(1);
+        let mut innermost = Enc::new(0x10);
+        innermost.u32(2);
+        innermost.raw(&Request::Shutdown.encode().unwrap());
+        hand_rolled.raw(&innermost.finish().unwrap());
+        assert!(Request::decode(&hand_rolled.finish().unwrap()).is_err());
+    }
+
+    /// Satellite regression: a hostile MAX_FRAME length prefix with *no*
+    /// payload bytes must not allocate MAX_FRAME up front — reads proceed
+    /// in READ_CHUNK slices, so the reader never sees a huge buffer.
+    #[test]
+    fn hostile_length_prefix_reads_in_bounded_chunks() {
+        struct Metered<'a> {
+            inner: &'a [u8],
+            max_slice: usize,
+        }
+        impl Read for Metered<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                self.max_slice = self.max_slice.max(buf.len());
+                self.inner.read(buf)
+            }
+        }
+        // Header announces MAX_FRAME; zero payload bytes follow (EOF).
+        let header = MAX_FRAME.to_le_bytes();
+        let mut r = Metered {
+            inner: &header,
+            max_slice: 0,
+        };
+        let err = read_frame(&mut r).expect_err("truncated frame must error");
+        assert!(matches!(err, WireError::Io(_)), "got {err}");
+        assert!(
+            r.max_slice <= READ_CHUNK,
+            "read slice of {} bytes — payload buffer allocated ahead of data",
+            r.max_slice
+        );
+        // A legitimate multi-chunk frame still arrives intact.
+        let big = Request::Query {
+            sql: "x".repeat(3 * READ_CHUNK + 17),
+        };
+        let mut bytes = Vec::new();
+        big.write(&mut bytes).unwrap();
+        let mut r = Metered {
+            inner: &bytes,
+            max_slice: 0,
+        };
+        let payload = read_frame(&mut r).unwrap();
+        assert_eq!(Request::decode(&payload).unwrap(), big);
+        assert!(r.max_slice <= READ_CHUNK);
+    }
+
+    /// Satellite regression: encode-side lengths past `u32`/MAX_FRAME
+    /// bounds produce a typed error instead of a silently truncated
+    /// (corrupt) frame.
+    #[test]
+    fn oversize_encode_is_a_typed_error_not_truncation() {
+        // Exactly at the frame cap: the string length check passes; the
+        // whole-frame cap is enforced by the framing layer.
+        let at_cap = "x".repeat(MAX_FRAME as usize);
+        let ok = Response::Text { text: at_cap }.encode();
+        assert!(ok.is_ok(), "MAX_FRAME-long string must still encode");
+        // One past the cap: typed Oversize, not a corrupt length prefix.
+        let over = "x".repeat(MAX_FRAME as usize + 1);
+        let err = Response::Text { text: over }.encode().unwrap_err();
+        assert!(matches!(err, WireError::Oversize(_)), "got {err}");
+        // The framed write path refuses a payload over MAX_FRAME loudly.
+        let at_cap = "x".repeat(MAX_FRAME as usize);
+        let mut sink = Vec::new();
+        let err = Response::Text { text: at_cap }
+            .write(&mut sink)
+            .expect_err("payload cap enforced at the frame layer");
+        assert!(matches!(err, WireError::Malformed(_)), "got {err}");
+    }
+
+    #[test]
+    fn frame_buffer_reassembles_split_frames() {
+        let frames = [
+            Request::Query {
+                sql: "SELECT 1".into(),
+            }
+            .encode()
+            .unwrap(),
+            Request::Tagged {
+                tag: 9,
+                req: Box::new(Request::Execute { id: 3 }),
+            }
+            .encode()
+            .unwrap(),
+            Request::Shutdown.encode().unwrap(),
+        ];
+        let mut wire = Vec::new();
+        for f in &frames {
+            wire.extend_from_slice(&(f.len() as u32).to_le_bytes());
+            wire.extend_from_slice(f);
+        }
+        // Feed the byte stream in every possible 1..n chunk size.
+        for chunk in [1usize, 2, 3, 5, 7, wire.len()] {
+            let mut fb = FrameBuffer::new();
+            let mut got = Vec::new();
+            for piece in wire.chunks(chunk) {
+                fb.ingest(piece);
+                while let Some(payload) = fb.try_frame().unwrap() {
+                    got.push(payload);
+                }
+            }
+            assert_eq!(got.len(), frames.len(), "chunk size {chunk}");
+            for (g, f) in got.iter().zip(frames.iter()) {
+                assert_eq!(g, f, "chunk size {chunk}");
+            }
+            assert_eq!(fb.buffered(), 0);
+        }
+    }
+
+    #[test]
+    fn frame_buffer_rejects_oversized_header_immediately() {
+        let mut fb = FrameBuffer::new();
+        fb.ingest(&(MAX_FRAME + 1).to_le_bytes());
+        assert!(fb.try_frame().is_err());
+    }
+
+    /// v1 byte-compatibility: a default-tenant v2 `Hello` and a v1
+    /// `HelloOk` keep the exact v1 encodings, so old peers interoperate.
+    #[test]
+    fn v1_frame_shapes_are_preserved() {
+        let hello = Request::Hello {
+            version: 1,
+            tenant: String::new(),
+        }
+        .encode()
+        .unwrap();
+        assert_eq!(hello.len(), 1 + 4, "v1 Hello is tag + u32 version");
+        let hello_ok = Response::HelloOk {
+            version: 1,
+            conn_id: 5,
+            cancel_key: 6,
+            max_inflight: 1,
+        }
+        .encode()
+        .unwrap();
+        assert_eq!(hello_ok.len(), 1 + 4 + 8 + 8, "v1 HelloOk has no cap field");
+        // v2 appends the in-flight cap.
+        let hello_ok2 = Response::HelloOk {
+            version: 2,
+            conn_id: 5,
+            cancel_key: 6,
+            max_inflight: 32,
+        }
+        .encode()
+        .unwrap();
+        assert_eq!(hello_ok2.len(), 1 + 4 + 8 + 8 + 4);
     }
 
     #[test]

@@ -1,25 +1,49 @@
-//! The concurrent server: acceptor, per-connection sessions, cancellation
-//! and graceful shutdown.
+//! The concurrent server: acceptor, connection-shard event loops, query
+//! dispatch to a completion pool, cancellation and graceful shutdown.
+//!
+//! Life of a query (v2, pipelined):
+//!
+//! 1. The blocking **acceptor** thread accepts a `TcpStream`, checks the
+//!    connection limit, and hands the socket to one of N **connection
+//!    shards** (round-robin) through the shard's inbox + waker.
+//! 2. The shard's event loop (`conn::shard_loop`) registers the
+//!    nonblocking socket with its [`crate::poll::Poller`], accumulates
+//!    bytes into a [`crate::protocol::FrameBuffer`], and decodes complete
+//!    frames. `SET`/`SHOW`/`Prepare`/`Cancel` are answered inline on the
+//!    loop; `Query`/`Execute` are **dispatched**: a fresh cancel token is
+//!    armed, the admission gate's non-blocking [`AdmissionGate::begin`]
+//!    either grants, queues or sheds, and a `Job` goes to the
+//!    [`CompletionPool`].
+//! 3. A pool worker waits out the admission ticket if queued (never on
+//!    the event loop), runs the query, encodes the response frames, and
+//!    returns a `Completion`. The pool's completion hook pushes it to
+//!    the owning shard and wakes it.
+//! 4. The event loop routes the completion back to the connection (a
+//!    stale token is dropped by conn-id check), appends the bytes to the
+//!    connection's outbox and flushes as the socket allows. Backpressure
+//!    is per connection: reads pause while the in-flight count is at the
+//!    negotiated cap or the outbox exceeds the high-water mark.
 
 use std::collections::HashMap;
-use std::io::BufWriter;
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex, Weak};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use skinnerdb::skinner_exec::CancelToken;
-use skinnerdb::{
-    render_table_with, Database, DbError, Prepared, QueryResult, ScriptOutcome, Session,
-    TableOptions,
-};
+use skinnerdb::skinner_exec::{CancelToken, CompletionPool, ExecContext, ExecutionStrategy};
+use skinnerdb::{Database, DbError, Prepared, QueryResult, ScriptOutcome};
 
-use crate::admission::{Admission, AdmissionConfig, AdmissionGate, ShedReason, SlotGuard};
+use crate::admission::{
+    Admission, AdmissionConfig, AdmissionGate, ShedReason, TenantPermit, Ticket,
+};
+use crate::conn::{shard_loop, ConnCancel, OutputMode};
+use crate::poll::{Poller, Waker};
 use crate::protocol::{
-    ErrorCode, QuerySummary, Request, Response, StatementSummary, WireError, PROTOCOL_VERSION,
+    ErrorCode, QuerySummary, Response, StatementSummary, WireError, DEFAULT_MAX_INFLIGHT,
     ROWS_PER_BATCH,
 };
 use crate::stats::ServerStats;
@@ -30,7 +54,8 @@ pub struct ServerConfig {
     /// Connections allowed at once; further arrivals are turned away with
     /// an explicit error (never silently dropped).
     pub max_connections: usize,
-    /// Query admission control (concurrency gate + bounded queue).
+    /// Query admission control (concurrency gate + bounded queue +
+    /// per-tenant fair shares).
     pub admission: AdmissionConfig,
     /// Honour the wire-level `Shutdown` request (the binary's clean-exit
     /// path; embedders running in-process may prefer to disable it and
@@ -38,6 +63,17 @@ pub struct ServerConfig {
     pub allow_remote_shutdown: bool,
     /// Rows per `RowBatch` frame.
     pub rows_per_batch: usize,
+    /// Connection-shard event loops; `0` = auto (min(4, cores)).
+    pub shards: usize,
+    /// Pipelined statements a v2 connection may keep in flight at once
+    /// (advertised in `HelloOk`; v1 connections are always capped at 1).
+    pub max_inflight_per_conn: u32,
+    /// Close connections idle (no traffic, nothing in flight) longer than
+    /// this; `None` disables reaping.
+    pub idle_timeout: Option<Duration>,
+    /// Pause reading from a connection whose outbox exceeds this many
+    /// bytes until the client drains it.
+    pub write_highwater: usize,
 }
 
 impl Default for ServerConfig {
@@ -47,57 +83,152 @@ impl Default for ServerConfig {
             admission: AdmissionConfig::default(),
             allow_remote_shutdown: true,
             rows_per_batch: ROWS_PER_BATCH,
+            shards: 0,
+            max_inflight_per_conn: DEFAULT_MAX_INFLIGHT,
+            idle_timeout: Some(Duration::from_secs(300)),
+            write_highwater: 4 * 1024 * 1024,
         }
     }
 }
 
-/// Per-connection state reachable from *other* threads (the cancel path
-/// and shutdown).
-struct ConnShared {
-    stream: TcpStream,
-    cancel_key: u64,
-    /// The running query's cancel state. Token and flag live under one
-    /// lock so "arm a fresh query" and "cancel the current query" are
-    /// atomic with respect to each other — a stale cancel aimed at the
-    /// previous query can neither kill the next one nor leave a flag
-    /// behind that mislabels its outcome.
-    slot: Mutex<QuerySlot>,
+impl ServerConfig {
+    pub(crate) fn effective_shards(&self) -> usize {
+        if self.shards > 0 {
+            return self.shards;
+        }
+        std::thread::available_parallelism()
+            .map(|p| p.get().min(4))
+            .unwrap_or(2)
+            .max(1)
+    }
 }
 
-/// Cancel state of the query currently executing on a connection.
-struct QuerySlot {
-    /// Fresh per query; stale cancels hit an abandoned token harmlessly.
-    token: CancelToken,
-    /// Set by an out-of-band cancel so the connection can distinguish
-    /// "cancelled" from an ordinary deadline/work-limit timeout.
-    cancel_requested: bool,
+/// One shard's mailbox: freshly accepted sockets and finished-query
+/// completions, plus the waker that pops its event loop.
+pub(crate) struct ShardHandle {
+    inbox: Mutex<Vec<TcpStream>>,
+    completions: Mutex<Vec<Completion>>,
+    waker: Waker,
 }
 
-struct Shared {
-    db: Database,
-    cfg: ServerConfig,
-    addr: SocketAddr,
-    gate: Arc<AdmissionGate>,
-    stats: ServerStats,
-    shutting_down: AtomicBool,
-    conns: Mutex<HashMap<u64, Arc<ConnShared>>>,
-    next_conn_id: AtomicU64,
-    active_conns: AtomicUsize,
+impl ShardHandle {
+    pub(crate) fn push_conn(&self, stream: TcpStream) {
+        self.inbox.lock().push(stream);
+        self.waker.wake();
+    }
+
+    pub(crate) fn push_completion(&self, c: Completion) {
+        self.completions.lock().push(c);
+        self.waker.wake();
+    }
+
+    pub(crate) fn take_inbox(&self) -> Vec<TcpStream> {
+        std::mem::take(&mut self.inbox.lock())
+    }
+
+    pub(crate) fn take_completions(&self) -> Vec<Completion> {
+        std::mem::take(&mut self.completions.lock())
+    }
+
+    pub(crate) fn wake(&self) {
+        self.waker.wake();
+    }
+}
+
+/// A dispatched query on its way to a pool worker.
+pub(crate) struct Job {
+    pub shard: usize,
+    pub conn_token: usize,
+    pub conn_id: u64,
+    /// Pipelining tag (`None` = untagged/v1): echoed on every response
+    /// frame this job produces.
+    pub tag: Option<u32>,
+    pub version: u32,
+    pub output: OutputMode,
+    pub gate: GateWait,
+    pub token: CancelToken,
+    pub cancel: Arc<ConnCancel>,
+    pub ctx: ExecContext,
+    pub kind: JobKind,
+}
+
+pub(crate) enum JobKind {
+    Query {
+        sql: String,
+        strategy: Arc<dyn ExecutionStrategy>,
+    },
+    Execute {
+        prepared: Arc<Prepared>,
+    },
+}
+
+/// Admission state the job carries: either already granted (fast path) or
+/// a queued ticket whose blocking wait happens on the pool worker.
+pub(crate) enum GateWait {
+    Granted(TenantPermit),
+    Queued(Ticket),
+}
+
+/// A finished query's pre-encoded response frames, routed back to the
+/// owning shard/connection by the completion hook.
+pub(crate) struct Completion {
+    pub shard: usize,
+    pub conn_token: usize,
+    pub conn_id: u64,
+    pub bytes: Vec<u8>,
+}
+
+pub(crate) struct Shared {
+    pub db: Database,
+    pub cfg: ServerConfig,
+    pub addr: SocketAddr,
+    pub gate: Arc<AdmissionGate>,
+    pub stats: ServerStats,
+    pub shutting_down: AtomicBool,
+    /// `Some(when)` once shutdown was requested; [`Server::wait`] blocks
+    /// on the condvar (no polling) and measures its wake latency from the
+    /// stored instant.
+    shutdown_at: StdMutex<Option<Instant>>,
+    shutdown_cv: Condvar,
+    /// Cancel registries of live connections, keyed by conn id — the
+    /// out-of-band cancel path and shutdown reach running queries here.
+    pub conns: Mutex<HashMap<u64, Arc<ConnCancel>>>,
+    pub next_conn_id: AtomicU64,
+    pub active_conns: AtomicUsize,
     key_seed: AtomicU64,
+    pub shards: Vec<Arc<ShardHandle>>,
+    pool: StdMutex<Option<CompletionPool<Job>>>,
 }
 
 impl Shared {
-    fn trigger_shutdown(&self) {
+    pub(crate) fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn submit(&self, job: Job) {
+        if let Some(pool) = self.pool.lock().unwrap().as_ref() {
+            pool.submit(job);
+        }
+    }
+
+    pub(crate) fn trigger_shutdown(&self) {
         if self.shutting_down.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Shed every queued query immediately.
+        // Stamp the request time and pop `Server::wait` immediately.
+        {
+            let mut at = self.shutdown_at.lock().unwrap();
+            at.get_or_insert_with(Instant::now);
+        }
+        self.shutdown_cv.notify_all();
+        // Shed every queued query and trip every running one.
         self.gate.close();
-        // Break every connection: trip the running query's token, then
-        // shut the socket so blocked reads/writes error out.
         for conn in self.conns.lock().values() {
-            conn.slot.lock().token.cancel();
-            let _ = conn.stream.shutdown(Shutdown::Both);
+            conn.cancel_all();
+        }
+        // Pop every shard's event loop so it tears its connections down.
+        for shard in &self.shards {
+            shard.wake();
         }
         // Unblock the acceptor's `accept()` with a throwaway connection.
         // A wildcard bind (0.0.0.0 / ::) is not connectable everywhere;
@@ -115,7 +246,7 @@ impl Shared {
     /// A process-unique, hard-to-guess cancel key (no RNG dependency:
     /// mixes a counter with the clock, which is plenty for a loopback
     /// protocol's misdirected-cancel guard).
-    fn mint_cancel_key(&self) -> u64 {
+    pub(crate) fn mint_cancel_key(&self) -> u64 {
         let n = self
             .key_seed
             .fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed);
@@ -138,6 +269,8 @@ impl Shared {
 pub struct Server {
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
+    shard_threads: Vec<JoinHandle<()>>,
+    wake_latency: Option<Duration>,
 }
 
 impl Server {
@@ -150,18 +283,66 @@ impl Server {
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
+        let shard_count = cfg.effective_shards();
+        let mut pollers = Vec::with_capacity(shard_count);
+        let mut handles = Vec::with_capacity(shard_count);
+        for _ in 0..shard_count {
+            let poller = Poller::new()?;
+            handles.push(Arc::new(ShardHandle {
+                inbox: Mutex::new(Vec::new()),
+                completions: Mutex::new(Vec::new()),
+                waker: poller.waker(),
+            }));
+            pollers.push(poller);
+        }
+        let gate = Arc::new(AdmissionGate::new(cfg.admission.clone()));
         let shared = Arc::new(Shared {
             db,
-            gate: Arc::new(AdmissionGate::new(cfg.admission)),
-            cfg,
+            gate,
             addr: local,
             stats: ServerStats::new(),
             shutting_down: AtomicBool::new(false),
+            shutdown_at: StdMutex::new(None),
+            shutdown_cv: Condvar::new(),
             conns: Mutex::new(HashMap::new()),
             next_conn_id: AtomicU64::new(1),
             active_conns: AtomicUsize::new(0),
             key_seed: AtomicU64::new(0x5123_9d1f_8437_aa77),
+            shards: handles,
+            pool: StdMutex::new(None),
+            cfg,
         });
+        // Worker threads: enough for every concurrently *executing* query
+        // plus every queued admission ticket blocking in `Ticket::wait` —
+        // with the gate bounding both, this exact count makes head-of-line
+        // deadlock (all workers parked on tickets while granted jobs wait
+        // for a thread) impossible.
+        let threads = shared.cfg.admission.max_concurrent + shared.cfg.admission.queue_depth;
+        let worker_shared: Weak<Shared> = Arc::downgrade(&shared);
+        let hook_shared: Weak<Shared> = Arc::downgrade(&shared);
+        let pool = CompletionPool::new(
+            threads,
+            move |_wid, job: Job| worker_shared.upgrade().map(|shared| run_job(&shared, job)),
+            move |_wid, completion: Option<Completion>| {
+                let (Some(shared), Some(c)) = (hook_shared.upgrade(), completion) else {
+                    return;
+                };
+                if let Some(shard) = shared.shards.get(c.shard) {
+                    shard.push_completion(c);
+                }
+            },
+        );
+        *shared.pool.lock().unwrap() = Some(pool);
+        let mut shard_threads = Vec::with_capacity(shard_count);
+        for (ix, poller) in pollers.into_iter().enumerate() {
+            let shared2 = shared.clone();
+            let handle = shared.shards[ix].clone();
+            shard_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("skinner-shard-{ix}"))
+                    .spawn(move || shard_loop(shared2, handle, poller, ix))?,
+            );
+        }
         let acceptor = {
             let shared = shared.clone();
             std::thread::Builder::new()
@@ -171,6 +352,8 @@ impl Server {
         Ok(Server {
             shared,
             acceptor: Some(acceptor),
+            shard_threads,
+            wake_latency: None,
         })
     }
 
@@ -187,7 +370,7 @@ impl Server {
 
     /// True once a shutdown has been requested (locally or over the wire).
     pub fn is_shutting_down(&self) -> bool {
-        self.shared.shutting_down.load(Ordering::SeqCst)
+        self.shared.is_shutting_down()
     }
 
     /// Stop accepting, cancel and disconnect every client, and join every
@@ -197,15 +380,36 @@ impl Server {
         if let Some(h) = self.acceptor.take() {
             let _ = h.join();
         }
+        for h in self.shard_threads.drain(..) {
+            let _ = h.join();
+        }
+        // Dropping the pool joins its workers (and breaks the
+        // Shared → pool → Weak cycle for good measure).
+        let pool = self.shared.pool.lock().unwrap().take();
+        drop(pool);
     }
 
     /// Block until a shutdown is requested (e.g. by a wire-level
     /// `Shutdown` message), then join everything. The binary's main loop.
+    /// Wakes by condvar notification, not polling — see
+    /// [`Server::shutdown_wake_latency`].
     pub fn wait(&mut self) {
-        while !self.is_shutting_down() {
-            std::thread::park_timeout(std::time::Duration::from_millis(100));
+        {
+            let mut at = self.shared.shutdown_at.lock().unwrap();
+            while at.is_none() {
+                at = self.shared.shutdown_cv.wait(at).unwrap();
+            }
+            self.wake_latency = Some(at.expect("stamped before notify").elapsed());
         }
         self.shutdown();
+    }
+
+    /// How long [`Server::wait`] slept past the shutdown request before
+    /// waking (`None` until a `wait` call has been woken). CI asserts this
+    /// stays in condvar territory (well under 10 ms), guarding against a
+    /// regression to timed polling.
+    pub fn shutdown_wake_latency(&self) -> Option<Duration> {
+        self.wake_latency
     }
 }
 
@@ -216,21 +420,21 @@ impl Drop for Server {
 }
 
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
-    let mut handles: Vec<JoinHandle<()>> = Vec::new();
+    let mut next_shard = 0usize;
     loop {
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
             Err(_) => {
-                if shared.shutting_down.load(Ordering::SeqCst) {
+                if shared.is_shutting_down() {
                     break;
                 }
                 // Transient accept failures (e.g. EMFILE under fd
                 // pressure) must not busy-spin a core.
-                std::thread::sleep(std::time::Duration::from_millis(10));
+                std::thread::sleep(Duration::from_millis(10));
                 continue;
             }
         };
-        if shared.shutting_down.load(Ordering::SeqCst) {
+        if shared.is_shutting_down() {
             // The shutdown wake-up (or an unlucky late client).
             let _ = Response::Error {
                 code: ErrorCode::ShuttingDown,
@@ -239,10 +443,11 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
             .write(&mut &stream);
             break;
         }
-        // Reap finished connection threads so the handle list stays small.
-        handles.retain(|h| !h.is_finished());
         if shared.active_conns.load(Ordering::SeqCst) >= shared.cfg.max_connections {
             ServerStats::bump(&shared.stats.connections_rejected);
+            // Best effort on a still-blocking socket; a stalled peer can't
+            // wedge the acceptor for long (tiny frame, fresh buffer).
+            let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
             let _ = Response::Error {
                 code: ErrorCode::TooManyConnections,
                 message: format!(
@@ -255,522 +460,311 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
         }
         shared.active_conns.fetch_add(1, Ordering::SeqCst);
         ServerStats::bump(&shared.stats.connections_total);
-        let shared2 = shared.clone();
-        let spawned = std::thread::Builder::new()
-            .name("skinner-conn".into())
-            .spawn(move || {
-                let shared = shared2;
-                // A panicking connection (a strategy blowing up on a
-                // pathological query, say) must still release its
-                // connection slot, or 256 such panics would permanently
-                // lock everyone out.
-                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    Conn::run(stream, &shared)
-                }));
-                shared.active_conns.fetch_sub(1, Ordering::SeqCst);
-            });
-        match spawned {
-            Ok(h) => handles.push(h),
-            Err(_) => {
-                shared.active_conns.fetch_sub(1, Ordering::SeqCst);
-            }
-        }
-    }
-    // Graceful exit: every connection thread is joined before the
-    // acceptor returns, so `Server::shutdown` joining the acceptor
-    // transitively joins the whole server.
-    for h in handles {
-        let _ = h.join();
+        shared.shards[next_shard % shared.shards.len()].push_conn(stream);
+        next_shard = next_shard.wrapping_add(1);
     }
 }
 
-/// How query results travel back.
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum OutputMode {
-    Binary,
-    Text,
-}
+// ---- worker-side execution ---------------------------------------------
 
-struct Conn<'a> {
-    shared: &'a Shared,
-    session: Session,
-    me: Arc<ConnShared>,
-    conn_id: u64,
-    output: OutputMode,
-    prepared: HashMap<u32, Prepared>,
-    next_stmt_id: u32,
-}
-
-impl<'a> Conn<'a> {
-    fn run(stream: TcpStream, shared: &Shared) {
-        let _ = stream.set_nodelay(true);
-        let conn_id = shared.next_conn_id.fetch_add(1, Ordering::SeqCst);
-        let me = Arc::new(ConnShared {
-            stream: match stream.try_clone() {
-                Ok(s) => s,
-                Err(_) => return,
-            },
-            cancel_key: shared.mint_cancel_key(),
-            slot: Mutex::new(QuerySlot {
-                token: CancelToken::new(),
-                cancel_requested: false,
-            }),
-        });
-        shared.conns.lock().insert(conn_id, me.clone());
-        let mut conn = Conn {
-            shared,
-            session: shared.db.session(),
-            me,
-            conn_id,
-            output: OutputMode::Binary,
-            prepared: HashMap::new(),
-            next_stmt_id: 1,
-        };
-        // catch_unwind so the conns-map entry is removed even if a
-        // request handler panics (the thread's slot is released by the
-        // acceptor-side guard either way).
-        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| conn.serve(stream)));
-        shared.conns.lock().remove(&conn_id);
-    }
-
-    fn serve(&mut self, stream: TcpStream) -> Result<(), WireError> {
-        let mut reader = stream.try_clone()?;
-        let mut writer = BufWriter::new(stream);
-        // First frame: Hello — or an out-of-band Cancel/Shutdown on a
-        // dedicated connection.
-        match Request::read(&mut reader)? {
-            Request::Hello { version } => {
-                if version != PROTOCOL_VERSION {
-                    let resp = Response::Error {
-                        code: ErrorCode::Protocol,
-                        message: format!(
-                            "protocol version {version} unsupported (server speaks {PROTOCOL_VERSION})"
-                        ),
-                    };
-                    return resp.write(&mut writer);
-                }
-                Response::HelloOk {
-                    version: PROTOCOL_VERSION,
-                    conn_id: self.conn_id,
-                    cancel_key: self.me.cancel_key,
-                }
-                .write(&mut writer)?;
-            }
-            Request::Cancel { conn_id, key } => {
-                let resp = self.handle_cancel(conn_id, key);
-                return resp.write(&mut writer);
-            }
-            Request::Shutdown => {
-                return self.handle_shutdown(&mut writer);
-            }
-            _ => {
-                let resp = Response::Error {
-                    code: ErrorCode::Protocol,
-                    message: "expected Hello as the first message".into(),
-                };
-                return resp.write(&mut writer);
-            }
-        }
-        loop {
-            let req = match Request::read(&mut reader) {
-                Ok(req) => req,
-                // EOF / reset / socket shut down by shutdown(): done.
-                Err(_) => return Ok(()),
+/// Run one dispatched job on a pool worker: wait out a queued admission
+/// ticket, execute, and pre-encode every response frame. Always returns a
+/// completion — panics inside execution are caught and reported as errors
+/// so the connection's in-flight count never leaks.
+fn run_job(shared: &Arc<Shared>, job: Job) -> Completion {
+    let Job {
+        shard,
+        conn_token,
+        conn_id,
+        tag,
+        version,
+        output,
+        gate,
+        token,
+        cancel,
+        ctx,
+        kind,
+    } = job;
+    let mut out = Vec::new();
+    let permit = match gate {
+        GateWait::Granted(p) => Ok(p),
+        GateWait::Queued(ticket) => match ticket.wait() {
+            Admission::Granted(p) => Ok(p),
+            Admission::Shed(reason) => Err(reason),
+        },
+    };
+    match permit {
+        Err(reason) => {
+            cancel.finish(ConnCancel::tag_key(tag));
+            let code = match reason {
+                ShedReason::Closed => ErrorCode::ShuttingDown,
+                _ => ErrorCode::Overloaded,
             };
-            match req {
-                Request::Hello { .. } => {
-                    Response::Error {
-                        code: ErrorCode::Protocol,
-                        message: "duplicate Hello".into(),
-                    }
-                    .write(&mut writer)?;
-                }
-                Request::Query { sql } => self.handle_query(&sql, &mut writer)?,
-                Request::Prepare { sql } => {
-                    let resp = match self.session.prepare(&sql) {
-                        Ok(p) => {
-                            let id = self.next_stmt_id;
-                            self.next_stmt_id += 1;
-                            let columns = p
-                                .query()
-                                .select
-                                .iter()
-                                .map(|s| s.name().to_string())
-                                .collect();
-                            self.prepared.insert(id, p);
-                            Response::PrepareOk { id, columns }
-                        }
-                        Err(e) => sql_error(&e),
-                    };
-                    resp.write(&mut writer)?;
-                }
-                Request::Execute { id } => self.handle_execute(id, &mut writer)?,
-                Request::Close { id } => {
-                    self.prepared.remove(&id);
-                    Response::Ok.write(&mut writer)?;
-                }
-                Request::Set { key, value } => {
-                    let resp = self.handle_set(&key, &value);
-                    resp.write(&mut writer)?;
-                }
-                Request::Cancel { conn_id, key } => {
-                    let resp = self.handle_cancel(conn_id, key);
-                    resp.write(&mut writer)?;
-                }
-                Request::Shutdown => return self.handle_shutdown(&mut writer),
-            }
-            if self.shared.shutting_down.load(Ordering::SeqCst) {
-                return Ok(());
-            }
-        }
-    }
-
-    fn handle_shutdown(&mut self, writer: &mut impl std::io::Write) -> Result<(), WireError> {
-        if !self.shared.cfg.allow_remote_shutdown {
-            return Response::Error {
-                code: ErrorCode::Protocol,
-                message: "remote shutdown is disabled on this server".into(),
-            }
-            .write(writer);
-        }
-        Response::Ok.write(writer)?;
-        self.shared.trigger_shutdown();
-        Ok(())
-    }
-
-    fn handle_cancel(&self, conn_id: u64, key: u64) -> Response {
-        let conns = self.shared.conns.lock();
-        match conns.get(&conn_id) {
-            Some(conn) if conn.cancel_key == key => {
-                let mut slot = conn.slot.lock();
-                slot.cancel_requested = true;
-                slot.token.cancel();
-                Response::Ok
-            }
-            _ => Response::Error {
-                code: ErrorCode::Protocol,
-                message: "unknown connection id or bad cancel key".into(),
-            },
-        }
-    }
-
-    fn handle_set(&mut self, key: &str, value: &str) -> Response {
-        if key.trim().eq_ignore_ascii_case("output") {
-            return match value.trim().to_ascii_lowercase().as_str() {
-                "binary" => {
-                    self.output = OutputMode::Binary;
-                    Response::Ok
-                }
-                "text" => {
-                    self.output = OutputMode::Text;
-                    Response::Ok
-                }
-                other => Response::Error {
-                    code: ErrorCode::Sql,
-                    message: format!("output must be 'binary' or 'text', got {other:?}"),
-                },
-            };
-        }
-        match self.session.set_option(key, value) {
-            Ok(()) => Response::Ok,
-            Err(e) => sql_error(&e),
-        }
-    }
-
-    /// `SET`/`SHOW` text commands and plain SQL, multiplexed over Query.
-    fn handle_query(
-        &mut self,
-        sql: &str,
-        writer: &mut impl std::io::Write,
-    ) -> Result<(), WireError> {
-        let trimmed = sql.trim().trim_end_matches(';').trim();
-        if let Some(rest) = strip_keyword(trimmed, "SET") {
-            let resp = match parse_set(rest) {
-                Some((key, value)) => self.handle_set(&key, &value),
-                None => Response::Error {
-                    code: ErrorCode::Sql,
-                    message: "usage: SET <option> = <value>".into(),
-                },
-            };
-            return resp.write(writer);
-        }
-        if let Some(rest) = strip_keyword(trimmed, "SHOW") {
-            let resp = self.handle_show(rest);
-            return match resp {
-                Ok(table) => self.write_result(writer, table, QuerySummary::default()),
-                Err(resp) => resp.write(writer),
-            };
-        }
-        self.execute_gated(writer, |conn, ctx| {
-            let strategy = conn.session.strategy();
-            (
-                strategy.name().to_string(),
-                conn.shared
-                    .db
-                    .run_script_detailed(sql, strategy.as_ref(), ctx),
-            )
-        })
-    }
-
-    fn handle_execute(
-        &mut self,
-        id: u32,
-        writer: &mut impl std::io::Write,
-    ) -> Result<(), WireError> {
-        if !self.prepared.contains_key(&id) {
-            return Response::Error {
-                code: ErrorCode::UnknownStatement,
-                message: format!("no prepared statement #{id}"),
-            }
-            .write(writer);
-        }
-        self.execute_gated(writer, |conn, ctx| {
-            let p = &conn.prepared[&id];
-            let started = Instant::now();
-            let out = p.execute_in(ctx);
-            let name = p.strategy().name().to_string();
-            let script = ScriptOutcome {
-                work_units: out.work_units,
-                wall: started.elapsed(),
-                timed_out: out.timed_out,
-                statements: vec![skinnerdb::StatementOutcome {
-                    kind: skinnerdb::StatementKind::Select,
-                    rows: out.result.num_rows(),
-                    work_units: out.work_units,
-                    wall: out.wall,
-                    timed_out: out.timed_out,
-                    metrics: out.metrics,
-                }],
-                result: out.result,
-            };
-            (name, Ok(script))
-        })
-    }
-
-    /// Admission-gated execution shared by Query and Execute: take a slot
-    /// (or shed), arm the per-query cancel token, run, stream the result.
-    fn execute_gated(
-        &mut self,
-        writer: &mut impl std::io::Write,
-        run: impl FnOnce(&mut Self, &skinnerdb::ExecContext) -> (String, Result<ScriptOutcome, DbError>),
-    ) -> Result<(), WireError> {
-        if self.shared.shutting_down.load(Ordering::SeqCst) {
-            return Response::Error {
-                code: ErrorCode::ShuttingDown,
-                message: "server is shutting down".into(),
-            }
-            .write(writer);
-        }
-        // Fresh per-query token honouring the session deadline; parked in
-        // the connection slot so the out-of-band cancel path can trip it.
-        // Armed *before* queueing at the admission gate, so a cancel that
-        // lands while this query waits for a slot is not lost (the
-        // deadline clock also covers queue time — the client-perceived
-        // latency is what the deadline bounds).
-        let token = match self.session.settings().deadline {
-            Some(d) => CancelToken::with_deadline(d),
-            None => CancelToken::new(),
-        };
-        {
-            // Atomically arm the new query: install its token and clear
-            // any cancel aimed at a previous one.
-            let mut slot = self.me.slot.lock();
-            slot.token = token.clone();
-            slot.cancel_requested = false;
-        }
-        let guard = match self.shared.gate.admit() {
-            Admission::Granted(permit) => SlotGuard::new(self.shared.gate.clone(), permit),
-            Admission::Shed(reason) => {
-                let code = match reason {
-                    ShedReason::Closed => ErrorCode::ShuttingDown,
-                    _ => ErrorCode::Overloaded,
-                };
-                return Response::Error {
-                    code,
-                    message: reason.message(self.shared.gate.config()),
-                }
-                .write(writer);
-            }
-        };
-        ServerStats::bump(&self.shared.stats.queries_total);
-        // A cancel (or deadline) that fired during the queue wait aborts
-        // before any execution work is done.
-        let (strategy_name, outcome) = if token.is_cancelled() {
-            let name = self.session.strategy().name().to_string();
-            (
-                name,
-                Ok(ScriptOutcome {
-                    result: QueryResult::empty(Vec::new()),
-                    work_units: 0,
-                    wall: std::time::Duration::ZERO,
-                    timed_out: true,
-                    statements: Vec::new(),
-                }),
-            )
-        } else {
-            let ctx = self.session.exec_context().with_cancel(token);
-            run(self, &ctx)
-        };
-        drop(guard); // free the slot before streaming rows back
-        match outcome {
-            Err(e) => {
-                ServerStats::bump(&self.shared.stats.queries_failed);
-                sql_error(&e).write(writer)
-            }
-            Ok(script) if script.timed_out => {
-                let cancelled = {
-                    let mut slot = self.me.slot.lock();
-                    std::mem::take(&mut slot.cancel_requested)
-                };
-                let (code, counter) = if cancelled {
-                    (ErrorCode::Cancelled, &self.shared.stats.queries_cancelled)
-                } else {
-                    (ErrorCode::Timeout, &self.shared.stats.queries_timed_out)
-                };
-                ServerStats::bump(counter);
+            push_frame(
+                &mut out,
+                tag,
+                version,
                 Response::Error {
                     code,
-                    message: match code {
-                        ErrorCode::Cancelled => "query cancelled by client request".into(),
-                        _ => "query exceeded its work limit or deadline".into(),
-                    },
+                    message: reason.message(shared.gate.config()),
+                },
+            );
+        }
+        Ok(permit) => {
+            ServerStats::bump(&shared.stats.queries_total);
+            // A cancel (or deadline) that fired during the queue wait
+            // aborts before any execution work is done.
+            let ran = if token.is_cancelled() {
+                let name = match &kind {
+                    JobKind::Query { strategy, .. } => strategy.name().to_string(),
+                    JobKind::Execute { prepared } => prepared.strategy().name().to_string(),
+                };
+                Ok((
+                    name,
+                    Ok(ScriptOutcome {
+                        result: QueryResult::empty(Vec::new()),
+                        work_units: 0,
+                        wall: Duration::ZERO,
+                        timed_out: true,
+                        statements: Vec::new(),
+                    }),
+                ))
+            } else {
+                // An engine panicking on a pathological query must still
+                // produce a response (and a completion), or the
+                // connection's in-flight slot leaks forever.
+                catch_unwind(AssertUnwindSafe(|| match &kind {
+                    JobKind::Query { sql, strategy } => (
+                        strategy.name().to_string(),
+                        shared.db.run_script_detailed(sql, strategy.as_ref(), &ctx),
+                    ),
+                    JobKind::Execute { prepared } => {
+                        let started = Instant::now();
+                        let out = prepared.execute_in(&ctx);
+                        let name = prepared.strategy().name().to_string();
+                        let script = ScriptOutcome {
+                            work_units: out.work_units,
+                            wall: started.elapsed(),
+                            timed_out: out.timed_out,
+                            statements: vec![skinnerdb::StatementOutcome {
+                                kind: skinnerdb::StatementKind::Select,
+                                rows: out.result.num_rows(),
+                                work_units: out.work_units,
+                                wall: out.wall,
+                                timed_out: out.timed_out,
+                                metrics: out.metrics,
+                            }],
+                            result: out.result,
+                        };
+                        (name, Ok(script))
+                    }
+                }))
+                .map_err(|_| ())
+            };
+            drop(permit); // free the execution slot before encoding rows
+            let cancelled = cancel.finish(ConnCancel::tag_key(tag));
+            match ran {
+                Err(()) => {
+                    ServerStats::bump(&shared.stats.queries_failed);
+                    push_frame(
+                        &mut out,
+                        tag,
+                        version,
+                        Response::Error {
+                            code: ErrorCode::Sql,
+                            message: "internal error: query execution panicked".into(),
+                        },
+                    );
                 }
-                .write(writer)
-            }
-            Ok(script) => {
-                let metrics: Vec<&skinnerdb::ExecMetrics> =
-                    script.statements.iter().map(|s| &s.metrics).collect();
-                self.shared.stats.record_query(
-                    &strategy_name,
-                    &metrics,
-                    script.work_units,
-                    script.wall,
-                );
-                let summary = summarize(&script);
-                let ScriptOutcome { result, .. } = script;
-                self.write_result(writer, result, summary)
+                Ok((_, Err(e))) => {
+                    ServerStats::bump(&shared.stats.queries_failed);
+                    push_frame(&mut out, tag, version, sql_error(&e));
+                }
+                Ok((_, Ok(script))) if script.timed_out => {
+                    let (code, counter) = if cancelled {
+                        (ErrorCode::Cancelled, &shared.stats.queries_cancelled)
+                    } else {
+                        (ErrorCode::Timeout, &shared.stats.queries_timed_out)
+                    };
+                    ServerStats::bump(counter);
+                    push_frame(
+                        &mut out,
+                        tag,
+                        version,
+                        Response::Error {
+                            code,
+                            message: match code {
+                                ErrorCode::Cancelled => "query cancelled by client request".into(),
+                                _ => "query exceeded its work limit or deadline".into(),
+                            },
+                        },
+                    );
+                }
+                Ok((strategy_name, Ok(script))) => {
+                    let metrics: Vec<&skinnerdb::ExecMetrics> =
+                        script.statements.iter().map(|s| &s.metrics).collect();
+                    shared.stats.record_query(
+                        &strategy_name,
+                        &metrics,
+                        script.work_units,
+                        script.wall,
+                    );
+                    let summary = summarize(&script);
+                    let ScriptOutcome { result, .. } = script;
+                    write_result_frames(
+                        &mut out,
+                        tag,
+                        version,
+                        output,
+                        shared.cfg.rows_per_batch,
+                        result,
+                        summary,
+                    );
+                }
             }
         }
     }
-
-    fn handle_show(&self, what: &str) -> Result<QueryResult, Response> {
-        let what = what.trim().to_ascii_uppercase();
-        match what.as_str() {
-            "SERVER STATS" => {
-                let cache = self.shared.db.learning_cache_stats();
-                Ok(self.shared.stats.snapshot_table(&[
-                    (
-                        "active_connections",
-                        self.shared.active_conns.load(Ordering::SeqCst) as u64,
-                    ),
-                    ("active_queries", self.shared.gate.active()),
-                    ("queued_queries", self.shared.gate.queued() as u64),
-                    ("shed_total", self.shared.gate.shed_total()),
-                    ("admitted_total", self.shared.gate.admitted_total()),
-                    // The instance-wide default only — connections may
-                    // override per session via SET learning_cache, which
-                    // the hit/miss/published counters below reflect.
-                    (
-                        "learning_cache.enabled_default",
-                        self.shared.db.learning_cache_enabled() as u64,
-                    ),
-                    ("learning_cache.entries", cache.entries as u64),
-                    ("learning_cache.hits", cache.hits),
-                    ("learning_cache.misses", cache.misses),
-                    ("learning_cache.invalidations", cache.invalidations),
-                    ("learning_cache.published", cache.published),
-                    ("learning_cache.evictions", cache.evictions),
-                ]))
-            }
-            "STRATEGIES" => {
-                let names = self.shared.db.strategies().names();
-                Ok(QueryResult {
-                    columns: vec!["strategy".into()],
-                    rows: names
-                        .into_iter()
-                        .map(|n| vec![skinnerdb::Value::from(n.as_str())])
-                        .collect(),
-                })
-            }
-            other => Err(Response::Error {
-                code: ErrorCode::Sql,
-                message: format!("unknown SHOW target {other:?} (try SERVER STATS, STRATEGIES)"),
-            }),
-        }
-    }
-
-    /// Stream a result: text mode sends one rendered table, binary mode
-    /// sends header + row batches; both end with `Done`.
-    fn write_result(
-        &self,
-        writer: &mut impl std::io::Write,
-        result: QueryResult,
-        summary: QuerySummary,
-    ) -> Result<(), WireError> {
-        match self.output {
-            OutputMode::Text => {
-                let mut text = render_table_with(
-                    &result,
-                    &TableOptions {
-                        max_rows: usize::MAX,
-                        row_count_footer: true,
-                        ..TableOptions::default()
-                    },
-                );
-                // A rendered table must still fit one frame; clip rather
-                // than desync the connection with an unwritable frame.
-                let budget = (crate::protocol::MAX_FRAME as usize).saturating_sub(1024);
-                if text.len() > budget {
-                    let mut cut = budget;
-                    while cut > 0 && !text.is_char_boundary(cut) {
-                        cut -= 1;
-                    }
-                    text.truncate(cut);
-                    text.push_str("\n… (output truncated: table exceeds one frame)\n");
-                }
-                Response::Text { text }.write(writer)?;
-            }
-            OutputMode::Binary => {
-                Response::RowHeader {
-                    columns: result.columns.clone(),
-                }
-                .write(writer)?;
-                // Batches are bounded by row count AND bytes: wide string
-                // values must not push a frame past MAX_FRAME.
-                let byte_budget = (crate::protocol::MAX_FRAME as usize) / 8;
-                let mut batch: Vec<Vec<skinnerdb::Value>> = Vec::new();
-                let mut batch_bytes = 0usize;
-                for row in result.rows {
-                    let row_bytes: usize = 4 + row
-                        .iter()
-                        .map(|v| match v {
-                            skinnerdb::Value::Str(s) => 5 + s.len(),
-                            _ => 9,
-                        })
-                        .sum::<usize>();
-                    if !batch.is_empty()
-                        && (batch.len() >= self.shared.cfg.rows_per_batch
-                            || batch_bytes + row_bytes > byte_budget)
-                    {
-                        Response::RowBatch {
-                            rows: std::mem::take(&mut batch),
-                        }
-                        .write(writer)?;
-                        batch_bytes = 0;
-                    }
-                    batch_bytes += row_bytes;
-                    batch.push(row);
-                }
-                if !batch.is_empty() {
-                    Response::RowBatch { rows: batch }.write(writer)?;
-                }
-            }
-        }
-        Response::Done { summary }.write(writer)
+    Completion {
+        shard,
+        conn_token,
+        conn_id,
+        bytes: out,
     }
 }
 
-fn summarize(script: &ScriptOutcome) -> QuerySummary {
+// ---- response encoding --------------------------------------------------
+
+/// Append `resp` to `out` as a complete frame, wrapped in a `Tagged`
+/// envelope when the originating request was tagged. An unencodable
+/// response (oversized value) degrades to a typed error frame —
+/// `TooLarge` for v2 peers, `Protocol` for v1 — instead of desyncing the
+/// stream. Returns false when the original response could not be encoded
+/// (callers streaming multi-frame results stop at the first failure; the
+/// error frame is terminal).
+pub(crate) fn push_frame(
+    out: &mut Vec<u8>,
+    tag: Option<u32>,
+    version: u32,
+    resp: Response,
+) -> bool {
+    let wrap = |resp: Response| match tag {
+        Some(t) => Response::Tagged {
+            tag: t,
+            resp: Box::new(resp),
+        },
+        None => resp,
+    };
+    match wrap(resp).encode_framed(out) {
+        Ok(()) => true,
+        Err(e) => {
+            let code = if version >= 2 {
+                ErrorCode::TooLarge
+            } else {
+                ErrorCode::Protocol
+            };
+            let fallback = wrap(Response::Error {
+                code,
+                message: clip_message(e),
+            });
+            let _ = fallback.encode_framed(out);
+            false
+        }
+    }
+}
+
+/// Error text for an unencodable frame, clipped so the *error* frame
+/// always encodes.
+fn clip_message(e: WireError) -> String {
+    let mut msg = e.to_string();
+    msg.truncate(512);
+    msg
+}
+
+/// Stream a result as frames: text mode sends one rendered table, binary
+/// mode sends header + row batches; both end with `Done`.
+pub(crate) fn write_result_frames(
+    out: &mut Vec<u8>,
+    tag: Option<u32>,
+    version: u32,
+    output: OutputMode,
+    rows_per_batch: usize,
+    result: QueryResult,
+    summary: QuerySummary,
+) {
+    match output {
+        OutputMode::Text => {
+            let mut text = skinnerdb::render_table_with(
+                &result,
+                &skinnerdb::TableOptions {
+                    max_rows: usize::MAX,
+                    row_count_footer: true,
+                    ..skinnerdb::TableOptions::default()
+                },
+            );
+            // A rendered table must still fit one frame; clip rather than
+            // desync the connection with an unwritable frame.
+            let budget = (crate::protocol::MAX_FRAME as usize).saturating_sub(1024);
+            if text.len() > budget {
+                let mut cut = budget;
+                while cut > 0 && !text.is_char_boundary(cut) {
+                    cut -= 1;
+                }
+                text.truncate(cut);
+                text.push_str("\n… (output truncated: table exceeds one frame)\n");
+            }
+            if !push_frame(out, tag, version, Response::Text { text }) {
+                return;
+            }
+        }
+        OutputMode::Binary => {
+            if !push_frame(
+                out,
+                tag,
+                version,
+                Response::RowHeader {
+                    columns: result.columns.clone(),
+                },
+            ) {
+                return;
+            }
+            // Batches are bounded by row count AND bytes: wide string
+            // values must not push a frame past MAX_FRAME.
+            let byte_budget = (crate::protocol::MAX_FRAME as usize) / 8;
+            let mut batch: Vec<Vec<skinnerdb::Value>> = Vec::new();
+            let mut batch_bytes = 0usize;
+            for row in result.rows {
+                let row_bytes: usize = 4 + row
+                    .iter()
+                    .map(|v| match v {
+                        skinnerdb::Value::Str(s) => 5 + s.len(),
+                        _ => 9,
+                    })
+                    .sum::<usize>();
+                if !batch.is_empty()
+                    && (batch.len() >= rows_per_batch || batch_bytes + row_bytes > byte_budget)
+                {
+                    let frame = Response::RowBatch {
+                        rows: std::mem::take(&mut batch),
+                    };
+                    if !push_frame(out, tag, version, frame) {
+                        return;
+                    }
+                    batch_bytes = 0;
+                }
+                batch_bytes += row_bytes;
+                batch.push(row);
+            }
+            if !batch.is_empty()
+                && !push_frame(out, tag, version, Response::RowBatch { rows: batch })
+            {
+                return;
+            }
+        }
+    }
+    push_frame(out, tag, version, Response::Done { summary });
+}
+
+pub(crate) fn summarize(script: &ScriptOutcome) -> QuerySummary {
     QuerySummary {
         work_units: script.work_units,
         wall_micros: script.wall.as_micros() as u64,
@@ -788,7 +782,7 @@ fn summarize(script: &ScriptOutcome) -> QuerySummary {
     }
 }
 
-fn sql_error(e: &DbError) -> Response {
+pub(crate) fn sql_error(e: &DbError) -> Response {
     let code = match e {
         DbError::Timeout => ErrorCode::Timeout,
         _ => ErrorCode::Sql,
@@ -801,7 +795,7 @@ fn sql_error(e: &DbError) -> Response {
 
 /// Case-insensitive keyword prefix: returns the remainder if `input`
 /// starts with `kw` followed by whitespace or end.
-fn strip_keyword<'x>(input: &'x str, kw: &str) -> Option<&'x str> {
+pub(crate) fn strip_keyword<'x>(input: &'x str, kw: &str) -> Option<&'x str> {
     if input.len() < kw.len() || !input[..kw.len()].eq_ignore_ascii_case(kw) {
         return None;
     }
@@ -815,7 +809,7 @@ fn strip_keyword<'x>(input: &'x str, kw: &str) -> Option<&'x str> {
 
 /// Parse the tail of a `SET` command: `key = value`, `key TO value`, or
 /// `key value`; values may be quoted.
-fn parse_set(rest: &str) -> Option<(String, String)> {
+pub(crate) fn parse_set(rest: &str) -> Option<(String, String)> {
     let rest = rest.trim();
     let (key, value) = match rest.split_once('=') {
         Some((k, v)) => (k, v),
@@ -875,13 +869,55 @@ mod tests {
             gate: Arc::new(AdmissionGate::new(AdmissionConfig::default())),
             stats: ServerStats::new(),
             shutting_down: AtomicBool::new(false),
+            shutdown_at: StdMutex::new(None),
+            shutdown_cv: Condvar::new(),
             conns: Mutex::new(HashMap::new()),
             next_conn_id: AtomicU64::new(1),
             active_conns: AtomicUsize::new(0),
             key_seed: AtomicU64::new(1),
+            shards: Vec::new(),
+            pool: StdMutex::new(None),
         };
         let a = shared.mint_cancel_key();
         let b = shared.mint_cancel_key();
         assert_ne!(a, b);
+    }
+
+    /// Frame-level degradation: an unencodable response becomes a typed
+    /// error frame in place, tagged like the original.
+    #[test]
+    fn unencodable_response_degrades_to_typed_error() {
+        let huge = "x".repeat(crate::protocol::MAX_FRAME as usize + 1);
+        let mut out = Vec::new();
+        let ok = push_frame(&mut out, Some(9), 2, Response::Text { text: huge });
+        assert!(!ok);
+        // The appended frame decodes as Tagged{9, Error{TooLarge}}.
+        let len = u32::from_le_bytes(out[..4].try_into().unwrap()) as usize;
+        let resp = Response::decode(&out[4..4 + len]).unwrap();
+        match resp {
+            Response::Tagged { tag, resp } => {
+                assert_eq!(tag, 9);
+                assert!(matches!(
+                    *resp,
+                    Response::Error {
+                        code: ErrorCode::TooLarge,
+                        ..
+                    }
+                ));
+            }
+            other => panic!("expected tagged error, got {other:?}"),
+        }
+        // v1 peers get the closest v1 code instead.
+        let huge = "x".repeat(crate::protocol::MAX_FRAME as usize + 1);
+        let mut out = Vec::new();
+        push_frame(&mut out, None, 1, Response::Text { text: huge });
+        let len = u32::from_le_bytes(out[..4].try_into().unwrap()) as usize;
+        assert!(matches!(
+            Response::decode(&out[4..4 + len]).unwrap(),
+            Response::Error {
+                code: ErrorCode::Protocol,
+                ..
+            }
+        ));
     }
 }

@@ -36,6 +36,7 @@ pub struct ServerStats {
     pub queries_failed: AtomicU64,
     pub queries_cancelled: AtomicU64,
     pub queries_timed_out: AtomicU64,
+    pub connections_reaped_idle: AtomicU64,
     per_strategy: Mutex<BTreeMap<String, StrategyAgg>>,
 }
 
@@ -77,7 +78,7 @@ impl ServerStats {
     /// Materialize the stats as a result table (`metric`, `value`), the
     /// shape `SHOW SERVER STATS` returns over the wire. Gauges the server
     /// owns (connections, queue) are passed in.
-    pub fn snapshot_table(&self, gauges: &[(&str, u64)]) -> QueryResult {
+    pub fn snapshot_table(&self, gauges: &[(String, u64)]) -> QueryResult {
         let mut rows: Vec<Vec<Value>> = Vec::new();
         let mut push = |k: &str, v: u64| {
             rows.push(vec![Value::from(k), Value::Int(v as i64)]);
@@ -105,6 +106,10 @@ impl ServerStats {
         push(
             "connections_rejected",
             self.connections_rejected.load(Ordering::Relaxed),
+        );
+        push(
+            "connections_reaped_idle",
+            self.connections_reaped_idle.load(Ordering::Relaxed),
         );
         for (name, agg) in self.strategy_aggregates() {
             let mean_reward_milli = (agg.result_tuples * 1000)
@@ -170,7 +175,10 @@ mod tests {
             ..ExecMetrics::default()
         };
         stats.record_query("Skinner-C", &[&m], 1, Duration::ZERO);
-        let t = stats.snapshot_table(&[("active_connections", 3), ("queued", 0)]);
+        let t = stats.snapshot_table(&[
+            ("active_connections".to_string(), 3),
+            ("queued".to_string(), 0),
+        ]);
         assert_eq!(t.columns, vec!["metric".to_string(), "value".to_string()]);
         let find = |k: &str| {
             t.rows
