@@ -69,6 +69,7 @@ fn main() {
         ("disk_scan", Box::new(ex::disk_scan::run)),
         ("repeat_workload", Box::new(ex::repeat_workload::run)),
         ("server_throughput", Box::new(ex::server_throughput::run)),
+        ("telemetry_overhead", Box::new(ex::telemetry_overhead::run)),
     ];
 
     if !filter.is_empty() {

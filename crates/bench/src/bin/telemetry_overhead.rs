@@ -1,0 +1,7 @@
+fn main() {
+    let scale = skinner_bench::Scale::from_env();
+    println!(
+        "{}",
+        skinner_bench::experiments::telemetry_overhead::run(scale)
+    );
+}

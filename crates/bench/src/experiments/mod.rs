@@ -16,6 +16,7 @@ pub mod table3_replay;
 pub mod table5_random;
 pub mod table6_features;
 pub mod table7_tpch;
+pub mod telemetry_overhead;
 pub mod thread_scaling;
 
 use skinnerdb::skinner_workloads::job_like::{generate, JobConfig};

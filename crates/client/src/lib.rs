@@ -38,7 +38,7 @@ use std::time::Duration;
 use skinner_server::protocol::{
     ErrorCode, QuerySummary, Request, Response, WireError, PROTOCOL_VERSION,
 };
-pub use skinner_server::{QueryResult, Value};
+pub use skinner_server::{ProfileSpan, QueryProfile, QueryResult, Value};
 
 /// Client-side failures.
 #[derive(Debug)]
@@ -170,6 +170,7 @@ struct Partial {
 enum Reply {
     Result(RemoteResult),
     Prepared { id: u32, columns: Vec<String> },
+    Profile(QueryProfile),
 }
 
 /// A connection to a `skinner-server`.
@@ -327,6 +328,9 @@ impl Client {
             Reply::Prepared { .. } => Err(ClientError::Protocol(format!(
                 "tag {tag}: expected a result stream, got PrepareOk"
             ))),
+            Reply::Profile(_) => Err(ClientError::Protocol(format!(
+                "tag {tag}: expected a result stream, got Profile"
+            ))),
         }
     }
 
@@ -385,6 +389,7 @@ impl Client {
                 summary,
             }))),
             Response::PrepareOk { id, columns } => Some(Ok(Reply::Prepared { id, columns })),
+            Response::Profile(profile) => Some(Ok(Reply::Profile(profile))),
             Response::Error { code, message } => Some(Err(ClientError::Server { code, message })),
             other => Some(Err(ClientError::Protocol(format!(
                 "unexpected result frame {other:?}"
@@ -420,8 +425,8 @@ impl Client {
         })?;
         match self.wait_reply(tag)? {
             Reply::Prepared { id, columns } => Ok((id, columns)),
-            Reply::Result(_) => Err(ClientError::Protocol(
-                "expected PrepareOk, got a result stream".into(),
+            _ => Err(ClientError::Protocol(
+                "expected PrepareOk, got a different reply".into(),
             )),
         }
     }
@@ -436,6 +441,31 @@ impl Client {
     pub fn close(&mut self, id: u32) -> Result<(), ClientError> {
         let tag = self.send_tagged(Request::Close { id })?;
         self.wait(tag).map(|_| ())
+    }
+
+    fn fetch_profile(&mut self, key: u64) -> Result<QueryProfile, ClientError> {
+        let tag = self.send_tagged(Request::Profile { key })?;
+        match self.wait_reply(tag)? {
+            Reply::Profile(p) => Ok(p),
+            _ => Err(ClientError::Protocol(
+                "expected Profile, got a different reply".into(),
+            )),
+        }
+    }
+
+    /// Span-level execution profile of the statement that ran under
+    /// `tag` (a tag previously returned by [`Client::send_query`] and
+    /// already collected with [`Client::wait`]). The server keeps a
+    /// bounded backlog of recent profiles per connection; asking for a
+    /// tag that has aged out yields `ErrorCode::UnknownStatement`.
+    pub fn profile_of(&mut self, tag: u32) -> Result<QueryProfile, ClientError> {
+        self.fetch_profile(tag as u64)
+    }
+
+    /// Span-level execution profile of this connection's most recently
+    /// completed statement — EXPLAIN ANALYZE after the fact.
+    pub fn profile_last(&mut self) -> Result<QueryProfile, ClientError> {
+        self.fetch_profile(u64::MAX)
     }
 
     /// Ask the server to shut down gracefully (drain + join + exit).

@@ -611,6 +611,89 @@ fn clean_shutdown_wakes_the_waiter_within_10ms() {
 }
 
 #[test]
+fn slow_query_threshold_counts_offenders() {
+    // Threshold 0: every statement qualifies, so the structured log line
+    // fires (to stderr) and the counter reflects it.
+    let (mut server, addr) = start(ServerConfig {
+        slow_query_ms: Some(0),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(&addr).unwrap();
+    client.query(QUERIES[0]).unwrap();
+    client.query(QUERIES[1]).unwrap();
+    let stats = client.query("SHOW SERVER STATS").unwrap();
+    assert!(stat(&stats, "slow_queries_total") >= 2);
+    server.shutdown();
+
+    // A generous threshold stays quiet for fast queries.
+    let (mut server, addr) = start(ServerConfig {
+        slow_query_ms: Some(60_000),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(&addr).unwrap();
+    client.query(QUERIES[0]).unwrap();
+    let stats = client.query("SHOW SERVER STATS").unwrap();
+    assert_eq!(stat(&stats, "slow_queries_total"), 0);
+    server.shutdown();
+}
+
+#[test]
+fn query_profiles_expose_every_pipeline_stage() {
+    let (mut server, addr) = default_server();
+    let mut client = Client::connect(&addr).unwrap();
+    client.set("strategy", "skinner-c").unwrap();
+    // Asking before anything ran is a clean error, not a hang.
+    let early = client.profile_last().expect_err("no profile yet");
+    assert_eq!(early.code(), Some(ErrorCode::UnknownStatement));
+    // A join heavy enough that every stage takes measurable time.
+    let tag = client.send_query(SLOW).unwrap();
+    let r = client.wait(tag).unwrap();
+    assert_eq!(r.rows.len(), 1);
+    let profile = client.profile_of(tag).expect("profile for the tag");
+    assert!(profile.total_ns > 0);
+    let stages = profile.stages();
+    for want in [
+        "admission_wait",
+        "parse_bind",
+        "preprocess",
+        "episodes",
+        "postprocess",
+        "encode_flush",
+    ] {
+        assert!(stages.contains(&want), "stage {want} missing: {stages:?}");
+        assert!(
+            profile.stage_ns(want) > 0,
+            "stage {want} has zero duration: {:?}",
+            profile.spans
+        );
+    }
+    assert!(stages.len() >= 5, "want >= 5 distinct stages: {stages:?}");
+    // Episode spans carry the join order they explored.
+    assert!(
+        profile
+            .spans
+            .iter()
+            .any(|s| s.stage == "episodes" && s.label.starts_with("order=")),
+        "episode spans must attribute their join order: {:?}",
+        profile.spans
+    );
+    // u64::MAX means "most recent" — same statement here.
+    let last = client.profile_last().unwrap();
+    assert_eq!(last.total_ns, profile.total_ns);
+    // A second statement replaces "most recent" but the old tag still
+    // resolves from the per-connection backlog.
+    let tag2 = client.send_query(QUERIES[1]).unwrap();
+    client.wait(tag2).unwrap();
+    assert!(client.profile_of(tag).is_ok());
+    let newest = client.profile_last().unwrap();
+    assert!(newest.stage_ns("parse_bind") > 0);
+    // Unknown tags are refused explicitly.
+    let missing = client.profile_of(9999).expect_err("unknown tag");
+    assert_eq!(missing.code(), Some(ErrorCode::UnknownStatement));
+    server.shutdown();
+}
+
+#[test]
 fn protocol_fuzz_under_pipelining_never_wedges_the_server() {
     let (mut server, addr) = default_server();
     // Hostile byte streams, each on its own connection: truncated length

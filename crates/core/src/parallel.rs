@@ -58,7 +58,7 @@ use rand::SeedableRng;
 
 use skinner_exec::{
     merge_worker_metrics, partition_tuples, CancelToken, ExecContext, ExecMetrics, ExecOutcome,
-    ExecutionStrategy, QueryResult, TupleIxs, TupleRange, WorkBudget, WorkerPool,
+    ExecutionStrategy, QueryResult, Span, SpanTimer, TupleIxs, TupleRange, WorkBudget, WorkerPool,
 };
 use skinner_query::JoinQuery;
 use skinner_storage::RowId;
@@ -230,6 +230,8 @@ pub fn run_parallel_skinner(
         cfg.preprocess_threads
     };
 
+    let trace = ctx.trace();
+    let pre_timer = SpanTimer::start(trace, "preprocess");
     let prepared = match prepare(query, &budget, preprocess_threads, cfg.use_jump_indexes) {
         Ok(p) => p,
         Err(_) => {
@@ -243,6 +245,7 @@ pub fn run_parallel_skinner(
             );
         }
     };
+    pre_timer.finish(prepared.pages_skipped);
     let mctx = Arc::new(prepared.ctx);
     let cards: Vec<RowId> = mctx.tables.iter().map(|t| t.cardinality()).collect();
 
@@ -286,6 +289,13 @@ pub fn run_parallel_skinner(
     // warm-started runs against cold ones on.
     let mut last_order_switch = 0u64;
     let mut prev_order_key: Option<Box<[u8]>> = None;
+    // Regret proxy (see the sequential engine): consecutive-episode order
+    // changes, plus per-order episode spans whose labels are built only on
+    // a switch (cold path — steady-state episodes allocate nothing).
+    let mut order_switches = 0u64;
+    let mut run_start_ns = trace.map(|t| t.now_ns()).unwrap_or(0);
+    let mut run_episodes = 0u64;
+    let mut run_label = String::new();
     // Adaptive per-episode work cap, doubled whenever an episode is
     // abandoned (Skinner-G's escalating-timeout discipline) so a
     // catastrophic order costs a bounded amount and good orders eventually
@@ -305,6 +315,23 @@ pub fn run_parallel_skinner(
             let order = tree.select(&mut rng);
             let key: Box<[u8]> = order.iter().map(|&t| t as u8).collect();
             if prev_order_key.as_deref() != Some(&key[..]) {
+                if prev_order_key.is_some() {
+                    order_switches += 1;
+                }
+                if let Some(t) = trace {
+                    if !run_label.is_empty() {
+                        t.push(Span {
+                            stage: "episodes",
+                            label: std::mem::take(&mut run_label),
+                            start_ns: run_start_ns,
+                            dur_ns: t.now_ns().saturating_sub(run_start_ns),
+                            detail: run_episodes,
+                        });
+                    }
+                    run_start_ns = t.now_ns();
+                    run_episodes = 0;
+                    run_label = format!("order={order:?}");
+                }
                 last_order_switch = episodes + 1;
                 prev_order_key = Some(key.clone());
             }
@@ -365,6 +392,7 @@ pub fn run_parallel_skinner(
                 worker_metrics.push(report.metrics);
             }
             episodes += 1;
+            run_episodes += 1;
             *order_counts.entry(key).or_insert(0) += 1;
             if episodes.is_power_of_two() || episodes.is_multiple_of(256) {
                 tree_growth.push((episodes, tree.num_nodes()));
@@ -387,6 +415,18 @@ pub fn run_parallel_skinner(
         }
     }
     tree_growth.push((episodes, tree.num_nodes()));
+    // Close the final per-order episode run.
+    if let Some(t) = trace {
+        if !run_label.is_empty() {
+            t.push(Span {
+                stage: "episodes",
+                label: run_label,
+                start_ns: run_start_ns,
+                dur_ns: t.now_ns().saturating_sub(run_start_ns),
+                detail: run_episodes,
+            });
+        }
+    }
 
     let result_tuples = global_results.len() as u64;
     let result_set_bytes = global_results.byte_size();
@@ -396,6 +436,7 @@ pub fn run_parallel_skinner(
     // local sort + coordinator merge) instead of serializing on this
     // thread; timed separately so benchmarks can report the phase alone.
     let pp_start = Instant::now();
+    let post_timer = SpanTimer::start(trace, "postprocess");
     let result = if timed_out {
         QueryResult::empty(columns)
     } else {
@@ -408,6 +449,7 @@ pub fn run_parallel_skinner(
             }
         }
     };
+    post_timer.finish(result_tuples);
     let postprocess_us = pp_start.elapsed().as_micros() as u64;
 
     let mut order_slice_counts: Vec<(Vec<usize>, u64)> = order_counts
@@ -459,7 +501,8 @@ pub fn run_parallel_skinner(
         .with_counter("postprocess_us", postprocess_us)
         .with_counter("cache_hit", cache_hit)
         .with_counter("warm_start_visits", warm_start_visits)
-        .with_counter("last_order_switch", last_order_switch),
+        .with_counter("last_order_switch", last_order_switch)
+        .with_counter("order_switches", order_switches),
     }
 }
 

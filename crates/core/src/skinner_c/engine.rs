@@ -6,7 +6,9 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use skinner_exec::{postprocess, ExecContext, ExecMetrics, ExecOutcome, QueryResult, WorkBudget};
+use skinner_exec::{
+    postprocess, ExecContext, ExecMetrics, ExecOutcome, QueryResult, Span, SpanTimer, WorkBudget,
+};
 use skinner_query::{JoinGraph, JoinQuery, TableSet};
 use skinner_storage::RowId;
 use skinner_uct::{UctConfig, UctTree};
@@ -42,10 +44,13 @@ pub fn run_skinner_c(query: &JoinQuery, ctx: &ExecContext, cfg: &SkinnerCConfig)
         }};
     }
 
+    let trace = ctx.trace();
+    let pre_timer = SpanTimer::start(trace, "preprocess");
     let prepared = match prepare(query, &budget, cfg.preprocess_threads, cfg.use_jump_indexes) {
         Ok(p) => p,
         Err(_) => bail_timeout!((0..m).collect(), 0),
     };
+    pre_timer.finish(prepared.pages_skipped);
     let mctx: &MultiwayCtx = &prepared.ctx;
     let cards: Vec<RowId> = mctx.tables.iter().map(|t| t.cardinality()).collect();
 
@@ -89,6 +94,16 @@ pub fn run_skinner_c(query: &JoinQuery, ctx: &ExecContext, cfg: &SkinnerCConfig)
     // benchmark reads this).
     let mut last_order_switch = 0u64;
     let mut prev_order_key: Option<Box<[u8]>> = None;
+    // Regret proxy: how many times the chosen order changed between
+    // consecutive slices (0 = the engine converged instantly).
+    let mut order_switches = 0u64;
+    // Per-order episode attribution: one span per contiguous run of
+    // slices on the same order. The label is built only when the order
+    // *switches* — a cold, converging event — so steady-state slices
+    // allocate nothing.
+    let mut run_start_ns = trace.map(|t| t.now_ns()).unwrap_or(0);
+    let mut run_slices = 0u64;
+    let mut run_label = String::new();
 
     // Skinner-C terminates once any table's offset passes its end (all its
     // tuples fully joined) — including the degenerate empty-table case.
@@ -112,6 +127,23 @@ pub fn run_skinner_c(query: &JoinQuery, ctx: &ExecContext, cfg: &SkinnerCConfig)
             };
             let key: Box<[u8]> = order.iter().map(|&t| t as u8).collect();
             if prev_order_key.as_deref() != Some(&key[..]) {
+                if prev_order_key.is_some() {
+                    order_switches += 1;
+                }
+                if let Some(t) = trace {
+                    if !run_label.is_empty() {
+                        t.push(Span {
+                            stage: "episodes",
+                            label: std::mem::take(&mut run_label),
+                            start_ns: run_start_ns,
+                            dur_ns: t.now_ns().saturating_sub(run_start_ns),
+                            detail: run_slices,
+                        });
+                    }
+                    run_start_ns = t.now_ns();
+                    run_slices = 0;
+                    run_label = format!("order={order:?}");
+                }
                 last_order_switch = slices + 1;
                 prev_order_key = Some(key.clone());
             }
@@ -149,6 +181,7 @@ pub fn run_skinner_c(query: &JoinQuery, ctx: &ExecContext, cfg: &SkinnerCConfig)
                 offsets[t0] = offsets[t0].max(cards[t0]);
             }
             slices += 1;
+            run_slices += 1;
             *order_counts.entry(key).or_insert(0) += 1;
             if slices.is_power_of_two() || slices.is_multiple_of(256) {
                 tree_growth.push((slices, uct.num_nodes()));
@@ -156,12 +189,25 @@ pub fn run_skinner_c(query: &JoinQuery, ctx: &ExecContext, cfg: &SkinnerCConfig)
         }
     }
     tree_growth.push((slices, uct.num_nodes()));
+    // Close the final per-order episode run.
+    if let Some(t) = trace {
+        if !run_label.is_empty() {
+            t.push(Span {
+                stage: "episodes",
+                label: run_label,
+                start_ns: run_start_ns,
+                dur_ns: t.now_ns().saturating_sub(run_start_ns),
+                detail: run_slices,
+            });
+        }
+    }
 
     let result_tuples = results.len() as u64;
     let result_set_bytes = results.byte_size();
     let total_aux_bytes =
         uct.byte_size() + tracker.byte_size() + result_set_bytes + prepared.index_bytes;
 
+    let post_timer = SpanTimer::start(trace, "postprocess");
     let result = if timed_out {
         QueryResult::empty(columns)
     } else {
@@ -174,6 +220,7 @@ pub fn run_skinner_c(query: &JoinQuery, ctx: &ExecContext, cfg: &SkinnerCConfig)
             }
         }
     };
+    post_timer.finish(result_tuples);
 
     let mut order_slice_counts: Vec<(Vec<usize>, u64)> = order_counts
         .into_iter()
@@ -212,7 +259,8 @@ pub fn run_skinner_c(query: &JoinQuery, ctx: &ExecContext, cfg: &SkinnerCConfig)
         }
         .with_counter("cache_hit", cache_hit)
         .with_counter("warm_start_visits", warm_start_visits)
-        .with_counter("last_order_switch", last_order_switch),
+        .with_counter("last_order_switch", last_order_switch)
+        .with_counter("order_switches", order_switches),
     }
 }
 

@@ -19,6 +19,7 @@ use std::time::{Duration, Instant};
 
 use skinner_query::UdfRegistry;
 use skinner_stats::StatsCache;
+use skinner_telemetry::Trace;
 
 use crate::budget::WorkBudget;
 
@@ -93,6 +94,10 @@ pub struct ExecContext {
     /// depends on `skinner_exec`). `None` = cross-query learning off —
     /// the default, preserving the paper's per-query discipline.
     learning_cache: Option<Arc<dyn std::any::Any + Send + Sync>>,
+    /// Per-query trace span ring. `None` (the default) makes every span
+    /// site a no-op; attaching one is always-on cheap (see
+    /// [`skinner_telemetry::Trace`]).
+    trace: Option<Arc<Trace>>,
 }
 
 impl ExecContext {
@@ -182,6 +187,24 @@ impl ExecContext {
         self.learning_cache.clone()?.downcast::<T>().ok()
     }
 
+    /// Attach a per-query trace so engines record stage spans into it.
+    pub fn with_trace(mut self, trace: Arc<Trace>) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// The attached per-query trace, if any. Engines call
+    /// `ctx.trace()` at stage boundaries; `None` means don't record.
+    #[inline]
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_deref()
+    }
+
+    /// The trace behind its `Arc`, for handing to worker threads.
+    pub fn trace_arc(&self) -> Option<&Arc<Trace>> {
+        self.trace.as_ref()
+    }
+
     /// The per-run work limit an engine should enforce: its own configured
     /// limit capped by what remains of the shared budget.
     pub fn effective_limit(&self, configured: u64) -> u64 {
@@ -253,6 +276,17 @@ mod tests {
         let ctx = ctx.with_learning_cache(Arc::new(String::from("cache")));
         assert_eq!(*ctx.learning_cache::<String>().unwrap(), "cache");
         assert!(ctx.learning_cache::<u64>().is_none(), "wrong type is None");
+    }
+
+    #[test]
+    fn trace_slot_is_optional_and_shared() {
+        let ctx = ExecContext::new();
+        assert!(ctx.trace().is_none());
+        let trace = Trace::new(8);
+        let ctx = ctx.with_trace(trace.clone());
+        ctx.trace().unwrap().record("preprocess", 0, 3);
+        assert_eq!(trace.spans().len(), 1);
+        assert_eq!(trace.spans()[0].detail, 3);
     }
 
     #[test]

@@ -68,5 +68,10 @@ pub use strategy::{ExecutionStrategy, ReferenceStrategy, StrategyRegistry, Tradi
 pub use traditional::{run_traditional, TraditionalConfig};
 pub use zonescan::{plan_scan, ScanPlan};
 
+// Telemetry rides through the execution API (the trace slot on
+// [`ExecContext`]); re-export the types engines and callers touch so
+// downstream crates need no direct `skinner_telemetry` dependency.
+pub use skinner_telemetry::{Span, SpanTimer, Trace};
+
 /// A join-result tuple: one row id per query table, in table-position order.
 pub type TupleIxs = Box<[skinner_storage::RowId]>;

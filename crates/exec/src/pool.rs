@@ -63,9 +63,28 @@ pub fn partition_tuples(start: u64, end: u64, parts: usize) -> Vec<TupleRange> {
     out
 }
 
-/// Merge per-worker metric blocks into one: additive counts sum, sizes that
-/// describe shared structures take the maximum, and named counters sum
-/// per name.
+/// Named counters that are *shared snapshots*, not per-worker
+/// contributions: every worker's block replicates the same value (a
+/// cache-probe fact, a configuration constant, a convergence index), so
+/// the merge takes the maximum. Summing them — the treatment every other
+/// counter gets — would multiply the shared fact by the worker count.
+const SNAPSHOT_COUNTERS: &[&str] = &[
+    "cache_hit",
+    "warm_start_visits",
+    "last_order_switch",
+    "order_switches",
+    "threads",
+    "uct_shards",
+];
+
+/// Merge per-worker metric blocks into the single block a sequential run
+/// over the same work would report: additive counts (tuples, slices,
+/// pages) sum; sizes describing shared structures (the UCT tree, the
+/// result set) take the maximum; per-order slice counts and per-shard
+/// stats merge by key; named counters sum per name except the snapshot
+/// counters listed in `SNAPSHOT_COUNTERS`, which are replicated across
+/// workers and merge by maximum so each shared fact is counted exactly
+/// once.
 pub fn merge_worker_metrics(parts: impl IntoIterator<Item = ExecMetrics>) -> ExecMetrics {
     let mut merged = ExecMetrics::default();
     for m in parts {
@@ -78,14 +97,49 @@ pub fn merge_worker_metrics(parts: impl IntoIterator<Item = ExecMetrics>) -> Exe
         merged.tracker_nodes = merged.tracker_nodes.max(m.tracker_nodes);
         merged.result_set_bytes = merged.result_set_bytes.max(m.result_set_bytes);
         merged.total_aux_bytes = merged.total_aux_bytes.max(m.total_aux_bytes);
+        // Growth samples describe one shared tree; keep the densest curve.
+        if m.tree_growth.len() > merged.tree_growth.len() {
+            merged.tree_growth = m.tree_growth;
+        }
+        for (order, n) in m.order_slice_counts {
+            match merged
+                .order_slice_counts
+                .iter_mut()
+                .find(|(o, _)| *o == order)
+            {
+                Some(slot) => slot.1 += n,
+                None => merged.order_slice_counts.push((order, n)),
+            }
+        }
+        for (shard, visits, cas_retries) in m.shard_stats {
+            match merged.shard_stats.iter_mut().find(|(s, _, _)| *s == shard) {
+                Some(slot) => {
+                    slot.1 += visits;
+                    slot.2 += cas_retries;
+                }
+                None => merged.shard_stats.push((shard, visits, cas_retries)),
+            }
+        }
         for (name, value) in m.counters {
             let prior = merged.counter(name).unwrap_or(0);
-            merged = merged.with_counter(name, prior + value);
+            let next = if SNAPSHOT_COUNTERS.contains(&name) {
+                prior.max(value)
+            } else {
+                prior + value
+            };
+            merged = merged.with_counter(name, next);
         }
         if merged.order.is_empty() {
             merged.order = m.order;
         }
+        if merged.winner.is_none() {
+            merged.winner = m.winner;
+        }
     }
+    // Restore the most-used-first invariant after per-order summing.
+    merged
+        .order_slice_counts
+        .sort_by_key(|&(_, n)| std::cmp::Reverse(n));
     merged
 }
 
@@ -430,5 +484,58 @@ mod tests {
         assert_eq!(m.result_set_bytes, 100);
         assert_eq!(m.counter("probes"), Some(12));
         assert_eq!(m.counter("skips"), Some(1));
+    }
+
+    /// Shared-snapshot counters (cache probe facts, convergence indexes)
+    /// appear identically in every worker block and must merge to the
+    /// shared value — summing them once per worker was the drift this
+    /// guards against.
+    #[test]
+    fn metrics_merge_counts_shared_snapshots_once() {
+        let worker = |slices: u64| {
+            ExecMetrics {
+                slices,
+                ..ExecMetrics::default()
+            }
+            .with_counter("cache_hit", 1)
+            .with_counter("warm_start_visits", 250)
+            .with_counter("last_order_switch", 7)
+            .with_counter("chunks", 3)
+        };
+        let m = merge_worker_metrics([worker(5), worker(6), worker(7)]);
+        assert_eq!(m.slices, 18);
+        assert_eq!(m.counter("cache_hit"), Some(1), "not 3");
+        assert_eq!(m.counter("warm_start_visits"), Some(250), "not 750");
+        assert_eq!(m.counter("last_order_switch"), Some(7), "not 21");
+        assert_eq!(m.counter("chunks"), Some(9), "additive counters still sum");
+    }
+
+    #[test]
+    fn metrics_merge_keeps_structured_fields() {
+        let a = ExecMetrics {
+            order_slice_counts: vec![(vec![0, 1], 5), (vec![1, 0], 2)],
+            shard_stats: vec![(0, 10, 1), (1, 4, 0)],
+            tree_growth: vec![(1, 2), (2, 5)],
+            winner: Some("learned"),
+            ..ExecMetrics::default()
+        };
+        let b = ExecMetrics {
+            order_slice_counts: vec![(vec![1, 0], 9)],
+            shard_stats: vec![(1, 6, 2)],
+            tree_growth: vec![(1, 3)],
+            ..ExecMetrics::default()
+        };
+        let m = merge_worker_metrics([a, b]);
+        // Per-order sums, most-used first.
+        assert_eq!(
+            m.order_slice_counts,
+            vec![(vec![1, 0], 11), (vec![0, 1], 5)]
+        );
+        // Per-shard sums.
+        let mut shards = m.shard_stats.clone();
+        shards.sort_unstable();
+        assert_eq!(shards, vec![(0, 10, 1), (1, 10, 2)]);
+        assert_eq!(m.tree_growth, vec![(1, 2), (2, 5)], "densest curve kept");
+        assert_eq!(m.winner, Some("learned"));
     }
 }

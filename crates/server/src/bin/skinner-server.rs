@@ -23,7 +23,8 @@ fn usage() -> ! {
          \x20                     [--max-conns N] [--max-queries N] [--queue N]\n\
          \x20                     [--queue-timeout-ms N] [--threads N] [--no-remote-shutdown]\n\
          \x20                     [--shards N] [--max-inflight N] [--idle-timeout-ms N]\n\
-         \x20                     [--tenant NAME=WEIGHT]...\n\
+         \x20                     [--tenant NAME=WEIGHT]... [--metrics-addr HOST:PORT]\n\
+         \x20                     [--slow-query-ms N] [--metrics-linger-ms N]\n\
          \n\
          --addr                listen address (default 127.0.0.1:7878)\n\
          --demo                load the built-in demo tables (nums, customers, products, orders)\n\
@@ -41,7 +42,11 @@ fn usage() -> ! {
          --shards N            connection event-loop shards (default: auto)\n\
          --max-inflight N      pipelined statements per v2 connection (default 32)\n\
          --idle-timeout-ms N   reap idle connections after N ms (0 = never, default 300000)\n\
-         --tenant NAME=WEIGHT  declare an admission tenant class (repeatable)"
+         --tenant NAME=WEIGHT  declare an admission tenant class (repeatable)\n\
+         --metrics-addr A:P    serve Prometheus text exposition on GET /metrics\n\
+         --slow-query-ms N     log a structured slow-query line for queries >= N ms\n\
+         --metrics-linger-ms N keep /metrics up this long after shutdown (default 0),\n\
+         \x20                     so a final scrape can read the shutdown gauges"
     );
     std::process::exit(2);
 }
@@ -110,6 +115,7 @@ fn main() {
     let mut addr = "127.0.0.1:7878".to_string();
     let mut cfg = ServerConfig::default();
     let mut admission = AdmissionConfig::default();
+    let mut metrics_linger = Duration::ZERO;
     let db = Database::new();
 
     let mut args = std::env::args().skip(1);
@@ -215,6 +221,21 @@ fn main() {
                     weight: weight.parse().unwrap_or_else(|_| usage()),
                 });
             }
+            "--metrics-addr" => cfg.metrics_addr = Some(expect(&mut args, "--metrics-addr")),
+            "--slow-query-ms" => {
+                cfg.slow_query_ms = Some(
+                    expect(&mut args, "--slow-query-ms")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                )
+            }
+            "--metrics-linger-ms" => {
+                metrics_linger = Duration::from_millis(
+                    expect(&mut args, "--metrics-linger-ms")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                )
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other:?}");
@@ -232,9 +253,12 @@ fn main() {
         }
     };
     println!("skinner-server listening on {}", server.local_addr());
+    if let Some(maddr) = server.metrics_addr() {
+        println!("skinner-server: /metrics on http://{maddr}/metrics");
+    }
     server.wait();
-    // CI parses this line and asserts the condvar wake beat 10ms — the
-    // old park_timeout(100ms) loop could not.
+    // Human-readable echo of the skinner_shutdown_wake_latency_us gauge;
+    // CI asserts the gauge from a /metrics scrape during the linger.
     println!(
         "skinner-server: shutdown wake latency {}us",
         server
@@ -242,5 +266,11 @@ fn main() {
             .unwrap_or_default()
             .as_micros()
     );
+    // The exporter stays up until the Server drops; linger so a final
+    // scrape can read the shutdown gauges (CI's wake-latency assert).
+    if server.metrics_addr().is_some() && !metrics_linger.is_zero() {
+        std::thread::sleep(metrics_linger);
+    }
+    drop(server);
     println!("skinner-server: drained and joined all threads, bye");
 }

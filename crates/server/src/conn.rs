@@ -11,7 +11,7 @@
 //! and an idle sweep reaps connections with no traffic and nothing in
 //! flight past the configured deadline.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{Shutdown, TcpStream};
 use std::os::fd::AsRawFd;
@@ -21,20 +21,28 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use skinnerdb::skinner_exec::CancelToken;
+use skinnerdb::skinner_exec::{CancelToken, Trace};
 use skinnerdb::{Prepared, QueryResult, Session};
 
 use crate::admission::{Begin, ShedReason};
 use crate::poll::{Event, Interest, Poller, WAKE_TOKEN};
 use crate::protocol::{
-    ErrorCode, FrameBuffer, QuerySummary, Request, Response, MIN_PROTOCOL_VERSION,
+    ErrorCode, FrameBuffer, QueryProfile, QuerySummary, Request, Response, MIN_PROTOCOL_VERSION,
     PROTOCOL_VERSION, READ_CHUNK,
 };
 use crate::server::{
     parse_set, push_frame, sql_error, strip_keyword, write_result_frames, Completion, GateWait,
     Job, JobKind, ShardHandle, Shared,
 };
-use crate::stats::ServerStats;
+
+/// Spans the per-query trace ring holds before overwriting the oldest
+/// (covers the fixed stages plus a generous number of per-order episode
+/// runs; `dropped` in the profile reports any overflow).
+const TRACE_SPANS: usize = 64;
+
+/// Completed-statement profiles parked per connection for
+/// [`Request::Profile`] retrieval.
+const PROFILE_BACKLOG: usize = 16;
 
 /// How query results travel back.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -126,6 +134,10 @@ pub(crate) struct ConnState {
     outpos: usize,
     /// Statements dispatched but not yet completed.
     inflight: u32,
+    /// Span profiles of recently completed statements, keyed by their
+    /// cancel-registry key (newest at the back, capped at
+    /// [`PROFILE_BACKLOG`]).
+    profiles: VecDeque<(u64, QueryProfile)>,
     last_activity: Instant,
     registered: Interest,
     /// Close once the outbox drains (we sent a terminal error or are done).
@@ -363,6 +375,7 @@ fn accept_conn(
         outbox: Vec::new(),
         outpos: 0,
         inflight: 0,
+        profiles: VecDeque::new(),
         last_activity: Instant::now(),
         registered: Interest::READ,
         closing: false,
@@ -389,6 +402,15 @@ fn deliver_completion(shared: &Arc<Shared>, poller: &Poller, conns: &mut Slab, c
         return;
     }
     conn.inflight = conn.inflight.saturating_sub(1);
+    if let Some((key, profile)) = c.profile {
+        // A re-used tag replaces its older profile; the backlog stays
+        // bounded regardless.
+        conn.profiles.retain(|(k, _)| *k != key);
+        conn.profiles.push_back((key, profile));
+        while conn.profiles.len() > PROFILE_BACKLOG {
+            conn.profiles.pop_front();
+        }
+    }
     conn.outbox.extend_from_slice(&c.bytes);
     conn.last_activity = Instant::now();
     finish_io(shared, poller, conns, c.conn_token);
@@ -459,7 +481,7 @@ fn sweep_idle(shared: &Arc<Shared>, poller: &Poller, conns: &mut Slab) {
             .map(|c| c.inflight == 0 && c.pending_out() == 0 && c.last_activity.elapsed() > idle)
             .unwrap_or(false);
         if reap {
-            ServerStats::bump(&shared.stats.connections_reaped_idle);
+            shared.stats.connections_reaped_idle.inc();
             close_conn(shared, poller, conns, token);
         }
     }
@@ -553,6 +575,25 @@ fn handle_frame(shared: &Arc<Shared>, conn: &mut ConnState, payload: &[u8]) {
             conn.push_resp(tag, resp);
         }
         Request::Shutdown => handle_shutdown(shared, conn, tag),
+        Request::Profile { key } => {
+            let found = if key == u64::MAX {
+                conn.profiles.back()
+            } else {
+                conn.profiles.iter().rev().find(|(k, _)| *k == key)
+            };
+            let resp = match found {
+                Some((_, profile)) => Response::Profile(profile.clone()),
+                None => Response::Error {
+                    code: ErrorCode::UnknownStatement,
+                    message: if key == u64::MAX {
+                        "no completed statement to profile yet".into()
+                    } else {
+                        format!("no profile retained for statement key {key}")
+                    },
+                },
+            };
+            conn.push_resp(tag, resp);
+        }
     }
 }
 
@@ -745,7 +786,17 @@ fn dispatch(shared: &Arc<Shared>, conn: &mut ConnState, tag: Option<u32>, kind: 
         Some(d) => CancelToken::with_deadline(d),
         None => CancelToken::new(),
     };
-    let ctx = conn.session.exec_context().with_cancel(token.clone());
+    // Always-on tracing: the ring is preallocated here (one small
+    // allocation per statement, off the execution hot path) and every
+    // stage records plain monotonic timestamps into it. The trace epoch
+    // is this dispatch instant, so `admission_wait` is measured from the
+    // client's perspective.
+    let trace = Trace::new(TRACE_SPANS);
+    let ctx = conn
+        .session
+        .exec_context()
+        .with_cancel(token.clone())
+        .with_trace(trace);
     conn.cancel.arm(key, token.clone());
     let gate = match shared.gate.begin(&conn.tenant) {
         Begin::Granted(p) => GateWait::Granted(p),

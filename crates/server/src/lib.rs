@@ -63,9 +63,16 @@
 //!    queries.
 //! 6. **Introspection** — `SHOW SERVER STATS` (through `Query`) returns a
 //!    `metric | value` table: active/total connections, queued and shed
-//!    queries, and per-strategy aggregates (queries, learning episodes,
-//!    result tuples ≈ cumulative reward, work units, wall time). `SHOW
-//!    STRATEGIES` lists the registry.
+//!    queries, latency quantiles, regret proxies and per-strategy
+//!    aggregates (queries, learning episodes, result tuples ≈ cumulative
+//!    reward, work units, wall time). `SHOW STRATEGIES` lists the
+//!    registry. `Profile{key}` returns the span timeline (admission wait,
+//!    parse/bind, preprocess, per-order episode runs, postprocess, encode)
+//!    of a recently completed statement — EXPLAIN ANALYZE over the wire.
+//!    With [`ServerConfig::metrics_addr`] set, the same telemetry registry
+//!    is additionally served as Prometheus text on `GET /metrics`, and
+//!    [`ServerConfig::slow_query_ms`] enables a structured slow-query log
+//!    line (template key, join order, convergence, per-stage micros).
 //! 7. **Shutdown** — `Shutdown` (ack `Ok`) drains the server: the
 //!    admission gate closes (queued queries shed with `ShuttingDown`),
 //!    running queries are cancelled, sockets are shut, and every thread —
@@ -100,6 +107,7 @@
 
 pub mod admission;
 pub(crate) mod conn;
+pub mod metrics;
 pub mod poll;
 pub mod protocol;
 pub mod server;
@@ -109,12 +117,16 @@ pub use admission::{
     Admission, AdmissionConfig, AdmissionGate, Begin, ShedReason, TenantClass, TenantPermit,
     TenantStat, Ticket, DEFAULT_TENANT,
 };
+pub use metrics::MetricsExporter;
 pub use protocol::{
-    ErrorCode, FrameBuffer, QuerySummary, Request, Response, StatementSummary, WireError,
-    DEFAULT_MAX_INFLIGHT, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+    ErrorCode, FrameBuffer, ProfileSpan, QueryProfile, QuerySummary, Request, Response,
+    StatementSummary, WireError, DEFAULT_MAX_INFLIGHT, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 pub use server::{Server, ServerConfig};
-pub use stats::{ServerStats, StrategyAgg};
+pub use stats::{template_key, ServerStats, StrategyAgg};
+
+// The registry/handle types `ServerStats` exposes, for embedders.
+pub use skinner_telemetry::{Counter, Gauge, Histo, Registry};
 
 // The value/result types that cross the wire, for client-side use.
 pub use skinnerdb::{QueryResult, Value};

@@ -92,6 +92,11 @@ pub enum Request {
     Cancel { conn_id: u64, key: u64 },
     /// Ask the server to shut down gracefully (drain, join, exit).
     Shutdown,
+    /// Fetch the span profile of a recently completed statement on this
+    /// connection (EXPLAIN ANALYZE over the wire). `key` is the pipeline
+    /// tag the statement ran under (as `u64`); `u64::MAX` means the most
+    /// recently completed statement regardless of tag.
+    Profile { key: u64 },
 }
 
 /// Server → client messages.
@@ -136,6 +141,9 @@ pub enum Response {
         code: ErrorCode,
         message: String,
     },
+    /// Answer to [`Request::Profile`]: the statement's recorded span
+    /// timeline (stage, start, duration, detail) plus totals.
+    Profile(QueryProfile),
 }
 
 /// Wire-level error classes, so clients can react without string matching.
@@ -199,6 +207,57 @@ pub struct StatementSummary {
     pub slices: u64,
     /// Join order the statement executed/converged to (table positions).
     pub order: Vec<u32>,
+}
+
+/// A completed statement's span timeline, as captured by the always-on
+/// per-query trace and returned by [`Request::Profile`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryProfile {
+    /// Nanoseconds from the statement entering the server (dispatch) to
+    /// its response frames being encoded.
+    pub total_ns: u64,
+    /// Spans the fixed-size trace ring overwrote (0 unless the episode
+    /// loop switched join orders more times than the ring holds).
+    pub dropped: u64,
+    pub spans: Vec<ProfileSpan>,
+}
+
+/// One stage of a profiled statement.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProfileSpan {
+    /// Stage name: `admission_wait`, `parse_bind`, `preprocess`,
+    /// `episodes`, `postprocess`, `encode_flush`.
+    pub stage: String,
+    /// Qualifier (the join order an episode run used); often empty.
+    pub label: String,
+    /// Nanoseconds from the trace epoch to the stage start.
+    pub start_ns: u64,
+    /// Stage duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Stage-defined detail (slices run, pages skipped, rows, ...).
+    pub detail: u64,
+}
+
+impl QueryProfile {
+    /// Total nanoseconds spent in `stage` across all its spans.
+    pub fn stage_ns(&self, stage: &str) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| s.stage == stage)
+            .map(|s| s.dur_ns)
+            .sum()
+    }
+
+    /// The distinct stage names present, in first-appearance order.
+    pub fn stages(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for s in &self.spans {
+            if !out.contains(&s.stage.as_str()) {
+                out.push(&s.stage);
+            }
+        }
+        out
+    }
 }
 
 /// Errors arising while reading, decoding or encoding a frame.
@@ -537,6 +596,10 @@ impl Request {
                 e.u64(*key);
             }
             Request::Shutdown => e = Enc::new(0x08),
+            Request::Profile { key } => {
+                e = Enc::new(0x09);
+                e.u64(*key);
+            }
         }
         e.finish()
     }
@@ -577,6 +640,7 @@ impl Request {
                 key: d.u64()?,
             },
             0x08 => Request::Shutdown,
+            0x09 => Request::Profile { key: d.u64()? },
             t => return Err(malformed(format!("unknown request tag {t:#x}"))),
         };
         d.finish()?;
@@ -675,6 +739,19 @@ impl Response {
                 e = Enc::new(0x88);
                 e.u16(*code as u16);
                 e.str(message);
+            }
+            Response::Profile(profile) => {
+                e = Enc::new(0x89);
+                e.u64(profile.total_ns);
+                e.u64(profile.dropped);
+                e.count(profile.spans.len(), "span");
+                for s in &profile.spans {
+                    e.str(&s.stage);
+                    e.str(&s.label);
+                    e.u64(s.start_ns);
+                    e.u64(s.dur_ns);
+                    e.u64(s.detail);
+                }
             }
         }
         e.finish()
@@ -782,6 +859,26 @@ impl Response {
                     message,
                 }
             }
+            0x89 => {
+                let total_ns = d.u64()?;
+                let dropped = d.u64()?;
+                let n = d.u32()? as usize;
+                let mut spans = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    spans.push(ProfileSpan {
+                        stage: d.str()?,
+                        label: d.str()?,
+                        start_ns: d.u64()?,
+                        dur_ns: d.u64()?,
+                        detail: d.u64()?,
+                    });
+                }
+                Response::Profile(QueryProfile {
+                    total_ns,
+                    dropped,
+                    spans,
+                })
+            }
             t => return Err(malformed(format!("unknown response tag {t:#x}"))),
         };
         d.finish()?;
@@ -863,6 +960,44 @@ mod tests {
             key: 12345,
         });
         roundtrip_req(Request::Shutdown);
+        roundtrip_req(Request::Profile { key: 17 });
+        roundtrip_req(Request::Profile { key: u64::MAX });
+    }
+
+    #[test]
+    fn profiles_roundtrip() {
+        roundtrip_resp(Response::Profile(QueryProfile::default()));
+        let profile = QueryProfile {
+            total_ns: 123_456_789,
+            dropped: 2,
+            spans: vec![
+                ProfileSpan {
+                    stage: "admission_wait".into(),
+                    label: String::new(),
+                    start_ns: 0,
+                    dur_ns: 1_200,
+                    detail: 0,
+                },
+                ProfileSpan {
+                    stage: "episodes".into(),
+                    label: "order=[2,0,1]".into(),
+                    start_ns: 9_999,
+                    dur_ns: 88_000_000,
+                    detail: 412,
+                },
+            ],
+        };
+        assert_eq!(profile.stage_ns("episodes"), 88_000_000);
+        assert_eq!(profile.stages(), vec!["admission_wait", "episodes"]);
+        roundtrip_resp(Response::Profile(profile));
+        roundtrip_resp(Response::Tagged {
+            tag: 5,
+            resp: Box::new(Response::Profile(QueryProfile {
+                total_ns: 7,
+                dropped: 0,
+                spans: vec![ProfileSpan::default()],
+            })),
+        });
     }
 
     #[test]

@@ -34,19 +34,22 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use skinnerdb::skinner_exec::{CancelToken, CompletionPool, ExecContext, ExecutionStrategy};
+use skinnerdb::skinner_exec::{
+    CancelToken, CompletionPool, ExecContext, ExecutionStrategy, SpanTimer,
+};
 use skinnerdb::{Database, DbError, Prepared, QueryResult, ScriptOutcome};
 
 use crate::admission::{
     Admission, AdmissionConfig, AdmissionGate, ShedReason, TenantPermit, Ticket,
 };
 use crate::conn::{shard_loop, ConnCancel, OutputMode};
+use crate::metrics::MetricsExporter;
 use crate::poll::{Poller, Waker};
 use crate::protocol::{
-    ErrorCode, QuerySummary, Response, StatementSummary, WireError, DEFAULT_MAX_INFLIGHT,
-    ROWS_PER_BATCH,
+    ErrorCode, ProfileSpan, QueryProfile, QuerySummary, Response, StatementSummary, WireError,
+    DEFAULT_MAX_INFLIGHT, ROWS_PER_BATCH,
 };
-use crate::stats::ServerStats;
+use crate::stats::{template_key, ServerStats};
 
 /// Server sizing and behaviour.
 #[derive(Debug, Clone)]
@@ -74,6 +77,13 @@ pub struct ServerConfig {
     /// Pause reading from a connection whose outbox exceeds this many
     /// bytes until the client drains it.
     pub write_highwater: usize,
+    /// Serve the telemetry registry as Prometheus text on this address
+    /// (`--metrics-addr`); `None` disables the endpoint.
+    pub metrics_addr: Option<String>,
+    /// Log a structured slow-query line (template key, join order,
+    /// convergence, per-stage micros) for queries at or over this wall
+    /// time; `None` disables the log.
+    pub slow_query_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -87,6 +97,8 @@ impl Default for ServerConfig {
             max_inflight_per_conn: DEFAULT_MAX_INFLIGHT,
             idle_timeout: Some(Duration::from_secs(300)),
             write_highwater: 4 * 1024 * 1024,
+            metrics_addr: None,
+            slow_query_ms: None,
         }
     }
 }
@@ -176,6 +188,10 @@ pub(crate) struct Completion {
     pub conn_token: usize,
     pub conn_id: u64,
     pub bytes: Vec<u8>,
+    /// The statement's span profile, keyed by its cancel-registry key —
+    /// parked on the connection so a follow-up [`crate::protocol::Request::Profile`]
+    /// can fetch it.
+    pub profile: Option<(u64, QueryProfile)>,
 }
 
 pub(crate) struct Shared {
@@ -243,6 +259,89 @@ impl Shared {
         let _ = TcpStream::connect(wake);
     }
 
+    /// Sample live structures (connections, admission gate, learning
+    /// cache, per-tenant state) into registry gauges/counters. Called per
+    /// `/metrics` scrape so the exposition is current without any
+    /// periodic sampler thread.
+    pub(crate) fn refresh_gauges(&self) {
+        let r = self.stats.registry();
+        r.gauge("skinner_active_connections", "Open client connections.")
+            .set(self.active_conns.load(Ordering::SeqCst) as u64);
+        r.gauge("skinner_active_queries", "Queries executing right now.")
+            .set(self.gate.active());
+        r.gauge(
+            "skinner_queued_queries",
+            "Queries waiting for an execution slot.",
+        )
+        .set(self.gate.queued() as u64);
+        r.counter(
+            "skinner_admitted_total",
+            "Queries granted an execution slot.",
+        )
+        .raise_to(self.gate.admitted_total());
+        r.counter(
+            "skinner_shed_total",
+            "Queries refused by admission control.",
+        )
+        .raise_to(self.gate.shed_total());
+        let cache = self.db.learning_cache_stats();
+        r.gauge(
+            "skinner_learning_cache_entries",
+            "Templates in the cross-query learning cache.",
+        )
+        .set(cache.entries as u64);
+        r.counter("skinner_learning_cache_hits_total", "Learning-cache hits.")
+            .raise_to(cache.hits);
+        r.counter(
+            "skinner_learning_cache_misses_total",
+            "Learning-cache misses.",
+        )
+        .raise_to(cache.misses);
+        r.counter(
+            "skinner_learning_cache_published_total",
+            "UCT statistics published to the learning cache.",
+        )
+        .raise_to(cache.published);
+        r.counter(
+            "skinner_learning_cache_evictions_total",
+            "Learning-cache entries evicted.",
+        )
+        .raise_to(cache.evictions);
+        for t in self.gate.tenant_snapshot() {
+            let labels = [("tenant", t.name.as_str())];
+            r.gauge_with(
+                "skinner_tenant_inflight",
+                "Queries executing, by admission tenant.",
+                &labels,
+            )
+            .set(u64::from(t.inflight));
+            r.gauge_with(
+                "skinner_tenant_waiting",
+                "Queries queued, by admission tenant.",
+                &labels,
+            )
+            .set(u64::from(t.waiting));
+            r.gauge_with(
+                "skinner_tenant_weight",
+                "Configured fair-share weight, by admission tenant.",
+                &labels,
+            )
+            .set(u64::from(t.weight));
+            r.counter_with(
+                "skinner_tenant_admitted_total",
+                "Queries admitted, by admission tenant.",
+                &labels,
+            )
+            .raise_to(t.admitted);
+            r.counter_with(
+                "skinner_tenant_shed_total",
+                "Queries shed, by admission tenant.",
+                &labels,
+            )
+            .raise_to(t.shed);
+        }
+    }
+
     /// A process-unique, hard-to-guess cancel key (no RNG dependency:
     /// mixes a counter with the clock, which is plenty for a loopback
     /// protocol's misdirected-cancel guard).
@@ -271,6 +370,11 @@ pub struct Server {
     acceptor: Option<JoinHandle<()>>,
     shard_threads: Vec<JoinHandle<()>>,
     wake_latency: Option<Duration>,
+    /// The `/metrics` endpoint. Deliberately NOT stopped by
+    /// [`Server::shutdown`]: it outlives the drain so the final scrape
+    /// (e.g. CI asserting the shutdown wake-latency gauge) still works;
+    /// it stops when the `Server` is dropped.
+    exporter: Option<MetricsExporter>,
 }
 
 impl Server {
@@ -349,17 +453,46 @@ impl Server {
                 .name("skinner-acceptor".into())
                 .spawn(move || accept_loop(listener, shared))?
         };
+        let exporter = match shared.cfg.metrics_addr.clone() {
+            Some(maddr) => {
+                let weak: Weak<Shared> = Arc::downgrade(&shared);
+                let scrapes = shared.stats.metrics_scrapes_total.clone();
+                Some(MetricsExporter::bind(
+                    maddr.as_str(),
+                    shared.stats.registry().clone(),
+                    move || {
+                        scrapes.inc();
+                        if let Some(s) = weak.upgrade() {
+                            s.refresh_gauges();
+                        }
+                    },
+                )?)
+            }
+            None => None,
+        };
         Ok(Server {
             shared,
             acceptor: Some(acceptor),
             shard_threads,
             wake_latency: None,
+            exporter,
         })
     }
 
     /// The address actually bound (resolves `:0` ports).
     pub fn local_addr(&self) -> SocketAddr {
         self.shared.addr
+    }
+
+    /// The `/metrics` endpoint's bound address, when enabled.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.exporter.as_ref().map(|e| e.local_addr())
+    }
+
+    /// The server's metric registry (shared with `/metrics` and
+    /// `SHOW SERVER STATS`).
+    pub fn stats(&self) -> &ServerStats {
+        &self.shared.stats
     }
 
     /// The shared database this server fronts (tests use it to compare
@@ -399,7 +532,15 @@ impl Server {
             while at.is_none() {
                 at = self.shared.shutdown_cv.wait(at).unwrap();
             }
-            self.wake_latency = Some(at.expect("stamped before notify").elapsed());
+            let latency = at.expect("stamped before notify").elapsed();
+            self.wake_latency = Some(latency);
+            // Publish to the registry so CI (and operators) can assert
+            // the condvar wake from a `/metrics` scrape instead of
+            // parsing stdout.
+            self.shared
+                .stats
+                .shutdown_wake_latency_us
+                .set(latency.as_micros() as u64);
         }
         self.shutdown();
     }
@@ -444,7 +585,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
             break;
         }
         if shared.active_conns.load(Ordering::SeqCst) >= shared.cfg.max_connections {
-            ServerStats::bump(&shared.stats.connections_rejected);
+            shared.stats.connections_rejected.inc();
             // Best effort on a still-blocking socket; a stalled peer can't
             // wedge the acceptor for long (tiny frame, fresh buffer).
             let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
@@ -459,7 +600,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
             continue;
         }
         shared.active_conns.fetch_add(1, Ordering::SeqCst);
-        ServerStats::bump(&shared.stats.connections_total);
+        shared.stats.connections_total.inc();
         shared.shards[next_shard % shared.shards.len()].push_conn(stream);
         next_shard = next_shard.wrapping_add(1);
     }
@@ -486,6 +627,10 @@ fn run_job(shared: &Arc<Shared>, job: Job) -> Completion {
         kind,
     } = job;
     let mut out = Vec::new();
+    // The trace was attached at dispatch (its epoch is the dispatch
+    // instant), so `admission_wait` spans dispatch → execution slot,
+    // including any time queued behind the gate or the pool.
+    let trace = ctx.trace_arc().cloned();
     let permit = match gate {
         GateWait::Granted(p) => Ok(p),
         GateWait::Queued(ticket) => match ticket.wait() {
@@ -493,6 +638,10 @@ fn run_job(shared: &Arc<Shared>, job: Job) -> Completion {
             Admission::Shed(reason) => Err(reason),
         },
     };
+    if let Some(t) = trace.as_deref() {
+        t.record("admission_wait", 0, 0);
+        shared.stats.admission_wait_us.record(t.now_ns() / 1_000);
+    }
     match permit {
         Err(reason) => {
             cancel.finish(ConnCancel::tag_key(tag));
@@ -511,7 +660,7 @@ fn run_job(shared: &Arc<Shared>, job: Job) -> Completion {
             );
         }
         Ok(permit) => {
-            ServerStats::bump(&shared.stats.queries_total);
+            shared.stats.queries_total.inc();
             // A cancel (or deadline) that fired during the queue wait
             // aborts before any execution work is done.
             let ran = if token.is_cancelled() {
@@ -565,7 +714,7 @@ fn run_job(shared: &Arc<Shared>, job: Job) -> Completion {
             let cancelled = cancel.finish(ConnCancel::tag_key(tag));
             match ran {
                 Err(()) => {
-                    ServerStats::bump(&shared.stats.queries_failed);
+                    shared.stats.queries_failed.inc();
                     push_frame(
                         &mut out,
                         tag,
@@ -577,7 +726,7 @@ fn run_job(shared: &Arc<Shared>, job: Job) -> Completion {
                     );
                 }
                 Ok((_, Err(e))) => {
-                    ServerStats::bump(&shared.stats.queries_failed);
+                    shared.stats.queries_failed.inc();
                     push_frame(&mut out, tag, version, sql_error(&e));
                 }
                 Ok((_, Ok(script))) if script.timed_out => {
@@ -586,7 +735,7 @@ fn run_job(shared: &Arc<Shared>, job: Job) -> Completion {
                     } else {
                         (ErrorCode::Timeout, &shared.stats.queries_timed_out)
                     };
-                    ServerStats::bump(counter);
+                    counter.inc();
                     push_frame(
                         &mut out,
                         tag,
@@ -609,8 +758,10 @@ fn run_job(shared: &Arc<Shared>, job: Job) -> Completion {
                         script.work_units,
                         script.wall,
                     );
+                    maybe_log_slow_query(shared, &kind, &strategy_name, &script, trace.as_deref());
                     let summary = summarize(&script);
                     let ScriptOutcome { result, .. } = script;
+                    let enc_timer = SpanTimer::start(trace.as_deref(), "encode_flush");
                     write_result_frames(
                         &mut out,
                         tag,
@@ -620,16 +771,104 @@ fn run_job(shared: &Arc<Shared>, job: Job) -> Completion {
                         result,
                         summary,
                     );
+                    enc_timer.finish(out.len() as u64);
                 }
             }
         }
     }
+    let profile = trace.as_deref().map(|t| {
+        let spans = t
+            .spans()
+            .into_iter()
+            .map(|s| ProfileSpan {
+                stage: s.stage.to_string(),
+                label: s.label,
+                start_ns: s.start_ns,
+                dur_ns: s.dur_ns,
+                detail: s.detail,
+            })
+            .collect();
+        (
+            ConnCancel::tag_key(tag),
+            QueryProfile {
+                total_ns: t.now_ns(),
+                dropped: t.dropped(),
+                spans,
+            },
+        )
+    });
     Completion {
         shard,
         conn_token,
         conn_id,
         bytes: out,
+        profile,
     }
+}
+
+/// Emit the structured slow-query line when the statement's wall time
+/// crossed `slow_query_ms`: template key, strategy, learned join order,
+/// convergence point, warm-start/page counters and per-stage micros.
+fn maybe_log_slow_query(
+    shared: &Arc<Shared>,
+    kind: &JobKind,
+    strategy: &str,
+    script: &ScriptOutcome,
+    trace: Option<&skinnerdb::skinner_exec::Trace>,
+) {
+    let Some(threshold_ms) = shared.cfg.slow_query_ms else {
+        return;
+    };
+    if script.wall < Duration::from_millis(threshold_ms) {
+        return;
+    }
+    shared.stats.slow_queries_total.inc();
+    let template = match kind {
+        JobKind::Query { sql, .. } => template_key(sql),
+        JobKind::Execute { .. } => "<prepared statement>".to_string(),
+    };
+    // Script statistics of the heaviest statement (by wall) stand in for
+    // the script when scripts have several.
+    let stmt = script
+        .statements
+        .iter()
+        .max_by_key(|s| s.wall)
+        .map(|s| &s.metrics);
+    let order: Vec<usize> = stmt.map(|m| m.order.clone()).unwrap_or_default();
+    let counter = |name: &str| stmt.and_then(|m| m.counter(name)).unwrap_or(0);
+    let (pages_read, pages_skipped, slices) = stmt
+        .map(|m| (m.pages_read, m.pages_skipped, m.slices))
+        .unwrap_or((0, 0, 0));
+    let stages = trace
+        .map(|t| {
+            let mut agg: Vec<(&'static str, u64)> = Vec::new();
+            for s in t.spans() {
+                match agg.iter_mut().find(|(n, _)| *n == s.stage) {
+                    Some(e) => e.1 += s.dur_ns,
+                    None => agg.push((s.stage, s.dur_ns)),
+                }
+            }
+            agg.iter()
+                .map(|(n, ns)| format!("{n}={}us", ns / 1_000))
+                .collect::<Vec<_>>()
+                .join(",")
+        })
+        .unwrap_or_default();
+    eprintln!(
+        "slow-query wall_ms={} strategy={} slices={} order={:?} last_order_switch={} \
+         order_switches={} warm_start={} pages_read={} pages_skipped={} stages=[{}] template={:?}",
+        script.wall.as_millis(),
+        strategy,
+        slices,
+        order,
+        counter("last_order_switch"),
+        counter("order_switches"),
+        counter("cache_hit"),
+        pages_read,
+        pages_skipped,
+        stages,
+        template,
+    );
 }
 
 // ---- response encoding --------------------------------------------------

@@ -1,0 +1,202 @@
+//! Always-on per-query trace spans.
+//!
+//! A [`Trace`] is created when a query enters the system and rides along
+//! (behind an `Arc`) through admission, parse/bind, the learning episode
+//! loop and result encoding. Each stage records a [`Span`]: a static
+//! stage name, nanosecond start/duration relative to the trace's epoch,
+//! and one free `detail` integer (pages skipped, slices run, bytes
+//! written — stage-defined).
+//!
+//! Cost discipline: the span ring is preallocated at construction and
+//! plain spans carry only a `&'static str` and integers, so recording on
+//! the hot path performs no allocation. Per-order episode spans carry an
+//! owned label, but those are built only when the learned join order
+//! *switches* — a cold, bounded event (`last_order_switch` converges).
+//! When the ring is full the oldest span is overwritten and a dropped
+//! count maintained, bounding memory per query regardless of episode
+//! count.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One recorded stage of a query's life.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Stage name (static: `admission_wait`, `parse_bind`, `preprocess`,
+    /// `episodes`, `postprocess`, `encode_flush`, ...).
+    pub stage: &'static str,
+    /// Optional qualifier (e.g. the join order an episode run used);
+    /// empty for plain spans.
+    pub label: String,
+    /// Nanoseconds from the trace epoch to the stage start.
+    pub start_ns: u64,
+    /// Stage duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Stage-defined detail (slices run, pages skipped, bytes, ...).
+    pub detail: u64,
+}
+
+#[derive(Debug)]
+struct Ring {
+    spans: Vec<Span>,
+    /// Overwrite cursor once the ring is full.
+    next: usize,
+    dropped: u64,
+}
+
+/// A per-query span ring with a monotonic epoch. Clones share state via
+/// `Arc<Trace>`; recording locks a plain mutex (uncontended in practice —
+/// one query's stages rarely overlap).
+#[derive(Debug)]
+pub struct Trace {
+    epoch: Instant,
+    cap: usize,
+    inner: Mutex<Ring>,
+}
+
+impl Trace {
+    /// A trace holding at most `cap` spans (oldest overwritten beyond
+    /// that). The ring is fully preallocated here.
+    pub fn new(cap: usize) -> Arc<Trace> {
+        let cap = cap.max(1);
+        Arc::new(Trace {
+            epoch: Instant::now(),
+            cap,
+            inner: Mutex::new(Ring {
+                spans: Vec::with_capacity(cap),
+                next: 0,
+                dropped: 0,
+            }),
+        })
+    }
+
+    /// Nanoseconds elapsed since the trace was created.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Record a plain (unlabeled) span that started at `start_ns` and
+    /// ends now.
+    pub fn record(&self, stage: &'static str, start_ns: u64, detail: u64) {
+        let dur_ns = self.now_ns().saturating_sub(start_ns);
+        self.push(Span {
+            stage,
+            label: String::new(),
+            start_ns,
+            dur_ns,
+            detail,
+        });
+    }
+
+    /// Record a fully specified span (labeled spans, externally timed
+    /// durations).
+    pub fn push(&self, span: Span) {
+        let mut ring = self.inner.lock().unwrap();
+        if ring.spans.len() < self.cap {
+            ring.spans.push(span);
+        } else {
+            let i = ring.next;
+            ring.spans[i] = span;
+            ring.next = (i + 1) % self.cap;
+            ring.dropped += 1;
+        }
+    }
+
+    /// The recorded spans in chronological (insertion) order.
+    pub fn spans(&self) -> Vec<Span> {
+        let ring = self.inner.lock().unwrap();
+        let mut out = Vec::with_capacity(ring.spans.len());
+        out.extend_from_slice(&ring.spans[ring.next..]);
+        out.extend_from_slice(&ring.spans[..ring.next]);
+        out
+    }
+
+    /// Spans overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap().dropped
+    }
+}
+
+/// Times one stage against an optional trace; a no-op (not even a clock
+/// read) when no trace is attached.
+#[derive(Debug)]
+pub struct SpanTimer<'a> {
+    trace: Option<&'a Trace>,
+    stage: &'static str,
+    start_ns: u64,
+}
+
+impl<'a> SpanTimer<'a> {
+    pub fn start(trace: Option<&'a Trace>, stage: &'static str) -> SpanTimer<'a> {
+        SpanTimer {
+            start_ns: trace.map(|t| t.now_ns()).unwrap_or(0),
+            trace,
+            stage,
+        }
+    }
+
+    /// Close the stage, recording its span (if tracing).
+    pub fn finish(self, detail: u64) {
+        if let Some(t) = self.trace {
+            t.record(self.stage, self.start_ns, detail);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_in_order_with_nonzero_durations() {
+        let t = Trace::new(16);
+        let s1 = t.now_ns();
+        std::hint::black_box((0..1000).sum::<u64>());
+        t.record("parse_bind", s1, 0);
+        let s2 = t.now_ns();
+        std::hint::black_box((0..1000).sum::<u64>());
+        t.record("episodes", s2, 42);
+        let spans = t.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].stage, "parse_bind");
+        assert_eq!(spans[1].stage, "episodes");
+        assert_eq!(spans[1].detail, 42);
+        assert!(spans[1].start_ns >= spans[0].start_ns);
+        assert!(spans.iter().all(|s| s.dur_ns > 0));
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let t = Trace::new(3);
+        for i in 0..5u64 {
+            t.push(Span {
+                stage: "episodes",
+                label: String::new(),
+                start_ns: i,
+                dur_ns: 1,
+                detail: i,
+            });
+        }
+        assert_eq!(t.dropped(), 2);
+        let spans = t.spans();
+        assert_eq!(spans.len(), 3);
+        // Oldest two (details 0, 1) were overwritten; order preserved.
+        assert_eq!(
+            spans.iter().map(|s| s.detail).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn span_timer_is_a_noop_without_a_trace() {
+        let timer = SpanTimer::start(None, "preprocess");
+        assert_eq!(timer.start_ns, 0);
+        timer.finish(7); // must not panic
+        let t = Trace::new(4);
+        let timer = SpanTimer::start(Some(&t), "preprocess");
+        timer.finish(7);
+        assert_eq!(t.spans().len(), 1);
+        assert_eq!(t.spans()[0].detail, 7);
+    }
+}

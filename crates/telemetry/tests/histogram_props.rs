@@ -1,0 +1,101 @@
+//! Property tests for the log-linear histogram (satellite: bucket
+//! correctness, quantile error bound, concurrent-recording exactness).
+
+use proptest::prelude::*;
+use skinner_telemetry::{bucket_bounds, bucket_index, Histogram, NUM_BUCKETS};
+
+fn values() -> impl Strategy<Value = u64> {
+    prop_oneof![0u64..16, 0u64..1_000, 0u64..10_000_000, any::<u64>(),]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// Every value lands in a bucket whose bounds contain it.
+    #[test]
+    fn values_land_in_their_bucket(v in values()) {
+        let i = bucket_index(v);
+        prop_assert!(i < NUM_BUCKETS, "index {i} out of range for {v}");
+        let (lo, hi) = bucket_bounds(i);
+        prop_assert!(lo <= v && v <= hi, "{v} outside bucket {i} = [{lo}, {hi}]");
+    }
+
+    /// Bucket indexing is monotone: a larger value never maps to an
+    /// earlier bucket.
+    #[test]
+    fn bucket_index_is_monotone(a in values(), b in values()) {
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(bucket_index(lo) <= bucket_index(hi));
+    }
+
+    /// Quantile estimates are within one bucket width of the exact
+    /// order-statistic (and never below it).
+    #[test]
+    fn quantiles_within_one_bucket_width(
+        vals in proptest::collection::vec(0u64..10_000_000, 1..300),
+        q in 0.0f64..1.0,
+    ) {
+        let h = Histogram::new();
+        for &v in &vals {
+            h.record(v);
+        }
+        let mut vals = vals;
+        vals.sort_unstable();
+        let snap = h.snapshot();
+        let rank = ((q * vals.len() as f64).ceil() as usize).clamp(1, vals.len());
+        let exact = vals[rank - 1];
+        let est = snap.quantile(q);
+        let (lo, hi) = bucket_bounds(bucket_index(exact));
+        prop_assert!(
+            est >= exact && est <= hi,
+            "q={q} est={est} exact={exact} bucket=[{lo},{hi}]"
+        );
+    }
+
+    /// Count and sum track every recorded value exactly.
+    #[test]
+    fn count_and_sum_are_exact(vals in proptest::collection::vec(0u64..1_000_000, 0..200)) {
+        let h = Histogram::new();
+        for &v in &vals {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, vals.len() as u64);
+        prop_assert_eq!(snap.sum, vals.iter().sum::<u64>());
+        prop_assert_eq!(snap.max, vals.iter().max().copied().unwrap_or(0));
+        let bucket_total: u64 = snap.buckets.iter().map(|&(_, n)| n).sum();
+        prop_assert_eq!(bucket_total, snap.count);
+    }
+}
+
+/// Concurrent recording from 8 threads loses no counts: the quiescent
+/// totals equal what a sequential recorder would have produced.
+#[test]
+fn concurrent_recording_loses_nothing() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 10_000;
+    let h = std::sync::Arc::new(Histogram::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let h = h.clone();
+            std::thread::spawn(move || {
+                // Deterministic per-thread value schedule covering several
+                // octaves (same multiset regardless of interleaving).
+                for i in 0..PER_THREAD {
+                    h.record((i * 37 + t) % 100_000);
+                }
+            })
+        })
+        .collect();
+    for j in handles {
+        j.join().unwrap();
+    }
+    let snap = h.snapshot();
+    assert_eq!(snap.count, THREADS * PER_THREAD);
+    let expect_sum: u64 = (0..THREADS)
+        .flat_map(|t| (0..PER_THREAD).map(move |i| (i * 37 + t) % 100_000))
+        .sum();
+    assert_eq!(snap.sum, expect_sum);
+    let bucket_total: u64 = snap.buckets.iter().map(|&(_, n)| n).sum();
+    assert_eq!(bucket_total, snap.count);
+}

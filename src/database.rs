@@ -6,7 +6,9 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use skinner_core::{TreeCache, TreeCacheConfig, TreeCacheStats};
-use skinner_exec::{ExecContext, ExecMetrics, ExecOutcome, ExecutionStrategy, StrategyRegistry};
+use skinner_exec::{
+    ExecContext, ExecMetrics, ExecOutcome, ExecutionStrategy, SpanTimer, StrategyRegistry,
+};
 use skinner_query::ast::Statement;
 use skinner_query::{bind_select, parse_statements, BindError, JoinQuery, ParseError, UdfRegistry};
 use skinner_stats::StatsCache;
@@ -560,7 +562,9 @@ impl Database {
         strategy: &dyn ExecutionStrategy,
         ctx: &ExecContext,
     ) -> Result<ScriptOutcome, DbError> {
+        let parse_timer = SpanTimer::start(ctx.trace(), "parse_bind");
         let stmts = parse_statements(sql)?;
+        parse_timer.finish(stmts.len() as u64);
         if stmts.is_empty() {
             return Err(DbError::Schema("empty script".into()));
         }
@@ -602,7 +606,9 @@ impl Database {
         for stmt in stmts {
             match stmt {
                 Statement::Select(s) => {
+                    let bind_timer = SpanTimer::start(ctx.trace(), "parse_bind");
                     let q = bind_select(s, &self.catalog, &self.udfs)?;
+                    bind_timer.finish(q.num_tables() as u64);
                     let out = strategy.execute(&q, ctx);
                     total_work += out.work_units;
                     record(
