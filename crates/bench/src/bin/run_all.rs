@@ -65,6 +65,7 @@ fn main() {
         ("figure12_trivial", Box::new(ex::figure12_trivial::run)),
         ("table7_tpch", Box::new(ex::table7_tpch::run)),
         ("ablation_design_choices", Box::new(ex::ablation::run)),
+        ("optimizer_bakeoff", Box::new(ex::optimizer_bakeoff::run)),
         ("thread_scaling", Box::new(ex::thread_scaling::run)),
         ("disk_scan", Box::new(ex::disk_scan::run)),
         ("repeat_workload", Box::new(ex::repeat_workload::run)),

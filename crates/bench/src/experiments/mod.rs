@@ -9,6 +9,7 @@ pub mod figure6_speedups;
 pub mod figure7_convergence;
 pub mod figure8_memory;
 pub mod figure9_udf_torture;
+pub mod optimizer_bakeoff;
 pub mod repeat_workload;
 pub mod server_throughput;
 pub mod table1_job;

@@ -86,6 +86,7 @@ pub fn run(scale: Scale, multi_threaded: bool) -> String {
                         forced_order: Some(order.to_vec()),
                         work_limit: limit,
                         preprocess_threads: threads,
+                        ..Default::default()
                     },
                 );
                 add(engine, src, t.work_units);

@@ -137,6 +137,7 @@ pub fn system_strategy(system: System, limit: u64) -> Strategy {
                 } else {
                     1
                 },
+                ..Default::default()
             })
         }
         System::SkinnerGRow | System::SkinnerGCol => Strategy::SkinnerG(SkinnerGConfig {

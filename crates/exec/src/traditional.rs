@@ -6,7 +6,7 @@
 
 use std::time::Instant;
 
-use skinner_optimizer::best_left_deep_estimated;
+use skinner_optimizer::{plan_query, PlannerConfig};
 use skinner_query::JoinQuery;
 
 use crate::budget::WorkBudget;
@@ -27,6 +27,8 @@ pub struct TraditionalConfig {
     pub work_limit: u64,
     /// Threads for the pre-processing scan.
     pub preprocess_threads: usize,
+    /// Planner DP table limit (greedy fallback beyond it).
+    pub dp_table_limit: usize,
 }
 
 impl Default for TraditionalConfig {
@@ -36,6 +38,7 @@ impl Default for TraditionalConfig {
             forced_order: None,
             work_limit: u64::MAX,
             preprocess_threads: 1,
+            dp_table_limit: PlannerConfig::default().dp_table_limit,
         }
     }
 }
@@ -50,12 +53,35 @@ pub fn run_traditional(
     let start = Instant::now();
     let budget = WorkBudget::with_limit(ctx.effective_limit(cfg.work_limit));
     let columns: Vec<String> = query.select.iter().map(|s| s.name().to_string()).collect();
-    let metrics = |order: Vec<usize>, budget: &WorkBudget, pages: (u64, u64)| ExecMetrics {
-        order,
-        intermediate_tuples: budget.tuples_produced(),
-        pages_read: pages.0,
-        pages_skipped: pages.1,
-        ..ExecMetrics::default()
+
+    // Plan first: the optimizer only looks at statistics, not data, so it is
+    // charged no work units (planning overhead is negligible at our scales).
+    let (order, plan_cost_est) = match &cfg.forced_order {
+        Some(o) => (o.clone(), None),
+        None => {
+            let plan = plan_query(
+                query,
+                ctx.stats(),
+                &PlannerConfig {
+                    dp_table_limit: cfg.dp_table_limit,
+                },
+            );
+            (plan.order, Some(plan.cost_est))
+        }
+    };
+
+    let metrics = |order: Vec<usize>, budget: &WorkBudget, pages: (u64, u64)| {
+        let m = ExecMetrics {
+            order,
+            intermediate_tuples: budget.tuples_produced(),
+            pages_read: pages.0,
+            pages_skipped: pages.1,
+            ..ExecMetrics::default()
+        };
+        match plan_cost_est {
+            Some(c) => m.with_counter("plan_cost_est", c.round() as u64),
+            None => m,
+        }
     };
     let timed_out_outcome =
         |order: Vec<usize>, budget: &WorkBudget, start: Instant, pages: (u64, u64)| {
@@ -63,13 +89,6 @@ pub fn run_traditional(
             ExecOutcome::timeout(columns.clone(), budget.used(), start.elapsed())
                 .with_metrics(metrics(order, budget, pages))
         };
-
-    // Plan first: the optimizer only looks at statistics, not data, so it is
-    // charged no work units (planning overhead is negligible at our scales).
-    let order = match &cfg.forced_order {
-        Some(o) => o.clone(),
-        None => best_left_deep_estimated(query, ctx.stats()).0,
-    };
 
     if ctx.interrupted() {
         return timed_out_outcome(order, &budget, start, (0, 0));

@@ -1,0 +1,157 @@
+//! Property tests for the planner: the Selinger DP against the greedy
+//! fallback, relabeling invariance, Cartesian avoidance on connected
+//! graphs, and behaviour under misestimated cardinalities.
+//!
+//! Graphs and cardinality functions are derived deterministically from
+//! fuzzed seeds: a spanning tree keeps every graph connected, extra edges
+//! and all cardinalities come from a splitmix hash of (seed, subset mask).
+
+use proptest::prelude::*;
+use skinner_optimizer::{best_left_deep, cout, greedy_left_deep, plan_join_order, PlannerConfig};
+use skinner_query::{JoinGraph, TableSet};
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A connected join graph on `n` tables: a random spanning tree (edge from
+/// each table `i ≥ 1` to some earlier table) plus random extra edges.
+/// Returns the edge list too — `JoinGraph` does not expose it back.
+fn connected_graph(n: usize, seed: u64) -> (JoinGraph, Vec<TableSet>) {
+    let mut edges = Vec::new();
+    for i in 1..n {
+        let parent = (splitmix(seed ^ i as u64) % i as u64) as usize;
+        edges.push(TableSet::from_iter([parent, i]));
+    }
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if splitmix(seed ^ ((a * 64 + b) as u64) ^ 0xE0_0E) % 4 == 0 {
+                edges.push(TableSet::from_iter([a, b]));
+            }
+        }
+    }
+    (JoinGraph::new(n, edges.clone()), edges)
+}
+
+/// Deterministic pseudo-random cardinality of a table subset in [1, 1000].
+fn card_fn(seed: u64) -> impl Fn(TableSet) -> f64 {
+    move |s: TableSet| (splitmix(seed ^ s.mask()) % 1000) as f64 + 1.0
+}
+
+/// Relative-tolerance float comparison for sums accumulated in different
+/// orders.
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-6 * a.abs().max(b.abs()).max(1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 200, ..ProptestConfig::default() })]
+
+    /// The DP is exact over left-deep orders, so it can never be beaten by
+    /// the greedy construction under the same cardinality function.
+    #[test]
+    fn dp_never_worse_than_greedy(n in 2usize..8, seed in any::<u64>()) {
+        let (g, _) = connected_graph(n, seed);
+        let card = card_fn(seed);
+        let (dp_order, dp_cost) = best_left_deep(&g, &card);
+        let (greedy_order, greedy_cost) = greedy_left_deep(&g, &card);
+        prop_assert!(g.validates(&dp_order), "dp order invalid: {:?}", dp_order);
+        prop_assert!(
+            dp_cost <= greedy_cost + 1e-6 * greedy_cost.max(1.0),
+            "dp {} beat by greedy {} (orders {:?} vs {:?})",
+            dp_cost, greedy_cost, dp_order, greedy_order
+        );
+        // Reported costs are consistent with the C_out of the orders.
+        prop_assert!(close(dp_cost, cout(&dp_order, &card)));
+        prop_assert!(close(greedy_cost, cout(&greedy_order, &card)));
+    }
+
+    /// Relabeling the tables must not change the DP optimum: plan the same
+    /// graph under a permutation π with cardinalities pulled back through
+    /// π⁻¹ and the optimal cost is identical.
+    #[test]
+    fn dp_cost_is_permutation_invariant(n in 2usize..8, seed in any::<u64>(), pseed in any::<u64>()) {
+        let (g, edges) = connected_graph(n, seed);
+        let card = card_fn(seed);
+
+        // Fisher–Yates permutation π from the fuzzed seed.
+        let mut perm: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = (splitmix(pseed ^ i as u64) % (i as u64 + 1)) as usize;
+            perm.swap(i, j);
+        }
+        let mut inv = vec![0usize; n];
+        for (i, &p) in perm.iter().enumerate() {
+            inv[p] = i;
+        }
+
+        // π(G): relabel every predicate edge.
+        let edges: Vec<TableSet> = edges
+            .iter()
+            .map(|e| TableSet::from_iter(e.iter().map(|t| perm[t])))
+            .collect();
+        let gp = JoinGraph::new(n, edges);
+        let card_p = |s: TableSet| card(TableSet::from_iter(s.iter().map(|t| inv[t])));
+
+        let (_, cost) = best_left_deep(&g, &card);
+        let (order_p, cost_p) = best_left_deep(&gp, card_p);
+        prop_assert!(gp.validates(&order_p));
+        prop_assert!(
+            close(cost, cost_p),
+            "relabeling changed the optimum: {} vs {}", cost, cost_p
+        );
+    }
+
+    /// On a connected join graph neither planner method ever resorts to a
+    /// Cartesian product: every prefix of the order stays connected
+    /// (`validates` checks exactly that), at both the DP and greedy ends of
+    /// the table-limit threshold.
+    #[test]
+    fn no_cartesian_products_on_connected_graphs(n in 2usize..8, seed in any::<u64>()) {
+        let (g, _) = connected_graph(n, seed);
+        let card = card_fn(seed);
+        for limit in [0, 64] {
+            let plan = plan_join_order(&g, &card, &PlannerConfig { dp_table_limit: limit });
+            prop_assert!(
+                g.validates(&plan.order),
+                "limit {}: {:?}", limit, plan.order
+            );
+            prop_assert_eq!(plan.order.len(), n);
+        }
+    }
+
+    /// Misestimation fuzz: plan under multiplicatively noisy estimates and
+    /// evaluate the order under the true cardinalities. The planned order is
+    /// always valid, its reported cost matches the estimates it was planned
+    /// under, and its true cost can never undercut the true optimum (the DP
+    /// is exact, so estimate noise can only lose ground, never gain it).
+    #[test]
+    fn noisy_estimates_degrade_gracefully(n in 2usize..7, seed in any::<u64>(), noise in any::<u64>()) {
+        let (g, _) = connected_graph(n, seed);
+        let truth = card_fn(seed);
+        // Up to ~64× per-subset multiplicative misestimation in both
+        // directions — far beyond the independence-assumption errors the
+        // estimator commits in practice.
+        let est = |s: TableSet| {
+            let t = truth(s);
+            let bits = splitmix(noise ^ s.mask());
+            let factor = 2f64.powi((bits % 13) as i32 - 6);
+            (t * factor).max(1.0)
+        };
+
+        let planned = plan_join_order(&g, &est, &PlannerConfig::default());
+        prop_assert!(g.validates(&planned.order));
+        prop_assert!(close(planned.cost_est, cout(&planned.order, &est)));
+
+        let (_, best_true) = best_left_deep(&g, &truth);
+        let planned_true = cout(&planned.order, &truth);
+        prop_assert!(
+            planned_true >= best_true - 1e-6 * best_true.max(1.0),
+            "planned order {:?} truly costs {} < optimum {}",
+            planned.order, planned_true, best_true
+        );
+    }
+}

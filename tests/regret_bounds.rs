@@ -18,6 +18,75 @@ use skinnerdb::skinner_workloads::torture::{correlation_torture, udf_torture, Sh
 use skinnerdb::ExecContext;
 use skinnerdb::{DataType, Database, Strategy, Value};
 
+/// Per-strategy regret envelope: the maximal tolerated ratio of the
+/// strategy's work to a traditional run on a workload where the optimizer
+/// plans well (`star_db`). The constants encode each engine's theory:
+///
+/// * Customized engines (Skinner-C, parallel_skinner) and the adaptive
+///   baselines pay no per-slice engine overhead — a small constant covers
+///   learning noise.
+/// * The hybrids (Skinner-H, skinner_h) are regret-bounded against the
+///   traditional plan by the doubling schedule (Theorem 5.8: ≤ 5× plus
+///   discretization).
+/// * Generic-engine learners (Skinner-G, skinner_g) re-pay the engine's
+///   per-invocation cost (hash builds) every episode — bounded, but by a
+///   much larger constant (the paper's motivation for Skinner-C).
+///
+/// Every registered builtin MUST appear here: a new strategy fails the
+/// registry-driven test below until it declares its envelope.
+fn regret_envelope(name: &str) -> Option<f64> {
+    match name {
+        "Reference" | "Traditional" => None, // baselines define the scale
+        "Skinner-C" | "parallel_skinner" => Some(4.0),
+        "Eddy" | "Re-optimizer" => Some(4.0),
+        "Skinner-H" | "skinner_h" => Some(8.0),
+        "Skinner-G" => Some(100.0),
+        "skinner_g" => Some(50.0),
+        _ => Some(f64::NAN), // unknown: fails the test loudly
+    }
+}
+
+/// Every strategy in the builtin registry is held to its own regret
+/// envelope against the traditional baseline — with the measured ratio in
+/// the failure message, so a regression reports *how far* outside the
+/// envelope it landed.
+#[test]
+fn every_registered_strategy_meets_its_regret_envelope() {
+    let (db, sql) = star_db();
+    let trad = db
+        .run_script(&sql, &Strategy::Traditional(Default::default()))
+        .unwrap();
+    assert!(!trad.timed_out);
+    let expected = trad.result.canonical_rows();
+    for strategy in Strategy::all_builtin() {
+        let Some(bound) = regret_envelope(strategy.name()) else {
+            continue;
+        };
+        assert!(
+            !bound.is_nan(),
+            "strategy {:?} has no regret envelope — add it to regret_envelope()",
+            strategy.name()
+        );
+        let out = db.run_script(&sql, &strategy).unwrap();
+        assert!(!out.timed_out, "{} timed out", strategy.name());
+        assert_eq!(
+            out.result.canonical_rows(),
+            expected,
+            "{} disagrees with traditional",
+            strategy.name()
+        );
+        let ratio = out.work_units as f64 / trad.work_units.max(1) as f64;
+        assert!(
+            ratio < bound,
+            "{}: measured regret ratio {ratio:.2} ≥ envelope {bound} \
+             ({} work units vs traditional {})",
+            strategy.name(),
+            out.work_units,
+            trad.work_units
+        );
+    }
+}
+
 /// Build a moderately sized star-join database with one selective edge.
 fn star_db() -> (Database, String) {
     let db = Database::new();
