@@ -21,7 +21,7 @@
 //! Raw numbers land in `bench_reports/BENCH_repeat_workload.json`.
 
 use skinnerdb::skinner_core::{ParallelSkinnerConfig, SkinnerCConfig};
-use skinnerdb::{DataType, Database, Strategy, Value};
+use skinnerdb::{DataType, Database, Strategy, TreeCacheConfig, Value};
 
 use crate::harness::{human, markdown_table, Scale};
 
@@ -222,6 +222,7 @@ fn json_reps(reps: &[Rep]) -> String {
 fn write_json(
     dir: &std::path::Path,
     sections: &[(&str, &[Rep], &[Rep])],
+    drift: Option<&DriftOutcome>,
 ) -> std::io::Result<std::path::PathBuf> {
     std::fs::create_dir_all(dir)?;
     let path = dir.join("BENCH_repeat_workload.json");
@@ -237,9 +238,245 @@ fn write_json(
             if i + 1 < sections.len() { "," } else { "" },
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ]");
+    if let Some(d) = drift {
+        out.push_str(&format!(",\n  \"drift\": {}", json_drift(d)));
+    }
+    out.push_str("\n}\n");
     std::fs::write(&path, out)?;
     Ok(path)
+}
+
+// ---------------------------------------------------------------------
+// Drift variant: a workload whose warm starts MISLEAD.
+// ---------------------------------------------------------------------
+
+/// Schema for the drift workload: a fact joining two same-sized dimensions
+/// with a filterable column each. The template `b1.a < l1 AND b2.a < l2`
+/// alternates which dimension is selective, so the join order learned in
+/// one phase is exactly wrong for the next — the adversarial case drift
+/// detection exists for.
+fn build_drift_db(scale: Scale) -> Database {
+    let fact_rows = if scale.is_smoke() {
+        1500
+    } else {
+        scale.pick(4000, 40_000)
+    };
+    let db = Database::new();
+    // Same shape as `build_db`, but BOTH the small and the large dimension
+    // carry a filterable column, so the selective side can flip.
+    db.create_table(
+        "b1",
+        &[("id", DataType::Int), ("a", DataType::Int)],
+        (0..24)
+            .map(|i| vec![Value::Int(i), Value::Int(i % 12)])
+            .collect(),
+    )
+    .unwrap();
+    db.create_table(
+        "d2",
+        &[("id", DataType::Int)],
+        (0..240).map(|i| vec![Value::Int(i)]).collect(),
+    )
+    .unwrap();
+    db.create_table(
+        "b3",
+        &[("id", DataType::Int), ("a", DataType::Int)],
+        (0..600)
+            .map(|i| vec![Value::Int(i), Value::Int(i % 300)])
+            .collect(),
+    )
+    .unwrap();
+    db.create_table(
+        "fact",
+        &[
+            ("k1", DataType::Int),
+            ("k2", DataType::Int),
+            ("k3", DataType::Int),
+        ],
+        (0..fact_rows)
+            .map(|i| {
+                vec![
+                    Value::Int(i % 24),
+                    Value::Int((i * 7) % 240),
+                    Value::Int((i * 13) % 600),
+                ]
+            })
+            .collect(),
+    )
+    .unwrap();
+    db
+}
+
+/// One template, two literals: `(2, 300)` makes `b1` the selective side
+/// (`b3.a < 300` passes everything), `(12, 2)` flips it to `b3`. The
+/// template key normalizes literals, so both phases share one cache entry
+/// — and warm-start each other, wrongly.
+fn drift_sql(l1: i64, l3: i64) -> String {
+    format!(
+        "SELECT COUNT(*) c FROM fact f, b1, d2, b3 \
+         WHERE f.k1 = b1.id AND f.k2 = d2.id AND f.k3 = b3.id \
+         AND b1.a < {l1} AND b3.a < {l3}"
+    )
+}
+
+struct DriftOutcome {
+    reps: Vec<Rep>,
+    /// Quarantines entered during the bimodal phase (from cache stats).
+    quarantines: u64,
+    /// Mean episode count of the pre-quarantine runs executed cold.
+    cold_mean_episodes: f64,
+    /// Mean episode count of the *cold* runs after the first quarantine
+    /// fired — the rehabilitation window quarantine forces. Comparing
+    /// cold-vs-cold proves quarantine restores baseline performance;
+    /// warm runs after rehabilitation are excluded because the workload
+    /// stays adversarial by construction and regresses them on purpose.
+    post_quarantine_mean_episodes: f64,
+    /// Did the run right after the data mutation execute cold?
+    mutation_run_cold: bool,
+}
+
+/// Run the bimodal workload: alternate the selective dimension every
+/// repetition so every warm start is misleading, then mutate `b1`'s data
+/// and verify the next run refuses the stale prior.
+fn run_drift(scale: Scale, reps: usize) -> DriftOutcome {
+    let db = build_drift_db(scale);
+    db.set_learning_cache(true);
+    // Sticky priors on purpose: a high decay makes the misleading warm
+    // start expensive to unlearn, which is exactly the regression signal
+    // quarantine keys on. (Capacity/export defaults are fine.)
+    db.set_learning_cache_config(TreeCacheConfig {
+        decay: 0.9,
+        ..Default::default()
+    });
+    // Fine-grained slices: at the default 500 steps the smoke-scale join
+    // finishes in a handful of episodes, leaving no headroom for a
+    // misleading prior to show up as extra episodes. 50 steps puts cold
+    // convergence in the tens of episodes, where order quality dominates.
+    let strategy = Strategy::SkinnerC(SkinnerCConfig {
+        slice_steps: 50,
+        ..SkinnerCConfig::default()
+    });
+    let mut out = Vec::with_capacity(reps);
+    let mut quarantined_at: Option<usize> = None;
+    for r in 0..reps {
+        let (l1, l3) = if r % 2 == 0 { (2, 300) } else { (12, 2) };
+        let o = db
+            .run_script(&drift_sql(l1, l3), &strategy)
+            .expect("drift query must run");
+        assert!(!o.timed_out, "drift query timed out");
+        let counter = |name| o.metrics.counter(name).unwrap_or(0);
+        let best_count = o
+            .metrics
+            .order_slice_counts
+            .first()
+            .map(|(_, c)| *c)
+            .unwrap_or(0);
+        out.push(Rep {
+            lit: l1,
+            cache_hit: counter("cache_hit") == 1,
+            warm_start_visits: counter("warm_start_visits"),
+            episodes: o.metrics.slices,
+            last_order_switch: counter("last_order_switch"),
+            off_order: o.metrics.slices.saturating_sub(best_count),
+            work: o.work_units,
+            wall_us: o.wall.as_micros() as u64,
+        });
+        if quarantined_at.is_none() && db.learning_cache_stats().quarantines > 0 {
+            quarantined_at = Some(r);
+        }
+    }
+    let quarantines = db.learning_cache_stats().quarantines;
+
+    // Convergence cost = total episodes (the drift judge's metric): it
+    // prices a sticky-but-wrong prior, which pins a bad order at episode
+    // one and never shows up in the lock-in point.
+    let mean = |rs: &[&Rep]| {
+        if rs.is_empty() {
+            0.0
+        } else {
+            rs.iter().map(|r| r.episodes as f64).sum::<f64>() / rs.len() as f64
+        }
+    };
+    let cold: Vec<&Rep> = out
+        .iter()
+        .take(quarantined_at.map_or(out.len(), |q| q + 1))
+        .filter(|r| !r.cache_hit)
+        .collect();
+    let post: Vec<&Rep> = match quarantined_at {
+        Some(q) => out.iter().skip(q + 1).filter(|r| !r.cache_hit).collect(),
+        None => Vec::new(),
+    };
+    let cold_mean_episodes = mean(&cold);
+    let post_quarantine_mean_episodes = mean(&post);
+
+    // Mutation act: replace b1 with different content. The drop observer
+    // purges the template (by uid and name), so the next run must execute
+    // cold — a prior learned on the old data is never served.
+    db.create_table(
+        "b1",
+        &[("id", DataType::Int), ("a", DataType::Int)],
+        (0..24)
+            .map(|i| vec![Value::Int(i), Value::Int((i * 5) % 12)])
+            .collect(),
+    )
+    .unwrap();
+    let o = db
+        .run_script(&drift_sql(2, 300), &strategy)
+        .expect("post-mutation query must run");
+    let mutation_run_cold = o.metrics.counter("cache_hit").unwrap_or(0) == 0;
+
+    DriftOutcome {
+        reps: out,
+        quarantines,
+        cold_mean_episodes,
+        post_quarantine_mean_episodes,
+        mutation_run_cold,
+    }
+}
+
+fn render_drift(d: &DriftOutcome, out: &mut String) {
+    out.push_str("### Drift: bimodal literals + data mutation\n\n");
+    out.push_str(
+        "The same template alternates which dimension is selective every\n\
+         repetition, so each warm start seeds the *wrong* join order. Drift\n\
+         detection must notice the warm-start regressions and quarantine the\n\
+         template (runs go cold until the baseline re-establishes); a\n\
+         mid-stream data mutation must purge the entry outright.\n\n",
+    );
+    let mut rows = Vec::new();
+    for (i, r) in d.reps.iter().enumerate() {
+        rows.push(vec![
+            format!("{}", i + 1),
+            if r.lit == 2 { "b1" } else { "b3" }.into(),
+            if r.cache_hit { "warm" } else { "cold" }.into(),
+            format!("{}", r.last_order_switch),
+            format!("{}", r.episodes),
+            human(r.work),
+        ]);
+    }
+    out.push_str(&markdown_table(
+        &["rep", "selective", "start", "lock-in", "episodes", "work"],
+        &rows,
+    ));
+    out.push_str(&format!(
+        "\nQuarantines: {}; cold mean episodes {:.1}; post-quarantine mean \
+         episodes {:.1}; post-mutation run cold: {}.\n\n",
+        d.quarantines, d.cold_mean_episodes, d.post_quarantine_mean_episodes, d.mutation_run_cold
+    ));
+}
+
+fn json_drift(d: &DriftOutcome) -> String {
+    format!(
+        "{{\"quarantined_templates\": {}, \"cold_mean_episodes\": {:.2}, \
+         \"post_quarantine_mean_episodes\": {:.2}, \"mutation_run_cold\": {}, \
+         \"runs\": {}}}",
+        d.quarantines,
+        d.cold_mean_episodes,
+        d.post_quarantine_mean_episodes,
+        d.mutation_run_cold,
+        json_reps(&d.reps)
+    )
 }
 
 /// Bit-identity guard: the template's rows must be byte-for-byte the same
@@ -321,6 +558,11 @@ pub fn run(scale: Scale) -> String {
     let par_on = run_reps(&db_on, &par, reps);
     render_section("parallel_skinner (4 threads)", &par_off, &par_on, &mut out);
 
+    // Drift: enough repetitions for two phase flips plus the quarantine's
+    // cold window.
+    let drift = run_drift(scale, if scale.is_smoke() { 10 } else { 12 });
+    render_drift(&drift, &mut out);
+
     assert_thread_equivalence(scale);
     out.push_str("Thread equivalence check: rows bit-identical cache-on vs cache-off at 1/2/4/8 threads. ✔\n");
 
@@ -330,6 +572,7 @@ pub fn run(scale: Scale) -> String {
             ("Skinner-C", &seq_off, &seq_on),
             ("parallel_skinner", &par_off, &par_on),
         ],
+        Some(&drift),
     ) {
         Ok(path) => out.push_str(&format!(
             "\nRaw counters written to `{}`.\n",
@@ -382,10 +625,50 @@ mod tests {
             work: 100,
             wall_us: 42,
         };
-        let path = write_json(&tmp, &[("e", std::slice::from_ref(&rep), &[])]).unwrap();
+        let drift = DriftOutcome {
+            reps: vec![],
+            quarantines: 1,
+            cold_mean_episodes: 4.0,
+            post_quarantine_mean_episodes: 3.5,
+            mutation_run_cold: true,
+        };
+        let path = write_json(
+            &tmp,
+            &[("e", std::slice::from_ref(&rep), &[])],
+            Some(&drift),
+        )
+        .unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         std::fs::remove_dir_all(&tmp).ok();
         assert!(text.contains("\"cache_hit\": true"));
         assert!(text.contains("\"mean_lock_in_off\""));
+        assert!(text.contains("\"quarantined_templates\": 1"));
+        assert!(text.contains("\"mutation_run_cold\": true"));
+    }
+
+    /// The drift workload is the CI gate's substrate: on smoke scale the
+    /// bimodal phase must quarantine the template at least once, the
+    /// post-mutation run must execute cold, and the post-quarantine runs
+    /// must not regress versus cold execution.
+    #[test]
+    fn drift_workload_quarantines_and_recovers_deterministically() {
+        let d = run_drift(Scale::Smoke, 10);
+        assert!(
+            d.quarantines >= 1,
+            "bimodal warm starts must trip quarantine: {:?}",
+            d.reps
+                .iter()
+                .map(|r| (r.cache_hit, r.episodes, r.last_order_switch))
+                .collect::<Vec<_>>()
+        );
+        assert!(d.mutation_run_cold, "data mutation must purge the template");
+        // Post-quarantine runs execute mostly cold; their convergence must
+        // be no worse than cold baseline (generous noise margin).
+        assert!(
+            d.post_quarantine_mean_episodes <= d.cold_mean_episodes * 1.5 + 8.0,
+            "post-quarantine {} vs cold {}",
+            d.post_quarantine_mean_episodes,
+            d.cold_mean_episodes
+        );
     }
 }

@@ -1,0 +1,94 @@
+//! skinner-sql — run SQL statements against a running skinner-server.
+//!
+//! ```text
+//! skinner-sql --addr 127.0.0.1:7878 "SELECT COUNT(*) c FROM orders" ...
+//! ```
+//!
+//! Each positional argument is executed in order over one connection (so
+//! `SET` statements affect the statements after them). Results print in
+//! the server's text rendering; `--quiet` suppresses rows and prints only
+//! the per-statement summary line, which is what scripted callers (CI
+//! warm-up loops, smoke checks) usually want. Exits non-zero on the first
+//! connection or query error.
+
+use std::time::Duration;
+
+use skinner_client::Client;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: skinner-sql [--addr HOST:PORT] [--repeat N] [--quiet] SQL [SQL...]\n\
+         \x20   --addr HOST:PORT  server address (default 127.0.0.1:7878)\n\
+         \x20   --repeat N        run the whole statement list N times (default 1)\n\
+         \x20   --quiet           print summaries only, not result rows"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut repeat = 1usize;
+    let mut quiet = false;
+    let mut stmts: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = args.next().unwrap_or_else(|| usage()),
+            "--repeat" => {
+                repeat = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--quiet" => quiet = true,
+            "--help" | "-h" => usage(),
+            _ => stmts.push(arg),
+        }
+    }
+    if stmts.is_empty() {
+        usage();
+    }
+
+    let mut client = match Client::connect_with_retry(&addr, Duration::from_secs(10)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    // Text mode: the server renders result tables, so this binary needs no
+    // formatting logic of its own.
+    if let Err(e) = client.set("output", "text") {
+        eprintln!("SET output = text failed: {e}");
+        std::process::exit(1);
+    }
+
+    for round in 0..repeat {
+        for sql in &stmts {
+            match client.query(sql) {
+                Ok(res) => {
+                    if !quiet {
+                        if let Some(text) = &res.text {
+                            print!("{text}");
+                        }
+                    }
+                    let s = &res.summary;
+                    let rows: u64 = s.statements.iter().map(|st| st.rows).sum();
+                    eprintln!(
+                        "round {}: {} rows, {} work units, {} us [{}]",
+                        round + 1,
+                        rows,
+                        s.work_units,
+                        s.wall_micros,
+                        sql
+                    );
+                }
+                Err(e) => {
+                    eprintln!("query failed [{sql}]: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Drift detection for cached priors: per-template warm-start feedback,
+//! strikes, quarantine and decay-based rehabilitation.
+//!
+//! A cached prior is only worth serving while it still *helps*: when the
+//! data distribution under a template shifts (a literal band flips which
+//! join order is selective, a nearest-neighbor transfer turns out to be
+//! misleading), warm starts begin to cost episodes instead of saving them
+//! — the engine has to unlearn the prior before it can lock onto the right
+//! order. [`DriftState`] watches exactly that signal, per template:
+//!
+//! * every **cold** run (no prior served) refreshes the baseline
+//!   `cold_ewma` of the template's convergence cost — the total episode
+//!   count to completion, which prices both late lock-in *and* a sticky
+//!   prior pinning a bad order — and decays accumulated strikes;
+//!   rehabilitation is earned by evidence, not by time;
+//! * every **warm** run is judged against the baseline of whichever entry
+//!   *supplied* the prior (the template itself, or its generalization
+//!   donor): costing more than `tolerance × baseline + slack` episodes is
+//!   a regression and earns the supplier a strike;
+//! * accumulating [`STRIKE_LIMIT`] strikes **quarantines** the supplier
+//!   for [`QUARANTINE_RUNS`] runs: lookups refuse to serve it, the
+//!   template executes cold (re-measuring the baseline on current-truth
+//!   data), and each cold run counts the quarantine down until the entry
+//!   may serve again.
+//!
+//! ```text
+//!                 warm run regresses (strike += 1)
+//!        ┌────────────────────────────────────────────┐
+//!        │                                            ▼
+//!   ┌─────────┐  strikes >= STRIKE_LIMIT   ┌───────────────────┐
+//!   │ SERVING │ ─────────────────────────► │    QUARANTINED    │
+//!   │         │                            │ (serves nothing;  │
+//!   │         │ ◄───────────────────────── │  runs go cold)    │
+//!   └─────────┘   QUARANTINE_RUNS cold     └───────────────────┘
+//!        ▲         runs counted down
+//!        │
+//!        └── cold / non-regressing warm runs pay down strikes −½
+//! ```
+//!
+//! The thresholds are deliberately lax: a healthy warm start converges
+//! *much* cheaper than cold (the repeat-workload benchmark measures ~7×
+//! earlier lock-in), so only a genuinely misleading prior — not
+//! run-to-run noise — crosses `1.25 × baseline + 4`. The repeat-workload
+//! drift variant pins both directions: a bimodal literal workload must
+//! quarantine, a stable one must never.
+
+/// EWMA blend factor for the cold/warm convergence-cost baselines.
+pub(crate) const EWMA_ALPHA: f64 = 0.5;
+/// A warm run regresses when its convergence cost exceeds
+/// `REGRESSION_TOLERANCE × cold_baseline + REGRESSION_SLACK`.
+pub(crate) const REGRESSION_TOLERANCE: f64 = 1.25;
+pub(crate) const REGRESSION_SLACK: f64 = 4.0;
+/// Strikes at which a supplier is quarantined.
+pub(crate) const STRIKE_LIMIT: f64 = 2.0;
+/// Strikes paid down per rehabilitating (cold or non-regressing warm)
+/// run. Decay is *linear*, not multiplicative: halving strikes on every
+/// good run has a fixed point exactly at [`STRIKE_LIMIT`] under a
+/// strictly alternating regress/recover workload (1, ½, 1½, ¾, 1¾, … → 2
+/// from below), so the canonical bimodal drift case would asymptote
+/// forever without quarantining. Linear pay-down has no such fixed
+/// point: regressing every other run nets +½ per pair and trips the
+/// limit, while sporadic noise (one regression per three runs or fewer)
+/// nets to zero.
+pub(crate) const STRIKE_DECAY: f64 = 0.5;
+/// Cold runs a quarantined template must complete before serving again.
+pub(crate) const QUARANTINE_RUNS: u32 = 3;
+
+/// Per-template drift-tracking state. Persisted alongside the prior so a
+/// quarantine survives a restart (a misleading prior must not get a free
+/// second chance by bouncing the process).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct DriftState {
+    /// Baseline EWMA of the episode count, fed by cold runs and by
+    /// non-regressing warm runs (so it tracks benign cost shifts, e.g. a
+    /// literal that matches more rows) — the yardstick warm runs are
+    /// judged against.
+    pub cold_ewma: Option<f64>,
+    /// EWMA over warm runs (diagnostics; not used for judgment).
+    pub warm_ewma: Option<f64>,
+    /// Accumulated regression strikes (decayed, not reset, so repeated
+    /// borderline regressions still trip the limit).
+    pub strikes: f64,
+    /// Remaining cold runs before this entry may serve priors again;
+    /// `> 0` means quarantined.
+    pub quarantine_left: u32,
+    /// Times this entry has ever been quarantined (monotonic).
+    pub quarantines: u64,
+}
+
+fn blend(slot: &mut Option<f64>, x: f64) {
+    *slot = Some(match *slot {
+        Some(prev) => (1.0 - EWMA_ALPHA) * prev + EWMA_ALPHA * x,
+        None => x,
+    });
+}
+
+impl DriftState {
+    pub fn quarantined(&self) -> bool {
+        self.quarantine_left > 0
+    }
+
+    /// Record a cold run of this template: refresh the baseline, decay
+    /// strikes, and count down an active quarantine.
+    pub fn note_cold(&mut self, cost: f64) {
+        blend(&mut self.cold_ewma, cost);
+        self.strikes = (self.strikes - STRIKE_DECAY).max(0.0);
+        self.quarantine_left = self.quarantine_left.saturating_sub(1);
+    }
+
+    /// Record the convergence cost of a warm run that *this entry's* prior
+    /// seeded (directly or as a generalization donor). Returns `true` if
+    /// this judgment newly quarantined the entry.
+    pub fn judge_warm(&mut self, cost: f64) -> bool {
+        let Some(cold) = self.cold_ewma else {
+            // No baseline yet — nothing sound to judge against.
+            return false;
+        };
+        if cost > REGRESSION_TOLERANCE * cold + REGRESSION_SLACK {
+            self.strikes += 1.0;
+            if self.strikes >= STRIKE_LIMIT && !self.quarantined() {
+                self.quarantine_left = QUARANTINE_RUNS;
+                self.quarantines += 1;
+                self.strikes = 0.0;
+                return true;
+            }
+        } else {
+            self.strikes = (self.strikes - STRIKE_DECAY).max(0.0);
+            // A non-regressing warm run is current-truth evidence of what
+            // this template costs: blend it into the baseline so benign
+            // cost variation (a literal that matches more rows) tracks
+            // instead of reading as regression once it drifts past the
+            // tolerance band of a stale, one-literal baseline.
+            blend(&mut self.cold_ewma, cost);
+        }
+        false
+    }
+
+    /// Record a warm run's cost on the entry that *received* it (for the
+    /// diagnostic warm EWMA; judgment happens on the supplier).
+    pub fn note_warm_observed(&mut self, cost: f64) {
+        blend(&mut self.warm_ewma, cost);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_warm_runs_never_quarantine() {
+        let mut d = DriftState::default();
+        d.note_cold(20.0);
+        d.note_cold(24.0); // baseline EWMA ≈ 22
+        for _ in 0..100 {
+            assert!(!d.judge_warm(5.0), "fast lock-in is never a regression");
+        }
+        assert!(!d.quarantined());
+        assert_eq!(d.quarantines, 0);
+    }
+
+    #[test]
+    fn repeated_regressions_quarantine_then_cold_runs_rehabilitate() {
+        let mut d = DriftState::default();
+        d.note_cold(10.0);
+        // 1.25 * 10 + 4 = 16.5: a 30-episode lock-in is a clear regression.
+        assert!(!d.judge_warm(30.0), "first strike is not yet quarantine");
+        assert!(!d.quarantined());
+        assert!(d.judge_warm(30.0), "second strike trips the limit");
+        assert!(d.quarantined());
+        assert_eq!(d.quarantines, 1);
+        // Rehabilitation: exactly QUARANTINE_RUNS cold runs.
+        for i in 0..QUARANTINE_RUNS {
+            assert!(d.quarantined(), "still quarantined before cold run {i}");
+            d.note_cold(12.0);
+        }
+        assert!(!d.quarantined(), "served its time");
+        // And it can be quarantined again if regressions resume.
+        assert!(!d.judge_warm(40.0));
+        assert!(d.judge_warm(40.0));
+        assert_eq!(d.quarantines, 2);
+    }
+
+    #[test]
+    fn good_runs_decay_strikes_so_sporadic_noise_never_accumulates() {
+        // One regression per three runs nets to zero strikes: sporadic
+        // noise never quarantines no matter how long it goes on.
+        let mut d = DriftState::default();
+        d.note_cold(10.0);
+        for _ in 0..50 {
+            assert!(!d.judge_warm(100.0), "one bad...");
+            assert!(!d.judge_warm(3.0), "...two good runs...");
+            assert!(!d.judge_warm(3.0), "...pay the strike back down");
+        }
+        assert_eq!(d.quarantines, 0);
+    }
+
+    #[test]
+    fn regressing_every_other_run_is_drift_not_noise() {
+        // The canonical bimodal case: each phase's warm start misleads
+        // the next phase, so every other run regresses while the runs in
+        // between merely break even. Strikes net +½ per pair and must
+        // reach the limit instead of asymptoting below it.
+        let mut d = DriftState::default();
+        d.note_cold(28.0);
+        let mut quarantined = false;
+        for _ in 0..5 {
+            quarantined |= d.judge_warm(63.0);
+            quarantined |= d.judge_warm(26.0);
+        }
+        assert!(quarantined, "alternating regressions must quarantine");
+        assert_eq!(d.quarantines, 1);
+    }
+
+    #[test]
+    fn no_baseline_means_no_judgment() {
+        let mut d = DriftState::default();
+        assert!(!d.judge_warm(1_000_000.0));
+        assert_eq!(d.strikes, 0.0);
+    }
+
+    #[test]
+    fn cold_baseline_tracks_shifts() {
+        let mut d = DriftState::default();
+        d.note_cold(100.0);
+        for _ in 0..10 {
+            d.note_cold(10.0);
+        }
+        let cold = d.cold_ewma.unwrap();
+        assert!(cold < 11.0, "EWMA converged to the new regime: {cold}");
+    }
+}

@@ -1,0 +1,219 @@
+//! On-disk encoding of the learning cache's entries.
+//!
+//! The cache persists into the data directory as one sidecar file (see
+//! `skinner_storage::disk::sidecar`) named [`PRIORS_SIDECAR`]. The sidecar
+//! envelope supplies framing, the format version and a whole-file
+//! checksum; this module owns the payload: a flat sequence of entries,
+//! each carrying the template key, the per-table identity (name + content
+//! fingerprint + cardinality bucket), the structural features, the drift
+//! state and the [`TreePrior`] itself (encoded by
+//! `TreePrior::encode_into`).
+//!
+//! Decoding is defensive end to end — every length is bounds-checked,
+//! every count capped, every float checked finite where finiteness is an
+//! invariant — and an error anywhere refuses the *whole* payload: a prior
+//! file is an accelerator, never worth trusting partially. The hostile
+//! roundtrip proptests in `crates/core/tests/` pin this.
+
+use std::sync::Arc;
+
+use skinner_query::TemplateFeatures;
+use skinner_uct::TreePrior;
+
+use super::drift::DriftState;
+use super::{CacheEntry, PersistedEntry};
+
+/// Sidecar file name (becomes `learned_priors.side` in the data dir).
+pub const PRIORS_SIDECAR: &str = "learned_priors";
+/// Payload format version, checked by the sidecar envelope on read.
+pub const PRIORS_VERSION: u32 = 1;
+
+const MAX_ENTRIES: usize = 65_536;
+const MAX_KEY_LEN: usize = 16_384;
+const MAX_TABLES: usize = 64;
+const MAX_NAME_LEN: usize = 4_096;
+
+pub(super) fn encode_entries(entries: &[(String, CacheEntry)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1024);
+    out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for (key, e) in entries {
+        put_str(&mut out, key);
+        let f = &e.features;
+        out.extend_from_slice(&(f.tables.len() as u16).to_le_bytes());
+        for (i, name) in f.tables.iter().enumerate() {
+            put_str16(&mut out, name);
+            out.extend_from_slice(&e.fingerprints.get(i).copied().unwrap_or(0).to_le_bytes());
+            out.push(e.buckets.get(i).copied().unwrap_or(0));
+            out.extend_from_slice(&f.unary_counts.get(i).copied().unwrap_or(0).to_le_bytes());
+        }
+        out.extend_from_slice(&f.n_equi.to_le_bytes());
+        out.extend_from_slice(&f.n_theta.to_le_bytes());
+        out.extend_from_slice(&f.n_select.to_le_bytes());
+        out.push(
+            (f.has_group as u8)
+                | (f.has_order as u8) << 1
+                | (f.distinct as u8) << 2
+                | (f.limited as u8) << 3,
+        );
+        let d = &e.drift;
+        put_opt_f64(&mut out, d.cold_ewma);
+        put_opt_f64(&mut out, d.warm_ewma);
+        out.extend_from_slice(&d.strikes.to_bits().to_le_bytes());
+        out.extend_from_slice(&d.quarantine_left.to_le_bytes());
+        out.extend_from_slice(&d.quarantines.to_le_bytes());
+        e.prior.encode_into(&mut out);
+    }
+    out
+}
+
+pub(super) fn decode_entries(bytes: &[u8]) -> Result<Vec<PersistedEntry>, String> {
+    let mut pos = 0usize;
+    let count = take_u32(bytes, &mut pos)? as usize;
+    if count > MAX_ENTRIES {
+        return Err(format!("implausible entry count {count}"));
+    }
+    let mut out = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        let key = take_str(bytes, &mut pos, MAX_KEY_LEN)?;
+        let n_tables = take_u16(bytes, &mut pos)? as usize;
+        if n_tables == 0 || n_tables > MAX_TABLES {
+            return Err(format!("implausible table count {n_tables}"));
+        }
+        let mut tables = Vec::with_capacity(n_tables);
+        let mut fingerprints = Vec::with_capacity(n_tables);
+        let mut buckets = Vec::with_capacity(n_tables);
+        let mut unary_counts = Vec::with_capacity(n_tables);
+        for _ in 0..n_tables {
+            tables.push(take_str16(bytes, &mut pos, MAX_NAME_LEN)?);
+            fingerprints.push(take_u64(bytes, &mut pos)?);
+            buckets.push(take_u8(bytes, &mut pos)?);
+            unary_counts.push(take_u16(bytes, &mut pos)?);
+        }
+        let n_equi = take_u16(bytes, &mut pos)?;
+        let n_theta = take_u16(bytes, &mut pos)?;
+        let n_select = take_u16(bytes, &mut pos)?;
+        let flags = take_u8(bytes, &mut pos)?;
+        if flags > 0b1111 {
+            return Err(format!("unknown feature flags {flags:#b}"));
+        }
+        let cold_ewma = take_opt_f64(bytes, &mut pos)?;
+        let warm_ewma = take_opt_f64(bytes, &mut pos)?;
+        let strikes = f64::from_bits(take_u64(bytes, &mut pos)?);
+        if !strikes.is_finite() || strikes < 0.0 {
+            return Err("non-finite or negative strikes".to_string());
+        }
+        let quarantine_left = take_u32(bytes, &mut pos)?;
+        if quarantine_left > 1_000 {
+            return Err(format!("implausible quarantine counter {quarantine_left}"));
+        }
+        let quarantines = take_u64(bytes, &mut pos)?;
+        let prior = TreePrior::decode_from(bytes, &mut pos)?;
+        if prior.num_tables != n_tables {
+            return Err(format!(
+                "prior covers {} tables, entry lists {n_tables}",
+                prior.num_tables
+            ));
+        }
+        out.push(PersistedEntry {
+            key,
+            entry: CacheEntry {
+                uids: Vec::new(),
+                fingerprints,
+                buckets,
+                features: TemplateFeatures {
+                    tables,
+                    unary_counts,
+                    n_equi,
+                    n_theta,
+                    n_select,
+                    has_group: flags & 1 != 0,
+                    has_order: flags & 2 != 0,
+                    distinct: flags & 4 != 0,
+                    limited: flags & 8 != 0,
+                },
+                prior: Arc::new(prior),
+                drift: DriftState {
+                    cold_ewma,
+                    warm_ewma,
+                    strikes,
+                    quarantine_left,
+                    quarantines,
+                },
+                stamp: 0,
+            },
+        });
+    }
+    if pos != bytes.len() {
+        return Err(format!(
+            "{} trailing bytes after last entry",
+            bytes.len() - pos
+        ));
+    }
+    Ok(out)
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_str16(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_opt_f64(out: &mut Vec<u8>, v: Option<f64>) {
+    out.push(v.is_some() as u8);
+    out.extend_from_slice(&v.unwrap_or(0.0).to_bits().to_le_bytes());
+}
+
+fn take<'a>(bytes: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8], String> {
+    let s = bytes
+        .get(*pos..*pos + n)
+        .ok_or_else(|| "truncated prior payload".to_string())?;
+    *pos += n;
+    Ok(s)
+}
+
+fn take_u8(bytes: &[u8], pos: &mut usize) -> Result<u8, String> {
+    Ok(take(bytes, pos, 1)?[0])
+}
+
+fn take_u16(bytes: &[u8], pos: &mut usize) -> Result<u16, String> {
+    Ok(u16::from_le_bytes(take(bytes, pos, 2)?.try_into().unwrap()))
+}
+
+fn take_u32(bytes: &[u8], pos: &mut usize) -> Result<u32, String> {
+    Ok(u32::from_le_bytes(take(bytes, pos, 4)?.try_into().unwrap()))
+}
+
+fn take_u64(bytes: &[u8], pos: &mut usize) -> Result<u64, String> {
+    Ok(u64::from_le_bytes(take(bytes, pos, 8)?.try_into().unwrap()))
+}
+
+fn take_str(bytes: &[u8], pos: &mut usize, max: usize) -> Result<String, String> {
+    let len = take_u32(bytes, pos)? as usize;
+    if len > max {
+        return Err(format!("string length {len} exceeds cap {max}"));
+    }
+    String::from_utf8(take(bytes, pos, len)?.to_vec()).map_err(|_| "invalid utf-8".to_string())
+}
+
+fn take_str16(bytes: &[u8], pos: &mut usize, max: usize) -> Result<String, String> {
+    let len = take_u16(bytes, pos)? as usize;
+    if len > max {
+        return Err(format!("string length {len} exceeds cap {max}"));
+    }
+    String::from_utf8(take(bytes, pos, len)?.to_vec()).map_err(|_| "invalid utf-8".to_string())
+}
+
+fn take_opt_f64(bytes: &[u8], pos: &mut usize) -> Result<Option<f64>, String> {
+    let tag = take_u8(bytes, pos)?;
+    let v = f64::from_bits(take_u64(bytes, pos)?);
+    match tag {
+        0 => Ok(None),
+        1 if v.is_finite() && v >= 0.0 => Ok(Some(v)),
+        1 => Err("non-finite or negative EWMA".to_string()),
+        t => Err(format!("bad option tag {t}")),
+    }
+}

@@ -53,7 +53,9 @@ pub mod skinner_g;
 pub mod skinner_h;
 pub mod strategies;
 
-pub use cache::{CacheProbe, TreeCache, TreeCacheConfig, TreeCacheStats};
+pub use cache::{
+    CacheProbe, QuerySig, RunFeedback, TreeCache, TreeCacheConfig, TreeCacheStats, WarmStart,
+};
 pub use config::{
     OrderArmsConfig, RewardKind, SkinnerCConfig, SkinnerGConfig, SkinnerHConfig, SlicedHybridConfig,
 };

@@ -265,10 +265,12 @@ pub fn run_parallel_skinner(
     let probe = CacheProbe::probe(ctx, query);
     let mut cache_hit = 0u64;
     let mut warm_start_visits = 0u64;
+    let mut warm_start_generalized = 0u64;
     if let Some(p) = &probe {
-        if let Some(prior) = p.lookup() {
-            warm_start_visits = tree.seed_prior(&prior, p.decay());
+        if let Some(warm) = p.lookup() {
+            warm_start_visits = tree.seed_prior(&warm.prior, p.decay());
             cache_hit = 1;
+            warm_start_generalized = warm.generalized as u64;
         }
     }
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x9A7A11E1);
@@ -459,10 +461,11 @@ pub fn run_parallel_skinner(
     order_slice_counts.sort_by_key(|e| std::cmp::Reverse(e.1));
 
     // Publish the shared tree's statistics for the next query of this
-    // template (skipped on timeout — see the sequential engine).
+    // template, with total episodes as the drift-feedback convergence
+    // cost (skipped on timeout — see the sequential engine).
     if let Some(p) = &probe {
         if !timed_out && episodes > 0 {
-            p.publish(tree.extract_prior(p.max_entries()));
+            p.publish(tree.extract_prior(p.max_entries()), episodes);
         }
     }
 
@@ -501,6 +504,7 @@ pub fn run_parallel_skinner(
         .with_counter("postprocess_us", postprocess_us)
         .with_counter("cache_hit", cache_hit)
         .with_counter("warm_start_visits", warm_start_visits)
+        .with_counter("warm_start_generalized", warm_start_generalized)
         .with_counter("last_order_switch", last_order_switch)
         .with_counter("order_switches", order_switches),
     }

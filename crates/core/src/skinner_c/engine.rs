@@ -73,10 +73,12 @@ pub fn run_skinner_c(query: &JoinQuery, ctx: &ExecContext, cfg: &SkinnerCConfig)
     };
     let mut cache_hit = 0u64;
     let mut warm_start_visits = 0u64;
+    let mut warm_start_generalized = 0u64;
     if let Some(p) = &probe {
-        if let Some(prior) = p.lookup() {
-            warm_start_visits = uct.seed_prior(&prior, p.decay());
+        if let Some(warm) = p.lookup() {
+            warm_start_visits = uct.seed_prior(&warm.prior, p.decay());
             cache_hit = 1;
+            warm_start_generalized = warm.generalized as u64;
         }
     }
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xD1CE);
@@ -229,11 +231,12 @@ pub fn run_skinner_c(query: &JoinQuery, ctx: &ExecContext, cfg: &SkinnerCConfig)
     order_slice_counts.sort_by_key(|e| std::cmp::Reverse(e.1));
 
     // Publish the finished tree's statistics for the next query of this
-    // template. Timed-out runs publish nothing: their trees are dominated
+    // template, with the run's convergence cost (total episodes) as drift
+    // feedback. Timed-out runs publish nothing: their trees are dominated
     // by orders the abandonment discipline already rejected.
     if let Some(p) = &probe {
         if !timed_out && slices > 0 {
-            p.publish(uct.extract_prior(p.max_entries()));
+            p.publish(uct.extract_prior(p.max_entries()), slices);
         }
     }
 
@@ -259,6 +262,7 @@ pub fn run_skinner_c(query: &JoinQuery, ctx: &ExecContext, cfg: &SkinnerCConfig)
         }
         .with_counter("cache_hit", cache_hit)
         .with_counter("warm_start_visits", warm_start_visits)
+        .with_counter("warm_start_generalized", warm_start_generalized)
         .with_counter("last_order_switch", last_order_switch)
         .with_counter("order_switches", order_switches),
     }

@@ -1,0 +1,240 @@
+//! Property tests for the on-disk prior format (hostile-input side).
+//!
+//! The learning cache's persistence layer must treat the priors sidecar as
+//! untrusted input: any corruption, truncation or version skew is
+//! *detected and refused* — never served, never a crash, never a partial
+//! load. These tests hammer the real files a [`TreeCache`] flushes through
+//! a real [`DiskStore`], plus the `TreePrior` wire encoding directly.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use skinner_core::{QuerySig, RunFeedback, TreeCache, TreeCacheConfig};
+use skinner_query::TemplateFeatures;
+use skinner_storage::DiskStore;
+use skinner_uct::{PriorEntry, TreePrior};
+
+fn sig(k: u64) -> QuerySig {
+    QuerySig {
+        key: format!("template-{k}"),
+        uids: vec![k, k + 1],
+        fingerprints: vec![k * 7919 + 1, k * 7919 + 2],
+        buckets: vec![(k % 12) as u8, ((k + 3) % 12) as u8],
+        features: TemplateFeatures {
+            tables: vec![format!("fact{k}"), format!("dim{k}")],
+            unary_counts: vec![(k % 3) as u16, 0],
+            n_equi: 1,
+            n_theta: (k % 2) as u16,
+            n_select: 1,
+            has_group: k.is_multiple_of(2),
+            has_order: k.is_multiple_of(3),
+            distinct: false,
+            limited: false,
+        },
+    }
+}
+
+fn prior(visits: u64) -> TreePrior {
+    TreePrior {
+        num_tables: 2,
+        entries: vec![
+            PriorEntry {
+                prefix: vec![],
+                visits,
+                reward_sum: visits as f64 * 0.25,
+            },
+            PriorEntry {
+                prefix: vec![1],
+                visits: visits / 2,
+                reward_sum: visits as f64 * 0.125,
+            },
+        ],
+    }
+}
+
+fn fresh_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "skinner_priorprop_{tag}_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Flush `n` templates through a fresh store and return the store plus the
+/// sidecar path.
+fn flushed_store(tag: &str, n: u64) -> (Arc<DiskStore>, std::path::PathBuf, std::path::PathBuf) {
+    let dir = fresh_dir(tag);
+    let store = DiskStore::open(&dir).unwrap();
+    let cache = TreeCache::new(TreeCacheConfig::default());
+    cache.attach_store(store.clone());
+    for k in 0..n {
+        cache.publish(&sig(k), prior(10 + k), RunFeedback::cold(5 + k));
+    }
+    assert!(cache.flush());
+    let side = dir.join("learned_priors.side");
+    assert!(side.is_file());
+    (store, side, dir)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The `TreePrior` wire encoding roundtrips exactly for arbitrary
+    /// valid priors, at any cursor offset.
+    #[test]
+    fn tree_prior_encoding_roundtrips(
+        num_tables in 1usize..10,
+        visits in proptest::collection::vec(0u64..1_000_000, 1..20),
+        lead in 0usize..5,
+    ) {
+        let p = TreePrior {
+            num_tables,
+            entries: visits
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| PriorEntry {
+                    // Distinct in-range prefixes: entry i covers the first
+                    // i % (num_tables + 1) tables in ascending order.
+                    prefix: (0..(i % (num_tables + 1)).min(num_tables))
+                        .map(|t| t as u8)
+                        .collect(),
+                    visits: v,
+                    reward_sum: v as f64 * 0.5,
+                })
+                .collect(),
+        };
+        let mut buf = vec![0xAAu8; lead];
+        p.encode_into(&mut buf);
+        let mut pos = lead;
+        let back = TreePrior::decode_from(&buf, &mut pos).expect("valid payload decodes");
+        prop_assert_eq!(pos, buf.len());
+        prop_assert_eq!(back.num_tables, p.num_tables);
+        prop_assert_eq!(back.entries.len(), p.entries.len());
+        for (a, b) in back.entries.iter().zip(&p.entries) {
+            prop_assert_eq!(&a.prefix, &b.prefix);
+            prop_assert_eq!(a.visits, b.visits);
+            prop_assert!((a.reward_sum - b.reward_sum).abs() < 1e-12);
+        }
+    }
+
+    /// Entries written by a real cache through a real store roundtrip:
+    /// a fresh cache on the same store serves every template with the
+    /// same root visits, drift state intact.
+    #[test]
+    fn cache_flush_and_reload_roundtrips(n in 1u64..12) {
+        let (store, _side, dir) = flushed_store("rt", n);
+        let cache2 = TreeCache::new(TreeCacheConfig::default());
+        prop_assert_eq!(cache2.attach_store(store), n as usize);
+        for k in 0..n {
+            let w = cache2.lookup(&sig(k)).expect("persisted template serves");
+            prop_assert!(!w.generalized, "exact key must win over neighbors");
+            prop_assert_eq!(w.prior.root_visits(), 10 + k);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// ANY single bit flip anywhere in the sidecar is detected: the load
+    /// is refused whole, nothing is served. (Covers header, payload and
+    /// checksum trailer corruption alike.)
+    #[test]
+    fn any_bit_flip_is_detected_not_served(n in 1u64..6, byte_frac in 0.0f64..1.0, bit in 0u8..8) {
+        let (store, side, dir) = flushed_store("flip", n);
+        let mut bytes = std::fs::read(&side).unwrap();
+        let ix = ((bytes.len() - 1) as f64 * byte_frac) as usize;
+        bytes[ix] ^= 1 << bit;
+        std::fs::write(&side, &bytes).unwrap();
+        let cache2 = TreeCache::new(TreeCacheConfig::default());
+        prop_assert_eq!(cache2.attach_store(store), 0);
+        let s = cache2.stats();
+        prop_assert_eq!(s.load_rejected, 1);
+        prop_assert_eq!(s.entries, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Truncation at EVERY possible length is refused (a torn write the
+    /// rename discipline should prevent, but the reader must not trust
+    /// that).
+    #[test]
+    fn any_truncation_is_refused(n in 1u64..4, cut_frac in 0.0f64..1.0) {
+        let (store, side, dir) = flushed_store("trunc", n);
+        let bytes = std::fs::read(&side).unwrap();
+        let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+        std::fs::write(&side, &bytes[..cut]).unwrap();
+        let cache2 = TreeCache::new(TreeCacheConfig::default());
+        prop_assert_eq!(cache2.attach_store(store), 0);
+        prop_assert_eq!(cache2.stats().load_rejected, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Arbitrary garbage under the right magic-and-length framing still
+    /// cannot smuggle entries in: the payload decoder validates every
+    /// field and refuses the whole file.
+    #[test]
+    fn fuzzed_payloads_never_crash_or_partially_load(payload in proptest::collection::vec(0u8..=255u8, 0..200)) {
+        let dir = fresh_dir("fuzz");
+        let store = DiskStore::open(&dir).unwrap();
+        // Envelope is valid (magic, version, checksum) — only the payload
+        // is hostile.
+        store.write_sidecar("learned_priors", 1, &payload).unwrap();
+        let cache = TreeCache::new(TreeCacheConfig::default());
+        let loaded = cache.attach_store(store);
+        let s = cache.stats();
+        // Either the payload happened to be a valid encoding (then every
+        // loaded entry is fully validated) or the whole file was refused.
+        if loaded == 0 && s.load_rejected == 1 {
+            prop_assert_eq!(s.entries, 0);
+        } else {
+            prop_assert_eq!(s.load_rejected, 0);
+            prop_assert_eq!(s.entries, loaded);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// A future format version is refused on load (never misinterpreted), and
+/// the refusal is visible in stats.
+#[test]
+fn version_mismatch_is_refused() {
+    let dir = fresh_dir("ver");
+    let store = DiskStore::open(&dir).unwrap();
+    // A well-formed sidecar claiming format version 999.
+    store
+        .write_sidecar("learned_priors", 999, &[0, 0, 0, 0])
+        .unwrap();
+    let cache = TreeCache::new(TreeCacheConfig::default());
+    assert_eq!(cache.attach_store(store), 0);
+    let s = cache.stats();
+    assert_eq!(s.load_rejected, 1);
+    assert_eq!(s.entries, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A table re-created with different content is refused at lookup even
+/// when the persisted entry predates the process: content fingerprints
+/// are the identity, not uids.
+#[test]
+fn recreated_table_with_different_content_is_rejected() {
+    let dir = fresh_dir("refp");
+    let store = DiskStore::open(&dir).unwrap();
+    let cache = TreeCache::new(TreeCacheConfig::default());
+    cache.attach_store(store.clone());
+    cache.publish(&sig(3), prior(42), RunFeedback::cold(5));
+    cache.flush();
+
+    // "Restart": fresh cache, same store — but the table's content hash
+    // changed (drop + recreate with different rows between processes).
+    let cache2 = TreeCache::new(TreeCacheConfig::default());
+    assert_eq!(cache2.attach_store(store), 1);
+    let mut changed = sig(3);
+    changed.fingerprints = vec![0xDEAD, 0xBEEF];
+    assert!(
+        cache2.lookup(&changed).is_none(),
+        "stale prior served against re-created table"
+    );
+    assert_eq!(cache2.stats().invalidations, 1);
+    assert_eq!(cache2.len(), 0, "stale entry purged, not retried");
+    let _ = std::fs::remove_dir_all(&dir);
+}

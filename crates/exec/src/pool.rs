@@ -71,6 +71,7 @@ pub fn partition_tuples(start: u64, end: u64, parts: usize) -> Vec<TupleRange> {
 const SNAPSHOT_COUNTERS: &[&str] = &[
     "cache_hit",
     "warm_start_visits",
+    "warm_start_generalized",
     "last_order_switch",
     "order_switches",
     "threads",

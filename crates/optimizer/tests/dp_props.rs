@@ -28,7 +28,7 @@ fn connected_graph(n: usize, seed: u64) -> (JoinGraph, Vec<TableSet>) {
     }
     for a in 0..n {
         for b in (a + 1)..n {
-            if splitmix(seed ^ ((a * 64 + b) as u64) ^ 0xE0_0E) % 4 == 0 {
+            if splitmix(seed ^ ((a * 64 + b) as u64) ^ 0xE0_0E).is_multiple_of(4) {
                 edges.push(TableSet::from_iter([a, b]));
             }
         }

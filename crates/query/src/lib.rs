@@ -38,5 +38,5 @@ pub use graph::JoinGraph;
 pub use parser::{parse_statement, parse_statements, ParseError};
 pub use query::{AggFunc, EquiPred, GenericPred, JoinQuery, OrderKey, SelectItem, SortOrder};
 pub use table_set::TableSet;
-pub use template::template_key;
+pub use template::{template_features, template_key, TemplateFeatures};
 pub use udf::{UdfId, UdfRegistry};

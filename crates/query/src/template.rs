@@ -133,6 +133,58 @@ pub fn template_key(query: &JoinQuery) -> String {
     out
 }
 
+/// Structural join-graph features of a bound query — the coarse,
+/// literal-free shape the learning cache uses to find a *nearest-neighbor*
+/// template when the exact [`template_key`] has never been seen. Two
+/// queries with equal features are not necessarily the same learning
+/// problem (the key still decides that); features only rank how plausible
+/// it is that one template's join-order knowledge transfers to another.
+///
+/// Cardinality buckets are deliberately *not* part of this struct: table
+/// sizes are a property of the data, not the query text, so the cache
+/// layer derives them per lookup (via `skinner_stats::card_bucket`) from
+/// the live tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TemplateFeatures {
+    /// Lowercased FROM-clause table names, in join order.
+    pub tables: Vec<String>,
+    /// Unary (single-table) predicate conjunct count per FROM position.
+    pub unary_counts: Vec<u16>,
+    /// Number of equi-join predicates.
+    pub n_equi: u16,
+    /// Number of generic (theta) join predicates.
+    pub n_theta: u16,
+    /// Number of select-list items.
+    pub n_select: u16,
+    pub has_group: bool,
+    pub has_order: bool,
+    pub distinct: bool,
+    pub limited: bool,
+}
+
+/// Extract the [`TemplateFeatures`] of a bound query.
+pub fn template_features(query: &JoinQuery) -> TemplateFeatures {
+    TemplateFeatures {
+        tables: query
+            .tables
+            .iter()
+            .map(|t| t.name().to_ascii_lowercase())
+            .collect(),
+        unary_counts: query
+            .unary
+            .iter()
+            .map(|c| c.len().min(u16::MAX as usize) as u16)
+            .collect(),
+        n_equi: query.equi_preds.len().min(u16::MAX as usize) as u16,
+        n_theta: query.generic_preds.len().min(u16::MAX as usize) as u16,
+        n_select: query.select.len().min(u16::MAX as usize) as u16,
+        has_group: !query.group_by.is_empty(),
+        has_order: !query.order_by.is_empty(),
+        distinct: query.distinct,
+        limited: query.limit.is_some(),
+    }
+}
+
 fn agg_name(f: AggFunc) -> &'static str {
     match f {
         AggFunc::Count => "count",
@@ -331,6 +383,49 @@ mod tests {
         assert_ne!(grouped, summed);
         assert!(grouped.contains("count(*)"));
         assert!(grouped.contains("group("));
+    }
+
+    fn features(sql: &str, cat: &Catalog) -> TemplateFeatures {
+        let udfs = UdfRegistry::new();
+        match parse_statement(sql).unwrap() {
+            crate::ast::Statement::Select(s) => {
+                template_features(&crate::bind_select(&s, cat, &udfs).unwrap())
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn features_capture_shape_not_literals() {
+        let cat = fixture();
+        let f = features("SELECT a.id FROM a, b WHERE a.id = b.aid AND a.g = 1", &cat);
+        assert_eq!(f.tables, vec!["a", "b"]);
+        assert_eq!(f.unary_counts, vec![1, 0]);
+        assert_eq!((f.n_equi, f.n_theta, f.n_select), (1, 0, 1));
+        assert!(!f.has_group && !f.has_order && !f.distinct && !f.limited);
+        // Different literal, same features.
+        assert_eq!(
+            f,
+            features(
+                "SELECT a.id FROM a, b WHERE a.id = b.aid AND a.g = 777",
+                &cat
+            )
+        );
+        // Extra predicate changes them.
+        assert_ne!(
+            f,
+            features(
+                "SELECT a.id FROM a, b WHERE a.id = b.aid AND a.g = 1 AND b.w = 2",
+                &cat
+            )
+        );
+        let g = features(
+            "SELECT DISTINCT a.g, COUNT(*) c FROM a, b WHERE a.id > b.aid \
+             GROUP BY a.g ORDER BY a.g LIMIT 5",
+            &cat,
+        );
+        assert_eq!((g.n_equi, g.n_theta), (0, 1));
+        assert!(g.has_group && g.has_order && g.distinct && g.limited);
     }
 
     #[test]

@@ -7,14 +7,74 @@
 //! ```
 //!
 //! The process runs until it receives a wire-level `Shutdown` request
-//! (e.g. `skinner_client::Client::shutdown_server`), then drains, joins
-//! every thread and exits 0 — which is what the CI clean-shutdown check
-//! asserts.
+//! (e.g. `skinner_client::Client::shutdown_server`) or a SIGTERM/SIGINT,
+//! then drains, flushes learned priors to the data directory, joins every
+//! thread and exits 0 — which is what the CI clean-shutdown and
+//! learning-persistence checks assert.
 
 use std::time::Duration;
 
-use skinner_server::{AdmissionConfig, Server, ServerConfig, TenantClass};
+use skinner_server::{AdmissionConfig, Server, ServerConfig, ShutdownHandle, TenantClass};
 use skinnerdb::{DataType, Database, Value};
+
+/// Route SIGTERM/SIGINT into a graceful [`ShutdownHandle::request`].
+///
+/// The handler itself must be async-signal-safe, so it only `write(2)`s
+/// one byte into a pre-created socketpair (the classic self-pipe trick);
+/// a watcher thread blocks on the read end and performs the actual
+/// shutdown outside signal context. The write end leaks by design — a
+/// signal can arrive at any point in the process lifetime.
+#[cfg(unix)]
+mod signals {
+    use super::ShutdownHandle;
+    use std::io::Read;
+    use std::os::unix::net::UnixStream;
+    use std::sync::atomic::{AtomicI32, Ordering};
+
+    static SIGNAL_FD: AtomicI32 = AtomicI32::new(-1);
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_signum: i32) {
+        let fd = SIGNAL_FD.load(Ordering::Relaxed);
+        if fd >= 0 {
+            let byte = 1u8;
+            unsafe {
+                let _ = write(fd, &byte, 1);
+            }
+        }
+    }
+
+    pub fn install(handle: ShutdownHandle) {
+        let Ok((tx, mut rx)) = UnixStream::pair() else {
+            eprintln!("skinner-server: cannot create signal channel; SIGTERM will be abrupt");
+            return;
+        };
+        use std::os::unix::io::IntoRawFd;
+        SIGNAL_FD.store(tx.into_raw_fd(), Ordering::Relaxed);
+        let handler = on_signal as extern "C" fn(i32) as usize;
+        unsafe {
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+        std::thread::Builder::new()
+            .name("skinner-signals".into())
+            .spawn(move || {
+                let mut buf = [0u8; 1];
+                if rx.read(&mut buf).is_ok() {
+                    eprintln!("skinner-server: signal received, shutting down");
+                    handle.request();
+                }
+            })
+            .expect("spawn signal watcher");
+    }
+}
 
 fn usage() -> ! {
     eprintln!(
@@ -30,7 +90,11 @@ fn usage() -> ! {
          --demo                load the built-in demo tables (nums, customers, products, orders)\n\
          --csv NAME=PATH       load a CSV file as table NAME (repeatable)\n\
          --data-dir DIR        open a persistent data directory: committed tables are\n\
-         \x20                     loaded at startup, dropped tables are removed on disk\n\
+         \x20                     loaded at startup, dropped tables are removed on disk,\n\
+         \x20                     and learned join-order priors persist across restarts\n\
+         --learning-cache      enable cross-query learning by default (templates\n\
+         \x20                     warm-start from previous executions; with --data-dir\n\
+         \x20                     the learned priors survive restarts)\n\
          --bulk-csv NAME=PATH  stream a CSV straight into a persistent zone-mapped\n\
          \x20                     segment (requires --data-dir earlier on the command line)\n\
          --max-conns N         connection limit (default 256)\n\
@@ -129,6 +193,7 @@ fn main() {
         match arg.as_str() {
             "--addr" => addr = expect(&mut args, "--addr"),
             "--demo" => demo_tables(&db),
+            "--learning-cache" => db.set_learning_cache(true),
             "--csv" => {
                 let spec = expect(&mut args, "--csv");
                 let Some((name, path)) = spec.split_once('=') else {
@@ -252,6 +317,8 @@ fn main() {
             std::process::exit(1);
         }
     };
+    #[cfg(unix)]
+    signals::install(server.shutdown_handle());
     println!("skinner-server listening on {}", server.local_addr());
     if let Some(maddr) = server.metrics_addr() {
         println!("skinner-server: /metrics on http://{maddr}/metrics");

@@ -878,6 +878,22 @@ fn handle_show(shared: &Shared, what: &str) -> Result<QueryResult, Response> {
                 ("learning_cache.invalidations".into(), cache.invalidations),
                 ("learning_cache.published".into(), cache.published),
                 ("learning_cache.evictions".into(), cache.evictions),
+                (
+                    "learning_cache.generalized_hits".into(),
+                    cache.generalized_hits,
+                ),
+                (
+                    "learning_cache.quarantined".into(),
+                    cache.quarantined as u64,
+                ),
+                ("learning_cache.quarantines".into(), cache.quarantines),
+                (
+                    "learning_cache.durable".into(),
+                    shared.db.learning_cache().is_durable() as u64,
+                ),
+                ("learning_cache.loaded".into(), cache.loaded),
+                ("learning_cache.load_rejected".into(), cache.load_rejected),
+                ("learning_cache.flushes".into(), cache.flushes),
             ];
             for t in shared.gate.tenant_snapshot() {
                 let name = &t.name;

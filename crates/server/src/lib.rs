@@ -122,7 +122,7 @@ pub use protocol::{
     ErrorCode, FrameBuffer, ProfileSpan, QueryProfile, QuerySummary, Request, Response,
     StatementSummary, WireError, DEFAULT_MAX_INFLIGHT, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
-pub use server::{Server, ServerConfig};
+pub use server::{Server, ServerConfig, ShutdownHandle};
 pub use stats::{template_key, ServerStats, StrategyAgg};
 
 // The registry/handle types `ServerStats` exposes, for embedders.

@@ -307,6 +307,41 @@ impl Shared {
             "Learning-cache entries evicted.",
         )
         .raise_to(cache.evictions);
+        r.counter(
+            "skinner_learning_cache_invalidations_total",
+            "Learning-cache entries invalidated (drops, content changes).",
+        )
+        .raise_to(cache.invalidations);
+        r.gauge(
+            "skinner_learning_cache_quarantined",
+            "Templates currently quarantined for warm-start regressions.",
+        )
+        .set(cache.quarantined as u64);
+        r.counter(
+            "skinner_learning_cache_quarantines_total",
+            "Quarantines ever entered by drift detection.",
+        )
+        .raise_to(cache.quarantines);
+        r.counter(
+            "skinner_learning_cache_generalized_hits_total",
+            "Lookups served by a nearest-neighbor template.",
+        )
+        .raise_to(cache.generalized_hits);
+        r.counter(
+            "skinner_learning_cache_loaded_total",
+            "Persisted priors loaded from the data directory.",
+        )
+        .raise_to(cache.loaded);
+        r.counter(
+            "skinner_learning_cache_load_rejected_total",
+            "Persisted prior payloads refused (corrupt or wrong version).",
+        )
+        .raise_to(cache.load_rejected);
+        r.counter(
+            "skinner_learning_cache_flushes_total",
+            "Learning-cache flushes to the data directory.",
+        )
+        .raise_to(cache.flushes);
         for t in self.gate.tenant_snapshot() {
             let labels = [("tenant", t.name.as_str())];
             r.gauge_with(
@@ -506,6 +541,13 @@ impl Server {
         self.shared.is_shutting_down()
     }
 
+    /// A handle that can request shutdown from another thread (the
+    /// binary's SIGTERM watcher uses this). Holds only a `Weak`, so a
+    /// forgotten handle never keeps a dead server's state alive.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle(Arc::downgrade(&self.shared))
+    }
+
     /// Stop accepting, cancel and disconnect every client, and join every
     /// thread the server spawned. Idempotent.
     pub fn shutdown(&mut self) {
@@ -520,6 +562,10 @@ impl Server {
         // Shared → pool → Weak cycle for good measure).
         let pool = self.shared.pool.lock().unwrap().take();
         drop(pool);
+        // Every worker has drained: flush the learning cache's final
+        // partial batch of publications so cross-query knowledge survives
+        // the restart (no-op without a data directory).
+        self.shared.db.flush_learning_cache();
     }
 
     /// Block until a shutdown is requested (e.g. by a wire-level
@@ -557,6 +603,26 @@ impl Server {
 impl Drop for Server {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// Requests a graceful shutdown of a [`Server`] from any thread —
+/// functionally the same as a wire-level `Shutdown` message: the blocked
+/// [`Server::wait`] wakes, drains, and flushes the learning cache.
+#[derive(Clone)]
+pub struct ShutdownHandle(Weak<Shared>);
+
+impl ShutdownHandle {
+    /// Trigger the shutdown; returns `false` if the server is already
+    /// gone.
+    pub fn request(&self) -> bool {
+        match self.0.upgrade() {
+            Some(shared) => {
+                shared.trigger_shutdown();
+                true
+            }
+            None => false,
+        }
     }
 }
 

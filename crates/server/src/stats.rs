@@ -67,6 +67,13 @@ pub struct ServerStats {
     /// Cross-query learning: queries answered with a warm-started UCT
     /// tree from the template cache.
     pub warm_start_hits_total: Counter,
+    /// Cross-query learning: cumulative tree visits seeded from cached
+    /// priors (0 while every query runs cold — the restart-survival CI
+    /// asserts this goes positive right after a warm restart).
+    pub warm_start_visits_total: Counter,
+    /// Cross-query learning: warm starts served by a *nearest-neighbor*
+    /// template (generalization) rather than an exact key match.
+    pub warm_start_generalized_total: Counter,
     /// Microseconds [`crate::server::Server::wait`] slept past the
     /// shutdown request before its condvar woke (set once at shutdown;
     /// CI asserts it stays well under 10ms).
@@ -130,6 +137,14 @@ impl ServerStats {
                 "skinner_warm_start_hits_total",
                 "Queries warm-started from the cross-query template cache.",
             ),
+            warm_start_visits_total: registry.counter(
+                "skinner_warm_start_visits_total",
+                "Tree visits seeded from cached priors across all queries.",
+            ),
+            warm_start_generalized_total: registry.counter(
+                "skinner_warm_start_generalized_total",
+                "Warm starts served by a nearest-neighbor template.",
+            ),
             shutdown_wake_latency_us: registry.gauge(
                 "skinner_shutdown_wake_latency_us",
                 "Microseconds the shutdown condvar wait overslept the request.",
@@ -188,6 +203,12 @@ impl ServerStats {
             }
             if m.counter("cache_hit") == Some(1) {
                 self.warm_start_hits_total.inc();
+            }
+            if let Some(v) = m.counter("warm_start_visits") {
+                self.warm_start_visits_total.add(v);
+            }
+            if m.counter("warm_start_generalized") == Some(1) {
+                self.warm_start_generalized_total.inc();
             }
             if let Some(s) = m.counter("last_order_switch") {
                 self.last_order_switch_slices.record(s);
@@ -293,6 +314,14 @@ impl ServerStats {
         push("slow_queries_total", self.slow_queries_total.get());
         push("order_switches_total", self.order_switches_total.get());
         push("warm_start_hits_total", self.warm_start_hits_total.get());
+        push(
+            "warm_start_visits_total",
+            self.warm_start_visits_total.get(),
+        );
+        push(
+            "warm_start_generalized_total",
+            self.warm_start_generalized_total.get(),
+        );
         let lat = self.query_latency_us.snapshot();
         push("query_latency_us.p50", lat.p50());
         push("query_latency_us.p99", lat.p99());

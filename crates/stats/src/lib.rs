@@ -20,3 +20,40 @@ pub mod table_stats;
 pub use estimator::{Estimator, DEFAULT_GENERIC_JOIN_SELECTIVITY, DEFAULT_UDF_SELECTIVITY};
 pub use sampling::sample_selectivity;
 pub use table_stats::{ColumnStats, StatsCache, TableStats};
+
+/// Logarithmic cardinality bucket of a row count: 0 for an empty table,
+/// otherwise `floor(log2(rows)) + 1` (so 1 row → 1, 2–3 rows → 2, …).
+/// One exception to "SkinnerDB uses no statistics": the cross-query
+/// learning cache buckets table sizes with this when ranking
+/// nearest-neighbor templates for warm-start generalization — a property
+/// of the *cache*, not of the regret-bounded execution, whose results
+/// never depend on it.
+pub fn card_bucket(rows: u64) -> u8 {
+    match rows {
+        0 => 0,
+        n => (64 - n.leading_zeros()) as u8,
+    }
+}
+
+#[cfg(test)]
+mod bucket_tests {
+    use super::card_bucket;
+
+    #[test]
+    fn buckets_are_logarithmic_and_monotone() {
+        assert_eq!(card_bucket(0), 0);
+        assert_eq!(card_bucket(1), 1);
+        assert_eq!(card_bucket(2), 2);
+        assert_eq!(card_bucket(3), 2);
+        assert_eq!(card_bucket(4), 3);
+        assert_eq!(card_bucket(1023), 10);
+        assert_eq!(card_bucket(1024), 11);
+        assert_eq!(card_bucket(u64::MAX), 64);
+        let mut prev = 0;
+        for r in 0..4096u64 {
+            let b = card_bucket(r);
+            assert!(b >= prev);
+            prev = b;
+        }
+    }
+}

@@ -10,12 +10,15 @@ use crate::interner::Interner;
 use crate::schema::Schema;
 use crate::table::{Table, TableBuilder};
 
-/// Callback invoked with a table's [`uid`](Table::uid) when it leaves the
-/// catalog (dropped, or replaced by a same-named registration). Caches
-/// keyed by table identity register one to purge eagerly. Returns whether
-/// the observer is still alive; `false` deregisters it — observers that
-/// capture weak references outlive their owners by at most one drop.
-type DropObserver = Box<dyn Fn(u64) -> bool + Send + Sync>;
+/// Callback invoked with a table's [`uid`](Table::uid) and lowercased name
+/// when it leaves the catalog (dropped, or replaced by a same-named
+/// registration). Caches keyed by table identity register one to purge
+/// eagerly; the name lets caches that also track *persisted* state (whose
+/// entries predate this process and carry no live uid) purge by name.
+/// Returns whether the observer is still alive; `false` deregisters it —
+/// observers that capture weak references outlive their owners by at most
+/// one drop.
+type DropObserver = Box<dyn Fn(u64, &str) -> bool + Send + Sync>;
 
 /// A catalog of tables. All tables in a catalog share one [`Interner`], which
 /// makes string comparisons across tables code comparisons.
@@ -49,7 +52,7 @@ impl Catalog {
     }
 
     /// Register a callback run (outside the table-map lock) with the uid
-    /// of every table that leaves the catalog — via
+    /// and lowercased name of every table that leaves the catalog — via
     /// [`Catalog::drop_table`] or by being replaced under its name in
     /// [`Catalog::register`]. This is the one choke point for uid-keyed
     /// caches to purge through, so no drop path can bypass them.
@@ -59,12 +62,14 @@ impl Catalog {
     /// — long-lived catalogs shared by many short-lived owners do not
     /// accumulate dead observers. Callbacks run under the observer-list
     /// lock and must not register/drop tables themselves.
-    pub fn on_table_drop(&self, observer: impl Fn(u64) -> bool + Send + Sync + 'static) {
+    pub fn on_table_drop(&self, observer: impl Fn(u64, &str) -> bool + Send + Sync + 'static) {
         self.drop_observers.write().push(Box::new(observer));
     }
 
-    fn notify_dropped(&self, uid: u64) {
-        self.drop_observers.write().retain(|observer| observer(uid));
+    fn notify_dropped(&self, uid: u64, name: &str) {
+        self.drop_observers
+            .write()
+            .retain(|observer| observer(uid, name));
     }
 
     pub fn interner(&self) -> &Arc<Interner> {
@@ -82,12 +87,10 @@ impl Catalog {
     /// observers.
     pub fn register(&self, table: Table) -> Arc<Table> {
         let arc = Arc::new(table);
-        let replaced = self
-            .tables
-            .write()
-            .insert(arc.name().to_ascii_lowercase(), arc.clone());
+        let key = arc.name().to_ascii_lowercase();
+        let replaced = self.tables.write().insert(key.clone(), arc.clone());
         if let Some(old) = replaced {
-            self.notify_dropped(old.uid());
+            self.notify_dropped(old.uid(), &key);
         }
         arc
     }
@@ -100,10 +103,11 @@ impl Catalog {
     /// Remove a table (used for temp tables of decomposed queries).
     /// Notifies [`Catalog::on_table_drop`] observers.
     pub fn drop_table(&self, name: &str) -> bool {
-        let removed = self.tables.write().remove(&name.to_ascii_lowercase());
+        let key = name.to_ascii_lowercase();
+        let removed = self.tables.write().remove(&key);
         match removed {
             Some(t) => {
-                self.notify_dropped(t.uid());
+                self.notify_dropped(t.uid(), &key);
                 true
             }
             None => false,
@@ -145,7 +149,7 @@ impl Catalog {
         // it the store and uid map) goes away, it reports itself dead.
         let store_weak = Arc::downgrade(&store);
         let persistent_weak = Arc::downgrade(&self.persistent);
-        self.on_table_drop(move |uid| {
+        self.on_table_drop(move |uid, _name| {
             let (Some(store), Some(persistent)) = (store_weak.upgrade(), persistent_weak.upgrade())
             else {
                 return false;
@@ -267,24 +271,29 @@ mod tests {
 
     #[test]
     fn drop_observers_see_drops_and_replacements() {
+        use parking_lot::Mutex;
         use std::sync::atomic::{AtomicU64, Ordering};
         let cat = Catalog::new();
         let dropped = Arc::new(AtomicU64::new(u64::MAX));
+        let named = Arc::new(Mutex::new(String::new()));
         let count = Arc::new(AtomicU64::new(0));
         {
-            let (dropped, count) = (dropped.clone(), count.clone());
-            cat.on_table_drop(move |uid| {
+            let (dropped, named, count) = (dropped.clone(), named.clone(), count.clone());
+            cat.on_table_drop(move |uid, name| {
                 dropped.store(uid, Ordering::Relaxed);
+                *named.lock() = name.to_string();
                 count.fetch_add(1, Ordering::Relaxed);
                 true
             });
         }
-        let t = cat.register(cat.builder("t", schema![("id", Int)]).finish());
+        let t = cat.register(cat.builder("T", schema![("id", Int)]).finish());
         assert_eq!(count.load(Ordering::Relaxed), 0, "fresh register is silent");
-        // Replacement under the same name notifies with the OLD uid.
+        // Replacement under the same name notifies with the OLD uid and
+        // the lowercased name.
         let old_uid = t.uid();
         cat.register(cat.builder("t", schema![("id", Int)]).finish());
         assert_eq!(dropped.load(Ordering::Relaxed), old_uid);
+        assert_eq!(*named.lock(), "t");
         // Explicit drop notifies with the current uid.
         let cur = cat.get("t").unwrap().uid();
         assert!(cat.drop_table("t"));
@@ -304,7 +313,7 @@ mod tests {
         let owner = Arc::new(AtomicU64::new(u64::MAX));
         {
             let weak = Arc::downgrade(&owner);
-            cat.on_table_drop(move |uid| match weak.upgrade() {
+            cat.on_table_drop(move |uid, _name| match weak.upgrade() {
                 Some(o) => {
                     o.store(uid, Ordering::Relaxed);
                     true

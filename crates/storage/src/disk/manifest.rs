@@ -77,13 +77,13 @@ impl std::fmt::Debug for DiskStore {
 
 /// Best-effort directory fsync: required on Linux for rename durability;
 /// a no-op error elsewhere is acceptable (the data fsync already happened).
-fn sync_dir(dir: &Path) {
+pub(crate) fn sync_dir(dir: &Path) {
     if let Ok(d) = File::open(dir) {
         let _ = d.sync_all();
     }
 }
 
-fn valid_table_name(name: &str) -> bool {
+pub(crate) fn valid_table_name(name: &str) -> bool {
     !name.is_empty() && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 

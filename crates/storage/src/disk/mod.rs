@@ -11,6 +11,9 @@
 //!   write-temp → fsync → rename → manifest-commit protocol that makes
 //!   every create/replace/drop crash-safe.
 //! - [`loader`] — streaming bulk CSV ingestion straight into page buffers.
+//! - [`sidecar`] — small checksummed auxiliary files (e.g. the learning
+//!   cache's persisted priors) written with the same tmp → fsync → rename
+//!   discipline.
 //!
 //! The catalog integration (attach a directory, persist tables, delete
 //! segments when a persistent table is dropped) lives in
@@ -22,6 +25,7 @@ pub mod manifest;
 pub mod mmap;
 pub mod page;
 pub mod segment;
+pub mod sidecar;
 pub mod zonemap;
 
 pub use loader::bulk_load_csv;

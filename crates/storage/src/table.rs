@@ -1,6 +1,6 @@
 //! Immutable columnar tables and their builder.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use crate::column::Column;
 use crate::disk::zonemap::ZoneMap;
@@ -30,6 +30,11 @@ pub struct Table {
     /// evaluation; `None` (in-memory tables, `gather` outputs) means scan
     /// every row, exactly the pre-existing behavior.
     zones: Option<Arc<ZoneMap>>,
+    /// Lazily computed logical-content fingerprint; see
+    /// [`Table::fingerprint`]. Unlike `uid`, two tables with identical
+    /// schema and data hash identically — across processes and across a
+    /// persist/reload roundtrip.
+    fingerprint: OnceLock<u64>,
 }
 
 /// Source of process-wide unique table ids.
@@ -62,6 +67,7 @@ impl Table {
             nrows,
             uid: fresh_table_uid(),
             zones: None,
+            fingerprint: OnceLock::new(),
         }
     }
 
@@ -144,12 +150,73 @@ impl Table {
             nrows: rows.len(),
             uid: fresh_table_uid(),
             zones: None,
+            fingerprint: OnceLock::new(),
         }
     }
 
     /// Approximate heap size in bytes.
     pub fn byte_size(&self) -> usize {
         self.columns.iter().map(Column::byte_size).sum()
+    }
+
+    /// Content-derived table identity: an FNV-1a hash over the schema
+    /// (field names and types), the row count, and every column's logical
+    /// values. Computed lazily, once per table incarnation.
+    ///
+    /// Properties the learning cache relies on:
+    ///
+    /// * **Process-independent.** String columns hash the *resolved* strings,
+    ///   not interner codes (codes depend on interning order); floats hash
+    ///   their exact bit pattern, which the disk segment format round-trips.
+    ///   A table therefore keeps its fingerprint across save → restart →
+    ///   load, which is what lets persisted priors survive restarts.
+    /// * **Content-sensitive.** Re-creating a table with the same name but
+    ///   different rows produces a different fingerprint, so stale priors
+    ///   are refused rather than served.
+    pub fn fingerprint(&self) -> u64 {
+        *self.fingerprint.get_or_init(|| {
+            // FNV-1a, 64-bit; matches the checksum family used by the disk
+            // segment format.
+            const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+            const PRIME: u64 = 0x0000_0100_0000_01b3;
+            let mut h = OFFSET;
+            let mut eat = |bytes: &[u8]| {
+                for &b in bytes {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(PRIME);
+                }
+            };
+            for f in self.schema.fields() {
+                eat(f.name.as_bytes());
+                eat(&[0u8, f.dtype as u8]);
+            }
+            eat(&(self.nrows as u64).to_le_bytes());
+            for c in &self.columns {
+                match c {
+                    Column::Int(v) => {
+                        eat(&[1u8]);
+                        for x in v {
+                            eat(&x.to_le_bytes());
+                        }
+                    }
+                    Column::Float(v) => {
+                        eat(&[2u8]);
+                        for x in v {
+                            eat(&x.to_bits().to_le_bytes());
+                        }
+                    }
+                    Column::Str(v) => {
+                        eat(&[3u8]);
+                        for &code in v {
+                            let s = self.interner.resolve(code);
+                            eat(&(s.len() as u32).to_le_bytes());
+                            eat(s.as_bytes());
+                        }
+                    }
+                }
+            }
+            h
+        })
     }
 }
 
@@ -329,6 +396,56 @@ mod tests {
         let row = t.row_values(1);
         assert_eq!(row.len(), 3);
         assert_eq!(row[2].as_str(), Some("b"));
+    }
+
+    #[test]
+    fn fingerprint_is_content_derived_not_identity_derived() {
+        let a = sample();
+        let b = sample();
+        assert_ne!(a.uid(), b.uid(), "uids are process-unique");
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "same content must fingerprint identically"
+        );
+
+        // Different interners (hence different codes) for equal strings
+        // must not change the fingerprint.
+        let interner = Arc::new(Interner::new());
+        interner.intern("zzz");
+        let mut c = TableBuilder::new(
+            "t",
+            schema![("id", Int), ("score", Float), ("tag", Str)],
+            interner,
+        );
+        c.push_row(&[Value::Int(1), Value::Float(0.5), Value::from("a")]);
+        c.push_row(&[Value::Int(2), Value::Float(1.5), Value::from("b")]);
+        c.push_row(&[Value::Int(3), Value::Float(2.5), Value::from("a")]);
+        let c = c.finish();
+        assert_ne!(c.column(2).code_at(0), b.column(2).code_at(0));
+        assert_eq!(c.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_changes_with_content_schema_or_order() {
+        let base = sample();
+        let mut alt = TableBuilder::new(
+            "t",
+            schema![("id", Int), ("score", Float), ("tag", Str)],
+            Arc::new(Interner::new()),
+        );
+        alt.push_row(&[Value::Int(1), Value::Float(0.5), Value::from("a")]);
+        alt.push_row(&[Value::Int(2), Value::Float(1.5), Value::from("b")]);
+        alt.push_row(&[Value::Int(4), Value::Float(2.5), Value::from("a")]);
+        assert_ne!(alt.finish().fingerprint(), base.fingerprint());
+
+        // Row order matters: gather in a different order is different data.
+        let reordered = base.gather(&[2, 1, 0], "t");
+        assert_ne!(reordered.fingerprint(), base.fingerprint());
+        // But an identity gather preserves the fingerprint (fresh uid).
+        let same = base.gather(&[0, 1, 2], "t");
+        assert_ne!(same.uid(), base.uid());
+        assert_eq!(same.fingerprint(), base.fingerprint());
     }
 
     #[test]

@@ -80,6 +80,79 @@ impl TreePrior {
                 .sum::<usize>()
     }
 
+    /// Append this prior's canonical byte encoding to `out` (little-endian
+    /// throughout): `u32 num_tables`, `u32 entry count`, then per entry
+    /// `u8 prefix length` + prefix bytes + `u64 visits` + `f64 reward_sum`
+    /// (bit pattern). The encoding is the payload half of the learning
+    /// cache's on-disk format; framing, versioning and checksumming live in
+    /// the storage layer's sidecar envelope.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.num_tables as u32).to_le_bytes());
+        out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        for e in &self.entries {
+            debug_assert!(e.prefix.len() <= u8::MAX as usize);
+            out.push(e.prefix.len() as u8);
+            out.extend_from_slice(&e.prefix);
+            out.extend_from_slice(&e.visits.to_le_bytes());
+            out.extend_from_slice(&e.reward_sum.to_bits().to_le_bytes());
+        }
+    }
+
+    /// Decode a prior from `bytes` starting at `*pos`, advancing `*pos`
+    /// past it. Every structural invariant is re-validated — entry counts
+    /// bounded, prefixes no longer than `num_tables` with in-range,
+    /// duplicate-free table indices, finite non-negative rewards — so a
+    /// hostile or corrupted payload is refused (`Err`) rather than
+    /// smuggled into a tree. (Join-*graph* validation still happens at
+    /// seed time, per tree; this is format validation.)
+    pub fn decode_from(bytes: &[u8], pos: &mut usize) -> Result<TreePrior, String> {
+        fn take<'a>(bytes: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8], String> {
+            let s = bytes
+                .get(*pos..*pos + n)
+                .ok_or_else(|| "truncated prior".to_string())?;
+            *pos += n;
+            Ok(s)
+        }
+        let num_tables = u32::from_le_bytes(take(bytes, pos, 4)?.try_into().unwrap()) as usize;
+        if num_tables == 0 || num_tables > 64 {
+            return Err(format!("implausible table count {num_tables}"));
+        }
+        let count = u32::from_le_bytes(take(bytes, pos, 4)?.try_into().unwrap()) as usize;
+        if count > 1 << 20 {
+            return Err(format!("implausible entry count {count}"));
+        }
+        let mut entries = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            let len = take(bytes, pos, 1)?[0] as usize;
+            if len > num_tables {
+                return Err(format!("prefix length {len} exceeds {num_tables} tables"));
+            }
+            let prefix = take(bytes, pos, len)?.to_vec();
+            let mut seen = 0u64;
+            for &t in &prefix {
+                if t as usize >= num_tables || seen & (1 << t) != 0 {
+                    return Err(format!("invalid table {t} in prefix"));
+                }
+                seen |= 1 << t;
+            }
+            let visits = u64::from_le_bytes(take(bytes, pos, 8)?.try_into().unwrap());
+            let reward_sum =
+                f64::from_bits(u64::from_le_bytes(take(bytes, pos, 8)?.try_into().unwrap()));
+            if !reward_sum.is_finite() || reward_sum < 0.0 {
+                return Err("non-finite or negative reward sum".to_string());
+            }
+            entries.push(PriorEntry {
+                prefix,
+                visits,
+                reward_sum,
+            });
+        }
+        Ok(TreePrior {
+            num_tables,
+            entries,
+        })
+    }
+
     /// Sort collected entries by visits (descending) then depth and keep
     /// the `max_entries` hottest — the shared truncation rule whose
     /// tie-breaking keeps the set ancestor-closed.
@@ -157,6 +230,73 @@ mod tests {
         assert_eq!(kept[0].prefix, Vec::<u8>::new());
         assert_eq!(kept[1].prefix, vec![0]);
         assert_eq!(kept[2].prefix, vec![0, 1]);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let p = TreePrior {
+            num_tables: 4,
+            entries: vec![
+                entry(&[], 10, 5.5),
+                entry(&[2], 7, 4.25),
+                entry(&[2, 0, 3], 3, 0.125),
+            ],
+        };
+        let mut bytes = vec![0xAB]; // leading junk the cursor must skip
+        let mut pos = 1;
+        p.encode_into(&mut bytes);
+        let q = TreePrior::decode_from(&bytes, &mut pos).unwrap();
+        assert_eq!(pos, bytes.len());
+        assert_eq!(q.num_tables, 4);
+        assert_eq!(q.entries, p.entries);
+    }
+
+    #[test]
+    fn decode_refuses_malformed_payloads() {
+        let p = TreePrior {
+            num_tables: 3,
+            entries: vec![entry(&[], 5, 1.0), entry(&[1, 0], 2, 0.5)],
+        };
+        let mut good = vec![];
+        p.encode_into(&mut good);
+        // Any truncation is refused.
+        for cut in 0..good.len() {
+            let mut pos = 0;
+            assert!(
+                TreePrior::decode_from(&good[..cut], &mut pos).is_err(),
+                "truncation to {cut} must be refused"
+            );
+        }
+        // Out-of-range table index in a prefix.
+        let bad = TreePrior {
+            num_tables: 2,
+            entries: vec![entry(&[5], 1, 0.0)],
+        };
+        let mut bytes = vec![];
+        bad.encode_into(&mut bytes);
+        let mut pos = 0;
+        assert!(TreePrior::decode_from(&bytes, &mut pos).is_err());
+        // Duplicate table in a prefix.
+        let dup = TreePrior {
+            num_tables: 3,
+            entries: vec![entry(&[1, 1], 1, 0.0)],
+        };
+        let mut bytes = vec![];
+        dup.encode_into(&mut bytes);
+        let mut pos = 0;
+        assert!(TreePrior::decode_from(&bytes, &mut pos).is_err());
+        // Non-finite reward bits.
+        let nan = TreePrior {
+            num_tables: 2,
+            entries: vec![entry(&[0], 1, f64::NAN)],
+        };
+        let mut bytes = vec![];
+        nan.encode_into(&mut bytes);
+        let mut pos = 0;
+        assert!(TreePrior::decode_from(&bytes, &mut pos).is_err());
+        // Zero tables.
+        let mut pos = 0;
+        assert!(TreePrior::decode_from(&[0, 0, 0, 0, 0, 0, 0, 0], &mut pos).is_err());
     }
 
     #[test]

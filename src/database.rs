@@ -227,20 +227,26 @@ impl Database {
         // Eagerly purge cross-query priors whenever a table leaves the
         // catalog (DROP TABLE, temp-table cleanup, or replacement under
         // the same name) — through the catalog's own choke point, so
-        // every drop path triggers it. This is slot hygiene, not the
-        // correctness mechanism: a query already in flight when the drop
-        // fires may still publish its dead-uid entry afterwards, and the
-        // uid validation at lookup is what guarantees such an entry can
-        // never be served (it just waits for LRU eviction or the next
-        // probe to reap it). The observer holds only a `Weak`: once
-        // every handle to this Database is gone it deregisters itself, so
-        // constructing many Databases over one shared catalog (the bench
-        // harness does) cannot pin dead caches or accumulate callbacks.
+        // every drop path triggers it. The purge matches by uid *and* by
+        // table name: restart-loaded entries predate this process's uids
+        // and are only reachable by name, and the name purge is also what
+        // tombstones the on-disk prior (the cache flushes after a removing
+        // purge) so a recreate-with-the-same-name can never warm-start
+        // from the dropped table's data. This is eager hygiene layered
+        // under the correctness mechanism: a query already in flight when
+        // the drop fires may still publish its dead entry afterwards, and
+        // the content-fingerprint validation at lookup is what guarantees
+        // such an entry can never be served against different data (it
+        // just waits for LRU eviction or the next probe to reap it). The
+        // observer holds only a `Weak`: once every handle to this Database
+        // is gone it deregisters itself, so constructing many Databases
+        // over one shared catalog (the bench harness does) cannot pin dead
+        // caches or accumulate callbacks.
         {
             let learning = Arc::downgrade(&learning);
-            catalog.on_table_drop(move |uid| match learning.upgrade() {
+            catalog.on_table_drop(move |uid, name| match learning.upgrade() {
                 Some(l) => {
-                    l.cache.read().invalidate_table(uid);
+                    l.cache.read().invalidate_table(uid, name);
                     true
                 }
                 None => false,
@@ -283,9 +289,24 @@ impl Database {
     }
 
     /// Replace the tree cache with a freshly configured one (capacity,
-    /// decay, export size). Drops everything learned so far.
+    /// decay, export size). Drops everything learned in memory — but when
+    /// a data directory is attached the new cache re-attaches to it and
+    /// reloads the persisted priors, so durable knowledge survives
+    /// reconfiguration the same way it survives a restart.
     pub fn set_learning_cache_config(&self, cfg: TreeCacheConfig) {
-        *self.learning.cache.write() = Arc::new(TreeCache::new(cfg));
+        let cache = Arc::new(TreeCache::new(cfg));
+        if let Some(store) = self.catalog.disk_store() {
+            cache.attach_store(store);
+        }
+        *self.learning.cache.write() = cache;
+    }
+
+    /// Flush the learning cache's priors to the attached data directory
+    /// (no-op without one). Servers call this on graceful shutdown so the
+    /// final partial batch of publications is not lost; returns whether a
+    /// write happened.
+    pub fn flush_learning_cache(&self) -> bool {
+        self.learning_cache().flush()
     }
 
     /// Counter snapshot of the cross-query tree cache (what
@@ -394,7 +415,16 @@ impl Database {
         &self,
         dir: impl Into<std::path::PathBuf>,
     ) -> Result<Vec<String>, DbError> {
-        Ok(self.catalog.attach_disk(dir)?)
+        let names = self.catalog.attach_disk(dir)?;
+        // The data directory also carries learned priors: attach the
+        // learning cache to the store so persisted templates warm-start
+        // queries in this process and future publications flush back. A
+        // corrupt priors sidecar is refused inside `attach_store` (counted
+        // in `load_rejected`), never an open failure.
+        if let Some(store) = self.catalog.disk_store() {
+            self.learning.cache.read().attach_store(store);
+        }
+        Ok(names)
     }
 
     /// Whether a persistent data directory is attached.

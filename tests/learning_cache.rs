@@ -12,7 +12,8 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 
-use skinnerdb::skinner_core::{ParallelSkinnerConfig, TreeCacheConfig};
+use skinnerdb::skinner_core::{ParallelSkinnerConfig, QuerySig, RunFeedback, TreeCacheConfig};
+use skinnerdb::skinner_query::TemplateFeatures;
 use skinnerdb::skinner_uct::{PriorEntry, TreePrior};
 use skinnerdb::{DataType, Database, Strategy, TreeCache, Value};
 
@@ -231,6 +232,28 @@ fn lru_eviction_end_to_end_with_tiny_capacity() {
     assert!(db.learning_cache_stats().hits >= 2);
 }
 
+/// A synthetic two-table signature for direct cache hammering; `k` picks
+/// the template and (stable) content fingerprints.
+fn prop_sig(k: u64) -> QuerySig {
+    QuerySig {
+        key: format!("template-{k}"),
+        uids: vec![k, k + 1],
+        fingerprints: vec![k * 1000 + 1, k * 1000 + 2],
+        buckets: vec![4, 8],
+        features: TemplateFeatures {
+            tables: vec![format!("ta{k}"), format!("tb{k}")],
+            unary_counts: vec![0, 0],
+            n_equi: 1,
+            n_theta: 0,
+            n_select: 1,
+            has_group: false,
+            has_order: false,
+            distinct: false,
+            limited: false,
+        },
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
 
@@ -244,8 +267,11 @@ proptest! {
         capacity in 1usize..12,
         keys in 2u64..16,
     ) {
+        // Generalization off: with only exact serves, `hits + misses`
+        // must balance the lookup count exactly.
         let cache = Arc::new(TreeCache::new(TreeCacheConfig {
             capacity,
+            generalize: false,
             ..Default::default()
         }));
         let handles: Vec<_> = (0..threads)
@@ -254,16 +280,16 @@ proptest! {
                 std::thread::spawn(move || {
                     for n in 0..per_thread {
                         let k = ((t * per_thread + n) as u64) % keys;
-                        let key = format!("template-{k}");
-                        if let Some(p) = cache.lookup(&key, &[k, k + 1]) {
+                        let sig = prop_sig(k);
+                        if let Some(w) = cache.lookup(&sig) {
                             // Served priors are always complete and typed
                             // for this template's table count.
-                            assert_eq!(p.num_tables, 2);
-                            assert_eq!(p.root_visits(), k + 1);
+                            assert_eq!(w.prior.num_tables, 2);
+                            assert_eq!(w.prior.root_visits(), k + 1);
+                            assert!(!w.generalized);
                         }
                         cache.publish(
-                            key,
-                            vec![k, k + 1],
+                            &sig,
                             TreePrior {
                                 num_tables: 2,
                                 entries: vec![PriorEntry {
@@ -272,6 +298,7 @@ proptest! {
                                     reward_sum: 0.5 * (k + 1) as f64,
                                 }],
                             },
+                            RunFeedback::cold(5),
                         );
                     }
                 })
